@@ -1,0 +1,172 @@
+//! The FFT workload (Figure 7): a real radix-2 FFT plus sample generation.
+//!
+//! The numeric result is produced for real (so the benchmark's output file
+//! has meaningful content and both OS bindings compute identical data); the
+//! *cycle cost* on either core comes from `m3_platform::accel`.
+
+use m3_base::rand::Rng;
+
+/// Bytes per complex sample (two `f32`).
+pub const BYTES_PER_POINT: usize = 8;
+
+/// Points in a 32 KiB input (the Figure 7 workload).
+pub const FIG7_POINTS: usize = 32 * 1024 / BYTES_PER_POINT;
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics unless `re` and `im` have the same power-of-two length.
+pub fn fft_in_place(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "mismatched component lengths");
+    assert!(n.is_power_of_two() && n > 1, "radix-2 needs a power of two");
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f32::consts::PI / len as f32;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut cur_r = 1.0f32;
+            let mut cur_i = 0.0f32;
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = start + k + len / 2;
+                let tr = re[b] * cur_r - im[b] * cur_i;
+                let ti = re[b] * cur_i + im[b] * cur_r;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let next_r = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = next_r;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Deterministic random samples in `[-1, 1)`.
+pub fn gen_samples(points: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = Rng::new(seed);
+    let re = (0..points)
+        .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+        .collect();
+    let im = (0..points)
+        .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+        .collect();
+    (re, im)
+}
+
+/// Packs interleaved complex samples into bytes (pipe/file payload).
+pub fn pack(re: &[f32], im: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(re.len() * BYTES_PER_POINT);
+    for (&r, &i) in re.iter().zip(im) {
+        out.extend_from_slice(&r.to_le_bytes());
+        out.extend_from_slice(&i.to_le_bytes());
+    }
+    out
+}
+
+/// Unpacks bytes produced by [`pack`].
+///
+/// # Panics
+///
+/// Panics if the byte count is not a multiple of [`BYTES_PER_POINT`].
+pub fn unpack(bytes: &[u8]) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(bytes.len() % BYTES_PER_POINT, 0, "partial complex sample");
+    let n = bytes.len() / BYTES_PER_POINT;
+    let mut re = Vec::with_capacity(n);
+    let mut im = Vec::with_capacity(n);
+    for chunk in bytes.chunks_exact(BYTES_PER_POINT) {
+        re.push(f32::from_le_bytes(chunk[0..4].try_into().unwrap()));
+        im.push(f32::from_le_bytes(chunk[4..8].try_into().unwrap()));
+    }
+    (re, im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive DFT for cross-checking.
+    fn dft(re: &[f32], im: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let n = re.len();
+        let mut or = vec![0.0f32; n];
+        let mut oi = vec![0.0f32; n];
+        for k in 0..n {
+            for t in 0..n {
+                let ang = -2.0 * std::f32::consts::PI * (k * t) as f32 / n as f32;
+                or[k] += re[t] * ang.cos() - im[t] * ang.sin();
+                oi[k] += re[t] * ang.sin() + im[t] * ang.cos();
+            }
+        }
+        (or, oi)
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let (mut re, mut im) = gen_samples(64, 7);
+        let (er, ei) = dft(&re, &im);
+        fft_in_place(&mut re, &mut im);
+        for k in 0..64 {
+            assert!((re[k] - er[k]).abs() < 1e-3, "re[{k}]: {} vs {}", re[k], er[k]);
+            assert!((im[k] - ei[k]).abs() < 1e-3, "im[{k}]: {} vs {}", im[k], ei[k]);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut re = vec![0.0f32; 16];
+        let mut im = vec![0.0f32; 16];
+        re[0] = 1.0;
+        fft_in_place(&mut re, &mut im);
+        for k in 0..16 {
+            assert!((re[k] - 1.0).abs() < 1e-5);
+            assert!(im[k].abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let (re, im) = gen_samples(128, 3);
+        let bytes = pack(&re, &im);
+        assert_eq!(bytes.len(), 128 * BYTES_PER_POINT);
+        let (r2, i2) = unpack(&bytes);
+        assert_eq!(re, r2);
+        assert_eq!(im, i2);
+    }
+
+    #[test]
+    fn fig7_workload_is_32kib() {
+        assert_eq!(FIG7_POINTS * BYTES_PER_POINT, 32 * 1024);
+        assert_eq!(FIG7_POINTS, 4096);
+    }
+
+    #[test]
+    fn samples_are_deterministic() {
+        assert_eq!(gen_samples(32, 5), gen_samples(32, 5));
+        assert_ne!(gen_samples(32, 5), gen_samples(32, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_in_place(&mut re, &mut im);
+    }
+}

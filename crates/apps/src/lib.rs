@@ -1,0 +1,22 @@
+//! The evaluation workloads of the paper's §5, implemented natively for
+//! both operating systems.
+//!
+//! The paper implements cat+tr by hand for both systems and replays strace
+//! recordings of BusyBox tar/untar/find and sqlite on M3 (§5.6). Here every
+//! workload is implemented once as *pure logic* (tar byte format, FFT math,
+//! SQL engine, tree generation) plus two thin OS bindings:
+//!
+//! - [`m3app`] — against libm3 (VPEs, pipes, the m3fs VFS),
+//! - [`lxapp`] — against the Linux model (fork, pipes, tmpfs, sendfile).
+//!
+//! A syscall-trace [`trace`] replayer mirrors the paper's methodology as
+//! an alternative path.
+
+pub mod fft;
+pub mod lxapp;
+pub mod m3app;
+pub mod sqlwork;
+pub mod tarfmt;
+pub mod timer_dev;
+pub mod trace;
+pub mod workload;

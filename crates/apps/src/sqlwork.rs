@@ -1,0 +1,144 @@
+//! The sqlite-like workload: "creates a table, inserts 8 entries and
+//! selects them" (§5.6). A compute-heavy benchmark: "computation makes up
+//! the majority of the execution time".
+//!
+//! This is a miniature row-store: each operation produces real page bytes
+//! (written to the database file through whichever OS runs it) plus a
+//! calibrated computation cost (parsing, planning, b-tree manipulation —
+//! the things sqlite spends its cycles on).
+
+use m3_base::Cycles;
+
+/// Database page size.
+pub const PAGE_SIZE: usize = 1024;
+
+/// One step of the workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlOp {
+    /// Human-readable statement (for traces).
+    pub stmt: String,
+    /// Computation the engine performs for this statement.
+    pub compute: Cycles,
+    /// Page image appended to the database file (journal + page writes).
+    pub page: Option<Vec<u8>>,
+    /// Bytes read back from the database file (the final SELECT scan).
+    pub read_back: u64,
+}
+
+/// SQL parsing + planning cost per statement.
+const PARSE: u64 = 45_000;
+
+/// B-tree insert cost per row.
+const INSERT: u64 = 230_000;
+
+/// Table creation (schema page, catalog update).
+const CREATE: u64 = 420_000;
+
+/// Full-table-scan SELECT over the 8 rows.
+const SELECT: u64 = 2_100_000;
+
+/// Encodes one row as a slotted-page image.
+fn row_page(id: u64, name: &str) -> Vec<u8> {
+    let mut page = vec![0u8; PAGE_SIZE];
+    page[0..8].copy_from_slice(&id.to_le_bytes());
+    let name_bytes = name.as_bytes();
+    page[8] = name_bytes.len() as u8;
+    page[9..9 + name_bytes.len()].copy_from_slice(name_bytes);
+    page
+}
+
+/// The paper's workload: CREATE TABLE, 8 INSERTs, SELECT.
+pub fn workload() -> Vec<SqlOp> {
+    let mut ops = Vec::new();
+    ops.push(SqlOp {
+        stmt: "CREATE TABLE t (id INTEGER, name TEXT)".to_string(),
+        compute: Cycles::new(PARSE + CREATE),
+        page: Some({
+            let mut schema = vec![0u8; PAGE_SIZE];
+            schema[..21].copy_from_slice(b"t:id INTEGER,name TEX");
+            schema
+        }),
+        read_back: 0,
+    });
+    for i in 0..8u64 {
+        let name = format!("row-{i}");
+        ops.push(SqlOp {
+            stmt: format!("INSERT INTO t VALUES ({i}, '{name}')"),
+            compute: Cycles::new(PARSE + INSERT),
+            page: Some(row_page(i, &name)),
+            read_back: 0,
+        });
+    }
+    ops.push(SqlOp {
+        stmt: "SELECT * FROM t".to_string(),
+        compute: Cycles::new(PARSE + SELECT),
+        page: None,
+        read_back: (9 * PAGE_SIZE) as u64, // schema + 8 row pages
+    });
+    ops
+}
+
+/// Total computation of the workload (for calibration checks).
+pub fn total_compute() -> Cycles {
+    workload().iter().map(|op| op.compute).sum()
+}
+
+/// Parses the row pages back (validation that the benchmark moved real
+/// data).
+///
+/// # Errors
+///
+/// Returns a descriptive string for malformed pages.
+pub fn decode_rows(db: &[u8]) -> Result<Vec<(u64, String)>, String> {
+    if db.len() < PAGE_SIZE || !db.len().is_multiple_of(PAGE_SIZE) {
+        return Err(format!("bad db size {}", db.len()));
+    }
+    let mut rows = Vec::new();
+    for page in db.chunks(PAGE_SIZE).skip(1) {
+        let id = u64::from_le_bytes(page[0..8].try_into().unwrap());
+        let len = page[8] as usize;
+        let name = std::str::from_utf8(&page[9..9 + len])
+            .map_err(|_| "bad row name".to_string())?
+            .to_string();
+        rows.push((id, name));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape_matches_paper() {
+        let ops = workload();
+        assert_eq!(ops.len(), 1 + 8 + 1, "create + 8 inserts + select");
+        assert!(ops[0].stmt.starts_with("CREATE"));
+        assert!(ops[9].stmt.starts_with("SELECT"));
+        assert_eq!(ops[9].read_back, 9 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn computation_dominates() {
+        // §5.6: "computation makes up the majority of the execution time";
+        // the data volume is tiny (9 KiB), so compute must be in the
+        // millions of cycles.
+        let total = total_compute();
+        assert!(total.as_u64() > 3_000_000, "{total:?}");
+        assert!(total.as_u64() < 8_000_000, "{total:?}");
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        let ops = workload();
+        let mut db = Vec::new();
+        for op in &ops {
+            if let Some(p) = &op.page {
+                db.extend_from_slice(p);
+            }
+        }
+        let rows = decode_rows(&db).unwrap();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[3], (3, "row-3".to_string()));
+    }
+}

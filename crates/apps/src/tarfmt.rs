@@ -1,0 +1,195 @@
+//! A minimal ustar-style tar format (pure logic, shared by both OS
+//! bindings of the tar/untar benchmarks).
+//!
+//! Layout per entry: one 512-byte header block (name, octal size, type
+//! flag, checksum), then the content padded to 512-byte blocks. The archive
+//! ends with two zero blocks.
+
+/// Tar block size.
+pub const BLOCK: usize = 512;
+
+/// One parsed archive entry header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TarEntry {
+    /// Entry path.
+    pub name: String,
+    /// Content size in bytes (0 for directories).
+    pub size: u64,
+    /// Whether the entry is a directory.
+    pub is_dir: bool,
+}
+
+/// Content bytes rounded up to whole blocks.
+pub fn padded_size(size: u64) -> u64 {
+    size.div_ceil(BLOCK as u64) * BLOCK as u64
+}
+
+/// Total archive bytes an entry occupies (header + padded content).
+pub fn entry_size(size: u64) -> u64 {
+    BLOCK as u64 + padded_size(size)
+}
+
+/// Builds a 512-byte header block.
+///
+/// # Panics
+///
+/// Panics if the name exceeds 99 bytes.
+pub fn header(name: &str, size: u64, is_dir: bool) -> [u8; BLOCK] {
+    assert!(name.len() < 100, "tar name too long: {name}");
+    let mut block = [0u8; BLOCK];
+    block[..name.len()].copy_from_slice(name.as_bytes());
+    let size_field = format!("{size:011o}\0");
+    block[124..124 + size_field.len()].copy_from_slice(size_field.as_bytes());
+    block[156] = if is_dir { b'5' } else { b'0' };
+    // ustar magic.
+    block[257..263].copy_from_slice(b"ustar\0");
+    // Checksum: sum of all bytes with the checksum field as spaces.
+    block[148..156].copy_from_slice(b"        ");
+    let sum: u32 = block.iter().map(|&b| b as u32).sum();
+    let chk = format!("{sum:06o}\0 ");
+    block[148..156].copy_from_slice(chk.as_bytes());
+    block
+}
+
+/// Parses a header block; `None` for an end-of-archive (zero) block.
+///
+/// # Errors
+///
+/// Returns a descriptive string on checksum or format violations.
+pub fn parse_header(block: &[u8]) -> Result<Option<TarEntry>, String> {
+    if block.len() < BLOCK {
+        return Err(format!("short header: {} bytes", block.len()));
+    }
+    if block[..BLOCK].iter().all(|&b| b == 0) {
+        return Ok(None);
+    }
+    // Verify the checksum.
+    let stored = parse_octal(&block[148..156])?;
+    let mut copy = [0u8; BLOCK];
+    copy.copy_from_slice(&block[..BLOCK]);
+    copy[148..156].copy_from_slice(b"        ");
+    let sum: u64 = copy.iter().map(|&b| b as u64).sum();
+    if sum != stored {
+        return Err(format!("checksum mismatch: stored {stored}, computed {sum}"));
+    }
+    let name_end = block[..100]
+        .iter()
+        .position(|&b| b == 0)
+        .unwrap_or(100);
+    let name = std::str::from_utf8(&block[..name_end])
+        .map_err(|_| "non-utf8 name".to_string())?
+        .to_string();
+    let size = parse_octal(&block[124..136])?;
+    let is_dir = block[156] == b'5';
+    Ok(Some(TarEntry { name, size, is_dir }))
+}
+
+fn parse_octal(field: &[u8]) -> Result<u64, String> {
+    let mut val = 0u64;
+    for &b in field {
+        match b {
+            b'0'..=b'7' => val = val * 8 + (b - b'0') as u64,
+            b'\0' | b' ' => break,
+            other => return Err(format!("bad octal byte {other:#x}")),
+        }
+    }
+    Ok(val)
+}
+
+/// Builds a complete archive from (name, content, is_dir) triples —
+/// reference implementation for tests.
+pub fn build_archive(entries: &[(&str, &[u8], bool)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (name, content, is_dir) in entries {
+        out.extend_from_slice(&header(name, content.len() as u64, *is_dir));
+        out.extend_from_slice(content);
+        let pad = padded_size(content.len() as u64) as usize - content.len();
+        out.extend(std::iter::repeat_n(0u8, pad));
+    }
+    out.extend(std::iter::repeat_n(0u8, 2 * BLOCK));
+    out
+}
+
+/// Parses a complete archive into entries with contents — reference
+/// implementation for tests.
+///
+/// # Errors
+///
+/// Returns a descriptive string on malformed archives.
+pub fn parse_archive(data: &[u8]) -> Result<Vec<(TarEntry, Vec<u8>)>, String> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + BLOCK <= data.len() {
+        match parse_header(&data[pos..pos + BLOCK])? {
+            None => break,
+            Some(entry) => {
+                pos += BLOCK;
+                let content = data
+                    .get(pos..pos + entry.size as usize)
+                    .ok_or("truncated content")?
+                    .to_vec();
+                pos += padded_size(entry.size) as usize;
+                out.push((entry, content));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = header("dir/file.txt", 12345, false);
+        let e = parse_header(&h).unwrap().unwrap();
+        assert_eq!(e.name, "dir/file.txt");
+        assert_eq!(e.size, 12345);
+        assert!(!e.is_dir);
+    }
+
+    #[test]
+    fn dir_header() {
+        let h = header("some/dir", 0, true);
+        let e = parse_header(&h).unwrap().unwrap();
+        assert!(e.is_dir);
+        assert_eq!(e.size, 0);
+    }
+
+    #[test]
+    fn zero_block_ends_archive() {
+        assert_eq!(parse_header(&[0u8; BLOCK]).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut h = header("x", 5, false);
+        h[0] ^= 0xff;
+        assert!(parse_header(&h).is_err());
+    }
+
+    #[test]
+    fn archive_roundtrip() {
+        let a = build_archive(&[
+            ("d", b"", true),
+            ("d/a.txt", b"hello", false),
+            ("d/b.bin", &[1, 2, 3, 4, 5, 6, 7], false),
+        ]);
+        assert_eq!(a.len() % BLOCK, 0);
+        let entries = parse_archive(&a).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[1].0.name, "d/a.txt");
+        assert_eq!(entries[1].1, b"hello");
+        assert_eq!(entries[2].1, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(padded_size(0), 0);
+        assert_eq!(padded_size(1), 512);
+        assert_eq!(padded_size(512), 512);
+        assert_eq!(padded_size(513), 1024);
+        assert_eq!(entry_size(100), 512 + 512);
+    }
+}

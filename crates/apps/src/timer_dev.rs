@@ -1,0 +1,174 @@
+//! Device interrupts as messages (paper §4.4.2).
+//!
+//! "We believe that device interrupts should be sent as messages as well to
+//! integrate them with the existing concepts. This would allow to wait for
+//! them as for any other message, interpose them, send them to any PE,
+//! independent of the core, etc. However, we have not yet implemented this
+//! idea, because of the lack of devices in the prototype platform."
+//!
+//! This module implements that idea for a timer device. The device occupies
+//! a PE and registers as the `timer` service; a subscriber delegates a send
+//! gate to its own receive gate together with a period and a tick count,
+//! and the device then delivers interrupts as ordinary DTU messages — which
+//! the subscriber can await, multiplex with other messages, or forward to
+//! another PE (interposition), all without any core support for interrupts.
+
+use m3_base::error::{Code, Error, Result};
+use m3_base::marshal::{IStream, OStream};
+use m3_base::{Cycles, SelId};
+use m3_libos::serv::{self, Handler};
+use m3_libos::{ClientSession, Env, RecvGate, SendGate};
+
+/// Payload layout of one tick message: the tick index.
+pub fn tick_payload(index: u64) -> Vec<u8> {
+    let mut os = OStream::with_capacity(8);
+    os.push_u64(index);
+    os.into_bytes()
+}
+
+/// Parses a tick message payload.
+///
+/// # Errors
+///
+/// Returns [`Code::BadMessage`] on malformed payloads.
+pub fn parse_tick(payload: &[u8]) -> Result<u64> {
+    IStream::new(payload).pop_u64()
+}
+
+struct Subscription {
+    gate_sel: SelId,
+    period: Cycles,
+    count: u64,
+}
+
+struct TimerHandler {
+    env: Env,
+    next_ident: u64,
+}
+
+impl Handler for TimerHandler {
+    fn open(&mut self, _env: &Env, _arg: u64) -> Result<u64> {
+        let ident = self.next_ident;
+        self.next_ident += 1;
+        Ok(ident)
+    }
+
+    async fn exchange(
+        &mut self,
+        env: &Env,
+        ident: u64,
+        obtain: bool,
+        cap_count: u32,
+        args: &[u8],
+    ) -> Result<(Vec<SelId>, Vec<u8>)> {
+        if obtain || cap_count != 1 {
+            return Err(Error::new(Code::NotSup).with_msg("delegate exactly one send gate"));
+        }
+        let mut is = IStream::new(args);
+        let period = Cycles::new(is.pop_u64()?);
+        let count = is.pop_u64()?;
+        if period.is_zero() || count == 0 {
+            return Err(Error::new(Code::InvArgs).with_msg("period and count must be non-zero"));
+        }
+        let gate_sel = env.alloc_sel();
+        let sub = Subscription {
+            gate_sel,
+            period,
+            count,
+        };
+        // The interrupt generator: one task per subscription, delivering
+        // each tick as a plain DTU message through the delegated gate.
+        let env2 = self.env.clone();
+        self.env
+            .sim()
+            .spawn(format!("timer-sub-{ident}"), async move {
+                let gate = SendGate::bind(&env2, sub.gate_sel);
+                for tick in 0..sub.count {
+                    env2.sim().sleep(sub.period).await;
+                    if gate.send(&tick_payload(tick), None).await.is_err() {
+                        // Subscriber gone (revoked): stop firing.
+                        return;
+                    }
+                }
+            });
+        Ok((vec![gate_sel], Vec::new()))
+    }
+
+    fn close(&mut self, _env: &Env, _ident: u64) {}
+}
+
+/// Runs the timer device; spawn on its own PE with `spawn_daemon`.
+///
+/// # Errors
+///
+/// Fails if service registration is rejected.
+pub async fn run_timer_device(env: Env) -> Result<()> {
+    let handler = TimerHandler {
+        env: env.clone(),
+        next_ident: 1,
+    };
+    serv::serve(env, "timer", handler).await
+}
+
+/// A subscription handle on the client side.
+#[derive(Debug)]
+pub struct TimerClient {
+    rgate: RecvGate,
+    remaining: u64,
+}
+
+impl TimerClient {
+    /// Subscribes to `count` interrupts, `period` cycles apart. Creates the
+    /// receive gate, a send gate to it, and delegates the send gate to the
+    /// device over a session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session and gate errors.
+    pub async fn subscribe(env: &Env, period: Cycles, count: u64) -> Result<TimerClient> {
+        let rgate = RecvGate::new(env, 8, 64).await?;
+        // The device must outlive the session-scoped gate, so the gate is
+        // created by us and handed over (credits = buffer slots).
+        let sgate = SendGate::new(env, &rgate, 0, 8).await?;
+        let session = ClientSession::connect(env, "timer", 0).await?;
+        let mut os = OStream::with_capacity(16);
+        os.push_u64(period.as_u64()).push_u64(count);
+        session.delegate(&[sgate.sel()], os.as_bytes()).await?;
+        Ok(TimerClient {
+            rgate,
+            remaining: count,
+        })
+    }
+
+    /// Waits for the next interrupt; returns its tick index, or `None`
+    /// after the subscription is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub async fn wait_tick(&mut self) -> Result<Option<u64>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let msg = self.rgate.recv().await?;
+        self.remaining -= 1;
+        Ok(Some(parse_tick(&msg.payload)?))
+    }
+
+    /// The underlying receive gate (to multiplex ticks with other
+    /// messages, or to interpose them).
+    pub fn rgate(&self) -> &RecvGate {
+        &self.rgate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_payload_roundtrip() {
+        assert_eq!(parse_tick(&tick_payload(42)).unwrap(), 42);
+        assert_eq!(parse_tick(&[1, 2]).unwrap_err().code(), Code::BadMessage);
+    }
+}

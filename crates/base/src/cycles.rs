@@ -1,0 +1,196 @@
+//! Simulated time, measured in core clock cycles.
+//!
+//! All PEs, the NoC, and the DTUs in the reproduced Tomahawk platform share a
+//! single clock domain (as the paper's simulator does), so one cycle type
+//! suffices.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or point in simulated time, in clock cycles.
+///
+/// `Cycles` is a transparent [`u64`] newtype; arithmetic panics on overflow in
+/// debug builds like any integer arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::cycles::Cycles;
+///
+/// let transfer = Cycles::new(2 * 1024 * 1024 / 8); // 2 MiB at 8 B/cycle
+/// assert_eq!(transfer.as_u64(), 262_144);
+/// assert_eq!(Cycles::ZERO + transfer, transfer);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a duration of `n` cycles.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self - other`, or [`Cycles::ZERO`] if `other > self`.
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Whether this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(n: u64) -> Self {
+        Cycles(n)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+/// Computes the time to move `bytes` at `bytes_per_cycle`, rounding up.
+///
+/// This is the bandwidth formula used throughout the hardware models; the
+/// DTU's rate is 8 bytes per cycle (paper §5.4).
+///
+/// # Panics
+///
+/// Panics if `bytes_per_cycle` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::cycles::{transfer_time, Cycles};
+///
+/// assert_eq!(transfer_time(16, 8), Cycles::new(2));
+/// assert_eq!(transfer_time(17, 8), Cycles::new(3));
+/// assert_eq!(transfer_time(0, 8), Cycles::ZERO);
+/// ```
+pub fn transfer_time(bytes: u64, bytes_per_cycle: u64) -> Cycles {
+    assert!(bytes_per_cycle > 0, "bandwidth must be non-zero");
+    Cycles::new(bytes.div_ceil(bytes_per_cycle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!(a + b, Cycles::new(13));
+        assert_eq!(a - b, Cycles::new(7));
+        assert_eq!(a * 2, Cycles::new(20));
+        assert_eq!(a / 2, Cycles::new(5));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(10)), Cycles::ZERO);
+        assert_eq!(Cycles::new(10).saturating_sub(Cycles::new(3)), Cycles::new(7));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(10));
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        assert_eq!(transfer_time(4096, 8), Cycles::new(512));
+        assert_eq!(transfer_time(1, 8), Cycles::new(1));
+        assert_eq!(transfer_time(9, 8), Cycles::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn transfer_time_rejects_zero_bandwidth() {
+        let _ = transfer_time(8, 0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Cycles::new(5)), "5");
+        assert_eq!(format!("{:?}", Cycles::new(5)), "5cyc");
+    }
+}

@@ -1,0 +1,233 @@
+//! Error codes shared by all M3 components.
+//!
+//! Errors travel in DTU message replies, so every error is representable as a
+//! small integer ([`Code`]) and reconstructible from it.
+
+use std::fmt;
+
+/// The error codes of the M3 system.
+///
+/// The set mirrors the error conditions that appear in the paper: capability
+/// and permission failures (§4.5.3), endpoint/credit failures (§4.4), and
+/// filesystem failures (§4.5.8).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[repr(u32)]
+#[non_exhaustive]
+pub enum Code {
+    /// An argument was out of range or malformed.
+    InvArgs = 1,
+    /// The named capability selector does not exist or has the wrong type.
+    InvCap,
+    /// The operation requires permissions the caller does not hold.
+    NoPerm,
+    /// The send endpoint has no credits left; the DTU denied the send.
+    NoCredits,
+    /// The endpoint is not configured, or configured for a different role.
+    InvEp,
+    /// The receive ring buffer had no free slot; the message was dropped.
+    RecvBufFull,
+    /// No suitable (or no free) PE of the requested type exists.
+    NoFreePe,
+    /// Out of memory (DRAM region, SPM space, or kernel object space).
+    OutOfMem,
+    /// The filesystem has no free blocks or inodes.
+    NoSpace,
+    /// The path does not name an existing object.
+    NoSuchFile,
+    /// The path already names an object.
+    Exists,
+    /// The object is a directory where a file was expected.
+    IsDir,
+    /// The object is not a directory where one was expected.
+    IsNoDir,
+    /// The directory is not empty.
+    DirNotEmpty,
+    /// The file is not open for the requested access.
+    NoAccess,
+    /// A seek went beyond the end of the file where that is not allowed.
+    InvOffset,
+    /// The named service does not exist.
+    InvService,
+    /// The session was closed by the service.
+    SessClosed,
+    /// The pipe/channel was closed by the peer.
+    EndOfStream,
+    /// The VPE is gone (exited or revoked).
+    VpeGone,
+    /// The operation is not supported by this object.
+    NotSup,
+    /// A message was truncated or failed to unmarshal.
+    BadMessage,
+    /// The operation timed out (used by failure-injection tests).
+    Timeout,
+    /// Generic internal inconsistency.
+    Internal,
+}
+
+impl Code {
+    /// Reconstructs a code from its wire representation.
+    ///
+    /// Unknown values map to [`Code::Internal`], so old receivers tolerate new
+    /// senders.
+    pub fn from_raw(raw: u32) -> Code {
+        match raw {
+            1 => Code::InvArgs,
+            2 => Code::InvCap,
+            3 => Code::NoPerm,
+            4 => Code::NoCredits,
+            5 => Code::InvEp,
+            6 => Code::RecvBufFull,
+            7 => Code::NoFreePe,
+            8 => Code::OutOfMem,
+            9 => Code::NoSpace,
+            10 => Code::NoSuchFile,
+            11 => Code::Exists,
+            12 => Code::IsDir,
+            13 => Code::IsNoDir,
+            14 => Code::DirNotEmpty,
+            15 => Code::NoAccess,
+            16 => Code::InvOffset,
+            17 => Code::InvService,
+            18 => Code::SessClosed,
+            19 => Code::EndOfStream,
+            20 => Code::VpeGone,
+            21 => Code::NotSup,
+            22 => Code::BadMessage,
+            23 => Code::Timeout,
+            _ => Code::Internal,
+        }
+    }
+
+    /// Returns the wire representation.
+    pub fn as_raw(self) -> u32 {
+        self as u32
+    }
+}
+
+/// An error carrying a [`Code`] and optional context message.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::error::{Code, Error};
+///
+/// let err = Error::new(Code::NoSuchFile).with_msg("open /tmp/x");
+/// assert_eq!(err.code(), Code::NoSuchFile);
+/// assert!(err.to_string().contains("open /tmp/x"));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Error {
+    code: Code,
+    msg: Option<String>,
+}
+
+impl Error {
+    /// Creates an error with the given code and no context message.
+    pub fn new(code: Code) -> Error {
+        Error { code, msg: None }
+    }
+
+    /// Attaches a human-readable context message.
+    pub fn with_msg(mut self, msg: impl Into<String>) -> Error {
+        self.msg = Some(msg.into());
+        self
+    }
+
+    /// Returns the error code.
+    pub fn code(&self) -> Code {
+        self.code
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.msg {
+            Some(m) => write!(f, "Error({:?}: {})", self.code, m),
+            None => write!(f, "Error({:?})", self.code),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let desc = match self.code {
+            Code::InvArgs => "invalid arguments",
+            Code::InvCap => "invalid capability",
+            Code::NoPerm => "permission denied",
+            Code::NoCredits => "no credits left",
+            Code::InvEp => "invalid endpoint",
+            Code::RecvBufFull => "receive buffer full",
+            Code::NoFreePe => "no free processing element",
+            Code::OutOfMem => "out of memory",
+            Code::NoSpace => "no space left",
+            Code::NoSuchFile => "no such file or directory",
+            Code::Exists => "already exists",
+            Code::IsDir => "is a directory",
+            Code::IsNoDir => "not a directory",
+            Code::DirNotEmpty => "directory not empty",
+            Code::NoAccess => "no access",
+            Code::InvOffset => "invalid offset",
+            Code::InvService => "no such service",
+            Code::SessClosed => "session closed",
+            Code::EndOfStream => "end of stream",
+            Code::VpeGone => "vpe gone",
+            Code::NotSup => "not supported",
+            Code::BadMessage => "bad message",
+            Code::Timeout => "timed out",
+            Code::Internal => "internal error",
+        };
+        match &self.msg {
+            Some(m) => write!(f, "{desc}: {m}"),
+            None => f.write_str(desc),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Code> for Error {
+    fn from(code: Code) -> Error {
+        Error::new(code)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrips_through_wire_format() {
+        for raw in 1..=24 {
+            let code = Code::from_raw(raw);
+            assert_eq!(Code::from_raw(code.as_raw()), code);
+        }
+    }
+
+    #[test]
+    fn unknown_code_maps_to_internal() {
+        assert_eq!(Code::from_raw(0), Code::Internal);
+        assert_eq!(Code::from_raw(9999), Code::Internal);
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let err = Error::new(Code::NoCredits).with_msg("ep 3");
+        assert_eq!(err.to_string(), "no credits left: ep 3");
+        assert_eq!(Error::new(Code::Exists).to_string(), "already exists");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::new(Code::Internal));
+    }
+
+    #[test]
+    fn from_code() {
+        let err: Error = Code::InvEp.into();
+        assert_eq!(err.code(), Code::InvEp);
+    }
+}

@@ -1,0 +1,283 @@
+//! Message (un)marshalling streams.
+//!
+//! libm3 overloads the C++ shift operators to marshal objects into DTU
+//! messages (paper §4.5.6, following the L4 marshalling frameworks). The Rust
+//! equivalent here is a pair of byte-oriented streams with typed push/pop
+//! methods. Every DTU-message protocol in this workspace — kernel syscalls,
+//! the m3fs protocol, the pipe protocol — is encoded with these streams, so a
+//! message's cost model (its length) matches what actually goes over the NoC.
+//!
+//! All integers are little-endian. Strings are a `u32` length followed by the
+//! UTF-8 bytes. Byte slices are encoded the same way.
+
+use crate::error::{Code, Error, Result};
+
+/// An output stream that marshals values into a byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::marshal::OStream;
+///
+/// let mut os = OStream::new();
+/// os.push_u32(7).push_str("path");
+/// assert_eq!(os.len(), 4 + 4 + 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OStream {
+    buf: Vec<u8>,
+}
+
+impl OStream {
+    /// Creates an empty stream.
+    pub fn new() -> OStream {
+        OStream { buf: Vec::new() }
+    }
+
+    /// Creates an empty stream with space for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> OStream {
+        OStream {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u8`.
+    pub fn push_u8(&mut self, v: u8) -> &mut OStream {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn push_u32(&mut self, v: u32) -> &mut OStream {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn push_u64(&mut self, v: u64) -> &mut OStream {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `i64` (little-endian).
+    pub fn push_i64(&mut self, v: i64) -> &mut OStream {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn push_bool(&mut self, v: bool) -> &mut OStream {
+        self.push_u8(v as u8)
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn push_str(&mut self, v: &str) -> &mut OStream {
+        self.push_bytes(v.as_bytes())
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn push_bytes(&mut self, v: &[u8]) -> &mut OStream {
+        self.push_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Number of bytes marshalled so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been marshalled yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the stream and returns the marshalled bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the marshalled bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// An input stream that unmarshals values from a byte buffer.
+///
+/// All pop methods return [`Code::BadMessage`] if the buffer is exhausted or
+/// malformed, so a corrupted or truncated message never panics the receiver.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::marshal::{IStream, OStream};
+///
+/// let mut os = OStream::new();
+/// os.push_bool(true).push_u64(9);
+/// let bytes = os.into_bytes();
+/// let mut is = IStream::new(&bytes);
+/// assert!(is.pop_bool().unwrap());
+/// assert_eq!(is.pop_u64().unwrap(), 9);
+/// assert!(is.pop_u8().is_err()); // exhausted
+/// ```
+#[derive(Clone, Debug)]
+pub struct IStream<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> IStream<'a> {
+    /// Creates a stream over `buf`.
+    pub fn new(buf: &'a [u8]) -> IStream<'a> {
+        IStream { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::new(Code::BadMessage).with_msg("truncated message"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::BadMessage`] if the stream is exhausted.
+    pub fn pop_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::BadMessage`] if the stream is exhausted.
+    pub fn pop_u32(&mut self) -> Result<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::BadMessage`] if the stream is exhausted.
+    pub fn pop_u64(&mut self) -> Result<u64> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::BadMessage`] if the stream is exhausted.
+    pub fn pop_i64(&mut self) -> Result<i64> {
+        let s = self.take(8)?;
+        Ok(i64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::BadMessage`] if the stream is exhausted.
+    pub fn pop_bool(&mut self) -> Result<bool> {
+        Ok(self.pop_u8()? != 0)
+    }
+
+    /// Reads a length-prefixed string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::BadMessage`] if the stream is exhausted or the bytes
+    /// are not valid UTF-8.
+    pub fn pop_str(&mut self) -> Result<String> {
+        let bytes = self.pop_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::new(Code::BadMessage).with_msg("invalid utf-8"))
+    }
+
+    /// Reads a length-prefixed byte slice (borrowed from the message).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::BadMessage`] if the stream is exhausted.
+    pub fn pop_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.pop_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut os = OStream::new();
+        os.push_u8(0xab)
+            .push_u32(0xdead_beef)
+            .push_u64(u64::MAX)
+            .push_i64(-42)
+            .push_bool(true)
+            .push_str("m3fs")
+            .push_bytes(&[1, 2, 3]);
+        let bytes = os.into_bytes();
+        let mut is = IStream::new(&bytes);
+        assert_eq!(is.pop_u8().unwrap(), 0xab);
+        assert_eq!(is.pop_u32().unwrap(), 0xdead_beef);
+        assert_eq!(is.pop_u64().unwrap(), u64::MAX);
+        assert_eq!(is.pop_i64().unwrap(), -42);
+        assert!(is.pop_bool().unwrap());
+        assert_eq!(is.pop_str().unwrap(), "m3fs");
+        assert_eq!(is.pop_bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(is.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_message_is_an_error_not_a_panic() {
+        let mut os = OStream::new();
+        os.push_u64(7);
+        let bytes = os.into_bytes();
+        let mut is = IStream::new(&bytes[..5]);
+        assert_eq!(is.pop_u64().unwrap_err().code(), Code::BadMessage);
+    }
+
+    #[test]
+    fn bogus_string_length_is_an_error() {
+        let mut os = OStream::new();
+        os.push_u32(1000); // claims 1000 bytes follow
+        let bytes = os.into_bytes();
+        let mut is = IStream::new(&bytes);
+        assert_eq!(is.pop_str().unwrap_err().code(), Code::BadMessage);
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut os = OStream::new();
+        os.push_bytes(&[0xff, 0xfe]);
+        let bytes = os.into_bytes();
+        let mut is = IStream::new(&bytes);
+        assert_eq!(is.pop_str().unwrap_err().code(), Code::BadMessage);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let os = OStream::new();
+        assert!(os.is_empty());
+        assert_eq!(os.len(), 0);
+        let bytes = os.into_bytes();
+        let mut is = IStream::new(&bytes);
+        assert!(is.pop_u8().is_err());
+    }
+}

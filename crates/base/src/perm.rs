@@ -1,0 +1,137 @@
+//! Permission sets for capabilities and memory endpoints.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Sub};
+
+/// A set of read/write/execute permissions.
+///
+/// Used for memory capabilities (paper §4.4.1: the `target` register of a
+/// memory endpoint carries the region *and* the permissions) and for
+/// capability delegation, where the delegated permissions may only shrink.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::perm::Perm;
+///
+/// let rw = Perm::R | Perm::W;
+/// assert!(rw.contains(Perm::R));
+/// assert!(!rw.contains(Perm::X));
+/// assert_eq!(rw & Perm::R, Perm::R);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Perm(u8);
+
+impl Perm {
+    /// No permissions.
+    pub const NONE: Perm = Perm(0);
+    /// Read permission.
+    pub const R: Perm = Perm(0b001);
+    /// Write permission.
+    pub const W: Perm = Perm(0b010);
+    /// Execute permission.
+    pub const X: Perm = Perm(0b100);
+    /// Read and write.
+    pub const RW: Perm = Perm(0b011);
+    /// Read, write and execute.
+    pub const RWX: Perm = Perm(0b111);
+
+    /// Creates a permission set from raw bits; extraneous bits are masked off.
+    pub const fn from_bits(bits: u8) -> Perm {
+        Perm(bits & 0b111)
+    }
+
+    /// Returns the raw bits.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether every permission in `other` is also in `self`.
+    pub const fn contains(self, other: Perm) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Perm {
+    type Output = Perm;
+    fn bitor(self, rhs: Perm) -> Perm {
+        Perm(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perm {
+    type Output = Perm;
+    fn bitand(self, rhs: Perm) -> Perm {
+        Perm(self.0 & rhs.0)
+    }
+}
+
+impl Sub for Perm {
+    type Output = Perm;
+    fn sub(self, rhs: Perm) -> Perm {
+        Perm(self.0 & !rhs.0)
+    }
+}
+
+impl fmt::Debug for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.contains(Perm::R) { "r" } else { "-" },
+            if self.contains(Perm::W) { "w" } else { "-" },
+            if self.contains(Perm::X) { "x" } else { "-" },
+        )
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_intersection() {
+        assert_eq!(Perm::R | Perm::W, Perm::RW);
+        assert_eq!(Perm::RW & Perm::W, Perm::W);
+        assert_eq!(Perm::RWX & Perm::NONE, Perm::NONE);
+    }
+
+    #[test]
+    fn subtraction_removes_bits() {
+        assert_eq!(Perm::RWX - Perm::X, Perm::RW);
+        assert_eq!(Perm::R - Perm::W, Perm::R);
+        assert_eq!(Perm::RW - Perm::RWX, Perm::NONE);
+    }
+
+    #[test]
+    fn containment() {
+        assert!(Perm::RWX.contains(Perm::RW));
+        assert!(!Perm::R.contains(Perm::RW));
+        assert!(Perm::R.contains(Perm::NONE));
+        assert!(Perm::NONE.is_empty());
+    }
+
+    #[test]
+    fn from_bits_masks() {
+        assert_eq!(Perm::from_bits(0xff), Perm::RWX);
+        assert_eq!(Perm::from_bits(0b010), Perm::W);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Perm::RW), "rw-");
+        assert_eq!(format!("{:?}", Perm::X), "--x");
+        assert_eq!(format!("{}", Perm::NONE), "---");
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates every figure of the paper's evaluation (run by
+//! `cargo bench`). Each figure is produced once and printed as the same
+//! rows/series the paper reports; the per-figure wall-clock time of the
+//! simulation is reported alongside.
+
+use std::time::Instant;
+
+fn timed<F: FnOnce() -> String>(name: &str, f: F) {
+    let start = Instant::now();
+    let table = f();
+    let elapsed = start.elapsed();
+    println!("{table}");
+    println!("[{name}: simulated in {elapsed:.2?}]\n");
+}
+
+fn main() {
+    println!("M3 (ASPLOS'16) reproduction — evaluation figures\n");
+    timed("fig3", || m3_bench::fig3::run().render());
+    timed("fig4", || m3_bench::fig4::run().render());
+    timed("fig5", || m3_bench::fig5::run().render());
+    timed("fig6", || m3_bench::fig6::run().render());
+    timed("fig7", || m3_bench::fig7::run().render());
+    timed("arch", || m3_bench::arch::run().render());
+    timed("ablations", || {
+        m3_bench::ablation::run_all()
+            .iter()
+            .map(m3_bench::Series::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+}

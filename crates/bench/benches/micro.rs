@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the simulator's primitives (host time per
+//! simulated operation) — useful for keeping the simulation substrate fast
+//! enough to sweep the figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3::{System, SystemConfig};
+use m3_base::{Cycles, PeId, Perm};
+use m3_dtu::{DtuSystem, EpConfig};
+use m3_fs::mount_m3fs;
+use m3_kernel::protocol::Syscall;
+use m3_libos::vfs::{self, OpenFlags};
+use m3_noc::{Noc, NocConfig, Topology};
+use m3_sim::Sim;
+
+fn bench_noc_schedule(c: &mut Criterion) {
+    let noc = Noc::new(Topology::with_nodes(16), NocConfig::default());
+    let mut now = 0u64;
+    c.bench_function("noc_schedule_4k", |b| {
+        b.iter(|| {
+            now += 100;
+            noc.schedule(Cycles::new(now), PeId::new(0), PeId::new(15), 4096)
+        })
+    });
+}
+
+fn bench_dtu_message(c: &mut Criterion) {
+    c.bench_function("dtu_send_recv_roundtrip", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let noc = Noc::new(Topology::with_nodes(3), NocConfig::default());
+            let sys = DtuSystem::new(sim.clone(), noc);
+            let kernel = sys.dtu(PeId::new(0));
+            kernel
+                .configure(
+                    PeId::new(2),
+                    m3_base::EpId::new(0),
+                    EpConfig::Receive {
+                        slots: 4,
+                        slot_size: 256,
+                        allow_replies: false,
+                    },
+                )
+                .unwrap();
+            kernel
+                .configure(
+                    PeId::new(1),
+                    m3_base::EpId::new(0),
+                    EpConfig::Send {
+                        pe: PeId::new(2),
+                        ep: m3_base::EpId::new(0),
+                        label: 0,
+                        credits: None,
+                        max_payload: 128,
+                    },
+                )
+                .unwrap();
+            let tx = sys.dtu(PeId::new(1));
+            let rx = sys.dtu(PeId::new(2));
+            let h = sim.spawn("rx", async move { rx.recv(m3_base::EpId::new(0)).await.unwrap() });
+            sim.spawn("tx", async move {
+                tx.send(m3_base::EpId::new(0), b"bench", None).await.unwrap();
+            });
+            sim.run();
+            h.try_take().unwrap()
+        })
+    });
+}
+
+fn bench_syscall_path(c: &mut Criterion) {
+    c.bench_function("m3_null_syscall_sim", |b| {
+        b.iter(|| {
+            let sys = System::boot(SystemConfig::default());
+            let h = sys.run_program("p", |env| async move {
+                for _ in 0..10 {
+                    env.syscall(Syscall::Noop).await.unwrap();
+                }
+                0
+            });
+            sys.run();
+            h.try_take().unwrap()
+        })
+    });
+}
+
+fn bench_fs_write(c: &mut Criterion) {
+    c.bench_function("m3fs_write_64k_sim", |b| {
+        b.iter(|| {
+            let sys = System::boot(SystemConfig::default());
+            let h = sys.run_program("p", |env| async move {
+                mount_m3fs(&env).await.unwrap();
+                vfs::write_all(&env, "/f", &vec![7u8; 64 * 1024]).await.unwrap();
+                let mut file = vfs::open(&env, "/f", OpenFlags::R).await.unwrap();
+                let mut buf = vec![0u8; 4096];
+                let mut total = 0usize;
+                loop {
+                    let n = file.read(&mut buf).await.unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    total += n;
+                }
+                total as i64
+            });
+            sys.run();
+            h.try_take().unwrap()
+        })
+    });
+}
+
+fn bench_mem_gate(c: &mut Criterion) {
+    c.bench_function("memgate_rw_4k_sim", |b| {
+        b.iter(|| {
+            let sys = System::boot(SystemConfig::default());
+            let h = sys.run_program("p", |env| async move {
+                let mem = m3_libos::MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
+                let data = vec![1u8; 4096];
+                mem.write(0, &data).await.unwrap();
+                mem.read(0, 4096).await.unwrap().len() as i64
+            });
+            sys.run();
+            h.try_take().unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_noc_schedule, bench_dtu_message, bench_syscall_path, bench_fs_write, bench_mem_gate
+}
+criterion_main!(benches);

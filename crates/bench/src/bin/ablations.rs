@@ -1,0 +1,7 @@
+//! Prints the ablation study tables (DESIGN.md §6).
+fn main() {
+    for series in m3_bench::ablation::run_all() {
+        series.print();
+        println!();
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints the arch reproduction table.
+fn main() {
+    m3_bench::arch::run().print();
+}

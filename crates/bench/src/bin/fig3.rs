@@ -1,0 +1,4 @@
+//! Prints the fig3 reproduction table.
+fn main() {
+    m3_bench::fig3::run().print();
+}

@@ -1,0 +1,4 @@
+//! Prints the fig4 reproduction table.
+fn main() {
+    m3_bench::fig4::run().print();
+}

@@ -1,0 +1,4 @@
+//! Prints the fig5 reproduction table.
+fn main() {
+    m3_bench::fig5::run().print();
+}

@@ -1,0 +1,4 @@
+//! Prints the fig6 reproduction table.
+fn main() {
+    m3_bench::fig6::run().print();
+}

@@ -1,0 +1,4 @@
+//! Prints the fig7 reproduction table.
+fn main() {
+    m3_bench::fig7::run().print();
+}

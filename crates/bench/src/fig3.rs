@@ -1,0 +1,357 @@
+//! Figure 3: system calls and file operations.
+//!
+//! Left: a null system call on M3 (DTU message to the kernel PE + reply)
+//! vs Linux (mode switch). Right: reading/writing a 2 MiB file with 4 KiB
+//! buffers, and piping 2 MiB between two processes/VPEs. Bars split into
+//! "Xfers" (data/message transfers) and "Other" (OS + library overhead).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use m3::{System, SystemConfig};
+use m3_apps::workload;
+use m3_base::cfg::BENCH_BUF_SIZE;
+use m3_fs::{mount_m3fs, SetupNode};
+use m3_kernel::protocol::Syscall;
+use m3_libos::pipe::{self, PipeRole, PipeWriter};
+use m3_libos::vfs::{self, OpenFlags};
+use m3_libos::Vpe;
+use m3_lx::{LxConfig, LxMachine};
+use m3_sim::Sim;
+
+use crate::report::{Bar, Figure, Group};
+
+/// Transfer size of the file/pipe micro-benchmarks (2 MiB, §5.4).
+pub const XFER_BYTES: usize = 2 * 1024 * 1024;
+
+fn bar(label: &str, total: u64, xfer: u64) -> Bar {
+    Bar::with_remainder(label, total, vec![("Xfers".to_string(), xfer.min(total))], "Other")
+}
+
+fn m3_syscall() -> Bar {
+    let sys = System::boot(SystemConfig::default());
+    let out = Rc::new(Cell::new((0u64, 0u64)));
+    let out2 = out.clone();
+    sys.run_program("syscall-bench", move |env| async move {
+        env.syscall(Syscall::Noop).await.unwrap(); // warm up
+        let stats = env.sim().stats();
+        let t0 = env.sim().now().as_u64();
+        let x0 = stats.get("dtu.msg_cycles");
+        const N: u64 = 100;
+        for _ in 0..N {
+            env.syscall(Syscall::Noop).await.unwrap();
+        }
+        let total = (env.sim().now().as_u64() - t0) / N;
+        let xfer = (stats.get("dtu.msg_cycles") - x0) / N;
+        out2.set((total, xfer));
+        0
+    });
+    sys.run();
+    let (total, xfer) = out.get();
+    bar("M3", total, xfer)
+}
+
+fn lx_syscall(cfg: LxConfig, label: &str) -> Bar {
+    let sim = Sim::new();
+    let machine = LxMachine::new(&sim, cfg);
+    let out = Rc::new(Cell::new(0u64));
+    let out2 = out.clone();
+    machine.spawn_proc("syscall-bench", move |p| async move {
+        p.syscall_null().await; // warm up
+        let t0 = p.machine().sim().now().as_u64();
+        const N: u64 = 100;
+        for _ in 0..N {
+            p.syscall_null().await;
+        }
+        out2.set((p.machine().sim().now().as_u64() - t0) / N);
+        0
+    });
+    sim.run();
+    bar(label, out.get(), 0)
+}
+
+fn m3_file(read: bool) -> Bar {
+    let setup = if read {
+        vec![SetupNode::file(
+            "/data",
+            workload::file_content(1, XFER_BYTES),
+        )]
+    } else {
+        Vec::new()
+    };
+    let sys = System::boot(SystemConfig {
+        pes: 4,
+        fs_blocks: 16 * 1024,
+        fs_setup: setup,
+        ..SystemConfig::default()
+    });
+    let out = Rc::new(Cell::new((0u64, 0u64)));
+    let out2 = out.clone();
+    sys.run_program("file-bench", move |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let stats = env.sim().stats();
+        let mut buf = vec![0u8; BENCH_BUF_SIZE];
+        if read {
+            let mut file = vfs::open(&env, "/data", OpenFlags::R).await.unwrap();
+            let t0 = env.sim().now().as_u64();
+            let x0 = stats.get("dtu.xfer_cycles");
+            loop {
+                let n = file.read(&mut buf).await.unwrap();
+                if n == 0 {
+                    break;
+                }
+            }
+            out2.set((
+                env.sim().now().as_u64() - t0,
+                stats.get("dtu.xfer_cycles") - x0,
+            ));
+            file.close().await.unwrap();
+        } else {
+            let mut file = vfs::open(&env, "/new", OpenFlags::CREATE.or(OpenFlags::TRUNC))
+                .await
+                .unwrap();
+            let t0 = env.sim().now().as_u64();
+            let x0 = stats.get("dtu.xfer_cycles");
+            let mut left = XFER_BYTES;
+            while left > 0 {
+                let n = buf.len().min(left);
+                let mut written = 0;
+                while written < n {
+                    written += file.write(&buf[written..n]).await.unwrap();
+                }
+                left -= n;
+            }
+            file.close().await.unwrap();
+            out2.set((
+                env.sim().now().as_u64() - t0,
+                stats.get("dtu.xfer_cycles") - x0,
+            ));
+        }
+        0
+    });
+    sys.run();
+    let (total, xfer) = out.get();
+    bar("M3", total, xfer)
+}
+
+fn lx_file(cfg: LxConfig, label: &str, read: bool) -> Bar {
+    let sim = Sim::new();
+    let machine = LxMachine::new(&sim, cfg);
+    if read {
+        let mut fs = machine.fs().borrow_mut();
+        let ino = fs.create("/data").unwrap();
+        fs.write(ino, 0, &workload::file_content(1, XFER_BYTES))
+            .unwrap();
+    }
+    let stats = machine.stats();
+    let out = Rc::new(Cell::new((0u64, 0u64)));
+    let out2 = out.clone();
+    machine.spawn_proc("file-bench", move |p| async move {
+        let sim = p.machine().sim().clone();
+        let stats = p.machine().stats();
+        if read {
+            let mut f = p.open("/data", false, false, false).await.unwrap();
+            let t0 = sim.now().as_u64();
+            let x0 = stats.get("lx.xfer_cycles");
+            loop {
+                let d = f.read(BENCH_BUF_SIZE).await.unwrap();
+                if d.is_empty() {
+                    break;
+                }
+            }
+            out2.set((sim.now().as_u64() - t0, stats.get("lx.xfer_cycles") - x0));
+            f.close().await;
+        } else {
+            let mut f = p.open("/new", true, true, true).await.unwrap();
+            let t0 = sim.now().as_u64();
+            let x0 = stats.get("lx.xfer_cycles");
+            let chunk = vec![0x61u8; BENCH_BUF_SIZE];
+            let mut left = XFER_BYTES;
+            while left > 0 {
+                let n = chunk.len().min(left);
+                f.write(&chunk[..n]).await.unwrap();
+                left -= n;
+            }
+            f.close().await;
+            out2.set((sim.now().as_u64() - t0, stats.get("lx.xfer_cycles") - x0));
+        }
+        0
+    });
+    sim.run();
+    let _ = stats;
+    let (total, xfer) = out.get();
+    bar(label, total, xfer)
+}
+
+fn m3_pipe() -> Bar {
+    let sys = System::boot(SystemConfig {
+        pes: 5,
+        ..SystemConfig::default()
+    });
+    let out = Rc::new(Cell::new((0u64, 0u64)));
+    let out2 = out.clone();
+    sys.run_program("pipe-bench", move |env| async move {
+        let child = Vpe::new(&env, "writer", m3_kernel::protocol::PeRequest::Same)
+            .await
+            .unwrap();
+        let (end, desc) = pipe::create(&env, &child, PipeRole::Writer, pipe::DEF_BUF_SIZE)
+            .await
+            .unwrap();
+        let pipe::ParentEnd::Reader(mut reader) = end else {
+            unreachable!("child is the writer")
+        };
+        child
+            .run(move |cenv| async move {
+                let Ok(mut writer) = PipeWriter::attach(&cenv, desc).await else {
+                    return 1;
+                };
+                let chunk = vec![0x61u8; BENCH_BUF_SIZE];
+                let mut left = XFER_BYTES;
+                while left > 0 {
+                    let n = chunk.len().min(left);
+                    if writer.write(&chunk[..n]).await.is_err() {
+                        return 1;
+                    }
+                    left -= n;
+                }
+                writer.close().await.unwrap();
+                0
+            })
+            .await
+            .unwrap();
+
+        let stats = env.sim().stats();
+        let mut buf = vec![0u8; BENCH_BUF_SIZE];
+        let t0 = env.sim().now().as_u64();
+        let x0 = stats.get("dtu.xfer_cycles");
+        loop {
+            let n = reader.read(&mut buf).await.unwrap();
+            if n == 0 {
+                break;
+            }
+        }
+        out2.set((
+            env.sim().now().as_u64() - t0,
+            stats.get("dtu.xfer_cycles") - x0,
+        ));
+        child.wait().await.unwrap();
+        0
+    });
+    sys.run();
+    let (total, xfer) = out.get();
+    bar("M3", total, xfer)
+}
+
+fn lx_pipe(cfg: LxConfig, label: &str) -> Bar {
+    let sim = Sim::new();
+    let machine = LxMachine::new(&sim, cfg);
+    let out = Rc::new(Cell::new((0u64, 0u64)));
+    let out2 = out.clone();
+    machine.spawn_proc("pipe-bench", move |p| async move {
+        let (mut rx, mut tx) = p.pipe().await;
+        p.fork("writer", move |c| async move {
+            let chunk = vec![0x61u8; BENCH_BUF_SIZE];
+            let mut left = XFER_BYTES;
+            while left > 0 {
+                let n = chunk.len().min(left);
+                if tx.write(&c, &chunk[..n]).await.is_err() {
+                    return 1;
+                }
+                left -= n;
+            }
+            tx.close();
+            0
+        })
+        .await;
+        let sim = p.machine().sim().clone();
+        let stats = p.machine().stats();
+        let t0 = sim.now().as_u64();
+        let x0 = stats.get("lx.xfer_cycles");
+        loop {
+            let d = rx.read(&p, BENCH_BUF_SIZE).await.unwrap();
+            if d.is_empty() {
+                break;
+            }
+        }
+        out2.set((sim.now().as_u64() - t0, stats.get("lx.xfer_cycles") - x0));
+        rx.close();
+        0
+    });
+    sim.run();
+    let (total, xfer) = out.get();
+    bar(label, total, xfer)
+}
+
+/// Runs the complete Figure 3 reproduction.
+pub fn run() -> Figure {
+    Figure {
+        title: "Figure 3: system calls and file operations (cycles; Lx-$ = Linux without cache misses)".to_string(),
+        groups: vec![
+            Group {
+                name: "syscall".to_string(),
+                bars: vec![
+                    m3_syscall(),
+                    lx_syscall(LxConfig::xtensa(), "Lx"),
+                    lx_syscall(LxConfig::xtensa_warm(), "Lx-$"),
+                ],
+            },
+            Group {
+                name: "read".to_string(),
+                bars: vec![
+                    m3_file(true),
+                    lx_file(LxConfig::xtensa(), "Lx", true),
+                    lx_file(LxConfig::xtensa_warm(), "Lx-$", true),
+                ],
+            },
+            Group {
+                name: "write".to_string(),
+                bars: vec![
+                    m3_file(false),
+                    lx_file(LxConfig::xtensa(), "Lx", false),
+                    lx_file(LxConfig::xtensa_warm(), "Lx-$", false),
+                ],
+            },
+            Group {
+                name: "pipe".to_string(),
+                bars: vec![
+                    m3_pipe(),
+                    lx_pipe(LxConfig::xtensa(), "Lx"),
+                    lx_pipe(LxConfig::xtensa_warm(), "Lx-$"),
+                ],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape_matches_paper() {
+        let fig = run();
+
+        // §5.3: M3 null syscall ≈ 200 cycles, Linux ≈ 410.
+        let m3 = fig.bar("syscall", "M3").total;
+        let lx = fig.bar("syscall", "Lx").total;
+        assert!((150..=260).contains(&m3), "M3 syscall {m3}");
+        assert_eq!(lx, 410);
+        assert!(lx > m3 * 3 / 2, "Linux must be ~2x slower");
+
+        // §5.4: M3 reads/writes beat Linux clearly (DTU vs memcpy).
+        for op in ["read", "write", "pipe"] {
+            let m3 = fig.bar(op, "M3").total;
+            let lx = fig.bar(op, "Lx").total;
+            let lx_warm = fig.bar(op, "Lx-$").total;
+            assert!(lx > 3 * m3, "{op}: Lx {lx} vs M3 {m3}");
+            assert!(lx_warm < lx, "{op}: warm Linux must be faster than cold");
+            assert!(lx_warm > m3, "{op}: M3 still wins without misses");
+        }
+
+        // Transfers dominate the M3 file operations (paper: "a large
+        // portion of the difference is made up by data transfers").
+        let read = fig.bar("read", "M3");
+        let xfers = read.parts.iter().find(|(n, _)| n == "Xfers").unwrap().1;
+        assert!(xfers * 2 > read.total, "transfers should dominate M3 read");
+    }
+}

@@ -1,0 +1,19 @@
+//! The benchmark harness: one module per figure of the paper's evaluation.
+//!
+//! Each `run()` boots fresh systems, performs the measurements in simulated
+//! cycles, and returns a printable table whose rows correspond to the
+//! paper's bars/series. Absolute cycle counts are calibrated against the
+//! paper's published component costs; the *shape* of every figure (who
+//! wins, by what factor, where curves flatten) is asserted by the tests in
+//! each module and recorded in `EXPERIMENTS.md`.
+
+pub mod ablation;
+pub mod arch;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod report;
+
+pub use report::{Bar, Figure, Group, Series};

@@ -1,0 +1,240 @@
+//! # M3 — a hardware/operating-system co-design to tame heterogeneous manycores
+//!
+//! This crate is the front door of a from-scratch Rust reproduction of the
+//! ASPLOS'16 paper. The system's idea in three sentences: every processing
+//! element (PE) gets a **data transfer unit (DTU)** as its *only* connection
+//! to the network-on-chip; the OS kernel runs on its own PE and enforces
+//! isolation by remotely configuring the DTUs (**NoC-level isolation**), so
+//! applications run bare-metal on arbitrary cores — including accelerators —
+//! as first-class citizens; OS services like the m3fs filesystem are
+//! ordinary applications reached by core-neutral DTU message protocols.
+//!
+//! [`System`] boots the whole stack — platform, kernel, filesystem service —
+//! and runs programs on it:
+//!
+//! ```
+//! use m3::{System, SystemConfig};
+//! use m3_fs::mount_m3fs;
+//! use m3_libos::vfs;
+//!
+//! let sys = System::boot(SystemConfig::default());
+//! let job = sys.run_program("hello", |env| async move {
+//!     mount_m3fs(&env).await.unwrap();
+//!     vfs::write_all(&env, "/greeting", b"hello m3").await.unwrap();
+//!     let back = vfs::read_to_vec(&env, "/greeting").await.unwrap();
+//!     back.len() as i64
+//! });
+//! sys.run();
+//! assert_eq!(job.try_take().unwrap(), 8);
+//! ```
+
+use std::future::Future;
+
+use m3_base::{Cycles, PeId};
+use m3_fs::{run_m3fs, SetupNode};
+use m3_kernel::Kernel;
+use m3_libos::{start_program, Env, ProgramRegistry};
+use m3_noc::NocConfig;
+use m3_platform::{Platform, PlatformConfig, PeType};
+use m3_sim::{JoinHandle, Sim, SimState, Stats};
+
+pub use m3_base as base;
+pub use m3_dtu as dtu;
+pub use m3_fs as fs;
+pub use m3_kernel as kernel;
+pub use m3_libos as libos;
+pub use m3_noc as noc;
+pub use m3_platform as platform;
+pub use m3_sim as sim;
+
+/// Configuration of a full M3 system.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of general-purpose (Xtensa) PEs, including the kernel PE and
+    /// the filesystem-service PE.
+    pub pes: usize,
+    /// Number of FFT-accelerator PEs appended after the general-purpose
+    /// ones.
+    pub accel_pes: usize,
+    /// Size of the m3fs data region in 1 KiB blocks.
+    pub fs_blocks: u64,
+    /// Initial filesystem content.
+    pub fs_setup: Vec<SetupNode>,
+    /// NoC parameters (disable `contention` to model a perfectly scaling
+    /// interconnect, as the §5.7 scalability experiment assumes).
+    pub noc: NocConfig,
+}
+
+impl Default for SystemConfig {
+    /// Kernel + fs service + a few application PEs and an 8 MiB filesystem.
+    fn default() -> Self {
+        SystemConfig {
+            pes: 6,
+            accel_pes: 0,
+            fs_blocks: 8192,
+            fs_setup: Vec::new(),
+            noc: NocConfig::default(),
+        }
+    }
+}
+
+/// A booted M3 system: platform + kernel + m3fs, ready to run programs.
+#[derive(Clone)]
+pub struct System {
+    platform: Platform,
+    kernel: Kernel,
+    registry: ProgramRegistry,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("pes", &self.platform.pe_count())
+            .field("kernel", &self.kernel)
+            .finish()
+    }
+}
+
+impl System {
+    /// Boots the system: builds the platform, starts the kernel on PE 0
+    /// (which downgrades all other DTUs), and starts the m3fs service on
+    /// the next PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has fewer than three PEs (kernel, fs,
+    /// and at least one application).
+    pub fn boot(cfg: SystemConfig) -> System {
+        assert!(cfg.pes >= 3, "need kernel + fs + application PEs");
+        let mut pcfg = PlatformConfig::xtensa(cfg.pes);
+        pcfg.noc = cfg.noc.clone();
+        for _ in 0..cfg.accel_pes {
+            pcfg = pcfg.with_pe(PeType::FftAccel);
+        }
+        let platform = Platform::new(pcfg);
+        let kernel = Kernel::start(&platform, PeId::new(0));
+        let registry = ProgramRegistry::new();
+
+        let info = kernel.create_root("m3fs", None).expect("PE for m3fs");
+        let fs_env = Env::new(&kernel, &info, registry.clone());
+        let blocks = cfg.fs_blocks;
+        let setup = cfg.fs_setup;
+        platform.sim().spawn_daemon("m3fs", async move {
+            run_m3fs(fs_env, blocks, setup).await.expect("m3fs failed");
+        });
+
+        System {
+            platform,
+            kernel,
+            registry,
+        }
+    }
+
+    /// The simulation clock and executor.
+    pub fn sim(&self) -> &Sim {
+        self.platform.sim()
+    }
+
+    /// The hardware platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The program registry (register executables for `exec` here).
+    pub fn registry(&self) -> &ProgramRegistry {
+        &self.registry
+    }
+
+    /// Shared statistics counters.
+    pub fn stats(&self) -> Stats {
+        self.sim().stats()
+    }
+
+    /// Starts a program on a free PE; the returned handle yields its exit
+    /// code after [`System::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no PE is free.
+    pub fn run_program<F, Fut>(&self, name: &str, f: F) -> JoinHandle<i64>
+    where
+        F: FnOnce(Env) -> Fut + 'static,
+        Fut: Future<Output = i64> + 'static,
+    {
+        start_program(&self.kernel, name, None, self.registry.clone(), f)
+    }
+
+    /// Runs the simulation until every program finished, then lets the
+    /// kernel and services settle in-flight work.
+    pub fn run(&self) -> SimState {
+        let state = self.sim().run();
+        self.sim().settle(Cycles::new(1_000_000));
+        state
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.sim().now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_fs::mount_m3fs;
+    use m3_libos::vfs;
+
+    #[test]
+    fn boot_and_run_a_program() {
+        let sys = System::boot(SystemConfig::default());
+        let h = sys.run_program("t", |env| async move {
+            mount_m3fs(&env).await.unwrap();
+            vfs::write_all(&env, "/x", &[1, 2, 3]).await.unwrap();
+            vfs::stat(&env, "/x").await.unwrap().size as i64
+        });
+        assert_eq!(sys.run(), SimState::Finished);
+        assert_eq!(h.try_take().unwrap(), 3);
+    }
+
+    #[test]
+    fn accel_pes_are_appended() {
+        let sys = System::boot(SystemConfig {
+            pes: 4,
+            accel_pes: 1,
+            ..SystemConfig::default()
+        });
+        let accels = sys.platform().pes_of_type(PeType::FftAccel);
+        assert_eq!(accels.len(), 1);
+        assert_eq!(accels[0], PeId::new(4));
+    }
+
+    #[test]
+    fn preloaded_fs_content() {
+        let sys = System::boot(SystemConfig {
+            fs_setup: vec![SetupNode::file("/hello", b"world".to_vec())],
+            ..SystemConfig::default()
+        });
+        let h = sys.run_program("t", |env| async move {
+            mount_m3fs(&env).await.unwrap();
+            let data = vfs::read_to_vec(&env, "/hello").await.unwrap();
+            assert_eq!(data, b"world");
+            0
+        });
+        sys.run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need kernel")]
+    fn too_small_system_panics() {
+        System::boot(SystemConfig {
+            pes: 2,
+            ..SystemConfig::default()
+        });
+    }
+}

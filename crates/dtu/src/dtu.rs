@@ -1,0 +1,1125 @@
+//! The DTU engine: commands, privilege, and the system-wide wiring.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use m3_base::cfg::{EP_COUNT, MSG_HEADER_SIZE};
+use m3_base::error::{Code, Error, Result};
+use m3_base::ids::Label;
+use m3_base::{Cycles, EpId, PeId, Perm};
+use m3_noc::Noc;
+use m3_sim::{Notify, Sim, Stats};
+
+use crate::endpoint::EpConfig;
+use crate::message::{Header, Message, ReplyInfo};
+use crate::ringbuf::RingBuf;
+use crate::timing;
+
+/// What kind of memory a NoC node exposes; selects the access latency.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MemKind {
+    /// The DRAM module.
+    Dram,
+    /// A PE's scratchpad memory, accessible for remote loads (cloning).
+    Spm,
+}
+
+struct PeState {
+    privileged: bool,
+    eps: Vec<EpConfig>,
+    ringbufs: HashMap<EpId, RingBuf>,
+    /// Remaining credits per send endpoint (only for bounded-credit EPs).
+    credits: HashMap<EpId, u32>,
+    /// Woken whenever a message arrives at any EP of this DTU.
+    arrival: Notify,
+}
+
+impl PeState {
+    fn new() -> PeState {
+        PeState {
+            privileged: true, // all DTUs are privileged at boot (paper §3)
+            eps: vec![EpConfig::Invalid; EP_COUNT],
+            ringbufs: HashMap::new(),
+            credits: HashMap::new(),
+            arrival: Notify::new(),
+        }
+    }
+}
+
+struct Memory {
+    kind: MemKind,
+    data: Rc<RefCell<Vec<u8>>>,
+}
+
+struct SystemInner {
+    pes: RefCell<Vec<PeState>>,
+    mems: RefCell<HashMap<PeId, Memory>>,
+    next_deposit: std::cell::Cell<u64>,
+}
+
+/// The DTU fabric of a platform: one DTU per NoC node, plus the memories
+/// reachable through memory endpoints.
+///
+/// Cheaply cloneable; clones share all state.
+#[derive(Clone)]
+pub struct DtuSystem {
+    sim: Sim,
+    noc: Noc,
+    stats: Stats,
+    inner: Rc<SystemInner>,
+}
+
+impl fmt::Debug for DtuSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DtuSystem")
+            .field("pes", &self.inner.pes.borrow().len())
+            .field("memories", &self.inner.mems.borrow().len())
+            .finish()
+    }
+}
+
+impl DtuSystem {
+    /// Creates one DTU per node of the NoC's topology. All DTUs start
+    /// privileged, mirroring the boot state of the hardware.
+    pub fn new(sim: Sim, noc: Noc) -> DtuSystem {
+        let count = noc.topology().node_count() as usize;
+        DtuSystem {
+            stats: sim.stats(),
+            sim,
+            noc,
+            inner: Rc::new(SystemInner {
+                pes: RefCell::new((0..count).map(|_| PeState::new()).collect()),
+                mems: RefCell::new(HashMap::new()),
+                next_deposit: std::cell::Cell::new(0),
+            }),
+        }
+    }
+
+    /// The simulation this fabric runs in.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The NoC transfers are scheduled on.
+    pub fn noc(&self) -> &Noc {
+        &self.noc
+    }
+
+    /// Returns the DTU handle of `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not a node of the platform.
+    pub fn dtu(&self, pe: PeId) -> Dtu {
+        assert!(
+            (pe.idx()) < self.inner.pes.borrow().len(),
+            "{pe} is not a platform node"
+        );
+        Dtu {
+            sys: self.clone(),
+            pe,
+        }
+    }
+
+    /// Exposes `size` bytes of memory at node `pe` (DRAM module or a PE's
+    /// SPM), making it addressable by memory endpoints. Returns the backing
+    /// store.
+    pub fn add_memory(&self, pe: PeId, kind: MemKind, size: usize) -> Rc<RefCell<Vec<u8>>> {
+        let data = Rc::new(RefCell::new(vec![0u8; size]));
+        self.inner.mems.borrow_mut().insert(
+            pe,
+            Memory {
+                kind,
+                data: data.clone(),
+            },
+        );
+        data
+    }
+
+    /// The backing store of the memory exposed at `pe`, if any.
+    pub fn memory(&self, pe: PeId) -> Option<Rc<RefCell<Vec<u8>>>> {
+        self.inner.mems.borrow().get(&pe).map(|m| m.data.clone())
+    }
+
+    fn mem_latency(&self, pe: PeId) -> Cycles {
+        match self.inner.mems.borrow().get(&pe).map(|m| m.kind) {
+            Some(MemKind::Dram) => timing::DRAM_LATENCY,
+            _ => timing::SPM_LATENCY,
+        }
+    }
+
+    /// Delivers `msg` into the receive EP `(pe, ep)` at the current time.
+    fn deposit(&self, pe: PeId, ep: EpId, mut msg: Message) {
+        let mut pes = self.inner.pes.borrow_mut();
+        let state = &mut pes[pe.idx()];
+        let allow_replies = match state.eps.get(ep.idx()) {
+            Some(EpConfig::Receive { allow_replies, .. }) => *allow_replies,
+            _ => {
+                self.stats.incr("dtu.deposit_no_recv_ep");
+                return;
+            }
+        };
+        if !allow_replies {
+            // The buffer is not validated for replies; strip the reply info
+            // so software cannot use it (paper §4.4.4).
+            msg.header.reply = None;
+        }
+        let Some(rb) = state.ringbufs.get_mut(&ep) else {
+            self.stats.incr("dtu.deposit_no_recv_ep");
+            return;
+        };
+        if rb.deposit(msg) {
+            self.stats.incr("dtu.msgs_delivered");
+            let arrival = state.arrival.clone();
+            drop(pes);
+            arrival.notify_all();
+        } else {
+            self.stats.incr("dtu.msgs_dropped");
+        }
+    }
+
+    fn refill_credit(&self, pe: PeId, ep: EpId) {
+        let mut pes = self.inner.pes.borrow_mut();
+        let state = &mut pes[pe.idx()];
+        if let Some(EpConfig::Send {
+            credits: Some(max), ..
+        }) = state.eps.get(ep.idx())
+        {
+            let max = *max;
+            let cur = state.credits.entry(ep).or_insert(0);
+            *cur = (*cur + 1).min(max);
+        }
+    }
+
+    fn spawn_delivery(&self, at: Cycles, target_pe: PeId, target_ep: EpId, msg: Message) {
+        let seq = self.inner.next_deposit.get();
+        self.inner.next_deposit.set(seq + 1);
+        let sys = self.clone();
+        let sim = self.sim.clone();
+        self.sim.spawn(format!("dtu-deliver-{seq}"), async move {
+            sim.sleep_until(at).await;
+            sys.deposit(target_pe, target_ep, msg);
+        });
+    }
+
+    fn spawn_credit_refill(&self, at: Cycles, pe: PeId, ep: EpId) {
+        let seq = self.inner.next_deposit.get();
+        self.inner.next_deposit.set(seq + 1);
+        let sys = self.clone();
+        let sim = self.sim.clone();
+        self.sim.spawn(format!("dtu-credit-{seq}"), async move {
+            sim.sleep_until(at).await;
+            sys.refill_credit(pe, ep);
+        });
+    }
+}
+
+/// One PE's data transfer unit.
+///
+/// Obtained from [`DtuSystem::dtu`]. Configuration methods only work while
+/// the DTU is privileged; the kernel keeps its own DTU privileged and
+/// downgrades all application DTUs during boot.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::{cfg, Cycles, EpId, PeId};
+/// use m3_dtu::{DtuSystem, EpConfig};
+/// use m3_noc::{Noc, NocConfig, Topology};
+/// use m3_sim::Sim;
+///
+/// let sim = Sim::new();
+/// let noc = Noc::new(Topology::with_nodes(3), NocConfig::default());
+/// let sys = DtuSystem::new(sim.clone(), noc);
+///
+/// // PE0 plays the kernel: configure a channel PE1 -> PE2.
+/// let kernel = sys.dtu(PeId::new(0));
+/// kernel
+///     .configure(PeId::new(2), EpId::new(0), EpConfig::Receive {
+///         slots: 4, slot_size: 256, allow_replies: true,
+///     })
+///     .unwrap();
+/// kernel
+///     .configure(PeId::new(1), EpId::new(0), EpConfig::Send {
+///         pe: PeId::new(2), ep: EpId::new(0), label: 0x1234,
+///         credits: Some(4), max_payload: 128,
+///     })
+///     .unwrap();
+///
+/// let sender = sys.dtu(PeId::new(1));
+/// let receiver = sys.dtu(PeId::new(2));
+/// let got = sim.spawn("recv", async move {
+///     receiver.recv(EpId::new(0)).await.unwrap()
+/// });
+/// sim.spawn("send", async move {
+///     sender.send(EpId::new(0), b"hello", None).await.unwrap();
+/// });
+/// sim.run();
+/// let msg = got.try_take().unwrap();
+/// assert_eq!(msg.payload, b"hello");
+/// assert_eq!(msg.header.label, 0x1234); // receiver-chosen, unforgeable
+/// ```
+#[derive(Clone)]
+pub struct Dtu {
+    sys: DtuSystem,
+    pe: PeId,
+}
+
+impl fmt::Debug for Dtu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dtu({})", self.pe)
+    }
+}
+
+impl Dtu {
+    /// The PE this DTU belongs to.
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// The fabric this DTU is part of.
+    pub fn system(&self) -> &DtuSystem {
+        &self.sys
+    }
+
+    /// Whether this DTU may configure endpoints (its own or remote ones).
+    pub fn is_privileged(&self) -> bool {
+        self.sys.inner.pes.borrow()[self.pe.idx()].privileged
+    }
+
+    fn require_privileged(&self) -> Result<()> {
+        if self.is_privileged() {
+            Ok(())
+        } else {
+            Err(Error::new(Code::NoPerm).with_msg(format!("{} is not privileged", self.pe)))
+        }
+    }
+
+    fn check_ep(ep: EpId) -> Result<()> {
+        if ep.idx() < EP_COUNT {
+            Ok(())
+        } else {
+            Err(Error::new(Code::InvEp).with_msg(format!("{ep} out of range")))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Privileged operations (the kernel's remote-control interface)
+    // ------------------------------------------------------------------
+
+    /// Configures endpoint `ep` of the DTU at `target` (remotely, over the
+    /// NoC — this is how the kernel establishes channels, paper Figure 2).
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::NoPerm`] if this DTU has been downgraded.
+    /// - [`Code::InvEp`] if `ep` is out of range.
+    pub fn configure(&self, target: PeId, ep: EpId, cfg: EpConfig) -> Result<()> {
+        self.require_privileged()?;
+        Self::check_ep(ep)?;
+        let mut pes = self.sys.inner.pes.borrow_mut();
+        let state = pes
+            .get_mut(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        match &cfg {
+            EpConfig::Receive {
+                slots, slot_size, ..
+            } => {
+                state.ringbufs.insert(ep, RingBuf::new(*slots, *slot_size));
+                state.credits.remove(&ep);
+            }
+            EpConfig::Send { credits, .. } => {
+                state.ringbufs.remove(&ep);
+                if let Some(c) = credits {
+                    state.credits.insert(ep, *c);
+                } else {
+                    state.credits.remove(&ep);
+                }
+            }
+            EpConfig::Memory { .. } | EpConfig::Invalid => {
+                state.ringbufs.remove(&ep);
+                state.credits.remove(&ep);
+            }
+        }
+        state.eps[ep.idx()] = cfg;
+        Ok(())
+    }
+
+    /// Reads the configuration of endpoint `ep` at `target`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtu::configure`].
+    pub fn ep_config(&self, target: PeId, ep: EpId) -> Result<EpConfig> {
+        self.require_privileged()?;
+        Self::check_ep(ep)?;
+        let pes = self.sys.inner.pes.borrow();
+        let state = pes
+            .get(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        Ok(state.eps[ep.idx()].clone())
+    }
+
+    /// Upgrades or downgrades the DTU at `target`. During boot the kernel
+    /// downgrades every application PE (paper §3).
+    ///
+    /// # Errors
+    ///
+    /// [`Code::NoPerm`] if this DTU has been downgraded itself.
+    pub fn set_privileged(&self, target: PeId, privileged: bool) -> Result<()> {
+        self.require_privileged()?;
+        let mut pes = self.sys.inner.pes.borrow_mut();
+        let state = pes
+            .get_mut(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        state.privileged = privileged;
+        Ok(())
+    }
+
+    /// Refills the credits of send endpoint `ep` at `target` to `credits`
+    /// (an OS kernel may refill credits besides the reply path, §4.4.3).
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::NoPerm`] if this DTU has been downgraded.
+    /// - [`Code::InvEp`] if the endpoint is not a bounded-credit send EP.
+    pub fn refill_credits(&self, target: PeId, ep: EpId, credits: u32) -> Result<()> {
+        self.require_privileged()?;
+        Self::check_ep(ep)?;
+        let mut pes = self.sys.inner.pes.borrow_mut();
+        let state = pes
+            .get_mut(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        match state.eps.get(ep.idx()) {
+            Some(EpConfig::Send {
+                credits: Some(max), ..
+            }) => {
+                let v = credits.min(*max);
+                state.credits.insert(ep, v);
+                Ok(())
+            }
+            _ => Err(Error::new(Code::InvEp).with_msg("not a bounded-credit send EP")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Unprivileged operations (the application-visible surface)
+    // ------------------------------------------------------------------
+
+    /// Sends `payload` through send endpoint `ep`.
+    ///
+    /// If `reply` is `Some((rep, label))`, the receiver may reply once; the
+    /// reply will arrive at local receive endpoint `rep` carrying `label`,
+    /// and will refill one credit on `ep`.
+    ///
+    /// The call returns as soon as the DTU has accepted the command (the
+    /// transfer itself proceeds in the background, paper §4.5.6); the
+    /// message arrives at the receiver after the NoC transfer completes.
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::InvEp`] if `ep` is not a send endpoint.
+    /// - [`Code::NoCredits`] if the endpoint's credits are exhausted.
+    /// - [`Code::InvArgs`] if the payload exceeds the channel's message size.
+    pub async fn send(
+        &self,
+        ep: EpId,
+        payload: &[u8],
+        reply: Option<(EpId, Label)>,
+    ) -> Result<()> {
+        Self::check_ep(ep)?;
+        self.sys.sim.sleep(timing::CMD_ISSUE).await;
+
+        let (target_pe, target_ep, label) = {
+            let mut pes = self.sys.inner.pes.borrow_mut();
+            let state = &mut pes[self.pe.idx()];
+            let (pe, tep, label, bounded, max_payload) = match &state.eps[ep.idx()] {
+                EpConfig::Send {
+                    pe,
+                    ep: tep,
+                    label,
+                    credits,
+                    max_payload,
+                } => (*pe, *tep, *label, credits.is_some(), *max_payload),
+                _ => {
+                    return Err(Error::new(Code::InvEp).with_msg(format!("{ep} is not a send EP")))
+                }
+            };
+            if payload.len() > max_payload {
+                return Err(Error::new(Code::InvArgs).with_msg(format!(
+                    "payload {} exceeds channel max {max_payload}",
+                    payload.len()
+                )));
+            }
+            if bounded {
+                let cur = state.credits.entry(ep).or_insert(0);
+                if *cur == 0 {
+                    return Err(Error::new(Code::NoCredits));
+                }
+                *cur -= 1;
+            }
+            (pe, tep, label)
+        };
+
+        let msg = Message {
+            header: Header {
+                label,
+                len: payload.len() as u32,
+                sender_pe: self.pe,
+                sender_ep: ep,
+                reply: reply.map(|(rep, rlabel)| ReplyInfo {
+                    pe: self.pe,
+                    ep: rep,
+                    label: rlabel,
+                    credit_ep: ep,
+                }),
+            },
+            payload: payload.to_vec(),
+        };
+
+        let wire = (MSG_HEADER_SIZE + payload.len()) as u64;
+        let now = self.sys.sim.now();
+        let t = self.sys.noc.schedule(now, self.pe, target_pe, wire);
+        self.sys.stats.incr("dtu.msgs_sent");
+        self.sys
+            .stats
+            .add("dtu.msg_cycles", (t.completes_at - now).as_u64());
+        self.sys
+            .spawn_delivery(t.completes_at + timing::DELIVER, target_pe, target_ep, msg);
+        Ok(())
+    }
+
+    /// Replies to a received message, using the reply information the DTU
+    /// stored in its header (paper §4.4.4). Arrival of the reply refills one
+    /// credit at the original sender.
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::NoPerm`] if the message did not permit a reply (or the
+    ///   receive buffer was not validated for replies).
+    /// - [`Code::InvArgs`] if the payload exceeds the reply channel's size.
+    pub async fn reply(&self, msg: &Message, payload: &[u8]) -> Result<()> {
+        let Some(rinfo) = msg.header.reply else {
+            return Err(Error::new(Code::NoPerm).with_msg("message permits no reply"));
+        };
+        self.sys.sim.sleep(timing::CMD_ISSUE).await;
+
+        let reply_msg = Message {
+            header: Header {
+                label: rinfo.label,
+                len: payload.len() as u32,
+                sender_pe: self.pe,
+                sender_ep: EpId::new(0),
+                reply: None,
+            },
+            payload: payload.to_vec(),
+        };
+        let wire = (MSG_HEADER_SIZE + payload.len()) as u64;
+        let now = self.sys.sim.now();
+        let t = self.sys.noc.schedule(now, self.pe, rinfo.pe, wire);
+        self.sys.stats.incr("dtu.replies_sent");
+        self.sys
+            .stats
+            .add("dtu.msg_cycles", (t.completes_at - now).as_u64());
+        self.sys
+            .spawn_delivery(t.completes_at + timing::DELIVER, rinfo.pe, rinfo.ep, reply_msg);
+        self.sys
+            .spawn_credit_refill(t.completes_at, rinfo.pe, rinfo.credit_ep);
+        Ok(())
+    }
+
+    /// Fetches the oldest unread message from receive endpoint `ep`, if any.
+    ///
+    /// The slot stays occupied until [`Dtu::ack`].
+    ///
+    /// # Errors
+    ///
+    /// [`Code::InvEp`] if `ep` is not a receive endpoint.
+    pub fn fetch(&self, ep: EpId) -> Result<Option<Message>> {
+        Self::check_ep(ep)?;
+        let mut pes = self.sys.inner.pes.borrow_mut();
+        let state = &mut pes[self.pe.idx()];
+        match state.ringbufs.get_mut(&ep) {
+            Some(rb) => Ok(rb.fetch()),
+            None => Err(Error::new(Code::InvEp).with_msg(format!("{ep} is not a receive EP"))),
+        }
+    }
+
+    /// Waits for and fetches the next message from receive endpoint `ep`.
+    ///
+    /// Models the software polling the DTU's message register (§4.4.1);
+    /// each poll costs [`timing::FETCH_POLL`].
+    ///
+    /// # Errors
+    ///
+    /// [`Code::InvEp`] if `ep` is not a receive endpoint.
+    pub async fn recv(&self, ep: EpId) -> Result<Message> {
+        loop {
+            self.sys.sim.sleep(timing::FETCH_POLL).await;
+            if let Some(msg) = self.fetch(ep)? {
+                return Ok(msg);
+            }
+            let arrival = self.sys.inner.pes.borrow()[self.pe.idx()].arrival.clone();
+            arrival.wait().await;
+        }
+    }
+
+    /// Frees the ring-buffer slot of one fetched message (advancing the read
+    /// position, §4.4.3).
+    ///
+    /// # Errors
+    ///
+    /// [`Code::InvEp`] if `ep` is not a receive endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fetched message is outstanding.
+    pub fn ack(&self, ep: EpId) -> Result<()> {
+        Self::check_ep(ep)?;
+        let mut pes = self.sys.inner.pes.borrow_mut();
+        let state = &mut pes[self.pe.idx()];
+        match state.ringbufs.get_mut(&ep) {
+            Some(rb) => {
+                rb.ack();
+                Ok(())
+            }
+            None => Err(Error::new(Code::InvEp).with_msg(format!("{ep} is not a receive EP"))),
+        }
+    }
+
+    /// Whether a message is waiting at receive endpoint `ep`.
+    pub fn has_message(&self, ep: EpId) -> bool {
+        let pes = self.sys.inner.pes.borrow();
+        pes[self.pe.idx()]
+            .ringbufs
+            .get(&ep)
+            .is_some_and(|rb| rb.has_message())
+    }
+
+    /// Remaining credits of send endpoint `ep` (`None` if unbounded or not a
+    /// send EP).
+    pub fn credits(&self, ep: EpId) -> Option<u32> {
+        let pes = self.sys.inner.pes.borrow();
+        pes[self.pe.idx()].credits.get(&ep).copied()
+    }
+
+    /// Reads `len` bytes at `offset` within the region of memory endpoint
+    /// `ep` (RDMA read; no software runs on the passive side, §4.4.1).
+    ///
+    /// The caller is blocked until the data has arrived (the prototype polls
+    /// for completion, §4.4.1).
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::InvEp`] if `ep` is not a memory endpoint.
+    /// - [`Code::NoPerm`] if the endpoint lacks read permission.
+    /// - [`Code::InvArgs`] if the access exceeds the region.
+    pub async fn read_mem(&self, ep: EpId, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let (pe, base) = self.check_mem_access(ep, offset, len, Perm::R)?;
+        self.sys.sim.sleep(timing::CMD_ISSUE).await;
+        let now = self.sys.sim.now();
+        // Request packet to the memory, then the data travels back.
+        let req = self.sys.noc.schedule(now, self.pe, pe, 0);
+        let lat = self.sys.mem_latency(pe);
+        let data_xfer = self
+            .sys
+            .noc
+            .schedule(req.completes_at + lat, pe, self.pe, len as u64);
+        self.sys.sim.sleep_until(data_xfer.completes_at).await;
+        self.sys.stats.add("dtu.mem_read_bytes", len as u64);
+        self.sys
+            .stats
+            .add("dtu.xfer_cycles", (data_xfer.completes_at - now).as_u64());
+
+        let mems = self.sys.inner.mems.borrow();
+        let mem = mems
+            .get(&pe)
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no memory at {pe}")))?;
+        let data = mem.data.borrow();
+        let start = (base + offset) as usize;
+        Ok(data[start..start + len].to_vec())
+    }
+
+    /// Writes `data` at `offset` within the region of memory endpoint `ep`
+    /// (RDMA write).
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::InvEp`] if `ep` is not a memory endpoint.
+    /// - [`Code::NoPerm`] if the endpoint lacks write permission.
+    /// - [`Code::InvArgs`] if the access exceeds the region.
+    pub async fn write_mem(&self, ep: EpId, offset: u64, data: &[u8]) -> Result<()> {
+        let (pe, base) = self.check_mem_access(ep, offset, data.len(), Perm::W)?;
+        self.sys.sim.sleep(timing::CMD_ISSUE).await;
+        let now = self.sys.sim.now();
+        let xfer = self.sys.noc.schedule(now, self.pe, pe, data.len() as u64);
+        let lat = self.sys.mem_latency(pe);
+        self.sys.sim.sleep_until(xfer.completes_at + lat).await;
+        self.sys.stats.add("dtu.mem_write_bytes", data.len() as u64);
+        self.sys
+            .stats
+            .add("dtu.xfer_cycles", (xfer.completes_at + lat - now).as_u64());
+
+        let mems = self.sys.inner.mems.borrow();
+        let mem = mems
+            .get(&pe)
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no memory at {pe}")))?;
+        let mut store = mem.data.borrow_mut();
+        let start = (base + offset) as usize;
+        store[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn check_mem_access(
+        &self,
+        ep: EpId,
+        offset: u64,
+        len: usize,
+        need: Perm,
+    ) -> Result<(PeId, u64)> {
+        Self::check_ep(ep)?;
+        let pes = self.sys.inner.pes.borrow();
+        let state = &pes[self.pe.idx()];
+        match &state.eps[ep.idx()] {
+            EpConfig::Memory {
+                pe,
+                offset: base,
+                len: region_len,
+                perm,
+            } => {
+                if !perm.contains(need) {
+                    return Err(Error::new(Code::NoPerm)
+                        .with_msg(format!("memory EP is {perm}, need {need}")));
+                }
+                let end = offset
+                    .checked_add(len as u64)
+                    .ok_or_else(|| Error::new(Code::InvArgs).with_msg("offset overflow"))?;
+                if end > *region_len {
+                    return Err(Error::new(Code::InvArgs)
+                        .with_msg(format!("access [{offset}, {end}) beyond region {region_len}")));
+                }
+                Ok((*pe, *base))
+            }
+            _ => Err(Error::new(Code::InvEp).with_msg(format!("{ep} is not a memory EP"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_noc::{NocConfig, Topology};
+
+    fn setup(nodes: u32) -> (Sim, DtuSystem) {
+        let sim = Sim::new();
+        let noc = Noc::new(Topology::with_nodes(nodes), NocConfig::default());
+        let sys = DtuSystem::new(sim.clone(), noc);
+        (sim, sys)
+    }
+
+    fn recv_cfg(slots: usize, replies: bool) -> EpConfig {
+        EpConfig::Receive {
+            slots,
+            slot_size: 256,
+            allow_replies: replies,
+        }
+    }
+
+    fn send_cfg(pe: u32, ep: u32, label: Label, credits: Option<u32>) -> EpConfig {
+        EpConfig::Send {
+            pe: PeId::new(pe),
+            ep: EpId::new(ep),
+            label,
+            credits,
+            max_payload: 128,
+        }
+    }
+
+    #[test]
+    fn message_roundtrip_with_reply() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, true))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0xcafe, Some(4)))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(1), recv_cfg(4, false))
+            .unwrap();
+
+        let receiver = sys.dtu(PeId::new(2));
+        let server = sim.spawn("server", async move {
+            let msg = receiver.recv(EpId::new(0)).await.unwrap();
+            assert_eq!(msg.payload, b"ping");
+            assert_eq!(msg.header.label, 0xcafe);
+            receiver.reply(&msg, b"pong").await.unwrap();
+            receiver.ack(EpId::new(0)).unwrap();
+        });
+
+        let sender = sys.dtu(PeId::new(1));
+        let client = sim.spawn("client", async move {
+            sender
+                .send(EpId::new(0), b"ping", Some((EpId::new(1), 0x99)))
+                .await
+                .unwrap();
+            let reply = sender.recv(EpId::new(1)).await.unwrap();
+            sender.ack(EpId::new(1)).unwrap();
+            reply
+        });
+
+        sim.run();
+        server.try_take().unwrap();
+        let reply = client.try_take().unwrap();
+        assert_eq!(reply.payload, b"pong");
+        assert_eq!(reply.header.label, 0x99);
+    }
+
+    #[test]
+    fn credits_limit_in_flight_messages() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(8, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, Some(2)))
+            .unwrap();
+
+        let sender = sys.dtu(PeId::new(1));
+        let h = sim.spawn("sender", async move {
+            sender.send(EpId::new(0), b"1", None).await.unwrap();
+            sender.send(EpId::new(0), b"2", None).await.unwrap();
+            sender.send(EpId::new(0), b"3", None).await.unwrap_err().code()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Code::NoCredits);
+    }
+
+    #[test]
+    fn reply_refills_credits() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(8, true))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, Some(1)))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(1), recv_cfg(4, false))
+            .unwrap();
+
+        let receiver = sys.dtu(PeId::new(2));
+        sim.spawn("server", async move {
+            for _ in 0..3 {
+                let msg = receiver.recv(EpId::new(0)).await.unwrap();
+                receiver.reply(&msg, b"ok").await.unwrap();
+                receiver.ack(EpId::new(0)).unwrap();
+            }
+        });
+
+        let sender = sys.dtu(PeId::new(1));
+        let h = sim.spawn("client", async move {
+            // With 1 credit, each send must wait for the previous reply.
+            for _ in 0..3 {
+                sender.send(EpId::new(0), b"req", Some((EpId::new(1), 0))).await.unwrap();
+                sender.recv(EpId::new(1)).await.unwrap();
+                sender.ack(EpId::new(1)).unwrap();
+            }
+            sender.credits(EpId::new(0))
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Some(1), "credit restored by reply");
+    }
+
+    #[test]
+    fn unprivileged_dtu_cannot_configure() {
+        let (_sim, sys) = setup(2);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel.set_privileged(PeId::new(1), false).unwrap();
+        let app = sys.dtu(PeId::new(1));
+        let err = app
+            .configure(PeId::new(1), EpId::new(0), recv_cfg(4, false))
+            .unwrap_err();
+        assert_eq!(err.code(), Code::NoPerm);
+        // Nor can it re-privilege itself or others.
+        assert_eq!(
+            app.set_privileged(PeId::new(1), true).unwrap_err().code(),
+            Code::NoPerm
+        );
+        // The kernel still can.
+        kernel
+            .configure(PeId::new(1), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+    }
+
+    #[test]
+    fn send_on_unconfigured_ep_fails() {
+        let (sim, sys) = setup(2);
+        let app = sys.dtu(PeId::new(1));
+        let h = sim.spawn("t", async move {
+            app.send(EpId::new(0), b"x", None).await.unwrap_err().code()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Code::InvEp);
+    }
+
+    #[test]
+    fn oversized_payload_rejected_at_send() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, None))
+            .unwrap();
+        let sender = sys.dtu(PeId::new(1));
+        let h = sim.spawn("t", async move {
+            let big = vec![0u8; 4096];
+            sender.send(EpId::new(0), &big, None).await.unwrap_err().code()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Code::InvArgs);
+    }
+
+    #[test]
+    fn ringbuffer_overflow_drops_messages() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(2, false))
+            .unwrap();
+        // Misconfigured channel: more credits than slots (the paper warns
+        // receivers should not hand out more credits than buffer space).
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, Some(4)))
+            .unwrap();
+        let sender = sys.dtu(PeId::new(1));
+        let stats = sim.stats();
+        sim.spawn("sender", async move {
+            for _ in 0..4 {
+                sender.send(EpId::new(0), b"x", None).await.unwrap();
+            }
+        });
+        sim.run();
+        assert_eq!(stats.get("dtu.msgs_delivered"), 2);
+        assert_eq!(stats.get("dtu.msgs_dropped"), 2);
+    }
+
+    #[test]
+    fn reply_info_stripped_when_buffer_disallows_replies() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, None))
+            .unwrap();
+        let sender = sys.dtu(PeId::new(1));
+        let receiver = sys.dtu(PeId::new(2));
+        let h = sim.spawn("recv", async move {
+            let msg = receiver.recv(EpId::new(0)).await.unwrap();
+            let err = receiver.reply(&msg, b"no").await.unwrap_err().code();
+            (msg.header.reply, err)
+        });
+        sim.spawn("send", async move {
+            sender
+                .send(EpId::new(0), b"req", Some((EpId::new(1), 0)))
+                .await
+                .unwrap();
+        });
+        sim.run();
+        let (reply, err) = h.try_take().unwrap();
+        assert_eq!(reply, None);
+        assert_eq!(err, Code::NoPerm);
+    }
+
+    #[test]
+    fn memory_endpoint_read_write() {
+        let (sim, sys) = setup(3);
+        let mem = sys.add_memory(PeId::new(2), MemKind::Dram, 4096);
+        mem.borrow_mut()[100..104].copy_from_slice(&[1, 2, 3, 4]);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(
+                PeId::new(1),
+                EpId::new(0),
+                EpConfig::Memory {
+                    pe: PeId::new(2),
+                    offset: 0,
+                    len: 4096,
+                    perm: Perm::RW,
+                },
+            )
+            .unwrap();
+        let app = sys.dtu(PeId::new(1));
+        let h = sim.spawn("app", async move {
+            let data = app.read_mem(EpId::new(0), 100, 4).await.unwrap();
+            app.write_mem(EpId::new(0), 200, &[9, 8]).await.unwrap();
+            data
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(&mem.borrow()[200..202], &[9, 8]);
+    }
+
+    #[test]
+    fn memory_endpoint_enforces_permissions_and_bounds() {
+        let (sim, sys) = setup(3);
+        sys.add_memory(PeId::new(2), MemKind::Dram, 4096);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(
+                PeId::new(1),
+                EpId::new(0),
+                EpConfig::Memory {
+                    pe: PeId::new(2),
+                    offset: 1024,
+                    len: 512,
+                    perm: Perm::R,
+                },
+            )
+            .unwrap();
+        let app = sys.dtu(PeId::new(1));
+        let h = sim.spawn("app", async move {
+            let write_err = app.write_mem(EpId::new(0), 0, &[1]).await.unwrap_err().code();
+            let bounds_err = app.read_mem(EpId::new(0), 500, 100).await.unwrap_err().code();
+            let ok = app.read_mem(EpId::new(0), 0, 512).await.is_ok();
+            (write_err, bounds_err, ok)
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), (Code::NoPerm, Code::InvArgs, true));
+    }
+
+    #[test]
+    fn memory_region_window_is_offset_relative() {
+        let (sim, sys) = setup(3);
+        let mem = sys.add_memory(PeId::new(2), MemKind::Dram, 4096);
+        mem.borrow_mut()[2048] = 0x5a;
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(
+                PeId::new(1),
+                EpId::new(0),
+                EpConfig::Memory {
+                    pe: PeId::new(2),
+                    offset: 2048,
+                    len: 1024,
+                    perm: Perm::R,
+                },
+            )
+            .unwrap();
+        let app = sys.dtu(PeId::new(1));
+        let h = sim.spawn("app", async move {
+            app.read_mem(EpId::new(0), 0, 1).await.unwrap()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![0x5a]);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let (sim, sys) = setup(3);
+        sys.add_memory(PeId::new(2), MemKind::Dram, 1 << 22);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(
+                PeId::new(1),
+                EpId::new(0),
+                EpConfig::Memory {
+                    pe: PeId::new(2),
+                    offset: 0,
+                    len: 1 << 22,
+                    perm: Perm::RW,
+                },
+            )
+            .unwrap();
+        let app = sys.dtu(PeId::new(1));
+        let sim2 = sim.clone();
+        let h = sim.spawn("app", async move {
+            let t0 = sim2.now();
+            app.read_mem(EpId::new(0), 0, 4096).await.unwrap();
+            let small = sim2.now() - t0;
+            let t1 = sim2.now();
+            app.read_mem(EpId::new(0), 0, 1 << 20).await.unwrap();
+            let large = sim2.now() - t1;
+            (small, large)
+        });
+        sim.run();
+        let (small, large) = h.try_take().unwrap();
+        // 4 KiB at 8 B/cycle ~ 512 cycles (+latency); 1 MiB ~ 131k cycles.
+        assert!(small.as_u64() > 512 && small.as_u64() < 700, "{small:?}");
+        assert!(large.as_u64() > 131_000 && large.as_u64() < 132_000, "{large:?}");
+    }
+
+    #[test]
+    fn messages_from_one_sender_arrive_in_order() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(8, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, None))
+            .unwrap();
+        let sender = sys.dtu(PeId::new(1));
+        let receiver = sys.dtu(PeId::new(2));
+        sim.spawn("send", async move {
+            for i in 0..5u8 {
+                sender.send(EpId::new(0), &[i], None).await.unwrap();
+            }
+        });
+        let h = sim.spawn("recv", async move {
+            let mut got = Vec::new();
+            for _ in 0..5 {
+                let m = receiver.recv(EpId::new(0)).await.unwrap();
+                got.push(m.payload[0]);
+                receiver.ack(EpId::new(0)).unwrap();
+            }
+            got
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn receive_from_multiple_senders() {
+        let (sim, sys) = setup(4);
+        let kernel = sys.dtu(PeId::new(0));
+        kernel
+            .configure(PeId::new(3), EpId::new(0), recv_cfg(8, false))
+            .unwrap();
+        for pe in [1u32, 2] {
+            kernel
+                .configure(
+                    PeId::new(pe),
+                    EpId::new(0),
+                    send_cfg(3, 0, pe as Label, Some(4)),
+                )
+                .unwrap();
+            let sender = sys.dtu(PeId::new(pe));
+            sim.spawn(format!("send{pe}"), async move {
+                sender.send(EpId::new(0), b"hi", None).await.unwrap();
+            });
+        }
+        let receiver = sys.dtu(PeId::new(3));
+        let h = sim.spawn("recv", async move {
+            let mut labels = Vec::new();
+            for _ in 0..2 {
+                let m = receiver.recv(EpId::new(0)).await.unwrap();
+                labels.push(m.header.label);
+                receiver.ack(EpId::new(0)).unwrap();
+            }
+            labels.sort_unstable();
+            labels
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Endpoint configurations.
+
+use m3_base::ids::Label;
+use m3_base::{EpId, PeId, Perm};
+
+/// The configuration of one DTU endpoint.
+///
+/// In hardware these are the `buffer`, `target`, `credits`, and `label`
+/// registers (paper Figure 2); writable only by privileged (kernel) DTUs.
+/// An endpoint is exactly one of: unconfigured, a send endpoint, a receive
+/// endpoint, or a memory endpoint (§4.4.1).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum EpConfig {
+    /// Not configured; any use fails with `InvEp`.
+    #[default]
+    Invalid,
+    /// Sends messages to a fixed receive endpoint.
+    Send {
+        /// Destination PE.
+        pe: PeId,
+        /// Destination receive endpoint on that PE.
+        ep: EpId,
+        /// Label stamped into every message (receiver-chosen, unforgeable).
+        label: Label,
+        /// Messages that may be in flight before the receiver or kernel
+        /// refills credits. `None` means unlimited (used by the kernel).
+        credits: Option<u32>,
+        /// Maximum payload size the destination slot accepts.
+        max_payload: usize,
+    },
+    /// Receives messages into a ring buffer in local memory.
+    Receive {
+        /// Number of fixed-size slots in the ring buffer.
+        slots: usize,
+        /// Size of each slot (maximum message size incl. header).
+        slot_size: usize,
+        /// Whether senders may request replies. The kernel only enables
+        /// this after validating the buffer placement (§4.4.4).
+        allow_replies: bool,
+    },
+    /// Grants RDMA access to a region of another node's memory.
+    Memory {
+        /// Node whose memory is accessed (usually the DRAM module).
+        pe: PeId,
+        /// Start offset within that node's memory.
+        offset: u64,
+        /// Length of the accessible region in bytes.
+        len: u64,
+        /// Read/write permissions for the region.
+        perm: Perm,
+    },
+}
+
+impl EpConfig {
+    /// Whether this is a send endpoint.
+    pub fn is_send(&self) -> bool {
+        matches!(self, EpConfig::Send { .. })
+    }
+
+    /// Whether this is a receive endpoint.
+    pub fn is_receive(&self) -> bool {
+        matches!(self, EpConfig::Receive { .. })
+    }
+
+    /// Whether this is a memory endpoint.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, EpConfig::Memory { .. })
+    }
+}
+
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(EpConfig::default(), EpConfig::Invalid);
+        assert!(!EpConfig::default().is_send());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let send = EpConfig::Send {
+            pe: PeId::new(0),
+            ep: EpId::new(0),
+            label: 0,
+            credits: Some(4),
+            max_payload: 128,
+        };
+        assert!(send.is_send() && !send.is_receive() && !send.is_memory());
+
+        let recv = EpConfig::Receive {
+            slots: 8,
+            slot_size: 512,
+            allow_replies: true,
+        };
+        assert!(recv.is_receive());
+
+        let mem = EpConfig::Memory {
+            pe: PeId::new(1),
+            offset: 0,
+            len: 4096,
+            perm: Perm::RW,
+        };
+        assert!(mem.is_memory());
+    }
+}

@@ -1,0 +1,216 @@
+//! The receive ring buffer.
+//!
+//! Ring buffers live in the receiver PE's local memory and are organized in
+//! fixed-size slots; the DTU writes arriving messages at the write position
+//! and software advances the read position when a message has been processed
+//! (paper §4.4.3). A message that arrives when every slot is occupied is
+//! dropped — the credit system exists precisely so that well-behaved senders
+//! never hit this.
+
+use std::collections::VecDeque;
+
+use crate::message::Message;
+
+/// A fixed-slot receive ring buffer.
+///
+/// Slots are freed by [`RingBuf::ack`], not by [`RingBuf::fetch`]: a fetched
+/// message still occupies its slot until the software acknowledges it, which
+/// mirrors the read-position semantics of the hardware buffer.
+///
+/// # Examples
+///
+/// ```
+/// use m3_dtu::{Header, Message, RingBuf};
+/// use m3_base::{EpId, PeId};
+///
+/// let mut rb = RingBuf::new(2, 64);
+/// let msg = Message {
+///     header: Header {
+///         label: 1, len: 0,
+///         sender_pe: PeId::new(0), sender_ep: EpId::new(0), reply: None,
+///     },
+///     payload: vec![],
+/// };
+/// assert!(rb.deposit(msg.clone()));
+/// assert!(rb.deposit(msg.clone()));
+/// assert!(!rb.deposit(msg.clone())); // full: dropped
+/// rb.fetch().unwrap();
+/// assert!(!rb.deposit(msg.clone())); // still full: not acked yet
+/// rb.ack();
+/// assert!(rb.deposit(msg));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RingBuf {
+    slots: usize,
+    slot_size: usize,
+    queue: VecDeque<Message>,
+    /// Slots occupied: queued messages plus fetched-but-unacked ones.
+    occupied: usize,
+    dropped: u64,
+}
+
+impl RingBuf {
+    /// Creates a ring buffer with `slots` slots of `slot_size` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or `slot_size` cannot hold a header.
+    pub fn new(slots: usize, slot_size: usize) -> RingBuf {
+        assert!(slots > 0, "ring buffer needs at least one slot");
+        assert!(
+            slot_size > m3_base::cfg::MSG_HEADER_SIZE,
+            "slot must hold more than a header"
+        );
+        RingBuf {
+            slots,
+            slot_size,
+            queue: VecDeque::with_capacity(slots),
+            occupied: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Slot size in bytes (maximum message size including header).
+    pub fn slot_size(&self) -> usize {
+        self.slot_size
+    }
+
+    /// Maximum payload a message may carry to fit a slot.
+    pub fn max_payload(&self) -> usize {
+        self.slot_size - m3_base::cfg::MSG_HEADER_SIZE
+    }
+
+    /// Total buffer footprint in the receiver's local memory.
+    pub fn mem_size(&self) -> usize {
+        self.slots * self.slot_size
+    }
+
+    /// Deposits an arriving message; returns `false` (and counts a drop) if
+    /// no slot is free or the message exceeds the slot size.
+    pub fn deposit(&mut self, msg: Message) -> bool {
+        if self.occupied >= self.slots || msg.wire_size() > self.slot_size {
+            self.dropped += 1;
+            return false;
+        }
+        self.occupied += 1;
+        self.queue.push_back(msg);
+        true
+    }
+
+    /// Removes the oldest unread message, leaving its slot occupied until
+    /// [`RingBuf::ack`].
+    pub fn fetch(&mut self) -> Option<Message> {
+        self.queue.pop_front()
+    }
+
+    /// Whether a message is ready to fetch.
+    pub fn has_message(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Frees the slot of one previously fetched message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more slots would be freed than were ever fetched.
+    pub fn ack(&mut self) {
+        let fetched = self.occupied - self.queue.len();
+        assert!(fetched > 0, "ack without a fetched message");
+        self.occupied -= 1;
+    }
+
+    /// Number of occupied slots (queued + fetched-but-unacked).
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Messages dropped because the buffer was full or the message too big.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_base::{EpId, PeId};
+
+    fn msg(label: u64, payload: usize) -> Message {
+        Message {
+            header: crate::Header {
+                label,
+                len: payload as u32,
+                sender_pe: PeId::new(0),
+                sender_ep: EpId::new(0),
+                reply: None,
+            },
+            payload: vec![0xaa; payload],
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut rb = RingBuf::new(4, 512);
+        for i in 0..3 {
+            assert!(rb.deposit(msg(i, 8)));
+        }
+        assert_eq!(rb.fetch().unwrap().label(), 0);
+        assert_eq!(rb.fetch().unwrap().label(), 1);
+        assert_eq!(rb.fetch().unwrap().label(), 2);
+        assert!(rb.fetch().is_none());
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut rb = RingBuf::new(2, 512);
+        assert!(rb.deposit(msg(0, 8)));
+        assert!(rb.deposit(msg(1, 8)));
+        assert!(!rb.deposit(msg(2, 8)));
+        assert_eq!(rb.dropped(), 1);
+        assert_eq!(rb.occupied(), 2);
+    }
+
+    #[test]
+    fn oversized_message_drops() {
+        let mut rb = RingBuf::new(4, 64);
+        assert!(!rb.deposit(msg(0, 64))); // 24B header + 64B > 64B slot
+        assert_eq!(rb.dropped(), 1);
+        assert!(rb.deposit(msg(1, 40))); // exactly fits
+    }
+
+    #[test]
+    fn slot_freed_only_on_ack() {
+        let mut rb = RingBuf::new(1, 512);
+        assert!(rb.deposit(msg(0, 8)));
+        let _m = rb.fetch().unwrap();
+        assert!(!rb.deposit(msg(1, 8)), "slot not yet acked");
+        rb.ack();
+        assert!(rb.deposit(msg(2, 8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ack without")]
+    fn ack_without_fetch_panics() {
+        let mut rb = RingBuf::new(2, 512);
+        rb.deposit(msg(0, 8));
+        rb.ack();
+    }
+
+    #[test]
+    fn max_payload_accounts_for_header() {
+        let rb = RingBuf::new(2, 512);
+        assert_eq!(rb.max_payload(), 512 - m3_base::cfg::MSG_HEADER_SIZE);
+        assert_eq!(rb.mem_size(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        RingBuf::new(0, 512);
+    }
+}

@@ -1,0 +1,310 @@
+//! Filesystem consistency checking (fsck) and the persistent image format.
+//!
+//! The paper's m3fs is in-memory, but "the organization of the data has been
+//! chosen to be suitable for persistent storage as well, so that we can
+//! support it later" (§4.5.8). This module delivers both halves of that
+//! claim: [`FsCore::check`] verifies the classical UNIX invariants
+//! (bitmap/extent agreement, link counts, tree-shaped directories), and
+//! [`FsCore::serialize`]/[`FsCore::deserialize`] write and read the
+//! superblock + inode table + directory entries as a flat image.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use m3_base::error::{Code, Error, Result};
+use m3_base::marshal::{IStream, OStream};
+
+use crate::fs::{Extent, FsCore, ROOT_INO};
+use crate::inode::{Inode, InodeKind};
+
+/// Magic number of a serialized m3fs image.
+pub const FS_MAGIC: u64 = 0x4d33_4653_2031_3642; // "M3FS 16B"
+
+/// Outcome of a consistency check.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Inodes visited.
+    pub inodes: u64,
+    /// Directories visited.
+    pub dirs: u64,
+    /// Data blocks referenced by extents.
+    pub used_blocks: u64,
+    /// Problems found (empty = consistent).
+    pub errors: Vec<String>,
+}
+
+impl FsckReport {
+    /// Whether the filesystem is consistent.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl FsCore {
+    /// Checks the classical filesystem invariants:
+    ///
+    /// 1. every inode is reachable from the root exactly through its links,
+    /// 2. link counts equal the number of directory entries per inode,
+    /// 3. no two extents overlap,
+    /// 4. the free-block count matches `total - used`,
+    /// 5. file sizes fit within their allocated blocks.
+    pub fn check(&self) -> FsckReport {
+        let mut report = FsckReport::default();
+        let mut name_refs: HashMap<u64, u32> = HashMap::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack = vec![ROOT_INO];
+
+        // Walk the tree.
+        while let Some(ino) = stack.pop() {
+            if !visited.insert(ino) {
+                // Directories must form a tree; revisiting one means a
+                // cycle or a multiply-linked directory.
+                report.errors.push(format!("inode {ino} visited twice"));
+                continue;
+            }
+            report.inodes += 1;
+            let inode = self.inode(ino);
+            match &inode.kind {
+                InodeKind::Dir(entries) => {
+                    report.dirs += 1;
+                    for child in entries.values() {
+                        *name_refs.entry(*child).or_insert(0) += 1;
+                        let child_inode = self.inode(*child);
+                        if child_inode.is_dir() {
+                            stack.push(*child);
+                        } else {
+                            // Files may be reached via several links; visit
+                            // their data once.
+                            if visited.insert(*child) {
+                                report.inodes += 1;
+                            }
+                        }
+                    }
+                }
+                InodeKind::File => {}
+            }
+        }
+
+        // Extent and size invariants, overlap detection.
+        let mut block_owner: HashMap<u64, u64> = HashMap::new();
+        for &ino in &visited {
+            let inode = self.inode(ino);
+            for e in &inode.extents {
+                for b in e.start..e.start + e.blocks {
+                    if let Some(prev) = block_owner.insert(b, ino) {
+                        report
+                            .errors
+                            .push(format!("block {b} owned by inodes {prev} and {ino}"));
+                    }
+                }
+            }
+            let allocated = inode.blocks() * self.block_size();
+            if inode.size > allocated {
+                report.errors.push(format!(
+                    "inode {ino}: size {} exceeds allocation {allocated}",
+                    inode.size
+                ));
+            }
+            if !inode.is_dir() {
+                let refs = name_refs.get(&ino).copied().unwrap_or(0);
+                if refs != inode.links {
+                    report.errors.push(format!(
+                        "inode {ino}: link count {} but {refs} directory entries",
+                        inode.links
+                    ));
+                }
+            }
+        }
+        report.used_blocks = block_owner.len() as u64;
+
+        // Bitmap agreement.
+        let expected_free = self.total_blocks() - report.used_blocks;
+        if self.free_blocks() != expected_free {
+            report.errors.push(format!(
+                "bitmap reports {} free blocks, extents imply {expected_free}",
+                self.free_blocks()
+            ));
+        }
+        report
+    }
+
+    /// Serializes the metadata (superblock, inode table, directories,
+    /// extent lists) into a flat image. File *data* lives in the block
+    /// region and is addressed by the extents, so image + data region
+    /// together form a complete persistent filesystem.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut os = OStream::with_capacity(4096);
+        os.push_u64(FS_MAGIC);
+        os.push_u64(self.total_blocks());
+        os.push_u64(self.block_size());
+        let inodes = self.all_inodes();
+        os.push_u64(inodes.len() as u64);
+        for inode in inodes {
+            os.push_u64(inode.ino);
+            os.push_bool(inode.is_dir());
+            os.push_u64(inode.size);
+            os.push_u32(inode.links);
+            os.push_u32(inode.extents.len() as u32);
+            for e in &inode.extents {
+                os.push_u64(e.start);
+                os.push_u64(e.blocks);
+            }
+            if let Some(entries) = inode.dir_entries() {
+                os.push_u32(entries.len() as u32);
+                for (name, child) in entries {
+                    os.push_str(name);
+                    os.push_u64(*child);
+                }
+            } else {
+                os.push_u32(0);
+            }
+        }
+        os.into_bytes()
+    }
+
+    /// Reconstructs a filesystem from a serialized image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::BadMessage`] on a malformed image and
+    /// [`Code::Internal`] if the reconstructed filesystem fails its own
+    /// consistency check.
+    pub fn deserialize(image: &[u8]) -> Result<FsCore> {
+        let mut is = IStream::new(image);
+        if is.pop_u64()? != FS_MAGIC {
+            return Err(Error::new(Code::BadMessage).with_msg("bad m3fs magic"));
+        }
+        let total_blocks = is.pop_u64()?;
+        let block_size = is.pop_u64()?;
+        let count = is.pop_u64()?;
+        let mut inodes = Vec::new();
+        for _ in 0..count {
+            let ino = is.pop_u64()?;
+            let is_dir = is.pop_bool()?;
+            let size = is.pop_u64()?;
+            let links = is.pop_u32()?;
+            let n_ext = is.pop_u32()?;
+            let mut extents = Vec::with_capacity(n_ext as usize);
+            for _ in 0..n_ext {
+                extents.push(Extent {
+                    start: is.pop_u64()?,
+                    blocks: is.pop_u64()?,
+                });
+            }
+            let n_entries = is.pop_u32()?;
+            let mut entries = BTreeMap::new();
+            for _ in 0..n_entries {
+                let name = is.pop_str()?;
+                let child = is.pop_u64()?;
+                entries.insert(name, child);
+            }
+            let kind = if is_dir {
+                InodeKind::Dir(entries)
+            } else {
+                InodeKind::File
+            };
+            inodes.push(Inode {
+                ino,
+                kind,
+                size,
+                links,
+                extents,
+            });
+        }
+        let fs = FsCore::from_parts(total_blocks, block_size, inodes)?;
+        let report = fs.check();
+        if !report.is_clean() {
+            return Err(Error::new(Code::Internal)
+                .with_msg(format!("image inconsistent: {:?}", report.errors)));
+        }
+        Ok(fs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> FsCore {
+        let mut fs = FsCore::new(1024, 1024);
+        fs.mkdir("/dir").unwrap();
+        let a = fs.create_file("/dir/a").unwrap();
+        fs.append_extent(a, 8).unwrap();
+        fs.truncate(a, 7500).unwrap();
+        let b = fs.create_file("/b").unwrap();
+        fs.append_extent(b, 4).unwrap();
+        fs.inode_mut(b).size = 4096;
+        fs.link("/b", "/dir/b-again").unwrap();
+        fs
+    }
+
+    #[test]
+    fn clean_filesystem_passes_fsck() {
+        let fs = populated();
+        let report = fs.check();
+        assert!(report.is_clean(), "errors: {:?}", report.errors);
+        assert_eq!(report.dirs, 2); // root + /dir
+        assert_eq!(report.used_blocks, 8 + 4);
+    }
+
+    #[test]
+    fn corrupted_link_count_is_detected() {
+        let mut fs = populated();
+        let ino = fs.resolve("/b").unwrap();
+        fs.inode_mut(ino).links = 7;
+        let report = fs.check();
+        assert!(!report.is_clean());
+        assert!(report.errors[0].contains("link count"));
+    }
+
+    #[test]
+    fn oversized_file_is_detected() {
+        let mut fs = populated();
+        let ino = fs.resolve("/b").unwrap();
+        fs.inode_mut(ino).size = 1 << 30;
+        let report = fs.check();
+        assert!(report.errors.iter().any(|e| e.contains("exceeds allocation")));
+    }
+
+    #[test]
+    fn overlapping_extents_are_detected() {
+        let mut fs = populated();
+        let a = fs.resolve("/dir/a").unwrap();
+        let b = fs.resolve("/b").unwrap();
+        let stolen = fs.inode(b).extents[0];
+        fs.inode_mut(a).extents.push(stolen);
+        let report = fs.check();
+        assert!(report.errors.iter().any(|e| e.contains("owned by inodes")));
+    }
+
+    #[test]
+    fn serialize_deserialize_roundtrip() {
+        let fs = populated();
+        let image = fs.serialize();
+        let restored = FsCore::deserialize(&image).unwrap();
+        assert_eq!(restored.free_blocks(), fs.free_blocks());
+        assert_eq!(
+            restored.resolve("/dir/a").unwrap(),
+            fs.resolve("/dir/a").unwrap()
+        );
+        let ino = restored.resolve("/b").unwrap();
+        assert_eq!(restored.inode(ino).links, 2);
+        assert_eq!(restored.inode(ino).size, 4096);
+        assert!(restored.check().is_clean());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut image = populated().serialize();
+        image[0] ^= 0xff;
+        assert_eq!(
+            FsCore::deserialize(&image).unwrap_err().code(),
+            Code::BadMessage
+        );
+    }
+
+    #[test]
+    fn truncated_image_rejected() {
+        let image = populated().serialize();
+        assert!(FsCore::deserialize(&image[..image.len() / 2]).is_err());
+    }
+}

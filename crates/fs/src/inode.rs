@@ -1,0 +1,110 @@
+//! Inodes.
+
+use std::collections::BTreeMap;
+
+use crate::fs::Extent;
+
+/// What an inode is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InodeKind {
+    /// A regular file: its data lives in `extents`.
+    File,
+    /// A directory: named entries pointing at inode numbers.
+    Dir(BTreeMap<String, u64>),
+}
+
+/// An inode: size, link count, and the extent list (§4.5.8: "the data of an
+/// inode is stored in a tree of tables containing extents").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inode {
+    /// Inode number.
+    pub ino: u64,
+    /// Kind and kind-specific content.
+    pub kind: InodeKind,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Hard-link count.
+    pub links: u32,
+    /// The file's extents, in file order.
+    pub extents: Vec<Extent>,
+}
+
+impl Inode {
+    /// Creates an empty regular file inode.
+    pub fn file(ino: u64) -> Inode {
+        Inode {
+            ino,
+            kind: InodeKind::File,
+            size: 0,
+            links: 1,
+            extents: Vec::new(),
+        }
+    }
+
+    /// Creates an empty directory inode.
+    pub fn dir(ino: u64) -> Inode {
+        Inode {
+            ino,
+            kind: InodeKind::Dir(BTreeMap::new()),
+            size: 0,
+            links: 1,
+            extents: Vec::new(),
+        }
+    }
+
+    /// Whether this is a directory.
+    pub fn is_dir(&self) -> bool {
+        matches!(self.kind, InodeKind::Dir(_))
+    }
+
+    /// Directory entries (empty iterator view for files).
+    pub fn dir_entries(&self) -> Option<&BTreeMap<String, u64>> {
+        match &self.kind {
+            InodeKind::Dir(map) => Some(map),
+            InodeKind::File => None,
+        }
+    }
+
+    /// Mutable directory entries.
+    pub fn dir_entries_mut(&mut self) -> Option<&mut BTreeMap<String, u64>> {
+        match &mut self.kind {
+            InodeKind::Dir(map) => Some(map),
+            InodeKind::File => None,
+        }
+    }
+
+    /// Total blocks covered by the extent list.
+    pub fn blocks(&self) -> u64 {
+        self.extents.iter().map(|e| e.blocks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        let f = Inode::file(2);
+        assert!(!f.is_dir());
+        assert!(f.dir_entries().is_none());
+        let mut d = Inode::dir(1);
+        assert!(d.is_dir());
+        d.dir_entries_mut().unwrap().insert("a".into(), 2);
+        assert_eq!(d.dir_entries().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn block_count_sums_extents() {
+        let mut f = Inode::file(2);
+        f.extents.push(Extent {
+            start: 0,
+            blocks: 4,
+        });
+        f.extents.push(Extent {
+            start: 10,
+            blocks: 6,
+        });
+        assert_eq!(f.blocks(), 10);
+    }
+}

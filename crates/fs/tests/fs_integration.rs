@@ -1,0 +1,330 @@
+//! End-to-end m3fs tests: kernel + service + client over DTU messages.
+
+use m3_base::error::Code;
+use m3_base::{Cycles, PeId};
+use m3_fs::{mount_m3fs, run_m3fs, SetupNode};
+use m3_kernel::Kernel;
+use m3_libos::vfs::{self, OpenFlags, SeekMode};
+use m3_libos::{start_program, Env, ProgramRegistry};
+use m3_platform::{Platform, PlatformConfig};
+
+/// Boots platform + kernel + m3fs (with the given tree) and runs `f` as a
+/// client program; returns its exit code.
+fn with_fs<F, Fut>(setup: Vec<SetupNode>, f: F) -> i64
+where
+    F: FnOnce(Env) -> Fut + 'static,
+    Fut: std::future::Future<Output = i64> + 'static,
+{
+    let platform = Platform::new(PlatformConfig::xtensa(4));
+    let kernel = Kernel::start(&platform, PeId::new(0));
+    let reg = ProgramRegistry::new();
+
+    let info = kernel.create_root("m3fs", None).unwrap();
+    let fs_env = Env::new(&kernel, &info, reg.clone());
+    platform.sim().spawn_daemon("m3fs", async move {
+        run_m3fs(fs_env, 8192, setup).await.unwrap();
+    });
+
+    let h = start_program(&kernel, "client", None, reg, f);
+    platform.sim().run();
+    platform.sim().settle(Cycles::new(100_000));
+    h.try_take().expect("client did not finish")
+}
+
+#[test]
+fn write_then_read_roundtrip() {
+    let code = with_fs(Vec::new(), |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let data: Vec<u8> = (0..100_000u64).map(|i| (i % 251) as u8).collect();
+        vfs::write_all(&env, "/data.bin", &data).await.unwrap();
+        let back = vfs::read_to_vec(&env, "/data.bin").await.unwrap();
+        assert_eq!(back.len(), data.len());
+        assert_eq!(back, data);
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn preloaded_files_are_readable() {
+    let content = vec![0x42u8; 10_000];
+    let expected = content.clone();
+    let setup = vec![
+        SetupNode::dir("/etc"),
+        SetupNode::file("/etc/config", content),
+    ];
+    let code = with_fs(setup, move |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let back = vfs::read_to_vec(&env, "/etc/config").await.unwrap();
+        assert_eq!(back, expected);
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn stat_mkdir_link_unlink() {
+    let code = with_fs(Vec::new(), |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        vfs::mkdir(&env, "/dir").await.unwrap();
+        vfs::write_all(&env, "/dir/a", &[1, 2, 3]).await.unwrap();
+
+        let info = vfs::stat(&env, "/dir/a").await.unwrap();
+        assert_eq!(info.size, 3);
+        assert!(!info.is_dir);
+        assert_eq!(info.links, 1);
+        assert_eq!(info.extents, 1);
+
+        let dinfo = vfs::stat(&env, "/dir").await.unwrap();
+        assert!(dinfo.is_dir);
+
+        vfs::link(&env, "/dir/a", "/dir/b").await.unwrap();
+        assert_eq!(vfs::stat(&env, "/dir/b").await.unwrap().links, 2);
+
+        vfs::unlink(&env, "/dir/a").await.unwrap();
+        assert_eq!(
+            vfs::stat(&env, "/dir/a").await.unwrap_err().code(),
+            Code::NoSuchFile
+        );
+        let back = vfs::read_to_vec(&env, "/dir/b").await.unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+
+        vfs::unlink(&env, "/dir/b").await.unwrap();
+        vfs::rmdir(&env, "/dir").await.unwrap();
+        assert_eq!(
+            vfs::stat(&env, "/dir").await.unwrap_err().code(),
+            Code::NoSuchFile
+        );
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn read_dir_lists_tree() {
+    let setup = vec![
+        SetupNode::dir("/d"),
+        SetupNode::file("/d/one", vec![1]),
+        SetupNode::file("/d/two", vec![2]),
+        SetupNode::dir("/d/sub"),
+    ];
+    let code = with_fs(setup, |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let mut entries = vfs::read_dir(&env, "/d").await.unwrap();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let names: Vec<(&str, bool)> = entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.is_dir))
+            .collect();
+        assert_eq!(names, vec![("one", false), ("sub", true), ("two", false)]);
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn seek_and_partial_reads() {
+    let content: Vec<u8> = (0..8192u64).map(|i| (i % 256) as u8).collect();
+    let code = with_fs(
+        vec![SetupNode::file("/f", content.clone())],
+        move |env| async move {
+            mount_m3fs(&env).await.unwrap();
+            let mut file = vfs::open(&env, "/f", OpenFlags::R).await.unwrap();
+            // Seek to the middle and read 16 bytes.
+            let pos = file.seek(4096, SeekMode::Set).await.unwrap();
+            assert_eq!(pos, 4096);
+            let mut buf = [0u8; 16];
+            assert_eq!(file.read(&mut buf).await.unwrap(), 16);
+            assert_eq!(&buf[..], &content[4096..4112]);
+            // Seek relative to the end.
+            let pos = file.seek(-4, SeekMode::End).await.unwrap();
+            assert_eq!(pos, 8188);
+            assert_eq!(file.read(&mut buf).await.unwrap(), 4);
+            assert_eq!(&buf[..4], &content[8188..]);
+            // EOF.
+            assert_eq!(file.read(&mut buf).await.unwrap(), 0);
+            file.close().await.unwrap();
+            0
+        },
+    );
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn fragmented_file_has_many_extents() {
+    let content = vec![7u8; 64 * 1024]; // 64 blocks of 1 KiB
+    let setup = vec![SetupNode::fragmented_file("/frag", content.clone(), 16)];
+    let code = with_fs(setup, move |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let info = vfs::stat(&env, "/frag").await.unwrap();
+        assert_eq!(info.extents, 4, "64 blocks at 16 per extent");
+        let back = vfs::read_to_vec(&env, "/frag").await.unwrap();
+        assert_eq!(back, content);
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn write_without_permission_fails() {
+    let setup = vec![SetupNode::file("/ro", vec![1, 2, 3])];
+    let code = with_fs(setup, |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let mut file = vfs::open(&env, "/ro", OpenFlags::R).await.unwrap();
+        let err = file.write(&[9]).await.unwrap_err();
+        assert_eq!(err.code(), Code::NoAccess);
+        file.close().await.unwrap();
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn open_missing_without_create_fails() {
+    let code = with_fs(Vec::new(), |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let err = vfs::open(&env, "/missing", OpenFlags::R).await.map(|_| ()).unwrap_err();
+        assert_eq!(err.code(), Code::NoSuchFile);
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn truncate_on_close_limits_fragmentation_waste() {
+    let code = with_fs(Vec::new(), |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        // Write 3000 bytes: the append allocated 256 blocks, close truncates
+        // to 3 (§4.5.8).
+        vfs::write_all(&env, "/small", &[9u8; 3000]).await.unwrap();
+        let info = vfs::stat(&env, "/small").await.unwrap();
+        assert_eq!(info.size, 3000);
+        assert_eq!(info.extents, 1);
+        let back = vfs::read_to_vec(&env, "/small").await.unwrap();
+        assert_eq!(back.len(), 3000);
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn large_file_spans_multiple_append_chunks() {
+    let code = with_fs(Vec::new(), |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        // 600 KiB > 2 x 256 KiB append chunks.
+        let data: Vec<u8> = (0..600 * 1024u64).map(|i| (i / 1024) as u8).collect();
+        vfs::write_all(&env, "/big", &data).await.unwrap();
+        let back = vfs::read_to_vec(&env, "/big").await.unwrap();
+        assert_eq!(back, data);
+        // Adjacent 256-block chunks merge into one extent on an empty fs.
+        let info = vfs::stat(&env, "/big").await.unwrap();
+        assert_eq!(info.extents, 1);
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn two_clients_share_the_filesystem() {
+    let platform = Platform::new(PlatformConfig::xtensa(5));
+    let kernel = Kernel::start(&platform, PeId::new(0));
+    let reg = ProgramRegistry::new();
+
+    let info = kernel.create_root("m3fs", None).unwrap();
+    let fs_env = Env::new(&kernel, &info, reg.clone());
+    platform.sim().spawn_daemon("m3fs", async move {
+        run_m3fs(fs_env, 8192, Vec::new()).await.unwrap();
+    });
+
+    let writer = start_program(&kernel, "writer", None, reg.clone(), |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        vfs::write_all(&env, "/shared", b"hello from writer").await.unwrap();
+        0
+    });
+    platform.sim().run();
+    platform.sim().settle(Cycles::new(100_000));
+    assert_eq!(writer.try_take().unwrap(), 0);
+
+    let reader = start_program(&kernel, "reader", None, reg, |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let data = vfs::read_to_vec(&env, "/shared").await.unwrap();
+        assert_eq!(data, b"hello from writer");
+        0
+    });
+    platform.sim().run();
+    assert_eq!(reader.try_take().unwrap(), 0);
+}
+
+#[test]
+fn filesystem_stays_consistent_under_workload() {
+    // A mixed workload, then a protocol-level fsck: the on-"disk" state
+    // must satisfy every classical invariant.
+    let code = with_fs(Vec::new(), |env| async move {
+        let fs = m3_fs::M3FsFileSystem::connect(&env).await.unwrap();
+        let mounted = m3_fs::M3FsFileSystem::connect(&env).await.unwrap();
+        env.vfs().borrow_mut().mount("/", std::rc::Rc::new(mounted));
+        vfs::mkdir(&env, "/w").await.unwrap();
+        for i in 0..6u64 {
+            let data = vec![i as u8; (i as usize + 1) * 3000];
+            vfs::write_all(&env, &format!("/w/f{i}"), &data).await.unwrap();
+        }
+        vfs::link(&env, "/w/f1", "/w/f1-link").await.unwrap();
+        vfs::unlink(&env, "/w/f0").await.unwrap();
+        vfs::write_all(&env, "/w/f2", &[9u8; 100]).await.unwrap(); // rewrite
+
+        let (errors, inodes, used) = fs.fsck(&env).await.unwrap();
+        assert_eq!(errors, 0, "fsck must be clean");
+        assert!(inodes >= 7, "root + /w + 5 files: {inodes}");
+        assert!(used > 0);
+        0
+    });
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn two_filesystem_instances_mounted_at_different_paths() {
+    // The VFS with two *real* m3fs instances: "/" and "/scratch" are
+    // separate services with separate namespaces and data regions.
+    let platform = Platform::new(PlatformConfig::xtensa(5));
+    let kernel = Kernel::start(&platform, PeId::new(0));
+    let reg = ProgramRegistry::new();
+    for name in ["m3fs", "scratchfs"] {
+        let info = kernel.create_root(name, None).unwrap();
+        let env = Env::new(&kernel, &info, reg.clone());
+        let name = name.to_string();
+        platform.sim().spawn_daemon(name.clone(), async move {
+            m3_fs::run_m3fs_named(env, &name, 2048, Vec::new()).await.unwrap();
+        });
+    }
+    let h = start_program(&kernel, "client", None, reg, |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        m3_fs::mount_m3fs_at(&env, "scratchfs", "/scratch").await.unwrap();
+        assert_eq!(env.vfs().borrow().mount_count(), 2);
+
+        vfs::write_all(&env, "/persistent", b"root fs").await.unwrap();
+        vfs::write_all(&env, "/scratch/tmp", b"scratch fs").await.unwrap();
+
+        // Namespaces are disjoint: the file names do not leak across.
+        assert_eq!(
+            vfs::stat(&env, "/tmp").await.unwrap_err().code(),
+            Code::NoSuchFile
+        );
+        assert_eq!(
+            vfs::stat(&env, "/scratch/persistent").await.unwrap_err().code(),
+            Code::NoSuchFile
+        );
+        // Cross-mount hard links are refused by the VFS.
+        assert_eq!(
+            vfs::link(&env, "/persistent", "/scratch/link").await.unwrap_err().code(),
+            Code::NotSup
+        );
+        let a = vfs::read_to_vec(&env, "/persistent").await.unwrap();
+        let b = vfs::read_to_vec(&env, "/scratch/tmp").await.unwrap();
+        assert_eq!(a, b"root fs");
+        assert_eq!(b, b"scratch fs");
+        0
+    });
+    platform.sim().run();
+    platform.sim().settle(Cycles::new(100_000));
+    assert_eq!(h.try_take().unwrap(), 0);
+}

@@ -1,0 +1,211 @@
+//! Model-based property tests of the m3fs core: a random operation
+//! sequence is applied both to `FsCore` and to a trivially correct
+//! reference model; results and invariants must agree at every step.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use m3_base::error::Code;
+use m3_fs::FsCore;
+
+#[derive(Clone, Debug)]
+enum Op {
+    CreateFile(u8),
+    Mkdir(u8),
+    Append { file: u8, blocks: u8 },
+    Truncate { file: u8, bytes: u16 },
+    Link { from: u8, to: u8 },
+    Unlink(u8),
+    Rmdir(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12).prop_map(Op::CreateFile),
+        (0u8..6).prop_map(Op::Mkdir),
+        ((0u8..12), (1u8..64)).prop_map(|(file, blocks)| Op::Append { file, blocks }),
+        ((0u8..12), any::<u16>()).prop_map(|(file, bytes)| Op::Truncate { file, bytes }),
+        ((0u8..12), (0u8..12)).prop_map(|(from, to)| Op::Link { from, to }),
+        (0u8..12).prop_map(Op::Unlink),
+        (0u8..6).prop_map(Op::Rmdir),
+    ]
+}
+
+/// Reference model: path -> (is_dir, allocated blocks per name-set).
+#[derive(Default)]
+struct Model {
+    /// file name -> inode key
+    names: HashMap<String, usize>,
+    /// inode key -> (links, blocks)
+    inodes: HashMap<usize, (u32, u64)>,
+    dirs: HashMap<String, ()>,
+    next: usize,
+}
+
+impl Model {
+    fn live_blocks(&self) -> u64 {
+        self.inodes.values().map(|&(_, b)| b).sum()
+    }
+}
+
+fn fpath(i: u8) -> String {
+    format!("/f{i}")
+}
+
+fn dpath(i: u8) -> String {
+    format!("/d{i}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn fs_core_agrees_with_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let total_blocks = 4096u64;
+        let mut fs = FsCore::new(total_blocks, 1024);
+        let mut model = Model::default();
+        let mut inos: HashMap<String, u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::CreateFile(i) => {
+                    let path = fpath(i);
+                    let real = fs.create_file(&path);
+                    if model.names.contains_key(&path) || model.dirs.contains_key(&path) {
+                        prop_assert_eq!(real.unwrap_err().code(), Code::Exists);
+                    } else {
+                        let ino = real.unwrap();
+                        inos.insert(path.clone(), ino);
+                        let key = model.next;
+                        model.next += 1;
+                        model.names.insert(path, key);
+                        model.inodes.insert(key, (1, 0));
+                    }
+                }
+                Op::Mkdir(i) => {
+                    let path = dpath(i);
+                    let real = fs.mkdir(&path);
+                    if model.dirs.contains_key(&path) || model.names.contains_key(&path) {
+                        prop_assert_eq!(real.unwrap_err().code(), Code::Exists);
+                    } else {
+                        prop_assert!(real.is_ok());
+                        model.dirs.insert(path, ());
+                    }
+                }
+                Op::Append { file, blocks } => {
+                    let path = fpath(file);
+                    if let Some(&key) = model.names.get(&path) {
+                        let ino = inos[&path];
+                        match fs.append_extent(ino, blocks as u64) {
+                            Ok(ext) => {
+                                prop_assert!(ext.blocks >= 1 && ext.blocks <= blocks as u64);
+                                model.inodes.get_mut(&key).unwrap().1 += ext.blocks;
+                            }
+                            Err(e) => prop_assert_eq!(e.code(), Code::NoSpace),
+                        }
+                    }
+                }
+                Op::Truncate { file, bytes } => {
+                    let path = fpath(file);
+                    if let Some(&key) = model.names.get(&path) {
+                        let ino = inos[&path];
+                        let allocated = model.inodes[&key].1;
+                        let new_blocks = (bytes as u64).div_ceil(1024);
+                        let real = fs.truncate(ino, bytes as u64);
+                        if new_blocks > allocated {
+                            prop_assert_eq!(real.unwrap_err().code(), Code::InvArgs);
+                        } else {
+                            prop_assert!(real.is_ok());
+                            model.inodes.get_mut(&key).unwrap().1 = new_blocks;
+                            prop_assert_eq!(fs.inode(ino).size, bytes as u64);
+                        }
+                    }
+                }
+                Op::Link { from, to } => {
+                    let (fp, tp) = (fpath(from), fpath(to));
+                    let real = fs.link(&fp, &tp);
+                    match (model.names.get(&fp).copied(), model.names.contains_key(&tp)) {
+                        (Some(key), false) if fp != tp => {
+                            prop_assert!(real.is_ok());
+                            model.names.insert(tp.clone(), key);
+                            model.inodes.get_mut(&key).unwrap().0 += 1;
+                            inos.insert(tp, inos[&fp]);
+                        }
+                        (Some(_), _) => {
+                            prop_assert_eq!(real.unwrap_err().code(), Code::Exists);
+                        }
+                        (None, _) => {
+                            prop_assert_eq!(real.unwrap_err().code(), Code::NoSuchFile);
+                        }
+                    }
+                }
+                Op::Unlink(i) => {
+                    let path = fpath(i);
+                    let real = fs.unlink(&path);
+                    if let Some(key) = model.names.remove(&path) {
+                        prop_assert!(real.is_ok());
+                        inos.remove(&path);
+                        let entry = model.inodes.get_mut(&key).unwrap();
+                        entry.0 -= 1;
+                        if entry.0 == 0 {
+                            model.inodes.remove(&key);
+                        }
+                    } else {
+                        prop_assert_eq!(real.unwrap_err().code(), Code::NoSuchFile);
+                    }
+                }
+                Op::Rmdir(i) => {
+                    let path = dpath(i);
+                    let real = fs.rmdir(&path);
+                    // All our dirs stay empty (files live in the root), so
+                    // removal succeeds iff the dir exists.
+                    if model.dirs.remove(&path).is_some() {
+                        prop_assert!(real.is_ok());
+                    } else {
+                        prop_assert!(real.is_err());
+                    }
+                }
+            }
+
+            // Invariant: the bitmap accounts exactly for the live blocks.
+            prop_assert_eq!(
+                fs.free_blocks(),
+                total_blocks - model.live_blocks(),
+                "block accounting diverged"
+            );
+        }
+
+        // Final teardown: unlinking everything returns every block.
+        let names: Vec<String> = model.names.keys().cloned().collect();
+        for path in names {
+            if model.names.remove(&path).is_some() {
+                fs.unlink(&path).unwrap();
+            }
+        }
+        prop_assert_eq!(fs.free_blocks(), total_blocks);
+    }
+
+    #[test]
+    fn extent_at_is_consistent_with_appends(
+        appends in proptest::collection::vec(1u64..64, 1..20),
+        probe in any::<u64>(),
+    ) {
+        let mut fs = FsCore::new(8192, 1024);
+        let ino = fs.create_file("/f").unwrap();
+        let mut total_blocks = 0u64;
+        for want in appends {
+            let ext = fs.append_extent(ino, want).unwrap();
+            total_blocks += ext.blocks;
+        }
+        let total_bytes = total_blocks * 1024;
+        let probe = probe % (total_bytes + 1024);
+        let result = fs.extent_at(ino, probe);
+        if probe < total_bytes {
+            let (ext, file_off, _) = result.unwrap();
+            prop_assert!(file_off <= probe);
+            prop_assert!(probe < file_off + ext.blocks * 1024);
+        } else {
+            prop_assert_eq!(result.unwrap_err().code(), Code::InvOffset);
+        }
+    }
+}

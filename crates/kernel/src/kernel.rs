@@ -1,0 +1,1593 @@
+//! Kernel boot, the syscall loop, and service forwarding.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use m3_base::cfg::SPM_DATA_SIZE;
+use m3_base::error::{Code, Error, Result};
+use m3_base::marshal::OStream;
+use m3_base::{EpId, PeId, Perm, SelId, VpeId};
+use m3_dtu::{Dtu, EpConfig, Message};
+use m3_platform::{PeType, Platform};
+use m3_sim::{Notify, Sim};
+
+use crate::cap::{
+    CapTable, Capability, DerivationTree, KObject, MGateObj, RGateObj, SGateObj,
+};
+use crate::costs;
+use crate::mem::MemAlloc;
+use crate::pemng::PeMng;
+use crate::protocol::{
+    std_eps, PeRequest, ServiceReply, ServiceRequest, Syscall, SyscallReply, SYSC_MSG_SIZE,
+    SYSC_SLOTS,
+};
+use crate::service::{ServObj, ServiceRegistry, SessObj};
+use crate::vpe::{VpeObj, VpeState};
+
+/// Kernel endpoint assignment.
+mod keps {
+    use m3_base::EpId;
+
+    /// Receive endpoint for system calls.
+    pub const SYSC: EpId = EpId::new(0);
+    /// Receive endpoint for service replies.
+    pub const SERV_REPLY: EpId = EpId::new(1);
+    /// First endpoint used for per-service send gates.
+    pub const FIRST_SERV: u32 = 2;
+}
+
+/// What a freshly created VPE needs to start talking to the kernel.
+#[derive(Clone, Debug)]
+pub struct VpeBootInfo {
+    /// The kernel-wide VPE id (label of the syscall channel).
+    pub vpe: VpeId,
+    /// The PE the VPE runs on.
+    pub pe: PeId,
+}
+
+struct PendingReply {
+    slot: Rc<RefCell<Option<ServiceReply>>>,
+    ready: Notify,
+}
+
+/// Page size of the remotely-managed page tables (§7 prototype).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Share of each PE's data SPM the kernel allows for receive ring buffers
+/// (the rest belongs to the application's data). The kernel validates every
+/// placement — reply-enabled buffers must live in protected, non-overlapping
+/// memory (§4.4.4) — so it also enforces this budget.
+pub const RINGBUF_SPM_BUDGET: u64 = (m3_base::cfg::SPM_DATA_SIZE as u64) / 2;
+
+struct KState {
+    tables: HashMap<VpeId, CapTable>,
+    /// Ring-buffer bytes currently placed in each PE's SPM.
+    ringbuf_bytes: HashMap<PeId, u64>,
+    /// Per-VPE page tables (virtual page -> DRAM frame offset), managed
+    /// remotely by the kernel like the endpoints (§7).
+    page_tables: HashMap<VpeId, HashMap<u64, u64>>,
+    tree: DerivationTree,
+    vpes: HashMap<VpeId, Rc<RefCell<VpeObj>>>,
+    next_vpe: u32,
+    pemng: PeMng,
+    mem: MemAlloc,
+    services: ServiceRegistry,
+    next_req: u64,
+    pending: HashMap<u64, PendingReply>,
+    next_serv_ep: u32,
+}
+
+/// The M3 kernel, running on its dedicated PE.
+///
+/// [`Kernel::start`] boots it: it configures its own syscall endpoints,
+/// downgrades every other DTU (establishing NoC-level isolation), and spawns
+/// the syscall dispatch loop as a daemon task.
+#[derive(Clone)]
+pub struct Kernel {
+    sim: Sim,
+    platform: Platform,
+    dtu: Dtu,
+    pe: PeId,
+    state: Rc<RefCell<KState>>,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kernel(on {})", self.pe)
+    }
+}
+
+impl Kernel {
+    /// Boots the kernel on `kernel_pe`, owning every PE and the whole DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform is too small or the kernel PE is invalid.
+    pub fn start(platform: &Platform, kernel_pe: PeId) -> Kernel {
+        let owned: Vec<PeId> = (0..platform.pe_count())
+            .map(|i| PeId::new(i as u32))
+            .collect();
+        let dram = platform
+            .dtu_system()
+            .memory(platform.dram_pe())
+            .expect("dram")
+            .borrow()
+            .len() as u64;
+        Self::start_partition(platform, kernel_pe, &owned, 0, dram)
+    }
+
+    /// Boots a kernel instance that owns only the PEs in `owned` and the
+    /// DRAM range `[dram_base, dram_base + dram_size)` — the partitioned
+    /// multi-kernel mode sketched as future work in the paper (§7; no
+    /// cross-kernel synchronization: partitions are disjoint). Each
+    /// instance has its own capability space, PE pool, memory pool, and
+    /// service registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_pe` is not in `owned` or the partition is invalid.
+    pub fn start_partition(
+        platform: &Platform,
+        kernel_pe: PeId,
+        owned: &[PeId],
+        dram_base: u64,
+        dram_size: u64,
+    ) -> Kernel {
+        assert!(
+            owned.contains(&kernel_pe),
+            "kernel PE must be part of its own partition"
+        );
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(kernel_pe);
+
+        // Configure the kernel's own endpoints (it is privileged at boot).
+        dtu.configure(
+            kernel_pe,
+            keps::SYSC,
+            EpConfig::Receive {
+                slots: SYSC_SLOTS,
+                slot_size: SYSC_MSG_SIZE + m3_base::cfg::MSG_HEADER_SIZE,
+                allow_replies: true,
+            },
+        )
+        .expect("kernel syscall EP");
+        dtu.configure(
+            kernel_pe,
+            keps::SERV_REPLY,
+            EpConfig::Receive {
+                slots: SYSC_SLOTS,
+                slot_size: SYSC_MSG_SIZE + m3_base::cfg::MSG_HEADER_SIZE,
+                allow_replies: false,
+            },
+        )
+        .expect("kernel service-reply EP");
+
+        // NoC-level isolation: downgrade every application PE this kernel
+        // owns (paper §3). Other partitions' PEs are left alone.
+        for pe in owned {
+            if *pe != kernel_pe {
+                dtu.set_privileged(*pe, false).expect("downgrade");
+            }
+        }
+
+        let descs: Vec<_> = (0..platform.pe_count())
+            .map(|i| platform.desc(PeId::new(i as u32)).clone())
+            .collect();
+
+        let kernel = Kernel {
+            sim: sim.clone(),
+            platform: platform.clone(),
+            dtu,
+            pe: kernel_pe,
+            state: Rc::new(RefCell::new(KState {
+                tables: HashMap::new(),
+                ringbuf_bytes: HashMap::new(),
+                page_tables: HashMap::new(),
+                tree: DerivationTree::new(),
+                vpes: HashMap::new(),
+                next_vpe: 1,
+                pemng: PeMng::new_partition(descs, kernel_pe, owned),
+                mem: MemAlloc::new(dram_base, dram_size),
+                services: ServiceRegistry::new(),
+                next_req: 1,
+                pending: HashMap::new(),
+                next_serv_ep: keps::FIRST_SERV,
+            })),
+        };
+
+        let k = kernel.clone();
+        sim.spawn_daemon(format!("kernel@{kernel_pe}"), async move { k.main_loop().await });
+        let k = kernel.clone();
+        sim.spawn_daemon(format!("kernel-reply-pump@{kernel_pe}"), async move {
+            k.reply_pump().await
+        });
+        kernel
+    }
+
+    /// The PE the kernel runs on.
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// The platform the kernel manages.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Creates a root VPE at boot time (no parent): claims a PE (or a
+    /// specific one), sets up the syscall channel, and marks it running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::NoFreePe`] if no suitable PE is free.
+    pub fn create_root(&self, name: &str, pe: Option<PeId>) -> Result<VpeBootInfo> {
+        let mut st = self.state.borrow_mut();
+        let pe = match pe {
+            Some(p) => {
+                st.pemng.claim(p)?;
+                p
+            }
+            None => st.pemng.alloc(PeRequest::Any, PeType::Xtensa)?,
+        };
+        let id = VpeId::new(st.next_vpe);
+        st.next_vpe += 1;
+        let vpe = Rc::new(RefCell::new(VpeObj::new(id, name, pe)));
+        vpe.borrow_mut().state = VpeState::Running;
+        st.vpes.insert(id, vpe.clone());
+        let mut table = CapTable::new();
+        table
+            .insert(SelId::new(0), Capability::new(KObject::Vpe(vpe)))
+            .expect("fresh table");
+        st.tables.insert(id, table);
+        st.tree.insert_root((id, SelId::new(0)));
+        drop(st);
+        self.setup_sysc_channel(id, pe)?;
+        Ok(VpeBootInfo { vpe: id, pe })
+    }
+
+    /// Configures EP0/EP1 of `pe` as the syscall channel of VPE `id`.
+    fn setup_sysc_channel(&self, id: VpeId, pe: PeId) -> Result<()> {
+        self.dtu.configure(
+            pe,
+            std_eps::SYSC_REPLY,
+            EpConfig::Receive {
+                slots: 2,
+                slot_size: SYSC_MSG_SIZE + m3_base::cfg::MSG_HEADER_SIZE,
+                allow_replies: false,
+            },
+        )?;
+        self.dtu.configure(
+            pe,
+            std_eps::SYSC_SEND,
+            EpConfig::Send {
+                pe: self.pe,
+                ep: keps::SYSC,
+                label: id.raw() as u64,
+                credits: Some(1),
+                max_payload: SYSC_MSG_SIZE,
+            },
+        )?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    async fn main_loop(&self) {
+        loop {
+            let msg = match self.dtu.recv(keps::SYSC).await {
+                Ok(m) => m,
+                Err(_) => return,
+            };
+            // Free the slot right away; the reply info lives in `msg`.
+            let _ = self.dtu.ack(keps::SYSC);
+            self.sim.sleep(costs::DISPATCH).await;
+            self.sim.stats().incr("kernel.syscalls");
+
+            let caller = VpeId::new(msg.header.label as u32);
+            let call = match Syscall::from_bytes(&msg.payload) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.reply_to(&msg, SyscallReply::err(e.code())).await;
+                    continue;
+                }
+            };
+
+            match call {
+                // Calls that may block detach into their own task so the
+                // kernel keeps serving (other syscalls are handled serially,
+                // which is what makes a single kernel instance a measurable
+                // bottleneck in the §5.7 scalability experiment).
+                Syscall::VpeWait { vpe } => {
+                    let k = self.clone();
+                    self.sim.spawn(format!("kernel-wait-{caller}"), async move {
+                        let reply = k.handle_vpe_wait(caller, vpe).await;
+                        k.reply_to(&msg, reply).await;
+                    });
+                }
+                Syscall::OpenSess { dst, name, arg } => {
+                    let k = self.clone();
+                    self.sim.spawn(format!("kernel-open-{caller}"), async move {
+                        let reply = k.handle_open_sess(caller, dst, &name, arg).await;
+                        k.reply_to(&msg, reply).await;
+                    });
+                }
+                Syscall::ExchangeSess {
+                    sess,
+                    obtain,
+                    caps,
+                    args,
+                } => {
+                    let k = self.clone();
+                    self.sim.spawn(format!("kernel-xchg-{caller}"), async move {
+                        let reply = k
+                            .handle_exchange_sess(caller, sess, obtain, &caps, &args)
+                            .await;
+                        k.reply_to(&msg, reply).await;
+                    });
+                }
+                Syscall::Activate { vpe, ep, gate } => {
+                    // May block until the receive gate is activated (§4.5.4:
+                    // the kernel defers the reply until the receiver is
+                    // ready).
+                    let k = self.clone();
+                    self.sim
+                        .spawn(format!("kernel-activate-{caller}"), async move {
+                            let reply = k.handle_activate(caller, vpe, ep, gate).await;
+                            k.reply_to(&msg, reply).await;
+                        });
+                }
+                Syscall::Exit { code } => {
+                    self.handle_exit(caller, code);
+                    // No reply: the VPE is gone.
+                }
+                other => {
+                    let reply = self.handle_sync(caller, other).await;
+                    self.reply_to(&msg, reply).await;
+                }
+            }
+        }
+    }
+
+    async fn reply_to(&self, msg: &Message, reply: SyscallReply) {
+        self.sim.sleep(costs::REPLY).await;
+        let _ = self.dtu.reply(msg, &reply.to_bytes()).await;
+    }
+
+    /// Routes service replies (arriving at EP1) to the pending request.
+    async fn reply_pump(&self) {
+        loop {
+            let msg = match self.dtu.recv(keps::SERV_REPLY).await {
+                Ok(m) => m,
+                Err(_) => return,
+            };
+            let _ = self.dtu.ack(keps::SERV_REPLY);
+            let req_id = msg.header.label;
+            let pending = self.state.borrow_mut().pending.remove(&req_id);
+            if let Some(p) = pending {
+                let reply = ServiceReply::from_bytes(&msg.payload)
+                    .unwrap_or_else(|e| ServiceReply::err(e.code()));
+                *p.slot.borrow_mut() = Some(reply);
+                p.ready.notify_all();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronous handlers
+    // ------------------------------------------------------------------
+
+    async fn handle_sync(&self, caller: VpeId, call: Syscall) -> SyscallReply {
+        let result = match call {
+            Syscall::Noop => Ok(Vec::new()),
+            Syscall::CreateRGate {
+                dst,
+                slots,
+                slot_size,
+            } => self.sys_create_rgate(caller, dst, slots, slot_size).await,
+            Syscall::CreateSGate {
+                dst,
+                rgate,
+                label,
+                credits,
+            } => self.sys_create_sgate(caller, dst, rgate, label, credits).await,
+            Syscall::AllocMem { dst, size, perm } => {
+                self.sys_alloc_mem(caller, dst, size, perm).await
+            }
+            Syscall::DeriveMem {
+                dst,
+                src,
+                offset,
+                size,
+                perm,
+            } => self.sys_derive_mem(caller, dst, src, offset, size, perm).await,
+            Syscall::CreateVpe {
+                dst,
+                mem_dst,
+                pe,
+                name,
+            } => self.sys_create_vpe(caller, dst, mem_dst, pe, &name).await,
+            Syscall::VpeStart { vpe } => self.sys_vpe_start(caller, vpe),
+            Syscall::CreateSrv { dst, rgate, name } => {
+                self.sys_create_srv(caller, dst, rgate, &name).await
+            }
+            Syscall::Exchange {
+                vpe,
+                own,
+                other,
+                obtain,
+            } => self.sys_exchange(caller, vpe, own, other, obtain).await,
+            Syscall::Revoke { sel } => self.sys_revoke(caller, sel).await,
+            Syscall::Translate { dst, virt, perm } => {
+                self.sys_translate(caller, dst, virt, perm).await
+            }
+            Syscall::Unmap { virt } => self.sys_unmap(caller, virt).await,
+            _ => Err(Error::new(Code::Internal).with_msg("not a sync syscall")),
+        };
+        match result {
+            Ok(data) => SyscallReply::ok_with(data),
+            Err(e) => SyscallReply::err(e.code()),
+        }
+    }
+
+    async fn sys_create_rgate(
+        &self,
+        caller: VpeId,
+        dst: SelId,
+        slots: u32,
+        slot_size: u32,
+    ) -> Result<Vec<u8>> {
+        self.sim.sleep(costs::CAP_OP).await;
+        if slots == 0 || slot_size as usize <= m3_base::cfg::MSG_HEADER_SIZE {
+            return Err(Error::new(Code::InvArgs).with_msg("bad ring buffer geometry"));
+        }
+        let gate = RGateObj::new(caller, slots, slot_size);
+        let mut st = self.state.borrow_mut();
+        Self::table(&mut st, caller)?.insert(dst, Capability::new(KObject::RGate(gate)))?;
+        st.tree.insert_root((caller, dst));
+        Ok(Vec::new())
+    }
+
+    async fn sys_create_sgate(
+        &self,
+        caller: VpeId,
+        dst: SelId,
+        rgate: SelId,
+        label: u64,
+        credits: u32,
+    ) -> Result<Vec<u8>> {
+        self.sim.sleep(costs::CAP_OP).await;
+        let mut st = self.state.borrow_mut();
+        let rgate_obj = match &Self::table(&mut st, caller)?.get(rgate)?.obj {
+            KObject::RGate(g) => g.clone(),
+            other => {
+                return Err(Error::new(Code::InvCap)
+                    .with_msg(format!("expected rgate, found {}", other.kind())))
+            }
+        };
+        let sgate = Rc::new(SGateObj {
+            rgate: rgate_obj,
+            label,
+            credits: if credits == 0 { None } else { Some(credits) },
+        });
+        Self::table(&mut st, caller)?.insert(dst, Capability::new(KObject::SGate(sgate)))?;
+        st.tree.insert_child((caller, rgate), (caller, dst));
+        Ok(Vec::new())
+    }
+
+    async fn sys_alloc_mem(
+        &self,
+        caller: VpeId,
+        dst: SelId,
+        size: u64,
+        perm: Perm,
+    ) -> Result<Vec<u8>> {
+        self.sim.sleep(costs::ALLOC_MEM).await;
+        let mut st = self.state.borrow_mut();
+        let offset = st.mem.alloc(size)?;
+        let mgate = Rc::new(MGateObj {
+            pe: self.platform.dram_pe(),
+            offset,
+            size,
+            perm,
+            owned: true,
+        });
+        if let Err(e) = Self::table(&mut st, caller)?.insert(dst, Capability::new(KObject::MGate(mgate))) {
+            st.mem.free(offset, size);
+            return Err(e);
+        }
+        st.tree.insert_root((caller, dst));
+        let mut os = OStream::new();
+        os.push_u64(offset);
+        Ok(os.into_bytes())
+    }
+
+    async fn sys_derive_mem(
+        &self,
+        caller: VpeId,
+        dst: SelId,
+        src: SelId,
+        offset: u64,
+        size: u64,
+        perm: Perm,
+    ) -> Result<Vec<u8>> {
+        self.sim.sleep(costs::CAP_OP).await;
+        let mut st = self.state.borrow_mut();
+        let parent = match &Self::table(&mut st, caller)?.get(src)?.obj {
+            KObject::MGate(m) => m.clone(),
+            other => {
+                return Err(Error::new(Code::InvCap)
+                    .with_msg(format!("expected mgate, found {}", other.kind())))
+            }
+        };
+        if !parent.perm.contains(perm) {
+            return Err(Error::new(Code::NoPerm).with_msg("derived permissions exceed source"));
+        }
+        let end = offset
+            .checked_add(size)
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg("overflow"))?;
+        if end > parent.size {
+            return Err(Error::new(Code::InvArgs).with_msg("derived range exceeds source"));
+        }
+        let child = Rc::new(MGateObj {
+            pe: parent.pe,
+            offset: parent.offset + offset,
+            size,
+            perm,
+            owned: false,
+        });
+        Self::table(&mut st, caller)?.insert(dst, Capability::new(KObject::MGate(child)))?;
+        st.tree.insert_child((caller, src), (caller, dst));
+        Ok(Vec::new())
+    }
+
+    async fn sys_create_vpe(
+        &self,
+        caller: VpeId,
+        dst: SelId,
+        mem_dst: SelId,
+        req: PeRequest,
+        name: &str,
+    ) -> Result<Vec<u8>> {
+        self.sim.sleep(costs::CREATE_VPE).await;
+        let (id, pe) = {
+            let mut st = self.state.borrow_mut();
+            let caller_pe = st
+                .vpes
+                .get(&caller)
+                .ok_or_else(|| Error::new(Code::VpeGone))?
+                .borrow()
+                .pe;
+            let caller_ty = st.pemng.desc(caller_pe).ty;
+            let pe = st.pemng.alloc(req, caller_ty)?;
+            let id = VpeId::new(st.next_vpe);
+            st.next_vpe += 1;
+            let vpe = Rc::new(RefCell::new(VpeObj::new(id, name, pe)));
+            st.vpes.insert(id, vpe.clone());
+
+            // The caller owns the root VPE capability; the child's self
+            // capability (selector 0) derives from it, so revoking the
+            // parent's handle resets the child — not the other way around.
+            Self::table(&mut st, caller)?
+                .insert(dst, Capability::new(KObject::Vpe(vpe.clone())))?;
+            st.tree.insert_root((caller, dst));
+            let mut table = CapTable::new();
+            table
+                .insert(SelId::new(0), Capability::new(KObject::Vpe(vpe)))
+                .expect("fresh table");
+            st.tables.insert(id, table);
+            st.tree.insert_child((caller, dst), (id, SelId::new(0)));
+            let mgate = Rc::new(MGateObj {
+                pe,
+                offset: 0,
+                size: SPM_DATA_SIZE as u64,
+                perm: Perm::RW,
+                owned: false,
+            });
+            Self::table(&mut st, caller)?
+                .insert(mem_dst, Capability::new(KObject::MGate(mgate)))?;
+            st.tree.insert_root((caller, mem_dst));
+            (id, pe)
+        };
+        self.setup_sysc_channel(id, pe)?;
+        // Charge the remote EP configuration packets.
+        self.charge_ep_config(pe).await;
+        let mut os = OStream::new();
+        os.push_u32(id.raw()).push_u32(pe.raw());
+        Ok(os.into_bytes())
+    }
+
+    fn sys_vpe_start(&self, caller: VpeId, vpe: SelId) -> Result<Vec<u8>> {
+        let mut st = self.state.borrow_mut();
+        let vpe_obj = match &Self::table(&mut st, caller)?.get(vpe)?.obj {
+            KObject::Vpe(v) => v.clone(),
+            other => {
+                return Err(Error::new(Code::InvCap)
+                    .with_msg(format!("expected vpe, found {}", other.kind())))
+            }
+        };
+        let mut v = vpe_obj.borrow_mut();
+        match v.state {
+            VpeState::Init => {
+                v.state = VpeState::Running;
+                Ok(Vec::new())
+            }
+            _ => Err(Error::new(Code::InvArgs).with_msg("VPE not in init state")),
+        }
+    }
+
+    async fn handle_vpe_wait(&self, caller: VpeId, vpe: SelId) -> SyscallReply {
+        let vpe_obj = {
+            let mut st = self.state.borrow_mut();
+            let table = match Self::table(&mut st, caller) {
+                Ok(t) => t,
+                Err(e) => return SyscallReply::err(e.code()),
+            };
+            match table.get(vpe).map(|c| c.obj.clone()) {
+                Ok(KObject::Vpe(v)) => v,
+                Ok(_) => return SyscallReply::err(Code::InvCap),
+                Err(e) => return SyscallReply::err(e.code()),
+            }
+        };
+        loop {
+            let (code, exited) = {
+                let v = vpe_obj.borrow();
+                (v.exit_code(), v.exited.clone())
+            };
+            if let Some(code) = code {
+                let mut os = OStream::new();
+                os.push_i64(code);
+                return SyscallReply::ok_with(os.into_bytes());
+            }
+            exited.wait().await;
+        }
+    }
+
+    async fn sys_create_srv(
+        &self,
+        caller: VpeId,
+        dst: SelId,
+        rgate: SelId,
+        name: &str,
+    ) -> Result<Vec<u8>> {
+        self.sim.sleep(costs::CAP_OP).await;
+        let (rgate_obj, kernel_ep) = {
+            let mut st = self.state.borrow_mut();
+            let rgate_obj = match &Self::table(&mut st, caller)?.get(rgate)?.obj {
+                KObject::RGate(g) => g.clone(),
+                other => {
+                    return Err(Error::new(Code::InvCap)
+                        .with_msg(format!("expected rgate, found {}", other.kind())))
+                }
+            };
+            let ep = EpId::new(st.next_serv_ep);
+            if ep.idx() >= m3_base::cfg::EP_COUNT {
+                return Err(Error::new(Code::OutOfMem).with_msg("kernel out of service EPs"));
+            }
+            st.next_serv_ep += 1;
+            (rgate_obj, ep)
+        };
+        let Some((rpe, rep)) = *rgate_obj.activation.borrow() else {
+            return Err(Error::new(Code::InvArgs).with_msg("service rgate not activated"));
+        };
+        // The kernel-service channel, created at registration (§4.5.3).
+        self.dtu.configure(
+            self.pe,
+            kernel_ep,
+            EpConfig::Send {
+                pe: rpe,
+                ep: rep,
+                label: 0,
+                credits: None,
+                max_payload: rgate_obj.max_payload(),
+            },
+        )?;
+        let serv = Rc::new(ServObj {
+            name: name.to_string(),
+            owner: caller,
+            rgate: rgate_obj,
+            kernel_ep,
+        });
+        let mut st = self.state.borrow_mut();
+        st.services.register(serv.clone())?;
+        Self::table(&mut st, caller)?.insert(dst, Capability::new(KObject::Serv(serv)))?;
+        st.tree.insert_root((caller, dst));
+        Ok(Vec::new())
+    }
+
+    async fn forward_to_service(
+        &self,
+        serv: &Rc<ServObj>,
+        req: ServiceRequest,
+    ) -> Result<ServiceReply> {
+        self.sim.sleep(costs::SERVICE_FORWARD).await;
+        let (req_id, ready, slot) = {
+            let mut st = self.state.borrow_mut();
+            let req_id = st.next_req;
+            st.next_req += 1;
+            let slot = Rc::new(RefCell::new(None));
+            let ready = Notify::new();
+            st.pending.insert(
+                req_id,
+                PendingReply {
+                    slot: slot.clone(),
+                    ready: ready.clone(),
+                },
+            );
+            (req_id, ready, slot)
+        };
+        self.dtu
+            .send(
+                serv.kernel_ep,
+                &req.to_bytes(),
+                Some((keps::SERV_REPLY, req_id)),
+            )
+            .await?;
+        loop {
+            if let Some(reply) = slot.borrow_mut().take() {
+                return Ok(reply);
+            }
+            ready.wait().await;
+        }
+    }
+
+    async fn handle_open_sess(
+        &self,
+        caller: VpeId,
+        dst: SelId,
+        name: &str,
+        arg: u64,
+    ) -> SyscallReply {
+        let serv = match self.state.borrow().services.find(name) {
+            Ok(s) => s,
+            Err(e) => return SyscallReply::err(e.code()),
+        };
+        let reply = match self
+            .forward_to_service(&serv, ServiceRequest::Open { arg })
+            .await
+        {
+            Ok(r) => r,
+            Err(e) => return SyscallReply::err(e.code()),
+        };
+        if let Some(code) = reply.error {
+            return SyscallReply::err(code);
+        }
+        let sess = Rc::new(SessObj {
+            serv,
+            ident: reply.ident,
+        });
+        let mut st = self.state.borrow_mut();
+        let table = match Self::table(&mut st, caller) {
+            Ok(t) => t,
+            Err(e) => return SyscallReply::err(e.code()),
+        };
+        if let Err(e) = table.insert(dst, Capability::new(KObject::Sess(sess))) {
+            return SyscallReply::err(e.code());
+        }
+        st.tree.insert_root((caller, dst));
+        SyscallReply::ok()
+    }
+
+    async fn handle_exchange_sess(
+        &self,
+        caller: VpeId,
+        sess: SelId,
+        obtain: bool,
+        caps: &[SelId],
+        args: &[u8],
+    ) -> SyscallReply {
+        let sess_obj = {
+            let mut st = self.state.borrow_mut();
+            let table = match Self::table(&mut st, caller) {
+                Ok(t) => t,
+                Err(e) => return SyscallReply::err(e.code()),
+            };
+            match table.get(sess).map(|c| c.obj.clone()) {
+                Ok(KObject::Sess(s)) => s,
+                Ok(_) => return SyscallReply::err(Code::InvCap),
+                Err(e) => return SyscallReply::err(e.code()),
+            }
+        };
+        let reply = match self
+            .forward_to_service(
+                &sess_obj.serv,
+                ServiceRequest::Exchange {
+                    ident: sess_obj.ident,
+                    obtain,
+                    cap_count: caps.len() as u32,
+                    args: args.to_vec(),
+                },
+            )
+            .await
+        {
+            Ok(r) => r,
+            Err(e) => return SyscallReply::err(e.code()),
+        };
+        if let Some(code) = reply.error {
+            return SyscallReply::err(code);
+        }
+        if reply.caps.len() > caps.len() {
+            return SyscallReply::err(Code::BadMessage);
+        }
+        // Move the capabilities between the service owner and the caller.
+        let owner = sess_obj.serv.owner;
+        for (i, serv_sel) in reply.caps.iter().enumerate() {
+            let (src, dst) = if obtain {
+                ((owner, *serv_sel), (caller, caps[i]))
+            } else {
+                ((caller, caps[i]), (owner, *serv_sel))
+            };
+            if let Err(e) = self.copy_cap(src, dst) {
+                return SyscallReply::err(e.code());
+            }
+        }
+        SyscallReply::ok_with(reply.args)
+    }
+
+    async fn sys_exchange(
+        &self,
+        caller: VpeId,
+        vpe: SelId,
+        own: SelId,
+        other: SelId,
+        obtain: bool,
+    ) -> Result<Vec<u8>> {
+        self.sim.sleep(costs::CAP_OP).await;
+        let peer = {
+            let mut st = self.state.borrow_mut();
+            match &Self::table(&mut st, caller)?.get(vpe)?.obj {
+                KObject::Vpe(v) => v.borrow().id,
+                other => {
+                    return Err(Error::new(Code::InvCap)
+                        .with_msg(format!("expected vpe, found {}", other.kind())))
+                }
+            }
+        };
+        let (src, dst) = if obtain {
+            ((peer, other), (caller, own))
+        } else {
+            ((caller, own), (peer, other))
+        };
+        self.copy_cap(src, dst)?;
+        Ok(Vec::new())
+    }
+
+    /// Copies a capability between tables and records the delegation edge.
+    fn copy_cap(&self, src: (VpeId, SelId), dst: (VpeId, SelId)) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let obj = Self::table(&mut st, src.0)?.get(src.1)?.obj.clone();
+        // Receive gates cannot be delegated (§4.5.4): they may have messages
+        // arriving at any time and cannot be moved.
+        if matches!(obj, KObject::RGate(_)) {
+            return Err(Error::new(Code::NotSup).with_msg("receive capabilities are not delegable"));
+        }
+        // A delegated memory capability references the region but does not
+        // own it: only revoking the root returns it to the allocator.
+        let obj = match obj {
+            KObject::MGate(mg) if mg.owned => KObject::MGate(Rc::new(MGateObj {
+                owned: false,
+                ..(*mg).clone()
+            })),
+            other => other,
+        };
+        Self::table(&mut st, dst.0)?.insert(dst.1, Capability::new(obj))?;
+        st.tree.insert_child(src, dst);
+        Ok(())
+    }
+
+    async fn handle_activate(
+        &self,
+        caller: VpeId,
+        vpe: SelId,
+        ep: EpId,
+        gate: SelId,
+    ) -> SyscallReply {
+        if ep.idx() < std_eps::FIRST_FREE as usize || ep.idx() >= m3_base::cfg::EP_COUNT {
+            return SyscallReply::err(Code::InvEp);
+        }
+        self.sim.sleep(costs::ACTIVATE).await;
+        let (caller_pe, obj) = {
+            let mut st = self.state.borrow_mut();
+            let table = match Self::table(&mut st, caller) {
+                Ok(t) => t,
+                Err(e) => return SyscallReply::err(e.code()),
+            };
+            // Resolve the target VPE through the caller's capability.
+            let target_pe = match table.get(vpe).map(|c| c.obj.clone()) {
+                Ok(KObject::Vpe(v)) => v.borrow().pe,
+                Ok(_) => return SyscallReply::err(Code::InvCap),
+                Err(e) => return SyscallReply::err(e.code()),
+            };
+            match table.get(gate).map(|c| c.obj.clone()) {
+                Ok(obj) => (target_pe, obj),
+                Err(e) => return SyscallReply::err(e.code()),
+            }
+        };
+
+        let cfg = match &obj {
+            KObject::SGate(sg) => {
+                // Defer until the receive gate is activated somewhere
+                // (§4.5.4: "defer the reply to the system call until the
+                // receiver is ready to receive messages").
+                loop {
+                    let (act, activated) = {
+                        let g = &sg.rgate;
+                        (*g.activation.borrow(), g.activated.clone())
+                    };
+                    if let Some((rpe, rep)) = act {
+                        break EpConfig::Send {
+                            pe: rpe,
+                            ep: rep,
+                            label: sg.label,
+                            credits: sg.credits,
+                            max_payload: sg.rgate.max_payload(),
+                        };
+                    }
+                    activated.wait().await;
+                }
+            }
+            KObject::RGate(rg) => {
+                if rg.activation.borrow().is_some() {
+                    // Receive gates cannot be moved while senders exist.
+                    return SyscallReply::err(Code::NotSup);
+                }
+                // Validate the buffer placement in the target SPM: the
+                // kernel ensures ring buffers do not overlap and fit the
+                // protected region before enabling replies (§4.4.4).
+                let bytes = rg.slots as u64 * rg.slot_size as u64;
+                {
+                    let mut st = self.state.borrow_mut();
+                    let used = st.ringbuf_bytes.entry(caller_pe).or_insert(0);
+                    if *used + bytes > RINGBUF_SPM_BUDGET {
+                        return SyscallReply::err(Code::OutOfMem);
+                    }
+                    *used += bytes;
+                }
+                *rg.activation.borrow_mut() = Some((caller_pe, ep));
+                rg.activated.notify_all();
+                EpConfig::Receive {
+                    slots: rg.slots as usize,
+                    slot_size: rg.slot_size as usize,
+                    allow_replies: true,
+                }
+            }
+            KObject::MGate(mg) => EpConfig::Memory {
+                pe: mg.pe,
+                offset: mg.offset,
+                len: mg.size,
+                perm: mg.perm,
+            },
+            _ => return SyscallReply::err(Code::InvCap),
+        };
+
+        if let Err(e) = self.dtu.configure(caller_pe, ep, cfg) {
+            return SyscallReply::err(e.code());
+        }
+        self.charge_ep_config(caller_pe).await;
+        // Record the activation for invalidation on revoke.
+        {
+            let mut st = self.state.borrow_mut();
+            if let Ok(table) = Self::table(&mut st, caller) {
+                if let Ok(cap) = table.get_mut(gate) {
+                    cap.activations.push((caller_pe, ep));
+                }
+            }
+        }
+        SyscallReply::ok()
+    }
+
+    async fn sys_revoke(&self, caller: VpeId, sel: SelId) -> Result<Vec<u8>> {
+        let count = self.revoke_cap(caller, sel);
+        self.sim
+            .sleep(costs::REVOKE_PER_CAP * (count as u64).max(1))
+            .await;
+        Ok(Vec::new())
+    }
+
+    /// Demand-paging translate (§7): looks the page up in the caller's
+    /// kernel-side page table, allocating a zeroed frame on first touch,
+    /// and hands back a frame capability.
+    async fn sys_translate(
+        &self,
+        caller: VpeId,
+        dst: SelId,
+        virt: u64,
+        perm: Perm,
+    ) -> Result<Vec<u8>> {
+        self.sim.sleep(costs::TRANSLATE).await;
+        let page = virt / PAGE_SIZE;
+        let mut st = self.state.borrow_mut();
+        let st_ref = &mut *st;
+        let frame = match st_ref
+            .page_tables
+            .entry(caller)
+            .or_default()
+            .get(&page)
+            .copied()
+        {
+            Some(frame) => frame,
+            None => {
+                let frame = st_ref.mem.alloc(PAGE_SIZE)?;
+                // Fresh frames are handed out zeroed (the frame may have
+                // been used before; like m3fs, zeroing happens off the
+                // application's critical path, §5.4).
+                if let Some(dram) = self.platform.dtu_system().memory(self.platform.dram_pe()) {
+                    let mut store = dram.borrow_mut();
+                    let start = frame as usize;
+                    store[start..start + PAGE_SIZE as usize].fill(0);
+                }
+                st_ref
+                    .page_tables
+                    .get_mut(&caller)
+                    .expect("just inserted")
+                    .insert(page, frame);
+                self.sim.stats().incr("kernel.page_faults");
+                frame
+            }
+        };
+        let mgate = Rc::new(MGateObj {
+            pe: self.platform.dram_pe(),
+            offset: frame,
+            size: PAGE_SIZE,
+            perm: perm & Perm::RW,
+            owned: false, // the page table owns the frame
+        });
+        Self::table(&mut st, caller)?.insert(dst, Capability::new(KObject::MGate(mgate)))?;
+        st.tree.insert_root((caller, dst));
+        let mut os = OStream::new();
+        os.push_u64(page * PAGE_SIZE);
+        Ok(os.into_bytes())
+    }
+
+    /// Removes a mapping and frees its frame.
+    async fn sys_unmap(&self, caller: VpeId, virt: u64) -> Result<Vec<u8>> {
+        self.sim.sleep(costs::TRANSLATE).await;
+        let page = virt / PAGE_SIZE;
+        let mut st = self.state.borrow_mut();
+        let st = &mut *st;
+        let frame = st
+            .page_tables
+            .get_mut(&caller)
+            .and_then(|pt| pt.remove(&page))
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg("page not mapped"))?;
+        st.mem.free(frame, PAGE_SIZE);
+        Ok(Vec::new())
+    }
+
+    /// Revokes `(vpe, sel)` recursively; returns the number of removed caps.
+    fn revoke_cap(&self, vpe: VpeId, sel: SelId) -> usize {
+        let removed = self.state.borrow_mut().tree.revoke((vpe, sel));
+        let mut freed_regions = Vec::new();
+        let mut dead_vpes = Vec::new();
+        for (v, s) in &removed {
+            let cap = {
+                let mut st = self.state.borrow_mut();
+                st.tables.get_mut(v).and_then(|t| t.remove(*s))
+            };
+            let Some(cap) = cap else { continue };
+            // Invalidate all endpoints configured from this capability.
+            for (pe, ep) in &cap.activations {
+                let _ = self.dtu.configure(*pe, *ep, EpConfig::Invalid);
+                if let KObject::RGate(rg) = &cap.obj {
+                    if rg.activation.borrow_mut().take().is_some() {
+                        // Return the ring buffer's SPM bytes.
+                        let bytes = rg.slots as u64 * rg.slot_size as u64;
+                        let mut st = self.state.borrow_mut();
+                        if let Some(used) = st.ringbuf_bytes.get_mut(pe) {
+                            *used = used.saturating_sub(bytes);
+                        }
+                    }
+                }
+            }
+            // Owned memory regions return to the allocator.
+            if let KObject::MGate(mg) = &cap.obj {
+                if mg.owned {
+                    freed_regions.push((mg.offset, mg.size));
+                }
+            }
+            // Revoking a VPE capability resets the PE (§4.5.5: "the owner
+            // of the VPE capability could revoke it to let the kernel reset
+            // the associated PE").
+            if let KObject::Vpe(vobj) = &cap.obj {
+                dead_vpes.push(vobj.clone());
+            }
+        }
+        {
+            let mut st = self.state.borrow_mut();
+            for (off, size) in freed_regions {
+                st.mem.free(off, size);
+            }
+        }
+        for vobj in dead_vpes {
+            self.destroy_vpe(&vobj, -1);
+        }
+        removed.len()
+    }
+
+    /// Tears a VPE down: marks it dead, revokes everything it held, frees
+    /// its PE, and invalidates its syscall channel. Idempotent.
+    fn destroy_vpe(&self, vpe_obj: &Rc<RefCell<VpeObj>>, code: i64) {
+        let (id, pe) = {
+            let mut v = vpe_obj.borrow_mut();
+            if !v.is_alive() {
+                return;
+            }
+            v.state = VpeState::Dead(code);
+            (v.id, v.pe)
+        };
+        let sels = {
+            let st = self.state.borrow();
+            st.tables.get(&id).map(|t| t.selectors()).unwrap_or_default()
+        };
+        for sel in sels {
+            self.revoke_cap(id, sel);
+        }
+        {
+            let mut st = self.state.borrow_mut();
+            st.tables.remove(&id);
+            st.pemng.free(pe);
+            // Free the VPE's page-table frames (§7 prototype).
+            if let Some(pt) = st.page_tables.remove(&id) {
+                let frames: Vec<u64> = pt.into_values().collect();
+                for frame in frames {
+                    st.mem.free(frame, PAGE_SIZE);
+                }
+            }
+        }
+        let _ = self.dtu.configure(pe, std_eps::SYSC_SEND, EpConfig::Invalid);
+        let _ = self.dtu.configure(pe, std_eps::SYSC_REPLY, EpConfig::Invalid);
+        vpe_obj.borrow().exited.notify_all();
+        self.sim.stats().incr("kernel.vpe_exits");
+    }
+
+    fn handle_exit(&self, caller: VpeId, code: i64) {
+        let vpe_obj = {
+            let st = self.state.borrow();
+            st.vpes.get(&caller).cloned()
+        };
+        if let Some(vpe_obj) = vpe_obj {
+            self.destroy_vpe(&vpe_obj, code);
+        }
+    }
+
+    /// Charges the NoC time of one remote endpoint-configuration packet.
+    async fn charge_ep_config(&self, target: PeId) {
+        let t = self.dtu.system().noc().schedule(
+            self.sim.now(),
+            self.pe,
+            target,
+            costs::EP_CONFIG_BYTES,
+        );
+        self.sim.sleep_until(t.completes_at).await;
+    }
+
+    fn table(st: &mut KState, vpe: VpeId) -> Result<&mut CapTable> {
+        st.tables
+            .get_mut(&vpe)
+            .ok_or_else(|| Error::new(Code::VpeGone).with_msg(format!("{vpe} has no table")))
+    }
+
+    /// Looks up a VPE object (used by libos glue to spawn programs).
+    pub fn vpe_obj(&self, vpe: VpeId) -> Option<Rc<RefCell<VpeObj>>> {
+        self.state.borrow().vpes.get(&vpe).cloned()
+    }
+
+    /// Number of currently free PEs (diagnostics).
+    pub fn free_pes(&self) -> usize {
+        self.state.borrow().pemng.free_count()
+    }
+
+    /// Free DRAM bytes (diagnostics).
+    pub fn free_mem(&self) -> u64 {
+        self.state.borrow().mem.free_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_platform::PlatformConfig;
+
+    /// Boot a kernel and one root VPE; send raw syscalls from the root PE.
+    fn boot() -> (Platform, Kernel, VpeBootInfo) {
+        let platform = Platform::new(PlatformConfig::xtensa(4));
+        let kernel = Kernel::start(&platform, PeId::new(0));
+        let root = kernel.create_root("root", None).unwrap();
+        (platform, kernel, root)
+    }
+
+    async fn syscall(dtu: &Dtu, call: Syscall) -> SyscallReply {
+        dtu.send(
+            std_eps::SYSC_SEND,
+            &call.to_bytes(),
+            Some((std_eps::SYSC_REPLY, 0)),
+        )
+        .await
+        .unwrap();
+        let msg = dtu.recv(std_eps::SYSC_REPLY).await.unwrap();
+        dtu.ack(std_eps::SYSC_REPLY).unwrap();
+        SyscallReply::from_bytes(&msg.payload).unwrap()
+    }
+
+    #[test]
+    fn boot_downgrades_application_dtus() {
+        let (platform, kernel, root) = boot();
+        assert!(platform.dtu(kernel.pe()).is_privileged());
+        assert!(!platform.dtu(root.pe).is_privileged());
+        for i in 1..platform.pe_count() {
+            assert!(!platform.dtu(PeId::new(i as u32)).is_privileged());
+        }
+    }
+
+    #[test]
+    fn noop_syscall_replies_ok() {
+        let (platform, _kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(root.pe);
+        let h = sim.spawn("app", async move { syscall(&dtu, Syscall::Noop).await });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), SyscallReply::ok());
+    }
+
+    #[test]
+    fn alloc_and_derive_mem() {
+        let (platform, _kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(root.pe);
+        let h = sim.spawn("app", async move {
+            let r = syscall(
+                &dtu,
+                Syscall::AllocMem {
+                    dst: SelId::new(1),
+                    size: 8192,
+                    perm: Perm::RW,
+                },
+            )
+            .await;
+            assert_eq!(r.error, None);
+            // Derive a read-only sub-range.
+            let r = syscall(
+                &dtu,
+                Syscall::DeriveMem {
+                    dst: SelId::new(2),
+                    src: SelId::new(1),
+                    offset: 4096,
+                    size: 4096,
+                    perm: Perm::R,
+                },
+            )
+            .await;
+            assert_eq!(r.error, None);
+            // Deriving beyond the region fails.
+            let r = syscall(
+                &dtu,
+                Syscall::DeriveMem {
+                    dst: SelId::new(3),
+                    src: SelId::new(1),
+                    offset: 8000,
+                    size: 4096,
+                    perm: Perm::R,
+                },
+            )
+            .await;
+            assert_eq!(r.error, Some(Code::InvArgs));
+            // Escalating permissions fails.
+            let r = syscall(
+                &dtu,
+                Syscall::DeriveMem {
+                    dst: SelId::new(3),
+                    src: SelId::new(2),
+                    offset: 0,
+                    size: 10,
+                    perm: Perm::RW,
+                },
+            )
+            .await;
+            assert_eq!(r.error, Some(Code::NoPerm));
+        });
+        sim.run();
+        h.try_take().unwrap();
+    }
+
+    #[test]
+    fn activate_mem_gate_and_use_it() {
+        let (platform, _kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(root.pe);
+        let h = sim.spawn("app", async move {
+            let r = syscall(
+                &dtu,
+                Syscall::AllocMem {
+                    dst: SelId::new(1),
+                    size: 4096,
+                    perm: Perm::RW,
+                },
+            )
+            .await;
+            assert_eq!(r.error, None);
+            let r = syscall(
+                &dtu,
+                Syscall::Activate {
+                    vpe: SelId::new(0),
+                    ep: EpId::new(2),
+                    gate: SelId::new(1),
+                },
+            )
+            .await;
+            assert_eq!(r.error, None);
+            dtu.write_mem(EpId::new(2), 0, &[7, 8, 9]).await.unwrap();
+            dtu.read_mem(EpId::new(2), 0, 3).await.unwrap()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn revoke_invalidates_endpoint() {
+        let (platform, _kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(root.pe);
+        let h = sim.spawn("app", async move {
+            syscall(
+                &dtu,
+                Syscall::AllocMem {
+                    dst: SelId::new(1),
+                    size: 4096,
+                    perm: Perm::RW,
+                },
+            )
+            .await;
+            syscall(
+                &dtu,
+                Syscall::Activate {
+                    vpe: SelId::new(0),
+                    ep: EpId::new(2),
+                    gate: SelId::new(1),
+                },
+            )
+            .await;
+            dtu.write_mem(EpId::new(2), 0, &[1]).await.unwrap();
+            let r = syscall(&dtu, Syscall::Revoke { sel: SelId::new(1) }).await;
+            assert_eq!(r.error, None);
+            dtu.write_mem(EpId::new(2), 0, &[1]).await.unwrap_err().code()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Code::InvEp);
+    }
+
+    #[test]
+    fn revoked_mem_returns_to_allocator() {
+        let (platform, kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(root.pe);
+        let before = kernel.free_mem();
+        let h = sim.spawn("app", async move {
+            syscall(
+                &dtu,
+                Syscall::AllocMem {
+                    dst: SelId::new(1),
+                    size: 1 << 20,
+                    perm: Perm::RW,
+                },
+            )
+            .await;
+            syscall(&dtu, Syscall::Revoke { sel: SelId::new(1) }).await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap().error, None);
+        assert_eq!(kernel.free_mem(), before);
+    }
+
+    #[test]
+    fn create_vpe_allocates_pe_and_sysc_channel() {
+        let (platform, kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(root.pe);
+        let free_before = kernel.free_pes();
+        let h = sim.spawn("app", async move {
+            let r = syscall(
+                &dtu,
+                Syscall::CreateVpe {
+                    dst: SelId::new(1),
+                    mem_dst: SelId::new(2),
+                    pe: PeRequest::Same,
+                    name: "child".to_string(),
+                },
+            )
+            .await;
+            assert_eq!(r.error, None);
+            let mut is = m3_base::marshal::IStream::new(&r.data);
+            let _vpe = is.pop_u32().unwrap();
+            is.pop_u32().unwrap()
+        });
+        sim.run();
+        let child_pe = PeId::new(h.try_take().unwrap());
+        assert_eq!(kernel.free_pes(), free_before - 1);
+        // The child can immediately issue syscalls over its new channel.
+        let sim2 = platform.sim().clone();
+        let child_dtu = platform.dtu(child_pe);
+        let h2 = sim2.spawn("child", async move { syscall(&child_dtu, Syscall::Noop).await });
+        sim2.run();
+        assert_eq!(h2.try_take().unwrap().error, None);
+    }
+
+    #[test]
+    fn exit_frees_pe_and_wakes_waiter() {
+        let (platform, kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(root.pe);
+        let kernel2 = kernel.clone();
+        let h = sim.spawn("app", async move {
+            let r = syscall(
+                &dtu,
+                Syscall::CreateVpe {
+                    dst: SelId::new(1),
+                    mem_dst: SelId::new(2),
+                    pe: PeRequest::Same,
+                    name: "child".to_string(),
+                },
+            )
+            .await;
+            let mut is = m3_base::marshal::IStream::new(&r.data);
+            let _ = is.pop_u32().unwrap();
+            let child_pe = PeId::new(is.pop_u32().unwrap());
+            syscall(&dtu, Syscall::VpeStart { vpe: SelId::new(1) }).await;
+
+            // The child runs, then exits with code 42.
+            let child_dtu = kernel2.platform().dtu(child_pe);
+            let sim = kernel2.platform().sim().clone();
+            sim.spawn("child", async move {
+                child_dtu
+                    .send(std_eps::SYSC_SEND, &Syscall::Exit { code: 42 }.to_bytes(), None)
+                    .await
+                    .unwrap();
+            });
+
+            let r = syscall(&dtu, Syscall::VpeWait { vpe: SelId::new(1) }).await;
+            let mut is = m3_base::marshal::IStream::new(&r.data);
+            is.pop_i64().unwrap()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), 42);
+        assert_eq!(kernel.free_pes(), 2); // 4 PEs - kernel - root
+    }
+
+    #[test]
+    fn rgates_are_not_delegable() {
+        let (platform, _kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(root.pe);
+        let h = sim.spawn("app", async move {
+            syscall(
+                &dtu,
+                Syscall::CreateRGate {
+                    dst: SelId::new(1),
+                    slots: 4,
+                    slot_size: 256,
+                },
+            )
+            .await;
+            syscall(
+                &dtu,
+                Syscall::CreateVpe {
+                    dst: SelId::new(2),
+                    mem_dst: SelId::new(3),
+                    pe: PeRequest::Same,
+                    name: "child".to_string(),
+                },
+            )
+            .await;
+            // Delegating the rgate must fail.
+            syscall(
+                &dtu,
+                Syscall::Exchange {
+                    vpe: SelId::new(2),
+                    own: SelId::new(1),
+                    other: SelId::new(10),
+                    obtain: false,
+                },
+            )
+            .await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap().error, Some(Code::NotSup));
+    }
+
+    #[test]
+    fn sgate_activation_defers_until_rgate_activated() {
+        // Two VPEs: receiver creates rgate, sender obtains an sgate to it.
+        // The sender activates first; the kernel must defer its reply until
+        // the receiver activates the rgate (§4.5.4).
+        let (platform, kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let dtu = platform.dtu(root.pe);
+        let kernel2 = kernel.clone();
+        let h = sim.spawn("receiver", async move {
+            // Create rgate + sgate, then a child VPE; delegate the sgate.
+            syscall(
+                &dtu,
+                Syscall::CreateRGate {
+                    dst: SelId::new(1),
+                    slots: 4,
+                    slot_size: 256,
+                },
+            )
+            .await;
+            syscall(
+                &dtu,
+                Syscall::CreateSGate {
+                    dst: SelId::new(2),
+                    rgate: SelId::new(1),
+                    label: 0x77,
+                    credits: 2,
+                },
+            )
+            .await;
+            let r = syscall(
+                &dtu,
+                Syscall::CreateVpe {
+                    dst: SelId::new(3),
+                    mem_dst: SelId::new(4),
+                    pe: PeRequest::Same,
+                    name: "sender".to_string(),
+                },
+            )
+            .await;
+            let mut is = m3_base::marshal::IStream::new(&r.data);
+            let _ = is.pop_u32().unwrap();
+            let sender_pe = PeId::new(is.pop_u32().unwrap());
+            syscall(
+                &dtu,
+                Syscall::Exchange {
+                    vpe: SelId::new(3),
+                    own: SelId::new(2),
+                    other: SelId::new(1),
+                    obtain: false,
+                },
+            )
+            .await;
+
+            // The sender starts now and activates its sgate immediately.
+            let sender_dtu = kernel2.platform().dtu(sender_pe);
+            let sim2 = kernel2.platform().sim().clone();
+            let sent = sim2.spawn("sender", async move {
+                let r = syscall(
+                    &sender_dtu,
+                    Syscall::Activate {
+                        vpe: SelId::new(0),
+                        ep: EpId::new(2),
+                        gate: SelId::new(1),
+                    },
+                )
+                .await;
+                assert_eq!(r.error, None);
+                sender_dtu.send(EpId::new(2), b"deferred", None).await.unwrap();
+            });
+
+            // Wait a while before activating the rgate: the sender's
+            // activate syscall must be pending all along.
+            let sim3 = kernel2.platform().sim().clone();
+            sim3.sleep(m3_base::Cycles::new(5000)).await;
+            let r = syscall(
+                &dtu,
+                Syscall::Activate {
+                    vpe: SelId::new(0),
+                    ep: EpId::new(2),
+                    gate: SelId::new(1),
+                },
+            )
+            .await;
+            assert_eq!(r.error, None);
+            let msg = dtu.recv(EpId::new(2)).await.unwrap();
+            dtu.ack(EpId::new(2)).unwrap();
+            sent.join().await;
+            (msg.header.label, msg.payload)
+        });
+        sim.run();
+        let (label, payload) = h.try_take().unwrap();
+        assert_eq!(label, 0x77);
+        assert_eq!(payload, b"deferred");
+    }
+}

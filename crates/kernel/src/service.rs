@@ -1,0 +1,118 @@
+//! Service and session kernel objects.
+//!
+//! OS functionality (filesystems, pipes, …) is implemented by applications
+//! acting as services (§4.5.1). The kernel keeps a registry of named
+//! services; clients open *sessions*, and capability exchanges over a
+//! session are forwarded to the service, which may deny them (§4.5.3).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use m3_base::error::{Code, Error, Result};
+use m3_base::{EpId, VpeId};
+
+use crate::cap::RGateObj;
+
+/// A registered service.
+#[derive(Debug)]
+pub struct ServObj {
+    /// Global name clients open sessions with.
+    pub name: String,
+    /// The VPE implementing the service.
+    pub owner: VpeId,
+    /// The receive gate the service handles kernel requests on.
+    pub rgate: Rc<RGateObj>,
+    /// The kernel-side send endpoint configured for this service.
+    pub kernel_ep: EpId,
+}
+
+/// A session between a client VPE and a service.
+#[derive(Debug)]
+pub struct SessObj {
+    /// The service this session belongs to.
+    pub serv: Rc<ServObj>,
+    /// The service-chosen identifier ("typically the address of the object
+    /// that corresponds to the sender", §4.4.2).
+    pub ident: u64,
+}
+
+/// The kernel's service registry.
+#[derive(Default, Debug)]
+pub struct ServiceRegistry {
+    services: RefCell<HashMap<String, Rc<ServObj>>>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ServiceRegistry {
+        ServiceRegistry::default()
+    }
+
+    /// Registers a service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::Exists`] if the name is taken.
+    pub fn register(&self, serv: Rc<ServObj>) -> Result<()> {
+        let mut map = self.services.borrow_mut();
+        if map.contains_key(&serv.name) {
+            return Err(Error::new(Code::Exists).with_msg(format!("service {}", serv.name)));
+        }
+        map.insert(serv.name.clone(), serv);
+        Ok(())
+    }
+
+    /// Looks up a service by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::InvService`] if no such service exists.
+    pub fn find(&self, name: &str) -> Result<Rc<ServObj>> {
+        self.services
+            .borrow()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::new(Code::InvService).with_msg(name.to_string()))
+    }
+
+    /// Removes a service (e.g. when its VPE dies).
+    pub fn unregister(&self, name: &str) -> Option<Rc<ServObj>> {
+        self.services.borrow_mut().remove(name)
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.borrow().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serv(name: &str) -> Rc<ServObj> {
+        Rc::new(ServObj {
+            name: name.to_string(),
+            owner: VpeId::new(1),
+            rgate: RGateObj::new(VpeId::new(1), 8, 512),
+            kernel_ep: EpId::new(2),
+        })
+    }
+
+    #[test]
+    fn register_find_unregister() {
+        let reg = ServiceRegistry::new();
+        reg.register(serv("m3fs")).unwrap();
+        assert_eq!(reg.find("m3fs").unwrap().name, "m3fs");
+        assert_eq!(reg.find("nope").unwrap_err().code(), Code::InvService);
+        assert_eq!(reg.register(serv("m3fs")).unwrap_err().code(), Code::Exists);
+        assert!(reg.unregister("m3fs").is_some());
+        assert!(reg.is_empty());
+    }
+}

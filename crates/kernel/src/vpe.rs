@@ -1,0 +1,79 @@
+//! Virtual processing elements (VPEs).
+//!
+//! A VPE is the kernel's abstraction for a PE: "applications consist of at
+//! least one VPE, whereas each VPE is assigned to exactly one PE at any point
+//! in time" (§4.3). Each VPE represents a single activity; parallelism means
+//! creating more VPEs (§4.5.5).
+
+use m3_base::{PeId, VpeId};
+use m3_sim::Notify;
+
+/// Lifecycle state of a VPE.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VpeState {
+    /// Created; the PE is reserved but the program has not started.
+    Init,
+    /// The program is running on the PE.
+    Running,
+    /// The program exited with the carried code; the PE has been released.
+    Dead(i64),
+}
+
+/// A VPE kernel object.
+#[derive(Debug)]
+pub struct VpeObj {
+    /// Kernel-wide VPE identifier (also the label of its syscall channel).
+    pub id: VpeId,
+    /// Human-readable name (diagnostics).
+    pub name: String,
+    /// The PE this VPE is bound to.
+    pub pe: PeId,
+    /// Current lifecycle state.
+    pub state: VpeState,
+    /// Notified when the VPE dies (used by `VpeWait`).
+    pub exited: Notify,
+}
+
+impl VpeObj {
+    /// Creates a VPE bound to `pe` in [`VpeState::Init`].
+    pub fn new(id: VpeId, name: impl Into<String>, pe: PeId) -> VpeObj {
+        VpeObj {
+            id,
+            name: name.into(),
+            pe,
+            state: VpeState::Init,
+            exited: Notify::new(),
+        }
+    }
+
+    /// The exit code, if the VPE has died.
+    pub fn exit_code(&self) -> Option<i64> {
+        match self.state {
+            VpeState::Dead(code) => Some(code),
+            _ => None,
+        }
+    }
+
+    /// Whether the VPE is still alive (init or running).
+    pub fn is_alive(&self) -> bool {
+        !matches!(self.state, VpeState::Dead(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut vpe = VpeObj::new(VpeId::new(1), "test", PeId::new(2));
+        assert_eq!(vpe.state, VpeState::Init);
+        assert!(vpe.is_alive());
+        assert_eq!(vpe.exit_code(), None);
+        vpe.state = VpeState::Running;
+        assert!(vpe.is_alive());
+        vpe.state = VpeState::Dead(3);
+        assert!(!vpe.is_alive());
+        assert_eq!(vpe.exit_code(), Some(3));
+    }
+}

@@ -1,0 +1,163 @@
+//! Virtual memory with remotely-managed page tables (paper §7, future
+//! work).
+//!
+//! "Furthermore, we want to support virtual memory to enable copy-on-write,
+//! demand paging, etc. This can be done by managing the page tables
+//! remotely, similarly to managing the DTU endpoints remotely."
+//!
+//! [`AddrSpace`] prototypes the demand-paging half: the kernel owns the
+//! page table; a load or store to an unmapped virtual address raises a
+//! "page fault" — a `Translate` system call — and the kernel allocates a
+//! zeroed DRAM frame on first touch and hands back a frame capability. The
+//! application caches translations in a small software TLB; eviction just
+//! drops the local capability handle, exactly as a hardware TLB forgets an
+//! entry.
+
+use std::collections::VecDeque;
+
+use m3_base::error::Result;
+use m3_base::marshal::IStream;
+use m3_base::Perm;
+use m3_kernel::PAGE_SIZE;
+use m3_kernel::protocol::Syscall;
+
+use crate::env::Env;
+use crate::gate::MemGate;
+
+/// Entries the software TLB holds before evicting the least recent.
+pub const TLB_ENTRIES: usize = 8;
+
+struct TlbEntry {
+    page: u64,
+    frame: MemGate,
+}
+
+/// A demand-paged virtual address space.
+///
+/// # Examples
+///
+/// See `tests/virtual_memory.rs` for end-to-end usage.
+pub struct AddrSpace {
+    env: Env,
+    perm: Perm,
+    tlb: VecDeque<TlbEntry>,
+    faults: u64,
+    tlb_misses: u64,
+}
+
+impl std::fmt::Debug for AddrSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AddrSpace")
+            .field("tlb_entries", &self.tlb.len())
+            .field("tlb_misses", &self.tlb_misses)
+            .finish()
+    }
+}
+
+impl AddrSpace {
+    /// Creates an address space with the given access permissions.
+    pub fn new(env: &Env, perm: Perm) -> AddrSpace {
+        AddrSpace {
+            env: env.clone(),
+            perm,
+            tlb: VecDeque::new(),
+            faults: 0,
+            tlb_misses: 0,
+        }
+    }
+
+    /// Software-TLB misses so far (each one is a kernel round trip).
+    pub fn tlb_misses(&self) -> u64 {
+        self.tlb_misses
+    }
+
+    /// Translate syscalls performed (TLB misses that reached the kernel).
+    pub fn page_faults(&self) -> u64 {
+        self.faults
+    }
+
+    async fn translate(&mut self, virt: u64) -> Result<usize> {
+        let page = virt / PAGE_SIZE;
+        if let Some(pos) = self.tlb.iter().position(|e| e.page == page) {
+            // Move to MRU.
+            let entry = self.tlb.remove(pos).expect("position valid");
+            self.tlb.push_back(entry);
+            return Ok(self.tlb.len() - 1);
+        }
+        self.tlb_misses += 1;
+        let dst = self.env.alloc_sel();
+        let data = self
+            .env
+            .syscall(Syscall::Translate {
+                dst,
+                virt,
+                perm: self.perm,
+            })
+            .await?;
+        let mut is = IStream::new(&data);
+        let _page_base = is.pop_u64()?;
+        self.faults += 1;
+        if self.tlb.len() == TLB_ENTRIES {
+            self.tlb.pop_front(); // capability handle dropped, like a TLB evict
+        }
+        self.tlb.push_back(TlbEntry {
+            page,
+            frame: MemGate::bind(&self.env, dst),
+        });
+        Ok(self.tlb.len() - 1)
+    }
+
+    /// Reads `buf.len()` bytes at virtual address `virt`, faulting pages in
+    /// as needed (unmapped pages read as zeros, as freshly allocated frames
+    /// are zeroed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel and DTU errors.
+    pub async fn read(&mut self, virt: u64, buf: &mut [u8]) -> Result<()> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = virt + pos as u64;
+            let off = addr % PAGE_SIZE;
+            let n = ((PAGE_SIZE - off) as usize).min(buf.len() - pos);
+            let idx = self.translate(addr).await?;
+            let data = self.tlb[idx].frame.read(off, n).await?;
+            buf[pos..pos + n].copy_from_slice(&data);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at virtual address `virt`, faulting pages in as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel and DTU errors.
+    pub async fn write(&mut self, virt: u64, data: &[u8]) -> Result<()> {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = virt + pos as u64;
+            let off = addr % PAGE_SIZE;
+            let n = ((PAGE_SIZE - off) as usize).min(data.len() - pos);
+            let idx = self.translate(addr).await?;
+            self.tlb[idx].frame.write(off, &data[pos..pos + n]).await?;
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Unmaps the page containing `virt`, freeing its frame and dropping
+    /// any TLB entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`m3_base::error::Code::InvArgs`] if the page was never
+    /// touched.
+    pub async fn unmap(&mut self, virt: u64) -> Result<()> {
+        let page = virt / PAGE_SIZE;
+        self.tlb.retain(|e| e.page != page);
+        self.env.syscall(Syscall::Unmap { virt }).await?;
+        Ok(())
+    }
+}

@@ -1,0 +1,293 @@
+//! Cached access to PE-external memory (paper §7, future work).
+//!
+//! "We plan to add caches to the PEs or replace the SPM with caches. The
+//! cache will use the DTU to load/store cache lines from/into DRAM. In this
+//! way, the DTU remains the only component with access to PE-external
+//! resources and it thus suffices to control the DTU."
+//!
+//! [`CachedMem`] prototypes exactly that: a write-back, write-allocate cache
+//! in front of a [`MemGate`]. Loads and stores hit the local line store;
+//! misses fetch whole lines through the DTU (paying the real transfer), and
+//! evictions write dirty lines back. Because every fill and write-back goes
+//! through the memory gate, revoking the capability still cuts off the PE —
+//! the isolation story is unchanged.
+
+use std::collections::HashMap;
+
+use m3_base::error::Result;
+use m3_platform::Cache;
+
+use crate::gate::MemGate;
+
+/// Cache line size used by the prototype (one DRAM burst).
+pub const LINE_SIZE: usize = 64;
+
+struct Line {
+    data: [u8; LINE_SIZE],
+    dirty: bool,
+}
+
+/// A write-back cache over a region of PE-external memory.
+///
+/// Sequential or re-used access patterns hit locally; the DTU is only
+/// involved on misses and write-backs — turning many small accesses into
+/// few line-sized transfers, which is what makes caches attractive for
+/// feature-rich PEs (§7).
+pub struct CachedMem {
+    mem: MemGate,
+    tags: Cache,
+    lines: HashMap<u64, Line>,
+    fills: u64,
+    writebacks: u64,
+}
+
+impl std::fmt::Debug for CachedMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedMem")
+            .field("resident_lines", &self.lines.len())
+            .field("fills", &self.fills)
+            .field("writebacks", &self.writebacks)
+            .finish()
+    }
+}
+
+impl CachedMem {
+    /// Wraps `mem` with a cache of `capacity` bytes, `ways`-way associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent cache geometry.
+    pub fn new(mem: MemGate, capacity: usize, ways: usize) -> CachedMem {
+        CachedMem {
+            mem,
+            tags: Cache::new(capacity, LINE_SIZE, ways),
+            lines: HashMap::new(),
+            fills: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Lines fetched from memory so far.
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Dirty lines written back so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    async fn ensure_line(&mut self, line_no: u64) -> Result<()> {
+        if self.lines.contains_key(&line_no) {
+            // Refresh LRU state.
+            self.tags.access(line_no * LINE_SIZE as u64);
+            return Ok(());
+        }
+        // Install the tag; whatever the tag array evicted must leave the
+        // line store too (writing back if dirty).
+        self.tags.access(line_no * LINE_SIZE as u64);
+        let resident: Vec<u64> = self.lines.keys().copied().collect();
+        for old in resident {
+            if !self.tags.contains(old * LINE_SIZE as u64) {
+                if let Some(line) = self.lines.remove(&old) {
+                    if line.dirty {
+                        self.mem
+                            .write(old * LINE_SIZE as u64, &line.data)
+                            .await?;
+                        self.writebacks += 1;
+                    }
+                }
+            }
+        }
+        let bytes = self.mem.read(line_no * LINE_SIZE as u64, LINE_SIZE).await?;
+        let mut data = [0u8; LINE_SIZE];
+        data.copy_from_slice(&bytes);
+        self.lines.insert(line_no, Line { data, dirty: false });
+        self.fills += 1;
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset` through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors (permissions, bounds, revoked capability).
+    pub async fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = offset + pos as u64;
+            let line_no = addr / LINE_SIZE as u64;
+            let line_off = (addr % LINE_SIZE as u64) as usize;
+            self.ensure_line(line_no).await?;
+            let line = &self.lines[&line_no];
+            let n = (LINE_SIZE - line_off).min(buf.len() - pos);
+            buf[pos..pos + n].copy_from_slice(&line.data[line_off..line_off + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `offset` through the cache (write-back,
+    /// write-allocate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors.
+    pub async fn write(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = offset + pos as u64;
+            let line_no = addr / LINE_SIZE as u64;
+            let line_off = (addr % LINE_SIZE as u64) as usize;
+            self.ensure_line(line_no).await?;
+            let line = self.lines.get_mut(&line_no).expect("just ensured");
+            let n = (LINE_SIZE - line_off).min(data.len() - pos);
+            line.data[line_off..line_off + n].copy_from_slice(&data[pos..pos + n]);
+            line.dirty = true;
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty line back (like a cache flush before handing the
+    /// region to someone else).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors.
+    pub async fn flush(&mut self) -> Result<()> {
+        let mut dirty: Vec<u64> = self
+            .lines
+            .iter()
+            .filter(|(_, l)| l.dirty)
+            .map(|(&n, _)| n)
+            .collect();
+        dirty.sort_unstable();
+        for line_no in dirty {
+            let line = self.lines.get_mut(&line_no).expect("listed above");
+            self.mem.write(line_no * LINE_SIZE as u64, &line.data).await?;
+            line.dirty = false;
+            self.writebacks += 1;
+        }
+        Ok(())
+    }
+
+    /// Gives the underlying gate back (flush first!).
+    pub fn into_inner(self) -> MemGate {
+        self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{start_program, ProgramRegistry};
+    use m3_base::{PeId, Perm};
+    use m3_kernel::Kernel;
+    use m3_platform::{Platform, PlatformConfig};
+
+    fn boot() -> (Platform, Kernel) {
+        let platform = Platform::new(PlatformConfig::xtensa(3));
+        let kernel = Kernel::start(&platform, PeId::new(0));
+        (platform, kernel)
+    }
+
+    #[test]
+    fn reads_and_writes_roundtrip_through_the_cache() {
+        let (platform, kernel) = boot();
+        let h = start_program(&kernel, "t", None, ProgramRegistry::new(), |env| async move {
+            let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
+            let mut cached = CachedMem::new(mem, 1024, 4);
+            cached.write(100, b"cached hello").await.unwrap();
+            let mut buf = [0u8; 12];
+            cached.read(100, &mut buf).await.unwrap();
+            assert_eq!(&buf, b"cached hello");
+            // The data is only in the cache until flushed.
+            cached.flush().await.unwrap();
+            let mem = cached.into_inner();
+            assert_eq!(mem.read(100, 12).await.unwrap(), b"cached hello");
+            0
+        });
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    fn hits_avoid_the_dtu() {
+        let (platform, kernel) = boot();
+        let h = start_program(&kernel, "t", None, ProgramRegistry::new(), |env| async move {
+            let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
+            let mut cached = CachedMem::new(mem, 2048, 4);
+            // 64 single-byte reads of the same line: one fill.
+            let mut b = [0u8; 1];
+            for i in 0..64 {
+                cached.read(i, &mut b).await.unwrap();
+            }
+            assert_eq!(cached.fills(), 1);
+            // Timing: the warm accesses must be far cheaper than cold ones.
+            let t0 = env.sim().now();
+            for i in 0..64 {
+                cached.read(i, &mut b).await.unwrap();
+            }
+            let warm = (env.sim().now() - t0).as_u64();
+            let t1 = env.sim().now();
+            cached.read(4096, &mut b).await.unwrap(); // cold line
+            let cold = (env.sim().now() - t1).as_u64();
+            assert!(warm == 0, "warm hits must not touch the DTU: {warm}");
+            assert!(cold > 20, "a miss pays a real transfer: {cold}");
+            0
+        });
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_lines_back() {
+        let (platform, kernel) = boot();
+        let h = start_program(&kernel, "t", None, ProgramRegistry::new(), |env| async move {
+            let mem = crate::gate::MemGate::alloc(&env, 1 << 16, Perm::RW).await.unwrap();
+            // A tiny cache: 4 lines, direct-ish (2-way).
+            let mut cached = CachedMem::new(mem, 4 * LINE_SIZE, 2);
+            // Dirty many distinct lines so evictions must write back.
+            for i in 0..16u64 {
+                cached.write(i * LINE_SIZE as u64, &[i as u8]).await.unwrap();
+            }
+            assert!(cached.writebacks() > 0, "evictions must write back");
+            cached.flush().await.unwrap();
+            let mem = cached.into_inner();
+            for i in 0..16u64 {
+                let v = mem.read(i * LINE_SIZE as u64, 1).await.unwrap();
+                assert_eq!(v[0], i as u8, "line {i} lost");
+            }
+            0
+        });
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    fn revoked_capability_cuts_off_the_cache_too() {
+        let (platform, kernel) = boot();
+        let h = start_program(&kernel, "t", None, ProgramRegistry::new(), |env| async move {
+            let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
+            let sel = mem.sel();
+            let mut cached = CachedMem::new(mem, 1024, 4);
+            cached.write(0, b"x").await.unwrap();
+            env.syscall(m3_kernel::protocol::Syscall::Revoke { sel })
+                .await
+                .unwrap();
+            // The resident line still reads (it is local), but any miss or
+            // write-back fails: the DTU is the only path to memory.
+            let mut b = [0u8; 1];
+            cached.read(0, &mut b).await.unwrap();
+            let err = cached.read(4096, &mut b).await.unwrap_err();
+            assert!(matches!(
+                err.code(),
+                m3_base::error::Code::InvEp | m3_base::error::Code::InvCap
+            ));
+            0
+        });
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The endpoint multiplexer.
+//!
+//! "Since the DTU provides only a limited number of endpoints (8 in our
+//! prototype platform) and applications might need more send gates or memory
+//! gates than endpoints are available, multiplexing is used to share the
+//! endpoints among these gates. This is done by libm3, which checks before
+//! the usage of a gate whether the endpoint is appropriately configured. If
+//! not, the corresponding system call is performed." (§4.5.4)
+//!
+//! Receive gates are pinned: they cannot be moved while senders exist.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use m3_base::cfg::EP_COUNT;
+use m3_base::EpId;
+use m3_kernel::protocol::std_eps;
+
+/// The shared handle a gate uses to learn which EP it currently occupies
+/// (cleared by the multiplexer when the gate is evicted).
+pub type EpCell = Rc<Cell<Option<EpId>>>;
+
+#[derive(Clone, Debug, Default)]
+struct Slot {
+    /// The evictable gate currently occupying the slot.
+    occupant: Option<EpCell>,
+    /// Pinned slots (receive gates, parent-assigned EPs) are never victims.
+    pinned: bool,
+    /// LRU stamp.
+    last_use: u64,
+}
+
+/// Multiplexes gates onto the free endpoints (EP 2..8).
+#[derive(Debug)]
+pub struct EpMux {
+    slots: Vec<Slot>,
+    clock: u64,
+}
+
+impl Default for EpMux {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpMux {
+    /// Creates a multiplexer with all non-syscall EPs free.
+    pub fn new() -> EpMux {
+        EpMux {
+            slots: vec![Slot::default(); EP_COUNT - std_eps::FIRST_FREE as usize],
+            clock: 0,
+        }
+    }
+
+    fn ep_of(idx: usize) -> EpId {
+        EpId::new(idx as u32 + std_eps::FIRST_FREE)
+    }
+
+    fn idx_of(ep: EpId) -> usize {
+        (ep.raw() - std_eps::FIRST_FREE) as usize
+    }
+
+    /// Permanently reserves a free endpoint (for a receive gate). Returns
+    /// `None` if every slot is pinned.
+    pub fn reserve(&mut self) -> Option<EpId> {
+        // Prefer a completely free slot; otherwise evict an occupant.
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| !s.pinned && s.occupant.is_none())
+            .or_else(|| self.victim_idx())?;
+        if let Some(cell) = self.slots[idx].occupant.take() {
+            cell.set(None);
+        }
+        self.slots[idx].pinned = true;
+        Some(Self::ep_of(idx))
+    }
+
+    /// Marks an endpoint as pinned because someone else (the parent VPE)
+    /// configured it before this program started.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint is a syscall EP or out of range.
+    pub fn pin_existing(&mut self, ep: EpId) {
+        assert!(
+            ep.raw() >= std_eps::FIRST_FREE && ep.idx() < EP_COUNT,
+            "{ep} is not a multiplexable endpoint"
+        );
+        let idx = Self::idx_of(ep);
+        if let Some(cell) = self.slots[idx].occupant.take() {
+            cell.set(None);
+        }
+        self.slots[idx].pinned = true;
+    }
+
+    fn victim_idx(&self) -> Option<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.pinned)
+            .min_by_key(|(_, s)| s.last_use)
+            .map(|(i, _)| i)
+    }
+
+    /// Finds an endpoint for a gate that currently has none. Returns the
+    /// endpoint; any evicted gate's [`EpCell`] has been cleared, so the
+    /// victim re-activates on next use.
+    ///
+    /// Returns `None` if every slot is pinned (the caller then fails with
+    /// an out-of-endpoints error).
+    pub fn acquire(&mut self, cell: &EpCell) -> Option<EpId> {
+        self.clock += 1;
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| !s.pinned && s.occupant.is_none())
+            .or_else(|| self.victim_idx())?;
+        if let Some(old) = self.slots[idx].occupant.take() {
+            old.set(None);
+        }
+        self.slots[idx].occupant = Some(cell.clone());
+        self.slots[idx].last_use = self.clock;
+        let ep = Self::ep_of(idx);
+        cell.set(Some(ep));
+        Some(ep)
+    }
+
+    /// Refreshes the LRU stamp of an endpoint a gate just used.
+    pub fn touch(&mut self, ep: EpId) {
+        self.clock += 1;
+        let idx = Self::idx_of(ep);
+        self.slots[idx].last_use = self.clock;
+    }
+
+    /// Releases a slot (gate dropped or receive gate torn down).
+    pub fn release(&mut self, ep: EpId) {
+        let idx = Self::idx_of(ep);
+        if let Some(cell) = self.slots[idx].occupant.take() {
+            cell.set(None);
+        }
+        self.slots[idx].pinned = false;
+        self.slots[idx].last_use = 0;
+    }
+
+    /// Number of slots with no occupant and no pin.
+    pub fn free_slots(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !s.pinned && s.occupant.is_none())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> EpCell {
+        Rc::new(Cell::new(None))
+    }
+
+    #[test]
+    fn acquire_until_full_then_evict_lru() {
+        let mut mux = EpMux::new();
+        let cells: Vec<EpCell> = (0..6).map(|_| cell()).collect();
+        let mut eps = Vec::new();
+        for c in &cells {
+            eps.push(mux.acquire(c).unwrap());
+        }
+        assert_eq!(mux.free_slots(), 0);
+        // Touch all but the first, making cells[0] the LRU.
+        for ep in &eps[1..] {
+            mux.touch(*ep);
+        }
+        let newcomer = cell();
+        let ep = mux.acquire(&newcomer).unwrap();
+        assert_eq!(ep, eps[0], "LRU slot reused");
+        assert_eq!(cells[0].get(), None, "victim's cell cleared");
+        assert_eq!(newcomer.get(), Some(ep));
+    }
+
+    #[test]
+    fn reserve_pins_and_survives_pressure() {
+        let mut mux = EpMux::new();
+        let pinned = mux.reserve().unwrap();
+        // Fill the rest and keep allocating: the pinned slot never moves.
+        for _ in 0..20 {
+            let c = cell();
+            let ep = mux.acquire(&c).unwrap();
+            assert_ne!(ep, pinned);
+        }
+    }
+
+    #[test]
+    fn all_pinned_means_no_endpoint() {
+        let mut mux = EpMux::new();
+        for _ in 0..6 {
+            mux.reserve().unwrap();
+        }
+        assert!(mux.reserve().is_none());
+        assert!(mux.acquire(&cell()).is_none());
+    }
+
+    #[test]
+    fn pin_existing_evicts_occupant() {
+        let mut mux = EpMux::new();
+        let c = cell();
+        let ep = mux.acquire(&c).unwrap();
+        mux.pin_existing(ep);
+        assert_eq!(c.get(), None);
+        // The pinned slot is not handed out again.
+        for _ in 0..10 {
+            assert_ne!(mux.acquire(&cell()).unwrap(), ep);
+        }
+    }
+
+    #[test]
+    fn release_frees_slot() {
+        let mut mux = EpMux::new();
+        let ep = mux.reserve().unwrap();
+        mux.release(ep);
+        assert_eq!(mux.free_slots(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiplexable")]
+    fn pinning_syscall_ep_panics() {
+        EpMux::new().pin_existing(EpId::new(0));
+    }
+}

@@ -1,0 +1,40 @@
+//! libm3 — the application-side library of M3.
+//!
+//! "The library libm3 provides abstractions for communicating with the
+//! kernel or OS services, accessing files, using the DTU etc." (§4.5.2).
+//! Because the prototype's SPMs are small, libm3 provides *lightweight*
+//! abstractions rather than a POSIX-compliant environment — a choice the
+//! paper credits with part of M3's performance advantage.
+//!
+//! The pieces:
+//!
+//! - [`Env`] — a VPE's execution environment: selector allocation, typed
+//!   system calls, the endpoint multiplexer,
+//! - [`gate`] — send/receive/memory gates, the software side of DTU
+//!   endpoints (§4.5.4),
+//! - [`vpe::Vpe`] — creating VPEs, `run` (clone) and `exec` (§4.5.5),
+//! - [`serv`]/[`session`] — the service/session machinery (§4.5.3),
+//! - [`vfs`] — the virtual filesystem with POSIX-like `open`/`read`/
+//!   `write`/`seek`/`close` (§4.5.8),
+//! - [`pipe`] — unidirectional pipes over a DRAM ring buffer, synchronized
+//!   by messages (§4.5.7).
+
+pub mod addrspace;
+pub mod cachemem;
+pub mod costs;
+mod env;
+pub mod epmux;
+pub mod gate;
+pub mod pipe;
+pub mod serv;
+pub mod session;
+pub mod vfs;
+pub mod vpe;
+
+pub use env::{start_program, Env, ProgramRegistry};
+pub use gate::{MemGate, RecvGate, SendGate};
+pub use session::ClientSession;
+pub use vpe::Vpe;
+
+/// A boxed, non-`Send` future, used where async trait objects are needed.
+pub type BoxFuture<'a, T> = std::pin::Pin<Box<dyn std::future::Future<Output = T> + 'a>>;

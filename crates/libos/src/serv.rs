@@ -1,0 +1,194 @@
+//! Server side of the service protocol (§4.5.3).
+//!
+//! A service registers a receive gate with the kernel ([`serve`]); the
+//! kernel forwards session opens and capability exchanges to it and the
+//! service may deny them. Client-facing request channels (e.g. the m3fs
+//! meta channel) are ordinary gates the service hands out via `obtain`.
+
+use m3_base::error::{Code, Result};
+use m3_base::SelId;
+use m3_kernel::protocol::{ServiceReply, ServiceRequest, Syscall};
+
+use crate::costs;
+use crate::env::Env;
+use crate::gate::RecvGate;
+
+/// What a service implements to handle kernel-forwarded requests.
+pub trait Handler: 'static {
+    /// A client opens a session; returns the service-chosen identifier.
+    ///
+    /// # Errors
+    ///
+    /// Any error denies the session.
+    fn open(&mut self, env: &Env, arg: u64) -> Result<u64>;
+
+    /// A capability exchange over a session. For obtains, returns the
+    /// *service-side* selectors to map to the client (at most `cap_count`)
+    /// plus reply bytes; for delegates, returns the selectors where the
+    /// client's capabilities should land.
+    ///
+    /// # Errors
+    ///
+    /// Any error denies the exchange (§4.5.3: the service can deny).
+    fn exchange(
+        &mut self,
+        env: &Env,
+        ident: u64,
+        obtain: bool,
+        cap_count: u32,
+        args: &[u8],
+    ) -> impl std::future::Future<Output = Result<(Vec<SelId>, Vec<u8>)>>;
+
+    /// The session's VPE exited; drop its state.
+    fn close(&mut self, env: &Env, ident: u64);
+}
+
+/// Registers service `name` and serves kernel requests forever.
+///
+/// Spawn this with [`m3_sim::Sim::spawn_daemon`]; it only returns on
+/// transport failure.
+///
+/// # Errors
+///
+/// Fails if registration is rejected (e.g. duplicate name).
+pub async fn serve<H: Handler>(env: Env, name: &str, mut handler: H) -> Result<()> {
+    let rgate = RecvGate::new(&env, 32, 512).await?;
+    let dst = env.alloc_sel();
+    env.syscall(Syscall::CreateSrv {
+        dst,
+        rgate: rgate.sel(),
+        name: name.to_string(),
+    })
+    .await?;
+
+    loop {
+        let msg = rgate.recv().await?;
+        env.compute(costs::SERV_DISPATCH).await;
+        let reply = match ServiceRequest::from_bytes(&msg.payload) {
+            Err(e) => ServiceReply::err(e.code()),
+            Ok(ServiceRequest::Open { arg }) => match handler.open(&env, arg) {
+                Ok(ident) => {
+                    let mut r = ServiceReply::ok();
+                    r.ident = ident;
+                    r
+                }
+                Err(e) => ServiceReply::err(e.code()),
+            },
+            Ok(ServiceRequest::Exchange {
+                ident,
+                obtain,
+                cap_count,
+                args,
+            }) => match handler.exchange(&env, ident, obtain, cap_count, &args).await {
+                Ok((caps, args)) => {
+                    if caps.len() > cap_count as usize {
+                        ServiceReply::err(Code::InvArgs)
+                    } else {
+                        let mut r = ServiceReply::ok();
+                        r.caps = caps;
+                        r.args = args;
+                        r
+                    }
+                }
+                Err(e) => ServiceReply::err(e.code()),
+            },
+            Ok(ServiceRequest::Close { ident }) => {
+                handler.close(&env, ident);
+                ServiceReply::ok()
+            }
+        };
+        rgate.reply(&msg, &reply.to_bytes()).await?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{start_program, ProgramRegistry};
+    use crate::session::ClientSession;
+    use m3_base::PeId;
+    use m3_kernel::Kernel;
+    use m3_platform::{Platform, PlatformConfig};
+
+    /// A toy service: sessions are counters; obtain increments and echoes.
+    struct Counter {
+        next_ident: u64,
+        opened: Vec<u64>,
+    }
+
+    impl Handler for Counter {
+        fn open(&mut self, _env: &Env, arg: u64) -> Result<u64> {
+            if arg == 666 {
+                return Err(m3_base::Error::new(Code::NoPerm));
+            }
+            let ident = self.next_ident;
+            self.next_ident += 1;
+            self.opened.push(ident);
+            Ok(ident)
+        }
+
+        async fn exchange(
+            &mut self,
+            _env: &Env,
+            ident: u64,
+            obtain: bool,
+            _cap_count: u32,
+            args: &[u8],
+        ) -> Result<(Vec<SelId>, Vec<u8>)> {
+            if !obtain {
+                return Err(m3_base::Error::new(Code::NotSup));
+            }
+            let mut reply = vec![ident as u8];
+            reply.extend_from_slice(args);
+            Ok((Vec::new(), reply))
+        }
+
+        fn close(&mut self, _env: &Env, ident: u64) {
+            self.opened.retain(|&i| i != ident);
+        }
+    }
+
+    #[test]
+    fn open_exchange_and_deny() {
+        let platform = Platform::new(PlatformConfig::xtensa(4));
+        let kernel = Kernel::start(&platform, PeId::new(0));
+        let reg = ProgramRegistry::new();
+
+        // The service runs as its own program on its own PE.
+        let info = kernel.create_root("counter-srv", None).unwrap();
+        let srv_env = Env::new(&kernel, &info, reg.clone());
+        platform.sim().spawn_daemon("counter-srv", async move {
+            serve(
+                srv_env,
+                "counter",
+                Counter {
+                    next_ident: 10,
+                    opened: Vec::new(),
+                },
+            )
+            .await
+            .unwrap();
+        });
+
+        let h = start_program(&kernel, "client", None, reg, |env| async move {
+            // Denied session.
+            let err = ClientSession::connect(&env, "counter", 666)
+                .await
+                .unwrap_err();
+            assert_eq!(err.code(), Code::NoPerm);
+            // Unknown service.
+            let err = ClientSession::connect(&env, "nope", 0).await.unwrap_err();
+            assert_eq!(err.code(), Code::InvService);
+            // Successful open + obtain round trip.
+            let sess = ClientSession::connect(&env, "counter", 1).await.unwrap();
+            let (_, reply) = sess.obtain(0, &[5, 6]).await.unwrap();
+            assert_eq!(reply, vec![10, 5, 6]);
+            // Delegation is denied by this handler.
+            let err = sess.delegate(&[], &[]).await.unwrap_err();
+            assert_eq!(err.code(), Code::NotSup);
+            0
+        });
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+}

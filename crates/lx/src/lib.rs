@@ -1,0 +1,35 @@
+//! The Linux baseline model.
+//!
+//! The paper compares M3 against Linux 3.18 on a cycle-accurate Xtensa
+//! simulator with 64 KiB caches and an MMU (§5.1). This crate rebuilds that
+//! baseline from the paper's own published cost decomposition rather than
+//! porting a kernel:
+//!
+//! - a null system call costs 410 cycles on Xtensa / 320 on ARM (§5.2/§5.3),
+//!   dominated by saving and restoring machine state;
+//! - `read` pays ≈ 380 cycles entering/leaving the kernel, ≈ 400 cycles for
+//!   fd lookup/security checks/prologs, and ≈ 550 cycles of page-cache
+//!   operations per 4 KiB block (§5.4);
+//! - data moves by `memcpy`, which — lacking a cache-line prefetcher on
+//!   Xtensa — cannot saturate the memory bandwidth (§5.4); misses come from
+//!   a real set-associative cache simulator (`m3-platform::Cache`);
+//! - Linux zeroes each block before handing it to a writing application
+//!   (§5.4);
+//! - pipes copy through an in-kernel buffer and block/wake with context
+//!   switches;
+//! - the `Lx-$` variant removes the cache-miss penalty (paper Figure 3/5).
+//!
+//! Processes run as simulation tasks sharing one CPU cooperatively; they
+//! yield when they block (pipe full/empty, `waitpid`), which is exactly the
+//! schedule the paper's single-core benchmarks produce.
+
+pub mod costs;
+mod machine;
+mod pipe;
+mod proc;
+mod tmpfs;
+
+pub use machine::{LxConfig, LxMachine};
+pub use pipe::{LxPipeReader, LxPipeWriter};
+pub use proc::{LxFile, LxProc};
+pub use tmpfs::Tmpfs;

@@ -1,0 +1,352 @@
+//! A tmpfs model: the in-memory filesystem of the Linux baseline (§5.4
+//! compares m3fs against Linux's tmpfs).
+
+use std::collections::BTreeMap;
+
+use m3_base::error::{Code, Error, Result};
+
+/// Inode numbers.
+pub type Ino = u64;
+
+#[derive(Debug)]
+enum Node {
+    File { data: Vec<u8>, links: u32 },
+    Dir { entries: BTreeMap<String, Ino> },
+}
+
+/// The in-memory filesystem backing the Linux model.
+#[derive(Debug)]
+pub struct Tmpfs {
+    nodes: BTreeMap<Ino, Node>,
+    next_ino: Ino,
+}
+
+/// The root inode.
+pub const ROOT: Ino = 1;
+
+impl Default for Tmpfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tmpfs {
+    /// Creates an empty filesystem with a root directory.
+    pub fn new() -> Tmpfs {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            ROOT,
+            Node::Dir {
+                entries: BTreeMap::new(),
+            },
+        );
+        Tmpfs {
+            nodes,
+            next_ino: ROOT + 1,
+        }
+    }
+
+    fn components(path: &str) -> impl Iterator<Item = &str> {
+        path.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// Number of path components (for lookup cost accounting).
+    pub fn depth(path: &str) -> u64 {
+        Self::components(path).count() as u64
+    }
+
+    /// Resolves a path to an inode.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::NoSuchFile`] / [`Code::IsNoDir`] like a real lookup.
+    pub fn resolve(&self, path: &str) -> Result<Ino> {
+        let mut cur = ROOT;
+        for comp in Self::components(path) {
+            match &self.nodes[&cur] {
+                Node::Dir { entries } => {
+                    cur = *entries
+                        .get(comp)
+                        .ok_or_else(|| Error::new(Code::NoSuchFile).with_msg(path.to_string()))?;
+                }
+                Node::File { .. } => {
+                    return Err(Error::new(Code::IsNoDir).with_msg(path.to_string()))
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    fn parent_of<'p>(&self, path: &'p str) -> Result<(Ino, &'p str)> {
+        let comps: Vec<&str> = Self::components(path).collect();
+        let Some((last, dirs)) = comps.split_last() else {
+            return Err(Error::new(Code::InvArgs).with_msg("root has no parent"));
+        };
+        let mut cur = ROOT;
+        for comp in dirs {
+            match &self.nodes[&cur] {
+                Node::Dir { entries } => {
+                    cur = *entries
+                        .get(*comp)
+                        .ok_or_else(|| Error::new(Code::NoSuchFile).with_msg(path.to_string()))?;
+                }
+                Node::File { .. } => {
+                    return Err(Error::new(Code::IsNoDir).with_msg(path.to_string()))
+                }
+            }
+        }
+        if !matches!(self.nodes[&cur], Node::Dir { .. }) {
+            return Err(Error::new(Code::IsNoDir).with_msg(path.to_string()));
+        }
+        Ok((cur, last))
+    }
+
+    /// Creates an empty file; fails if it exists.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::Exists`] and lookup errors.
+    pub fn create(&mut self, path: &str) -> Result<Ino> {
+        let (parent, name) = self.parent_of(path)?;
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        let Node::Dir { entries } = self.nodes.get_mut(&parent).expect("parent exists") else {
+            unreachable!("checked dir")
+        };
+        if entries.contains_key(name) {
+            return Err(Error::new(Code::Exists).with_msg(path.to_string()));
+        }
+        entries.insert(name.to_string(), ino);
+        self.nodes.insert(
+            ino,
+            Node::File {
+                data: Vec::new(),
+                links: 1,
+            },
+        );
+        Ok(ino)
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::Exists`] and lookup errors.
+    pub fn mkdir(&mut self, path: &str) -> Result<Ino> {
+        let (parent, name) = self.parent_of(path)?;
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        let Node::Dir { entries } = self.nodes.get_mut(&parent).expect("parent exists") else {
+            unreachable!("checked dir")
+        };
+        if entries.contains_key(name) {
+            return Err(Error::new(Code::Exists).with_msg(path.to_string()));
+        }
+        entries.insert(name.to_string(), ino);
+        self.nodes.insert(
+            ino,
+            Node::Dir {
+                entries: BTreeMap::new(),
+            },
+        );
+        Ok(ino)
+    }
+
+    /// Whether the inode is a directory.
+    pub fn is_dir(&self, ino: Ino) -> bool {
+        matches!(self.nodes[&ino], Node::Dir { .. })
+    }
+
+    /// File size (0 for directories).
+    pub fn size(&self, ino: Ino) -> u64 {
+        match &self.nodes[&ino] {
+            Node::File { data, .. } => data.len() as u64,
+            Node::Dir { .. } => 0,
+        }
+    }
+
+    /// Link count.
+    pub fn links(&self, ino: Ino) -> u32 {
+        match &self.nodes[&ino] {
+            Node::File { links, .. } => *links,
+            Node::Dir { .. } => 1,
+        }
+    }
+
+    /// Reads up to `len` bytes at `off`.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::IsDir`] for directories.
+    pub fn read(&self, ino: Ino, off: u64, len: usize) -> Result<Vec<u8>> {
+        match &self.nodes[&ino] {
+            Node::File { data, .. } => {
+                let start = (off as usize).min(data.len());
+                let end = (start + len).min(data.len());
+                Ok(data[start..end].to_vec())
+            }
+            Node::Dir { .. } => Err(Error::new(Code::IsDir)),
+        }
+    }
+
+    /// Writes `bytes` at `off`, growing the file; returns the number of
+    /// previously unallocated 4 KiB pages (they must be zeroed, §5.4).
+    ///
+    /// # Errors
+    ///
+    /// [`Code::IsDir`] for directories.
+    pub fn write(&mut self, ino: Ino, off: u64, bytes: &[u8]) -> Result<u64> {
+        match self.nodes.get_mut(&ino).expect("inode exists") {
+            Node::File { data, .. } => {
+                let old_pages = (data.len() as u64).div_ceil(4096);
+                let end = off as usize + bytes.len();
+                if end > data.len() {
+                    data.resize(end, 0);
+                }
+                data[off as usize..end].copy_from_slice(bytes);
+                let new_pages = (data.len() as u64).div_ceil(4096);
+                Ok(new_pages.saturating_sub(old_pages))
+            }
+            Node::Dir { .. } => Err(Error::new(Code::IsDir)),
+        }
+    }
+
+    /// Truncates a file.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::IsDir`] for directories.
+    pub fn truncate(&mut self, ino: Ino, size: u64) -> Result<()> {
+        match self.nodes.get_mut(&ino).expect("inode exists") {
+            Node::File { data, .. } => {
+                data.resize(size as usize, 0);
+                Ok(())
+            }
+            Node::Dir { .. } => Err(Error::new(Code::IsDir)),
+        }
+    }
+
+    /// Hard link.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::IsDir`] when `old` is a directory, [`Code::Exists`] when
+    /// `new` exists.
+    pub fn link(&mut self, old: &str, new: &str) -> Result<()> {
+        let ino = self.resolve(old)?;
+        if self.is_dir(ino) {
+            return Err(Error::new(Code::IsDir));
+        }
+        let (parent, name) = self.parent_of(new)?;
+        let name = name.to_string();
+        let Node::Dir { entries } = self.nodes.get_mut(&parent).expect("parent") else {
+            unreachable!()
+        };
+        if entries.contains_key(&name) {
+            return Err(Error::new(Code::Exists));
+        }
+        entries.insert(name, ino);
+        if let Node::File { links, .. } = self.nodes.get_mut(&ino).expect("inode") {
+            *links += 1;
+        }
+        Ok(())
+    }
+
+    /// Unlink; frees the file with the last link.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::IsDir`] for directories.
+    pub fn unlink(&mut self, path: &str) -> Result<()> {
+        let ino = self.resolve(path)?;
+        if self.is_dir(ino) {
+            return Err(Error::new(Code::IsDir));
+        }
+        let (parent, name) = self.parent_of(path)?;
+        let name = name.to_string();
+        let Node::Dir { entries } = self.nodes.get_mut(&parent).expect("parent") else {
+            unreachable!()
+        };
+        entries.remove(&name);
+        let Node::File { links, .. } = self.nodes.get_mut(&ino).expect("inode") else {
+            unreachable!()
+        };
+        *links -= 1;
+        if *links == 0 {
+            self.nodes.remove(&ino);
+        }
+        Ok(())
+    }
+
+    /// Lists a directory: (name, is_dir) pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::IsNoDir`] for files.
+    pub fn read_dir(&self, path: &str) -> Result<Vec<(String, bool)>> {
+        let ino = self.resolve(path)?;
+        match &self.nodes[&ino] {
+            Node::Dir { entries } => Ok(entries
+                .iter()
+                .map(|(n, &c)| (n.clone(), self.is_dir(c)))
+                .collect()),
+            Node::File { .. } => Err(Error::new(Code::IsNoDir)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_read() {
+        let mut fs = Tmpfs::new();
+        let ino = fs.create("/f").unwrap();
+        let new_pages = fs.write(ino, 0, &[1, 2, 3]).unwrap();
+        assert_eq!(new_pages, 1);
+        assert_eq!(fs.read(ino, 1, 2).unwrap(), vec![2, 3]);
+        assert_eq!(fs.size(ino), 3);
+        // Writing into the same page allocates nothing new.
+        assert_eq!(fs.write(ino, 3, &[4]).unwrap(), 0);
+        // Crossing into page 2 allocates one page.
+        assert_eq!(fs.write(ino, 4095, &[9, 9]).unwrap(), 1);
+    }
+
+    #[test]
+    fn dirs_links_unlink() {
+        let mut fs = Tmpfs::new();
+        fs.mkdir("/d").unwrap();
+        let ino = fs.create("/d/f").unwrap();
+        fs.write(ino, 0, b"x").unwrap();
+        fs.link("/d/f", "/d/g").unwrap();
+        assert_eq!(fs.links(ino), 2);
+        fs.unlink("/d/f").unwrap();
+        assert_eq!(fs.resolve("/d/g").unwrap(), ino);
+        fs.unlink("/d/g").unwrap();
+        assert!(fs.resolve("/d/g").is_err());
+        let ls = fs.read_dir("/d").unwrap();
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn read_beyond_eof_is_short() {
+        let mut fs = Tmpfs::new();
+        let ino = fs.create("/f").unwrap();
+        fs.write(ino, 0, &[1, 2]).unwrap();
+        assert_eq!(fs.read(ino, 0, 100).unwrap(), vec![1, 2]);
+        assert!(fs.read(ino, 10, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors() {
+        let mut fs = Tmpfs::new();
+        fs.mkdir("/d").unwrap();
+        assert_eq!(fs.mkdir("/d").unwrap_err().code(), Code::Exists);
+        assert_eq!(fs.resolve("/x").unwrap_err().code(), Code::NoSuchFile);
+        assert_eq!(fs.link("/d", "/e").unwrap_err().code(), Code::IsDir);
+        assert_eq!(fs.unlink("/d").unwrap_err().code(), Code::IsDir);
+        let root = fs.resolve("/").unwrap();
+        assert!(fs.is_dir(root));
+    }
+}

@@ -1,0 +1,26 @@
+//! The packet-switched network-on-chip (NoC) connecting PEs and memory.
+//!
+//! The Tomahawk platform integrates all PEs and the DRAM module into a
+//! packet-switched NoC (paper §1.4, §4.1); every DTU transfer — messages and
+//! RDMA-style memory accesses alike — crosses it. This crate models:
+//!
+//! - a 2D [`mesh`](Topology) topology with dimension-ordered
+//!   ([XY](route)) routing,
+//! - per-link bandwidth with *contention*: a transfer reserves each link on
+//!   its route, so concurrent transfers over shared links serialize,
+//! - per-hop router latency, pipelined across the route.
+//!
+//! The model is analytic rather than flit-by-flit: when a transfer is issued,
+//! its completion time is computed immediately from the current link
+//! reservations. That keeps the event count low while preserving the
+//! first-order behaviour the paper's evaluation depends on (bandwidth limits
+//! and serialization under load, exercised by the Figure 6 scalability
+//! experiment).
+
+mod network;
+mod routing;
+mod topology;
+
+pub use network::{Noc, NocConfig, Transfer};
+pub use routing::{route, Link};
+pub use topology::{Coord, Topology};

@@ -1,0 +1,130 @@
+//! Dimension-ordered (XY) routing.
+
+use m3_base::PeId;
+
+use crate::topology::{Coord, Topology};
+
+/// A directed link between two adjacent mesh positions.
+///
+/// Links are identified by their endpoint coordinates; the two directions of
+/// a physical channel are distinct links (full-duplex, as in typical NoCs).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Link {
+    /// Source position.
+    pub from: Coord,
+    /// Destination position.
+    pub to: Coord,
+}
+
+/// Computes the XY route from `src` to `dst`: first along X, then along Y.
+///
+/// XY routing is deterministic and deadlock-free on a mesh, which matches the
+/// simple router a platform like Tomahawk employs. The returned sequence
+/// contains one [`Link`] per hop; it is empty when `src == dst` (the DTU
+/// still moves the data, but no NoC link is crossed).
+///
+/// # Panics
+///
+/// Panics if either node is not part of the mesh.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::PeId;
+/// use m3_noc::{route, Topology};
+///
+/// let topo = Topology::new(4, 4, 16);
+/// let hops = route(&topo, PeId::new(0), PeId::new(5));
+/// assert_eq!(hops.len(), 2); // one X hop, one Y hop
+/// ```
+pub fn route(topo: &Topology, src: PeId, dst: PeId) -> Vec<Link> {
+    let mut cur = topo.coord(src);
+    let goal = topo.coord(dst);
+    let mut links = Vec::with_capacity(topo.hops(src, dst) as usize);
+    while cur.x != goal.x {
+        let next = Coord {
+            x: if goal.x > cur.x { cur.x + 1 } else { cur.x - 1 },
+            y: cur.y,
+        };
+        links.push(Link { from: cur, to: next });
+        cur = next;
+    }
+    while cur.y != goal.y {
+        let next = Coord {
+            x: cur.x,
+            y: if goal.y > cur.y { cur.y + 1 } else { cur.y - 1 },
+        };
+        links.push(Link { from: cur, to: next });
+        cur = next;
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(4, 4, 16)
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        assert!(route(&topo(), PeId::new(5), PeId::new(5)).is_empty());
+    }
+
+    #[test]
+    fn route_length_equals_hops() {
+        let t = topo();
+        for a in 0..16 {
+            for b in 0..16 {
+                let r = route(&t, PeId::new(a), PeId::new(b));
+                assert_eq!(r.len() as u32, t.hops(PeId::new(a), PeId::new(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_contiguous_and_ends_at_destination() {
+        let t = topo();
+        let r = route(&t, PeId::new(0), PeId::new(15));
+        assert_eq!(r.first().unwrap().from, t.coord(PeId::new(0)));
+        assert_eq!(r.last().unwrap().to, t.coord(PeId::new(15)));
+        for pair in r.windows(2) {
+            assert_eq!(pair[0].to, pair[1].from);
+        }
+    }
+
+    #[test]
+    fn x_before_y() {
+        let t = topo();
+        // 0 at (0,0), 10 at (2,2): expect two X hops then two Y hops.
+        let r = route(&t, PeId::new(0), PeId::new(10));
+        assert_eq!(r.len(), 4);
+        assert!(r[0].from.y == r[0].to.y && r[1].from.y == r[1].to.y);
+        assert!(r[2].from.x == r[2].to.x && r[3].from.x == r[3].to.x);
+    }
+
+    #[test]
+    fn reverse_direction_routes_differ() {
+        // XY routing is not symmetric in the links used (x-first both ways),
+        // but hop counts match.
+        let t = topo();
+        let fwd = route(&t, PeId::new(1), PeId::new(14));
+        let back = route(&t, PeId::new(14), PeId::new(1));
+        assert_eq!(fwd.len(), back.len());
+        // Directions are opposite: the first forward link is not in the
+        // backward route.
+        assert!(!back.contains(&fwd[0]));
+    }
+
+    #[test]
+    fn negative_direction_hops() {
+        let t = topo();
+        // From (3,3)=15 to (0,0)=0: x decreasing, then y decreasing.
+        let r = route(&t, PeId::new(15), PeId::new(0));
+        assert_eq!(r.len(), 6);
+        assert!(r[0].to.x < r[0].from.x);
+        assert!(r[5].to.y < r[5].from.y);
+    }
+}

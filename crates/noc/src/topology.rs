@@ -1,0 +1,184 @@
+//! The 2D mesh topology.
+
+use m3_base::PeId;
+
+/// A position in the mesh grid.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Coord {
+    /// Column, 0-based from the left.
+    pub x: u32,
+    /// Row, 0-based from the top.
+    pub y: u32,
+}
+
+/// A 2D mesh of NoC nodes.
+///
+/// Every NoC endpoint — each PE and the DRAM module — occupies one mesh
+/// position. Node `i` sits at `(i % width, i / width)`, filling rows first.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::PeId;
+/// use m3_noc::Topology;
+///
+/// let topo = Topology::with_nodes(8); // 3x3 grid, last position unused
+/// assert_eq!(topo.coord(PeId::new(0)).x, 0);
+/// assert_eq!(topo.hops(PeId::new(0), PeId::new(7)), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    width: u32,
+    height: u32,
+    nodes: u32,
+}
+
+impl Topology {
+    /// Creates a `width` x `height` mesh with `nodes` occupied positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid cannot hold `nodes`, or any dimension is zero.
+    pub fn new(width: u32, height: u32, nodes: u32) -> Topology {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        assert!(
+            nodes >= 1 && nodes <= width * height,
+            "mesh {width}x{height} cannot hold {nodes} nodes"
+        );
+        Topology {
+            width,
+            height,
+            nodes,
+        }
+    }
+
+    /// Creates the smallest near-square mesh holding `nodes` positions.
+    pub fn with_nodes(nodes: u32) -> Topology {
+        assert!(nodes >= 1, "need at least one node");
+        let width = (nodes as f64).sqrt().ceil() as u32;
+        let height = nodes.div_ceil(width);
+        Topology::new(width, height, nodes)
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of occupied positions.
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Whether `node` is a valid node of this mesh.
+    pub fn contains(&self, node: PeId) -> bool {
+        node.raw() < self.nodes
+    }
+
+    /// The grid position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the mesh.
+    pub fn coord(&self, node: PeId) -> Coord {
+        assert!(self.contains(node), "{node} outside mesh");
+        Coord {
+            x: node.raw() % self.width,
+            y: node.raw() / self.width,
+        }
+    }
+
+    /// The node at a grid position, if occupied.
+    pub fn node_at(&self, c: Coord) -> Option<PeId> {
+        if c.x >= self.width || c.y >= self.height {
+            return None;
+        }
+        let raw = c.y * self.width + c.x;
+        (raw < self.nodes).then_some(PeId::new(raw))
+    }
+
+    /// Manhattan distance between two nodes (the hop count of XY routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not part of the mesh.
+    pub fn hops(&self, a: PeId, b: PeId) -> u32 {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_nodes_picks_near_square() {
+        let t = Topology::with_nodes(8);
+        assert_eq!((t.width(), t.height()), (3, 3));
+        let t = Topology::with_nodes(16);
+        assert_eq!((t.width(), t.height()), (4, 4));
+        let t = Topology::with_nodes(17);
+        assert_eq!((t.width(), t.height()), (5, 4));
+        let t = Topology::with_nodes(1);
+        assert_eq!((t.width(), t.height()), (1, 1));
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let t = Topology::new(4, 4, 16);
+        for i in 0..16 {
+            let node = PeId::new(i);
+            let c = t.coord(node);
+            assert_eq!(t.node_at(c), Some(node));
+        }
+    }
+
+    #[test]
+    fn node_at_rejects_out_of_grid() {
+        let t = Topology::new(3, 3, 8);
+        assert_eq!(t.node_at(Coord { x: 2, y: 2 }), None); // position 8 unoccupied
+        assert_eq!(t.node_at(Coord { x: 5, y: 0 }), None);
+        assert_eq!(t.node_at(Coord { x: 0, y: 0 }), Some(PeId::new(0)));
+    }
+
+    #[test]
+    fn hops_is_manhattan_distance() {
+        let t = Topology::new(4, 4, 16);
+        assert_eq!(t.hops(PeId::new(0), PeId::new(0)), 0);
+        assert_eq!(t.hops(PeId::new(0), PeId::new(3)), 3);
+        assert_eq!(t.hops(PeId::new(0), PeId::new(15)), 6);
+        assert_eq!(t.hops(PeId::new(5), PeId::new(6)), 1);
+    }
+
+    #[test]
+    fn hops_is_symmetric() {
+        let t = Topology::new(4, 3, 12);
+        for a in 0..12 {
+            for b in 0..12 {
+                assert_eq!(
+                    t.hops(PeId::new(a), PeId::new(b)),
+                    t.hops(PeId::new(b), PeId::new(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn coord_of_foreign_node_panics() {
+        Topology::new(2, 2, 4).coord(PeId::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn too_many_nodes_panics() {
+        Topology::new(2, 2, 5);
+    }
+}

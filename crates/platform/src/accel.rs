@@ -1,0 +1,73 @@
+//! The FFT accelerator cost model (paper §5.8, Figure 7).
+//!
+//! The paper adds "a core with instruction extensions for a fast fourier
+//! transformation" and reports "about a factor of 30" speed-up over the
+//! software FFT on a standard Xtensa core. The numeric FFT itself lives in
+//! `m3-apps::fft`; this module prices it on either kind of core.
+
+use m3_base::Cycles;
+
+use crate::core_model::CoreModel;
+
+/// Speed-up of the FFT instruction extensions over software (§5.8).
+pub const FFT_ACCEL_SPEEDUP: u64 = 30;
+
+/// Number of butterflies in a radix-2 FFT of `points` points.
+///
+/// # Panics
+///
+/// Panics if `points` is not a power of two (radix-2 requirement).
+pub fn fft_butterflies(points: usize) -> u64 {
+    assert!(
+        points.is_power_of_two() && points > 1,
+        "radix-2 FFT needs a power-of-two size > 1"
+    );
+    (points as u64 / 2) * points.trailing_zeros() as u64
+}
+
+/// Cycles a software radix-2 FFT of `points` points takes on `core`.
+pub fn fft_sw_cycles(points: usize, core: &CoreModel) -> Cycles {
+    Cycles::new(fft_butterflies(points) * core.fft_cycles_per_butterfly)
+}
+
+/// Cycles the FFT accelerator takes for `points` points.
+pub fn fft_accel_cycles(points: usize, core: &CoreModel) -> Cycles {
+    Cycles::new((fft_butterflies(points) * core.fft_cycles_per_butterfly).div_ceil(FFT_ACCEL_SPEEDUP))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::XTENSA;
+
+    #[test]
+    fn butterfly_count() {
+        assert_eq!(fft_butterflies(8), 4 * 3);
+        assert_eq!(fft_butterflies(4096), 2048 * 12);
+    }
+
+    #[test]
+    fn accelerator_is_30x_faster() {
+        let sw = fft_sw_cycles(4096, &XTENSA);
+        let hw = fft_accel_cycles(4096, &XTENSA);
+        let ratio = sw.as_u64() as f64 / hw.as_u64() as f64;
+        assert!((29.0..=31.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn figure7_scale_sanity() {
+        // 32 KiB of complex<f32> samples = 4096 points; software FFT should
+        // land in the low-millions of cycles like the paper's Figure 7 bar.
+        let sw = fft_sw_cycles(4096, &XTENSA);
+        assert!(
+            sw.as_u64() > 500_000 && sw.as_u64() < 5_000_000,
+            "software FFT {sw:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        fft_butterflies(1000);
+    }
+}

@@ -1,0 +1,219 @@
+//! A set-associative LRU cache simulator.
+//!
+//! The Linux baseline PE has 64 KiB instruction and data caches (§5.1); the
+//! paper reports results both with cache misses (`Lx`) and with the miss
+//! penalty removed (`Lx-$`). This simulator produces the miss counts; the
+//! [`CoreModel`](crate::CoreModel) turns them into cycles.
+
+use std::collections::VecDeque;
+
+/// A set-associative cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use m3_platform::Cache;
+///
+/// let mut cache = Cache::new(1024, 32, 4); // 1 KiB, 32 B lines, 4-way
+/// assert!(!cache.access(0));  // cold miss
+/// assert!(cache.access(0));   // hit
+/// assert!(cache.access(16));  // same line: hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    line_size: usize,
+    sets: usize,
+    ways: usize,
+    /// Per-set LRU queues of line tags; front = least recently used.
+    lru: Vec<VecDeque<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity` bytes with `line_size`-byte lines and
+    /// `ways`-way associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible into
+    /// `ways` sets of lines, or any parameter is zero or not a power of two
+    /// where required).
+    pub fn new(capacity: usize, line_size: usize, ways: usize) -> Cache {
+        assert!(line_size.is_power_of_two() && line_size > 0, "bad line size");
+        assert!(ways > 0, "need at least one way");
+        let lines = capacity / line_size;
+        assert!(
+            lines >= ways && lines.is_multiple_of(ways),
+            "capacity {capacity} not divisible into {ways}-way sets of {line_size}-byte lines"
+        );
+        let sets = lines / ways;
+        Cache {
+            line_size,
+            sets,
+            ways,
+            lru: vec![VecDeque::with_capacity(ways); sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Creates the Linux PE's 64 KiB 4-way data cache with 32-byte lines
+    /// (§5.1).
+    pub fn lx_data_cache() -> Cache {
+        Cache::new(
+            m3_base::cfg::CACHE_SIZE,
+            m3_base::cfg::CACHE_LINE_SIZE,
+            4,
+        )
+    }
+
+    /// Accesses one address; returns `true` on a hit. Misses install the
+    /// line, evicting the LRU line of the set if necessary.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_size as u64;
+        let set = (line % self.sets as u64) as usize;
+        let queue = &mut self.lru[set];
+        if let Some(pos) = queue.iter().position(|&t| t == line) {
+            queue.remove(pos);
+            queue.push_back(line);
+            self.hits += 1;
+            true
+        } else {
+            if queue.len() == self.ways {
+                queue.pop_front();
+            }
+            queue.push_back(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Accesses every line of `[start, start + len)`; returns the number of
+    /// misses.
+    pub fn touch_range(&mut self, start: u64, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = start / self.line_size as u64;
+        let last = (start + len as u64 - 1) / self.line_size as u64;
+        let mut misses = 0;
+        for line in first..=last {
+            if !self.access(line * self.line_size as u64) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Whether the line containing `addr` is currently resident (does not
+    /// touch LRU state).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr / self.line_size as u64;
+        let set = (line % self.sets as u64) as usize;
+        self.lru[set].contains(&line)
+    }
+
+    /// Invalidates the whole cache (e.g. at a context switch of an
+    /// untagged-cache model).
+    pub fn flush(&mut self) {
+        for q in &mut self.lru {
+            q.clear();
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> usize {
+        self.line_size
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(1024, 32, 2);
+        assert!(!c.access(100));
+        assert!(c.access(100));
+        assert!(c.access(96)); // same 32-byte line as 100
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2 sets, 2 ways, 32B lines: lines 0,2,4 map to set 0.
+        let mut c = Cache::new(128, 32, 2);
+        c.access(0); // line 0 -> set 0
+        c.access(64); // line 2 -> set 0
+        c.access(0); // line 0 now MRU
+        c.access(128); // line 4 -> set 0, evicts line 2
+        assert!(c.access(0), "line 0 must survive");
+        assert!(!c.access(64), "line 2 was LRU and evicted");
+    }
+
+    #[test]
+    fn touch_range_counts_line_misses() {
+        let mut c = Cache::lx_data_cache();
+        // 4 KiB spans 128 lines of 32 bytes.
+        assert_eq!(c.touch_range(0, 4096), 128);
+        assert_eq!(c.touch_range(0, 4096), 0, "now warm");
+        // Unaligned range crossing a line boundary.
+        let mut c2 = Cache::lx_data_cache();
+        assert_eq!(c2.touch_range(30, 4), 2);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_always_misses() {
+        let mut c = Cache::lx_data_cache();
+        let big = 2 * 1024 * 1024;
+        c.touch_range(0, big);
+        // Second sweep still misses everything: 2 MiB >> 64 KiB.
+        let misses = c.touch_range(0, big);
+        assert_eq!(misses as usize, big / 32);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::new(1024, 32, 2);
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn zero_length_range_is_free() {
+        let mut c = Cache::lx_data_cache();
+        assert_eq!(c.touch_range(123, 0), 0);
+    }
+
+    #[test]
+    fn geometry() {
+        let c = Cache::lx_data_cache();
+        assert_eq!(c.capacity(), 64 * 1024);
+        assert_eq!(c.line_size(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_panics() {
+        Cache::new(128, 32, 3); // 4 lines do not divide into 3-way sets
+    }
+}

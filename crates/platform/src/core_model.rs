@@ -1,0 +1,115 @@
+//! Per-ISA core cost models.
+//!
+//! The paper runs its benchmarks on Xtensa cores and cross-checks on an ARM
+//! Cortex-A15 (§5.2): "a Linux system call requires 320 cycles on ARM and
+//! 410 cycles on Xtensa"; data transfers are slower on Xtensa because the
+//! core has no cache-line prefetcher and `memcpy` cannot saturate the memory
+//! bandwidth (§5.4). These parameters capture exactly those differences.
+
+use m3_base::Cycles;
+
+/// Cost parameters of one core architecture.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreModel {
+    /// Architecture name (for reports).
+    pub name: &'static str,
+    /// Peak `memcpy` throughput of the core in bytes per cycle, cache hits
+    /// assumed. The DTU reaches 8 B/cycle; no core in the prototype does.
+    pub memcpy_bytes_per_cycle: u64,
+    /// Whether the core has a cache-line prefetcher that hides miss latency
+    /// behind the copy loop (ARM yes, Xtensa no — §5.2, §5.4).
+    pub has_prefetcher: bool,
+    /// Full penalty of one cache-line miss: the time to load a 32-byte line
+    /// from DRAM. Configured to equal the DTU's transfer time for a line
+    /// (paper §5.1: "loading data from DRAM takes the same time in both
+    /// setups").
+    pub cache_miss_penalty: Cycles,
+    /// Total cost of a null system call on Linux (mode switch, state
+    /// save/restore, dispatch): 410 on Xtensa, 320 on ARM (§5.2/§5.3).
+    pub lx_syscall_total: Cycles,
+    /// Software FFT cost per butterfly (one element of one `n log n` stage).
+    pub fft_cycles_per_butterfly: u64,
+}
+
+/// The Xtensa RISC core of the Tomahawk platform (§4.1).
+pub const XTENSA: CoreModel = CoreModel {
+    name: "xtensa",
+    memcpy_bytes_per_cycle: 2,
+    has_prefetcher: false,
+    // 32-byte line at 8 B/cycle plus router/DRAM latency.
+    cache_miss_penalty: Cycles::new(26),
+    lx_syscall_total: Cycles::new(410),
+    fft_cycles_per_butterfly: 50,
+};
+
+/// The ARM Cortex-A15 used for the cross-check in §5.2.
+pub const ARM: CoreModel = CoreModel {
+    name: "arm-cortex-a15",
+    memcpy_bytes_per_cycle: 4,
+    has_prefetcher: true,
+    cache_miss_penalty: Cycles::new(26),
+    lx_syscall_total: Cycles::new(320),
+    fft_cycles_per_butterfly: 35,
+};
+
+impl CoreModel {
+    /// Cost of copying `bytes` with `misses` cache-line misses among the
+    /// accesses.
+    ///
+    /// Without a prefetcher every miss stalls the copy loop for the full
+    /// penalty; with one, the line transfer overlaps the loop and only the
+    /// transfer time of the line itself (line/8 B-per-cycle) remains.
+    pub fn memcpy_cycles(&self, bytes: u64, misses: u64) -> Cycles {
+        let loop_cycles = bytes.div_ceil(self.memcpy_bytes_per_cycle);
+        let miss_cycles = misses * self.effective_miss_penalty().as_u64();
+        Cycles::new(loop_cycles + miss_cycles)
+    }
+
+    /// The per-miss stall this core actually experiences.
+    pub fn effective_miss_penalty(&self) -> Cycles {
+        if self.has_prefetcher {
+            // The prefetcher hides DRAM latency; the line still occupies the
+            // memory interface for line_size / 8 cycles.
+            Cycles::new((m3_base::cfg::CACHE_LINE_SIZE as u64) / 8)
+        } else {
+            self.cache_miss_penalty
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_syscall_costs() {
+        assert_eq!(XTENSA.lx_syscall_total, Cycles::new(410));
+        assert_eq!(ARM.lx_syscall_total, Cycles::new(320));
+    }
+
+    #[test]
+    fn xtensa_memcpy_cannot_saturate_memory_bandwidth() {
+        // 2 MiB all-miss copy: must be far slower than the DTU's 262k cycles.
+        let bytes = 2u64 * 1024 * 1024;
+        let misses = bytes / m3_base::cfg::CACHE_LINE_SIZE as u64;
+        let t = XTENSA.memcpy_cycles(bytes, misses);
+        let dtu = bytes / m3_base::cfg::DTU_BYTES_PER_CYCLE;
+        assert!(t.as_u64() > 4 * dtu, "memcpy {t:?} vs dtu {dtu}");
+    }
+
+    #[test]
+    fn prefetcher_reduces_miss_cost() {
+        let misses = 1000;
+        let with = ARM.memcpy_cycles(32_000, misses);
+        let without = XTENSA.memcpy_cycles(32_000, misses);
+        assert!(with < without);
+        assert_eq!(ARM.effective_miss_penalty(), Cycles::new(4));
+        assert_eq!(XTENSA.effective_miss_penalty(), Cycles::new(26));
+    }
+
+    #[test]
+    fn hit_only_copy_is_bandwidth_bound() {
+        assert_eq!(XTENSA.memcpy_cycles(4096, 0), Cycles::new(2048));
+        assert_eq!(ARM.memcpy_cycles(4096, 0), Cycles::new(1024));
+    }
+}

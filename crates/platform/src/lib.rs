@@ -1,0 +1,26 @@
+//! The prototype platform the reproduction runs on.
+//!
+//! The paper's prototype is the Tomahawk MPSoC (§4.1): multiple Xtensa RISC
+//! PEs without privileged mode or MMU, each with 64 KiB + 64 KiB of
+//! scratchpad memory (SPM), one DRAM module, all connected by a
+//! packet-switched NoC, and one DTU per PE. This crate assembles those parts
+//! (from `m3-noc` and `m3-dtu`) into a bootable [`Platform`] and adds the
+//! per-core *cost models* the evaluation needs:
+//!
+//! - [`CoreModel`] — per-ISA parameters (Xtensa and ARM Cortex-A15, §5.2):
+//!   `memcpy` bandwidth (Xtensa lacks a cache-line prefetcher and cannot
+//!   saturate memory bandwidth, §5.4), mode-switch costs, FFT software cost,
+//! - [`Cache`] — a set-associative LRU cache simulator used by the Linux
+//!   baseline to produce the paper's `Lx` vs `Lx-$` (no cache misses) split,
+//! - [`accel`] — the FFT accelerator core of Figure 7.
+
+pub mod accel;
+mod cache;
+mod core_model;
+mod pe;
+mod platform;
+
+pub use cache::Cache;
+pub use core_model::{CoreModel, ARM, XTENSA};
+pub use pe::{PeDesc, PeType};
+pub use platform::{Platform, PlatformConfig};

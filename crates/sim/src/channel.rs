@@ -1,0 +1,225 @@
+//! An unbounded, single-threaded channel between simulated tasks.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use m3_base::error::{Code, Error, Result};
+
+use crate::notify::Notify;
+
+#[derive(Debug)]
+struct Shared<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half of a [`channel`].
+#[derive(Debug)]
+pub struct Sender<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+    cond: Notify,
+}
+
+/// Receiving half of a [`channel`].
+#[derive(Debug)]
+pub struct Receiver<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+    cond: Notify,
+}
+
+/// Creates an unbounded channel.
+///
+/// Mostly a convenience for tests and tooling; the OS-level communication in
+/// this workspace goes through the DTU model instead.
+///
+/// # Examples
+///
+/// ```
+/// use m3_sim::{channel, Sim};
+///
+/// let sim = Sim::new();
+/// let (tx, rx) = channel::<u32>();
+/// let consumer = sim.spawn("rx", async move { rx.recv().await });
+/// sim.spawn("tx", async move {
+///     tx.send(5).unwrap();
+/// });
+/// sim.run();
+/// assert_eq!(consumer.try_take().unwrap().unwrap(), 5);
+/// ```
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Rc::new(RefCell::new(Shared {
+        queue: VecDeque::new(),
+        senders: 1,
+        receiver_alive: true,
+    }));
+    let cond = Notify::new();
+    (
+        Sender {
+            shared: shared.clone(),
+            cond: cond.clone(),
+        },
+        Receiver { shared, cond },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.borrow_mut().senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+            cond: self.cond.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.shared.borrow_mut();
+        s.senders -= 1;
+        if s.senders == 0 {
+            drop(s);
+            self.cond.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::EndOfStream`] (with the value lost) if the receiver
+    /// was dropped.
+    pub fn send(&self, value: T) -> Result<()> {
+        let mut s = self.shared.borrow_mut();
+        if !s.receiver_alive {
+            return Err(Error::new(Code::EndOfStream).with_msg("receiver dropped"));
+        }
+        s.queue.push_back(value);
+        drop(s);
+        self.cond.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.borrow_mut().receiver_alive = false;
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Waits for and dequeues the next value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::EndOfStream`] when all senders are dropped and the
+    /// queue is empty.
+    pub async fn recv(&self) -> Result<T> {
+        loop {
+            {
+                let mut s = self.shared.borrow_mut();
+                if let Some(v) = s.queue.pop_front() {
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(Error::new(Code::EndOfStream).with_msg("all senders dropped"));
+                }
+            }
+            self.cond.wait().await;
+        }
+    }
+
+    /// Dequeues a value if one is available, without waiting.
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.shared.borrow().queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.borrow().queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimState};
+    use m3_base::Cycles;
+
+    #[test]
+    fn values_arrive_in_order() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        let h = sim.spawn("rx", async move {
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                out.push(rx.recv().await.unwrap());
+            }
+            out
+        });
+        let sim2 = sim.clone();
+        sim.spawn("tx", async move {
+            for i in 0..3 {
+                tx.send(i).unwrap();
+                sim2.sleep(Cycles::new(10)).await;
+            }
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn recv_after_all_senders_dropped_is_eof() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        let h = sim.spawn("rx", async move {
+            let first = rx.recv().await;
+            let second = rx.recv().await;
+            (first.unwrap(), second.unwrap_err().code())
+        });
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(h.try_take().unwrap(), (1, Code::EndOfStream));
+    }
+
+    #[test]
+    fn send_after_receiver_dropped_fails() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1).unwrap_err().code(), Code::EndOfStream);
+    }
+
+    #[test]
+    fn clone_counts_senders() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        let h = sim.spawn("rx", async move { rx.recv().await.map_err(|e| e.code()) });
+        sim.spawn("tx2", async move {
+            tx2.send(9).unwrap();
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap().unwrap(), 9);
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let (tx, rx) = channel::<u32>();
+        assert!(rx.is_empty());
+        assert_eq!(rx.try_recv(), None);
+        tx.send(7).unwrap();
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx.try_recv(), Some(7));
+        assert!(rx.is_empty());
+    }
+}

@@ -1,0 +1,730 @@
+//! The clock, the event queue, and the task executor.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use m3_base::cycles::Cycles;
+use parking_lot::Mutex;
+
+use crate::stats::Stats;
+
+type TaskId = u64;
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// The shared ready-queue the wakers push into.
+///
+/// Wakers must be `Send + Sync` by API contract even though this executor is
+/// single-threaded, hence the (uncontended) mutex.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+struct TaskWaker {
+    task: TaskId,
+    ready: Arc<ReadyQueue>,
+    /// Deduplicates wake-ups between polls.
+    queued: AtomicBool,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::Relaxed) {
+            self.ready.queue.lock().push_back(self.task);
+        }
+    }
+}
+
+struct Task {
+    name: String,
+    future: BoxFuture,
+    waker_state: Arc<TaskWaker>,
+    daemon: bool,
+}
+
+/// One recorded scheduling event (see [`Sim::enable_trace`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task was spawned.
+    Spawn {
+        /// Task name.
+        name: String,
+        /// Whether it is a daemon.
+        daemon: bool,
+    },
+    /// A task ran to completion.
+    Complete {
+        /// Task name.
+        name: String,
+    },
+    /// The clock advanced to fire a timer.
+    Advance {
+        /// The previous time.
+        from: Cycles,
+    },
+}
+
+/// A trace record: when and what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub time: Cycles,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Maximum records the trace ring keeps.
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// Where a run stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimState {
+    /// Every spawned task ran to completion.
+    Finished,
+    /// Tasks remain but none can make progress (no pending timer either).
+    /// Carries the names of the stalled tasks.
+    Stalled(Vec<String>),
+    /// The time limit passed to [`Sim::run_until`] was reached.
+    TimeLimit,
+}
+
+struct Inner {
+    now: Cycles,
+    next_task: TaskId,
+    next_seq: u64,
+    /// Live tasks that are not daemons; the run loop finishes when this
+    /// reaches zero.
+    live_regular: usize,
+    tasks: HashMap<TaskId, Task>,
+    /// Timer wheel: (deadline, sequence) -> waker. `Reverse` makes the
+    /// `BinaryHeap` a min-heap; the sequence number keeps same-cycle events in
+    /// scheduling order, which is what makes runs deterministic.
+    timers: BinaryHeap<Reverse<(Cycles, u64, TimerEntry)>>,
+    stats: Stats,
+    /// Scheduling trace ring; `None` = tracing disabled.
+    trace: Option<VecDeque<TraceRecord>>,
+}
+
+impl Inner {
+    fn record(&mut self, event: TraceEvent) {
+        if let Some(ring) = &mut self.trace {
+            if ring.len() == TRACE_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(TraceRecord {
+                time: self.now,
+                event,
+            });
+        }
+    }
+}
+
+/// Wrapper so the heap can order entries without comparing wakers.
+struct TimerEntry(Waker);
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// A handle to the simulation: clock, spawner, and run loop.
+///
+/// `Sim` is cheaply cloneable; all clones refer to the same simulation.
+/// It is single-threaded by design (`!Send`): determinism comes from a total
+/// order on task scheduling.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<RefCell<Inner>>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Sim")
+            .field("now", &inner.now)
+            .field("live_tasks", &inner.tasks.len())
+            .field("pending_timers", &inner.timers.len())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a simulation with the clock at cycle zero and no tasks.
+    pub fn new() -> Sim {
+        Sim {
+            inner: Rc::new(RefCell::new(Inner {
+                now: Cycles::ZERO,
+                next_task: 0,
+                next_seq: 0,
+                live_regular: 0,
+                tasks: HashMap::new(),
+                timers: BinaryHeap::new(),
+                stats: Stats::new(),
+                trace: None,
+            })),
+            ready: Arc::new(ReadyQueue::default()),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.inner.borrow().now
+    }
+
+    /// Access to the shared statistics counters.
+    pub fn stats(&self) -> Stats {
+        self.inner.borrow().stats.clone()
+    }
+
+    /// Turns on scheduling-event tracing (spawn/complete/clock-advance),
+    /// keeping the most recent [`TRACE_CAPACITY`] records.
+    pub fn enable_trace(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.trace.is_none() {
+            inner.trace = Some(VecDeque::with_capacity(TRACE_CAPACITY));
+        }
+    }
+
+    /// Returns (a copy of) the recorded trace; empty when tracing is off.
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        self.inner
+            .borrow()
+            .trace
+            .as_ref()
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Spawns a task and returns a handle to its eventual result.
+    ///
+    /// The task starts in the ready queue and is first polled when the run
+    /// loop next runs. `name` appears in stall diagnostics.
+    pub fn spawn<F>(&self, name: impl Into<String>, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.spawn_inner(name, future, false)
+    }
+
+    /// Spawns a *daemon* task: one that serves others forever (the kernel's
+    /// syscall loop, a filesystem service) and does not keep the simulation
+    /// alive. [`Sim::run`] returns [`SimState::Finished`] once only daemons
+    /// remain.
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.spawn_inner(name, future, true)
+    }
+
+    fn spawn_inner<F>(&self, name: impl Into<String>, future: F, daemon: bool) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let slot: Rc<RefCell<Option<F::Output>>> = Rc::new(RefCell::new(None));
+        let done = crate::notify::Notify::new();
+        let handle = JoinHandle {
+            slot: slot.clone(),
+            done: done.clone(),
+        };
+        let wrapped = async move {
+            let out = future.await;
+            *slot.borrow_mut() = Some(out);
+            done.notify_all();
+        };
+
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_task;
+        inner.next_task += 1;
+        let waker_state = Arc::new(TaskWaker {
+            task: id,
+            ready: self.ready.clone(),
+            queued: AtomicBool::new(true), // starts queued
+        });
+        inner.tasks.insert(
+            id,
+            Task {
+                name: name.into(),
+                future: Box::pin(wrapped),
+                waker_state,
+                daemon,
+            },
+        );
+        if !daemon {
+            inner.live_regular += 1;
+        }
+        let spawned_name = inner.tasks[&id].name.clone();
+        inner.record(TraceEvent::Spawn {
+            name: spawned_name,
+            daemon,
+        });
+        drop(inner);
+        self.ready.queue.lock().push_back(id);
+        handle
+    }
+
+    /// Registers `waker` to fire `delay` cycles from now.
+    pub fn schedule_wake(&self, delay: Cycles, waker: Waker) {
+        let mut inner = self.inner.borrow_mut();
+        let deadline = inner.now + delay;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.timers.push(Reverse((deadline, seq, TimerEntry(waker))));
+    }
+
+    /// Suspends the calling task for `delay` simulated cycles.
+    ///
+    /// Sleeping zero cycles still yields once, giving same-cycle events a
+    /// chance to run (analogous to a delta cycle in SystemC).
+    pub fn sleep(&self, delay: Cycles) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            delay,
+            registered: false,
+        }
+    }
+
+    /// Suspends the calling task until the clock reaches `deadline`.
+    ///
+    /// If `deadline` is in the past, behaves like a zero-cycle sleep.
+    pub fn sleep_until(&self, deadline: Cycles) -> Sleep {
+        let delay = deadline.saturating_sub(self.now());
+        self.sleep(delay)
+    }
+
+    /// Runs until all tasks finish or no progress is possible.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic on a stall; inspect the returned [`SimState`].
+    pub fn run(&self) -> SimState {
+        self.run_inner(None)
+    }
+
+    /// Runs until all tasks finish, progress stops, or the clock passes
+    /// `limit`.
+    pub fn run_until(&self, limit: Cycles) -> SimState {
+        self.run_inner(Some(limit))
+    }
+
+    /// Lets daemon tasks finish in-flight work after [`Sim::run`] returned:
+    /// keeps processing ready tasks and timers — ignoring whether any
+    /// regular task is alive — until no timer is pending or the clock would
+    /// pass `now + slack`. Daemons blocked on notifications leave no timers,
+    /// so this terminates.
+    pub fn settle(&self, slack: Cycles) {
+        let limit = self.now() + slack;
+        loop {
+            loop {
+                let next = self.ready.queue.lock().pop_front();
+                let Some(id) = next else { break };
+                self.poll_task(id);
+            }
+            let mut inner = self.inner.borrow_mut();
+            let Some(Reverse((deadline, _, entry))) = inner.timers.pop() else {
+                return;
+            };
+            if deadline > limit {
+                let seq = inner.next_seq;
+                inner.next_seq += 1;
+                inner.timers.push(Reverse((deadline, seq, entry)));
+                return;
+            }
+            inner.now = deadline;
+            drop(inner);
+            entry.0.wake();
+        }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        let (mut future, waker) = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(task) = inner.tasks.get_mut(&id) else {
+                return;
+            };
+            task.waker_state.queued.store(false, Ordering::Relaxed);
+            let fut = std::mem::replace(&mut task.future, Box::pin(async {}));
+            (fut, Waker::from(task.waker_state.clone()))
+        };
+        let mut cx = Context::from_waker(&waker);
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                let mut inner = self.inner.borrow_mut();
+                if let Some(task) = inner.tasks.remove(&id) {
+                    if !task.daemon {
+                        inner.live_regular -= 1;
+                    }
+                    inner.record(TraceEvent::Complete { name: task.name });
+                }
+            }
+            Poll::Pending => {
+                let mut inner = self.inner.borrow_mut();
+                if let Some(task) = inner.tasks.get_mut(&id) {
+                    task.future = future;
+                }
+            }
+        }
+    }
+
+    fn run_inner(&self, limit: Option<Cycles>) -> SimState {
+        loop {
+            // Drain the ready queue first: all work at the current instant.
+            loop {
+                let next = self.ready.queue.lock().pop_front();
+                let Some(id) = next else { break };
+                self.poll_task(id);
+            }
+
+            // No task is runnable: advance the clock to the next timer.
+            let mut inner = self.inner.borrow_mut();
+            if inner.live_regular == 0 {
+                return SimState::Finished;
+            }
+            let Some(Reverse((deadline, _, entry))) = inner.timers.pop() else {
+                let stalled = inner
+                    .tasks
+                    .values()
+                    .filter(|t| !t.daemon)
+                    .map(|t| t.name.clone())
+                    .collect();
+                return SimState::Stalled(stalled);
+            };
+            if let Some(limit) = limit {
+                if deadline > limit {
+                    inner.now = limit;
+                    // Put the timer back for a future run call.
+                    let seq = inner.next_seq;
+                    inner.next_seq += 1;
+                    inner.timers.push(Reverse((deadline, seq, entry)));
+                    return SimState::TimeLimit;
+                }
+            }
+            debug_assert!(deadline >= inner.now, "time must be monotonic");
+            let from = inner.now;
+            inner.now = deadline;
+            if from != deadline {
+                inner.record(TraceEvent::Advance { from });
+            }
+            drop(inner);
+            entry.0.wake();
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`].
+#[derive(Debug)]
+pub struct Sleep {
+    sim: Sim,
+    delay: Cycles,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.registered {
+            Poll::Ready(())
+        } else {
+            self.registered = true;
+            let delay = self.delay;
+            self.sim.schedule_wake(delay, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// A handle to a spawned task's result.
+///
+/// Await it from another task, or call [`JoinHandle::try_take`] after
+/// [`Sim::run`] returns.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    slot: Rc<RefCell<Option<T>>>,
+    done: crate::notify::Notify,
+}
+
+impl<T> JoinHandle<T> {
+    /// Takes the result if the task has finished.
+    ///
+    /// Returns `None` if the task is still running or the result was already
+    /// taken.
+    pub fn try_take(&self) -> Option<T> {
+        self.slot.borrow_mut().take()
+    }
+
+    /// Whether the task has produced its result (and it was not taken yet).
+    pub fn is_finished(&self) -> bool {
+        self.slot.borrow().is_some()
+    }
+
+    /// Waits for the task to finish and takes its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already taken by another waiter.
+    pub async fn join(self) -> T {
+        loop {
+            if let Some(v) = self.slot.borrow_mut().take() {
+                return v;
+            }
+            self.done.wait().await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim_finishes_immediately() {
+        let sim = Sim::new();
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(sim.now(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Sim::new();
+        let h = sim.spawn("sleeper", {
+            let sim = sim.clone();
+            async move {
+                sim.sleep(Cycles::new(50)).await;
+                sim.sleep(Cycles::new(25)).await;
+                sim.now()
+            }
+        });
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(h.try_take().unwrap(), Cycles::new(75));
+        assert_eq!(sim.now(), Cycles::new(75));
+    }
+
+    #[test]
+    fn tasks_interleave_in_time_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u64, &str)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("b", 20u64), ("a", 10), ("c", 30)] {
+            let sim2 = sim.clone();
+            let log = log.clone();
+            sim.spawn(name, async move {
+                sim2.sleep(Cycles::new(delay)).await;
+                log.borrow_mut().push((sim2.now().as_u64(), name));
+            });
+        }
+        sim.run();
+        assert_eq!(&*log.borrow(), &[(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn same_cycle_events_fire_in_spawn_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<&str>>> = Rc::new(RefCell::new(Vec::new()));
+        for name in ["first", "second", "third"] {
+            let sim2 = sim.clone();
+            let log = log.clone();
+            sim.spawn(name, async move {
+                sim2.sleep(Cycles::new(5)).await;
+                log.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(&*log.borrow(), &["first", "second", "third"]);
+    }
+
+    #[test]
+    fn join_handle_from_another_task() {
+        let sim = Sim::new();
+        let h = sim.spawn("producer", {
+            let sim = sim.clone();
+            async move {
+                sim.sleep(Cycles::new(10)).await;
+                42
+            }
+        });
+        let h2 = sim.spawn("consumer", async move { h.join().await * 2 });
+        sim.run();
+        assert_eq!(h2.try_take().unwrap(), 84);
+    }
+
+    #[test]
+    fn stall_reports_task_names() {
+        let sim = Sim::new();
+        let n = crate::Notify::new();
+        let n2 = n.clone();
+        sim.spawn("stuck-task", async move {
+            n2.wait().await;
+        });
+        match sim.run() {
+            SimState::Stalled(names) => assert_eq!(names, vec!["stuck-task".to_string()]),
+            other => panic!("expected stall, got {other:?}"),
+        }
+        drop(n);
+    }
+
+    #[test]
+    fn run_until_respects_limit() {
+        let sim = Sim::new();
+        sim.spawn("long", {
+            let sim = sim.clone();
+            async move {
+                sim.sleep(Cycles::new(1000)).await;
+            }
+        });
+        assert_eq!(sim.run_until(Cycles::new(100)), SimState::TimeLimit);
+        assert_eq!(sim.now(), Cycles::new(100));
+        // Continuing the run completes the task.
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(sim.now(), Cycles::new(1000));
+    }
+
+    #[test]
+    fn zero_sleep_yields_but_does_not_advance() {
+        let sim = Sim::new();
+        let h = sim.spawn("yielder", {
+            let sim = sim.clone();
+            async move {
+                for _ in 0..10 {
+                    sim.sleep(Cycles::ZERO).await;
+                }
+                sim.now()
+            }
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_zero_sleep() {
+        let sim = Sim::new();
+        let h = sim.spawn("t", {
+            let sim = sim.clone();
+            async move {
+                sim.sleep(Cycles::new(100)).await;
+                sim.sleep_until(Cycles::new(50)).await; // already past
+                sim.now()
+            }
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Cycles::new(100));
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run_once() -> Vec<(u64, usize)> {
+            let sim = Sim::new();
+            let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..20usize {
+                let sim2 = sim.clone();
+                let log = log.clone();
+                sim.spawn(format!("t{i}"), async move {
+                    let mut delay = (i as u64 * 7) % 13;
+                    for _ in 0..5 {
+                        sim2.sleep(Cycles::new(delay)).await;
+                        log.borrow_mut().push((sim2.now().as_u64(), i));
+                        delay = (delay * 3 + 1) % 17;
+                    }
+                });
+            }
+            sim.run();
+            let result = log.borrow().clone();
+            result
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn daemons_do_not_keep_the_sim_alive() {
+        let sim = Sim::new();
+        let n = crate::Notify::new();
+        let n2 = n.clone();
+        // A daemon that waits forever (like the kernel's syscall loop).
+        sim.spawn_daemon("kernel-like", async move {
+            loop {
+                n2.wait().await;
+            }
+        });
+        let h = sim.spawn("app", {
+            let sim = sim.clone();
+            async move {
+                sim.sleep(Cycles::new(10)).await;
+                123
+            }
+        });
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(h.try_take().unwrap(), 123);
+        drop(n);
+    }
+
+    #[test]
+    fn stall_report_omits_daemons() {
+        let sim = Sim::new();
+        let n = crate::Notify::new();
+        let (n2, n3) = (n.clone(), n.clone());
+        sim.spawn_daemon("daemon", async move {
+            n2.wait().await;
+        });
+        sim.spawn("stuck-app", async move {
+            n3.wait().await;
+        });
+        match sim.run() {
+            SimState::Stalled(names) => assert_eq!(names, vec!["stuck-app".to_string()]),
+            other => panic!("expected stall, got {other:?}"),
+        }
+        drop(n);
+    }
+
+    #[test]
+    fn spawn_from_within_task() {
+        let sim = Sim::new();
+        let h = sim.spawn("outer", {
+            let sim = sim.clone();
+            async move {
+                let inner = sim.spawn("inner", {
+                    let sim = sim.clone();
+                    async move {
+                        sim.sleep(Cycles::new(5)).await;
+                        7
+                    }
+                });
+                inner.join().await
+            }
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), 7);
+    }
+}

@@ -1,0 +1,238 @@
+//! An edge-triggered wait/notify primitive for simulated tasks.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+#[derive(Debug)]
+struct Waiter {
+    woken: bool,
+    waker: Option<Waker>,
+}
+
+/// A condition-variable-like notification primitive.
+///
+/// Like a condition variable, a notification is only delivered to tasks that
+/// are *already waiting*: callers must check their predicate before waiting
+/// and re-check it afterwards. In this single-threaded executor there is no
+/// window between the predicate check and the `wait().await` registration, so
+/// the usual lost-wakeup loop is all that is needed:
+///
+/// ```
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+/// use m3_sim::{Notify, Sim};
+///
+/// let sim = Sim::new();
+/// let flag = Rc::new(Cell::new(false));
+/// let cond = Notify::new();
+///
+/// let (f2, c2, s2) = (flag.clone(), cond.clone(), sim.clone());
+/// let waiter = sim.spawn("waiter", async move {
+///     while !f2.get() {
+///         c2.wait().await;
+///     }
+///     s2.now()
+/// });
+///
+/// let (f3, c3, s3) = (flag, cond, sim.clone());
+/// sim.spawn("setter", async move {
+///     s3.sleep(m3_base::Cycles::new(10)).await;
+///     f3.set(true);
+///     c3.notify_all();
+/// });
+///
+/// sim.run();
+/// assert_eq!(waiter.try_take().unwrap(), m3_base::Cycles::new(10));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Notify {
+    waiters: Rc<RefCell<Vec<Rc<RefCell<Waiter>>>>>,
+}
+
+impl Notify {
+    /// Creates a notification primitive with no waiters.
+    pub fn new() -> Notify {
+        Notify::default()
+    }
+
+    /// Wakes every task currently waiting.
+    pub fn notify_all(&self) {
+        let waiters = std::mem::take(&mut *self.waiters.borrow_mut());
+        for w in waiters {
+            let mut w = w.borrow_mut();
+            w.woken = true;
+            if let Some(waker) = w.waker.take() {
+                waker.wake();
+            }
+        }
+    }
+
+    /// Wakes at most one waiting task (the longest-waiting one).
+    pub fn notify_one(&self) {
+        let first = {
+            let mut ws = self.waiters.borrow_mut();
+            if ws.is_empty() {
+                None
+            } else {
+                Some(ws.remove(0))
+            }
+        };
+        if let Some(w) = first {
+            let mut w = w.borrow_mut();
+            w.woken = true;
+            if let Some(waker) = w.waker.take() {
+                waker.wake();
+            }
+        }
+    }
+
+    /// Returns a future that completes at the next notification.
+    pub fn wait(&self) -> Wait {
+        Wait {
+            notify: self.clone(),
+            waiter: None,
+        }
+    }
+
+    /// Number of tasks currently waiting (diagnostics only).
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.borrow().len()
+    }
+}
+
+/// Future returned by [`Notify::wait`].
+#[derive(Debug)]
+pub struct Wait {
+    notify: Notify,
+    waiter: Option<Rc<RefCell<Waiter>>>,
+}
+
+impl Future for Wait {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        match &self.waiter {
+            None => {
+                let waiter = Rc::new(RefCell::new(Waiter {
+                    woken: false,
+                    waker: Some(cx.waker().clone()),
+                }));
+                self.notify.waiters.borrow_mut().push(waiter.clone());
+                self.waiter = Some(waiter);
+                Poll::Pending
+            }
+            Some(w) => {
+                let mut w = w.borrow_mut();
+                if w.woken {
+                    Poll::Ready(())
+                } else {
+                    w.waker = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Wait {
+    fn drop(&mut self) {
+        // Deregister if the wait was cancelled (e.g. by a select), so the
+        // waiter list does not grow without bound.
+        if let Some(w) = &self.waiter {
+            let mut ws = self.notify.waiters.borrow_mut();
+            ws.retain(|other| !Rc::ptr_eq(other, w));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+    use m3_base::Cycles;
+    use std::cell::Cell;
+
+    #[test]
+    fn notify_all_wakes_every_waiter() {
+        let sim = Sim::new();
+        let cond = Notify::new();
+        let count = Rc::new(Cell::new(0));
+        for i in 0..3 {
+            let cond = cond.clone();
+            let count = count.clone();
+            sim.spawn(format!("w{i}"), async move {
+                cond.wait().await;
+                count.set(count.get() + 1);
+            });
+        }
+        let cond2 = cond.clone();
+        let sim2 = sim.clone();
+        sim.spawn("notifier", async move {
+            sim2.sleep(Cycles::new(5)).await;
+            cond2.notify_all();
+        });
+        sim.run();
+        assert_eq!(count.get(), 3);
+    }
+
+    #[test]
+    fn notify_one_wakes_exactly_one() {
+        let sim = Sim::new();
+        let cond = Notify::new();
+        let count = Rc::new(Cell::new(0));
+        for i in 0..3 {
+            let cond = cond.clone();
+            let count = count.clone();
+            sim.spawn(format!("w{i}"), async move {
+                cond.wait().await;
+                count.set(count.get() + 1);
+            });
+        }
+        let cond2 = cond.clone();
+        let sim2 = sim.clone();
+        sim.spawn("notifier", async move {
+            sim2.sleep(Cycles::new(5)).await;
+            cond2.notify_one();
+        });
+        // Two waiters remain stalled.
+        match sim.run() {
+            crate::SimState::Stalled(names) => assert_eq!(names.len(), 2),
+            other => panic!("expected stall, got {other:?}"),
+        }
+        assert_eq!(count.get(), 1);
+    }
+
+    #[test]
+    fn notification_before_wait_is_lost() {
+        let sim = Sim::new();
+        let cond = Notify::new();
+        cond.notify_all(); // nobody waiting: no-op
+        let cond2 = cond.clone();
+        sim.spawn("late-waiter", async move {
+            cond2.wait().await;
+        });
+        assert!(matches!(sim.run(), crate::SimState::Stalled(_)));
+    }
+
+    #[test]
+    fn waiter_count_tracks_registration() {
+        let sim = Sim::new();
+        let cond = Notify::new();
+        let cond2 = cond.clone();
+        sim.spawn("w", async move {
+            cond2.wait().await;
+        });
+        let cond3 = cond.clone();
+        let sim2 = sim.clone();
+        sim.spawn("check", async move {
+            sim2.sleep(Cycles::new(1)).await;
+            assert_eq!(cond3.waiter_count(), 1);
+            cond3.notify_all();
+            assert_eq!(cond3.waiter_count(), 0);
+        });
+        assert_eq!(sim.run(), crate::SimState::Finished);
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared statistics counters for instrumenting simulated components.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A bag of named counters shared across a simulation.
+///
+/// Components increment counters (messages sent, bytes transferred, cache
+/// misses, …); benchmarks and tests read them afterwards. A `BTreeMap` keeps
+/// the dump order stable.
+///
+/// # Examples
+///
+/// ```
+/// use m3_sim::Stats;
+///
+/// let stats = Stats::new();
+/// stats.add("noc.bytes", 4096);
+/// stats.incr("noc.packets");
+/// assert_eq!(stats.get("noc.bytes"), 4096);
+/// assert_eq!(stats.get("noc.packets"), 1);
+/// assert_eq!(stats.get("unknown"), 0);
+/// ```
+#[derive(Clone, Default)]
+pub struct Stats {
+    counters: Rc<RefCell<BTreeMap<String, u64>>>,
+}
+
+impl Stats {
+    /// Creates an empty counter bag.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Adds `n` to the counter `key`, creating it at zero if absent.
+    pub fn add(&self, key: &str, n: u64) {
+        *self
+            .counters
+            .borrow_mut()
+            .entry(key.to_string())
+            .or_insert(0) += n;
+    }
+
+    /// Increments the counter `key` by one.
+    pub fn incr(&self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Reads a counter; absent counters read as zero.
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.borrow().get(key).copied().unwrap_or(0)
+    }
+
+    /// Resets all counters.
+    pub fn clear(&self) {
+        self.counters.borrow_mut().clear();
+    }
+
+    /// Returns a snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.counters.borrow().iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = Stats::new();
+        stats.add("x", 3);
+        stats.add("x", 4);
+        stats.incr("x");
+        assert_eq!(stats.get("x"), 8);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Stats::new();
+        let b = a.clone();
+        a.incr("shared");
+        assert_eq!(b.get("shared"), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let stats = Stats::new();
+        stats.incr("b");
+        stats.incr("a");
+        stats.incr("c");
+        let snap = stats.snapshot();
+        let keys: Vec<&str> = snap.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let stats = Stats::new();
+        stats.incr("x");
+        stats.clear();
+        assert_eq!(stats.get("x"), 0);
+        assert!(stats.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,2 @@
+//! Umbrella package holding the workspace-level integration tests and
+//! examples. See the `m3` crate for the public API.

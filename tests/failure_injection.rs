@@ -1,0 +1,247 @@
+//! Failure-injection tests: the system must fail *predictably* — with the
+//! right error codes and without corrupting unrelated state.
+
+use m3::{System, SystemConfig};
+use m3_base::error::Code;
+use m3_base::{EpId, PeId, Perm};
+use m3_fs::{mount_m3fs, SetupNode};
+use m3_kernel::protocol::{PeRequest, Syscall};
+use m3_libos::vfs::{self, OpenFlags};
+use m3_libos::{MemGate, RecvGate, SendGate, Vpe};
+use m3_noc::{Noc, NocConfig, Topology};
+use m3_sim::Sim;
+
+#[test]
+fn access_after_revoke_fails_without_collateral_damage() {
+    let sys = System::boot(SystemConfig::default());
+    let job = sys.run_program("app", |env| async move {
+        let keep = MemGate::alloc(&env, 4096, Perm::RW).await.unwrap();
+        let lose = MemGate::alloc(&env, 4096, Perm::RW).await.unwrap();
+        keep.write(0, b"safe").await.unwrap();
+        lose.write(0, b"doomed").await.unwrap();
+
+        env.syscall(Syscall::Revoke { sel: lose.sel() }).await.unwrap();
+        let err = lose.read(0, 1).await.unwrap_err();
+        assert!(matches!(err.code(), Code::InvEp | Code::InvCap));
+
+        // The other capability is untouched.
+        assert_eq!(keep.read(0, 4).await.unwrap(), b"safe");
+        0
+    });
+    sys.run();
+    assert_eq!(job.try_take(), Some(0));
+}
+
+#[test]
+fn credit_exhaustion_is_denied_by_the_dtu_not_the_receiver() {
+    let sys = System::boot(SystemConfig::default());
+    let job = sys.run_program("app", |env| async move {
+        let rgate = RecvGate::new(&env, 8, 256).await.unwrap();
+        let sgate = SendGate::new(&env, &rgate, 0, 2).await.unwrap();
+        sgate.send(b"1", None).await.unwrap();
+        sgate.send(b"2", None).await.unwrap();
+        // Third send: the DTU denies it locally (§4.4.3).
+        let err = sgate.send(b"3", None).await.unwrap_err();
+        assert_eq!(err.code(), Code::NoCredits);
+        // Draining the messages does not refill credits (only replies or
+        // the kernel do) — the channel stays throttled.
+        let msg = rgate.recv().await.unwrap();
+        assert_eq!(msg.payload, b"1");
+        let err = sgate.send(b"4", None).await.unwrap_err();
+        assert_eq!(err.code(), Code::NoCredits);
+        0
+    });
+    sys.run();
+    assert_eq!(job.try_take(), Some(0));
+}
+
+#[test]
+fn filesystem_exhaustion_reports_no_space() {
+    // A tiny filesystem: 128 blocks of 1 KiB.
+    let sys = System::boot(SystemConfig {
+        fs_blocks: 128,
+        ..SystemConfig::default()
+    });
+    let job = sys.run_program("filler", |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let big = vec![1u8; 1024 * 1024];
+        let err = vfs::write_all(&env, "/big", &big).await.unwrap_err();
+        assert_eq!(err.code(), Code::NoSpace);
+        // Removing the partial file returns its blocks; the filesystem
+        // works again afterwards.
+        vfs::unlink(&env, "/big").await.unwrap();
+        vfs::write_all(&env, "/ok", &[1, 2, 3]).await.unwrap();
+        assert_eq!(vfs::read_to_vec(&env, "/ok").await.unwrap(), vec![1, 2, 3]);
+        0
+    });
+    sys.run();
+    assert_eq!(job.try_take(), Some(0));
+}
+
+#[test]
+fn pe_exhaustion_reports_no_free_pe() {
+    let sys = System::boot(SystemConfig {
+        pes: 3, // kernel + fs + this program: nothing left
+        ..SystemConfig::default()
+    });
+    let job = sys.run_program("greedy", |env| async move {
+        let err = Vpe::new(&env, "none", PeRequest::Same).await.unwrap_err();
+        assert_eq!(err.code(), Code::NoFreePe);
+        0
+    });
+    sys.run();
+    assert_eq!(job.try_take(), Some(0));
+}
+
+#[test]
+fn dram_exhaustion_reports_out_of_mem() {
+    let sys = System::boot(SystemConfig::default());
+    let job = sys.run_program("hog", |env| async move {
+        // The DRAM module is 64 MiB; asking for 1 GiB must fail cleanly.
+        let err = MemGate::alloc(&env, 1 << 30, Perm::RW).await.unwrap_err();
+        assert_eq!(err.code(), Code::OutOfMem);
+        // And smaller allocations still succeed.
+        let ok = MemGate::alloc(&env, 4096, Perm::RW).await;
+        assert!(ok.is_ok());
+        0
+    });
+    sys.run();
+    assert_eq!(job.try_take(), Some(0));
+}
+
+#[test]
+fn ringbuffer_overflow_drops_are_counted_not_fatal() {
+    // Raw DTU level: a sender with more credits than the receiver has
+    // slots (a misconfigured channel) loses messages; the stats record it.
+    let sim = Sim::new();
+    let noc = Noc::new(Topology::with_nodes(3), NocConfig::default());
+    let dtus = m3_dtu::DtuSystem::new(sim.clone(), noc);
+    let kernel = dtus.dtu(PeId::new(0));
+    kernel
+        .configure(
+            PeId::new(2),
+            EpId::new(0),
+            m3_dtu::EpConfig::Receive {
+                slots: 2,
+                slot_size: 256,
+                allow_replies: false,
+            },
+        )
+        .unwrap();
+    kernel
+        .configure(
+            PeId::new(1),
+            EpId::new(0),
+            m3_dtu::EpConfig::Send {
+                pe: PeId::new(2),
+                ep: EpId::new(0),
+                label: 0,
+                credits: None, // unlimited: nothing throttles the sender
+                max_payload: 64,
+            },
+        )
+        .unwrap();
+    let tx = dtus.dtu(PeId::new(1));
+    sim.spawn("flood", async move {
+        for i in 0..10u8 {
+            tx.send(EpId::new(0), &[i], None).await.unwrap();
+        }
+    });
+    sim.run();
+    let stats = sim.stats();
+    assert_eq!(stats.get("dtu.msgs_delivered"), 2);
+    assert_eq!(stats.get("dtu.msgs_dropped"), 8);
+}
+
+#[test]
+fn truncating_while_another_handle_reads_yields_short_reads() {
+    let content = vec![9u8; 8192];
+    let sys = System::boot(SystemConfig {
+        fs_setup: vec![SetupNode::file("/shared", content)],
+        ..SystemConfig::default()
+    });
+    let job = sys.run_program("racer", |env| async move {
+        mount_m3fs(&env).await.unwrap();
+        let mut reader = vfs::open(&env, "/shared", OpenFlags::R).await.unwrap();
+        // Truncate through a second handle.
+        let mut writer = vfs::open(&env, "/shared", OpenFlags::W.or(OpenFlags::TRUNC))
+            .await
+            .unwrap();
+        writer.close().await.unwrap();
+        // The reader's cached size is stale, but the system must not crash;
+        // it returns data from its (still-delegated) extent or EOF.
+        let mut buf = [0u8; 64];
+        let r = reader.read(&mut buf).await;
+        assert!(r.is_ok() || r.is_err(), "must terminate cleanly");
+        reader.close().await.unwrap();
+        0
+    });
+    sys.run();
+    assert_eq!(job.try_take(), Some(0));
+}
+
+#[test]
+fn ring_buffer_spm_budget_is_enforced() {
+    // The kernel validates ring-buffer placement in the receiver's SPM
+    // (§4.4.4) and refuses once the protected region is full.
+    let sys = System::boot(SystemConfig::default());
+    let job = sys.run_program("greedy", |env| async move {
+        let mut gates = Vec::new();
+        // Each gate occupies 8 KiB; the budget is half the 64 KiB SPM.
+        let mut failed = None;
+        for i in 0..6 {
+            match RecvGate::new(&env, 16, 512).await {
+                Ok(g) => gates.push(g),
+                Err(e) => {
+                    failed = Some((i, e.code()));
+                    break;
+                }
+            }
+        }
+        let (at, code) = failed.expect("budget must eventually refuse");
+        assert_eq!(code, Code::OutOfMem);
+        assert_eq!(at, 4, "32 KiB budget / 8 KiB per buffer = 4 gates");
+        // Dropping a gate releases no SPM (the capability still exists);
+        // revoking it does.
+        let g = gates.pop().unwrap();
+        let sel = g.sel();
+        drop(g);
+        env.syscall(Syscall::Revoke { sel }).await.unwrap();
+        assert!(RecvGate::new(&env, 16, 512).await.is_ok());
+        0
+    });
+    sys.run();
+    assert_eq!(job.try_take(), Some(0));
+}
+
+#[test]
+fn child_failure_propagates_as_exit_code() {
+    let sys = System::boot(SystemConfig::default());
+    let job = sys.run_program("parent", |env| async move {
+        let vpe = Vpe::new(&env, "crasher", PeRequest::Same).await.unwrap();
+        vpe.run(|_env| async { -9 }).await.unwrap();
+        vpe.wait().await.unwrap()
+    });
+    sys.run();
+    assert_eq!(job.try_take(), Some(-9));
+}
+
+#[test]
+fn permission_violations_on_derived_memory() {
+    let sys = System::boot(SystemConfig::default());
+    let job = sys.run_program("app", |env| async move {
+        let mem = MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
+        let ro = mem.derive(0, 4096, Perm::R).await.unwrap();
+        let wo = mem.derive(4096, 4096, Perm::W).await.unwrap();
+        assert_eq!(ro.write(0, &[1]).await.unwrap_err().code(), Code::NoPerm);
+        assert_eq!(wo.read(0, 1).await.unwrap_err().code(), Code::NoPerm);
+        // And neither window can reach beyond its range.
+        assert_eq!(
+            ro.read(4000, 200).await.unwrap_err().code(),
+            Code::InvArgs
+        );
+        0
+    });
+    sys.run();
+    assert_eq!(job.try_take(), Some(0));
+}

@@ -1,0 +1,398 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use proptest::prelude::*;
+
+use m3_base::cycles::transfer_time;
+use m3_base::marshal::{IStream, OStream};
+use m3_base::{Cycles, PeId, Perm};
+use m3_dtu::{Header, Message, RingBuf};
+use m3_kernel::cap::DerivationTree;
+use m3_kernel::mem::MemAlloc;
+use m3_noc::{route, Noc, NocConfig, Topology};
+use m3_platform::Cache;
+
+// ---------------------------------------------------------------------
+// Marshalling
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Value {
+    U8(u8),
+    U32(u32),
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+    Str(String),
+    Bytes(Vec<u8>),
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u8>().prop_map(Value::U8),
+        any::<u32>().prop_map(Value::U32),
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9/._-]{0,40}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn marshal_roundtrips_any_sequence(values in proptest::collection::vec(value_strategy(), 0..20)) {
+        let mut os = OStream::new();
+        for v in &values {
+            match v {
+                Value::U8(x) => { os.push_u8(*x); }
+                Value::U32(x) => { os.push_u32(*x); }
+                Value::U64(x) => { os.push_u64(*x); }
+                Value::I64(x) => { os.push_i64(*x); }
+                Value::Bool(x) => { os.push_bool(*x); }
+                Value::Str(x) => { os.push_str(x); }
+                Value::Bytes(x) => { os.push_bytes(x); }
+            }
+        }
+        let bytes = os.into_bytes();
+        let mut is = IStream::new(&bytes);
+        for v in &values {
+            match v {
+                Value::U8(x) => prop_assert_eq!(is.pop_u8().unwrap(), *x),
+                Value::U32(x) => prop_assert_eq!(is.pop_u32().unwrap(), *x),
+                Value::U64(x) => prop_assert_eq!(is.pop_u64().unwrap(), *x),
+                Value::I64(x) => prop_assert_eq!(is.pop_i64().unwrap(), *x),
+                Value::Bool(x) => prop_assert_eq!(is.pop_bool().unwrap(), *x),
+                Value::Str(x) => prop_assert_eq!(&is.pop_str().unwrap(), x),
+                Value::Bytes(x) => prop_assert_eq!(is.pop_bytes().unwrap(), &x[..]),
+            }
+        }
+        prop_assert_eq!(is.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_marshal_never_panics(values in proptest::collection::vec(value_strategy(), 1..10), cut in any::<usize>()) {
+        let mut os = OStream::new();
+        for v in &values {
+            match v {
+                Value::U8(x) => { os.push_u8(*x); }
+                Value::U32(x) => { os.push_u32(*x); }
+                Value::U64(x) => { os.push_u64(*x); }
+                Value::I64(x) => { os.push_i64(*x); }
+                Value::Bool(x) => { os.push_bool(*x); }
+                Value::Str(x) => { os.push_str(x); }
+                Value::Bytes(x) => { os.push_bytes(x); }
+            }
+        }
+        let bytes = os.into_bytes();
+        let cut = cut % (bytes.len() + 1);
+        let mut is = IStream::new(&bytes[..cut]);
+        // Popping anything either succeeds or errors — never panics.
+        let _ = is.pop_u64();
+        let _ = is.pop_str();
+        let _ = is.pop_bytes();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel memory allocator
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn mem_alloc_conserves_and_never_overlaps(
+        ops in proptest::collection::vec((any::<bool>(), 1u64..2048), 1..200)
+    ) {
+        let total = 1u64 << 16;
+        let mut alloc = MemAlloc::new(0, total);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (is_alloc, size) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(off) = alloc.alloc(size) {
+                    // No overlap with any live region.
+                    for &(o, s) in &live {
+                        prop_assert!(off + size <= o || o + s <= off,
+                            "overlap: [{off},{}) vs [{o},{})", off + size, o + s);
+                    }
+                    prop_assert!(off + size <= total);
+                    live.push((off, size));
+                }
+            } else {
+                let (off, size) = live.swap_remove(0);
+                alloc.free(off, size);
+            }
+            let live_sum: u64 = live.iter().map(|&(_, s)| s).sum();
+            prop_assert_eq!(alloc.free_bytes() + live_sum, total);
+        }
+        for (off, size) in live.drain(..) {
+            alloc.free(off, size);
+        }
+        prop_assert_eq!(alloc.free_bytes(), total);
+        prop_assert_eq!(alloc.fragments(), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// DTU ring buffer
+// ---------------------------------------------------------------------
+
+fn msg(label: u64, len: usize) -> Message {
+    Message {
+        header: Header {
+            label,
+            len: len as u32,
+            sender_pe: PeId::new(0),
+            sender_ep: m3_base::EpId::new(0),
+            reply: None,
+        },
+        payload: vec![0; len],
+    }
+}
+
+proptest! {
+    #[test]
+    fn ringbuf_occupancy_and_fifo(
+        slots in 1usize..8,
+        ops in proptest::collection::vec((0u8..3, 0usize..64), 1..100)
+    ) {
+        let mut rb = RingBuf::new(slots, 256);
+        let mut queued: std::collections::VecDeque<u64> = Default::default();
+        let mut fetched = 0usize;
+        let mut seq = 0u64;
+        for (op, len) in ops {
+            match op {
+                0 => {
+                    let accepted = rb.deposit(msg(seq, len));
+                    let fits = queued.len() + fetched < slots
+                        && len + m3_base::cfg::MSG_HEADER_SIZE <= 256;
+                    prop_assert_eq!(accepted, fits);
+                    if accepted {
+                        queued.push_back(seq);
+                    }
+                    seq += 1;
+                }
+                1 => {
+                    let got = rb.fetch();
+                    match queued.pop_front() {
+                        Some(expect) => {
+                            prop_assert_eq!(got.unwrap().label(), expect, "FIFO order");
+                            fetched += 1;
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+                _ => {
+                    if fetched > 0 {
+                        rb.ack();
+                        fetched -= 1;
+                    }
+                }
+            }
+            prop_assert!(rb.occupied() <= slots);
+            prop_assert_eq!(rb.occupied(), queued.len() + fetched);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// NoC routing and timing
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn xy_route_is_valid_for_any_mesh(nodes in 1u32..64, a in any::<u32>(), b in any::<u32>()) {
+        let topo = Topology::with_nodes(nodes);
+        let a = PeId::new(a % nodes);
+        let b = PeId::new(b % nodes);
+        let r = route(&topo, a, b);
+        prop_assert_eq!(r.len() as u32, topo.hops(a, b));
+        if !r.is_empty() {
+            prop_assert_eq!(r[0].from, topo.coord(a));
+            prop_assert_eq!(r.last().unwrap().to, topo.coord(b));
+            for pair in r.windows(2) {
+                prop_assert_eq!(pair[0].to, pair[1].from);
+                // Each hop moves exactly one step in one dimension.
+                let dx = pair[0].from.x.abs_diff(pair[0].to.x);
+                let dy = pair[0].from.y.abs_diff(pair[0].to.y);
+                prop_assert_eq!(dx + dy, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_completion_is_monotone_in_size(
+        bytes_a in 0u64..1_000_000,
+        bytes_b in 0u64..1_000_000,
+    ) {
+        let (small, large) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        // Fresh NoCs so reservations don't interfere.
+        let t_small = Noc::new(Topology::with_nodes(9), NocConfig::default())
+            .schedule(Cycles::ZERO, PeId::new(0), PeId::new(8), small);
+        let t_large = Noc::new(Topology::with_nodes(9), NocConfig::default())
+            .schedule(Cycles::ZERO, PeId::new(0), PeId::new(8), large);
+        prop_assert!(t_small.completes_at <= t_large.completes_at);
+        // Bandwidth bound: at least bytes/8 cycles.
+        prop_assert!(t_large.completes_at >= transfer_time(large, 8));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Capability derivation tree
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn revoke_removes_exactly_the_subtree(
+        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..60),
+        target in any::<u8>(),
+    ) {
+        use m3_base::{SelId, VpeId};
+        let mk = |i: u8| (VpeId::new(0), SelId::new(i as u32));
+
+        // Build a forest: each new node attaches to a random existing node.
+        let mut tree = DerivationTree::new();
+        let mut parents: std::collections::HashMap<u8, Option<u8>> = Default::default();
+        tree.insert_root(mk(0));
+        parents.insert(0, None);
+        let mut next = 1u8;
+        for (p, _) in edges {
+            if parents.len() >= 120 { break; }
+            let keys: Vec<u8> = parents.keys().copied().collect();
+            let parent = keys[(p as usize) % keys.len()];
+            tree.insert_child(mk(parent), mk(next));
+            parents.insert(next, Some(parent));
+            next = next.wrapping_add(1);
+            if parents.contains_key(&next) { break; }
+        }
+
+        // Model: compute the expected subtree of `target`.
+        let keys: Vec<u8> = parents.keys().copied().collect();
+        let target = keys[(target as usize) % keys.len()];
+        let in_subtree = |mut node: u8| {
+            loop {
+                if node == target { return true; }
+                match parents[&node] {
+                    Some(p) => node = p,
+                    None => return false,
+                }
+            }
+        };
+        let expected: std::collections::HashSet<u8> =
+            keys.iter().copied().filter(|&k| in_subtree(k)).collect();
+
+        let removed = tree.revoke(mk(target));
+        let removed_set: std::collections::HashSet<u8> =
+            removed.iter().map(|(_, s)| s.raw() as u8).collect();
+        prop_assert_eq!(&removed_set, &expected);
+        // Everything else survives.
+        for k in keys {
+            prop_assert_eq!(tree.contains(mk(k)), !expected.contains(&k));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cache_misses_bounded_and_deterministic(
+        addrs in proptest::collection::vec(0u64..(1 << 20), 1..300)
+    ) {
+        let mut a = Cache::new(4096, 32, 4);
+        let mut b = Cache::new(4096, 32, 4);
+        for &addr in &addrs {
+            prop_assert_eq!(a.access(addr), b.access(addr), "determinism");
+        }
+        // Misses cannot exceed accesses; distinct lines bound compulsory
+        // misses from below.
+        let distinct: std::collections::HashSet<u64> =
+            addrs.iter().map(|&x| x / 32).collect();
+        prop_assert!(a.misses() <= addrs.len() as u64);
+        // Every distinct line misses at least once (compulsory misses).
+        prop_assert!(a.misses() >= distinct.len() as u64);
+        prop_assert_eq!(a.hits() + a.misses(), addrs.len() as u64);
+    }
+
+    #[test]
+    fn working_set_within_capacity_eventually_all_hits(
+        base in 0u64..(1 << 16),
+        lines in 1usize..32,
+    ) {
+        // A loop over < one way-set worth per set always hits after warmup.
+        let mut c = Cache::new(4096, 32, 4);
+        let len = lines * 32;
+        c.touch_range(base, len); // warm
+        prop_assert_eq!(c.touch_range(base, len), 0, "warm working set must hit");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Permissions
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn perm_algebra(a in 0u8..8, b in 0u8..8) {
+        let pa = Perm::from_bits(a);
+        let pb = Perm::from_bits(b);
+        // Union contains both; intersection contained in both.
+        prop_assert!((pa | pb).contains(pa));
+        prop_assert!((pa | pb).contains(pb));
+        prop_assert!(pa.contains(pa & pb));
+        prop_assert!(pb.contains(pa & pb));
+        // Subtraction removes exactly b's bits.
+        prop_assert_eq!((pa - pb) & pb, Perm::NONE);
+        prop_assert_eq!((pa - pb) | (pa & pb), pa);
+    }
+}
+
+// ---------------------------------------------------------------------
+// tar format and FFT numerics (workload logic)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tar_archive_roundtrips(
+        entries in proptest::collection::vec(
+            ("[a-z][a-z0-9_.]{0,20}", proptest::collection::vec(any::<u8>(), 0..2000)),
+            0..8,
+        )
+    ) {
+        // Unique names.
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<(String, Vec<u8>)> = entries
+            .into_iter()
+            .filter(|(n, _)| seen.insert(n.clone()))
+            .collect();
+        let refs: Vec<(&str, &[u8], bool)> = entries
+            .iter()
+            .map(|(n, c)| (n.as_str(), c.as_slice(), false))
+            .collect();
+        let archive = m3_apps::tarfmt::build_archive(&refs);
+        prop_assert_eq!(archive.len() % 512, 0);
+        let parsed = m3_apps::tarfmt::parse_archive(&archive).unwrap();
+        prop_assert_eq!(parsed.len(), entries.len());
+        for ((entry, content), (name, expect)) in parsed.iter().zip(&entries) {
+            prop_assert_eq!(&entry.name, name);
+            prop_assert_eq!(content, expect);
+        }
+    }
+
+    #[test]
+    fn fft_preserves_energy(seed in any::<u64>(), log_n in 3u32..10) {
+        // Parseval: sum|x|^2 = (1/N) sum|X|^2 for the unnormalized DFT.
+        let n = 1usize << log_n;
+        let (mut re, mut im) = m3_apps::fft::gen_samples(n, seed);
+        let energy_in: f64 = re.iter().zip(&im)
+            .map(|(&r, &i)| (r as f64).powi(2) + (i as f64).powi(2))
+            .sum();
+        m3_apps::fft::fft_in_place(&mut re, &mut im);
+        let energy_out: f64 = re.iter().zip(&im)
+            .map(|(&r, &i)| (r as f64).powi(2) + (i as f64).powi(2))
+            .sum::<f64>() / n as f64;
+        let rel = (energy_in - energy_out).abs() / energy_in.max(1e-9);
+        prop_assert!(rel < 1e-3, "Parseval violated: {energy_in} vs {energy_out}");
+    }
+}
