@@ -123,8 +123,18 @@ mod tests {
         let (er, ei) = dft(&re, &im);
         fft_in_place(&mut re, &mut im);
         for k in 0..64 {
-            assert!((re[k] - er[k]).abs() < 1e-3, "re[{k}]: {} vs {}", re[k], er[k]);
-            assert!((im[k] - ei[k]).abs() < 1e-3, "im[{k}]: {} vs {}", im[k], ei[k]);
+            assert!(
+                (re[k] - er[k]).abs() < 1e-3,
+                "re[{k}]: {} vs {}",
+                re[k],
+                er[k]
+            );
+            assert!(
+                (im[k] - ei[k]).abs() < 1e-3,
+                "im[{k}]: {} vs {}",
+                im[k],
+                ei[k]
+            );
         }
     }
 

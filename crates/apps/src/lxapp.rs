@@ -119,8 +119,8 @@ pub async fn tar_extract(p: &LxProc, archive: &str, dest: &str) -> Result<u64> {
         if header.len() < tarfmt::BLOCK {
             return Ok(total);
         }
-        let entry = tarfmt::parse_header(&header)
-            .map_err(|e| Error::new(Code::BadMessage).with_msg(e))?;
+        let entry =
+            tarfmt::parse_header(&header).map_err(|e| Error::new(Code::BadMessage).with_msg(e))?;
         let Some(entry) = entry else {
             return Ok(total);
         };

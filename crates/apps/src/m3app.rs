@@ -75,7 +75,8 @@ pub async fn cat_tr(env: &Env, input: &str, output: &str) -> Result<u64> {
         if n == 0 {
             break;
         }
-        env.compute_app(Cycles::new(n as u64 * TR_CYCLES_PER_BYTE)).await;
+        env.compute_app(Cycles::new(n as u64 * TR_CYCLES_PER_BYTE))
+            .await;
         for b in &mut buf[..n] {
             if *b == b'a' {
                 *b = b'b';
@@ -163,8 +164,8 @@ pub async fn tar_extract(env: &Env, archive: &str, dest: &str) -> Result<u64> {
             }
             got += n;
         }
-        let entry = tarfmt::parse_header(&header)
-            .map_err(|e| Error::new(Code::BadMessage).with_msg(e))?;
+        let entry =
+            tarfmt::parse_header(&header).map_err(|e| Error::new(Code::BadMessage).with_msg(e))?;
         let Some(entry) = entry else {
             return Ok(total); // end-of-archive marker
         };
@@ -236,7 +237,12 @@ pub async fn find(env: &Env, root: &str, pattern: &str) -> Result<Vec<String>> {
 ///
 /// Propagates filesystem errors.
 pub async fn sqlite(env: &Env, db_path: &str) -> Result<usize> {
-    let mut db = vfs::open(env, db_path, OpenFlags::CREATE.or(OpenFlags::TRUNC).or(OpenFlags::R)).await?;
+    let mut db = vfs::open(
+        env,
+        db_path,
+        OpenFlags::CREATE.or(OpenFlags::TRUNC).or(OpenFlags::R),
+    )
+    .await?;
     let mut rows = 0;
     for op in sqlwork::workload() {
         env.compute_app(op.compute).await;
@@ -273,8 +279,12 @@ pub async fn sqlite(env: &Env, db_path: &str) -> Result<usize> {
 /// different path to the executable").
 pub fn register_fft_program(reg: &ProgramRegistry) {
     reg.register("/bin/fft", |env, argv| async move {
-        let Some(desc_str) = argv.first() else { return 1 };
-        let Some(out_path) = argv.get(1) else { return 1 };
+        let Some(desc_str) = argv.first() else {
+            return 1;
+        };
+        let Some(out_path) = argv.get(1) else {
+            return 1;
+        };
         let Ok(desc) = PipeDesc::decode(desc_str) else {
             return 1;
         };
@@ -333,7 +343,8 @@ pub async fn fft_pipeline(env: &Env, pe_kind: Option<PeType>, out: &str) -> Resu
 
     let (re, im) = fft::gen_samples(fft::FIG7_POINTS, 0x5eed);
     // Generating a random number per point costs a few cycles each.
-    env.compute_app(Cycles::new(fft::FIG7_POINTS as u64 * 8)).await;
+    env.compute_app(Cycles::new(fft::FIG7_POINTS as u64 * 8))
+        .await;
     let bytes = fft::pack(&re, &im);
     writer.write(&bytes).await?;
     writer.close().await?;

@@ -70,12 +70,11 @@ pub fn parse_header(block: &[u8]) -> Result<Option<TarEntry>, String> {
     copy[148..156].copy_from_slice(b"        ");
     let sum: u64 = copy.iter().map(|&b| b as u64).sum();
     if sum != stored {
-        return Err(format!("checksum mismatch: stored {stored}, computed {sum}"));
+        return Err(format!(
+            "checksum mismatch: stored {stored}, computed {sum}"
+        ));
     }
-    let name_end = block[..100]
-        .iter()
-        .position(|&b| b == 0)
-        .unwrap_or(100);
+    let name_end = block[..100].iter().position(|&b| b == 0).unwrap_or(100);
     let name = std::str::from_utf8(&block[..name_end])
         .map_err(|_| "non-utf8 name".to_string())?
         .to_string();

@@ -191,7 +191,12 @@ mod tests {
         assert_eq!(ops.len(), 1 + 3 + 1 + 1);
         assert!(matches!(ops[0], TraceOp::Open { .. }));
         assert!(matches!(ops.last(), Some(TraceOp::Close)));
-        assert_eq!(ops[3], TraceOp::Read { len: 10_000 - 2 * 4096 });
+        assert_eq!(
+            ops[3],
+            TraceOp::Read {
+                len: 10_000 - 2 * 4096
+            }
+        );
     }
 
     #[test]

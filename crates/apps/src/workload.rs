@@ -101,7 +101,7 @@ pub fn find_tree(seed: u64) -> TreeSpec {
     let mut spec = TreeSpec::default();
     let mut items = 0;
     let mut dir_paths = vec![String::new()]; // "" = root
-    // Create 8 directories spread over the tree.
+                                             // Create 8 directories spread over the tree.
     for d in 0..8 {
         let parent = dir_paths[rng.next_below(dir_paths.len() as u64) as usize].clone();
         let path = format!("{parent}/dir{d}");
@@ -118,8 +118,7 @@ pub fn find_tree(seed: u64) -> TreeSpec {
         } else {
             format!("{parent}/data{f}.bin")
         };
-        spec.files
-            .push((name, file_content(seed + 1000 + f, 256)));
+        spec.files.push((name, file_content(seed + 1000 + f, 256)));
         items += 1;
         f += 1;
     }

@@ -28,7 +28,9 @@ fn m3_cat_tr_translates_the_file() {
     let sys = m3_system(spec.to_setup(), 6);
     let h = sys.run_program("cat_tr", |env| async move {
         mount_m3fs(&env).await.unwrap();
-        m3app::cat_tr(&env, "/input.txt", "/output.txt").await.unwrap() as i64
+        m3app::cat_tr(&env, "/input.txt", "/output.txt")
+            .await
+            .unwrap() as i64
     });
     sys.run();
     assert_eq!(h.try_take().unwrap(), 64 * 1024);
@@ -51,7 +53,9 @@ fn lx_cat_tr_translates_the_file() {
     let machine = LxMachine::new(&sim, LxConfig::xtensa());
     spec.preload_lx(&machine);
     let (_, h) = machine.spawn_proc("cat_tr", |p| async move {
-        lxapp::cat_tr(&p, "/input.txt", "/output.txt").await.unwrap() as i64
+        lxapp::cat_tr(&p, "/input.txt", "/output.txt")
+            .await
+            .unwrap() as i64
     });
     sim.run();
     assert_eq!(h.try_take().unwrap(), 64 * 1024);
@@ -71,14 +75,20 @@ fn m3_tar_untar_roundtrip() {
     let spec2 = spec.clone();
     let h = sys.run_program("tar", move |env| async move {
         mount_m3fs(&env).await.unwrap();
-        let archived = m3app::tar_create(&env, "/src", "/archive.tar").await.unwrap();
+        let archived = m3app::tar_create(&env, "/src", "/archive.tar")
+            .await
+            .unwrap();
         assert!(archived > spec2.total_bytes());
-        let extracted = m3app::tar_extract(&env, "/archive.tar", "/out").await.unwrap();
+        let extracted = m3app::tar_extract(&env, "/archive.tar", "/out")
+            .await
+            .unwrap();
         assert_eq!(extracted, spec2.total_bytes());
         // Every file must match the original bytes.
         for (path, content) in &spec2.files {
             let name = path.rsplit('/').next().unwrap();
-            let out = vfs::read_to_vec(&env, &format!("/out/{name}")).await.unwrap();
+            let out = vfs::read_to_vec(&env, &format!("/out/{name}"))
+                .await
+                .unwrap();
             assert_eq!(&out, content, "mismatch for {name}");
         }
         0
@@ -99,7 +109,9 @@ fn lx_tar_untar_roundtrip() {
     let spec2 = spec.clone();
     let (_, h) = machine.spawn_proc("tar", move |p| async move {
         lxapp::tar_create(&p, "/src", "/archive.tar").await.unwrap();
-        let extracted = lxapp::tar_extract(&p, "/archive.tar", "/out").await.unwrap();
+        let extracted = lxapp::tar_extract(&p, "/archive.tar", "/out")
+            .await
+            .unwrap();
         assert_eq!(extracted, spec2.total_bytes());
         0
     });
@@ -179,14 +191,12 @@ fn fft_pipeline_software_and_accel_produce_identical_spectra() {
     m3app::register_fft_program(sys.registry());
     let h = sys.run_program("fft-sw", |env| async move {
         m3_fs::mount_m3fs(&env).await.unwrap();
-        m3app::fft_pipeline(&env, None, "/res/sw.bin").await.unwrap();
-        m3app::fft_pipeline(
-            &env,
-            Some(m3_platform::PeType::FftAccel),
-            "/res/accel.bin",
-        )
-        .await
-        .unwrap();
+        m3app::fft_pipeline(&env, None, "/res/sw.bin")
+            .await
+            .unwrap();
+        m3app::fft_pipeline(&env, Some(m3_platform::PeType::FftAccel), "/res/accel.bin")
+            .await
+            .unwrap();
         0
     });
     sys.run();

@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn saturating_sub_clamps() {
         assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(10)), Cycles::ZERO);
-        assert_eq!(Cycles::new(10).saturating_sub(Cycles::new(3)), Cycles::new(7));
+        assert_eq!(
+            Cycles::new(10).saturating_sub(Cycles::new(3)),
+            Cycles::new(7)
+        );
     }
 
     #[test]

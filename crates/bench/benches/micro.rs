@@ -1,8 +1,7 @@
-//! Criterion micro-benchmarks of the simulator's primitives (host time per
-//! simulated operation) — useful for keeping the simulation substrate fast
-//! enough to sweep the figures.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Micro-benchmarks of the simulator's primitives, reported in *simulated
+//! cycles per operation*. A plain `harness = false` binary: no third-party
+//! harness and no wall-clock timing, so the output is bit-identical across
+//! hosts and runs and can be diffed in CI.
 
 use m3::{System, SystemConfig};
 use m3_base::{Cycles, PeId, Perm};
@@ -13,120 +12,133 @@ use m3_libos::vfs::{self, OpenFlags};
 use m3_noc::{Noc, NocConfig, Topology};
 use m3_sim::Sim;
 
-fn bench_noc_schedule(c: &mut Criterion) {
+fn report(name: &str, cycles: u64) {
+    println!("{name:<28} {cycles:>12} cycles");
+}
+
+/// Simulated completion time of a 4 KiB transfer across a 16-node mesh.
+fn bench_noc_schedule() {
     let noc = Noc::new(Topology::with_nodes(16), NocConfig::default());
-    let mut now = 0u64;
-    c.bench_function("noc_schedule_4k", |b| {
-        b.iter(|| {
-            now += 100;
-            noc.schedule(Cycles::new(now), PeId::new(0), PeId::new(15), 4096)
-        })
-    });
+    let t = noc.schedule(Cycles::new(100), PeId::new(0), PeId::new(15), 4096);
+    report("noc_schedule_4k", t.completes_at.as_u64());
 }
 
-fn bench_dtu_message(c: &mut Criterion) {
-    c.bench_function("dtu_send_recv_roundtrip", |b| {
-        b.iter(|| {
-            let sim = Sim::new();
-            let noc = Noc::new(Topology::with_nodes(3), NocConfig::default());
-            let sys = DtuSystem::new(sim.clone(), noc);
-            let kernel = sys.dtu(PeId::new(0));
-            kernel
-                .configure(
-                    PeId::new(2),
-                    m3_base::EpId::new(0),
-                    EpConfig::Receive {
-                        slots: 4,
-                        slot_size: 256,
-                        allow_replies: false,
-                    },
-                )
-                .unwrap();
-            kernel
-                .configure(
-                    PeId::new(1),
-                    m3_base::EpId::new(0),
-                    EpConfig::Send {
-                        pe: PeId::new(2),
-                        ep: m3_base::EpId::new(0),
-                        label: 0,
-                        credits: None,
-                        max_payload: 128,
-                    },
-                )
-                .unwrap();
-            let tx = sys.dtu(PeId::new(1));
-            let rx = sys.dtu(PeId::new(2));
-            let h = sim.spawn("rx", async move { rx.recv(m3_base::EpId::new(0)).await.unwrap() });
-            sim.spawn("tx", async move {
-                tx.send(m3_base::EpId::new(0), b"bench", None).await.unwrap();
-            });
-            sim.run();
-            h.try_take().unwrap()
-        })
+/// Cycles from issuing a DTU send to the receiver holding the message.
+fn bench_dtu_message() {
+    let sim = Sim::new();
+    let noc = Noc::new(Topology::with_nodes(3), NocConfig::default());
+    let sys = DtuSystem::new(sim.clone(), noc);
+    let kernel = sys
+        .dtu(PeId::new(0))
+        .claim_kernel_token()
+        .expect("kernel token");
+    kernel
+        .configure(
+            PeId::new(2),
+            m3_base::EpId::new(0),
+            EpConfig::Receive {
+                slots: 4,
+                slot_size: 256,
+                allow_replies: false,
+            },
+        )
+        .expect("configure recv");
+    kernel
+        .configure(
+            PeId::new(1),
+            m3_base::EpId::new(0),
+            EpConfig::Send {
+                pe: PeId::new(2),
+                ep: m3_base::EpId::new(0),
+                label: 0,
+                credits: None,
+                max_payload: 128,
+            },
+        )
+        .expect("configure send");
+    let tx = sys.dtu(PeId::new(1));
+    let rx = sys.dtu(PeId::new(2));
+    let h = sim.spawn("rx", async move {
+        rx.recv(m3_base::EpId::new(0)).await.expect("recv")
     });
+    sim.spawn("tx", async move {
+        tx.send(m3_base::EpId::new(0), b"bench", None)
+            .await
+            .expect("send");
+    });
+    sim.run();
+    h.try_take().expect("message delivered");
+    report("dtu_send_recv_roundtrip", sim.now().as_u64());
 }
 
-fn bench_syscall_path(c: &mut Criterion) {
-    c.bench_function("m3_null_syscall_sim", |b| {
-        b.iter(|| {
-            let sys = System::boot(SystemConfig::default());
-            let h = sys.run_program("p", |env| async move {
-                for _ in 0..10 {
-                    env.syscall(Syscall::Noop).await.unwrap();
-                }
-                0
-            });
-            sys.run();
-            h.try_take().unwrap()
-        })
+/// Average cycles per null syscall (DTU message to the kernel PE + reply).
+fn bench_syscall_path() {
+    let sys = System::boot(SystemConfig::default());
+    let sim = sys.sim().clone();
+    let h = sys.run_program("p", |env| async move {
+        env.syscall(Syscall::Noop).await.expect("warmup"); // warm up
+        let t0 = env.sim().now().as_u64();
+        const N: u64 = 10;
+        for _ in 0..N {
+            env.syscall(Syscall::Noop).await.expect("syscall");
+        }
+        ((env.sim().now().as_u64() - t0) / N) as i64
     });
+    sys.run();
+    let per_call = h.try_take().expect("program result");
+    let _ = sim;
+    report("m3_null_syscall", per_call as u64);
 }
 
-fn bench_fs_write(c: &mut Criterion) {
-    c.bench_function("m3fs_write_64k_sim", |b| {
-        b.iter(|| {
-            let sys = System::boot(SystemConfig::default());
-            let h = sys.run_program("p", |env| async move {
-                mount_m3fs(&env).await.unwrap();
-                vfs::write_all(&env, "/f", &vec![7u8; 64 * 1024]).await.unwrap();
-                let mut file = vfs::open(&env, "/f", OpenFlags::R).await.unwrap();
-                let mut buf = vec![0u8; 4096];
-                let mut total = 0usize;
-                loop {
-                    let n = file.read(&mut buf).await.unwrap();
-                    if n == 0 {
-                        break;
-                    }
-                    total += n;
-                }
-                total as i64
-            });
-            sys.run();
-            h.try_take().unwrap()
-        })
+/// Cycles to write and read back 64 KiB through m3fs.
+fn bench_fs_write() {
+    let sys = System::boot(SystemConfig::default());
+    let sim = sys.sim().clone();
+    let h = sys.run_program("p", |env| async move {
+        mount_m3fs(&env).await.expect("mount");
+        let t0 = env.sim().now().as_u64();
+        vfs::write_all(&env, "/f", &vec![7u8; 64 * 1024])
+            .await
+            .expect("write");
+        let mut file = vfs::open(&env, "/f", OpenFlags::R).await.expect("open");
+        let mut buf = vec![0u8; 4096];
+        loop {
+            let n = file.read(&mut buf).await.expect("read");
+            if n == 0 {
+                break;
+            }
+        }
+        (env.sim().now().as_u64() - t0) as i64
     });
+    sys.run();
+    let cycles = h.try_take().expect("program result");
+    let _ = sim;
+    report("m3fs_write_read_64k", cycles as u64);
 }
 
-fn bench_mem_gate(c: &mut Criterion) {
-    c.bench_function("memgate_rw_4k_sim", |b| {
-        b.iter(|| {
-            let sys = System::boot(SystemConfig::default());
-            let h = sys.run_program("p", |env| async move {
-                let mem = m3_libos::MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
-                let data = vec![1u8; 4096];
-                mem.write(0, &data).await.unwrap();
-                mem.read(0, 4096).await.unwrap().len() as i64
-            });
-            sys.run();
-            h.try_take().unwrap()
-        })
+/// Cycles for a 4 KiB memory-gate write + read (RDMA path).
+fn bench_mem_gate() {
+    let sys = System::boot(SystemConfig::default());
+    let h = sys.run_program("p", |env| async move {
+        let mem = m3_libos::MemGate::alloc(&env, 8192, Perm::RW)
+            .await
+            .expect("alloc");
+        let t0 = env.sim().now().as_u64();
+        let data = vec![1u8; 4096];
+        mem.write(0, &data).await.expect("write");
+        mem.read(0, 4096).await.expect("read");
+        (env.sim().now().as_u64() - t0) as i64
     });
+    sys.run();
+    let cycles = h.try_take().expect("program result");
+    report("memgate_rw_4k", cycles as u64);
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_noc_schedule, bench_dtu_message, bench_syscall_path, bench_fs_write, bench_mem_gate
+fn main() {
+    println!("M3 reproduction micro-benchmarks (simulated cycles, deterministic)\n");
+    bench_noc_schedule();
+    bench_dtu_message();
+    bench_syscall_path();
+    bench_fs_write();
+    bench_mem_gate();
 }
-criterion_main!(benches);

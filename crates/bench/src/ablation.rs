@@ -115,10 +115,9 @@ pub fn pipe_credits() -> Series {
         let out2 = out.clone();
         sys.run_program("pipe", move |env| async move {
             let child = Vpe::new(&env, "writer", PeRequest::Same).await.unwrap();
-            let (end, desc) =
-                pipe::create_with(&env, &child, PipeRole::Writer, 64 * 1024, slots)
-                    .await
-                    .unwrap();
+            let (end, desc) = pipe::create_with(&env, &child, PipeRole::Writer, 64 * 1024, slots)
+                .await
+                .unwrap();
             let pipe::ParentEnd::Reader(mut reader) = end else {
                 unreachable!("child writes")
             };
@@ -189,8 +188,7 @@ pub fn ep_pressure() -> Series {
         rows.push((gates, vec![out.get() as f64]));
     }
     Series {
-        title: "Ablation: live memory gates vs avg access time (8 EPs, 6 free)"
-            .to_string(),
+        title: "Ablation: live memory gates vs avg access time (8 EPs, 6 free)".to_string(),
         param: "gates".to_string(),
         columns: vec!["access (cycles)".to_string()],
         rows,
@@ -224,13 +222,8 @@ pub fn multikernel_scaling() -> Series {
         for p in 0..parts {
             let base = (p * pes_per_part) as u32;
             let owned: Vec<PeId> = (base..base + pes_per_part as u32).map(PeId::new).collect();
-            let kernel = Kernel::start_partition(
-                &platform,
-                PeId::new(base),
-                &owned,
-                p as u64 * dram,
-                dram,
-            );
+            let kernel =
+                Kernel::start_partition(&platform, PeId::new(base), &owned, p as u64 * dram, dram);
             let reg = ProgramRegistry::new();
             let info = kernel.create_root("m3fs", None).unwrap();
             let fs_env = Env::new(&kernel, &info, reg.clone());

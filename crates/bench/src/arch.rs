@@ -113,10 +113,14 @@ fn m3_row() -> Vec<f64> {
     let out = Rc::new(Cell::new((0u64, 0u64, 0u64)));
     let out2 = out.clone();
     sys.run_program("m3-row", move |env| async move {
-        env.syscall(m3_kernel::protocol::Syscall::Noop).await.unwrap();
+        env.syscall(m3_kernel::protocol::Syscall::Noop)
+            .await
+            .unwrap();
         let t0 = env.sim().now().as_u64();
         for _ in 0..100 {
-            env.syscall(m3_kernel::protocol::Syscall::Noop).await.unwrap();
+            env.syscall(m3_kernel::protocol::Syscall::Noop)
+                .await
+                .unwrap();
         }
         let syscall = (env.sim().now().as_u64() - t0) / 100;
 
@@ -169,7 +173,10 @@ fn m3_row() -> Vec<f64> {
 /// row 2 = M3, which is core-independent).
 pub fn run() -> Series {
     let mut rows = Vec::new();
-    for (idx, cfg) in [LxConfig::xtensa(), LxConfig::arm()].into_iter().enumerate() {
+    for (idx, cfg) in [LxConfig::xtensa(), LxConfig::arm()]
+        .into_iter()
+        .enumerate()
+    {
         rows.push((
             idx as u64,
             vec![

@@ -25,7 +25,12 @@ use crate::report::{Bar, Figure, Group};
 pub const XFER_BYTES: usize = 2 * 1024 * 1024;
 
 fn bar(label: &str, total: u64, xfer: u64) -> Bar {
-    Bar::with_remainder(label, total, vec![("Xfers".to_string(), xfer.min(total))], "Other")
+    Bar::with_remainder(
+        label,
+        total,
+        vec![("Xfers".to_string(), xfer.min(total))],
+        "Other",
+    )
 }
 
 fn m3_syscall() -> Bar {
@@ -285,7 +290,9 @@ fn lx_pipe(cfg: LxConfig, label: &str) -> Bar {
 /// Runs the complete Figure 3 reproduction.
 pub fn run() -> Figure {
     Figure {
-        title: "Figure 3: system calls and file operations (cycles; Lx-$ = Linux without cache misses)".to_string(),
+        title:
+            "Figure 3: system calls and file operations (cycles; Lx-$ = Linux without cache misses)"
+                .to_string(),
         groups: vec![
             Group {
                 name: "syscall".to_string(),

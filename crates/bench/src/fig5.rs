@@ -97,13 +97,19 @@ fn m3_bar(kind: BenchKind) -> Bar {
         let x0 = stats.get("dtu.xfer_cycles");
         match kind {
             BenchKind::CatTr => {
-                m3app::cat_tr(&env, "/input.txt", "/output.txt").await.unwrap();
+                m3app::cat_tr(&env, "/input.txt", "/output.txt")
+                    .await
+                    .unwrap();
             }
             BenchKind::Tar => {
-                m3app::tar_create(&env, "/src", "/archive.tar").await.unwrap();
+                m3app::tar_create(&env, "/src", "/archive.tar")
+                    .await
+                    .unwrap();
             }
             BenchKind::Untar => {
-                m3app::tar_extract(&env, "/archive.tar", "/out").await.unwrap();
+                m3app::tar_extract(&env, "/archive.tar", "/out")
+                    .await
+                    .unwrap();
             }
             BenchKind::Find => {
                 let found = m3app::find(&env, "/", "log").await.unwrap();
@@ -157,13 +163,17 @@ fn lx_bar(kind: BenchKind, cfg: LxConfig, label: &str) -> Bar {
         let x0 = stats.get("lx.xfer_cycles");
         match kind {
             BenchKind::CatTr => {
-                lxapp::cat_tr(&p, "/input.txt", "/output.txt").await.unwrap();
+                lxapp::cat_tr(&p, "/input.txt", "/output.txt")
+                    .await
+                    .unwrap();
             }
             BenchKind::Tar => {
                 lxapp::tar_create(&p, "/src", "/archive.tar").await.unwrap();
             }
             BenchKind::Untar => {
-                lxapp::tar_extract(&p, "/archive.tar", "/out").await.unwrap();
+                lxapp::tar_extract(&p, "/archive.tar", "/out")
+                    .await
+                    .unwrap();
             }
             BenchKind::Find => {
                 let found = lxapp::find(&p, "/", "log").await.unwrap();

@@ -119,9 +119,7 @@ mod tests {
         let m3_sw = fig.bar("fft-pipeline", "M3");
         let m3_accel = fig.bar("fft-pipeline", "M3+accel");
 
-        let fft_of = |b: &crate::report::Bar| {
-            b.parts.iter().find(|(n, _)| n == "FFT").unwrap().1
-        };
+        let fft_of = |b: &crate::report::Bar| b.parts.iter().find(|(n, _)| n == "FFT").unwrap().1;
 
         // §5.8: "the accelerator has a huge performance benefit over the
         // software version (about a factor of 30)".

@@ -22,10 +22,7 @@ impl Bar {
         remainder_name: &str,
     ) -> Bar {
         let accounted: u64 = parts.iter().map(|(_, v)| *v).sum();
-        parts.push((
-            remainder_name.to_string(),
-            total.saturating_sub(accounted),
-        ));
+        parts.push((remainder_name.to_string(), total.saturating_sub(accounted)));
         Bar {
             label: label.into(),
             total,
@@ -60,11 +57,8 @@ impl Figure {
         for group in &self.groups {
             let _ = writeln!(out, "[{}]", group.name);
             for bar in &group.bars {
-                let parts: Vec<String> = bar
-                    .parts
-                    .iter()
-                    .map(|(n, v)| format!("{n}={v}"))
-                    .collect();
+                let parts: Vec<String> =
+                    bar.parts.iter().map(|(n, v)| format!("{n}={v}")).collect();
                 let _ = writeln!(
                     out,
                     "  {:<8} total={:>12} cycles   {}",

@@ -35,7 +35,7 @@ use m3_fs::{run_m3fs, SetupNode};
 use m3_kernel::Kernel;
 use m3_libos::{start_program, Env, ProgramRegistry};
 use m3_noc::NocConfig;
-use m3_platform::{Platform, PlatformConfig, PeType};
+use m3_platform::{PeType, Platform, PlatformConfig};
 use m3_sim::{JoinHandle, Sim, SimState, Stats};
 
 pub use m3_base as base;

@@ -1,7 +1,7 @@
 //! The DTU engine: commands, privilege, and the system-wide wiring.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -29,9 +29,9 @@ pub enum MemKind {
 struct PeState {
     privileged: bool,
     eps: Vec<EpConfig>,
-    ringbufs: HashMap<EpId, RingBuf>,
+    ringbufs: BTreeMap<EpId, RingBuf>,
     /// Remaining credits per send endpoint (only for bounded-credit EPs).
-    credits: HashMap<EpId, u32>,
+    credits: BTreeMap<EpId, u32>,
     /// Woken whenever a message arrives at any EP of this DTU.
     arrival: Notify,
 }
@@ -41,8 +41,8 @@ impl PeState {
         PeState {
             privileged: true, // all DTUs are privileged at boot (paper §3)
             eps: vec![EpConfig::Invalid; EP_COUNT],
-            ringbufs: HashMap::new(),
-            credits: HashMap::new(),
+            ringbufs: BTreeMap::new(),
+            credits: BTreeMap::new(),
             arrival: Notify::new(),
         }
     }
@@ -55,7 +55,7 @@ struct Memory {
 
 struct SystemInner {
     pes: RefCell<Vec<PeState>>,
-    mems: RefCell<HashMap<PeId, Memory>>,
+    mems: RefCell<BTreeMap<PeId, Memory>>,
     next_deposit: std::cell::Cell<u64>,
 }
 
@@ -91,7 +91,7 @@ impl DtuSystem {
             noc,
             inner: Rc::new(SystemInner {
                 pes: RefCell::new((0..count).map(|_| PeState::new()).collect()),
-                mems: RefCell::new(HashMap::new()),
+                mems: RefCell::new(BTreeMap::new()),
                 next_deposit: std::cell::Cell::new(0),
             }),
         }
@@ -218,8 +218,9 @@ impl DtuSystem {
 
 /// One PE's data transfer unit.
 ///
-/// Obtained from [`DtuSystem::dtu`]. Configuration methods only work while
-/// the DTU is privileged; the kernel keeps its own DTU privileged and
+/// Obtained from [`DtuSystem::dtu`]. Endpoint configuration lives behind a
+/// [`KernelToken`] claimed via [`Dtu::claim_kernel_token`], which only a
+/// privileged DTU can mint; the kernel keeps its own DTU privileged and
 /// downgrades all application DTUs during boot.
 ///
 /// # Examples
@@ -235,7 +236,7 @@ impl DtuSystem {
 /// let sys = DtuSystem::new(sim.clone(), noc);
 ///
 /// // PE0 plays the kernel: configure a channel PE1 -> PE2.
-/// let kernel = sys.dtu(PeId::new(0));
+/// let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
 /// kernel
 ///     .configure(PeId::new(2), EpId::new(0), EpConfig::Receive {
 ///         slots: 4, slot_size: 256, allow_replies: true,
@@ -309,99 +310,22 @@ impl Dtu {
     // Privileged operations (the kernel's remote-control interface)
     // ------------------------------------------------------------------
 
-    /// Configures endpoint `ep` of the DTU at `target` (remotely, over the
-    /// NoC — this is how the kernel establishes channels, paper Figure 2).
+    /// Claims the kernel's capability handle over the privileged DTU
+    /// configuration interface (paper §3: only the kernel PE may program
+    /// config registers).
+    ///
+    /// The returned [`KernelToken`] is the *only* way to reach
+    /// [`KernelToken::configure`], [`KernelToken::set_privileged`], and
+    /// friends, so holding one is a static proof of kernel-hood. Each
+    /// operation still re-checks privilege at runtime, so a token claimed
+    /// before a downgrade goes dead with its PE.
     ///
     /// # Errors
     ///
-    /// - [`Code::NoPerm`] if this DTU has been downgraded.
-    /// - [`Code::InvEp`] if `ep` is out of range.
-    pub fn configure(&self, target: PeId, ep: EpId, cfg: EpConfig) -> Result<()> {
+    /// [`Code::NoPerm`] if this DTU has been downgraded.
+    pub fn claim_kernel_token(&self) -> Result<KernelToken> {
         self.require_privileged()?;
-        Self::check_ep(ep)?;
-        let mut pes = self.sys.inner.pes.borrow_mut();
-        let state = pes
-            .get_mut(target.idx())
-            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
-        match &cfg {
-            EpConfig::Receive {
-                slots, slot_size, ..
-            } => {
-                state.ringbufs.insert(ep, RingBuf::new(*slots, *slot_size));
-                state.credits.remove(&ep);
-            }
-            EpConfig::Send { credits, .. } => {
-                state.ringbufs.remove(&ep);
-                if let Some(c) = credits {
-                    state.credits.insert(ep, *c);
-                } else {
-                    state.credits.remove(&ep);
-                }
-            }
-            EpConfig::Memory { .. } | EpConfig::Invalid => {
-                state.ringbufs.remove(&ep);
-                state.credits.remove(&ep);
-            }
-        }
-        state.eps[ep.idx()] = cfg;
-        Ok(())
-    }
-
-    /// Reads the configuration of endpoint `ep` at `target`.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Dtu::configure`].
-    pub fn ep_config(&self, target: PeId, ep: EpId) -> Result<EpConfig> {
-        self.require_privileged()?;
-        Self::check_ep(ep)?;
-        let pes = self.sys.inner.pes.borrow();
-        let state = pes
-            .get(target.idx())
-            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
-        Ok(state.eps[ep.idx()].clone())
-    }
-
-    /// Upgrades or downgrades the DTU at `target`. During boot the kernel
-    /// downgrades every application PE (paper §3).
-    ///
-    /// # Errors
-    ///
-    /// [`Code::NoPerm`] if this DTU has been downgraded itself.
-    pub fn set_privileged(&self, target: PeId, privileged: bool) -> Result<()> {
-        self.require_privileged()?;
-        let mut pes = self.sys.inner.pes.borrow_mut();
-        let state = pes
-            .get_mut(target.idx())
-            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
-        state.privileged = privileged;
-        Ok(())
-    }
-
-    /// Refills the credits of send endpoint `ep` at `target` to `credits`
-    /// (an OS kernel may refill credits besides the reply path, §4.4.3).
-    ///
-    /// # Errors
-    ///
-    /// - [`Code::NoPerm`] if this DTU has been downgraded.
-    /// - [`Code::InvEp`] if the endpoint is not a bounded-credit send EP.
-    pub fn refill_credits(&self, target: PeId, ep: EpId, credits: u32) -> Result<()> {
-        self.require_privileged()?;
-        Self::check_ep(ep)?;
-        let mut pes = self.sys.inner.pes.borrow_mut();
-        let state = pes
-            .get_mut(target.idx())
-            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
-        match state.eps.get(ep.idx()) {
-            Some(EpConfig::Send {
-                credits: Some(max), ..
-            }) => {
-                let v = credits.min(*max);
-                state.credits.insert(ep, v);
-                Ok(())
-            }
-            _ => Err(Error::new(Code::InvEp).with_msg("not a bounded-credit send EP")),
-        }
+        Ok(KernelToken { dtu: self.clone() })
     }
 
     // ------------------------------------------------------------------
@@ -423,12 +347,7 @@ impl Dtu {
     /// - [`Code::InvEp`] if `ep` is not a send endpoint.
     /// - [`Code::NoCredits`] if the endpoint's credits are exhausted.
     /// - [`Code::InvArgs`] if the payload exceeds the channel's message size.
-    pub async fn send(
-        &self,
-        ep: EpId,
-        payload: &[u8],
-        reply: Option<(EpId, Label)>,
-    ) -> Result<()> {
+    pub async fn send(&self, ep: EpId, payload: &[u8], reply: Option<(EpId, Label)>) -> Result<()> {
         Self::check_ep(ep)?;
         self.sys.sim.sleep(timing::CMD_ISSUE).await;
 
@@ -443,9 +362,7 @@ impl Dtu {
                     credits,
                     max_payload,
                 } => (*pe, *tep, *label, credits.is_some(), *max_payload),
-                _ => {
-                    return Err(Error::new(Code::InvEp).with_msg(format!("{ep} is not a send EP")))
-                }
+                _ => return Err(Error::new(Code::InvEp).with_msg(format!("{ep} is not a send EP"))),
             };
             if payload.len() > max_payload {
                 return Err(Error::new(Code::InvArgs).with_msg(format!(
@@ -523,8 +440,12 @@ impl Dtu {
         self.sys
             .stats
             .add("dtu.msg_cycles", (t.completes_at - now).as_u64());
-        self.sys
-            .spawn_delivery(t.completes_at + timing::DELIVER, rinfo.pe, rinfo.ep, reply_msg);
+        self.sys.spawn_delivery(
+            t.completes_at + timing::DELIVER,
+            rinfo.pe,
+            rinfo.ep,
+            reply_msg,
+        );
         self.sys
             .spawn_credit_refill(t.completes_at, rinfo.pe, rinfo.credit_ep);
         Ok(())
@@ -697,12 +618,132 @@ impl Dtu {
                     .checked_add(len as u64)
                     .ok_or_else(|| Error::new(Code::InvArgs).with_msg("offset overflow"))?;
                 if end > *region_len {
-                    return Err(Error::new(Code::InvArgs)
-                        .with_msg(format!("access [{offset}, {end}) beyond region {region_len}")));
+                    return Err(Error::new(Code::InvArgs).with_msg(format!(
+                        "access [{offset}, {end}) beyond region {region_len}"
+                    )));
                 }
                 Ok((*pe, *base))
             }
             _ => Err(Error::new(Code::InvEp).with_msg(format!("{ep} is not a memory EP"))),
+        }
+    }
+}
+
+/// The kernel's handle over the privileged DTU configuration interface.
+///
+/// Minted by [`Dtu::claim_kernel_token`], which fails on downgraded DTUs.
+/// The token is deliberately neither `Clone` nor `Copy`: it cannot be
+/// duplicated and handed to application code, which makes "only the kernel
+/// configures endpoints" (paper §3) a property the type system helps
+/// enforce — and one `m3-lint`'s isolation rule checks by name.
+pub struct KernelToken {
+    dtu: Dtu,
+}
+
+impl fmt::Debug for KernelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KernelToken({})", self.dtu.pe)
+    }
+}
+
+impl KernelToken {
+    /// The PE of the kernel DTU this token was claimed from.
+    pub fn pe(&self) -> PeId {
+        self.dtu.pe
+    }
+
+    /// Configures endpoint `ep` of the DTU at `target` (remotely, over the
+    /// NoC — this is how the kernel establishes channels, paper Figure 2).
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::NoPerm`] if this DTU has been downgraded.
+    /// - [`Code::InvEp`] if `ep` is out of range.
+    pub fn configure(&self, target: PeId, ep: EpId, cfg: EpConfig) -> Result<()> {
+        self.dtu.require_privileged()?;
+        Dtu::check_ep(ep)?;
+        let mut pes = self.dtu.sys.inner.pes.borrow_mut();
+        let state = pes
+            .get_mut(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        match &cfg {
+            EpConfig::Receive {
+                slots, slot_size, ..
+            } => {
+                state.ringbufs.insert(ep, RingBuf::new(*slots, *slot_size));
+                state.credits.remove(&ep);
+            }
+            EpConfig::Send { credits, .. } => {
+                state.ringbufs.remove(&ep);
+                if let Some(c) = credits {
+                    state.credits.insert(ep, *c);
+                } else {
+                    state.credits.remove(&ep);
+                }
+            }
+            EpConfig::Memory { .. } | EpConfig::Invalid => {
+                state.ringbufs.remove(&ep);
+                state.credits.remove(&ep);
+            }
+        }
+        state.eps[ep.idx()] = cfg;
+        Ok(())
+    }
+
+    /// Reads the configuration of endpoint `ep` at `target`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelToken::configure`].
+    pub fn ep_config(&self, target: PeId, ep: EpId) -> Result<EpConfig> {
+        self.dtu.require_privileged()?;
+        Dtu::check_ep(ep)?;
+        let pes = self.dtu.sys.inner.pes.borrow();
+        let state = pes
+            .get(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        Ok(state.eps[ep.idx()].clone())
+    }
+
+    /// Upgrades or downgrades the DTU at `target`. During boot the kernel
+    /// downgrades every application PE (paper §3).
+    ///
+    /// # Errors
+    ///
+    /// [`Code::NoPerm`] if this DTU has been downgraded itself.
+    pub fn set_privileged(&self, target: PeId, privileged: bool) -> Result<()> {
+        self.dtu.require_privileged()?;
+        let mut pes = self.dtu.sys.inner.pes.borrow_mut();
+        let state = pes
+            .get_mut(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        state.privileged = privileged;
+        Ok(())
+    }
+
+    /// Refills the credits of send endpoint `ep` at `target` to `credits`
+    /// (an OS kernel may refill credits besides the reply path, §4.4.3).
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::NoPerm`] if this DTU has been downgraded.
+    /// - [`Code::InvEp`] if the endpoint is not a bounded-credit send EP.
+    pub fn refill_credits(&self, target: PeId, ep: EpId, credits: u32) -> Result<()> {
+        self.dtu.require_privileged()?;
+        Dtu::check_ep(ep)?;
+        let mut pes = self.dtu.sys.inner.pes.borrow_mut();
+        let state = pes
+            .get_mut(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        match state.eps.get(ep.idx()) {
+            Some(EpConfig::Send {
+                credits: Some(max), ..
+            }) => {
+                let v = credits.min(*max);
+                state.credits.insert(ep, v);
+                Ok(())
+            }
+            _ => Err(Error::new(Code::InvEp).with_msg("not a bounded-credit send EP")),
         }
     }
 }
@@ -740,7 +781,7 @@ mod tests {
     #[test]
     fn message_roundtrip_with_reply() {
         let (sim, sys) = setup(3);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(PeId::new(2), EpId::new(0), recv_cfg(4, true))
             .unwrap();
@@ -781,7 +822,7 @@ mod tests {
     #[test]
     fn credits_limit_in_flight_messages() {
         let (sim, sys) = setup(3);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(PeId::new(2), EpId::new(0), recv_cfg(8, false))
             .unwrap();
@@ -793,7 +834,11 @@ mod tests {
         let h = sim.spawn("sender", async move {
             sender.send(EpId::new(0), b"1", None).await.unwrap();
             sender.send(EpId::new(0), b"2", None).await.unwrap();
-            sender.send(EpId::new(0), b"3", None).await.unwrap_err().code()
+            sender
+                .send(EpId::new(0), b"3", None)
+                .await
+                .unwrap_err()
+                .code()
         });
         sim.run();
         assert_eq!(h.try_take().unwrap(), Code::NoCredits);
@@ -802,7 +847,7 @@ mod tests {
     #[test]
     fn reply_refills_credits() {
         let (sim, sys) = setup(3);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(PeId::new(2), EpId::new(0), recv_cfg(8, true))
             .unwrap();
@@ -826,7 +871,10 @@ mod tests {
         let h = sim.spawn("client", async move {
             // With 1 credit, each send must wait for the previous reply.
             for _ in 0..3 {
-                sender.send(EpId::new(0), b"req", Some((EpId::new(1), 0))).await.unwrap();
+                sender
+                    .send(EpId::new(0), b"req", Some((EpId::new(1), 0)))
+                    .await
+                    .unwrap();
                 sender.recv(EpId::new(1)).await.unwrap();
                 sender.ack(EpId::new(1)).unwrap();
             }
@@ -839,22 +887,36 @@ mod tests {
     #[test]
     fn unprivileged_dtu_cannot_configure() {
         let (_sim, sys) = setup(2);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel.set_privileged(PeId::new(1), false).unwrap();
         let app = sys.dtu(PeId::new(1));
-        let err = app
-            .configure(PeId::new(1), EpId::new(0), recv_cfg(4, false))
-            .unwrap_err();
+        // The configuration surface is unreachable without a KernelToken,
+        // and a downgraded DTU cannot mint one.
+        let err = app.claim_kernel_token().unwrap_err();
         assert_eq!(err.code(), Code::NoPerm);
-        // Nor can it re-privilege itself or others.
-        assert_eq!(
-            app.set_privileged(PeId::new(1), true).unwrap_err().code(),
-            Code::NoPerm
-        );
         // The kernel still can.
         kernel
             .configure(PeId::new(1), EpId::new(0), recv_cfg(4, false))
             .unwrap();
+    }
+
+    #[test]
+    fn kernel_token_dies_with_its_pe() {
+        // A token claimed while privileged must not outlive the privilege:
+        // every operation re-checks at runtime (hardware would drop the
+        // config-register write, paper §3).
+        let (_sim, sys) = setup(2);
+        let stale = sys.dtu(PeId::new(1)).claim_kernel_token().unwrap();
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel.set_privileged(PeId::new(1), false).unwrap();
+        let err = stale
+            .configure(PeId::new(1), EpId::new(0), recv_cfg(4, false))
+            .unwrap_err();
+        assert_eq!(err.code(), Code::NoPerm);
+        assert_eq!(
+            stale.set_privileged(PeId::new(1), true).unwrap_err().code(),
+            Code::NoPerm
+        );
     }
 
     #[test]
@@ -871,7 +933,7 @@ mod tests {
     #[test]
     fn oversized_payload_rejected_at_send() {
         let (sim, sys) = setup(3);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
             .unwrap();
@@ -881,7 +943,11 @@ mod tests {
         let sender = sys.dtu(PeId::new(1));
         let h = sim.spawn("t", async move {
             let big = vec![0u8; 4096];
-            sender.send(EpId::new(0), &big, None).await.unwrap_err().code()
+            sender
+                .send(EpId::new(0), &big, None)
+                .await
+                .unwrap_err()
+                .code()
         });
         sim.run();
         assert_eq!(h.try_take().unwrap(), Code::InvArgs);
@@ -890,7 +956,7 @@ mod tests {
     #[test]
     fn ringbuffer_overflow_drops_messages() {
         let (sim, sys) = setup(3);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(PeId::new(2), EpId::new(0), recv_cfg(2, false))
             .unwrap();
@@ -914,7 +980,7 @@ mod tests {
     #[test]
     fn reply_info_stripped_when_buffer_disallows_replies() {
         let (sim, sys) = setup(3);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
             .unwrap();
@@ -945,7 +1011,7 @@ mod tests {
         let (sim, sys) = setup(3);
         let mem = sys.add_memory(PeId::new(2), MemKind::Dram, 4096);
         mem.borrow_mut()[100..104].copy_from_slice(&[1, 2, 3, 4]);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(
                 PeId::new(1),
@@ -973,7 +1039,7 @@ mod tests {
     fn memory_endpoint_enforces_permissions_and_bounds() {
         let (sim, sys) = setup(3);
         sys.add_memory(PeId::new(2), MemKind::Dram, 4096);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(
                 PeId::new(1),
@@ -988,8 +1054,16 @@ mod tests {
             .unwrap();
         let app = sys.dtu(PeId::new(1));
         let h = sim.spawn("app", async move {
-            let write_err = app.write_mem(EpId::new(0), 0, &[1]).await.unwrap_err().code();
-            let bounds_err = app.read_mem(EpId::new(0), 500, 100).await.unwrap_err().code();
+            let write_err = app
+                .write_mem(EpId::new(0), 0, &[1])
+                .await
+                .unwrap_err()
+                .code();
+            let bounds_err = app
+                .read_mem(EpId::new(0), 500, 100)
+                .await
+                .unwrap_err()
+                .code();
             let ok = app.read_mem(EpId::new(0), 0, 512).await.is_ok();
             (write_err, bounds_err, ok)
         });
@@ -1002,7 +1076,7 @@ mod tests {
         let (sim, sys) = setup(3);
         let mem = sys.add_memory(PeId::new(2), MemKind::Dram, 4096);
         mem.borrow_mut()[2048] = 0x5a;
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(
                 PeId::new(1),
@@ -1027,7 +1101,7 @@ mod tests {
     fn transfer_time_scales_with_size() {
         let (sim, sys) = setup(3);
         sys.add_memory(PeId::new(2), MemKind::Dram, 1 << 22);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(
                 PeId::new(1),
@@ -1055,13 +1129,16 @@ mod tests {
         let (small, large) = h.try_take().unwrap();
         // 4 KiB at 8 B/cycle ~ 512 cycles (+latency); 1 MiB ~ 131k cycles.
         assert!(small.as_u64() > 512 && small.as_u64() < 700, "{small:?}");
-        assert!(large.as_u64() > 131_000 && large.as_u64() < 132_000, "{large:?}");
+        assert!(
+            large.as_u64() > 131_000 && large.as_u64() < 132_000,
+            "{large:?}"
+        );
     }
 
     #[test]
     fn messages_from_one_sender_arrive_in_order() {
         let (sim, sys) = setup(3);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(PeId::new(2), EpId::new(0), recv_cfg(8, false))
             .unwrap();
@@ -1091,7 +1168,7 @@ mod tests {
     #[test]
     fn receive_from_multiple_senders() {
         let (sim, sys) = setup(4);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         kernel
             .configure(PeId::new(3), EpId::new(0), recv_cfg(8, false))
             .unwrap();

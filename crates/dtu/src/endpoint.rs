@@ -68,8 +68,6 @@ impl EpConfig {
     }
 }
 
-
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,7 +30,7 @@ mod message;
 mod ringbuf;
 pub mod timing;
 
-pub use dtu::{Dtu, DtuSystem, MemKind};
+pub use dtu::{Dtu, DtuSystem, KernelToken, MemKind};
 pub use endpoint::EpConfig;
 pub use message::{Header, Message, ReplyInfo};
 pub use ringbuf::RingBuf;

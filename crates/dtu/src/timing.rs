@@ -9,20 +9,25 @@
 use m3_base::Cycles;
 
 /// Cycles to issue a command to the DTU (writing the memory-mapped command
-/// and data registers). Paid by every send/reply/read/write.
+/// and data registers). Paid by every send/reply/read/write; part of the
+/// ≈30-cycle transfer share of a null syscall (§5.3).
 pub const CMD_ISSUE: Cycles = Cycles::new(4);
 
 /// Cycles the DTU needs to deposit an arriving message into the ring buffer
-/// (header generation and slot bookkeeping).
+/// (header generation and slot bookkeeping, §4.2.1); part of the ≈30-cycle
+/// transfer share of §5.3.
 pub const DELIVER: Cycles = Cycles::new(4);
 
-/// Access latency of the DRAM module, paid once per RDMA request.
+/// Access latency of the DRAM module, paid once per RDMA request (§5.4
+/// read/write bandwidth experiments against DRAM).
 pub const DRAM_LATENCY: Cycles = Cycles::new(16);
 
-/// Access latency of a remote SPM, paid once per RDMA request.
+/// Access latency of a remote SPM, paid once per RDMA request (§2: PEs with
+/// local scratchpad memories; §5.4 SPM transfers).
 pub const SPM_LATENCY: Cycles = Cycles::new(2);
 
-/// Cycles to poll the message-receive register once.
+/// Cycles to poll the message-receive register once (gate fetch loop,
+/// §4.2.1 message reception).
 pub const FETCH_POLL: Cycles = Cycles::new(2);
 
 #[cfg(test)]

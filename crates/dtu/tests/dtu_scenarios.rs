@@ -27,7 +27,7 @@ fn message_latency_grows_with_hop_distance() {
     // A 4x4 mesh: sending to a neighbour beats sending across the chip.
     let measure = |dst: u32| -> u64 {
         let (sim, sys) = setup(16);
-        let kernel = sys.dtu(PeId::new(15));
+        let kernel = sys.dtu(PeId::new(15)).claim_kernel_token().unwrap();
         kernel
             .configure(PeId::new(dst), EpId::new(0), recv_cfg(4))
             .unwrap();
@@ -82,7 +82,7 @@ fn concurrent_transfers_over_shared_links_serialize() {
         let (sim, sys) = setup(3);
         let dram = PeId::new(2);
         sys.add_memory(dram, MemKind::Dram, 1 << 20);
-        let kernel = sys.dtu(PeId::new(0));
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
         for i in 0..n {
             kernel
                 .configure(
@@ -112,7 +112,7 @@ fn remote_spm_access_supports_the_clone_path() {
     // endpoint pointing at another PE's scratchpad (§4.5.5).
     let (sim, sys) = setup(3);
     let spm = sys.add_memory(PeId::new(2), MemKind::Spm, 64 * 1024);
-    let kernel = sys.dtu(PeId::new(0));
+    let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
     kernel
         .configure(
             PeId::new(1),
@@ -140,7 +140,7 @@ fn remote_spm_access_supports_the_clone_path() {
 #[test]
 fn reply_to_reconfigured_endpoint_is_dropped_not_misdelivered() {
     let (sim, sys) = setup(3);
-    let kernel = sys.dtu(PeId::new(0));
+    let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
     kernel
         .configure(PeId::new(2), EpId::new(0), recv_cfg(4))
         .unwrap();
@@ -163,7 +163,7 @@ fn reply_to_reconfigured_endpoint_is_dropped_not_misdelivered() {
 
     let tx = sys.dtu(PeId::new(1));
     let rx = sys.dtu(PeId::new(2));
-    let kernel2 = kernel.clone();
+    let kernel2 = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
     let h = sim.spawn("flow", async move {
         tx.send(EpId::new(0), b"req", Some((EpId::new(1), 7)))
             .await
@@ -187,7 +187,7 @@ fn reply_to_reconfigured_endpoint_is_dropped_not_misdelivered() {
 #[test]
 fn credit_refill_is_capped_at_the_budget() {
     let (sim, sys) = setup(3);
-    let kernel = sys.dtu(PeId::new(0));
+    let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
     kernel
         .configure(PeId::new(2), EpId::new(0), recv_cfg(8))
         .unwrap();
@@ -208,8 +208,9 @@ fn credit_refill_is_capped_at_the_budget() {
     kernel
         .configure(PeId::new(1), EpId::new(1), recv_cfg(4))
         .unwrap();
-    let kernel2 = kernel.clone();
-    kernel2.refill_credits(PeId::new(1), EpId::new(0), 100).unwrap();
+    kernel
+        .refill_credits(PeId::new(1), EpId::new(0), 100)
+        .unwrap();
     let tx = sys.dtu(PeId::new(1));
     assert_eq!(tx.credits(EpId::new(0)), Some(3));
     let _ = sim;
@@ -222,7 +223,7 @@ fn send_does_not_block_the_sender_for_the_transfer() {
     // write blocks for the full transfer.
     let (sim, sys) = setup(3);
     sys.add_memory(PeId::new(2), MemKind::Dram, 1 << 20);
-    let kernel = sys.dtu(PeId::new(0));
+    let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
     kernel
         .configure(PeId::new(2), EpId::new(0), recv_cfg(4))
         .unwrap();
@@ -268,7 +269,10 @@ fn send_does_not_block_the_sender_for_the_transfer() {
     });
     sim.run();
     let (send_time, write_time) = h.try_take().unwrap();
-    assert!(send_time < 20, "send returns after command issue: {send_time}");
+    assert!(
+        send_time < 20,
+        "send returns after command issue: {send_time}"
+    );
     assert!(
         write_time >= 64 * 1024 / 8,
         "RDMA write blocks for the transfer: {write_time}"

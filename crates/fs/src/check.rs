@@ -8,7 +8,7 @@
 //! [`FsCore::serialize`]/[`FsCore::deserialize`] write and read the
 //! superblock + inode table + directory entries as a flat image.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use m3_base::error::{Code, Error, Result};
 use m3_base::marshal::{IStream, OStream};
@@ -49,8 +49,8 @@ impl FsCore {
     /// 5. file sizes fit within their allocated blocks.
     pub fn check(&self) -> FsckReport {
         let mut report = FsckReport::default();
-        let mut name_refs: HashMap<u64, u32> = HashMap::new();
-        let mut visited: HashSet<u64> = HashSet::new();
+        let mut name_refs: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut visited: BTreeSet<u64> = BTreeSet::new();
         let mut stack = vec![ROOT_INO];
 
         // Walk the tree.
@@ -85,7 +85,7 @@ impl FsCore {
         }
 
         // Extent and size invariants, overlap detection.
-        let mut block_owner: HashMap<u64, u64> = HashMap::new();
+        let mut block_owner: BTreeMap<u64, u64> = BTreeMap::new();
         for &ino in &visited {
             let inode = self.inode(ino);
             for e in &inode.extents {
@@ -262,7 +262,10 @@ mod tests {
         let ino = fs.resolve("/b").unwrap();
         fs.inode_mut(ino).size = 1 << 30;
         let report = fs.check();
-        assert!(report.errors.iter().any(|e| e.contains("exceeds allocation")));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| e.contains("exceeds allocation")));
     }
 
     #[test]

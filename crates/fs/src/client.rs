@@ -186,7 +186,11 @@ pub struct RegularFile {
 
 impl std::fmt::Debug for RegularFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RegularFile(fd={}, pos={}, size={})", self.fd, self.pos, self.size)
+        write!(
+            f,
+            "RegularFile(fd={}, pos={}, size={})",
+            self.fd, self.pos, self.size
+        )
     }
 }
 
@@ -231,7 +235,10 @@ impl RegularFile {
         if !self.cached_covers(self.pos) {
             self.locate(false).await?;
         }
-        let c = self.cached.as_ref().expect("extent cached");
+        let c = self
+            .cached
+            .as_ref()
+            .ok_or_else(|| Error::new(Code::Internal).with_msg("no cached extent"))?;
         let ext_end = c.file_off + c.len;
         let n = (buf.len() as u64)
             .min(ext_end - self.pos)
@@ -254,10 +261,15 @@ impl RegularFile {
         if !self.cached_covers(self.pos) {
             self.locate(true).await?;
         }
-        let c = self.cached.as_ref().expect("extent cached");
+        let c = self
+            .cached
+            .as_ref()
+            .ok_or_else(|| Error::new(Code::Internal).with_msg("no cached extent"))?;
         let ext_end = c.file_off + c.len;
         let n = (data.len() as u64).min(ext_end - self.pos);
-        c.mem.write(self.pos - c.file_off, &data[..n as usize]).await?;
+        c.mem
+            .write(self.pos - c.file_off, &data[..n as usize])
+            .await?;
         self.pos += n;
         self.size = self.size.max(self.pos);
         Ok(n as usize)
@@ -282,7 +294,11 @@ impl RegularFile {
         if self.closed.replace(true) {
             return Ok(());
         }
-        let size = if self.writable { self.size } else { NO_TRUNCATE };
+        let size = if self.writable {
+            self.size
+        } else {
+            NO_TRUNCATE
+        };
         self.env.compute(ccosts::CLOSE).await;
         let msg = self
             .fs
@@ -403,11 +419,7 @@ impl FileSystem for M3FsFileSystem {
         })
     }
 
-    fn read_dir<'a>(
-        &'a self,
-        env: &'a Env,
-        path: &'a str,
-    ) -> BoxFuture<'a, Result<Vec<DirEntry>>> {
+    fn read_dir<'a>(&'a self, env: &'a Env, path: &'a str) -> BoxFuture<'a, Result<Vec<DirEntry>>> {
         Box::pin(async move {
             let mut entries = Vec::new();
             let mut start = 0u32;

@@ -4,7 +4,7 @@
 //! an inode and block bitmap, an inode table and directories with pointers
 //! to the inodes", with file data held as extents (§4.5.8).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use m3_base::error::{Code, Error, Result};
 
@@ -42,7 +42,7 @@ pub const ROOT_INO: u64 = 1;
 pub struct FsCore {
     block_size: u64,
     bitmap: BlockBitmap,
-    inodes: HashMap<u64, Inode>,
+    inodes: BTreeMap<u64, Inode>,
     next_ino: u64,
 }
 
@@ -55,7 +55,7 @@ impl FsCore {
     /// Panics if `block_size` is zero.
     pub fn new(total_blocks: u64, block_size: u64) -> FsCore {
         assert!(block_size > 0, "block size must be non-zero");
-        let mut inodes = HashMap::new();
+        let mut inodes = BTreeMap::new();
         inodes.insert(ROOT_INO, Inode::dir(ROOT_INO));
         FsCore {
             block_size,
@@ -140,7 +140,25 @@ impl FsCore {
     ///
     /// Panics if the inode does not exist (internal invariant).
     pub fn inode_mut(&mut self, ino: u64) -> &mut Inode {
+        // m3lint: allow(no-unwrap): documented `# Panics` accessor; callers pass inos returned by resolve()/create paths
         self.inodes.get_mut(&ino).expect("dangling inode")
+    }
+
+    /// Directory entries of `ino`, or [`Code::IsNoDir`] if it is a file.
+    fn entries(&self, ino: u64) -> Result<&BTreeMap<String, u64>> {
+        self.inodes[&ino]
+            .dir_entries()
+            .ok_or_else(|| Error::new(Code::IsNoDir))
+    }
+
+    /// Mutable directory entries of `ino`, or [`Code::IsNoDir`] if it is a
+    /// file.
+    fn entries_mut(&mut self, ino: u64) -> Result<&mut BTreeMap<String, u64>> {
+        self.inodes
+            .get_mut(&ino)
+            .ok_or_else(|| Error::new(Code::NoSuchFile))?
+            .dir_entries_mut()
+            .ok_or_else(|| Error::new(Code::IsNoDir))
     }
 
     /// Creates a regular file; returns its inode number.
@@ -150,21 +168,14 @@ impl FsCore {
     /// Returns [`Code::Exists`] if the path already exists.
     pub fn create_file(&mut self, path: &str) -> Result<u64> {
         let (parent, name) = self.resolve_parent(path)?;
-        if self.inodes[&parent]
-            .dir_entries()
-            .expect("parent is a dir")
-            .contains_key(name)
-        {
+        if self.entries(parent)?.contains_key(name) {
             return Err(Error::new(Code::Exists).with_msg(path.to_string()));
         }
         let ino = self.next_ino;
         self.next_ino += 1;
         self.inodes.insert(ino, Inode::file(ino));
         let name = name.to_string();
-        self.inode_mut(parent)
-            .dir_entries_mut()
-            .expect("parent is a dir")
-            .insert(name, ino);
+        self.entries_mut(parent)?.insert(name, ino);
         Ok(ino)
     }
 
@@ -175,21 +186,14 @@ impl FsCore {
     /// Returns [`Code::Exists`] if the path already exists.
     pub fn mkdir(&mut self, path: &str) -> Result<u64> {
         let (parent, name) = self.resolve_parent(path)?;
-        if self.inodes[&parent]
-            .dir_entries()
-            .expect("parent is a dir")
-            .contains_key(name)
-        {
+        if self.entries(parent)?.contains_key(name) {
             return Err(Error::new(Code::Exists).with_msg(path.to_string()));
         }
         let ino = self.next_ino;
         self.next_ino += 1;
         self.inodes.insert(ino, Inode::dir(ino));
         let name = name.to_string();
-        self.inode_mut(parent)
-            .dir_entries_mut()
-            .expect("parent is a dir")
-            .insert(name, ino);
+        self.entries_mut(parent)?.insert(name, ino);
         Ok(ino)
     }
 
@@ -210,10 +214,7 @@ impl FsCore {
             return Err(Error::new(Code::DirNotEmpty).with_msg(path.to_string()));
         }
         let name = name.to_string();
-        self.inode_mut(parent)
-            .dir_entries_mut()
-            .expect("parent is a dir")
-            .remove(&name);
+        self.entries_mut(parent)?.remove(&name);
         self.inodes.remove(&ino);
         Ok(())
     }
@@ -230,18 +231,11 @@ impl FsCore {
             return Err(Error::new(Code::IsDir).with_msg(old.to_string()));
         }
         let (parent, name) = self.resolve_parent(new)?;
-        if self.inodes[&parent]
-            .dir_entries()
-            .expect("parent is a dir")
-            .contains_key(name)
-        {
+        if self.entries(parent)?.contains_key(name) {
             return Err(Error::new(Code::Exists).with_msg(new.to_string()));
         }
         let name = name.to_string();
-        self.inode_mut(parent)
-            .dir_entries_mut()
-            .expect("parent is a dir")
-            .insert(name, ino);
+        self.entries_mut(parent)?.insert(name, ino);
         self.inode_mut(ino).links += 1;
         Ok(())
     }
@@ -259,10 +253,7 @@ impl FsCore {
         }
         let (parent, name) = self.resolve_parent(path)?;
         let name = name.to_string();
-        self.inode_mut(parent)
-            .dir_entries_mut()
-            .expect("parent is a dir")
-            .remove(&name);
+        self.entries_mut(parent)?.remove(&name);
         let inode = self.inode_mut(ino);
         inode.links -= 1;
         if inode.links == 0 {
@@ -333,6 +324,7 @@ impl FsCore {
         let mut to_free = inode.blocks() - needed_blocks;
         let mut freed = Vec::new();
         while to_free > 0 {
+            // m3lint: allow(no-unwrap): to_free > 0 implies the inode still owns blocks, and blocks live in extents by construction
             let last = inode.extents.last_mut().expect("blocks imply extents");
             let cut = to_free.min(last.blocks);
             last.blocks -= cut;
@@ -547,6 +539,36 @@ mod tests {
             vec![("a".to_string(), false), ("sub".to_string(), true)]
         );
         assert_eq!(f.read_dir("/d/a").unwrap_err().code(), Code::IsNoDir);
+    }
+
+    #[test]
+    fn read_dir_order_is_lexicographic_and_ignores_creation_order() {
+        // Directory entries live in a BTreeMap, so ReadDir pages served by
+        // the m3fs server come out in one deterministic order no matter how
+        // the names were created (DESIGN.md §4.1).
+        let mut forward = fs();
+        let mut backward = fs();
+        forward.mkdir("/d").unwrap();
+        backward.mkdir("/d").unwrap();
+        let names = ["zeta", "alpha", "mid", "beta"];
+        for name in names {
+            forward.create_file(&format!("/d/{name}")).unwrap();
+        }
+        for name in names.iter().rev() {
+            backward.create_file(&format!("/d/{name}")).unwrap();
+        }
+        let listed: Vec<String> = forward
+            .read_dir("/d")
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(listed, vec!["alpha", "beta", "mid", "zeta"]);
+        assert_eq!(
+            forward.read_dir("/d").unwrap(),
+            backward.read_dir("/d").unwrap(),
+            "listing must not depend on creation order"
+        );
     }
 
     #[test]

@@ -125,10 +125,18 @@ impl MetaRequest {
                 fd: is.pop_u64()?,
                 size: is.pop_u64()?,
             },
-            2 => MetaRequest::Stat { path: is.pop_str()? },
-            3 => MetaRequest::Mkdir { path: is.pop_str()? },
-            4 => MetaRequest::Rmdir { path: is.pop_str()? },
-            5 => MetaRequest::Unlink { path: is.pop_str()? },
+            2 => MetaRequest::Stat {
+                path: is.pop_str()?,
+            },
+            3 => MetaRequest::Mkdir {
+                path: is.pop_str()?,
+            },
+            4 => MetaRequest::Rmdir {
+                path: is.pop_str()?,
+            },
+            5 => MetaRequest::Unlink {
+                path: is.pop_str()?,
+            },
             6 => MetaRequest::Link {
                 old: is.pop_str()?,
                 new: is.pop_str()?,

@@ -6,7 +6,7 @@
 //! clients receive derived memory capabilities and drive their own DTUs.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use m3_base::cfg::{FS_ALLOC_BLOCKS, FS_BLOCK_SIZE};
@@ -125,12 +125,12 @@ struct OpenFile {
 
 #[derive(Default)]
 struct Session {
-    files: HashMap<u64, OpenFile>,
+    files: BTreeMap<u64, OpenFile>,
 }
 
 struct State {
     core: FsCore,
-    sessions: HashMap<u64, Session>,
+    sessions: BTreeMap<u64, Session>,
     next_ident: u64,
     next_fd: u64,
 }
@@ -209,7 +209,7 @@ pub async fn run_m3fs_named(
 
     let state = Rc::new(RefCell::new(State {
         core,
-        sessions: HashMap::new(),
+        sessions: BTreeMap::new(),
         next_ident: 1,
         next_fd: 1,
     }));
@@ -471,8 +471,9 @@ impl Handler for M3FsHandler {
                         Err(e) if e.code() == Code::InvOffset && la.write => {
                             let allocated = st.core.inode(ino).blocks() * bs;
                             if la.offset != allocated {
-                                return Err(Error::new(Code::InvOffset)
-                                    .with_msg("write beyond allocation"));
+                                return Err(
+                                    Error::new(Code::InvOffset).with_msg("write beyond allocation")
+                                );
                             }
                             let want = if la.want_blocks == 0 {
                                 FS_ALLOC_BLOCKS as u64

@@ -183,7 +183,10 @@ fn write_without_permission_fails() {
 fn open_missing_without_create_fails() {
     let code = with_fs(Vec::new(), |env| async move {
         mount_m3fs(&env).await.unwrap();
-        let err = vfs::open(&env, "/missing", OpenFlags::R).await.map(|_| ()).unwrap_err();
+        let err = vfs::open(&env, "/missing", OpenFlags::R)
+            .await
+            .map(|_| ())
+            .unwrap_err();
         assert_eq!(err.code(), Code::NoSuchFile);
         0
     });
@@ -238,7 +241,9 @@ fn two_clients_share_the_filesystem() {
 
     let writer = start_program(&kernel, "writer", None, reg.clone(), |env| async move {
         mount_m3fs(&env).await.unwrap();
-        vfs::write_all(&env, "/shared", b"hello from writer").await.unwrap();
+        vfs::write_all(&env, "/shared", b"hello from writer")
+            .await
+            .unwrap();
         0
     });
     platform.sim().run();
@@ -266,7 +271,9 @@ fn filesystem_stays_consistent_under_workload() {
         vfs::mkdir(&env, "/w").await.unwrap();
         for i in 0..6u64 {
             let data = vec![i as u8; (i as usize + 1) * 3000];
-            vfs::write_all(&env, &format!("/w/f{i}"), &data).await.unwrap();
+            vfs::write_all(&env, &format!("/w/f{i}"), &data)
+                .await
+                .unwrap();
         }
         vfs::link(&env, "/w/f1", "/w/f1-link").await.unwrap();
         vfs::unlink(&env, "/w/f0").await.unwrap();
@@ -293,16 +300,24 @@ fn two_filesystem_instances_mounted_at_different_paths() {
         let env = Env::new(&kernel, &info, reg.clone());
         let name = name.to_string();
         platform.sim().spawn_daemon(name.clone(), async move {
-            m3_fs::run_m3fs_named(env, &name, 2048, Vec::new()).await.unwrap();
+            m3_fs::run_m3fs_named(env, &name, 2048, Vec::new())
+                .await
+                .unwrap();
         });
     }
     let h = start_program(&kernel, "client", None, reg, |env| async move {
         mount_m3fs(&env).await.unwrap();
-        m3_fs::mount_m3fs_at(&env, "scratchfs", "/scratch").await.unwrap();
+        m3_fs::mount_m3fs_at(&env, "scratchfs", "/scratch")
+            .await
+            .unwrap();
         assert_eq!(env.vfs().borrow().mount_count(), 2);
 
-        vfs::write_all(&env, "/persistent", b"root fs").await.unwrap();
-        vfs::write_all(&env, "/scratch/tmp", b"scratch fs").await.unwrap();
+        vfs::write_all(&env, "/persistent", b"root fs")
+            .await
+            .unwrap();
+        vfs::write_all(&env, "/scratch/tmp", b"scratch fs")
+            .await
+            .unwrap();
 
         // Namespaces are disjoint: the file names do not leak across.
         assert_eq!(
@@ -310,12 +325,18 @@ fn two_filesystem_instances_mounted_at_different_paths() {
             Code::NoSuchFile
         );
         assert_eq!(
-            vfs::stat(&env, "/scratch/persistent").await.unwrap_err().code(),
+            vfs::stat(&env, "/scratch/persistent")
+                .await
+                .unwrap_err()
+                .code(),
             Code::NoSuchFile
         );
         // Cross-mount hard links are refused by the VFS.
         assert_eq!(
-            vfs::link(&env, "/persistent", "/scratch/link").await.unwrap_err().code(),
+            vfs::link(&env, "/persistent", "/scratch/link")
+                .await
+                .unwrap_err()
+                .code(),
             Code::NotSup
         );
         let a = vfs::read_to_vec(&env, "/persistent").await.unwrap();

@@ -1,12 +1,14 @@
-//! Model-based property tests of the m3fs core: a random operation
+//! Model-based randomized tests of the m3fs core: a random operation
 //! sequence is applied both to `FsCore` and to a trivially correct
 //! reference model; results and invariants must agree at every step.
+//!
+//! Sequences are generated from fixed seeds with the in-tree deterministic
+//! [`m3_base::rand::Rng`], so the suite is hermetic and reproducible.
 
-use std::collections::HashMap;
-
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 use m3_base::error::Code;
+use m3_base::rand::Rng;
 use m3_fs::FsCore;
 
 #[derive(Clone, Debug)]
@@ -20,26 +22,35 @@ enum Op {
     Rmdir(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..12).prop_map(Op::CreateFile),
-        (0u8..6).prop_map(Op::Mkdir),
-        ((0u8..12), (1u8..64)).prop_map(|(file, blocks)| Op::Append { file, blocks }),
-        ((0u8..12), any::<u16>()).prop_map(|(file, bytes)| Op::Truncate { file, bytes }),
-        ((0u8..12), (0u8..12)).prop_map(|(from, to)| Op::Link { from, to }),
-        (0u8..12).prop_map(Op::Unlink),
-        (0u8..6).prop_map(Op::Rmdir),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.next_below(7) {
+        0 => Op::CreateFile(rng.next_below(12) as u8),
+        1 => Op::Mkdir(rng.next_below(6) as u8),
+        2 => Op::Append {
+            file: rng.next_below(12) as u8,
+            blocks: rng.next_range(1, 63) as u8,
+        },
+        3 => Op::Truncate {
+            file: rng.next_below(12) as u8,
+            bytes: rng.next_u64() as u16,
+        },
+        4 => Op::Link {
+            from: rng.next_below(12) as u8,
+            to: rng.next_below(12) as u8,
+        },
+        5 => Op::Unlink(rng.next_below(12) as u8),
+        _ => Op::Rmdir(rng.next_below(6) as u8),
+    }
 }
 
 /// Reference model: path -> (is_dir, allocated blocks per name-set).
 #[derive(Default)]
 struct Model {
     /// file name -> inode key
-    names: HashMap<String, usize>,
+    names: BTreeMap<String, usize>,
     /// inode key -> (links, blocks)
-    inodes: HashMap<usize, (u32, u64)>,
-    dirs: HashMap<String, ()>,
+    inodes: BTreeMap<usize, (u32, u64)>,
+    dirs: BTreeMap<String, ()>,
     next: usize,
 }
 
@@ -57,22 +68,23 @@ fn dpath(i: u8) -> String {
     format!("/d{i}")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn fs_core_agrees_with_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn fs_core_agrees_with_reference_model() {
+    let mut rng = Rng::new(0x4d33_f500);
+    for _ in 0..64 {
         let total_blocks = 4096u64;
         let mut fs = FsCore::new(total_blocks, 1024);
         let mut model = Model::default();
-        let mut inos: HashMap<String, u64> = HashMap::new();
+        let mut inos: BTreeMap<String, u64> = BTreeMap::new();
 
-        for op in ops {
-            match op {
+        let op_count = rng.next_range(1, 119);
+        for _ in 0..op_count {
+            match random_op(&mut rng) {
                 Op::CreateFile(i) => {
                     let path = fpath(i);
                     let real = fs.create_file(&path);
                     if model.names.contains_key(&path) || model.dirs.contains_key(&path) {
-                        prop_assert_eq!(real.unwrap_err().code(), Code::Exists);
+                        assert_eq!(real.unwrap_err().code(), Code::Exists);
                     } else {
                         let ino = real.unwrap();
                         inos.insert(path.clone(), ino);
@@ -86,9 +98,9 @@ proptest! {
                     let path = dpath(i);
                     let real = fs.mkdir(&path);
                     if model.dirs.contains_key(&path) || model.names.contains_key(&path) {
-                        prop_assert_eq!(real.unwrap_err().code(), Code::Exists);
+                        assert_eq!(real.unwrap_err().code(), Code::Exists);
                     } else {
-                        prop_assert!(real.is_ok());
+                        assert!(real.is_ok());
                         model.dirs.insert(path, ());
                     }
                 }
@@ -98,10 +110,10 @@ proptest! {
                         let ino = inos[&path];
                         match fs.append_extent(ino, blocks as u64) {
                             Ok(ext) => {
-                                prop_assert!(ext.blocks >= 1 && ext.blocks <= blocks as u64);
+                                assert!(ext.blocks >= 1 && ext.blocks <= blocks as u64);
                                 model.inodes.get_mut(&key).unwrap().1 += ext.blocks;
                             }
-                            Err(e) => prop_assert_eq!(e.code(), Code::NoSpace),
+                            Err(e) => assert_eq!(e.code(), Code::NoSpace),
                         }
                     }
                 }
@@ -113,11 +125,11 @@ proptest! {
                         let new_blocks = (bytes as u64).div_ceil(1024);
                         let real = fs.truncate(ino, bytes as u64);
                         if new_blocks > allocated {
-                            prop_assert_eq!(real.unwrap_err().code(), Code::InvArgs);
+                            assert_eq!(real.unwrap_err().code(), Code::InvArgs);
                         } else {
-                            prop_assert!(real.is_ok());
+                            assert!(real.is_ok());
                             model.inodes.get_mut(&key).unwrap().1 = new_blocks;
-                            prop_assert_eq!(fs.inode(ino).size, bytes as u64);
+                            assert_eq!(fs.inode(ino).size, bytes as u64);
                         }
                     }
                 }
@@ -126,16 +138,16 @@ proptest! {
                     let real = fs.link(&fp, &tp);
                     match (model.names.get(&fp).copied(), model.names.contains_key(&tp)) {
                         (Some(key), false) if fp != tp => {
-                            prop_assert!(real.is_ok());
+                            assert!(real.is_ok());
                             model.names.insert(tp.clone(), key);
                             model.inodes.get_mut(&key).unwrap().0 += 1;
                             inos.insert(tp, inos[&fp]);
                         }
                         (Some(_), _) => {
-                            prop_assert_eq!(real.unwrap_err().code(), Code::Exists);
+                            assert_eq!(real.unwrap_err().code(), Code::Exists);
                         }
                         (None, _) => {
-                            prop_assert_eq!(real.unwrap_err().code(), Code::NoSuchFile);
+                            assert_eq!(real.unwrap_err().code(), Code::NoSuchFile);
                         }
                     }
                 }
@@ -143,7 +155,7 @@ proptest! {
                     let path = fpath(i);
                     let real = fs.unlink(&path);
                     if let Some(key) = model.names.remove(&path) {
-                        prop_assert!(real.is_ok());
+                        assert!(real.is_ok());
                         inos.remove(&path);
                         let entry = model.inodes.get_mut(&key).unwrap();
                         entry.0 -= 1;
@@ -151,7 +163,7 @@ proptest! {
                             model.inodes.remove(&key);
                         }
                     } else {
-                        prop_assert_eq!(real.unwrap_err().code(), Code::NoSuchFile);
+                        assert_eq!(real.unwrap_err().code(), Code::NoSuchFile);
                     }
                 }
                 Op::Rmdir(i) => {
@@ -160,15 +172,15 @@ proptest! {
                     // All our dirs stay empty (files live in the root), so
                     // removal succeeds iff the dir exists.
                     if model.dirs.remove(&path).is_some() {
-                        prop_assert!(real.is_ok());
+                        assert!(real.is_ok());
                     } else {
-                        prop_assert!(real.is_err());
+                        assert!(real.is_err());
                     }
                 }
             }
 
             // Invariant: the bitmap accounts exactly for the live blocks.
-            prop_assert_eq!(
+            assert_eq!(
                 fs.free_blocks(),
                 total_blocks - model.live_blocks(),
                 "block accounting diverged"
@@ -182,30 +194,32 @@ proptest! {
                 fs.unlink(&path).unwrap();
             }
         }
-        prop_assert_eq!(fs.free_blocks(), total_blocks);
+        assert_eq!(fs.free_blocks(), total_blocks);
     }
+}
 
-    #[test]
-    fn extent_at_is_consistent_with_appends(
-        appends in proptest::collection::vec(1u64..64, 1..20),
-        probe in any::<u64>(),
-    ) {
+#[test]
+fn extent_at_is_consistent_with_appends() {
+    let mut rng = Rng::new(0x4d33_f501);
+    for _ in 0..128 {
         let mut fs = FsCore::new(8192, 1024);
         let ino = fs.create_file("/f").unwrap();
         let mut total_blocks = 0u64;
-        for want in appends {
+        let appends = rng.next_range(1, 19);
+        for _ in 0..appends {
+            let want = rng.next_range(1, 63);
             let ext = fs.append_extent(ino, want).unwrap();
             total_blocks += ext.blocks;
         }
         let total_bytes = total_blocks * 1024;
-        let probe = probe % (total_bytes + 1024);
+        let probe = rng.next_u64() % (total_bytes + 1024);
         let result = fs.extent_at(ino, probe);
         if probe < total_bytes {
             let (ext, file_off, _) = result.unwrap();
-            prop_assert!(file_off <= probe);
-            prop_assert!(probe < file_off + ext.blocks * 1024);
+            assert!(file_off <= probe);
+            assert!(probe < file_off + ext.blocks * 1024);
         } else {
-            prop_assert_eq!(result.unwrap_err().code(), Code::InvOffset);
+            assert_eq!(result.unwrap_err().code(), Code::InvOffset);
         }
     }
 }

@@ -7,7 +7,7 @@
 //! all grants recursively.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -135,7 +135,7 @@ impl Capability {
 /// A per-VPE capability table.
 #[derive(Default, Debug)]
 pub struct CapTable {
-    caps: HashMap<SelId, Capability>,
+    caps: BTreeMap<SelId, Capability>,
 }
 
 impl CapTable {
@@ -207,7 +207,7 @@ pub type CapRef = (VpeId, SelId);
 /// the mapping database found in some L4 microkernels" (§4.5.3).
 #[derive(Default, Debug)]
 pub struct DerivationTree {
-    nodes: HashMap<CapRef, TreeNode>,
+    nodes: BTreeMap<CapRef, TreeNode>,
 }
 
 #[derive(Default, Debug)]

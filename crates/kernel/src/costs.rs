@@ -8,35 +8,43 @@
 
 use m3_base::Cycles;
 
-/// Unmarshal the syscall message and dispatch to the handler.
+/// Unmarshal the syscall message and dispatch to the handler (kernel share
+/// of the ≈170 software cycles of a null syscall, §5.3).
 pub const DISPATCH: Cycles = Cycles::new(40);
 
-/// Marshal and send the reply.
+/// Marshal and send the reply (kernel share of the §5.3 software cycles).
 pub const REPLY: Cycles = Cycles::new(20);
 
-/// Extra work of capability-table manipulation (insert/lookup).
+/// Extra work of capability-table manipulation (insert/lookup) on top of a
+/// null syscall (§4.3.1 capability model; baseline from §5.3).
 pub const CAP_OP: Cycles = Cycles::new(30);
 
-/// Extra work of creating a VPE (PE selection, object setup).
+/// Extra work of creating a VPE (PE selection, object setup; §4.3.2, with
+/// the VPE-creation path measured in §5.4.5).
 pub const CREATE_VPE: Cycles = Cycles::new(120);
 
 /// Extra work of an `Activate`: validating the gate and remotely writing the
-/// endpoint registers (the NoC packet itself is charged separately).
+/// endpoint registers (the NoC packet itself is charged separately);
+/// remote EP configuration per §4.3.3.
 pub const ACTIVATE: Cycles = Cycles::new(40);
 
-/// Extra work of memory allocation (free-list walk).
+/// Extra work of memory allocation (free-list walk) behind the §4.3.1
+/// memory capabilities; baseline from §5.3.
 pub const ALLOC_MEM: Cycles = Cycles::new(60);
 
-/// Extra work of forwarding a request to a service and matching its reply.
+/// Extra work of forwarding a request to a service and matching its reply
+/// (kernel-mediated `Exchange`/obtain path, §4.3.2).
 pub const SERVICE_FORWARD: Cycles = Cycles::new(60);
 
 /// Page-table walk plus frame setup of a `Translate` (§7 prototype).
 pub const TRANSLATE: Cycles = Cycles::new(150);
 
-/// Extra work per revoked capability (tree walk, EP invalidation).
+/// Extra work per revoked capability (tree walk, EP invalidation) in the
+/// recursive revoke of §4.3.1.
 pub const REVOKE_PER_CAP: Cycles = Cycles::new(25);
 
-/// Size in bytes of a remote endpoint-configuration packet.
+/// Size in bytes of a remote endpoint-configuration packet (the kernel
+/// writes EP registers via the NoC, §4.3.3).
 pub const EP_CONFIG_BYTES: u64 = 32;
 
 #[cfg(test)]

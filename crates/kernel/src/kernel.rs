@@ -1,20 +1,18 @@
 //! Kernel boot, the syscall loop, and service forwarding.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use m3_base::cfg::SPM_DATA_SIZE;
 use m3_base::error::{Code, Error, Result};
 use m3_base::marshal::OStream;
 use m3_base::{EpId, PeId, Perm, SelId, VpeId};
-use m3_dtu::{Dtu, EpConfig, Message};
+use m3_dtu::{Dtu, EpConfig, KernelToken, Message};
 use m3_platform::{PeType, Platform};
 use m3_sim::{Notify, Sim};
 
-use crate::cap::{
-    CapTable, Capability, DerivationTree, KObject, MGateObj, RGateObj, SGateObj,
-};
+use crate::cap::{CapTable, Capability, DerivationTree, KObject, MGateObj, RGateObj, SGateObj};
 use crate::costs;
 use crate::mem::MemAlloc;
 use crate::pemng::PeMng;
@@ -61,20 +59,20 @@ pub const PAGE_SIZE: u64 = 4096;
 pub const RINGBUF_SPM_BUDGET: u64 = (m3_base::cfg::SPM_DATA_SIZE as u64) / 2;
 
 struct KState {
-    tables: HashMap<VpeId, CapTable>,
+    tables: BTreeMap<VpeId, CapTable>,
     /// Ring-buffer bytes currently placed in each PE's SPM.
-    ringbuf_bytes: HashMap<PeId, u64>,
+    ringbuf_bytes: BTreeMap<PeId, u64>,
     /// Per-VPE page tables (virtual page -> DRAM frame offset), managed
     /// remotely by the kernel like the endpoints (§7).
-    page_tables: HashMap<VpeId, HashMap<u64, u64>>,
+    page_tables: BTreeMap<VpeId, BTreeMap<u64, u64>>,
     tree: DerivationTree,
-    vpes: HashMap<VpeId, Rc<RefCell<VpeObj>>>,
+    vpes: BTreeMap<VpeId, Rc<RefCell<VpeObj>>>,
     next_vpe: u32,
     pemng: PeMng,
     mem: MemAlloc,
     services: ServiceRegistry,
     next_req: u64,
-    pending: HashMap<u64, PendingReply>,
+    pending: BTreeMap<u64, PendingReply>,
     next_serv_ep: u32,
 }
 
@@ -88,6 +86,9 @@ pub struct Kernel {
     sim: Sim,
     platform: Platform,
     dtu: Dtu,
+    /// The capability handle over the privileged DTU interface, claimed at
+    /// boot while this kernel's PE was still privileged (paper §3).
+    ktok: Rc<KernelToken>,
     pe: PeId,
     state: Rc<RefCell<KState>>,
 }
@@ -111,6 +112,7 @@ impl Kernel {
         let dram = platform
             .dtu_system()
             .memory(platform.dram_pe())
+            // m3lint: allow(no-unwrap): boot-time; the documented panic for a platform without DRAM
             .expect("dram")
             .borrow()
             .len() as u64;
@@ -140,9 +142,13 @@ impl Kernel {
         );
         let sim = platform.sim().clone();
         let dtu = platform.dtu(kernel_pe);
+        let ktok = dtu
+            .claim_kernel_token()
+            // m3lint: allow(no-unwrap): boot-time; every DTU is privileged until this kernel downgrades it below
+            .expect("kernel DTU is privileged at boot");
 
         // Configure the kernel's own endpoints (it is privileged at boot).
-        dtu.configure(
+        ktok.configure(
             kernel_pe,
             keps::SYSC,
             EpConfig::Receive {
@@ -151,8 +157,9 @@ impl Kernel {
                 allow_replies: true,
             },
         )
+        // m3lint: allow(no-unwrap): boot-time; the kernel is privileged and its own EP ids are compile-time constants
         .expect("kernel syscall EP");
-        dtu.configure(
+        ktok.configure(
             kernel_pe,
             keps::SERV_REPLY,
             EpConfig::Receive {
@@ -161,13 +168,15 @@ impl Kernel {
                 allow_replies: false,
             },
         )
+        // m3lint: allow(no-unwrap): boot-time; same argument as the syscall EP.
         .expect("kernel service-reply EP");
 
         // NoC-level isolation: downgrade every application PE this kernel
         // owns (paper §3). Other partitions' PEs are left alone.
         for pe in owned {
             if *pe != kernel_pe {
-                dtu.set_privileged(*pe, false).expect("downgrade");
+                // m3lint: allow(no-unwrap): boot-time; the booting kernel is still privileged, so the downgrade cannot be refused
+                ktok.set_privileged(*pe, false).expect("downgrade");
             }
         }
 
@@ -179,25 +188,29 @@ impl Kernel {
             sim: sim.clone(),
             platform: platform.clone(),
             dtu,
+            ktok: Rc::new(ktok),
             pe: kernel_pe,
             state: Rc::new(RefCell::new(KState {
-                tables: HashMap::new(),
-                ringbuf_bytes: HashMap::new(),
-                page_tables: HashMap::new(),
+                tables: BTreeMap::new(),
+                ringbuf_bytes: BTreeMap::new(),
+                page_tables: BTreeMap::new(),
                 tree: DerivationTree::new(),
-                vpes: HashMap::new(),
+                vpes: BTreeMap::new(),
                 next_vpe: 1,
                 pemng: PeMng::new_partition(descs, kernel_pe, owned),
                 mem: MemAlloc::new(dram_base, dram_size),
                 services: ServiceRegistry::new(),
                 next_req: 1,
-                pending: HashMap::new(),
+                pending: BTreeMap::new(),
                 next_serv_ep: keps::FIRST_SERV,
             })),
         };
 
         let k = kernel.clone();
-        sim.spawn_daemon(format!("kernel@{kernel_pe}"), async move { k.main_loop().await });
+        sim.spawn_daemon(
+            format!("kernel@{kernel_pe}"),
+            async move { k.main_loop().await },
+        );
         let k = kernel.clone();
         sim.spawn_daemon(format!("kernel-reply-pump@{kernel_pe}"), async move {
             k.reply_pump().await
@@ -236,9 +249,7 @@ impl Kernel {
         vpe.borrow_mut().state = VpeState::Running;
         st.vpes.insert(id, vpe.clone());
         let mut table = CapTable::new();
-        table
-            .insert(SelId::new(0), Capability::new(KObject::Vpe(vpe)))
-            .expect("fresh table");
+        table.insert(SelId::new(0), Capability::new(KObject::Vpe(vpe)))?;
         st.tables.insert(id, table);
         st.tree.insert_root((id, SelId::new(0)));
         drop(st);
@@ -248,7 +259,7 @@ impl Kernel {
 
     /// Configures EP0/EP1 of `pe` as the syscall channel of VPE `id`.
     fn setup_sysc_channel(&self, id: VpeId, pe: PeId) -> Result<()> {
-        self.dtu.configure(
+        self.ktok.configure(
             pe,
             std_eps::SYSC_REPLY,
             EpConfig::Receive {
@@ -257,7 +268,7 @@ impl Kernel {
                 allow_replies: false,
             },
         )?;
-        self.dtu.configure(
+        self.ktok.configure(
             pe,
             std_eps::SYSC_SEND,
             EpConfig::Send {
@@ -392,7 +403,10 @@ impl Kernel {
                 rgate,
                 label,
                 credits,
-            } => self.sys_create_sgate(caller, dst, rgate, label, credits).await,
+            } => {
+                self.sys_create_sgate(caller, dst, rgate, label, credits)
+                    .await
+            }
             Syscall::AllocMem { dst, size, perm } => {
                 self.sys_alloc_mem(caller, dst, size, perm).await
             }
@@ -402,7 +416,10 @@ impl Kernel {
                 offset,
                 size,
                 perm,
-            } => self.sys_derive_mem(caller, dst, src, offset, size, perm).await,
+            } => {
+                self.sys_derive_mem(caller, dst, src, offset, size, perm)
+                    .await
+            }
             Syscall::CreateVpe {
                 dst,
                 mem_dst,
@@ -494,7 +511,9 @@ impl Kernel {
             perm,
             owned: true,
         });
-        if let Err(e) = Self::table(&mut st, caller)?.insert(dst, Capability::new(KObject::MGate(mgate))) {
+        if let Err(e) =
+            Self::table(&mut st, caller)?.insert(dst, Capability::new(KObject::MGate(mgate)))
+        {
             st.mem.free(offset, size);
             return Err(e);
         }
@@ -574,9 +593,7 @@ impl Kernel {
                 .insert(dst, Capability::new(KObject::Vpe(vpe.clone())))?;
             st.tree.insert_root((caller, dst));
             let mut table = CapTable::new();
-            table
-                .insert(SelId::new(0), Capability::new(KObject::Vpe(vpe)))
-                .expect("fresh table");
+            table.insert(SelId::new(0), Capability::new(KObject::Vpe(vpe)))?;
             st.tables.insert(id, table);
             st.tree.insert_child((caller, dst), (id, SelId::new(0)));
             let mgate = Rc::new(MGateObj {
@@ -673,7 +690,7 @@ impl Kernel {
             return Err(Error::new(Code::InvArgs).with_msg("service rgate not activated"));
         };
         // The kernel-service channel, created at registration (§4.5.3).
-        self.dtu.configure(
+        self.ktok.configure(
             self.pe,
             kernel_ep,
             EpConfig::Send {
@@ -962,7 +979,7 @@ impl Kernel {
             _ => return SyscallReply::err(Code::InvCap),
         };
 
-        if let Err(e) = self.dtu.configure(caller_pe, ep, cfg) {
+        if let Err(e) = self.ktok.configure(caller_pe, ep, cfg) {
             return SyscallReply::err(e.code());
         }
         self.charge_ep_config(caller_pe).await;
@@ -1020,8 +1037,8 @@ impl Kernel {
                 }
                 st_ref
                     .page_tables
-                    .get_mut(&caller)
-                    .expect("just inserted")
+                    .entry(caller)
+                    .or_default()
                     .insert(page, frame);
                 self.sim.stats().incr("kernel.page_faults");
                 frame
@@ -1069,7 +1086,7 @@ impl Kernel {
             let Some(cap) = cap else { continue };
             // Invalidate all endpoints configured from this capability.
             for (pe, ep) in &cap.activations {
-                let _ = self.dtu.configure(*pe, *ep, EpConfig::Invalid);
+                let _ = self.ktok.configure(*pe, *ep, EpConfig::Invalid);
                 if let KObject::RGate(rg) = &cap.obj {
                     if rg.activation.borrow_mut().take().is_some() {
                         // Return the ring buffer's SPM bytes.
@@ -1119,7 +1136,10 @@ impl Kernel {
         };
         let sels = {
             let st = self.state.borrow();
-            st.tables.get(&id).map(|t| t.selectors()).unwrap_or_default()
+            st.tables
+                .get(&id)
+                .map(|t| t.selectors())
+                .unwrap_or_default()
         };
         for sel in sels {
             self.revoke_cap(id, sel);
@@ -1136,8 +1156,12 @@ impl Kernel {
                 }
             }
         }
-        let _ = self.dtu.configure(pe, std_eps::SYSC_SEND, EpConfig::Invalid);
-        let _ = self.dtu.configure(pe, std_eps::SYSC_REPLY, EpConfig::Invalid);
+        let _ = self
+            .ktok
+            .configure(pe, std_eps::SYSC_SEND, EpConfig::Invalid);
+        let _ = self
+            .ktok
+            .configure(pe, std_eps::SYSC_REPLY, EpConfig::Invalid);
         vpe_obj.borrow().exited.notify_all();
         self.sim.stats().incr("kernel.vpe_exits");
     }
@@ -1351,7 +1375,10 @@ mod tests {
             dtu.write_mem(EpId::new(2), 0, &[1]).await.unwrap();
             let r = syscall(&dtu, Syscall::Revoke { sel: SelId::new(1) }).await;
             assert_eq!(r.error, None);
-            dtu.write_mem(EpId::new(2), 0, &[1]).await.unwrap_err().code()
+            dtu.write_mem(EpId::new(2), 0, &[1])
+                .await
+                .unwrap_err()
+                .code()
         });
         sim.run();
         assert_eq!(h.try_take().unwrap(), Code::InvEp);
@@ -1408,7 +1435,10 @@ mod tests {
         // The child can immediately issue syscalls over its new channel.
         let sim2 = platform.sim().clone();
         let child_dtu = platform.dtu(child_pe);
-        let h2 = sim2.spawn("child", async move { syscall(&child_dtu, Syscall::Noop).await });
+        let h2 = sim2.spawn(
+            "child",
+            async move { syscall(&child_dtu, Syscall::Noop).await },
+        );
         sim2.run();
         assert_eq!(h2.try_take().unwrap().error, None);
     }
@@ -1440,7 +1470,11 @@ mod tests {
             let sim = kernel2.platform().sim().clone();
             sim.spawn("child", async move {
                 child_dtu
-                    .send(std_eps::SYSC_SEND, &Syscall::Exit { code: 42 }.to_bytes(), None)
+                    .send(
+                        std_eps::SYSC_SEND,
+                        &Syscall::Exit { code: 42 }.to_bytes(),
+                        None,
+                    )
                     .await
                     .unwrap();
             });
@@ -1563,7 +1597,10 @@ mod tests {
                 )
                 .await;
                 assert_eq!(r.error, None);
-                sender_dtu.send(EpId::new(2), b"deferred", None).await.unwrap();
+                sender_dtu
+                    .send(EpId::new(2), b"deferred", None)
+                    .await
+                    .unwrap();
             });
 
             // Wait a while before activating the rgate: the sender's

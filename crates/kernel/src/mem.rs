@@ -34,7 +34,11 @@ impl MemAlloc {
     /// Creates an allocator over `[base, base + size)`.
     pub fn new(base: u64, size: u64) -> MemAlloc {
         MemAlloc {
-            free: if size > 0 { vec![(base, size)] } else { Vec::new() },
+            free: if size > 0 {
+                vec![(base, size)]
+            } else {
+                Vec::new()
+            },
             total: size,
         }
     }

@@ -112,8 +112,14 @@ mod tests {
     #[test]
     fn any_skips_accelerators() {
         let mut m = mng();
-        assert_eq!(m.alloc(PeRequest::Any, PeType::Xtensa).unwrap(), PeId::new(1));
-        assert_eq!(m.alloc(PeRequest::Any, PeType::Xtensa).unwrap(), PeId::new(2));
+        assert_eq!(
+            m.alloc(PeRequest::Any, PeType::Xtensa).unwrap(),
+            PeId::new(1)
+        );
+        assert_eq!(
+            m.alloc(PeRequest::Any, PeType::Xtensa).unwrap(),
+            PeId::new(2)
+        );
         // Only the accelerator is left; Any refuses it.
         assert_eq!(
             m.alloc(PeRequest::Any, PeType::Xtensa).unwrap_err().code(),
@@ -153,7 +159,10 @@ mod tests {
         let mut m = mng();
         m.claim(PeId::new(1)).unwrap();
         assert_eq!(m.claim(PeId::new(1)).unwrap_err().code(), Code::NoFreePe);
-        assert_eq!(m.alloc(PeRequest::Any, PeType::Xtensa).unwrap(), PeId::new(2));
+        assert_eq!(
+            m.alloc(PeRequest::Any, PeType::Xtensa).unwrap(),
+            PeId::new(2)
+        );
     }
 
     #[test]

@@ -296,9 +296,7 @@ impl Syscall {
             }
             Syscall::AllocMem { dst, size, perm } => {
                 os.push_u32(op::ALLOC_MEM);
-                os.push_u32(dst.raw())
-                    .push_u64(*size)
-                    .push_u8(perm.bits());
+                os.push_u32(dst.raw()).push_u64(*size).push_u8(perm.bits());
             }
             Syscall::DeriveMem {
                 dst,
@@ -335,7 +333,9 @@ impl Syscall {
             }
             Syscall::Activate { vpe, ep, gate } => {
                 os.push_u32(op::ACTIVATE);
-                os.push_u32(vpe.raw()).push_u32(ep.raw()).push_u32(gate.raw());
+                os.push_u32(vpe.raw())
+                    .push_u32(ep.raw())
+                    .push_u32(gate.raw());
             }
             Syscall::CreateSrv { dst, rgate, name } => {
                 os.push_u32(op::CREATE_SRV);
@@ -626,9 +626,7 @@ impl ServiceRequest {
     pub fn from_bytes(bytes: &[u8]) -> Result<ServiceRequest> {
         let mut is = IStream::new(bytes);
         match is.pop_u32()? {
-            0 => Ok(ServiceRequest::Open {
-                arg: is.pop_u64()?,
-            }),
+            0 => Ok(ServiceRequest::Open { arg: is.pop_u64()? }),
             1 => Ok(ServiceRequest::Exchange {
                 ident: is.pop_u64()?,
                 obtain: is.pop_bool()?,
@@ -873,10 +871,7 @@ mod tests {
             },
             ServiceRequest::Close { ident: 7 },
         ] {
-            assert_eq!(
-                ServiceRequest::from_bytes(&req.to_bytes()).unwrap(),
-                req
-            );
+            assert_eq!(ServiceRequest::from_bytes(&req.to_bytes()).unwrap(), req);
         }
     }
 

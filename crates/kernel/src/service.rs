@@ -6,7 +6,7 @@
 //! session are forwarded to the service, which may deny them (§4.5.3).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use m3_base::error::{Code, Error, Result};
@@ -40,7 +40,7 @@ pub struct SessObj {
 /// The kernel's service registry.
 #[derive(Default, Debug)]
 pub struct ServiceRegistry {
-    services: RefCell<HashMap<String, Rc<ServObj>>>,
+    services: RefCell<BTreeMap<String, Rc<ServObj>>>,
 }
 
 impl ServiceRegistry {
@@ -90,6 +90,16 @@ impl ServiceRegistry {
     pub fn is_empty(&self) -> bool {
         self.services.borrow().is_empty()
     }
+
+    /// The registered service names, always in lexicographic order.
+    ///
+    /// The registry is keyed on a `BTreeMap` precisely so that anything
+    /// iterating services (diagnostics, shutdown, future broadcasts) sees
+    /// one deterministic order regardless of registration order
+    /// (DESIGN.md §4.1).
+    pub fn names(&self) -> Vec<String> {
+        self.services.borrow().keys().cloned().collect()
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +124,24 @@ mod tests {
         assert_eq!(reg.register(serv("m3fs")).unwrap_err().code(), Code::Exists);
         assert!(reg.unregister("m3fs").is_some());
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn listing_order_is_deterministic_and_ignores_registration_order() {
+        let forward = ServiceRegistry::new();
+        for name in ["pager", "m3fs", "net", "console"] {
+            forward.register(serv(name)).unwrap();
+        }
+        let backward = ServiceRegistry::new();
+        for name in ["console", "net", "m3fs", "pager"] {
+            backward.register(serv(name)).unwrap();
+        }
+        let expected = vec!["console", "m3fs", "net", "pager"];
+        assert_eq!(forward.names(), expected);
+        assert_eq!(
+            backward.names(),
+            expected,
+            "order must not depend on registration order"
+        );
     }
 }

@@ -18,8 +18,8 @@ use std::collections::VecDeque;
 use m3_base::error::Result;
 use m3_base::marshal::IStream;
 use m3_base::Perm;
-use m3_kernel::PAGE_SIZE;
 use m3_kernel::protocol::Syscall;
+use m3_kernel::PAGE_SIZE;
 
 use crate::env::Env;
 use crate::gate::MemGate;

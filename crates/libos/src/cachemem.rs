@@ -12,7 +12,7 @@
 //! through the memory gate, revoking the capability still cuts off the PE —
 //! the isolation story is unchanged.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use m3_base::error::Result;
 use m3_platform::Cache;
@@ -36,7 +36,7 @@ struct Line {
 pub struct CachedMem {
     mem: MemGate,
     tags: Cache,
-    lines: HashMap<u64, Line>,
+    lines: BTreeMap<u64, Line>,
     fills: u64,
     writebacks: u64,
 }
@@ -61,7 +61,7 @@ impl CachedMem {
         CachedMem {
             mem,
             tags: Cache::new(capacity, LINE_SIZE, ways),
-            lines: HashMap::new(),
+            lines: BTreeMap::new(),
             fills: 0,
             writebacks: 0,
         }
@@ -91,9 +91,7 @@ impl CachedMem {
             if !self.tags.contains(old * LINE_SIZE as u64) {
                 if let Some(line) = self.lines.remove(&old) {
                     if line.dirty {
-                        self.mem
-                            .write(old * LINE_SIZE as u64, &line.data)
-                            .await?;
+                        self.mem.write(old * LINE_SIZE as u64, &line.data).await?;
                         self.writebacks += 1;
                     }
                 }
@@ -165,7 +163,9 @@ impl CachedMem {
         dirty.sort_unstable();
         for line_no in dirty {
             let line = self.lines.get_mut(&line_no).expect("listed above");
-            self.mem.write(line_no * LINE_SIZE as u64, &line.data).await?;
+            self.mem
+                .write(line_no * LINE_SIZE as u64, &line.data)
+                .await?;
             line.dirty = false;
             self.writebacks += 1;
         }
@@ -195,19 +195,27 @@ mod tests {
     #[test]
     fn reads_and_writes_roundtrip_through_the_cache() {
         let (platform, kernel) = boot();
-        let h = start_program(&kernel, "t", None, ProgramRegistry::new(), |env| async move {
-            let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
-            let mut cached = CachedMem::new(mem, 1024, 4);
-            cached.write(100, b"cached hello").await.unwrap();
-            let mut buf = [0u8; 12];
-            cached.read(100, &mut buf).await.unwrap();
-            assert_eq!(&buf, b"cached hello");
-            // The data is only in the cache until flushed.
-            cached.flush().await.unwrap();
-            let mem = cached.into_inner();
-            assert_eq!(mem.read(100, 12).await.unwrap(), b"cached hello");
-            0
-        });
+        let h = start_program(
+            &kernel,
+            "t",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW)
+                    .await
+                    .unwrap();
+                let mut cached = CachedMem::new(mem, 1024, 4);
+                cached.write(100, b"cached hello").await.unwrap();
+                let mut buf = [0u8; 12];
+                cached.read(100, &mut buf).await.unwrap();
+                assert_eq!(&buf, b"cached hello");
+                // The data is only in the cache until flushed.
+                cached.flush().await.unwrap();
+                let mem = cached.into_inner();
+                assert_eq!(mem.read(100, 12).await.unwrap(), b"cached hello");
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }
@@ -215,28 +223,36 @@ mod tests {
     #[test]
     fn hits_avoid_the_dtu() {
         let (platform, kernel) = boot();
-        let h = start_program(&kernel, "t", None, ProgramRegistry::new(), |env| async move {
-            let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
-            let mut cached = CachedMem::new(mem, 2048, 4);
-            // 64 single-byte reads of the same line: one fill.
-            let mut b = [0u8; 1];
-            for i in 0..64 {
-                cached.read(i, &mut b).await.unwrap();
-            }
-            assert_eq!(cached.fills(), 1);
-            // Timing: the warm accesses must be far cheaper than cold ones.
-            let t0 = env.sim().now();
-            for i in 0..64 {
-                cached.read(i, &mut b).await.unwrap();
-            }
-            let warm = (env.sim().now() - t0).as_u64();
-            let t1 = env.sim().now();
-            cached.read(4096, &mut b).await.unwrap(); // cold line
-            let cold = (env.sim().now() - t1).as_u64();
-            assert!(warm == 0, "warm hits must not touch the DTU: {warm}");
-            assert!(cold > 20, "a miss pays a real transfer: {cold}");
-            0
-        });
+        let h = start_program(
+            &kernel,
+            "t",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW)
+                    .await
+                    .unwrap();
+                let mut cached = CachedMem::new(mem, 2048, 4);
+                // 64 single-byte reads of the same line: one fill.
+                let mut b = [0u8; 1];
+                for i in 0..64 {
+                    cached.read(i, &mut b).await.unwrap();
+                }
+                assert_eq!(cached.fills(), 1);
+                // Timing: the warm accesses must be far cheaper than cold ones.
+                let t0 = env.sim().now();
+                for i in 0..64 {
+                    cached.read(i, &mut b).await.unwrap();
+                }
+                let warm = (env.sim().now() - t0).as_u64();
+                let t1 = env.sim().now();
+                cached.read(4096, &mut b).await.unwrap(); // cold line
+                let cold = (env.sim().now() - t1).as_u64();
+                assert!(warm == 0, "warm hits must not touch the DTU: {warm}");
+                assert!(cold > 20, "a miss pays a real transfer: {cold}");
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }
@@ -244,23 +260,34 @@ mod tests {
     #[test]
     fn eviction_writes_dirty_lines_back() {
         let (platform, kernel) = boot();
-        let h = start_program(&kernel, "t", None, ProgramRegistry::new(), |env| async move {
-            let mem = crate::gate::MemGate::alloc(&env, 1 << 16, Perm::RW).await.unwrap();
-            // A tiny cache: 4 lines, direct-ish (2-way).
-            let mut cached = CachedMem::new(mem, 4 * LINE_SIZE, 2);
-            // Dirty many distinct lines so evictions must write back.
-            for i in 0..16u64 {
-                cached.write(i * LINE_SIZE as u64, &[i as u8]).await.unwrap();
-            }
-            assert!(cached.writebacks() > 0, "evictions must write back");
-            cached.flush().await.unwrap();
-            let mem = cached.into_inner();
-            for i in 0..16u64 {
-                let v = mem.read(i * LINE_SIZE as u64, 1).await.unwrap();
-                assert_eq!(v[0], i as u8, "line {i} lost");
-            }
-            0
-        });
+        let h = start_program(
+            &kernel,
+            "t",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mem = crate::gate::MemGate::alloc(&env, 1 << 16, Perm::RW)
+                    .await
+                    .unwrap();
+                // A tiny cache: 4 lines, direct-ish (2-way).
+                let mut cached = CachedMem::new(mem, 4 * LINE_SIZE, 2);
+                // Dirty many distinct lines so evictions must write back.
+                for i in 0..16u64 {
+                    cached
+                        .write(i * LINE_SIZE as u64, &[i as u8])
+                        .await
+                        .unwrap();
+                }
+                assert!(cached.writebacks() > 0, "evictions must write back");
+                cached.flush().await.unwrap();
+                let mem = cached.into_inner();
+                for i in 0..16u64 {
+                    let v = mem.read(i * LINE_SIZE as u64, 1).await.unwrap();
+                    assert_eq!(v[0], i as u8, "line {i} lost");
+                }
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }
@@ -268,25 +295,33 @@ mod tests {
     #[test]
     fn revoked_capability_cuts_off_the_cache_too() {
         let (platform, kernel) = boot();
-        let h = start_program(&kernel, "t", None, ProgramRegistry::new(), |env| async move {
-            let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
-            let sel = mem.sel();
-            let mut cached = CachedMem::new(mem, 1024, 4);
-            cached.write(0, b"x").await.unwrap();
-            env.syscall(m3_kernel::protocol::Syscall::Revoke { sel })
-                .await
-                .unwrap();
-            // The resident line still reads (it is local), but any miss or
-            // write-back fails: the DTU is the only path to memory.
-            let mut b = [0u8; 1];
-            cached.read(0, &mut b).await.unwrap();
-            let err = cached.read(4096, &mut b).await.unwrap_err();
-            assert!(matches!(
-                err.code(),
-                m3_base::error::Code::InvEp | m3_base::error::Code::InvCap
-            ));
-            0
-        });
+        let h = start_program(
+            &kernel,
+            "t",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW)
+                    .await
+                    .unwrap();
+                let sel = mem.sel();
+                let mut cached = CachedMem::new(mem, 1024, 4);
+                cached.write(0, b"x").await.unwrap();
+                env.syscall(m3_kernel::protocol::Syscall::Revoke { sel })
+                    .await
+                    .unwrap();
+                // The resident line still reads (it is local), but any miss or
+                // write-back fails: the DTU is the only path to memory.
+                let mut b = [0u8; 1];
+                cached.read(0, &mut b).await.unwrap();
+                let err = cached.read(4096, &mut b).await.unwrap_err();
+                assert!(matches!(
+                    err.code(),
+                    m3_base::error::Code::InvEp | m3_base::error::Code::InvCap
+                ));
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }

@@ -6,10 +6,11 @@
 
 use m3_base::Cycles;
 
-/// Marshal the syscall message and program the DTU registers.
+/// Marshal the syscall message and program the DTU registers (libos share
+/// of the ≈170 software cycles of a null syscall, §5.3).
 pub const SYSC_PREP: Cycles = Cycles::new(45);
 
-/// Unmarshal the syscall reply.
+/// Unmarshal the syscall reply (libos share of the §5.3 software cycles).
 pub const SYSC_POST: Cycles = Cycles::new(45);
 
 /// Reach the `read`/`write` entry point through the VFS (§5.4: ~70 cycles).
@@ -20,20 +21,23 @@ pub const FILE_OP_ENTRY: Cycles = Cycles::new(70);
 pub const FILE_LOCATE: Cycles = Cycles::new(90);
 
 /// Per-operation overhead of the pipe abstraction (ring-buffer bookkeeping
-/// and message marshalling).
+/// and message marshalling; §5.4.4 pipe evaluation).
 pub const PIPE_OP: Cycles = Cycles::new(60);
 
-/// Marshal/unmarshal one service RPC on the client side.
+/// Marshal/unmarshal one service RPC on the client side (client/server
+/// communication via send/receive gates, §4.4).
 pub const RPC_PREP: Cycles = Cycles::new(40);
 
-/// Service-side cost to unmarshal a request and marshal a reply.
+/// Service-side cost to unmarshal a request and marshal a reply (§4.4
+/// server loop).
 pub const SERV_DISPATCH: Cycles = Cycles::new(50);
 
 /// Bytes copied to the target SPM by `VPE::run` (code, static data, used
 /// heap and stack, §4.5.5).
 pub const CLONE_IMAGE_BYTES: usize = 24 * 1024;
 
-/// Local bookkeeping of `VPE::run`/`exec` besides the image transfer.
+/// Local bookkeeping of `VPE::run`/`exec` besides the image transfer
+/// (§4.5.5 application loading).
 pub const VPE_SETUP: Cycles = Cycles::new(150);
 
 #[cfg(test)]

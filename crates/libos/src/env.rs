@@ -1,7 +1,7 @@
 //! A VPE's execution environment.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::future::Future;
 use std::rc::Rc;
@@ -33,7 +33,7 @@ pub type ProgramFn = dyn Fn(Env, Vec<String>) -> BoxFuture<'static, i64>;
 /// runs the registered entry point.
 #[derive(Clone, Default)]
 pub struct ProgramRegistry {
-    map: Rc<RefCell<HashMap<String, Rc<ProgramFn>>>>,
+    map: Rc<RefCell<BTreeMap<String, Rc<ProgramFn>>>>,
 }
 
 impl fmt::Debug for ProgramRegistry {
@@ -54,9 +54,10 @@ impl ProgramRegistry {
         F: Fn(Env, Vec<String>) -> Fut + 'static,
         Fut: Future<Output = i64> + 'static,
     {
-        self.map
-            .borrow_mut()
-            .insert(path.to_string(), Rc::new(move |env, argv| Box::pin(f(env, argv))));
+        self.map.borrow_mut().insert(
+            path.to_string(),
+            Rc::new(move |env, argv| Box::pin(f(env, argv))),
+        );
     }
 
     /// Looks up a program.
@@ -116,7 +117,7 @@ impl Env {
                 epmux: RefCell::new(EpMux::new()),
                 vfs: RefCell::new(Vfs::new()),
                 programs,
-            reply_gate: RefCell::new(None),
+                reply_gate: RefCell::new(None),
             }),
         }
     }
@@ -222,11 +223,7 @@ impl Env {
         let _ = self
             .inner
             .dtu
-            .send(
-                std_eps::SYSC_SEND,
-                &Syscall::Exit { code }.to_bytes(),
-                None,
-            )
+            .send(std_eps::SYSC_SEND, &Syscall::Exit { code }.to_bytes(), None)
             .await;
     }
 }
@@ -289,10 +286,16 @@ mod tests {
     fn start_program_runs_and_exits() {
         let platform = Platform::new(PlatformConfig::xtensa(3));
         let kernel = Kernel::start(&platform, PeId::new(0));
-        let h = start_program(&kernel, "hello", None, ProgramRegistry::new(), |env| async move {
-            env.syscall(Syscall::Noop).await.unwrap();
-            7
-        });
+        let h = start_program(
+            &kernel,
+            "hello",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                env.syscall(Syscall::Noop).await.unwrap();
+                7
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 7);
         // Let the kernel process the in-flight Exit message.
@@ -304,16 +307,22 @@ mod tests {
     fn null_syscall_costs_about_200_cycles() {
         let platform = Platform::new(PlatformConfig::xtensa(3));
         let kernel = Kernel::start(&platform, PeId::new(0));
-        let h = start_program(&kernel, "bench", None, ProgramRegistry::new(), |env| async move {
-            // Warm up (first call may include setup effects).
-            env.syscall(Syscall::Noop).await.unwrap();
-            let start = env.sim().now();
-            for _ in 0..10 {
+        let h = start_program(
+            &kernel,
+            "bench",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                // Warm up (first call may include setup effects).
                 env.syscall(Syscall::Noop).await.unwrap();
-            }
-            let per_call = (env.sim().now() - start).as_u64() / 10;
-            per_call as i64
-        });
+                let start = env.sim().now();
+                for _ in 0..10 {
+                    env.syscall(Syscall::Noop).await.unwrap();
+                }
+                let per_call = (env.sim().now() - start).as_u64() / 10;
+                per_call as i64
+            },
+        );
         platform.sim().run();
         let per_call = h.try_take().unwrap();
         // Paper §5.3: ≈ 200 cycles on M3. Accept a generous band.

@@ -380,19 +380,22 @@ mod tests {
     #[test]
     fn memgate_alloc_read_write() {
         let (platform, kernel) = boot(3);
-        let h = start_program(&kernel, "app", None, ProgramRegistry::new(), |env| async move {
-            let mem = MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
-            mem.write(100, &[1, 2, 3, 4]).await.unwrap();
-            let back = mem.read(100, 4).await.unwrap();
-            assert_eq!(back, vec![1, 2, 3, 4]);
-            // Derive a read-only window and check enforcement.
-            let ro = mem.derive(0, 256, Perm::R).await.unwrap();
-            assert_eq!(
-                ro.write(0, &[9]).await.unwrap_err().code(),
-                Code::NoPerm
-            );
-            0
-        });
+        let h = start_program(
+            &kernel,
+            "app",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mem = MemGate::alloc(&env, 8192, Perm::RW).await.unwrap();
+                mem.write(100, &[1, 2, 3, 4]).await.unwrap();
+                let back = mem.read(100, 4).await.unwrap();
+                assert_eq!(back, vec![1, 2, 3, 4]);
+                // Derive a read-only window and check enforcement.
+                let ro = mem.derive(0, 256, Perm::R).await.unwrap();
+                assert_eq!(ro.write(0, &[9]).await.unwrap_err().code(), Code::NoPerm);
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }
@@ -402,22 +405,28 @@ mod tests {
         // More memory gates than endpoints: the multiplexer must swap them
         // transparently (§4.5.4).
         let (platform, kernel) = boot(3);
-        let h = start_program(&kernel, "app", None, ProgramRegistry::new(), |env| async move {
-            let mut gates = Vec::new();
-            for i in 0..10u64 {
-                let g = MemGate::alloc(&env, 4096, Perm::RW).await.unwrap();
-                g.write(0, &[i as u8]).await.unwrap();
-                gates.push(g);
-            }
-            // Use them all again in order; every gate still works.
-            for (i, g) in gates.iter().enumerate() {
-                let v = g.read(0, 1).await.unwrap();
-                assert_eq!(v[0], i as u8);
-            }
-            let syscalls = env.sim().stats().get("kernel.syscalls");
-            assert!(syscalls > 20, "re-activations must go through the kernel");
-            0
-        });
+        let h = start_program(
+            &kernel,
+            "app",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mut gates = Vec::new();
+                for i in 0..10u64 {
+                    let g = MemGate::alloc(&env, 4096, Perm::RW).await.unwrap();
+                    g.write(0, &[i as u8]).await.unwrap();
+                    gates.push(g);
+                }
+                // Use them all again in order; every gate still works.
+                for (i, g) in gates.iter().enumerate() {
+                    let v = g.read(0, 1).await.unwrap();
+                    assert_eq!(v[0], i as u8);
+                }
+                let syscalls = env.sim().stats().get("kernel.syscalls");
+                assert!(syscalls > 20, "re-activations must go through the kernel");
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }
@@ -455,23 +464,31 @@ mod tests {
     #[test]
     fn rpc_call_roundtrip() {
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "rpc", None, ProgramRegistry::new(), |env| async move {
-            // A local echo server on the same VPE: create the service gate
-            // pair, spawn a server task, call it.
-            let rgate = Rc::new(RecvGate::new(&env, 4, 256).await.unwrap());
-            let sgate = SendGate::new(&env, &rgate, 7, 1).await.unwrap();
-            let server_gate = rgate.clone();
-            let env2 = env.clone();
-            env.sim().spawn_daemon("echo", async move {
-                loop {
-                    let Ok(msg) = server_gate.recv().await else { return };
-                    let _ = env2.dtu().reply(&msg, &msg.payload).await;
-                }
-            });
-            let reply = sgate.call(b"ping").await.unwrap();
-            assert_eq!(reply.payload, b"ping");
-            0
-        });
+        let h = start_program(
+            &kernel,
+            "rpc",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                // A local echo server on the same VPE: create the service gate
+                // pair, spawn a server task, call it.
+                let rgate = Rc::new(RecvGate::new(&env, 4, 256).await.unwrap());
+                let sgate = SendGate::new(&env, &rgate, 7, 1).await.unwrap();
+                let server_gate = rgate.clone();
+                let env2 = env.clone();
+                env.sim().spawn_daemon("echo", async move {
+                    loop {
+                        let Ok(msg) = server_gate.recv().await else {
+                            return;
+                        };
+                        let _ = env2.dtu().reply(&msg, &msg.payload).await;
+                    }
+                });
+                let reply = sgate.call(b"ping").await.unwrap();
+                assert_eq!(reply.payload, b"ping");
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }

@@ -244,7 +244,11 @@ impl PipeReader {
     ///
     /// Panics if `desc` is not a reader-role descriptor.
     pub fn attach(env: &Env, desc: PipeDesc) -> PipeReader {
-        assert_eq!(desc.role, PipeRole::Reader, "descriptor is not a reader end");
+        assert_eq!(
+            desc.role,
+            PipeRole::Reader,
+            "descriptor is not a reader end"
+        );
         let ep = desc.notify_ep.expect("reader descriptor without EP");
         env.epmux().borrow_mut().pin_existing(ep);
         PipeReader::from_parts(
@@ -375,7 +379,11 @@ impl PipeWriter {
     ///
     /// Panics if `desc` is not a writer-role descriptor.
     pub async fn attach(env: &Env, desc: PipeDesc) -> Result<PipeWriter> {
-        assert_eq!(desc.role, PipeRole::Writer, "descriptor is not a writer end");
+        assert_eq!(
+            desc.role,
+            PipeRole::Writer,
+            "descriptor is not a writer end"
+        );
         let sgate_sel = desc.sgate_sel.expect("writer descriptor without sgate");
         PipeWriter::from_parts(
             env,
@@ -423,16 +431,16 @@ impl PipeWriter {
         while sent < data.len() {
             self.pop_replies()?;
             // Respect both the notification credits and the ring space.
-            while self.outstanding.len() as u32 >= self.slots
-                || self.in_flight >= self.buf_size
-            {
+            while self.outstanding.len() as u32 >= self.slots || self.in_flight >= self.buf_size {
                 self.wait_reply().await?;
             }
             let ring_off = self.wpos % self.buf_size;
             let space = self.buf_size - self.in_flight;
             let to_ring_end = self.buf_size - ring_off;
             let n = ((data.len() - sent) as u64).min(space).min(to_ring_end);
-            self.mem.write(ring_off, &data[sent..sent + n as usize]).await?;
+            self.mem
+                .write(ring_off, &data[sent..sent + n as usize])
+                .await?;
             let mut os = OStream::with_capacity(16);
             os.push_u64(ring_off).push_u64(n);
             self.sgate
@@ -577,41 +585,47 @@ mod tests {
     #[test]
     fn child_writes_parent_reads() {
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            let child = Vpe::new(&env, "writer", PeRequest::Same).await.unwrap();
-            let (end, desc) = create(&env, &child, PipeRole::Writer, 4096).await.unwrap();
-            let ParentEnd::Reader(mut reader) = end else {
-                panic!("expected reader end")
-            };
-            child
-                .run(move |cenv| async move {
-                    let mut w = PipeWriter::attach(&cenv, desc).await.unwrap();
-                    for i in 0..16u8 {
-                        let chunk = vec![i; 1024];
-                        w.write(&chunk).await.unwrap();
-                    }
-                    w.close().await.unwrap();
-                    0
-                })
-                .await
-                .unwrap();
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let child = Vpe::new(&env, "writer", PeRequest::Same).await.unwrap();
+                let (end, desc) = create(&env, &child, PipeRole::Writer, 4096).await.unwrap();
+                let ParentEnd::Reader(mut reader) = end else {
+                    panic!("expected reader end")
+                };
+                child
+                    .run(move |cenv| async move {
+                        let mut w = PipeWriter::attach(&cenv, desc).await.unwrap();
+                        for i in 0..16u8 {
+                            let chunk = vec![i; 1024];
+                            w.write(&chunk).await.unwrap();
+                        }
+                        w.close().await.unwrap();
+                        0
+                    })
+                    .await
+                    .unwrap();
 
-            let mut total = Vec::new();
-            let mut buf = vec![0u8; 512];
-            loop {
-                let n = reader.read(&mut buf).await.unwrap();
-                if n == 0 {
-                    break;
+                let mut total = Vec::new();
+                let mut buf = vec![0u8; 512];
+                loop {
+                    let n = reader.read(&mut buf).await.unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    total.extend_from_slice(&buf[..n]);
                 }
-                total.extend_from_slice(&buf[..n]);
-            }
-            child.wait().await.unwrap();
-            assert_eq!(total.len(), 16 * 1024);
-            for (i, chunk) in total.chunks(1024).enumerate() {
-                assert!(chunk.iter().all(|&b| b == i as u8), "chunk {i} corrupt");
-            }
-            0
-        });
+                child.wait().await.unwrap();
+                assert_eq!(total.len(), 16 * 1024);
+                for (i, chunk) in total.chunks(1024).enumerate() {
+                    assert!(chunk.iter().all(|&b| b == i as u8), "chunk {i} corrupt");
+                }
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }
@@ -619,26 +633,32 @@ mod tests {
     #[test]
     fn parent_writes_child_reads() {
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            let child = Vpe::new(&env, "reader", PeRequest::Same).await.unwrap();
-            let (end, desc) = create(&env, &child, PipeRole::Reader, 4096).await.unwrap();
-            let ParentEnd::Writer(mut writer) = end else {
-                panic!("expected writer end")
-            };
-            child
-                .run(move |cenv| async move {
-                    let mut r = PipeReader::attach(&cenv, desc);
-                    r.drain().await.unwrap() as i64
-                })
-                .await
-                .unwrap();
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let child = Vpe::new(&env, "reader", PeRequest::Same).await.unwrap();
+                let (end, desc) = create(&env, &child, PipeRole::Reader, 4096).await.unwrap();
+                let ParentEnd::Writer(mut writer) = end else {
+                    panic!("expected writer end")
+                };
+                child
+                    .run(move |cenv| async move {
+                        let mut r = PipeReader::attach(&cenv, desc);
+                        r.drain().await.unwrap() as i64
+                    })
+                    .await
+                    .unwrap();
 
-            // Write more than the ring size to exercise back-pressure.
-            let data = vec![0x5a; 10 * 1024];
-            writer.write(&data).await.unwrap();
-            writer.close().await.unwrap();
-            child.wait().await.unwrap()
-        });
+                // Write more than the ring size to exercise back-pressure.
+                let data = vec![0x5a; 10 * 1024];
+                writer.write(&data).await.unwrap();
+                writer.close().await.unwrap();
+                child.wait().await.unwrap()
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 10 * 1024);
     }
@@ -646,30 +666,33 @@ mod tests {
     #[test]
     fn write_after_close_fails() {
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            let child = Vpe::new(&env, "reader", PeRequest::Same).await.unwrap();
-            let (end, desc) = create(&env, &child, PipeRole::Reader, 1024).await.unwrap();
-            let ParentEnd::Writer(mut writer) = end else {
-                panic!("expected writer end")
-            };
-            child
-                .run(move |cenv| async move {
-                    let mut r = PipeReader::attach(&cenv, desc);
-                    r.drain().await.unwrap() as i64
-                })
-                .await
-                .unwrap();
-            writer.write(b"x").await.unwrap();
-            writer.close().await.unwrap();
-            let err = writer.write(b"y").await.unwrap_err();
-            child.wait().await.unwrap();
-            err.code() as i64
-        });
-        platform.sim().run();
-        assert_eq!(
-            h.try_take().unwrap(),
-            Code::EndOfStream.as_raw() as i64
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let child = Vpe::new(&env, "reader", PeRequest::Same).await.unwrap();
+                let (end, desc) = create(&env, &child, PipeRole::Reader, 1024).await.unwrap();
+                let ParentEnd::Writer(mut writer) = end else {
+                    panic!("expected writer end")
+                };
+                child
+                    .run(move |cenv| async move {
+                        let mut r = PipeReader::attach(&cenv, desc);
+                        r.drain().await.unwrap() as i64
+                    })
+                    .await
+                    .unwrap();
+                writer.write(b"x").await.unwrap();
+                writer.close().await.unwrap();
+                let err = writer.write(b"y").await.unwrap_err();
+                child.wait().await.unwrap();
+                err.code() as i64
+            },
         );
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), Code::EndOfStream.as_raw() as i64);
     }
 
     #[test]
@@ -678,41 +701,50 @@ mod tests {
         // or a file — both ends work behind `dyn File`.
         use crate::vfs::{File, SeekMode};
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            let child = Vpe::new(&env, "reader", PeRequest::Same).await.unwrap();
-            let (end, desc) = create(&env, &child, PipeRole::Reader, 4096).await.unwrap();
-            let ParentEnd::Writer(writer) = end else {
-                panic!("expected writer end")
-            };
-            child
-                .run(move |cenv| async move {
-                    let mut file: Box<dyn File> = Box::new(PipeReader::attach(&cenv, desc));
-                    // A pipe behind the File trait: reads work, seeks do not.
-                    assert_eq!(
-                        file.seek(0, SeekMode::Set).await.unwrap_err().code(),
-                        Code::NotSup
-                    );
-                    assert_eq!(file.write(&[1]).await.unwrap_err().code(), Code::NoAccess);
-                    let mut total = 0usize;
-                    let mut buf = [0u8; 256];
-                    loop {
-                        let n = file.read(&mut buf).await.unwrap();
-                        if n == 0 {
-                            break;
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let child = Vpe::new(&env, "reader", PeRequest::Same).await.unwrap();
+                let (end, desc) = create(&env, &child, PipeRole::Reader, 4096).await.unwrap();
+                let ParentEnd::Writer(writer) = end else {
+                    panic!("expected writer end")
+                };
+                child
+                    .run(move |cenv| async move {
+                        let mut file: Box<dyn File> = Box::new(PipeReader::attach(&cenv, desc));
+                        // A pipe behind the File trait: reads work, seeks do not.
+                        assert_eq!(
+                            file.seek(0, SeekMode::Set).await.unwrap_err().code(),
+                            Code::NotSup
+                        );
+                        assert_eq!(file.write(&[1]).await.unwrap_err().code(), Code::NoAccess);
+                        let mut total = 0usize;
+                        let mut buf = [0u8; 256];
+                        loop {
+                            let n = file.read(&mut buf).await.unwrap();
+                            if n == 0 {
+                                break;
+                            }
+                            total += n;
                         }
-                        total += n;
-                    }
-                    file.close().await.unwrap();
-                    total as i64
-                })
-                .await
-                .unwrap();
-            let mut file: Box<dyn File> = Box::new(writer);
-            assert_eq!(file.read(&mut [0u8; 4]).await.unwrap_err().code(), Code::NoAccess);
-            file.write(&[9u8; 3000]).await.unwrap();
-            file.close().await.unwrap();
-            child.wait().await.unwrap()
-        });
+                        file.close().await.unwrap();
+                        total as i64
+                    })
+                    .await
+                    .unwrap();
+                let mut file: Box<dyn File> = Box::new(writer);
+                assert_eq!(
+                    file.read(&mut [0u8; 4]).await.unwrap_err().code(),
+                    Code::NoAccess
+                );
+                file.write(&[9u8; 3000]).await.unwrap();
+                file.close().await.unwrap();
+                child.wait().await.unwrap()
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 3000);
     }
@@ -720,36 +752,42 @@ mod tests {
     #[test]
     fn small_ring_forces_many_chunks() {
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            let child = Vpe::new(&env, "reader", PeRequest::Same).await.unwrap();
-            let (end, desc) = create(&env, &child, PipeRole::Reader, 256).await.unwrap();
-            let ParentEnd::Writer(mut writer) = end else {
-                panic!("expected writer end")
-            };
-            child
-                .run(move |cenv| async move {
-                    let mut r = PipeReader::attach(&cenv, desc);
-                    let mut buf = [0u8; 64];
-                    let mut sum: i64 = 0;
-                    loop {
-                        let n = r.read(&mut buf).await.unwrap();
-                        if n == 0 {
-                            break;
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let child = Vpe::new(&env, "reader", PeRequest::Same).await.unwrap();
+                let (end, desc) = create(&env, &child, PipeRole::Reader, 256).await.unwrap();
+                let ParentEnd::Writer(mut writer) = end else {
+                    panic!("expected writer end")
+                };
+                child
+                    .run(move |cenv| async move {
+                        let mut r = PipeReader::attach(&cenv, desc);
+                        let mut buf = [0u8; 64];
+                        let mut sum: i64 = 0;
+                        loop {
+                            let n = r.read(&mut buf).await.unwrap();
+                            if n == 0 {
+                                break;
+                            }
+                            sum += buf[..n].iter().map(|&b| b as i64).sum::<i64>();
                         }
-                        sum += buf[..n].iter().map(|&b| b as i64).sum::<i64>();
-                    }
-                    sum
-                })
-                .await
-                .unwrap();
-            let data: Vec<u8> = (0..2048u64).map(|i| (i % 251) as u8).collect();
-            let expect: i64 = data.iter().map(|&b| b as i64).sum();
-            writer.write(&data).await.unwrap();
-            writer.close().await.unwrap();
-            let got = child.wait().await.unwrap();
-            assert_eq!(got, expect);
-            0
-        });
+                        sum
+                    })
+                    .await
+                    .unwrap();
+                let data: Vec<u8> = (0..2048u64).map(|i| (i % 251) as u8).collect();
+                let expect: i64 = data.iter().map(|&b| b as i64).sum();
+                writer.write(&data).await.unwrap();
+                writer.close().await.unwrap();
+                let got = child.wait().await.unwrap();
+                assert_eq!(got, expect);
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }

@@ -79,7 +79,10 @@ pub async fn serve<H: Handler>(env: Env, name: &str, mut handler: H) -> Result<(
                 obtain,
                 cap_count,
                 args,
-            }) => match handler.exchange(&env, ident, obtain, cap_count, &args).await {
+            }) => match handler
+                .exchange(&env, ident, obtain, cap_count, &args)
+                .await
+            {
                 Ok((caps, args)) => {
                     if caps.len() > cap_count as usize {
                         ServiceReply::err(Code::InvArgs)

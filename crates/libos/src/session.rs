@@ -51,9 +51,7 @@ impl ClientSession {
                         sel,
                     })
                 }
-                Err(e)
-                    if e.code() == m3_base::error::Code::InvService && attempt < RETRIES =>
-                {
+                Err(e) if e.code() == m3_base::error::Code::InvService && attempt < RETRIES => {
                     attempt += 1;
                     env.compute(BACKOFF).await;
                 }

@@ -130,8 +130,7 @@ pub trait FileSystem {
     fn unlink<'a>(&'a self, env: &'a Env, path: &'a str) -> BoxFuture<'a, Result<()>>;
 
     /// Lists a directory.
-    fn read_dir<'a>(&'a self, env: &'a Env, path: &'a str)
-        -> BoxFuture<'a, Result<Vec<DirEntry>>>;
+    fn read_dir<'a>(&'a self, env: &'a Env, path: &'a str) -> BoxFuture<'a, Result<Vec<DirEntry>>>;
 }
 
 /// The per-VPE mount table.
@@ -161,7 +160,8 @@ impl Vfs {
         }
         self.mounts.push((prefix, fs));
         // Longest prefix first.
-        self.mounts.sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
+        self.mounts
+            .sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
     }
 
     /// Resolves `path` to (filesystem, path relative to the mount point).

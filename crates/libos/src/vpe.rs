@@ -178,7 +178,8 @@ impl Vpe {
         // addresses on the other PE (no virtual memory needed, §4.5.5).
         let image = vec![0u8; costs::CLONE_IMAGE_BYTES];
         self.mem.write(0, &image).await?;
-        self.start_program(move |env, _argv| f(env), Vec::new()).await
+        self.start_program(move |env, _argv| f(env), Vec::new())
+            .await
     }
 
     /// Loads `path` from the filesystem onto the VPE and runs it, like
@@ -215,7 +216,9 @@ impl Vpe {
         F: FnOnce(Env, Vec<String>) -> Fut + 'static,
         Fut: Future<Output = i64> + 'static,
     {
-        self.env.syscall(Syscall::VpeStart { vpe: self.sel }).await?;
+        self.env
+            .syscall(Syscall::VpeStart { vpe: self.sel })
+            .await?;
         let child_env = Env::new(
             self.env.kernel(),
             &VpeBootInfo {
@@ -276,8 +279,8 @@ pub async fn alloc_shared_mem(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use m3_base::error::Code;
     use crate::env::{start_program, ProgramRegistry};
+    use m3_base::error::Code;
     use m3_kernel::Kernel;
     use m3_platform::{Platform, PlatformConfig};
 
@@ -290,14 +293,22 @@ mod tests {
     #[test]
     fn run_lambda_on_another_pe_and_wait() {
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            // The paper's §4.5.5 example: run a lambda on a same-type PE.
-            let a = 4i64;
-            let b = 5i64;
-            let vpe = Vpe::new(&env, "test", PeRequest::Same).await.unwrap();
-            vpe.run(move |_child_env| async move { a + b }).await.unwrap();
-            vpe.wait().await.unwrap()
-        });
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                // The paper's §4.5.5 example: run a lambda on a same-type PE.
+                let a = 4i64;
+                let b = 5i64;
+                let vpe = Vpe::new(&env, "test", PeRequest::Same).await.unwrap();
+                vpe.run(move |_child_env| async move { a + b })
+                    .await
+                    .unwrap();
+                vpe.wait().await.unwrap()
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 9);
     }
@@ -305,18 +316,24 @@ mod tests {
     #[test]
     fn child_runs_on_a_different_pe() {
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            let vpe = Vpe::new(&env, "child", PeRequest::Same).await.unwrap();
-            let parent_pe = env.pe();
-            let child_pe = vpe.pe();
-            assert_ne!(parent_pe, child_pe);
-            vpe.run(|child_env| async move { child_env.pe().raw() as i64 })
-                .await
-                .unwrap();
-            let reported = vpe.wait().await.unwrap();
-            assert_eq!(reported, child_pe.raw() as i64);
-            0
-        });
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let vpe = Vpe::new(&env, "child", PeRequest::Same).await.unwrap();
+                let parent_pe = env.pe();
+                let child_pe = vpe.pe();
+                assert_ne!(parent_pe, child_pe);
+                vpe.run(|child_env| async move { child_env.pe().raw() as i64 })
+                    .await
+                    .unwrap();
+                let reported = vpe.wait().await.unwrap();
+                assert_eq!(reported, child_pe.raw() as i64);
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }
@@ -324,24 +341,30 @@ mod tests {
     #[test]
     fn delegate_memory_to_child() {
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            let vpe = Vpe::new(&env, "child", PeRequest::Same).await.unwrap();
-            let (mem, child_sel) = alloc_shared_mem(&env, &vpe, 4096, Perm::RW).await.unwrap();
-            mem.write(0, b"from-parent").await.unwrap();
-            vpe.run(move |child_env| async move {
-                let mem = MemGate::bind(&child_env, child_sel);
-                let data = mem.read(0, 11).await.unwrap();
-                assert_eq!(&data, b"from-parent");
-                mem.write(100, b"from-child").await.unwrap();
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let vpe = Vpe::new(&env, "child", PeRequest::Same).await.unwrap();
+                let (mem, child_sel) = alloc_shared_mem(&env, &vpe, 4096, Perm::RW).await.unwrap();
+                mem.write(0, b"from-parent").await.unwrap();
+                vpe.run(move |child_env| async move {
+                    let mem = MemGate::bind(&child_env, child_sel);
+                    let data = mem.read(0, 11).await.unwrap();
+                    assert_eq!(&data, b"from-parent");
+                    mem.write(100, b"from-child").await.unwrap();
+                    0
+                })
+                .await
+                .unwrap();
+                vpe.wait().await.unwrap();
+                let back = mem.read(100, 10).await.unwrap();
+                assert_eq!(&back, b"from-child");
                 0
-            })
-            .await
-            .unwrap();
-            vpe.wait().await.unwrap();
-            let back = mem.read(100, 10).await.unwrap();
-            assert_eq!(&back, b"from-child");
-            0
-        });
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }
@@ -349,11 +372,17 @@ mod tests {
     #[test]
     fn no_free_pe_is_reported() {
         let (platform, kernel) = boot(2); // kernel + parent = all PEs
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            let err = Vpe::new(&env, "child", PeRequest::Same).await.unwrap_err();
-            assert_eq!(err.code(), Code::NoFreePe);
-            0
-        });
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let err = Vpe::new(&env, "child", PeRequest::Same).await.unwrap_err();
+                assert_eq!(err.code(), Code::NoFreePe);
+                0
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), 0);
     }
@@ -361,11 +390,17 @@ mod tests {
     #[test]
     fn exit_code_propagates_through_wait() {
         let (platform, kernel) = boot(4);
-        let h = start_program(&kernel, "parent", None, ProgramRegistry::new(), |env| async move {
-            let vpe = Vpe::new(&env, "failing", PeRequest::Same).await.unwrap();
-            vpe.run(|_env| async { -17 }).await.unwrap();
-            vpe.wait().await.unwrap()
-        });
+        let h = start_program(
+            &kernel,
+            "parent",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let vpe = Vpe::new(&env, "failing", PeRequest::Same).await.unwrap();
+                vpe.run(|_env| async { -17 }).await.unwrap();
+                vpe.wait().await.unwrap()
+            },
+        );
         platform.sim().run();
         assert_eq!(h.try_take().unwrap(), -17);
     }

@@ -1,0 +1,33 @@
+//! `cargo run -p m3-lint` — lints the repo and exits nonzero on findings.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Directories (relative to the workspace root) the lint pass walks.
+const ROOTS: &[&str] = &["crates", "src", "tests"];
+
+fn main() -> ExitCode {
+    // The binary lives at crates/lint; the workspace root is two levels up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let repo_root = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let findings = m3_lint::run(&repo_root, ROOTS);
+    if findings.is_empty() {
+        println!(
+            "m3-lint: clean ({} rules over {:?})",
+            m3_lint::RULES.len(),
+            ROOTS
+        );
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        println!("m3-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

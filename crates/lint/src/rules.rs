@@ -1,0 +1,601 @@
+//! The repo-specific rule set and the per-file checking engine.
+//!
+//! Four rule families (DESIGN.md "Static analysis & invariants"):
+//!
+//! - **determinism** — simulation code must be bit-for-bit reproducible
+//!   (DESIGN.md §4.1), so nondeterministically ordered collections, wall
+//!   clocks, OS threads, and seeded-from-entropy RNGs are banned.
+//! - **cost-citation** — every numeric constant in a cost/timing module must
+//!   cite the paper section it was taken from (§4.2).
+//! - **no-unwrap** — kernel, DTU, and filesystem code has a real error type
+//!   (`m3_base::error::Error`); panicking on fallible paths is banned.
+//! - **isolation** — the kernel-only DTU configuration surface (the
+//!   `KernelToken`-gated setters) may only be named inside `crates/kernel`
+//!   (and test code), mirroring the paper's §4.4 isolation argument.
+
+use std::path::Path;
+
+use crate::scan::{identifiers, scan, Line};
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as given to [`check_file`].
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (usable in a suppression).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule identifiers, as accepted by `// m3lint: allow(<rule>): <why>`.
+pub const RULES: &[&str] = &["determinism", "cost-citation", "no-unwrap", "isolation"];
+
+/// Crates whose code runs inside the simulation and must be deterministic.
+const SIM_CRATES: &[&str] = &[
+    "sim", "noc", "dtu", "platform", "kernel", "libos", "fs", "lx", "apps", "bench", "core",
+];
+
+/// Crates where `unwrap()`/`expect()` are banned outside test code.
+const NO_UNWRAP_CRATES: &[&str] = &["kernel", "dtu", "fs"];
+
+/// Identifiers whose mere appearance violates the determinism rule.
+const NONDETERMINISTIC_IDENTS: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "use BTreeMap (sorted, deterministic iteration) instead",
+    ),
+    (
+        "HashSet",
+        "use BTreeSet (sorted, deterministic iteration) instead",
+    ),
+    (
+        "Instant",
+        "use simulated time (Sim::now) instead of the wall clock",
+    ),
+    (
+        "SystemTime",
+        "use simulated time (Sim::now) instead of the wall clock",
+    ),
+    ("thread_rng", "use the seeded m3_base::rand::Rng instead"),
+];
+
+/// The kernel-only DTU configuration surface (isolation rule).
+const KERNEL_ONLY_IDENTS: &[&str] = &[
+    "KernelToken",
+    "claim_kernel_token",
+    "set_privileged",
+    "refill_credits",
+];
+
+/// How a path is classified for rule scoping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// The crate the file belongs to (`"repro"` for the workspace root).
+    pub krate: String,
+    /// Under a `tests/` directory (integration tests).
+    pub in_tests_dir: bool,
+    /// Under a `benches/` directory.
+    pub in_benches_dir: bool,
+    /// Under an `examples/` directory.
+    pub in_examples_dir: bool,
+}
+
+/// Classifies a repo-relative path like `crates/dtu/src/dtu.rs`.
+pub fn classify(path: &Path) -> FileClass {
+    let comps: Vec<&str> = path.iter().filter_map(|c| c.to_str()).collect();
+    let krate = if comps.first() == Some(&"crates") && comps.len() > 1 {
+        comps[1].to_string()
+    } else {
+        "repro".to_string()
+    };
+    FileClass {
+        krate,
+        in_tests_dir: comps.contains(&"tests"),
+        in_benches_dir: comps.contains(&"benches"),
+        in_examples_dir: comps.contains(&"examples"),
+    }
+}
+
+/// A parsed `m3lint: allow(...)` suppression.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rules: Vec<String>,
+    justified: bool,
+    /// Line the suppression was written on.
+    line: usize,
+    /// Whether the comment shares its line with code (suppresses that line)
+    /// or stands alone (suppresses the next line).
+    trailing: bool,
+}
+
+fn parse_suppression(line: &Line) -> Option<Suppression> {
+    // Only a comment that *starts* with the marker is a suppression; prose
+    // that merely mentions the syntax (like this crate's docs) is not.
+    let text = line.comment.trim();
+    let rest = text.strip_prefix("m3lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let open = rest.strip_prefix('(')?;
+    let close = open.find(')')?;
+    let rules: Vec<String> = open[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let after = open[close + 1..].trim_start();
+    let justified = match after.strip_prefix(':') {
+        Some(just) => !just.trim().is_empty(),
+        None => false,
+    };
+    Some(Suppression {
+        rules,
+        justified,
+        line: line.number,
+        trailing: !line.code.trim().is_empty(),
+    })
+}
+
+/// Checks one file's source against every applicable rule.
+///
+/// `path` must be repo-relative (used for rule scoping and reporting).
+pub fn check_file(path: &Path, source: &str) -> Vec<Finding> {
+    let class = classify(path);
+    let lines = scan(source);
+    let file = path.display().to_string();
+
+    // Collect suppressions first: map line number -> suppressed rules.
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for line in &lines {
+        if let Some(sup) = parse_suppression(line) {
+            if !sup.justified {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: sup.line,
+                    rule: "suppression",
+                    message: "m3lint suppression lacks a justification: write \
+                              `// m3lint: allow(<rule>): <why this is sound>`"
+                        .to_string(),
+                });
+            }
+            for r in &sup.rules {
+                if !RULES.contains(&r.as_str()) {
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line: sup.line,
+                        rule: "suppression",
+                        message: format!(
+                            "unknown rule `{r}` in m3lint suppression (known: {})",
+                            RULES.join(", ")
+                        ),
+                    });
+                }
+            }
+            suppressions.push(sup);
+        }
+    }
+    let allowed = |rule: &str, line_no: usize| -> bool {
+        suppressions.iter().any(|s| {
+            s.justified
+                && s.rules.iter().any(|r| r == rule)
+                && ((s.trailing && s.line == line_no) || (!s.trailing && s.line + 1 == line_no))
+        })
+    };
+    let mut push = |rule: &'static str, line_no: usize, message: String| {
+        if !allowed(rule, line_no) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: line_no,
+                rule,
+                message,
+            });
+        }
+    };
+
+    let sim_scope = SIM_CRATES.contains(&class.krate.as_str()) || class.krate == "repro";
+    // Determinism: simulation crates' src/ and benches/ (benches feed the
+    // figures, which must be host-independent). Test code may use hashed
+    // collections for oracles.
+    let determinism_applies = sim_scope && !class.in_tests_dir && !class.in_examples_dir;
+    // Robustness: kernel/dtu/fs src only; tests, benches, examples exempt.
+    let no_unwrap_applies = NO_UNWRAP_CRATES.contains(&class.krate.as_str())
+        && !class.in_tests_dir
+        && !class.in_benches_dir
+        && !class.in_examples_dir;
+    // Isolation: everything except the DTU (definition site), the kernel
+    // (the legitimate user), and test/bench/example code (sanctioned
+    // harnesses standing in for the kernel).
+    let isolation_applies = !matches!(class.krate.as_str(), "dtu" | "kernel" | "lint")
+        && !class.in_tests_dir
+        && !class.in_benches_dir
+        && !class.in_examples_dir;
+    // Cost accounting: any cost/timing module in a simulation crate.
+    let file_name = path.file_name().and_then(|f| f.to_str()).unwrap_or("");
+    let costs_applies = sim_scope && matches!(file_name, "costs.rs" | "timing.rs");
+
+    for line in &lines {
+        if line.in_test {
+            continue;
+        }
+        let idents = identifiers(&line.code);
+
+        if determinism_applies {
+            for (bad, fix) in NONDETERMINISTIC_IDENTS {
+                if idents.contains(bad) {
+                    push(
+                        "determinism",
+                        line.number,
+                        format!("`{bad}` is nondeterministic in simulation code: {fix}"),
+                    );
+                }
+            }
+            if line.code.contains("thread::spawn") || line.code.contains("std::thread") {
+                push(
+                    "determinism",
+                    line.number,
+                    "OS threads break deterministic scheduling: use Sim::spawn tasks instead"
+                        .to_string(),
+                );
+            }
+        }
+
+        if no_unwrap_applies {
+            for bad in ["unwrap", "expect"] {
+                if idents.contains(&bad) && line.code.contains(&format!(".{bad}(")) {
+                    push(
+                        "no-unwrap",
+                        line.number,
+                        format!(
+                            "`.{bad}()` in {} code panics on fallible paths: \
+                             return m3_base::error::Error instead",
+                            class.krate
+                        ),
+                    );
+                }
+            }
+        }
+
+        if isolation_applies {
+            for bad in KERNEL_ONLY_IDENTS {
+                if idents.contains(bad) {
+                    push(
+                        "isolation",
+                        line.number,
+                        format!(
+                            "`{bad}` is part of the kernel-only DTU configuration surface \
+                             (paper §4.4): only crates/kernel and test code may name it"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if costs_applies {
+        check_cost_citations(&file, &lines, &mut findings, &suppressions);
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Every `const` with a numeric initializer in a costs module must carry a
+/// `§`-citation in a comment on the same line or in the doc block above.
+fn check_cost_citations(
+    file: &str,
+    lines: &[Line],
+    findings: &mut Vec<Finding>,
+    suppressions: &[Suppression],
+) {
+    let allowed = |line_no: usize| -> bool {
+        suppressions.iter().any(|s| {
+            s.justified
+                && s.rules.iter().any(|r| r == "cost-citation")
+                && ((s.trailing && s.line == line_no) || (!s.trailing && s.line + 1 == line_no))
+        })
+    };
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim_start();
+        let is_const = code.starts_with("pub const ") || code.starts_with("const ");
+        if !is_const || !line.code.contains('=') {
+            continue;
+        }
+        // Only constants with a numeric literal in the initializer need a
+        // citation (re-exports or derived constants inherit theirs).
+        let init = line.code.split('=').nth(1).unwrap_or("");
+        if !init.chars().any(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        if line.comment.contains('§') {
+            continue;
+        }
+        // Walk the contiguous comment/attribute block above.
+        let mut cited = false;
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            let above = &lines[j];
+            let above_code = above.code.trim();
+            let is_comment_or_attr = above_code.is_empty() || above_code.starts_with("#[");
+            if !is_comment_or_attr {
+                break;
+            }
+            if above.comment.contains('§') {
+                cited = true;
+                break;
+            }
+            if above_code.is_empty() && above.comment.is_empty() {
+                break; // blank line ends the doc block
+            }
+        }
+        if !cited && !allowed(line.number) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line.number,
+                rule: "cost-citation",
+                message: "numeric cost constant without a paper citation: add a \
+                          `§x.y` reference in its doc comment"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        check_file(&PathBuf::from(path), src)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ---------------- determinism ----------------
+
+    #[test]
+    fn determinism_flags_hashmap_in_sim_crate() {
+        let f = check(
+            "crates/sim/src/executor.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert_eq!(rules_of(&f), vec!["determinism"]);
+        assert!(f[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn determinism_flags_instant_and_systemtime() {
+        let f = check(
+            "crates/bench/benches/figures.rs",
+            "let t = Instant::now();\nlet s = SystemTime::now();\n",
+        );
+        assert_eq!(rules_of(&f), vec!["determinism", "determinism"]);
+    }
+
+    #[test]
+    fn determinism_flags_thread_spawn_and_thread_rng() {
+        let f = check(
+            "crates/noc/src/network.rs",
+            "std::thread::spawn(|| {});\nlet r = rand::thread_rng();\n",
+        );
+        assert!(rules_of(&f).contains(&"determinism"));
+        assert!(f.len() >= 2);
+    }
+
+    #[test]
+    fn determinism_ignores_strings_and_comments() {
+        let f = check(
+            "crates/sim/src/lib.rs",
+            "// HashMap would be wrong here\nlet s = \"HashMap\"; /* Instant */\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn determinism_skips_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(check("crates/fs/src/fs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn determinism_not_applied_outside_sim_crates() {
+        let f = check(
+            "crates/lint/src/rules.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn btreemap_is_fine() {
+        let f = check(
+            "crates/sim/src/executor.rs",
+            "use std::collections::BTreeMap;\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    // ---------------- no-unwrap ----------------
+
+    #[test]
+    fn no_unwrap_flags_kernel_dtu_fs() {
+        for krate in ["kernel", "dtu", "fs"] {
+            let f = check(&format!("crates/{krate}/src/x.rs"), "let v = y.unwrap();\n");
+            assert_eq!(rules_of(&f), vec!["no-unwrap"], "{krate}");
+        }
+    }
+
+    #[test]
+    fn no_unwrap_flags_expect() {
+        let f = check("crates/kernel/src/kernel.rs", "y.expect(\"boom\");\n");
+        assert_eq!(rules_of(&f), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn no_unwrap_allows_unwrap_or_and_err_variants() {
+        let src = "a.unwrap_or(0); b.unwrap_or_else(f); c.unwrap_err(); d.unwrap_or_default(); e.expect_err(\"x\");\n";
+        assert!(check("crates/kernel/src/kernel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_skips_tests_and_other_crates() {
+        let src = "let v = y.unwrap();\n";
+        assert!(check("crates/kernel/tests/t.rs", src).is_empty());
+        assert!(check("crates/libos/src/gate.rs", src).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        assert!(check("crates/dtu/src/dtu.rs", test_mod).is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_ignores_doc_examples() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\npub fn f() {}\n";
+        assert!(check("crates/dtu/src/dtu.rs", src).is_empty());
+    }
+
+    // ---------------- cost-citation ----------------
+
+    #[test]
+    fn cost_citation_requires_section_mark() {
+        let src = "/// DRAM access latency.\npub const DRAM: u64 = 40;\n";
+        let f = check("crates/kernel/src/costs.rs", src);
+        assert_eq!(rules_of(&f), vec!["cost-citation"]);
+    }
+
+    #[test]
+    fn cost_citation_satisfied_by_doc_block() {
+        let src = "/// DRAM access latency (paper §4.2, Table 1).\npub const DRAM: u64 = 40;\n";
+        assert!(check("crates/kernel/src/costs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cost_citation_satisfied_by_trailing_comment() {
+        let src = "pub const DRAM: u64 = 40; // §4.2\n";
+        assert!(check("crates/lx/src/costs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cost_citation_applies_to_timing_modules() {
+        let src = "pub const DELIVER: u64 = 3;\n";
+        let f = check("crates/dtu/src/timing.rs", src);
+        assert_eq!(rules_of(&f), vec!["cost-citation"]);
+    }
+
+    #[test]
+    fn cost_citation_ignores_non_numeric_consts() {
+        let src = "pub const NAME: &str = \"m3\";\npub const ALIAS: u64 = OTHER;\n";
+        assert!(check("crates/kernel/src/costs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cost_citation_only_in_cost_modules() {
+        let src = "pub const SLOTS: usize = 8;\n";
+        assert!(check("crates/kernel/src/kernel.rs", src).is_empty());
+    }
+
+    // ---------------- isolation ----------------
+
+    #[test]
+    fn isolation_flags_kernel_surface_outside_kernel() {
+        for ident in [
+            "KernelToken",
+            "claim_kernel_token",
+            "set_privileged",
+            "refill_credits",
+        ] {
+            let src = format!("use m3_dtu::{ident};\n");
+            let f = check("crates/libos/src/gate.rs", &src);
+            assert_eq!(rules_of(&f), vec!["isolation"], "{ident}");
+        }
+    }
+
+    #[test]
+    fn isolation_allows_kernel_dtu_and_tests() {
+        let src = "let t = dtu.claim_kernel_token();\n";
+        assert!(check("crates/kernel/src/kernel.rs", src).is_empty());
+        assert!(check("crates/dtu/src/dtu.rs", src).is_empty());
+        assert!(check("tests/system_integration.rs", src).is_empty());
+        assert!(check("crates/bench/benches/micro.rs", src).is_empty());
+    }
+
+    // ---------------- suppressions ----------------
+
+    #[test]
+    fn trailing_suppression_with_justification() {
+        let src = "let m = HashMap::new(); // m3lint: allow(determinism): oracle only, order never observed\n";
+        assert!(check("crates/sim/src/executor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_line() {
+        let src = "// m3lint: allow(no-unwrap): infallible by construction, len checked above\nlet v = y.unwrap();\n";
+        assert!(check("crates/kernel/src/kernel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_justification_is_rejected() {
+        let src = "let m = HashMap::new(); // m3lint: allow(determinism)\n";
+        let f = check("crates/sim/src/executor.rs", src);
+        let rules = rules_of(&f);
+        assert!(rules.contains(&"suppression"), "{f:?}");
+        assert!(
+            rules.contains(&"determinism"),
+            "unjustified suppression must not suppress"
+        );
+    }
+
+    #[test]
+    fn suppression_with_empty_justification_is_rejected() {
+        let src = "let m = HashMap::new(); // m3lint: allow(determinism):   \n";
+        let f = check("crates/sim/src/executor.rs", src);
+        assert!(rules_of(&f).contains(&"suppression"));
+    }
+
+    #[test]
+    fn suppression_of_unknown_rule_is_rejected() {
+        let src = "// m3lint: allow(nonsense): because\nlet x = 1;\n";
+        let f = check("crates/sim/src/executor.rs", src);
+        assert_eq!(rules_of(&f), vec!["suppression"]);
+    }
+
+    #[test]
+    fn suppression_only_covers_named_rule() {
+        let src = "let m = HashMap::new(); let v = y.unwrap(); // m3lint: allow(determinism): oracle map\n";
+        let f = check("crates/kernel/src/kernel.rs", src);
+        assert_eq!(rules_of(&f), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn suppression_covers_multiple_rules() {
+        let src = "let m = HashMap::new(); let v = y.unwrap(); // m3lint: allow(determinism, no-unwrap): test harness shim\n";
+        assert!(check("crates/kernel/src/kernel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn finding_display_format() {
+        let f = check(
+            "crates/sim/src/executor.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let s = f[0].to_string();
+        assert!(s.contains("crates/sim/src/executor.rs:1:"));
+        assert!(s.contains("[determinism]"));
+    }
+}

@@ -1,0 +1,372 @@
+//! The source scanner: a hand-rolled, line-oriented Rust tokenizer.
+//!
+//! The scanner does *not* parse Rust. It performs exactly the lexical
+//! bookkeeping the rules need and nothing more:
+//!
+//! - string/char/raw-string literals are blanked out of the code channel,
+//!   so `"HashMap"` in a message never trips the determinism rule;
+//! - comments (`//`, `///`, `//!`, and nested `/* */`) are removed from the
+//!   code channel but preserved in a separate comment channel, so
+//!   suppressions and cost citations can live in comments;
+//! - brace depth is tracked to delimit `#[cfg(test)]`-gated items, so rules
+//!   can exempt test-only code.
+
+/// One scanned source line, split into its code and comment channels.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The code on the line with comments removed and literal *contents*
+    /// blanked (quotes retained). Identifier boundaries are preserved.
+    pub code: String,
+    /// The concatenated text of every comment on the line.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// Lexer state that survives across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside a `/* */` comment; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Inside a normal `"` string.
+    Str,
+    /// Inside a raw string with the given number of `#`s.
+    RawStr(u32),
+}
+
+/// Tracks a `#[cfg(test)]` region: the brace depth the gated item opened at.
+#[derive(Debug, Clone, Copy)]
+enum TestRegion {
+    /// Saw the attribute; waiting for the item's opening brace.
+    Pending,
+    /// Inside the gated item; leave when depth drops back to the payload.
+    Open(i64),
+}
+
+/// Scans a whole source file into [`Line`]s.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut mode = Mode::Code;
+    let mut depth: i64 = 0;
+    let mut test_region: Option<TestRegion> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        let n = bytes.len();
+
+        while i < n {
+            let c = bytes[i];
+            match mode {
+                Mode::BlockComment(d) => {
+                    if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        mode = Mode::BlockComment(d + 1);
+                        i += 2;
+                    } else if c == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        mode = if d == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(d - 1)
+                        };
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        i += 2; // skip the escaped character
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' {
+                        // Close only if followed by exactly `hashes` '#'s.
+                        let mut k = 0u32;
+                        while k < hashes
+                            && (i + 1 + k as usize) < n
+                            && bytes[i + 1 + k as usize] == '#'
+                        {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            code.push('"');
+                            mode = Mode::Code;
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                Mode::Code => {
+                    if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+                        comment.push_str(&raw[char_offset(raw, i + 2)..]);
+                        i = n; // rest of the line is a comment
+                    } else if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if c == 'r' && is_raw_string_start(&bytes, i) {
+                        // r"..."  or  r#"..."#  (also reached via b/br below)
+                        let mut hashes = 0u32;
+                        let mut j = i + 1;
+                        while j < n && bytes[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == 'b'
+                        && i + 1 < n
+                        && bytes[i + 1] == '"'
+                        && !prev_is_ident(&bytes, i)
+                    {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 2;
+                    } else if c == 'b'
+                        && i + 1 < n
+                        && bytes[i + 1] == 'r'
+                        && is_raw_string_start(&bytes, i + 1)
+                        && !prev_is_ident(&bytes, i)
+                    {
+                        let mut hashes = 0u32;
+                        let mut j = i + 2;
+                        while j < n && bytes[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == '\'' {
+                        // Char literal or lifetime?
+                        if i + 1 < n && bytes[i + 1] == '\\' {
+                            // '\n', '\'', '\u{..}': skip to the closing quote.
+                            let mut j = i + 2;
+                            while j < n && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push_str("' '");
+                            i = j + 1;
+                        } else if i + 2 < n && bytes[i + 2] == '\'' {
+                            code.push_str("' '");
+                            i += 3;
+                        } else {
+                            // A lifetime; keep the tick so code stays readable.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        if c == '{' {
+                            depth += 1;
+                            if let Some(TestRegion::Pending) = test_region {
+                                test_region = Some(TestRegion::Open(depth - 1));
+                            }
+                        } else if c == '}' {
+                            depth -= 1;
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        let in_test_before = test_region.is_some();
+        // Close the region when its item's closing brace has been consumed.
+        if let Some(TestRegion::Open(entry)) = test_region {
+            if depth <= entry {
+                // The line that closes the region still counts as test code;
+                // clear for the following lines.
+                test_region = None;
+            }
+        }
+        if code.contains("#[cfg(test)]") {
+            test_region = Some(TestRegion::Pending);
+        }
+
+        lines.push(Line {
+            number: idx + 1,
+            code,
+            comment,
+            in_test: in_test_before,
+        });
+    }
+    lines
+}
+
+/// Maps a char index into a byte offset of `s` (lines are short; O(n) is fine).
+fn char_offset(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// Whether `bytes[i] == 'r'` begins a raw string (`r"` or `r#...#"`), rather
+/// than an identifier like `raw` or `for r in ...`.
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    if prev_is_ident(bytes, i) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == '#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == '"' && (j > i + 1 || bytes.get(i + 1) == Some(&'"'))
+}
+
+/// Extracts the identifiers of a code line (string contents already blanked).
+pub fn identifiers(code: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in code.char_indices() {
+        if c.is_alphanumeric() || c == '_' {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            out.push(&code[s..i]);
+        }
+    }
+    if let Some(s) = start {
+        out.push(&code[s..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked() {
+        let lines = scan(r#"let x = "HashMap::new()"; foo();"#);
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("foo()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = scan(r##"let x = r#"Instant::now() "quoted" inside"#; bar();"##);
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.contains("bar()"));
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let lines = scan(r#"let x = b"unwrap()"; baz();"#);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("baz()"));
+    }
+
+    #[test]
+    fn line_comments_move_to_comment_channel() {
+        let lines = scan("let a = 1; // HashMap is fine here\nlet b = 2;");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap is fine here"));
+        assert_eq!(lines[1].code.trim(), "let b = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a(); /* outer /* inner */ still comment */ b();";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("a()"));
+        assert!(lines[0].code.contains("b()"));
+        assert!(!lines[0].code.contains("inner"));
+        assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_tracks_state() {
+        let src = "a();\n/* one\n two HashMap\n three */\nb();";
+        let lines = scan(src);
+        assert!(lines[2].code.is_empty() || !lines[2].code.contains("HashMap"));
+        assert!(lines[2].comment.contains("HashMap"));
+        assert!(lines[4].code.contains("b()"));
+    }
+
+    #[test]
+    fn doc_comment_examples_are_comments() {
+        let src = "/// ```\n/// map.unwrap();\n/// ```\nfn f() {}";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[1].comment.contains("unwrap"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = scan("let c = '\"'; fn f<'a>(x: &'a str) { g('y'); }");
+        // The double-quote char literal must not open a string.
+        assert!(lines[0].code.contains("fn f<'a>"));
+        assert!(lines[0].code.contains("g(' ')"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let lines = scan(r#"let s = "a\"HashMap\""; h();"#);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("h()"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "\
+fn prod() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn prod2() { z.unwrap(); }
+";
+        let lines = scan(src);
+        assert!(!lines[0].in_test, "prod code is not test");
+        assert!(lines[3].in_test, "inside cfg(test) mod");
+        assert!(lines[4].in_test, "closing brace still test");
+        assert!(!lines[5].in_test, "after the mod is prod again");
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn() {
+        let src = "\
+#[cfg(test)]
+fn helper() {
+    body();
+}
+fn prod() {}
+";
+        let lines = scan(src);
+        assert!(lines[2].in_test);
+        assert!(!lines[4].in_test);
+    }
+
+    #[test]
+    fn identifier_extraction() {
+        assert_eq!(
+            identifiers("x.unwrap_or(HashMap::new())"),
+            vec!["x", "unwrap_or", "HashMap", "new"]
+        );
+    }
+}

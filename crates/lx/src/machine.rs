@@ -1,7 +1,7 @@
 //! The Linux machine: one core, caches, tmpfs, and a cooperative scheduler.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::future::Future;
 use std::rc::Rc;
@@ -73,7 +73,7 @@ pub(crate) struct Inner {
     pub(crate) fs: RefCell<Tmpfs>,
     cpu: RefCell<CpuState>,
     cpu_free: Notify,
-    exits: RefCell<HashMap<u32, i64>>,
+    exits: RefCell<BTreeMap<u32, i64>>,
     exit_notify: Notify,
     next_pid: Cell<u32>,
     pub(crate) next_pipe: Cell<u64>,
@@ -109,7 +109,7 @@ impl LxMachine {
                     last_pid: None,
                 }),
                 cpu_free: Notify::new(),
-                exits: RefCell::new(HashMap::new()),
+                exits: RefCell::new(BTreeMap::new()),
                 exit_notify: Notify::new(),
                 next_pid: Cell::new(1),
                 next_pipe: Cell::new(0),

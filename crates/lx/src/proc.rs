@@ -236,11 +236,7 @@ impl LxProc {
     }
 
     /// Releases the CPU until `cond` holds again (used by blocking I/O).
-    pub(crate) async fn block_on<C: Fn() -> bool>(
-        &self,
-        cond: C,
-        notify: &m3_sim::Notify,
-    ) {
+    pub(crate) async fn block_on<C: Fn() -> bool>(&self, cond: C, notify: &m3_sim::Notify) {
         self.m.release_cpu();
         while !cond() {
             notify.wait().await;
@@ -260,12 +256,7 @@ impl LxProc {
         let mut moved = 0u64;
         while moved < len {
             let chunk = (len - moved).min(costs::PAGE_SIZE as u64) as usize;
-            let data = self
-                .m
-                .inner
-                .fs
-                .borrow()
-                .read(src.ino, src.pos, chunk)?;
+            let data = self.m.inner.fs.borrow().read(src.ino, src.pos, chunk)?;
             if data.is_empty() {
                 break;
             }
@@ -280,8 +271,9 @@ impl LxProc {
                 .write(dst.ino, dst.pos, &data)?;
             // Zero freshly allocated pages (§5.4), then the actual copy.
             if new_pages > 0 {
-                let zero_misses =
-                    self.m.touch(Self::file_addr(dst.ino, dst.pos), new_pages as usize * 4096);
+                let zero_misses = self
+                    .m
+                    .touch(Self::file_addr(dst.ino, dst.pos), new_pages as usize * 4096);
                 let zero = self.m.memcpy_cycles(new_pages * 4096, zero_misses);
                 self.m.charge(zero, Charge::Xfer).await;
             }
@@ -358,8 +350,10 @@ impl LxFile {
         m.charge(costs::PAGE_CACHE_OP * blocks, Charge::Os).await;
         let new_pages = m.inner.fs.borrow_mut().write(self.ino, self.pos, data)?;
         if new_pages > 0 {
-            let zero_misses =
-                m.touch(LxProc::file_addr(self.ino, self.pos), new_pages as usize * 4096);
+            let zero_misses = m.touch(
+                LxProc::file_addr(self.ino, self.pos),
+                new_pages as usize * 4096,
+            );
             let zero = m.memcpy_cycles(new_pages * 4096, zero_misses);
             m.charge(zero, Charge::Xfer).await;
         }
@@ -375,7 +369,10 @@ impl LxFile {
     pub async fn seek(&mut self, pos: u64) -> u64 {
         self.proc
             .m
-            .charge(costs::SYSCALL_ENTRY_EXIT + costs::SYSCALL_DISPATCH, Charge::Os)
+            .charge(
+                costs::SYSCALL_ENTRY_EXIT + costs::SYSCALL_DISPATCH,
+                Charge::Os,
+            )
             .await;
         self.pos = pos;
         self.pos
@@ -385,7 +382,10 @@ impl LxFile {
     pub async fn close(self) {
         self.proc
             .m
-            .charge(costs::SYSCALL_ENTRY_EXIT + costs::SYSCALL_DISPATCH, Charge::Os)
+            .charge(
+                costs::SYSCALL_ENTRY_EXIT + costs::SYSCALL_DISPATCH,
+                Charge::Os,
+            )
             .await;
     }
 }

@@ -1,7 +1,7 @@
 //! Transfer scheduling with link contention.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -57,7 +57,7 @@ struct NocInner {
     topo: Topology,
     cfg: NocConfig,
     /// Per-directed-link time until which the link is reserved.
-    busy_until: HashMap<Link, Cycles>,
+    busy_until: BTreeMap<Link, Cycles>,
     stats: Stats,
 }
 
@@ -98,7 +98,7 @@ impl Noc {
             inner: Rc::new(RefCell::new(NocInner {
                 topo,
                 cfg,
-                busy_until: HashMap::new(),
+                busy_until: BTreeMap::new(),
                 stats: Stats::new(),
             })),
         }

@@ -8,7 +8,7 @@ use crate::topology::{Coord, Topology};
 ///
 /// Links are identified by their endpoint coordinates; the two directions of
 /// a physical channel are distinct links (full-duplex, as in typical NoCs).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Link {
     /// Source position.
     pub from: Coord,
@@ -46,7 +46,10 @@ pub fn route(topo: &Topology, src: PeId, dst: PeId) -> Vec<Link> {
             x: if goal.x > cur.x { cur.x + 1 } else { cur.x - 1 },
             y: cur.y,
         };
-        links.push(Link { from: cur, to: next });
+        links.push(Link {
+            from: cur,
+            to: next,
+        });
         cur = next;
     }
     while cur.y != goal.y {
@@ -54,7 +57,10 @@ pub fn route(topo: &Topology, src: PeId, dst: PeId) -> Vec<Link> {
             x: cur.x,
             y: if goal.y > cur.y { cur.y + 1 } else { cur.y - 1 },
         };
-        links.push(Link { from: cur, to: next });
+        links.push(Link {
+            from: cur,
+            to: next,
+        });
         cur = next;
     }
     links

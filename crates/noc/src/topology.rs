@@ -3,7 +3,7 @@
 use m3_base::PeId;
 
 /// A position in the mesh grid.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Coord {
     /// Column, 0-based from the left.
     pub x: u32,

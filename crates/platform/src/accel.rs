@@ -32,7 +32,9 @@ pub fn fft_sw_cycles(points: usize, core: &CoreModel) -> Cycles {
 
 /// Cycles the FFT accelerator takes for `points` points.
 pub fn fft_accel_cycles(points: usize, core: &CoreModel) -> Cycles {
-    Cycles::new((fft_butterflies(points) * core.fft_cycles_per_butterfly).div_ceil(FFT_ACCEL_SPEEDUP))
+    Cycles::new(
+        (fft_butterflies(points) * core.fft_cycles_per_butterfly).div_ceil(FFT_ACCEL_SPEEDUP),
+    )
 }
 
 #[cfg(test)]

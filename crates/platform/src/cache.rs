@@ -40,7 +40,10 @@ impl Cache {
     /// `ways` sets of lines, or any parameter is zero or not a power of two
     /// where required).
     pub fn new(capacity: usize, line_size: usize, ways: usize) -> Cache {
-        assert!(line_size.is_power_of_two() && line_size > 0, "bad line size");
+        assert!(
+            line_size.is_power_of_two() && line_size > 0,
+            "bad line size"
+        );
         assert!(ways > 0, "need at least one way");
         let lines = capacity / line_size;
         assert!(
@@ -61,11 +64,7 @@ impl Cache {
     /// Creates the Linux PE's 64 KiB 4-way data cache with 32-byte lines
     /// (§5.1).
     pub fn lx_data_cache() -> Cache {
-        Cache::new(
-            m3_base::cfg::CACHE_SIZE,
-            m3_base::cfg::CACHE_LINE_SIZE,
-            4,
-        )
+        Cache::new(m3_base::cfg::CACHE_SIZE, m3_base::cfg::CACHE_LINE_SIZE, 4)
     }
 
     /// Accesses one address; returns `true` on a hit. Misses install the

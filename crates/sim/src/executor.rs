@@ -2,17 +2,16 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::task::{Context, Poll, Wake, Waker};
 
 use m3_base::cycles::Cycles;
-use parking_lot::Mutex;
 
 use crate::stats::Stats;
 
@@ -26,6 +25,15 @@ type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 #[derive(Default)]
 struct ReadyQueue {
     queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    /// Locks the queue. The executor is single-threaded, so the lock is
+    /// never contended; a poisoned lock (a panic while pushing a `u64`)
+    /// leaves the queue intact, so recovering the guard is sound.
+    fn lock(&self) -> MutexGuard<'_, VecDeque<TaskId>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 struct TaskWaker {
@@ -42,7 +50,7 @@ impl Wake for TaskWaker {
 
     fn wake_by_ref(self: &Arc<Self>) {
         if !self.queued.swap(true, Ordering::Relaxed) {
-            self.ready.queue.lock().push_back(self.task);
+            self.ready.lock().push_back(self.task);
         }
     }
 }
@@ -107,7 +115,7 @@ struct Inner {
     /// Live tasks that are not daemons; the run loop finishes when this
     /// reaches zero.
     live_regular: usize,
-    tasks: HashMap<TaskId, Task>,
+    tasks: BTreeMap<TaskId, Task>,
     /// Timer wheel: (deadline, sequence) -> waker. `Reverse` makes the
     /// `BinaryHeap` a min-heap; the sequence number keeps same-cycle events in
     /// scheduling order, which is what makes runs deterministic.
@@ -188,7 +196,7 @@ impl Sim {
                 next_task: 0,
                 next_seq: 0,
                 live_regular: 0,
-                tasks: HashMap::new(),
+                tasks: BTreeMap::new(),
                 timers: BinaryHeap::new(),
                 stats: Stats::new(),
                 trace: None,
@@ -250,7 +258,12 @@ impl Sim {
         self.spawn_inner(name, future, true)
     }
 
-    fn spawn_inner<F>(&self, name: impl Into<String>, future: F, daemon: bool) -> JoinHandle<F::Output>
+    fn spawn_inner<F>(
+        &self,
+        name: impl Into<String>,
+        future: F,
+        daemon: bool,
+    ) -> JoinHandle<F::Output>
     where
         F: Future + 'static,
         F::Output: 'static,
@@ -293,7 +306,7 @@ impl Sim {
             daemon,
         });
         drop(inner);
-        self.ready.queue.lock().push_back(id);
+        self.ready.lock().push_back(id);
         handle
     }
 
@@ -303,7 +316,9 @@ impl Sim {
         let deadline = inner.now + delay;
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.timers.push(Reverse((deadline, seq, TimerEntry(waker))));
+        inner
+            .timers
+            .push(Reverse((deadline, seq, TimerEntry(waker))));
     }
 
     /// Suspends the calling task for `delay` simulated cycles.
@@ -350,7 +365,7 @@ impl Sim {
         let limit = self.now() + slack;
         loop {
             loop {
-                let next = self.ready.queue.lock().pop_front();
+                let next = self.ready.lock().pop_front();
                 let Some(id) = next else { break };
                 self.poll_task(id);
             }
@@ -404,7 +419,7 @@ impl Sim {
         loop {
             // Drain the ready queue first: all work at the current instant.
             loop {
-                let next = self.ready.queue.lock().pop_front();
+                let next = self.ready.lock().pop_front();
                 let Some(id) = next else { break };
                 self.poll_task(id);
             }

@@ -70,7 +70,9 @@ impl Stats {
 
 impl fmt::Debug for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map().entries(self.counters.borrow().iter()).finish()
+        f.debug_map()
+            .entries(self.counters.borrow().iter())
+            .finish()
     }
 }
 

@@ -50,7 +50,9 @@ fn main() {
 
         // Both children computed the same spectrum.
         let sw_out = m3_libos::vfs::read_to_vec(&env, "/sw.bin").await.unwrap();
-        let accel_out = m3_libos::vfs::read_to_vec(&env, "/accel.bin").await.unwrap();
+        let accel_out = m3_libos::vfs::read_to_vec(&env, "/accel.bin")
+            .await
+            .unwrap();
         assert_eq!(sw_out, accel_out);
         println!("identical spectra: {} bytes", sw_out.len());
         0

@@ -49,7 +49,9 @@ fn main() {
         mount_m3fs(&env).await.unwrap();
 
         println!("archiving /src ({total} bytes)...");
-        let archived = m3app::tar_create(&env, "/src", "/backup.tar").await.unwrap();
+        let archived = m3app::tar_create(&env, "/src", "/backup.tar")
+            .await
+            .unwrap();
         println!("wrote /backup.tar ({archived} bytes)");
 
         vfs::mkdir(&env, "/restore").await.unwrap();
@@ -60,7 +62,9 @@ fn main() {
         assert_eq!(extracted, total);
 
         // A hard link and some bookkeeping.
-        vfs::link(&env, "/backup.tar", "/backup-again.tar").await.unwrap();
+        vfs::link(&env, "/backup.tar", "/backup-again.tar")
+            .await
+            .unwrap();
 
         println!("\nfilesystem contents:");
         list(&env, "/", 0).await;

@@ -40,7 +40,10 @@ fn main() {
 
         // --- §7: demand-paged virtual memory ------------------------------
         let mut aspace = AddrSpace::new(&env, Perm::RW);
-        aspace.write(3 * PAGE_SIZE + 17, b"paged in on demand").await.unwrap();
+        aspace
+            .write(3 * PAGE_SIZE + 17, b"paged in on demand")
+            .await
+            .unwrap();
         let mut buf = [0u8; 18];
         aspace.read(3 * PAGE_SIZE + 17, &mut buf).await.unwrap();
         println!(
@@ -51,12 +54,14 @@ fn main() {
         );
 
         // --- §4.4.2: device interrupts as messages -------------------------
-        let mut timer =
-            m3_apps::timer_dev::TimerClient::subscribe(&env, Cycles::new(5_000), 3)
-                .await
-                .unwrap();
+        let mut timer = m3_apps::timer_dev::TimerClient::subscribe(&env, Cycles::new(5_000), 3)
+            .await
+            .unwrap();
         while let Some(tick) = timer.wait_tick().await.unwrap() {
-            println!("timer:  interrupt message, tick {tick} at cycle {}", env.sim().now());
+            println!(
+                "timer:  interrupt message, tick {tick} at cycle {}",
+                env.sim().now()
+            );
         }
         0
     });

@@ -20,7 +20,9 @@ fn access_after_revoke_fails_without_collateral_damage() {
         keep.write(0, b"safe").await.unwrap();
         lose.write(0, b"doomed").await.unwrap();
 
-        env.syscall(Syscall::Revoke { sel: lose.sel() }).await.unwrap();
+        env.syscall(Syscall::Revoke { sel: lose.sel() })
+            .await
+            .unwrap();
         let err = lose.read(0, 1).await.unwrap_err();
         assert!(matches!(err.code(), Code::InvEp | Code::InvCap));
 
@@ -116,7 +118,7 @@ fn ringbuffer_overflow_drops_are_counted_not_fatal() {
     let sim = Sim::new();
     let noc = Noc::new(Topology::with_nodes(3), NocConfig::default());
     let dtus = m3_dtu::DtuSystem::new(sim.clone(), noc);
-    let kernel = dtus.dtu(PeId::new(0));
+    let kernel = dtus.dtu(PeId::new(0)).claim_kernel_token().unwrap();
     kernel
         .configure(
             PeId::new(2),
@@ -236,10 +238,7 @@ fn permission_violations_on_derived_memory() {
         assert_eq!(ro.write(0, &[1]).await.unwrap_err().code(), Code::NoPerm);
         assert_eq!(wo.read(0, 1).await.unwrap_err().code(), Code::NoPerm);
         // And neither window can reach beyond its range.
-        assert_eq!(
-            ro.read(4000, 200).await.unwrap_err().code(),
-            Code::InvArgs
-        );
+        assert_eq!(ro.read(4000, 200).await.unwrap_err().code(), Code::InvArgs);
         0
     });
     sys.run();

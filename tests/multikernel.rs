@@ -18,19 +18,17 @@ fn boot_two_partitions() -> (Platform, Kernel, Kernel) {
     let owned_a: Vec<PeId> = (0..4).map(PeId::new).collect();
     let owned_b: Vec<PeId> = (4..8).map(PeId::new).collect();
     let kernel_a = Kernel::start_partition(&platform, PeId::new(0), &owned_a, 0, dram / 2);
-    let kernel_b =
-        Kernel::start_partition(&platform, PeId::new(4), &owned_b, dram / 2, dram / 2);
+    let kernel_b = Kernel::start_partition(&platform, PeId::new(4), &owned_b, dram / 2, dram / 2);
 
     for kernel in [&kernel_a, &kernel_b] {
         let reg = ProgramRegistry::new();
         let info = kernel.create_root("m3fs", None).unwrap();
         let env = Env::new(kernel, &info, reg);
-        platform.sim().spawn_daemon(
-            format!("m3fs@{}", kernel.pe()),
-            async move {
+        platform
+            .sim()
+            .spawn_daemon(format!("m3fs@{}", kernel.pe()), async move {
                 run_m3fs(env, 4096, Vec::new()).await.unwrap();
-            },
-        );
+            });
     }
     (platform, kernel_a, kernel_b)
 }
@@ -39,16 +37,28 @@ fn boot_two_partitions() -> (Platform, Kernel, Kernel) {
 fn both_partitions_serve_their_own_applications() {
     let (platform, kernel_a, kernel_b) = boot_two_partitions();
 
-    let job_a = start_program(&kernel_a, "app-a", None, ProgramRegistry::new(), |env| async move {
-        mount_m3fs(&env).await.unwrap();
-        vfs::write_all(&env, "/who", b"partition A").await.unwrap();
-        vfs::read_to_vec(&env, "/who").await.unwrap().len() as i64
-    });
-    let job_b = start_program(&kernel_b, "app-b", None, ProgramRegistry::new(), |env| async move {
-        mount_m3fs(&env).await.unwrap();
-        vfs::write_all(&env, "/who", b"B").await.unwrap();
-        vfs::read_to_vec(&env, "/who").await.unwrap().len() as i64
-    });
+    let job_a = start_program(
+        &kernel_a,
+        "app-a",
+        None,
+        ProgramRegistry::new(),
+        |env| async move {
+            mount_m3fs(&env).await.unwrap();
+            vfs::write_all(&env, "/who", b"partition A").await.unwrap();
+            vfs::read_to_vec(&env, "/who").await.unwrap().len() as i64
+        },
+    );
+    let job_b = start_program(
+        &kernel_b,
+        "app-b",
+        None,
+        ProgramRegistry::new(),
+        |env| async move {
+            mount_m3fs(&env).await.unwrap();
+            vfs::write_all(&env, "/who", b"B").await.unwrap();
+            vfs::read_to_vec(&env, "/who").await.unwrap().len() as i64
+        },
+    );
 
     platform.sim().run();
     platform.sim().settle(Cycles::new(1_000_000));
@@ -64,12 +74,18 @@ fn partitions_cannot_exhaust_each_others_pes() {
 
     // Partition A: kernel PE + fs PE used; 2 left. Grabbing three VPEs must
     // fail on the third even though partition B has free PEs.
-    let job = start_program(&kernel_a, "greedy", None, ProgramRegistry::new(), |env| async move {
-        let _v1 = Vpe::new(&env, "v1", PeRequest::Same).await.unwrap();
-        let err = Vpe::new(&env, "v2", PeRequest::Same).await.unwrap_err();
-        assert_eq!(err.code(), Code::NoFreePe);
-        0
-    });
+    let job = start_program(
+        &kernel_a,
+        "greedy",
+        None,
+        ProgramRegistry::new(),
+        |env| async move {
+            let _v1 = Vpe::new(&env, "v1", PeRequest::Same).await.unwrap();
+            let err = Vpe::new(&env, "v2", PeRequest::Same).await.unwrap_err();
+            assert_eq!(err.code(), Code::NoFreePe);
+            0
+        },
+    );
     let _keep_b_alive = &kernel_b;
     platform.sim().run();
     platform.sim().settle(Cycles::new(1_000_000));
@@ -81,18 +97,30 @@ fn partitions_cannot_exhaust_each_others_pes() {
 #[test]
 fn partitioned_vpes_land_inside_their_partition() {
     let (platform, kernel_a, kernel_b) = boot_two_partitions();
-    let job_a = start_program(&kernel_a, "a", None, ProgramRegistry::new(), |env| async move {
-        let vpe = Vpe::new(&env, "child", PeRequest::Same).await.unwrap();
-        let pe = vpe.pe().raw() as i64;
-        vpe.revoke().await.unwrap();
-        pe
-    });
-    let job_b = start_program(&kernel_b, "b", None, ProgramRegistry::new(), |env| async move {
-        let vpe = Vpe::new(&env, "child", PeRequest::Same).await.unwrap();
-        let pe = vpe.pe().raw() as i64;
-        vpe.revoke().await.unwrap();
-        pe
-    });
+    let job_a = start_program(
+        &kernel_a,
+        "a",
+        None,
+        ProgramRegistry::new(),
+        |env| async move {
+            let vpe = Vpe::new(&env, "child", PeRequest::Same).await.unwrap();
+            let pe = vpe.pe().raw() as i64;
+            vpe.revoke().await.unwrap();
+            pe
+        },
+    );
+    let job_b = start_program(
+        &kernel_b,
+        "b",
+        None,
+        ProgramRegistry::new(),
+        |env| async move {
+            let vpe = Vpe::new(&env, "child", PeRequest::Same).await.unwrap();
+            let pe = vpe.pe().raw() as i64;
+            vpe.revoke().await.unwrap();
+            pe
+        },
+    );
     platform.sim().run();
     platform.sim().settle(Cycles::new(1_000_000));
     let pe_a = job_a.try_take().unwrap();
@@ -105,20 +133,32 @@ fn partitioned_vpes_land_inside_their_partition() {
 fn dram_partitions_are_disjoint() {
     let (platform, kernel_a, kernel_b) = boot_two_partitions();
     // Exhausting A's half of the DRAM must not affect B's.
-    let job_a = start_program(&kernel_a, "hog", None, ProgramRegistry::new(), |env| async move {
-        // The fs took 4 MiB; grab most of the rest of A's 32 MiB half.
-        let big = m3_libos::MemGate::alloc(&env, 24 << 20, m3_base::Perm::RW).await;
-        assert!(big.is_ok());
-        let too_much = m3_libos::MemGate::alloc(&env, 8 << 20, m3_base::Perm::RW).await;
-        assert_eq!(too_much.map(|_| ()).unwrap_err().code(), Code::OutOfMem);
-        0
-    });
-    let job_b = start_program(&kernel_b, "fine", None, ProgramRegistry::new(), |env| async move {
-        // B still has plenty.
-        let ok = m3_libos::MemGate::alloc(&env, 16 << 20, m3_base::Perm::RW).await;
-        assert!(ok.is_ok());
-        0
-    });
+    let job_a = start_program(
+        &kernel_a,
+        "hog",
+        None,
+        ProgramRegistry::new(),
+        |env| async move {
+            // The fs took 4 MiB; grab most of the rest of A's 32 MiB half.
+            let big = m3_libos::MemGate::alloc(&env, 24 << 20, m3_base::Perm::RW).await;
+            assert!(big.is_ok());
+            let too_much = m3_libos::MemGate::alloc(&env, 8 << 20, m3_base::Perm::RW).await;
+            assert_eq!(too_much.map(|_| ()).unwrap_err().code(), Code::OutOfMem);
+            0
+        },
+    );
+    let job_b = start_program(
+        &kernel_b,
+        "fine",
+        None,
+        ProgramRegistry::new(),
+        |env| async move {
+            // B still has plenty.
+            let ok = m3_libos::MemGate::alloc(&env, 16 << 20, m3_base::Perm::RW).await;
+            assert!(ok.is_ok());
+            0
+        },
+    );
     platform.sim().run();
     platform.sim().settle(Cycles::new(1_000_000));
     assert_eq!(job_a.try_take().unwrap(), 0);

@@ -3,8 +3,7 @@
 
 use m3::{System, SystemConfig};
 use m3_base::error::Code;
-use m3_base::{Cycles, EpId, PeId, Perm};
-use m3_dtu::EpConfig;
+use m3_base::{Cycles, PeId, Perm};
 use m3_fs::{mount_m3fs, SetupNode};
 use m3_kernel::protocol::PeRequest;
 use m3_libos::{vfs, MemGate, Vpe};
@@ -23,23 +22,12 @@ fn noc_level_isolation_is_enforced_after_boot() {
         }
         let dtu = sys.platform().dtu(pe);
         assert!(!dtu.is_privileged(), "{pe} must be downgraded");
-        let err = dtu
-            .configure(
-                pe,
-                EpId::new(2),
-                EpConfig::Receive {
-                    slots: 4,
-                    slot_size: 256,
-                    allow_replies: false,
-                },
-            )
-            .unwrap_err();
+        // The whole configuration surface (configure, set_privileged, …)
+        // lives behind a KernelToken, and a downgraded DTU cannot mint one —
+        // so an application cannot reconfigure endpoints or re-privilege
+        // itself.
+        let err = dtu.claim_kernel_token().unwrap_err();
         assert_eq!(err.code(), Code::NoPerm);
-        // Re-privileging itself is equally impossible.
-        assert_eq!(
-            dtu.set_privileged(pe, true).unwrap_err().code(),
-            Code::NoPerm
-        );
     }
 }
 
@@ -51,15 +39,17 @@ fn three_programs_share_the_filesystem_concurrently() {
     });
     let mut jobs = Vec::new();
     for i in 0..3 {
-        jobs.push(sys.run_program(&format!("writer{i}"), move |env| async move {
-            mount_m3fs(&env).await.unwrap();
-            let path = format!("/file{i}");
-            let data = vec![i as u8; 10_000];
-            vfs::write_all(&env, &path, &data).await.unwrap();
-            let back = vfs::read_to_vec(&env, &path).await.unwrap();
-            assert_eq!(back, data);
-            0
-        }));
+        jobs.push(
+            sys.run_program(&format!("writer{i}"), move |env| async move {
+                mount_m3fs(&env).await.unwrap();
+                let path = format!("/file{i}");
+                let data = vec![i as u8; 10_000];
+                vfs::write_all(&env, &path, &data).await.unwrap();
+                let back = vfs::read_to_vec(&env, &path).await.unwrap();
+                assert_eq!(back, data);
+                0
+            }),
+        );
     }
     sys.run();
     for job in jobs {
@@ -223,13 +213,16 @@ fn exec_loads_program_from_the_filesystem() {
         ],
         ..SystemConfig::default()
     });
-    sys.registry().register("/bin/answer", |_env, argv| async move {
-        argv.first().and_then(|s| s.parse().ok()).unwrap_or(-1)
-    });
+    sys.registry()
+        .register("/bin/answer", |_env, argv| async move {
+            argv.first().and_then(|s| s.parse().ok()).unwrap_or(-1)
+        });
     let job = sys.run_program("spawner", |env| async move {
         mount_m3fs(&env).await.unwrap();
         let vpe = Vpe::new(&env, "answer", PeRequest::Same).await.unwrap();
-        vpe.exec("/bin/answer", vec!["42".to_string()]).await.unwrap();
+        vpe.exec("/bin/answer", vec!["42".to_string()])
+            .await
+            .unwrap();
         vpe.wait().await.unwrap()
     });
     sys.run();
