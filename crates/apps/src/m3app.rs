@@ -29,6 +29,7 @@ pub const FIND_MATCH_CYCLES: u64 = 50;
 ///
 /// Propagates filesystem and pipe errors.
 pub async fn cat_tr(env: &Env, input: &str, output: &str) -> Result<u64> {
+    env.trace_mark("cat_tr");
     let child = Vpe::new(env, "cat", PeRequest::Same).await?;
     let (end, desc) = pipe::create(env, &child, PipeRole::Writer, pipe::DEF_BUF_SIZE).await?;
     let pipe::ParentEnd::Reader(mut reader) = end else {
@@ -102,6 +103,7 @@ pub async fn cat_tr(env: &Env, input: &str, output: &str) -> Result<u64> {
 ///
 /// Propagates filesystem errors.
 pub async fn tar_create(env: &Env, dir: &str, archive: &str) -> Result<u64> {
+    env.trace_mark("tar_create");
     let mut out = vfs::open(env, archive, OpenFlags::CREATE.or(OpenFlags::TRUNC)).await?;
     let mut entries = vfs::read_dir(env, dir).await?;
     entries.sort_by(|a, b| a.name.cmp(&b.name));
@@ -151,6 +153,7 @@ pub async fn tar_create(env: &Env, dir: &str, archive: &str) -> Result<u64> {
 /// Propagates filesystem errors and archive format violations
 /// ([`Code::BadMessage`]).
 pub async fn tar_extract(env: &Env, archive: &str, dest: &str) -> Result<u64> {
+    env.trace_mark("tar_extract");
     let mut ar = vfs::open(env, archive, OpenFlags::R).await?;
     let mut header = vec![0u8; tarfmt::BLOCK];
     let mut buf = vec![0u8; BENCH_BUF_SIZE];
@@ -206,6 +209,7 @@ pub async fn tar_extract(env: &Env, archive: &str, dest: &str) -> Result<u64> {
 ///
 /// Propagates filesystem errors.
 pub async fn find(env: &Env, root: &str, pattern: &str) -> Result<Vec<String>> {
+    env.trace_mark("find");
     let mut matches = Vec::new();
     let mut stack = vec![root.to_string()];
     while let Some(dir) = stack.pop() {
@@ -237,6 +241,7 @@ pub async fn find(env: &Env, root: &str, pattern: &str) -> Result<Vec<String>> {
 ///
 /// Propagates filesystem errors.
 pub async fn sqlite(env: &Env, db_path: &str) -> Result<usize> {
+    env.trace_mark("sqlite");
     let mut db = vfs::open(
         env,
         db_path,

@@ -17,7 +17,7 @@ use m3_libos::pipe::{self, PipeRole, PipeWriter};
 use m3_libos::vfs::{self, OpenFlags};
 use m3_libos::Vpe;
 use m3_lx::{LxConfig, LxMachine};
-use m3_sim::Sim;
+use m3_sim::{Event, Sim};
 
 use crate::report::{Bar, Figure, Group};
 
@@ -53,7 +53,8 @@ fn m3_syscall() -> Bar {
     });
     sys.run();
     let (total, xfer) = out.get();
-    bar("M3", total, xfer)
+    let note = sys.sim().metrics().summary_line(sys.sim().now());
+    bar("M3", total, xfer).with_note(note)
 }
 
 fn lx_syscall(cfg: LxConfig, label: &str) -> Bar {
@@ -76,6 +77,18 @@ fn lx_syscall(cfg: LxConfig, label: &str) -> Bar {
 }
 
 fn m3_file(read: bool) -> Bar {
+    m3_file_run(read, false).0
+}
+
+/// Runs the M3 file benchmark with tracing enabled and returns the recorded
+/// events plus a rendered per-PE metrics snapshot (for export and the
+/// determinism tests).
+pub fn traced_file_read() -> (Vec<Event>, String) {
+    let (_, events, metrics) = m3_file_run(true, true);
+    (events, metrics)
+}
+
+fn m3_file_run(read: bool, trace: bool) -> (Bar, Vec<Event>, String) {
     let setup = if read {
         vec![SetupNode::file(
             "/data",
@@ -90,6 +103,9 @@ fn m3_file(read: bool) -> Bar {
         fs_setup: setup,
         ..SystemConfig::default()
     });
+    if trace {
+        sys.sim().enable_trace();
+    }
     let out = Rc::new(Cell::new((0u64, 0u64)));
     let out2 = out.clone();
     sys.run_program("file-bench", move |env| async move {
@@ -136,7 +152,11 @@ fn m3_file(read: bool) -> Bar {
     });
     sys.run();
     let (total, xfer) = out.get();
-    bar("M3", total, xfer)
+    let sim = sys.sim();
+    let metrics = sim.metrics().render(sim.now());
+    let note = sim.metrics().summary_line(sim.now());
+    let events = sim.trace();
+    (bar("M3", total, xfer).with_note(note), events, metrics)
 }
 
 fn lx_file(cfg: LxConfig, label: &str, read: bool) -> Bar {
@@ -244,7 +264,8 @@ fn m3_pipe() -> Bar {
     });
     sys.run();
     let (total, xfer) = out.get();
-    bar("M3", total, xfer)
+    let note = sys.sim().metrics().summary_line(sys.sim().now());
+    bar("M3", total, xfer).with_note(note)
 }
 
 fn lx_pipe(cfg: LxConfig, label: &str) -> Bar {

@@ -11,6 +11,9 @@ pub struct Bar {
     pub total: u64,
     /// Stacked components, e.g. `[("Xfers", x), ("Other", y)]`.
     pub parts: Vec<(String, u64)>,
+    /// Optional annotation printed after the parts (e.g. a per-PE metrics
+    /// summary from [`m3_sim::Metrics::summary_line`]).
+    pub note: Option<String>,
 }
 
 impl Bar {
@@ -27,7 +30,15 @@ impl Bar {
             label: label.into(),
             total,
             parts,
+            note: None,
         }
+    }
+
+    /// Attaches an annotation shown next to the rendered row.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Bar {
+        self.note = Some(note.into());
+        self
     }
 }
 
@@ -59,13 +70,17 @@ impl Figure {
             for bar in &group.bars {
                 let parts: Vec<String> =
                     bar.parts.iter().map(|(n, v)| format!("{n}={v}")).collect();
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "  {:<8} total={:>12} cycles   {}",
                     bar.label,
                     bar.total,
                     parts.join("  ")
                 );
+                if let Some(note) = &bar.note {
+                    let _ = write!(out, "   [{note}]");
+                }
+                let _ = writeln!(out);
             }
         }
         out
@@ -161,6 +176,20 @@ mod tests {
     }
 
     #[test]
+    fn bar_note_renders_after_parts() {
+        let fig = Figure {
+            title: "Fig X".into(),
+            groups: vec![Group {
+                name: "read".into(),
+                bars: vec![
+                    Bar::with_remainder("M3", 100, vec![], "Other").with_note("util(PE1)=0.42")
+                ],
+            }],
+        };
+        assert!(fig.render().contains("[util(PE1)=0.42]"));
+    }
+
+    #[test]
     fn figure_lookup_and_render() {
         let fig = Figure {
             title: "Fig X".into(),
@@ -170,6 +199,7 @@ mod tests {
                     label: "M3".into(),
                     total: 42,
                     parts: vec![],
+                    note: None,
                 }],
             }],
         };

@@ -10,7 +10,7 @@ use m3_base::error::{Code, Error, Result};
 use m3_base::ids::Label;
 use m3_base::{Cycles, EpId, PeId, Perm};
 use m3_noc::Noc;
-use m3_sim::{Notify, Sim, Stats};
+use m3_sim::{keys, Component, Event, EventKind, Metrics, Notify, Recorder, Sim, Stats};
 
 use crate::endpoint::EpConfig;
 use crate::message::{Header, Message, ReplyInfo};
@@ -68,6 +68,8 @@ pub struct DtuSystem {
     sim: Sim,
     noc: Noc,
     stats: Stats,
+    tracer: Recorder,
+    metrics: Metrics,
     inner: Rc<SystemInner>,
 }
 
@@ -85,8 +87,11 @@ impl DtuSystem {
     /// privileged, mirroring the boot state of the hardware.
     pub fn new(sim: Sim, noc: Noc) -> DtuSystem {
         let count = noc.topology().node_count() as usize;
+        noc.attach(sim.tracer(), sim.metrics());
         DtuSystem {
             stats: sim.stats(),
+            tracer: sim.tracer(),
+            metrics: sim.metrics(),
             sim,
             noc,
             inner: Rc::new(SystemInner {
@@ -151,7 +156,13 @@ impl DtuSystem {
     }
 
     /// Delivers `msg` into the receive EP `(pe, ep)` at the current time.
-    fn deposit(&self, pe: PeId, ep: EpId, mut msg: Message) {
+    ///
+    /// `credit` names the bounded send endpoint that paid for this message,
+    /// if any: when the deposit fails, that credit is refunded on the spot,
+    /// because a dropped message can never be replied to (the reply path is
+    /// the normal refill, §4.4.3) and the sender would otherwise be starved
+    /// for good.
+    fn deposit(&self, pe: PeId, ep: EpId, mut msg: Message, credit: Option<(PeId, EpId)>) {
         let mut pes = self.inner.pes.borrow_mut();
         let state = &mut pes[pe.idx()];
         let allow_replies = match state.eps.get(ep.idx()) {
@@ -172,11 +183,26 @@ impl DtuSystem {
         };
         if rb.deposit(msg) {
             self.stats.incr("dtu.msgs_delivered");
+            self.metrics
+                .observe(pe, keys::RING_OCCUPANCY, rb.occupied() as u64);
             let arrival = state.arrival.clone();
             drop(pes);
             arrival.notify_all();
         } else {
             self.stats.incr("dtu.msgs_dropped");
+            self.metrics.incr(pe, keys::DTU_DROPS);
+            let at = self.sim.now();
+            self.tracer.record_with(|| Event {
+                at,
+                dur: Cycles::ZERO,
+                pe: Some(pe),
+                comp: Component::Dtu,
+                kind: EventKind::MsgDrop { ep },
+            });
+            drop(pes);
+            if let Some((sender_pe, sender_ep)) = credit {
+                self.refill_credit(sender_pe, sender_ep);
+            }
         }
     }
 
@@ -193,14 +219,21 @@ impl DtuSystem {
         }
     }
 
-    fn spawn_delivery(&self, at: Cycles, target_pe: PeId, target_ep: EpId, msg: Message) {
+    fn spawn_delivery(
+        &self,
+        at: Cycles,
+        target_pe: PeId,
+        target_ep: EpId,
+        msg: Message,
+        credit: Option<(PeId, EpId)>,
+    ) {
         let seq = self.inner.next_deposit.get();
         self.inner.next_deposit.set(seq + 1);
         let sys = self.clone();
         let sim = self.sim.clone();
         self.sim.spawn(format!("dtu-deliver-{seq}"), async move {
             sim.sleep_until(at).await;
-            sys.deposit(target_pe, target_ep, msg);
+            sys.deposit(target_pe, target_ep, msg, credit);
         });
     }
 
@@ -351,7 +384,7 @@ impl Dtu {
         Self::check_ep(ep)?;
         self.sys.sim.sleep(timing::CMD_ISSUE).await;
 
-        let (target_pe, target_ep, label) = {
+        let (target_pe, target_ep, label, bounded) = {
             let mut pes = self.sys.inner.pes.borrow_mut();
             let state = &mut pes[self.pe.idx()];
             let (pe, tep, label, bounded, max_payload) = match &state.eps[ep.idx()] {
@@ -373,11 +406,21 @@ impl Dtu {
             if bounded {
                 let cur = state.credits.entry(ep).or_insert(0);
                 if *cur == 0 {
+                    drop(pes);
+                    self.sys.metrics.incr(self.pe, keys::CREDIT_STALLS);
+                    let at = self.sys.sim.now();
+                    self.sys.tracer.record_with(|| Event {
+                        at,
+                        dur: Cycles::ZERO,
+                        pe: Some(self.pe),
+                        comp: Component::Dtu,
+                        kind: EventKind::CreditStall { ep },
+                    });
                     return Err(Error::new(Code::NoCredits));
                 }
                 *cur -= 1;
             }
-            (pe, tep, label)
+            (pe, tep, label, bounded)
         };
 
         let msg = Message {
@@ -404,7 +447,28 @@ impl Dtu {
             .stats
             .add("dtu.msg_cycles", (t.completes_at - now).as_u64());
         self.sys
-            .spawn_delivery(t.completes_at + timing::DELIVER, target_pe, target_ep, msg);
+            .metrics
+            .add(self.pe, keys::DTU_BUSY, (t.completes_at - now).as_u64());
+        self.sys.tracer.record_with(|| Event {
+            at: now,
+            dur: t.completes_at + timing::DELIVER - now,
+            pe: Some(self.pe),
+            comp: Component::Dtu,
+            kind: EventKind::MsgSend {
+                ep,
+                dst_pe: target_pe,
+                dst_ep: target_ep,
+                bytes: wire,
+            },
+        });
+        let credit = if bounded { Some((self.pe, ep)) } else { None };
+        self.sys.spawn_delivery(
+            t.completes_at + timing::DELIVER,
+            target_pe,
+            target_ep,
+            msg,
+            credit,
+        );
         Ok(())
     }
 
@@ -440,11 +504,26 @@ impl Dtu {
         self.sys
             .stats
             .add("dtu.msg_cycles", (t.completes_at - now).as_u64());
+        self.sys
+            .metrics
+            .add(self.pe, keys::DTU_BUSY, (t.completes_at - now).as_u64());
+        self.sys.tracer.record_with(|| Event {
+            at: now,
+            dur: t.completes_at + timing::DELIVER - now,
+            pe: Some(self.pe),
+            comp: Component::Dtu,
+            kind: EventKind::MsgReply {
+                dst_pe: rinfo.pe,
+                bytes: wire,
+            },
+        });
+        // Replies consume no credit, so a dropped reply refunds nothing.
         self.sys.spawn_delivery(
             t.completes_at + timing::DELIVER,
             rinfo.pe,
             rinfo.ep,
             reply_msg,
+            None,
         );
         self.sys
             .spawn_credit_refill(t.completes_at, rinfo.pe, rinfo.credit_ep);
@@ -504,6 +583,9 @@ impl Dtu {
         match state.ringbufs.get_mut(&ep) {
             Some(rb) => {
                 rb.ack();
+                self.sys
+                    .metrics
+                    .observe(self.pe, keys::RING_OCCUPANCY, rb.occupied() as u64);
                 Ok(())
             }
             None => Err(Error::new(Code::InvEp).with_msg(format!("{ep} is not a receive EP"))),
@@ -553,6 +635,21 @@ impl Dtu {
         self.sys
             .stats
             .add("dtu.xfer_cycles", (data_xfer.completes_at - now).as_u64());
+        self.sys.metrics.add(
+            self.pe,
+            keys::DTU_BUSY,
+            (data_xfer.completes_at - now).as_u64(),
+        );
+        self.sys.tracer.record_with(|| Event {
+            at: now,
+            dur: data_xfer.completes_at - now,
+            pe: Some(self.pe),
+            comp: Component::Dtu,
+            kind: EventKind::MemXfer {
+                write: false,
+                bytes: len as u64,
+            },
+        });
 
         let mems = self.sys.inner.mems.borrow();
         let mem = mems
@@ -582,6 +679,21 @@ impl Dtu {
         self.sys
             .stats
             .add("dtu.xfer_cycles", (xfer.completes_at + lat - now).as_u64());
+        self.sys.metrics.add(
+            self.pe,
+            keys::DTU_BUSY,
+            (xfer.completes_at + lat - now).as_u64(),
+        );
+        self.sys.tracer.record_with(|| Event {
+            at: now,
+            dur: xfer.completes_at + lat - now,
+            pe: Some(self.pe),
+            comp: Component::Dtu,
+            kind: EventKind::MemXfer {
+                write: true,
+                bytes: data.len() as u64,
+            },
+        });
 
         let mems = self.sys.inner.mems.borrow();
         let mem = mems
@@ -975,6 +1087,109 @@ mod tests {
         sim.run();
         assert_eq!(stats.get("dtu.msgs_delivered"), 2);
         assert_eq!(stats.get("dtu.msgs_dropped"), 2);
+    }
+
+    #[test]
+    fn dropped_message_refunds_sender_credit() {
+        // Regression: a dropped message used to consume the sender's credit
+        // forever (no reply would ever refill it), starving the sender.
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        // One slot, two credits: the second in-flight message is dropped.
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(1, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, Some(2)))
+            .unwrap();
+        let sender = sys.dtu(PeId::new(1));
+        let stats = sim.stats();
+        let sim2 = sim.clone();
+        let h = sim.spawn("sender", async move {
+            sender.send(EpId::new(0), b"a", None).await.unwrap();
+            sender.send(EpId::new(0), b"b", None).await.unwrap(); // dropped
+            sim2.sleep(Cycles::new(10_000)).await; // let deliveries land
+                                                   // The drop must hand the credit back: this third send would
+                                                   // fail with NoCredits if the credit leaked.
+            sender.send(EpId::new(0), b"c", None).await.unwrap(); // dropped too
+            sim2.sleep(Cycles::new(10_000)).await;
+            sender.credits(EpId::new(0))
+        });
+        sim.run();
+        assert_eq!(stats.get("dtu.msgs_delivered"), 1);
+        assert_eq!(stats.get("dtu.msgs_dropped"), 2);
+        // Both dropped sends were refunded; the delivered one was not.
+        assert_eq!(h.try_take().unwrap(), Some(1));
+        let metrics = sim.metrics();
+        assert_eq!(metrics.get(PeId::new(2), m3_sim::keys::DTU_DROPS), 2);
+    }
+
+    #[test]
+    fn metrics_track_ring_occupancy_and_trace_captures_messages() {
+        let (sim, sys) = setup(3);
+        sim.enable_trace();
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, true))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, Some(4)))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(1), recv_cfg(4, false))
+            .unwrap();
+        let receiver = sys.dtu(PeId::new(2));
+        sim.spawn("server", async move {
+            let msg = receiver.recv(EpId::new(0)).await.unwrap();
+            receiver.reply(&msg, b"ok").await.unwrap();
+            receiver.ack(EpId::new(0)).unwrap();
+        });
+        let sender = sys.dtu(PeId::new(1));
+        sim.spawn("client", async move {
+            sender
+                .send(EpId::new(0), b"req", Some((EpId::new(1), 0)))
+                .await
+                .unwrap();
+            sender.recv(EpId::new(1)).await.unwrap();
+            sender.ack(EpId::new(1)).unwrap();
+        });
+        sim.run();
+
+        let metrics = sim.metrics();
+        let occ = metrics
+            .histogram(PeId::new(2), m3_sim::keys::RING_OCCUPANCY)
+            .expect("receiver ring occupancy observed");
+        // Deposit saw 1 slot occupied; the ack saw it drop back to 0.
+        assert_eq!(occ.max(), 1);
+        assert_eq!(occ.min(), 0);
+        assert!(metrics.get(PeId::new(1), m3_sim::keys::DTU_BUSY) > 0);
+
+        let tags: Vec<&str> = sim.trace().iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"msg_send"), "{tags:?}");
+        assert!(tags.contains(&"msg_reply"), "{tags:?}");
+        assert!(tags.contains(&"noc_xfer"), "{tags:?}");
+    }
+
+    #[test]
+    fn exhausted_credits_count_as_stall() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(8, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, Some(1)))
+            .unwrap();
+        let sender = sys.dtu(PeId::new(1));
+        sim.spawn("sender", async move {
+            sender.send(EpId::new(0), b"1", None).await.unwrap();
+            sender.send(EpId::new(0), b"2", None).await.unwrap_err();
+        });
+        sim.run();
+        assert_eq!(
+            sim.metrics().get(PeId::new(1), m3_sim::keys::CREDIT_STALLS),
+            1
+        );
     }
 
     #[test]

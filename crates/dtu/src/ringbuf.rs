@@ -213,4 +213,94 @@ mod tests {
     fn zero_slots_panics() {
         RingBuf::new(0, 512);
     }
+
+    #[test]
+    #[should_panic(expected = "ack without")]
+    fn ack_before_any_fetch_panics() {
+        // Even with messages queued, nothing was fetched yet.
+        let mut rb = RingBuf::new(4, 512);
+        rb.deposit(msg(0, 8));
+        rb.deposit(msg(1, 8));
+        rb.ack();
+    }
+
+    #[test]
+    #[should_panic(expected = "ack without")]
+    fn double_ack_cannot_underflow_occupied() {
+        let mut rb = RingBuf::new(4, 512);
+        rb.deposit(msg(0, 8));
+        rb.fetch().unwrap();
+        rb.ack();
+        assert_eq!(rb.occupied(), 0);
+        rb.ack(); // nothing fetched is outstanding: must panic, not wrap
+    }
+
+    #[test]
+    fn deposit_exactly_slot_size_fits() {
+        let mut rb = RingBuf::new(2, 64);
+        let exact = msg(0, 64 - m3_base::cfg::MSG_HEADER_SIZE);
+        assert_eq!(exact.wire_size(), 64);
+        assert!(rb.deposit(exact), "wire_size == slot_size must fit");
+        let over = msg(1, 64 - m3_base::cfg::MSG_HEADER_SIZE + 1);
+        assert!(!rb.deposit(over), "one byte over must drop");
+        assert_eq!(rb.dropped(), 1);
+    }
+
+    /// Property test: across random deposit/fetch/ack interleavings the
+    /// invariants hold — `occupied` counts queued plus fetched-but-unacked
+    /// slots, never exceeds `slots`, and accepted deposits always fit.
+    #[test]
+    fn random_ops_preserve_invariants() {
+        let mut rng = m3_base::rand::Rng::new(0x5eed_0001);
+        for round in 0..50 {
+            let slots = 1 + rng.next_below(7) as usize;
+            let slot_size = 64 + rng.next_below(4) as usize * 64;
+            let mut rb = RingBuf::new(slots, slot_size);
+            let mut queued = 0usize;
+            let mut fetched_unacked = 0usize;
+            let mut deposited = 0u64;
+            let mut dropped = 0u64;
+            for op in 0..200u64 {
+                match rng.next_below(3) {
+                    0 => {
+                        let payload = rng
+                            .next_below((slot_size - m3_base::cfg::MSG_HEADER_SIZE) as u64 + 16)
+                            as usize;
+                        let m = msg(op, payload);
+                        let fits = m.wire_size() <= slot_size && queued + fetched_unacked < slots;
+                        assert_eq!(
+                            rb.deposit(m),
+                            fits,
+                            "round {round} op {op}: deposit acceptance"
+                        );
+                        if fits {
+                            queued += 1;
+                            deposited += 1;
+                        } else {
+                            dropped += 1;
+                        }
+                    }
+                    1 => {
+                        let got = rb.fetch();
+                        assert_eq!(got.is_some(), queued > 0);
+                        if got.is_some() {
+                            queued -= 1;
+                            fetched_unacked += 1;
+                        }
+                    }
+                    _ => {
+                        if fetched_unacked > 0 {
+                            rb.ack();
+                            fetched_unacked -= 1;
+                        }
+                    }
+                }
+                assert_eq!(rb.occupied(), queued + fetched_unacked);
+                assert!(rb.occupied() <= slots);
+                assert_eq!(rb.dropped(), dropped);
+                assert_eq!(rb.has_message(), queued > 0);
+            }
+            assert!(deposited + dropped > 0);
+        }
+    }
 }

@@ -74,6 +74,21 @@ pub enum MetaRequest {
 }
 
 impl MetaRequest {
+    /// The request name, for tracing and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetaRequest::Open { .. } => "Open",
+            MetaRequest::Close { .. } => "Close",
+            MetaRequest::Stat { .. } => "Stat",
+            MetaRequest::Mkdir { .. } => "Mkdir",
+            MetaRequest::Rmdir { .. } => "Rmdir",
+            MetaRequest::Unlink { .. } => "Unlink",
+            MetaRequest::Link { .. } => "Link",
+            MetaRequest::ReadDir { .. } => "ReadDir",
+            MetaRequest::Fsck => "Fsck",
+        }
+    }
+
     /// Marshals the request.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut os = OStream::with_capacity(64);

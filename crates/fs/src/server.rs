@@ -16,6 +16,7 @@ use m3_base::{Cycles, Perm, SelId};
 use m3_kernel::protocol::Syscall;
 use m3_libos::serv::{self, Handler};
 use m3_libos::{Env, MemGate, RecvGate};
+use m3_sim::{Component, Event, EventKind};
 
 use crate::fs::FsCore;
 use crate::proto::{
@@ -243,10 +244,22 @@ async fn meta_loop(env: Env, state: Rc<RefCell<State>>, _mem: Rc<MemGate>, rgate
         let Ok(msg) = rgate.recv().await else { return };
         let ident = msg.header.label;
         env.compute(m3_libos::costs::SERV_DISPATCH).await;
-        let (reply, cost) = match MetaRequest::from_bytes(&msg.payload) {
-            Err(e) => (MetaReply::err(e.code()), Cycles::ZERO),
-            Ok(req) => handle_meta(&state, ident, req),
+        let (reply, cost, op) = match MetaRequest::from_bytes(&msg.payload) {
+            Err(e) => (MetaReply::err(e.code()), Cycles::ZERO, "BadMessage"),
+            Ok(req) => {
+                let op = req.name();
+                let (reply, cost) = handle_meta(&state, ident, req);
+                (reply, cost, op)
+            }
         };
+        let at = env.sim().now();
+        env.sim().tracer().record_with(|| Event {
+            at,
+            dur: cost,
+            pe: Some(env.pe()),
+            comp: Component::Fs,
+            kind: EventKind::FsRequest { op: op.to_string() },
+        });
         env.compute(cost).await;
         let _ = rgate.reply(&msg, &reply.to_bytes()).await;
     }

@@ -10,7 +10,7 @@ use m3_base::marshal::OStream;
 use m3_base::{EpId, PeId, Perm, SelId, VpeId};
 use m3_dtu::{Dtu, EpConfig, KernelToken, Message};
 use m3_platform::{PeType, Platform};
-use m3_sim::{Notify, Sim};
+use m3_sim::{Component, Event, EventKind, Notify, Sim};
 
 use crate::cap::{CapTable, Capability, DerivationTree, KObject, MGateObj, RGateObj, SGateObj};
 use crate::costs;
@@ -305,6 +305,16 @@ impl Kernel {
                     continue;
                 }
             };
+            let at = self.sim.now();
+            self.sim.tracer().record_with(|| Event {
+                at,
+                dur: m3_base::Cycles::ZERO,
+                pe: Some(self.pe),
+                comp: Component::Kernel,
+                kind: EventKind::Syscall {
+                    opcode: call.name().to_string(),
+                },
+            });
 
             match call {
                 // Calls that may block detach into their own task so the

@@ -267,6 +267,29 @@ mod op {
 }
 
 impl Syscall {
+    /// The opcode name, for tracing and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Syscall::Noop => "Noop",
+            Syscall::CreateRGate { .. } => "CreateRGate",
+            Syscall::CreateSGate { .. } => "CreateSGate",
+            Syscall::AllocMem { .. } => "AllocMem",
+            Syscall::DeriveMem { .. } => "DeriveMem",
+            Syscall::CreateVpe { .. } => "CreateVpe",
+            Syscall::VpeStart { .. } => "VpeStart",
+            Syscall::VpeWait { .. } => "VpeWait",
+            Syscall::Activate { .. } => "Activate",
+            Syscall::CreateSrv { .. } => "CreateSrv",
+            Syscall::OpenSess { .. } => "OpenSess",
+            Syscall::ExchangeSess { .. } => "ExchangeSess",
+            Syscall::Exchange { .. } => "Exchange",
+            Syscall::Revoke { .. } => "Revoke",
+            Syscall::Exit { .. } => "Exit",
+            Syscall::Translate { .. } => "Translate",
+            Syscall::Unmap { .. } => "Unmap",
+        }
+    }
+
     /// Marshals the call into message payload bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut os = OStream::with_capacity(64);

@@ -172,6 +172,10 @@ impl Env {
     /// Models `cycles` of local computation (OS/library work; not shown as
     /// application time in the figure breakdowns).
     pub async fn compute(&self, cycles: Cycles) {
+        self.inner
+            .sim
+            .metrics()
+            .add(self.pe(), m3_sim::keys::PE_BUSY, cycles.as_u64());
         self.inner.sim.sleep(cycles).await;
     }
 
@@ -179,7 +183,27 @@ impl Env {
     /// `m3.app_cycles` for the Figure 5/7 breakdowns.
     pub async fn compute_app(&self, cycles: Cycles) {
         self.inner.sim.stats().add("m3.app_cycles", cycles.as_u64());
+        self.inner
+            .sim
+            .metrics()
+            .add(self.pe(), m3_sim::keys::PE_BUSY, cycles.as_u64());
         self.inner.sim.sleep(cycles).await;
+    }
+
+    /// Drops an application-level phase marker into the trace (free when
+    /// tracing is disabled; never advances simulated time).
+    pub fn trace_mark(&self, what: &str) {
+        let at = self.inner.sim.now();
+        let tracer = self.inner.sim.tracer();
+        tracer.record_with(|| m3_sim::Event {
+            at,
+            dur: Cycles::ZERO,
+            pe: Some(self.pe()),
+            comp: m3_sim::Component::App,
+            kind: m3_sim::EventKind::AppMark {
+                what: what.to_string(),
+            },
+        });
     }
 
     /// Performs a system call: marshal, send to the kernel PE, wait for the
@@ -301,6 +325,31 @@ mod tests {
         // Let the kernel process the in-flight Exit message.
         platform.sim().settle(m3_base::Cycles::new(10_000));
         assert_eq!(kernel.free_pes(), 2);
+    }
+
+    #[test]
+    fn compute_drives_pe_busy_and_utilization() {
+        let platform = Platform::new(PlatformConfig::xtensa(3));
+        let kernel = Kernel::start(&platform, PeId::new(0));
+        let h = start_program(
+            &kernel,
+            "worker",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                env.trace_mark("phase1");
+                env.compute_app(Cycles::new(600)).await;
+                // Idle for a stretch so utilisation is strictly below 1.
+                env.sim().sleep(Cycles::new(600)).await;
+                env.pe().raw() as i64
+            },
+        );
+        platform.sim().run();
+        let pe = PeId::new(h.try_take().unwrap() as u32);
+        let metrics = platform.sim().metrics();
+        assert!(metrics.get(pe, m3_sim::keys::PE_BUSY) >= 600);
+        let util = metrics.utilization(pe, platform.sim().now());
+        assert!(util > 0.0 && util < 1.0, "utilization {util}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use m3_base::marshal::{IStream, OStream};
 use m3_base::{EpId, Perm, SelId};
 use m3_dtu::Message;
 use m3_kernel::protocol::Syscall;
+use m3_sim::{Component, Event, EventKind};
 
 use crate::costs;
 use crate::env::Env;
@@ -299,6 +300,17 @@ impl PipeReader {
         let n = (buf.len() as u64).min(len - consumed);
         let data = self.mem.read(pos + consumed, n as usize).await?;
         buf[..n as usize].copy_from_slice(&data);
+        let at = self.env.sim().now();
+        self.env.sim().tracer().record_with(|| Event {
+            at,
+            dur: m3_base::Cycles::ZERO,
+            pe: Some(self.env.pe()),
+            comp: Component::Pipe,
+            kind: EventKind::PipeXfer {
+                write: false,
+                bytes: n,
+            },
+        });
         let consumed = consumed + n;
         if consumed == len {
             // Chunk done: the reply returns the space and refills one
@@ -446,6 +458,17 @@ impl PipeWriter {
             self.sgate
                 .send(os.as_bytes(), Some((&self.reply_gate, 0)))
                 .await?;
+            let at = self.env.sim().now();
+            self.env.sim().tracer().record_with(|| Event {
+                at,
+                dur: m3_base::Cycles::ZERO,
+                pe: Some(self.env.pe()),
+                comp: Component::Pipe,
+                kind: EventKind::PipeXfer {
+                    write: true,
+                    bytes: n,
+                },
+            });
             self.outstanding.push_back(n);
             self.in_flight += n;
             self.wpos += n;

@@ -120,8 +120,8 @@ pub fn scan(source: &str) -> Vec<Line> {
                         code.push('"');
                         mode = Mode::Str;
                         i += 1;
-                    } else if c == 'r' && is_raw_string_start(&bytes, i) {
-                        // r"..."  or  r#"..."#  (also reached via b/br below)
+                    } else if c == 'r' && !prev_is_ident(&bytes, i) && is_raw_quote(&bytes, i) {
+                        // r"..."  or  r#"..."#
                         let mut hashes = 0u32;
                         let mut j = i + 1;
                         while j < n && bytes[j] == '#' {
@@ -142,9 +142,11 @@ pub fn scan(source: &str) -> Vec<Line> {
                     } else if c == 'b'
                         && i + 1 < n
                         && bytes[i + 1] == 'r'
-                        && is_raw_string_start(&bytes, i + 1)
                         && !prev_is_ident(&bytes, i)
+                        && is_raw_quote(&bytes, i + 1)
                     {
+                        // br"..."  or  br#"..."#: the check must ignore the
+                        // 'b' before the 'r', which `is_raw_quote` does.
                         let mut hashes = 0u32;
                         let mut j = i + 2;
                         while j < n && bytes[j] == '#' {
@@ -223,17 +225,17 @@ fn prev_is_ident(bytes: &[char], i: usize) -> bool {
     i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
 }
 
-/// Whether `bytes[i] == 'r'` begins a raw string (`r"` or `r#...#"`), rather
-/// than an identifier like `raw` or `for r in ...`.
-fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
-    if prev_is_ident(bytes, i) {
-        return false;
-    }
+/// Whether the `r` at `bytes[i]` is followed by a raw-string quote (`"`,
+/// possibly behind `#`s). Deliberately ignores what *precedes* the `r`: the
+/// caller decides whether the position is a valid prefix, so this also works
+/// for the `r` inside a `br"..."` byte raw string (where the previous
+/// character is the identifier-like `b`).
+fn is_raw_quote(bytes: &[char], i: usize) -> bool {
     let mut j = i + 1;
     while j < bytes.len() && bytes[j] == '#' {
         j += 1;
     }
-    j < bytes.len() && bytes[j] == '"' && (j > i + 1 || bytes.get(i + 1) == Some(&'"'))
+    j < bytes.len() && bytes[j] == '"'
 }
 
 /// Extracts the identifiers of a code line (string contents already blanked).
@@ -279,6 +281,53 @@ mod tests {
         let lines = scan(r#"let x = b"unwrap()"; baz();"#);
         assert!(!lines[0].code.contains("unwrap"));
         assert!(lines[0].code.contains("baz()"));
+    }
+
+    #[test]
+    fn hashless_raw_strings_are_blanked() {
+        // r"...": backslashes are literal, so the trailing `\` must not be
+        // treated as an escape that swallows the closing quote.
+        let lines = scan(r#"let x = r"HashMap\"; qux();"#);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("qux()"));
+    }
+
+    #[test]
+    fn hashed_raw_strings_close_only_on_matching_hashes() {
+        let lines = scan(r##"let x = r#"Instant "inner" still"#; quux();"##);
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(!lines[0].code.contains("inner"));
+        assert!(lines[0].code.contains("quux()"));
+    }
+
+    #[test]
+    fn byte_raw_strings_are_blanked() {
+        // Regression: `br"..."` used to be lexed as the identifier `br`
+        // followed by a *normal* string, so the literal backslash was taken
+        // as an escape and the scanner swallowed the closing quote.
+        let lines = scan(r#"let x = br"SystemTime\"; corge();"#);
+        assert!(!lines[0].code.contains("SystemTime"));
+        assert!(lines[0].code.contains("corge()"));
+    }
+
+    #[test]
+    fn hashed_byte_raw_strings_are_blanked() {
+        // Regression: under the old lexing, the first `"` inside a
+        // `br#"..."#` literal ended the (mis-detected) normal string and
+        // leaked the rest of the content into the code channel.
+        let lines = scan(r##"let x = br#"thread_rng "quoted" inside"#; grault();"##);
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(!lines[0].code.contains("quoted"));
+        assert!(!lines[0].code.contains("inside"));
+        assert!(lines[0].code.contains("grault()"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_does_not_open_a_raw_string() {
+        let lines = scan("let fair = br; for r in xs { y(); }");
+        assert!(lines[0].code.contains("fair"));
+        assert!(lines[0].code.contains("br"));
+        assert!(lines[0].code.contains("y()"));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use m3_base::cycles::{transfer_time, Cycles};
 use m3_base::PeId;
-use m3_sim::Stats;
+use m3_sim::{keys, Component, Event, EventKind, Metrics, Recorder, Stats};
 
 use crate::routing::{route, Link};
 use crate::topology::Topology;
@@ -59,6 +59,10 @@ struct NocInner {
     /// Per-directed-link time until which the link is reserved.
     busy_until: BTreeMap<Link, Cycles>,
     stats: Stats,
+    /// Event sink; a detached (disabled) recorder until [`Noc::attach`].
+    tracer: Recorder,
+    /// Per-PE metrics; a detached bag until [`Noc::attach`].
+    metrics: Metrics,
 }
 
 /// The network-on-chip: schedules transfers between mesh nodes.
@@ -100,8 +104,19 @@ impl Noc {
                 cfg,
                 busy_until: BTreeMap::new(),
                 stats: Stats::new(),
+                tracer: Recorder::new(),
+                metrics: Metrics::new(),
             })),
         }
+    }
+
+    /// Connects this NoC to a simulation's event recorder and metrics bag
+    /// (done by the DTU fabric on construction). Until attached, events go
+    /// to a detached disabled recorder and metrics to a private bag.
+    pub fn attach(&self, tracer: Recorder, metrics: Metrics) {
+        let mut inner = self.inner.borrow_mut();
+        inner.tracer = tracer;
+        inner.metrics = metrics;
     }
 
     /// The topology this NoC runs on.
@@ -171,6 +186,27 @@ impl Noc {
         inner.stats.incr("noc.transfers");
         inner.stats.add("noc.bytes", bytes);
         inner.stats.add("noc.wait_cycles", waited.as_u64());
+        // Each of the hops+1 links (injection port included) is reserved
+        // for the wire duration; attribute that to the sourcing node.
+        inner.metrics.add(
+            src,
+            keys::NOC_LINK_BUSY,
+            duration.as_u64().saturating_mul(u64::from(hops) + 1),
+        );
+        inner.metrics.add(src, keys::NOC_WAIT, waited.as_u64());
+        inner.tracer.record_with(|| Event {
+            at: now,
+            dur: completes_at - now,
+            pe: Some(src),
+            comp: Component::Noc,
+            kind: EventKind::NocXfer {
+                src,
+                dst,
+                bytes,
+                hops,
+                waited,
+            },
+        });
         Transfer {
             completes_at,
             waited,
@@ -291,6 +327,27 @@ mod tests {
         noc.schedule(Cycles::ZERO, PeId::new(0), PeId::new(2), 200);
         assert_eq!(noc.stats().get("noc.transfers"), 2);
         assert_eq!(noc.stats().get("noc.bytes"), 300);
+    }
+
+    #[test]
+    fn attached_metrics_and_tracer_see_transfers() {
+        let noc = noc4();
+        let tracer = Recorder::new();
+        let metrics = Metrics::new();
+        noc.attach(tracer.clone(), metrics.clone());
+        tracer.enable();
+        let a = noc.schedule(Cycles::ZERO, PeId::new(0), PeId::new(1), 800);
+        let b = noc.schedule(Cycles::ZERO, PeId::new(0), PeId::new(1), 800);
+        assert!(b.waited > Cycles::ZERO);
+        let src = PeId::new(0);
+        // (800 + 8) / 8 = 101 cycles wire time, 2 links (port + hop) each.
+        assert_eq!(metrics.get(src, keys::NOC_LINK_BUSY), 101 * 2 * 2);
+        assert_eq!(metrics.get(src, keys::NOC_WAIT), b.waited.as_u64());
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind.tag(), "noc_xfer");
+        assert_eq!(events[0].dur, a.completes_at);
+        assert_eq!(events[0].pe, Some(src));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::task::{Context, Poll, Wake, Waker};
 
 use m3_base::cycles::Cycles;
+use m3_trace::{Component, Event, EventKind, Metrics, Recorder};
 
 use crate::stats::Stats;
 
@@ -62,40 +63,6 @@ struct Task {
     daemon: bool,
 }
 
-/// One recorded scheduling event (see [`Sim::enable_trace`]).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A task was spawned.
-    Spawn {
-        /// Task name.
-        name: String,
-        /// Whether it is a daemon.
-        daemon: bool,
-    },
-    /// A task ran to completion.
-    Complete {
-        /// Task name.
-        name: String,
-    },
-    /// The clock advanced to fire a timer.
-    Advance {
-        /// The previous time.
-        from: Cycles,
-    },
-}
-
-/// A trace record: when and what.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct TraceRecord {
-    /// Simulated time of the event.
-    pub time: Cycles,
-    /// The event.
-    pub event: TraceEvent,
-}
-
-/// Maximum records the trace ring keeps.
-pub const TRACE_CAPACITY: usize = 4096;
-
 /// Where a run stopped.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimState {
@@ -121,22 +88,6 @@ struct Inner {
     /// scheduling order, which is what makes runs deterministic.
     timers: BinaryHeap<Reverse<(Cycles, u64, TimerEntry)>>,
     stats: Stats,
-    /// Scheduling trace ring; `None` = tracing disabled.
-    trace: Option<VecDeque<TraceRecord>>,
-}
-
-impl Inner {
-    fn record(&mut self, event: TraceEvent) {
-        if let Some(ring) = &mut self.trace {
-            if ring.len() == TRACE_CAPACITY {
-                ring.pop_front();
-            }
-            ring.push_back(TraceRecord {
-                time: self.now,
-                event,
-            });
-        }
-    }
 }
 
 /// Wrapper so the heap can order entries without comparing wakers.
@@ -168,6 +119,8 @@ impl Ord for TimerEntry {
 pub struct Sim {
     inner: Rc<RefCell<Inner>>,
     ready: Arc<ReadyQueue>,
+    recorder: Recorder,
+    metrics: Metrics,
 }
 
 impl Default for Sim {
@@ -199,9 +152,10 @@ impl Sim {
                 tasks: BTreeMap::new(),
                 timers: BinaryHeap::new(),
                 stats: Stats::new(),
-                trace: None,
             })),
             ready: Arc::new(ReadyQueue::default()),
+            recorder: Recorder::new(),
+            metrics: Metrics::new(),
         }
     }
 
@@ -215,23 +169,27 @@ impl Sim {
         self.inner.borrow().stats.clone()
     }
 
-    /// Turns on scheduling-event tracing (spawn/complete/clock-advance),
-    /// keeping the most recent [`TRACE_CAPACITY`] records.
+    /// The shared event recorder. Components clone this to emit typed
+    /// events; it is disabled (and therefore free) until
+    /// [`Sim::enable_trace`] is called.
+    pub fn tracer(&self) -> Recorder {
+        self.recorder.clone()
+    }
+
+    /// The shared per-PE metrics bag (always on).
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.clone()
+    }
+
+    /// Turns on event tracing across all components that share this
+    /// simulation's [`Recorder`].
     pub fn enable_trace(&self) {
-        let mut inner = self.inner.borrow_mut();
-        if inner.trace.is_none() {
-            inner.trace = Some(VecDeque::with_capacity(TRACE_CAPACITY));
-        }
+        self.recorder.enable();
     }
 
     /// Returns (a copy of) the recorded trace; empty when tracing is off.
-    pub fn trace(&self) -> Vec<TraceRecord> {
-        self.inner
-            .borrow()
-            .trace
-            .as_ref()
-            .map(|r| r.iter().cloned().collect())
-            .unwrap_or_default()
+    pub fn trace(&self) -> Vec<Event> {
+        self.recorder.events()
     }
 
     /// Spawns a task and returns a handle to its eventual result.
@@ -300,10 +258,16 @@ impl Sim {
         if !daemon {
             inner.live_regular += 1;
         }
-        let spawned_name = inner.tasks[&id].name.clone();
-        inner.record(TraceEvent::Spawn {
-            name: spawned_name,
-            daemon,
+        let at = inner.now;
+        self.recorder.record_with(|| Event {
+            at,
+            dur: Cycles::ZERO,
+            pe: None,
+            comp: Component::Sched,
+            kind: EventKind::TaskSpawn {
+                name: inner.tasks[&id].name.clone(),
+                daemon,
+            },
         });
         drop(inner);
         self.ready.lock().push_back(id);
@@ -352,6 +316,11 @@ impl Sim {
 
     /// Runs until all tasks finish, progress stops, or the clock passes
     /// `limit`.
+    ///
+    /// The limit is *inclusive*: a timer scheduled exactly at `limit` still
+    /// fires before the run stops. On [`SimState::TimeLimit`] the clock
+    /// rests at `limit` — unless the clock was already past it, in which
+    /// case it stays where it was (the clock never moves backward).
     pub fn run_until(&self, limit: Cycles) -> SimState {
         self.run_inner(Some(limit))
     }
@@ -393,6 +362,17 @@ impl Sim {
             };
             task.waker_state.queued.store(false, Ordering::Relaxed);
             let fut = std::mem::replace(&mut task.future, Box::pin(async {}));
+            let at = inner.now;
+            self.recorder.record_with(|| Event {
+                at,
+                dur: Cycles::ZERO,
+                pe: None,
+                comp: Component::Sched,
+                kind: EventKind::TaskPoll {
+                    name: inner.tasks[&id].name.clone(),
+                },
+            });
+            let task = inner.tasks.get_mut(&id).expect("task still present");
             (fut, Waker::from(task.waker_state.clone()))
         };
         let mut cx = Context::from_waker(&waker);
@@ -403,7 +383,14 @@ impl Sim {
                     if !task.daemon {
                         inner.live_regular -= 1;
                     }
-                    inner.record(TraceEvent::Complete { name: task.name });
+                    let at = inner.now;
+                    self.recorder.record_with(|| Event {
+                        at,
+                        dur: Cycles::ZERO,
+                        pe: None,
+                        comp: Component::Sched,
+                        kind: EventKind::TaskComplete { name: task.name },
+                    });
                 }
             }
             Poll::Pending => {
@@ -440,7 +427,11 @@ impl Sim {
             };
             if let Some(limit) = limit {
                 if deadline > limit {
-                    inner.now = limit;
+                    // Advance to the limit, but never move the clock
+                    // backward: a limit below `now` must leave time alone.
+                    if limit > inner.now {
+                        inner.now = limit;
+                    }
                     // Put the timer back for a future run call.
                     let seq = inner.next_seq;
                     inner.next_seq += 1;
@@ -452,7 +443,13 @@ impl Sim {
             let from = inner.now;
             inner.now = deadline;
             if from != deadline {
-                inner.record(TraceEvent::Advance { from });
+                self.recorder.record_with(|| Event {
+                    at: deadline,
+                    dur: Cycles::ZERO,
+                    pe: None,
+                    comp: Component::Sched,
+                    kind: EventKind::ClockAdvance { from },
+                });
             }
             drop(inner);
             entry.0.wake();
@@ -625,6 +622,71 @@ mod tests {
         // Continuing the run completes the task.
         assert_eq!(sim.run(), SimState::Finished);
         assert_eq!(sim.now(), Cycles::new(1000));
+    }
+
+    #[test]
+    fn run_until_limit_is_inclusive() {
+        // A timer scheduled exactly at the limit fires before stopping.
+        let sim = Sim::new();
+        let h = sim.spawn("exact", {
+            let sim = sim.clone();
+            async move {
+                sim.sleep(Cycles::new(100)).await;
+                sim.now()
+            }
+        });
+        assert_eq!(sim.run_until(Cycles::new(100)), SimState::Finished);
+        assert_eq!(h.try_take().unwrap(), Cycles::new(100));
+        assert_eq!(sim.now(), Cycles::new(100));
+    }
+
+    #[test]
+    fn run_until_never_moves_the_clock_backward() {
+        let sim = Sim::new();
+        sim.spawn("two-phase", {
+            let sim = sim.clone();
+            async move {
+                sim.sleep(Cycles::new(50)).await;
+                sim.sleep(Cycles::new(1000)).await;
+            }
+        });
+        // First run stops at 100 with the second timer still pending.
+        assert_eq!(sim.run_until(Cycles::new(100)), SimState::TimeLimit);
+        assert_eq!(sim.now(), Cycles::new(100));
+        // A limit below the current time must not rewind the clock.
+        assert_eq!(sim.run_until(Cycles::new(60)), SimState::TimeLimit);
+        assert_eq!(sim.now(), Cycles::new(100));
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(sim.now(), Cycles::new(1050));
+    }
+
+    #[test]
+    fn trace_records_scheduler_events() {
+        let sim = Sim::new();
+        sim.enable_trace();
+        sim.spawn("traced", {
+            let sim = sim.clone();
+            async move {
+                sim.sleep(Cycles::new(10)).await;
+            }
+        });
+        sim.run();
+        let tags: Vec<&str> = sim.trace().iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(
+            tags,
+            vec![
+                "task_spawn",
+                "task_poll",
+                "clock_advance",
+                "task_poll",
+                "task_complete"
+            ]
+        );
+        // Untraced sims record nothing.
+        let quiet = Sim::new();
+        quiet.spawn("q", async {});
+        quiet.run();
+        assert!(quiet.trace().is_empty());
     }
 
     #[test]

@@ -32,6 +32,7 @@ mod notify;
 mod stats;
 
 pub use channel::{channel, Receiver, Sender};
-pub use executor::{JoinHandle, Sim, SimState, TraceEvent, TraceRecord, TRACE_CAPACITY};
+pub use executor::{JoinHandle, Sim, SimState};
+pub use m3_trace::{keys, Component, Event, EventKind, Histogram, Metrics, Recorder};
 pub use notify::Notify;
 pub use stats::Stats;

@@ -35,12 +35,12 @@ impl Stats {
     }
 
     /// Adds `n` to the counter `key`, creating it at zero if absent.
+    /// Saturates at `u64::MAX` instead of wrapping (or panicking in debug
+    /// builds) on overflow.
     pub fn add(&self, key: &str, n: u64) {
-        *self
-            .counters
-            .borrow_mut()
-            .entry(key.to_string())
-            .or_insert(0) += n;
+        let mut counters = self.counters.borrow_mut();
+        let slot = counters.entry(key.to_string()).or_insert(0);
+        *slot = slot.saturating_add(n);
     }
 
     /// Increments the counter `key` by one.
@@ -87,6 +87,16 @@ mod tests {
         stats.add("x", 4);
         stats.incr("x");
         assert_eq!(stats.get("x"), 8);
+    }
+
+    #[test]
+    fn add_saturates_instead_of_panicking() {
+        let stats = Stats::new();
+        stats.add("near-max", u64::MAX - 1);
+        stats.add("near-max", 5);
+        assert_eq!(stats.get("near-max"), u64::MAX);
+        stats.incr("near-max");
+        assert_eq!(stats.get("near-max"), u64::MAX);
     }
 
     #[test]

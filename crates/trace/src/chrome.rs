@@ -1,0 +1,179 @@
+//! Chrome `trace_event` JSON export for chrome://tracing and Perfetto.
+//!
+//! The mapping: one trace "process" per PE (pid = PE id + 1; pid 0 is the
+//! global `sim` process for events without a PE), one "thread" per
+//! [`Component`] within it. Spans (`dur > 0`) become complete (`ph:"X"`)
+//! events, instantaneous events become instants (`ph:"i"`). Timestamps are
+//! simulated cycles, reported as microseconds — the absolute unit is
+//! meaningless for a cycle-accurate simulation; only ratios matter.
+//!
+//! The output is hand-rolled JSON (the workspace is dependency-free) and is
+//! byte-deterministic for a given event list.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::{Component, Event};
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn pid_of(event: &Event) -> u64 {
+    match event.pe {
+        Some(pe) => u64::from(pe.raw()) + 1,
+        None => 0,
+    }
+}
+
+fn tid_of(comp: Component) -> u64 {
+    Component::all()
+        .iter()
+        .position(|c| *c == comp)
+        .unwrap_or(0) as u64
+}
+
+fn process_name(pid: u64) -> String {
+    if pid == 0 {
+        "sim".to_string()
+    } else {
+        format!("PE{}", pid - 1)
+    }
+}
+
+/// Renders `events` as a Chrome `trace_event` JSON document.
+///
+/// Metadata records (process/thread names) come first, sorted by
+/// `(pid, tid)`; event records follow in recording order, so equal event
+/// lists always serialize to identical bytes.
+pub fn export(events: &[Event]) -> String {
+    let mut pids: BTreeSet<u64> = BTreeSet::new();
+    let mut threads: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for event in events {
+        let pid = pid_of(event);
+        pids.insert(pid);
+        threads.insert((pid, tid_of(event.comp)));
+    }
+
+    let mut records: Vec<String> = Vec::new();
+    for pid in &pids {
+        records.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&process_name(*pid))
+        ));
+    }
+    for (pid, tid) in &threads {
+        let comp = Component::all()[*tid as usize];
+        records.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(comp.name())
+        ));
+    }
+
+    for event in events {
+        let pid = pid_of(event);
+        let tid = tid_of(event.comp);
+        let name = json_escape(&event.display_name());
+        let cat = event.kind.tag();
+        let ts = event.at.as_u64();
+        if event.dur.as_u64() > 0 {
+            records.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
+                 \"ts\":{ts},\"dur\":{},\"pid\":{pid},\"tid\":{tid}}}",
+                event.dur.as_u64()
+            ));
+        } else {
+            records.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\
+                 \"ts\":{ts},\"s\":\"t\",\"pid\":{pid},\"tid\":{tid}}}"
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    for (i, record) in records.iter().enumerate() {
+        out.push_str(record);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use m3_base::{Cycles, PeId};
+
+    use super::*;
+    use crate::EventKind;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                at: Cycles::new(5),
+                dur: Cycles::new(10),
+                pe: Some(PeId::new(0)),
+                comp: Component::Dtu,
+                kind: EventKind::MemXfer {
+                    write: true,
+                    bytes: 64,
+                },
+            },
+            Event {
+                at: Cycles::new(7),
+                dur: Cycles::ZERO,
+                pe: None,
+                comp: Component::Sched,
+                kind: EventKind::TaskPoll {
+                    name: "a \"quoted\" name".to_string(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn export_emits_metadata_and_events() {
+        let json = export(&sample());
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("{\"name\":\"sim\"}"), "{json}");
+        assert!(json.contains("{\"name\":\"PE0\"}"), "{json}");
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":10"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("poll:a \\\"quoted\\\" name"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(export(&sample()), export(&sample()));
+    }
+
+    #[test]
+    fn pids_and_tids_are_stable() {
+        let events = sample();
+        let json = export(&events);
+        // PE0 is pid 1; the global sched event lives in pid 0.
+        assert!(json.contains("\"pid\":1,\"tid\":1"), "{json}");
+        assert!(json.contains("\"pid\":0,\"tid\":0"), "{json}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Trace comparison for `m3-trace diff` — localises where two runs of the
+//! same scenario start to differ, to debug figure deltas without staring at
+//! opaque digests.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{fmt, Event};
+
+/// The result of comparing two traces.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DiffResult {
+    /// Whether the traces are event-for-event identical.
+    pub identical: bool,
+    /// The rendered report.
+    pub report: String,
+}
+
+fn kind_counts(events: &[Event]) -> BTreeMap<&'static str, u64> {
+    let mut counts = BTreeMap::new();
+    for event in events {
+        *counts.entry(event.kind.tag()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Compares two traces: reports the first diverging event (with one line of
+/// context from each side) and the per-kind count deltas.
+pub fn diff(a: &[Event], b: &[Event]) -> DiffResult {
+    let mut report = String::new();
+    let divergence = a.iter().zip(b.iter()).position(|(x, y)| x != y);
+
+    if divergence.is_none() && a.len() == b.len() {
+        let _ = writeln!(report, "traces identical ({} events)", a.len());
+        return DiffResult {
+            identical: true,
+            report,
+        };
+    }
+
+    match divergence {
+        Some(idx) => {
+            let _ = writeln!(report, "first divergence at event {idx}:");
+            let _ = writeln!(report, "  a: {}", fmt::to_line(&a[idx]));
+            let _ = writeln!(report, "  b: {}", fmt::to_line(&b[idx]));
+        }
+        None => {
+            let (longer, name, shorter_len) = if a.len() > b.len() {
+                (a, "a", b.len())
+            } else {
+                (b, "b", a.len())
+            };
+            let _ = writeln!(
+                report,
+                "traces agree for {shorter_len} events; {name} continues with:"
+            );
+            let _ = writeln!(report, "  {name}: {}", fmt::to_line(&longer[shorter_len]));
+        }
+    }
+
+    let _ = writeln!(report, "lengths: a={} b={}", a.len(), b.len());
+    let ca = kind_counts(a);
+    let cb = kind_counts(b);
+    let mut tags: Vec<&'static str> = ca.keys().chain(cb.keys()).copied().collect();
+    tags.sort_unstable();
+    tags.dedup();
+    let mut wrote_header = false;
+    for tag in tags {
+        let na = ca.get(tag).copied().unwrap_or(0);
+        let nb = cb.get(tag).copied().unwrap_or(0);
+        if na != nb {
+            if !wrote_header {
+                report.push_str("kind count deltas:\n");
+                wrote_header = true;
+            }
+            let _ = writeln!(report, "  {tag:<14} a={na} b={nb}");
+        }
+    }
+    DiffResult {
+        identical: false,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use m3_base::{Cycles, EpId, PeId};
+
+    use super::*;
+    use crate::{Component, EventKind};
+
+    fn ev(at: u64, ep: u32) -> Event {
+        Event {
+            at: Cycles::new(at),
+            dur: Cycles::ZERO,
+            pe: Some(PeId::new(0)),
+            comp: Component::Dtu,
+            kind: EventKind::MsgDrop { ep: EpId::new(ep) },
+        }
+    }
+
+    #[test]
+    fn identical_traces_report_identical() {
+        let a = vec![ev(1, 0), ev(2, 1)];
+        let result = diff(&a, &a.clone());
+        assert!(result.identical);
+        assert!(result.report.contains("identical (2 events)"));
+    }
+
+    #[test]
+    fn divergence_is_localised() {
+        let a = vec![ev(1, 0), ev(2, 1), ev(3, 2)];
+        let b = vec![ev(1, 0), ev(2, 7), ev(3, 2)];
+        let result = diff(&a, &b);
+        assert!(!result.identical);
+        assert!(result.report.contains("first divergence at event 1"));
+        assert!(result.report.contains("msg_drop\t1"), "{}", result.report);
+        assert!(result.report.contains("msg_drop\t7"), "{}", result.report);
+    }
+
+    #[test]
+    fn length_mismatch_shows_extra_tail() {
+        let a = vec![ev(1, 0)];
+        let b = vec![ev(1, 0), ev(2, 1)];
+        let result = diff(&a, &b);
+        assert!(!result.identical);
+        assert!(
+            result.report.contains("b continues with"),
+            "{}",
+            result.report
+        );
+        assert!(result.report.contains("lengths: a=1 b=2"));
+    }
+
+    #[test]
+    fn kind_deltas_are_listed() {
+        let a = vec![ev(1, 0)];
+        let b = vec![
+            ev(1, 0),
+            Event {
+                at: Cycles::new(2),
+                dur: Cycles::ZERO,
+                pe: Some(PeId::new(0)),
+                comp: Component::Dtu,
+                kind: EventKind::CreditStall { ep: EpId::new(0) },
+            },
+        ];
+        let result = diff(&a, &b);
+        assert!(result.report.contains("credit_stall"), "{}", result.report);
+        assert!(result.report.contains("a=0 b=1"), "{}", result.report);
+    }
+}

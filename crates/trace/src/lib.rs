@@ -1,0 +1,785 @@
+//! Structured tracing and per-PE metrics for the M3 simulation.
+//!
+//! The paper's whole evaluation is cycle-level attribution — which component
+//! spent which cycles where (Figs. 3–7, §5.3–§5.4). This crate is the
+//! observability layer that makes those cycles inspectable:
+//!
+//! - [`Event`] — a typed trace record `(cycle, duration, PE, component,
+//!   kind)`. Components emit events through a shared [`Recorder`].
+//! - [`Metrics`] — per-PE counters and power-of-two histograms (PE busy
+//!   cycles, DTU ring-buffer occupancy, drops, credit stalls, NoC link
+//!   utilisation).
+//! - [`chrome`] — a Chrome `trace_event` JSON exporter (one "process" per
+//!   PE, one "thread" per component) for chrome://tracing and Perfetto.
+//! - [`fmt`] — a line-oriented native trace format that round-trips through
+//!   files, consumed by the `m3-trace` CLI (`summarize`/`export`/`diff`).
+//!
+//! # Overhead contract
+//!
+//! Tracing is *zero-cost for simulated time*: recording an event never
+//! sleeps, schedules, or otherwise touches the simulation clock, so enabling
+//! a trace cannot change any reported cycle count. When disabled (the
+//! default), [`Recorder::record_with`] is a single flag check — the event is
+//! never even constructed. Everything is deterministic: events are stored in
+//! recording order, maps are `BTreeMap`s, and nothing reads a wall clock.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use m3_base::{Cycles, EpId, PeId};
+
+pub mod chrome;
+pub mod diff;
+pub mod fmt;
+pub mod summary;
+
+/// The component of the stack that emitted an event. One Chrome "thread"
+/// per component within a PE's "process".
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// The executor: task spawn/poll/completion and clock advances.
+    Sched,
+    /// A data transfer unit: message sends, replies, RDMA transfers.
+    Dtu,
+    /// The network-on-chip: link-level transfers.
+    Noc,
+    /// The kernel: system calls by opcode.
+    Kernel,
+    /// The m3fs service: meta requests by type.
+    Fs,
+    /// The pipe implementation: chunk transfers.
+    Pipe,
+    /// Application-level phase markers.
+    App,
+}
+
+impl Component {
+    /// Stable lowercase name, used by the native format and the exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Sched => "sched",
+            Component::Dtu => "dtu",
+            Component::Noc => "noc",
+            Component::Kernel => "kernel",
+            Component::Fs => "fs",
+            Component::Pipe => "pipe",
+            Component::App => "app",
+        }
+    }
+
+    /// Parses the output of [`Component::name`].
+    pub fn parse(s: &str) -> Option<Component> {
+        Some(match s {
+            "sched" => Component::Sched,
+            "dtu" => Component::Dtu,
+            "noc" => Component::Noc,
+            "kernel" => Component::Kernel,
+            "fs" => Component::Fs,
+            "pipe" => Component::Pipe,
+            "app" => Component::App,
+            _ => return None,
+        })
+    }
+
+    /// All components, in thread-id order.
+    pub fn all() -> &'static [Component] {
+        &[
+            Component::Sched,
+            Component::Dtu,
+            Component::Noc,
+            Component::Kernel,
+            Component::Fs,
+            Component::Pipe,
+            Component::App,
+        ]
+    }
+}
+
+/// What happened. The payload carries the fields the figures need to
+/// attribute cycles (bytes moved, hops crossed, opcode names, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task was spawned.
+    TaskSpawn {
+        /// Task name.
+        name: String,
+        /// Whether it is a daemon (does not keep the simulation alive).
+        daemon: bool,
+    },
+    /// A task was polled by the executor.
+    TaskPoll {
+        /// Task name.
+        name: String,
+    },
+    /// A task ran to completion.
+    TaskComplete {
+        /// Task name.
+        name: String,
+    },
+    /// The clock advanced to fire a timer.
+    ClockAdvance {
+        /// The previous time.
+        from: Cycles,
+    },
+    /// A DTU accepted a send command; the span covers the NoC transfer.
+    MsgSend {
+        /// Sending endpoint.
+        ep: EpId,
+        /// Destination PE.
+        dst_pe: PeId,
+        /// Destination endpoint.
+        dst_ep: EpId,
+        /// Wire bytes (header + payload).
+        bytes: u64,
+    },
+    /// A DTU accepted a reply command.
+    MsgReply {
+        /// Destination PE (the original sender).
+        dst_pe: PeId,
+        /// Wire bytes (header + payload).
+        bytes: u64,
+    },
+    /// A message was dropped at the receiver (ring buffer full/oversized).
+    MsgDrop {
+        /// Receiving endpoint.
+        ep: EpId,
+    },
+    /// A send failed because the endpoint was out of credits.
+    CreditStall {
+        /// Sending endpoint.
+        ep: EpId,
+    },
+    /// An RDMA transfer through a memory endpoint.
+    MemXfer {
+        /// `true` for a write, `false` for a read.
+        write: bool,
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// A NoC transfer (one wormhole burst across the route).
+    NocXfer {
+        /// Source node.
+        src: PeId,
+        /// Destination node.
+        dst: PeId,
+        /// Payload bytes.
+        bytes: u64,
+        /// Hops crossed.
+        hops: u32,
+        /// Cycles spent waiting for busy links.
+        waited: Cycles,
+    },
+    /// The kernel dispatched a system call.
+    Syscall {
+        /// Opcode name (e.g. `"Noop"`, `"CreateVpe"`).
+        opcode: String,
+    },
+    /// The m3fs service handled a meta request; the span covers its cost.
+    FsRequest {
+        /// Request name (e.g. `"Open"`, `"Stat"`).
+        op: String,
+    },
+    /// One pipe chunk moved between a writer and a reader.
+    PipeXfer {
+        /// `true` on the writer side, `false` on the reader side.
+        write: bool,
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// An application-level phase marker.
+    AppMark {
+        /// Free-form marker text.
+        what: String,
+    },
+}
+
+impl EventKind {
+    /// Stable snake-case tag, used by the native format and summaries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::TaskSpawn { .. } => "task_spawn",
+            EventKind::TaskPoll { .. } => "task_poll",
+            EventKind::TaskComplete { .. } => "task_complete",
+            EventKind::ClockAdvance { .. } => "clock_advance",
+            EventKind::MsgSend { .. } => "msg_send",
+            EventKind::MsgReply { .. } => "msg_reply",
+            EventKind::MsgDrop { .. } => "msg_drop",
+            EventKind::CreditStall { .. } => "credit_stall",
+            EventKind::MemXfer { .. } => "mem_xfer",
+            EventKind::NocXfer { .. } => "noc_xfer",
+            EventKind::Syscall { .. } => "syscall",
+            EventKind::FsRequest { .. } => "fs_req",
+            EventKind::PipeXfer { .. } => "pipe_xfer",
+            EventKind::AppMark { .. } => "app_mark",
+        }
+    }
+}
+
+/// One trace record: when, for how long, where, and what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle the event started at.
+    pub at: Cycles,
+    /// Span length in cycles; zero marks an instantaneous event.
+    pub dur: Cycles,
+    /// The PE the event is attributed to; `None` for global scheduler
+    /// events.
+    pub pe: Option<PeId>,
+    /// The emitting component.
+    pub comp: Component,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// A human-readable name for the event, used by the Chrome exporter and
+    /// summaries (e.g. `"syscall:Noop"`, `"mem-read"`).
+    pub fn display_name(&self) -> String {
+        match &self.kind {
+            EventKind::TaskSpawn { name, .. } => format!("spawn:{name}"),
+            EventKind::TaskPoll { name } => format!("poll:{name}"),
+            EventKind::TaskComplete { name } => format!("done:{name}"),
+            EventKind::ClockAdvance { .. } => "advance".to_string(),
+            EventKind::MsgSend { .. } => "send".to_string(),
+            EventKind::MsgReply { .. } => "reply".to_string(),
+            EventKind::MsgDrop { .. } => "drop".to_string(),
+            EventKind::CreditStall { .. } => "credit-stall".to_string(),
+            EventKind::MemXfer { write: true, .. } => "mem-write".to_string(),
+            EventKind::MemXfer { write: false, .. } => "mem-read".to_string(),
+            EventKind::NocXfer { .. } => "noc-xfer".to_string(),
+            EventKind::Syscall { opcode } => format!("syscall:{opcode}"),
+            EventKind::FsRequest { op } => format!("fs:{op}"),
+            EventKind::PipeXfer { write: true, .. } => "pipe-write".to_string(),
+            EventKind::PipeXfer { write: false, .. } => "pipe-read".to_string(),
+            EventKind::AppMark { what } => format!("mark:{what}"),
+        }
+    }
+}
+
+/// Default bound on the number of events a [`Recorder`] keeps. Enough for
+/// every scenario in the figure pipeline; overflowing events are counted,
+/// not silently lost.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 20;
+
+struct RecorderInner {
+    enabled: Cell<bool>,
+    capacity: Cell<usize>,
+    dropped: Cell<u64>,
+    events: RefCell<Vec<Event>>,
+}
+
+/// The shared event sink of one simulation.
+///
+/// Cheaply cloneable; clones share the buffer. Disabled by default: while
+/// disabled, [`Recorder::record_with`] is one flag check and the event
+/// closure never runs (the zero-cost-when-disabled contract).
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Rc<RecorderInner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.inner.enabled.get())
+            .field("events", &self.inner.events.borrow().len())
+            .field("dropped", &self.inner.dropped.get())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Creates a disabled recorder with the default capacity.
+    pub fn new() -> Recorder {
+        Recorder {
+            inner: Rc::new(RecorderInner {
+                enabled: Cell::new(false),
+                capacity: Cell::new(DEFAULT_EVENT_CAPACITY),
+                dropped: Cell::new(0),
+                events: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.inner.enabled.set(true);
+    }
+
+    /// Turns recording off (already-recorded events are kept).
+    pub fn disable(&self) {
+        self.inner.enabled.set(false);
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    /// Bounds the buffer to `capacity` events; events beyond it are counted
+    /// in [`Recorder::dropped`] instead of stored.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.inner.capacity.set(capacity);
+    }
+
+    /// Records `event` if enabled.
+    pub fn record(&self, event: Event) {
+        if !self.inner.enabled.get() {
+            return;
+        }
+        let mut events = self.inner.events.borrow_mut();
+        if events.len() >= self.inner.capacity.get() {
+            self.inner.dropped.set(self.inner.dropped.get() + 1);
+            return;
+        }
+        events.push(event);
+    }
+
+    /// Records the event produced by `make` — but only constructs it when
+    /// recording is enabled.
+    pub fn record_with(&self, make: impl FnOnce() -> Event) {
+        if self.inner.enabled.get() {
+            self.record(make());
+        }
+    }
+
+    /// A copy of all recorded events, in recording order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.events.borrow().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.events.borrow().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.events.borrow().is_empty()
+    }
+
+    /// Events lost to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.get()
+    }
+
+    /// Discards all recorded events and resets the drop counter.
+    pub fn clear(&self) {
+        self.inner.events.borrow_mut().clear();
+        self.inner.dropped.set(0);
+    }
+}
+
+/// Metric names used across the stack; components and tests agree on these.
+pub mod keys {
+    /// Cycles a PE spent computing (`Env::compute`) — the numerator of the
+    /// utilisation gauge.
+    pub const PE_BUSY: &str = "pe.busy_cycles";
+    /// Cycles a PE's DTU spent executing transfer commands.
+    pub const DTU_BUSY: &str = "dtu.busy_cycles";
+    /// Histogram of receive ring-buffer occupancy, observed at every
+    /// deposit and ack.
+    pub const RING_OCCUPANCY: &str = "dtu.ring_occupancy";
+    /// Messages dropped at this PE's receive buffers.
+    pub const DTU_DROPS: &str = "dtu.drops";
+    /// Sends rejected because the endpoint was out of credits.
+    pub const CREDIT_STALLS: &str = "dtu.credit_stalls";
+    /// Cycles this node's NoC links (including the injection port) were
+    /// reserved by transfers it sourced.
+    pub const NOC_LINK_BUSY: &str = "noc.link_busy_cycles";
+    /// Cycles transfers sourced at this node waited for busy links.
+    pub const NOC_WAIT: &str = "noc.wait_cycles";
+}
+
+/// A power-of-two-bucket histogram with count/sum/min/max.
+///
+/// Bucket `i` counts values whose bit length is `i` (bucket 0 holds zeros),
+/// i.e. value `v > 0` lands in bucket `64 - v.leading_zeros()`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation; zero when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(upper_bound_inclusive, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let upper = if i == 0 { 0 } else { (1u128 << i) - 1 };
+                (upper.min(u64::MAX as u128) as u64, *c)
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    counters: BTreeMap<(u32, &'static str), u64>,
+    hists: BTreeMap<(u32, &'static str), Histogram>,
+}
+
+/// Per-PE counters, gauges, and histograms shared across a simulation.
+///
+/// Always on: updates are plain map operations with `&'static str` keys (no
+/// allocation), they never touch simulated time, and `BTreeMap` keeps every
+/// dump deterministic. Cheaply cloneable; clones share the state.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Rc<RefCell<MetricsInner>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Metrics")
+            .field("counters", &inner.counters.len())
+            .field("histograms", &inner.hists.len())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// Creates an empty metrics bag.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `n` to counter `key` of `pe` (saturating).
+    pub fn add(&self, pe: PeId, key: &'static str, n: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.counters.entry((pe.raw(), key)).or_insert(0);
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Increments counter `key` of `pe` by one.
+    pub fn incr(&self, pe: PeId, key: &'static str) {
+        self.add(pe, key, 1);
+    }
+
+    /// Reads a counter; absent counters read as zero.
+    pub fn get(&self, pe: PeId, key: &'static str) -> u64 {
+        self.inner
+            .borrow()
+            .counters
+            .get(&(pe.raw(), key))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sums counter `key` over all PEs.
+    pub fn total(&self, key: &'static str) -> u64 {
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .filter(|((_, k), _)| *k == key)
+            .fold(0u64, |acc, (_, v)| acc.saturating_add(*v))
+    }
+
+    /// Records `value` into histogram `key` of `pe`.
+    pub fn observe(&self, pe: PeId, key: &'static str, value: u64) {
+        self.inner
+            .borrow_mut()
+            .hists
+            .entry((pe.raw(), key))
+            .or_default()
+            .observe(value);
+    }
+
+    /// A copy of histogram `key` of `pe`, if it has observations.
+    pub fn histogram(&self, pe: PeId, key: &'static str) -> Option<Histogram> {
+        self.inner.borrow().hists.get(&(pe.raw(), key)).cloned()
+    }
+
+    /// The fraction of `total` cycles PE `pe` spent busy
+    /// ([`keys::PE_BUSY`] + [`keys::DTU_BUSY`]), clamped to `[0, 1]`.
+    pub fn utilization(&self, pe: PeId, total: Cycles) -> f64 {
+        if total.as_u64() == 0 {
+            return 0.0;
+        }
+        let busy = self
+            .get(pe, keys::PE_BUSY)
+            .saturating_add(self.get(pe, keys::DTU_BUSY));
+        (busy as f64 / total.as_u64() as f64).min(1.0)
+    }
+
+    /// All PEs that have at least one counter or histogram.
+    pub fn pes(&self) -> Vec<PeId> {
+        let inner = self.inner.borrow();
+        let mut pes: Vec<u32> = inner
+            .counters
+            .keys()
+            .chain(inner.hists.keys())
+            .map(|(pe, _)| *pe)
+            .collect();
+        pes.sort_unstable();
+        pes.dedup();
+        pes.into_iter().map(PeId::new).collect()
+    }
+
+    /// A sorted snapshot of every counter as `(pe, key, value)` rows.
+    pub fn snapshot(&self) -> Vec<(PeId, &'static str, u64)> {
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .map(|((pe, key), v)| (PeId::new(*pe), *key, *v))
+            .collect()
+    }
+
+    /// Renders a per-PE table of all counters, utilisation (against
+    /// `total` simulated cycles), and histogram summaries.
+    pub fn render(&self, total: Cycles) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for pe in self.pes() {
+            let _ = write!(
+                out,
+                "{pe}: util={:5.1}%",
+                self.utilization(pe, total) * 100.0
+            );
+            for (row_pe, key, v) in self.snapshot() {
+                if row_pe == pe {
+                    let _ = write!(out, "  {key}={v}");
+                }
+            }
+            let inner = self.inner.borrow();
+            for ((row_pe, key), h) in inner.hists.iter() {
+                if *row_pe == pe.raw() {
+                    let _ = write!(
+                        out,
+                        "  {key}[n={} min={} mean={:.1} max={}]",
+                        h.count(),
+                        h.min(),
+                        h.mean(),
+                        h.max()
+                    );
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// A compact one-line summary for bench output: utilisation of the
+    /// busiest PE plus the drop/stall/wait totals that explain anomalies.
+    pub fn summary_line(&self, total: Cycles) -> String {
+        let mut best = (None, 0.0f64);
+        for pe in self.pes() {
+            let u = self.utilization(pe, total);
+            if u > best.1 {
+                best = (Some(pe), u);
+            }
+        }
+        let util = match best.0 {
+            Some(pe) => format!("peak-util {pe} {:.1}%", best.1 * 100.0),
+            None => "peak-util n/a".to_string(),
+        };
+        format!(
+            "{util} | drops {} | credit-stalls {} | noc-wait {}",
+            self.total(keys::DTU_DROPS),
+            self.total(keys::CREDIT_STALLS),
+            self.total(keys::NOC_WAIT),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: EventKind) -> Event {
+        Event {
+            at: Cycles::new(at),
+            dur: Cycles::ZERO,
+            pe: Some(PeId::new(1)),
+            comp: Component::Dtu,
+            kind,
+        }
+    }
+
+    #[test]
+    fn recorder_disabled_records_nothing() {
+        let rec = Recorder::new();
+        rec.record(ev(1, EventKind::MsgDrop { ep: EpId::new(0) }));
+        let mut built = false;
+        rec.record_with(|| {
+            built = true;
+            ev(2, EventKind::MsgDrop { ep: EpId::new(0) })
+        });
+        assert!(rec.is_empty());
+        assert!(!built, "closure must not run while disabled");
+    }
+
+    #[test]
+    fn recorder_enabled_keeps_order() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.record(ev(1, EventKind::MsgDrop { ep: EpId::new(0) }));
+        rec.record(ev(2, EventKind::CreditStall { ep: EpId::new(3) }));
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, Cycles::new(1));
+        assert_eq!(events[1].kind.tag(), "credit_stall");
+    }
+
+    #[test]
+    fn recorder_capacity_counts_drops() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.set_capacity(2);
+        for i in 0..5 {
+            rec.record(ev(i, EventKind::MsgDrop { ep: EpId::new(0) }));
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        rec.clear();
+        assert_eq!(rec.dropped(), 0);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1010);
+        let buckets = h.nonzero_buckets();
+        // 0 -> bucket 0; 1 -> (1); 2,3 -> (2..3); 4 -> (4..7); 1000 -> (512..1023).
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn metrics_counters_and_utilization() {
+        let m = Metrics::new();
+        let pe = PeId::new(2);
+        m.add(pe, keys::PE_BUSY, 400);
+        m.add(pe, keys::DTU_BUSY, 100);
+        m.incr(pe, keys::DTU_DROPS);
+        assert_eq!(m.get(pe, keys::PE_BUSY), 400);
+        assert_eq!(m.total(keys::DTU_DROPS), 1);
+        let util = m.utilization(pe, Cycles::new(1000));
+        assert!((util - 0.5).abs() < 1e-9, "util {util}");
+        // Saturates instead of wrapping.
+        m.add(pe, keys::PE_BUSY, u64::MAX);
+        assert_eq!(m.get(pe, keys::PE_BUSY), u64::MAX);
+        // Utilisation is clamped to 1.
+        assert_eq!(m.utilization(pe, Cycles::new(10)), 1.0);
+    }
+
+    #[test]
+    fn metrics_histograms_per_pe() {
+        let m = Metrics::new();
+        m.observe(PeId::new(1), keys::RING_OCCUPANCY, 1);
+        m.observe(PeId::new(1), keys::RING_OCCUPANCY, 2);
+        m.observe(PeId::new(3), keys::RING_OCCUPANCY, 7);
+        let h1 = m.histogram(PeId::new(1), keys::RING_OCCUPANCY).unwrap();
+        assert_eq!(h1.count(), 2);
+        assert_eq!(h1.max(), 2);
+        assert!(m.histogram(PeId::new(2), keys::RING_OCCUPANCY).is_none());
+        assert_eq!(m.pes(), vec![PeId::new(1), PeId::new(3)]);
+    }
+
+    #[test]
+    fn metrics_render_is_deterministic() {
+        let make = || {
+            let m = Metrics::new();
+            m.add(PeId::new(2), keys::PE_BUSY, 10);
+            m.add(PeId::new(0), keys::DTU_DROPS, 3);
+            m.observe(PeId::new(0), keys::RING_OCCUPANCY, 4);
+            m.render(Cycles::new(100))
+        };
+        let a = make();
+        assert_eq!(a, make());
+        assert!(a.contains("PE0"));
+        assert!(a.contains("dtu.drops=3"));
+        let m = Metrics::new();
+        m.add(PeId::new(1), keys::DTU_DROPS, 2);
+        assert!(m.summary_line(Cycles::new(100)).contains("drops 2"));
+    }
+}

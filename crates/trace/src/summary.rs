@@ -1,0 +1,160 @@
+//! Human-readable trace summaries for `m3-trace summarize`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use m3_base::Cycles;
+
+use crate::Event;
+
+#[derive(Default)]
+struct KindRow {
+    count: u64,
+    span: u64,
+    bytes: u64,
+}
+
+fn bytes_of(event: &Event) -> u64 {
+    use crate::EventKind::*;
+    match &event.kind {
+        MsgSend { bytes, .. }
+        | MsgReply { bytes, .. }
+        | MemXfer { bytes, .. }
+        | NocXfer { bytes, .. }
+        | PipeXfer { bytes, .. } => *bytes,
+        _ => 0,
+    }
+}
+
+/// Renders per-kind and per-PE aggregates of a trace: event counts, total
+/// span cycles, and bytes moved. Deterministic for a given event list.
+pub fn summarize(events: &[Event]) -> String {
+    let mut out = String::new();
+    if events.is_empty() {
+        out.push_str("empty trace\n");
+        return out;
+    }
+
+    let first = events.iter().map(|e| e.at.as_u64()).min().unwrap_or(0);
+    let last = events
+        .iter()
+        .map(|e| e.at.as_u64() + e.dur.as_u64())
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "{} events over cycles {first}..{last} ({} cycles)",
+        events.len(),
+        last - first
+    );
+
+    let mut kinds: BTreeMap<&'static str, KindRow> = BTreeMap::new();
+    let mut pes: BTreeMap<String, u64> = BTreeMap::new();
+    for event in events {
+        let row = kinds.entry(event.kind.tag()).or_default();
+        row.count += 1;
+        row.span = row.span.saturating_add(event.dur.as_u64());
+        row.bytes = row.bytes.saturating_add(bytes_of(event));
+        let pe = match event.pe {
+            Some(pe) => pe.to_string(),
+            None => "sim".to_string(),
+        };
+        *pes.entry(pe).or_insert(0) += 1;
+    }
+
+    out.push_str("\nby kind:\n");
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>8} {:>12} {:>12}",
+        "kind", "count", "span-cycles", "bytes"
+    );
+    for (tag, row) in &kinds {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8} {:>12} {:>12}",
+            tag, row.count, row.span, row.bytes
+        );
+    }
+
+    out.push_str("\nby pe:\n");
+    for (pe, count) in &pes {
+        let _ = writeln!(out, "  {pe:<6} {count:>8} events");
+    }
+    out
+}
+
+/// The last cycle any event touches (start + duration); [`Cycles::ZERO`]
+/// for an empty trace. Used as the utilisation denominator by the CLI.
+pub fn end_cycle(events: &[Event]) -> Cycles {
+    Cycles::new(
+        events
+            .iter()
+            .map(|e| e.at.as_u64() + e.dur.as_u64())
+            .max()
+            .unwrap_or(0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use m3_base::{Cycles, EpId, PeId};
+
+    use super::*;
+    use crate::{Component, EventKind};
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                at: Cycles::new(10),
+                dur: Cycles::new(20),
+                pe: Some(PeId::new(0)),
+                comp: Component::Dtu,
+                kind: EventKind::MsgSend {
+                    ep: EpId::new(1),
+                    dst_pe: PeId::new(2),
+                    dst_ep: EpId::new(0),
+                    bytes: 100,
+                },
+            },
+            Event {
+                at: Cycles::new(15),
+                dur: Cycles::new(20),
+                pe: Some(PeId::new(0)),
+                comp: Component::Dtu,
+                kind: EventKind::MsgSend {
+                    ep: EpId::new(1),
+                    dst_pe: PeId::new(2),
+                    dst_ep: EpId::new(0),
+                    bytes: 28,
+                },
+            },
+            Event {
+                at: Cycles::new(40),
+                dur: Cycles::ZERO,
+                pe: None,
+                comp: Component::Sched,
+                kind: EventKind::ClockAdvance {
+                    from: Cycles::new(35),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn summarize_counts_kinds_and_pes() {
+        let text = summarize(&sample());
+        assert!(text.contains("3 events over cycles 10..40"), "{text}");
+        assert!(text.contains("msg_send"), "{text}");
+        // Two sends: span 40 cycles total, 128 bytes total.
+        assert!(text.contains("2           40          128"), "{text}");
+        assert!(text.contains("PE0"), "{text}");
+        assert!(text.contains("sim"), "{text}");
+    }
+
+    #[test]
+    fn summarize_handles_empty() {
+        assert_eq!(summarize(&[]), "empty trace\n");
+        assert_eq!(end_cycle(&[]), Cycles::ZERO);
+        assert_eq!(end_cycle(&sample()), Cycles::new(40));
+    }
+}

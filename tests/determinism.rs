@@ -3,14 +3,14 @@
 //! The paper's methodology only holds if re-running a scenario reproduces
 //! the *exact* cycle counts that went into the figures. These tests boot the
 //! Figure 3 scenario twice in the same process and require both the reported
-//! cycle totals and the scheduler's event trace to match bit for bit —
+//! cycle totals and the structured event trace to match bit for bit —
 //! nondeterministic iteration order, wall-clock leakage, or entropy anywhere
 //! in the stack shows up here as a diff, not as a silently shifted figure.
 
 use m3::{System, SystemConfig};
 use m3_bench::report::Figure;
 use m3_fs::mount_m3fs;
-use m3_sim::TraceRecord;
+use m3_sim::Event;
 
 /// Flattens a figure into `(group, bar, part, cycles)` rows so failures
 /// print the first diverging entry instead of two opaque structs.
@@ -32,15 +32,13 @@ fn cycle_rows(fig: &Figure) -> Vec<(String, String, String, u64)> {
     rows
 }
 
-/// FNV-1a over the debug rendering of every trace record: cheap, stable, and
+/// FNV-1a over the trace's native text rendering: cheap, stable, and
 /// order-sensitive, which is the point.
-fn trace_digest(records: &[TraceRecord]) -> u64 {
+fn trace_digest(events: &[Event]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for record in records {
-        for byte in format!("{record:?}").into_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+    for byte in m3_trace::fmt::write_events(events).into_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
 }
@@ -58,8 +56,9 @@ fn figure3_cycle_counts_are_identical_across_runs() {
 #[test]
 fn figure3_workload_event_trace_is_identical_across_runs() {
     // The same tar workload Figure 3's file-operation bars exercise, run
-    // with scheduler tracing on: identical digests mean the executor made
-    // the same decisions at the same simulated times in both runs.
+    // with tracing on: identical digests mean the whole stack (executor,
+    // DTU, NoC, kernel, m3fs) made the same decisions at the same
+    // simulated times in both runs.
     let run_once = || {
         let spec = m3_apps::workload::tar_input(3);
         let sys = System::boot(SystemConfig {
@@ -86,5 +85,70 @@ fn figure3_workload_event_trace_is_identical_across_runs() {
     assert_eq!(
         digest_a, digest_b,
         "event-trace digests diverged: the scheduler is nondeterministic"
+    );
+}
+
+#[test]
+fn chrome_export_of_fig3_read_is_bit_identical_across_runs() {
+    let (events_a, metrics_a) = m3_bench::fig3::traced_file_read();
+    let (events_b, metrics_b) = m3_bench::fig3::traced_file_read();
+    assert!(!events_a.is_empty(), "traced run produced no events");
+    assert_eq!(metrics_a, metrics_b, "metrics snapshots diverged");
+
+    let json_a = m3_trace::chrome::export(&events_a);
+    let json_b = m3_trace::chrome::export(&events_b);
+    assert_eq!(json_a, json_b, "Chrome exports diverged between runs");
+
+    // Light-weight structural validity: one JSON object per line between
+    // the envelope braces, every record naming ph/pid/tid.
+    assert!(json_a.starts_with("{\"displayTimeUnit\""));
+    assert!(json_a.trim_end().ends_with("]}"));
+    let records: Vec<&str> = json_a
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"ph\""))
+        .collect();
+    assert!(records.len() > 100, "expected many records");
+    for rec in &records {
+        assert!(rec.contains("\"pid\":"), "record without pid: {rec}");
+        assert!(rec.contains("\"tid\":"), "record without tid: {rec}");
+    }
+    // The native text round-trip must also be exact.
+    let text = m3_trace::fmt::write_events(&events_a);
+    let parsed = m3_trace::fmt::parse(&text).expect("exported trace re-parses");
+    assert_eq!(m3_trace::fmt::write_events(&parsed), text);
+}
+
+#[test]
+fn tracing_has_zero_simulated_time_overhead() {
+    // The zero-overhead contract (DESIGN.md): recording events and metrics
+    // must never advance the clock, so a traced run finishes at the exact
+    // same simulated cycle as an untraced one.
+    let run_once = |trace: bool| {
+        let spec = m3_apps::workload::tar_input(2);
+        let sys = System::boot(SystemConfig {
+            fs_blocks: 16 * 1024,
+            fs_setup: spec.to_setup(),
+            ..SystemConfig::default()
+        });
+        if trace {
+            sys.sim().enable_trace();
+        }
+        let job = sys.run_program("tar", |env| async move {
+            mount_m3fs(&env).await.unwrap();
+            m3_apps::m3app::tar_create(&env, "/src", "/a.tar")
+                .await
+                .unwrap() as i64
+        });
+        sys.run();
+        (job.try_take(), sys.now().as_u64(), sys.sim().trace().len())
+    };
+    let (exit_off, cycles_off, events_off) = run_once(false);
+    let (exit_on, cycles_on, events_on) = run_once(true);
+    assert_eq!(exit_off, exit_on, "exit codes diverged");
+    assert_eq!(events_off, 0, "disabled tracing must record nothing");
+    assert!(events_on > 0, "enabled tracing must record events");
+    assert_eq!(
+        cycles_off, cycles_on,
+        "tracing changed simulated time: the zero-overhead contract is broken"
     );
 }

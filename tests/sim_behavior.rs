@@ -5,7 +5,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use m3_base::Cycles;
-use m3_sim::{channel, Notify, Sim, SimState, TraceEvent};
+use m3_sim::{channel, EventKind, Notify, Sim, SimState};
 
 #[test]
 fn settle_drains_daemon_timers_but_not_waits() {
@@ -181,22 +181,22 @@ fn trace_records_spawn_complete_and_time_advances() {
     });
     sim.run();
     let trace = sim.trace();
-    assert!(trace.iter().any(|r| matches!(
-        &r.event,
-        TraceEvent::Spawn { name, daemon: false } if name == "worker"
+    assert!(trace.iter().any(|e| matches!(
+        &e.kind,
+        EventKind::TaskSpawn { name, daemon: false } if name == "worker"
     )));
-    assert!(trace.iter().any(|r| matches!(
-        &r.event,
-        TraceEvent::Complete { name } if name == "worker"
+    assert!(trace.iter().any(|e| matches!(
+        &e.kind,
+        EventKind::TaskComplete { name } if name == "worker"
     )));
     let advance = trace
         .iter()
-        .find(|r| matches!(r.event, TraceEvent::Advance { .. }))
+        .find(|e| matches!(e.kind, EventKind::ClockAdvance { .. }))
         .expect("the sleep advanced the clock");
-    assert_eq!(advance.time, Cycles::new(25));
+    assert_eq!(advance.at, Cycles::new(25));
     // Times are monotone.
     for pair in trace.windows(2) {
-        assert!(pair[0].time <= pair[1].time);
+        assert!(pair[0].at <= pair[1].at);
     }
 }
 
@@ -209,16 +209,19 @@ fn trace_is_off_by_default_and_bounded_when_on() {
 
     let sim = Sim::new();
     sim.enable_trace();
-    // Far more events than the ring holds.
-    for i in 0..m3_sim::TRACE_CAPACITY {
+    // Far more events than the buffer is allowed to hold.
+    const CAP: usize = 64;
+    sim.tracer().set_capacity(CAP);
+    for i in 0..CAP {
         sim.spawn(format!("t{i}"), async {});
     }
     sim.run();
-    assert!(sim.trace().len() <= m3_sim::TRACE_CAPACITY);
-    // The oldest records were dropped, the newest kept.
     let trace = sim.trace();
+    assert_eq!(trace.len(), CAP, "buffer must be bounded at its capacity");
+    assert!(sim.tracer().dropped() > 0, "overflow must be counted");
+    // The oldest records survive; the overflow is dropped, not wrapped.
     assert!(matches!(
-        &trace.last().unwrap().event,
-        TraceEvent::Complete { .. }
+        &trace.first().unwrap().kind,
+        EventKind::TaskSpawn { .. }
     ));
 }
