@@ -27,6 +27,7 @@ fn main() -> ExitCode {
                 Some(p) => metrics_path = Some(p),
                 None => return usage("--metrics needs a path"),
             },
+            "--serial" => m3_bench::exec::set_serial(true),
             other => return usage(&format!("unknown argument {other}")),
         }
     }
@@ -73,6 +74,8 @@ fn write_file(path: &str, content: &str) -> bool {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("fig3: {msg}");
-    eprintln!("usage: fig3 [--trace <out.json>] [--trace-tsv <out.tsv>] [--metrics <out.txt>]");
+    eprintln!(
+        "usage: fig3 [--serial] [--trace <out.json>] [--trace-tsv <out.tsv>] [--metrics <out.txt>]"
+    );
     ExitCode::FAILURE
 }

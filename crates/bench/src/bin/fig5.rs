@@ -1,4 +1,17 @@
 //! Prints the fig5 reproduction table.
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--serial" => m3_bench::exec::set_serial(true),
+            other => {
+                eprintln!("fig5: unknown argument {other}");
+                eprintln!("usage: fig5 [--serial]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     m3_bench::fig5::run().print();
+    ExitCode::SUCCESS
 }

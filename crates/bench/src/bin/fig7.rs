@@ -1,4 +1,17 @@
 //! Prints the fig7 reproduction table.
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--serial" => m3_bench::exec::set_serial(true),
+            other => {
+                eprintln!("fig7: unknown argument {other}");
+                eprintln!("usage: fig7 [--serial]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     m3_bench::fig7::run().print();
+    ExitCode::SUCCESS
 }

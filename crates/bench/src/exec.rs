@@ -1,0 +1,173 @@
+//! Host-parallel scenario execution.
+//!
+//! Every bar/row of every figure is measured in its own single-threaded
+//! [`m3_sim::Sim`], so scenarios are independent and can run on separate OS
+//! threads. The jobs are handed out through a shared counter, but each
+//! result is written to the slot matching its job index, so the assembled
+//! output is in submission order — byte-identical to a serial run — no
+//! matter which worker finished first. Simulated cycle counts cannot change:
+//! threading only overlaps *host* time.
+//!
+//! Serial escape hatch: [`set_serial`] (the binaries' `--serial` flag) or
+//! the `M3_BENCH_SERIAL` environment variable (any value but `0`).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+// m3lint: allow(determinism): host wall-clock measurement only; no simulated time derives from it
+use std::time::Instant;
+
+/// One scenario measurement, boxed so figures can mix closures.
+pub type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
+static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
+
+/// Per-job wall-clock milliseconds, appended in job order by [`run_jobs`].
+static JOB_TIMINGS: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+
+/// Drains the per-scenario wall-clock timings accumulated since the last
+/// call (one entry per job, in submission order). The `perf` binary calls
+/// this after each figure to report the scenario breakdown.
+pub fn take_job_timings() -> Vec<f64> {
+    std::mem::take(&mut JOB_TIMINGS.lock().expect("timings lock"))
+}
+
+fn record_timings(ms: impl IntoIterator<Item = f64>) {
+    JOB_TIMINGS.lock().expect("timings lock").extend(ms);
+}
+
+/// Forces all subsequent [`run_jobs`] calls onto the calling thread (the
+/// `--serial` flag of the figure binaries).
+pub fn set_serial(serial: bool) {
+    FORCE_SERIAL.store(serial, Ordering::Relaxed);
+}
+
+fn serial_requested() -> bool {
+    FORCE_SERIAL.load(Ordering::Relaxed)
+        || std::env::var_os("M3_BENCH_SERIAL").is_some_and(|v| v != *"0")
+}
+
+/// Number of worker threads [`run_jobs`] would use for `jobs` scenarios.
+pub fn workers_for(jobs: usize) -> usize {
+    // m3lint: allow(determinism): threads carry whole independent Sims; nothing inside a Sim is shared
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(jobs).max(1)
+}
+
+/// Runs every job and returns the results in job order.
+///
+/// Jobs execute concurrently across up to [`workers_for`] threads unless a
+/// serial run was requested; each job runs start-to-finish on one thread
+/// (the simulators are single-threaded by design).
+///
+/// # Panics
+///
+/// Propagates a panic from any job, like the serial loop would.
+pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>) -> Vec<T> {
+    let n = jobs.len();
+    if n <= 1 || serial_requested() || workers_for(n) == 1 {
+        return jobs
+            .into_iter()
+            .map(|job| {
+                // m3lint: allow(determinism): host wall clock; feeds only BENCH_*.json
+                let start = Instant::now();
+                let out = job();
+                record_timings([start.elapsed().as_secs_f64() * 1e3]);
+                out
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let jobs: Vec<Mutex<Option<Job<T>>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<(T, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // m3lint: allow(determinism): scenario-level parallelism; every Sim stays single-threaded inside
+    std::thread::scope(|scope| {
+        for _ in 0..workers_for(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i]
+                    .lock()
+                    .expect("job slot lock")
+                    .take()
+                    .expect("each job is claimed once");
+                // m3lint: allow(determinism): host wall clock; feeds only BENCH_*.json
+                let start = Instant::now();
+                let out = job();
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                *results[i].lock().expect("result slot lock") = Some((out, ms));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            let (out, ms) = slot
+                .into_inner()
+                .expect("result slot lock")
+                .expect("every claimed job stores a result");
+            record_timings([ms]);
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let jobs: Vec<Job<usize>> = (0..32)
+            .map(|i| -> Job<usize> {
+                Box::new(move || {
+                    // Later jobs finish first if order were completion order.
+                    std::thread::sleep(std::time::Duration::from_micros(64 - i as u64));
+                    i
+                })
+            })
+            .collect();
+        assert_eq!(run_jobs(jobs), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_flag_still_runs_everything() {
+        set_serial(true);
+        let jobs: Vec<Job<u32>> = (0..8)
+            .map(|i| -> Job<u32> { Box::new(move || i * i) })
+            .collect();
+        let out = run_jobs(jobs);
+        set_serial(false);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(run_jobs::<u8>(Vec::new()), Vec::<u8>::new());
+        let one: Vec<Job<u8>> = vec![Box::new(|| 7)];
+        assert_eq!(run_jobs(one), vec![7]);
+    }
+
+    #[test]
+    fn timings_cover_every_job() {
+        let _ = take_job_timings();
+        let jobs: Vec<Job<u8>> = (0..3).map(|i| -> Job<u8> { Box::new(move || i) }).collect();
+        run_jobs(jobs);
+        // Other tests may interleave their own jobs, but at least ours
+        // must have been recorded, and none may be negative.
+        let ms = take_job_timings();
+        assert!(ms.len() >= 3, "got {} timings", ms.len());
+        assert!(ms.iter().all(|&m| m >= 0.0));
+    }
+
+    #[test]
+    fn worker_count_is_bounded_by_jobs() {
+        assert_eq!(workers_for(0), 1);
+        assert_eq!(workers_for(1), 1);
+        assert!(workers_for(64) >= 1);
+        assert!(workers_for(2) <= 2);
+    }
+}

@@ -19,6 +19,7 @@ use m3_libos::Vpe;
 use m3_lx::{LxConfig, LxMachine};
 use m3_sim::{Event, Sim};
 
+use crate::exec::{self, Job};
 use crate::report::{Bar, Figure, Group};
 
 /// Transfer size of the file/pipe micro-benchmarks (2 MiB, §5.4).
@@ -309,44 +310,39 @@ fn lx_pipe(cfg: LxConfig, label: &str) -> Bar {
 }
 
 /// Runs the complete Figure 3 reproduction.
+///
+/// The twelve bars are independent simulations, so they are measured
+/// concurrently (see [`crate::exec`]) and assembled in the fixed
+/// group/label order the serial harness used.
 pub fn run() -> Figure {
+    let jobs: Vec<Job<Bar>> = vec![
+        Box::new(m3_syscall),
+        Box::new(|| lx_syscall(LxConfig::xtensa(), "Lx")),
+        Box::new(|| lx_syscall(LxConfig::xtensa_warm(), "Lx-$")),
+        Box::new(|| m3_file(true)),
+        Box::new(|| lx_file(LxConfig::xtensa(), "Lx", true)),
+        Box::new(|| lx_file(LxConfig::xtensa_warm(), "Lx-$", true)),
+        Box::new(|| m3_file(false)),
+        Box::new(|| lx_file(LxConfig::xtensa(), "Lx", false)),
+        Box::new(|| lx_file(LxConfig::xtensa_warm(), "Lx-$", false)),
+        Box::new(m3_pipe),
+        Box::new(|| lx_pipe(LxConfig::xtensa(), "Lx")),
+        Box::new(|| lx_pipe(LxConfig::xtensa_warm(), "Lx-$")),
+    ];
+    let mut bars = exec::run_jobs(jobs).into_iter();
+    let mut group = |name: &str| Group {
+        name: name.to_string(),
+        bars: bars.by_ref().take(3).collect(),
+    };
     Figure {
         title:
             "Figure 3: system calls and file operations (cycles; Lx-$ = Linux without cache misses)"
                 .to_string(),
         groups: vec![
-            Group {
-                name: "syscall".to_string(),
-                bars: vec![
-                    m3_syscall(),
-                    lx_syscall(LxConfig::xtensa(), "Lx"),
-                    lx_syscall(LxConfig::xtensa_warm(), "Lx-$"),
-                ],
-            },
-            Group {
-                name: "read".to_string(),
-                bars: vec![
-                    m3_file(true),
-                    lx_file(LxConfig::xtensa(), "Lx", true),
-                    lx_file(LxConfig::xtensa_warm(), "Lx-$", true),
-                ],
-            },
-            Group {
-                name: "write".to_string(),
-                bars: vec![
-                    m3_file(false),
-                    lx_file(LxConfig::xtensa(), "Lx", false),
-                    lx_file(LxConfig::xtensa_warm(), "Lx-$", false),
-                ],
-            },
-            Group {
-                name: "pipe".to_string(),
-                bars: vec![
-                    m3_pipe(),
-                    lx_pipe(LxConfig::xtensa(), "Lx"),
-                    lx_pipe(LxConfig::xtensa_warm(), "Lx-$"),
-                ],
-            },
+            group("syscall"),
+            group("read"),
+            group("write"),
+            group("pipe"),
         ],
     }
 }

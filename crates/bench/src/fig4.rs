@@ -14,6 +14,7 @@ use m3_base::cfg::BENCH_BUF_SIZE;
 use m3_fs::{mount_m3fs, M3FsFileSystem, SetupNode};
 use m3_libos::vfs::{self, OpenFlags};
 
+use crate::exec::{self, Job};
 use crate::fig3::XFER_BYTES;
 use crate::report::Series;
 
@@ -91,10 +92,24 @@ fn write_time(bpe: u64) -> u64 {
 }
 
 /// Runs the complete Figure 4 reproduction.
+///
+/// All sixteen sweep points (8 extent sizes × read/write) run as
+/// concurrent jobs; rows are assembled in sweep order.
 pub fn run() -> Series {
-    let mut rows = Vec::new();
+    let mut jobs: Vec<Job<u64>> = Vec::new();
     for bpe in BLOCKS_PER_EXTENT {
-        rows.push((bpe, vec![read_time(bpe) as f64, write_time(bpe) as f64]));
+        jobs.push(Box::new(move || read_time(bpe)));
+    }
+    for bpe in BLOCKS_PER_EXTENT {
+        jobs.push(Box::new(move || write_time(bpe)));
+    }
+    let vals = exec::run_jobs(jobs);
+    let mut rows = Vec::new();
+    for (i, bpe) in BLOCKS_PER_EXTENT.into_iter().enumerate() {
+        rows.push((
+            bpe,
+            vec![vals[i] as f64, vals[BLOCKS_PER_EXTENT.len() + i] as f64],
+        ));
     }
     Series {
         title: "Figure 4: read/write time of a 2 MiB file vs blocks per extent".to_string(),

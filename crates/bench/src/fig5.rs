@@ -13,6 +13,7 @@ use m3_fs::{mount_m3fs, SetupNode};
 use m3_lx::{LxConfig, LxMachine};
 use m3_sim::Sim;
 
+use crate::exec::{self, Job};
 use crate::report::{Bar, Figure, Group};
 
 /// The five §5.6 benchmarks.
@@ -203,16 +204,24 @@ fn lx_bar(kind: BenchKind, cfg: LxConfig, label: &str) -> Bar {
 }
 
 /// Runs the complete Figure 5 reproduction.
+///
+/// The fifteen bars (5 benchmarks × 3 systems) are independent simulations
+/// measured concurrently and assembled in the paper's order.
 pub fn run() -> Figure {
+    let mut jobs: Vec<Job<Bar>> = Vec::new();
+    for kind in BenchKind::ALL {
+        jobs.push(Box::new(move || m3_bar(kind)));
+        jobs.push(Box::new(move || lx_bar(kind, LxConfig::xtensa(), "Lx")));
+        jobs.push(Box::new(move || {
+            lx_bar(kind, LxConfig::xtensa_warm(), "Lx-$")
+        }));
+    }
+    let mut bars = exec::run_jobs(jobs).into_iter();
     let mut groups = Vec::new();
     for kind in BenchKind::ALL {
         groups.push(Group {
             name: kind.name().to_string(),
-            bars: vec![
-                m3_bar(kind),
-                lx_bar(kind, LxConfig::xtensa(), "Lx"),
-                lx_bar(kind, LxConfig::xtensa_warm(), "Lx-$"),
-            ],
+            bars: bars.by_ref().take(3).collect(),
         });
     }
     Figure {

@@ -15,6 +15,7 @@ use m3_apps::{m3app, tarfmt, workload};
 use m3_fs::{mount_m3fs, SetupNode};
 use m3_noc::NocConfig;
 
+use crate::exec::{self, Job};
 use crate::fig5::BenchKind;
 use crate::report::Series;
 
@@ -99,22 +100,26 @@ pub fn avg_instance_time(kind: BenchKind, n: usize) -> f64 {
 
 /// Runs the complete Figure 6 reproduction: per-benchmark normalized
 /// average instance time over the instance counts.
+///
+/// All 25 (benchmark, instance-count) sweeps run as concurrent jobs; the
+/// normalization base is the `n = 1` raw value of each benchmark (bit-equal
+/// to the serial harness, which computed that value twice — the
+/// simulations are deterministic).
 pub fn run() -> Series {
     let kinds = BenchKind::ALL;
-    let mut rows = Vec::new();
-    let mut base: Vec<f64> = Vec::new();
-    for (ki, kind) in kinds.iter().enumerate() {
-        let t1 = avg_instance_time(*kind, 1);
-        base.push(t1);
-        let _ = ki;
-    }
+    let mut jobs: Vec<Job<f64>> = Vec::new();
     for n in INSTANCES {
-        let mut vals = Vec::new();
-        for (ki, kind) in kinds.iter().enumerate() {
-            let t = avg_instance_time(*kind, n as usize);
-            vals.push(t / base[ki]);
+        for kind in kinds {
+            jobs.push(Box::new(move || avg_instance_time(kind, n as usize)));
         }
-        rows.push((n, vals));
+    }
+    let raw = exec::run_jobs(jobs);
+    // INSTANCES[0] == 1, so the first row is the per-benchmark base.
+    let base = &raw[..kinds.len()];
+    let mut rows = Vec::new();
+    for (ni, n) in INSTANCES.into_iter().enumerate() {
+        let row = &raw[ni * kinds.len()..(ni + 1) * kinds.len()];
+        rows.push((n, row.iter().zip(base).map(|(t, b)| t / b).collect()));
     }
     Series {
         title: "Figure 6: average time per benchmark instance, normalized to 1 instance (flatter is better)"

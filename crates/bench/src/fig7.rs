@@ -16,6 +16,7 @@ use m3_lx::{LxConfig, LxMachine};
 use m3_platform::PeType;
 use m3_sim::Sim;
 
+use crate::exec::{self, Job};
 use crate::report::{Bar, Figure, Group};
 
 fn m3_bar(accel: bool) -> Bar {
@@ -97,13 +98,21 @@ fn lx_bar() -> Bar {
 }
 
 /// Runs the complete Figure 7 reproduction.
+///
+/// The three configurations are independent simulations measured
+/// concurrently.
 pub fn run() -> Figure {
+    let jobs: Vec<Job<Bar>> = vec![
+        Box::new(lx_bar),
+        Box::new(|| m3_bar(false)),
+        Box::new(|| m3_bar(true)),
+    ];
     Figure {
         title: "Figure 7: FFT pipeline — Linux (software) vs M3 (software) vs M3 (accelerator)"
             .to_string(),
         groups: vec![Group {
             name: "fft-pipeline".to_string(),
-            bars: vec![lx_bar(), m3_bar(false), m3_bar(true)],
+            bars: exec::run_jobs(jobs),
         }],
     }
 }

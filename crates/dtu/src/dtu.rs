@@ -10,7 +10,9 @@ use m3_base::error::{Code, Error, Result};
 use m3_base::ids::Label;
 use m3_base::{Cycles, EpId, PeId, Perm};
 use m3_noc::Noc;
-use m3_sim::{keys, Component, Event, EventKind, Metrics, Notify, Recorder, Sim, Stats};
+use m3_sim::{
+    keys, Component, Event, EventKind, Metrics, Notify, Recorder, Sim, StatHandle, Stats,
+};
 
 use crate::endpoint::EpConfig;
 use crate::message::{Header, Message, ReplyInfo};
@@ -59,6 +61,38 @@ struct SystemInner {
     next_deposit: std::cell::Cell<u64>,
 }
 
+/// Pre-resolved handles for the counters the DTU bumps on every message or
+/// transfer, so the hot path indexes a vector instead of walking a
+/// string-keyed map.
+#[derive(Copy, Clone)]
+struct HotStats {
+    msgs_sent: StatHandle,
+    replies_sent: StatHandle,
+    msg_cycles: StatHandle,
+    xfer_cycles: StatHandle,
+    mem_read_bytes: StatHandle,
+    mem_write_bytes: StatHandle,
+    msgs_delivered: StatHandle,
+    msgs_dropped: StatHandle,
+    deposit_no_recv_ep: StatHandle,
+}
+
+impl HotStats {
+    fn new(stats: &Stats) -> HotStats {
+        HotStats {
+            msgs_sent: stats.handle("dtu.msgs_sent"),
+            replies_sent: stats.handle("dtu.replies_sent"),
+            msg_cycles: stats.handle("dtu.msg_cycles"),
+            xfer_cycles: stats.handle("dtu.xfer_cycles"),
+            mem_read_bytes: stats.handle("dtu.mem_read_bytes"),
+            mem_write_bytes: stats.handle("dtu.mem_write_bytes"),
+            msgs_delivered: stats.handle("dtu.msgs_delivered"),
+            msgs_dropped: stats.handle("dtu.msgs_dropped"),
+            deposit_no_recv_ep: stats.handle("dtu.deposit_no_recv_ep"),
+        }
+    }
+}
+
 /// The DTU fabric of a platform: one DTU per NoC node, plus the memories
 /// reachable through memory endpoints.
 ///
@@ -68,6 +102,7 @@ pub struct DtuSystem {
     sim: Sim,
     noc: Noc,
     stats: Stats,
+    hot: HotStats,
     tracer: Recorder,
     metrics: Metrics,
     inner: Rc<SystemInner>,
@@ -89,6 +124,7 @@ impl DtuSystem {
         let count = noc.topology().node_count() as usize;
         noc.attach(sim.tracer(), sim.metrics());
         DtuSystem {
+            hot: HotStats::new(&sim.stats()),
             stats: sim.stats(),
             tracer: sim.tracer(),
             metrics: sim.metrics(),
@@ -168,7 +204,7 @@ impl DtuSystem {
         let allow_replies = match state.eps.get(ep.idx()) {
             Some(EpConfig::Receive { allow_replies, .. }) => *allow_replies,
             _ => {
-                self.stats.incr("dtu.deposit_no_recv_ep");
+                self.stats.incr_handle(self.hot.deposit_no_recv_ep);
                 return;
             }
         };
@@ -178,18 +214,18 @@ impl DtuSystem {
             msg.header.reply = None;
         }
         let Some(rb) = state.ringbufs.get_mut(&ep) else {
-            self.stats.incr("dtu.deposit_no_recv_ep");
+            self.stats.incr_handle(self.hot.deposit_no_recv_ep);
             return;
         };
         if rb.deposit(msg) {
-            self.stats.incr("dtu.msgs_delivered");
+            self.stats.incr_handle(self.hot.msgs_delivered);
             self.metrics
                 .observe(pe, keys::RING_OCCUPANCY, rb.occupied() as u64);
             let arrival = state.arrival.clone();
             drop(pes);
             arrival.notify_all();
         } else {
-            self.stats.incr("dtu.msgs_dropped");
+            self.stats.incr_handle(self.hot.msgs_dropped);
             self.metrics.incr(pe, keys::DTU_DROPS);
             let at = self.sim.now();
             self.tracer.record_with(|| Event {
@@ -436,16 +472,16 @@ impl Dtu {
                     credit_ep: ep,
                 }),
             },
-            payload: payload.to_vec(),
+            payload: payload.into(),
         };
 
         let wire = (MSG_HEADER_SIZE + payload.len()) as u64;
         let now = self.sys.sim.now();
         let t = self.sys.noc.schedule(now, self.pe, target_pe, wire);
-        self.sys.stats.incr("dtu.msgs_sent");
+        self.sys.stats.incr_handle(self.sys.hot.msgs_sent);
         self.sys
             .stats
-            .add("dtu.msg_cycles", (t.completes_at - now).as_u64());
+            .add_handle(self.sys.hot.msg_cycles, (t.completes_at - now).as_u64());
         self.sys
             .metrics
             .add(self.pe, keys::DTU_BUSY, (t.completes_at - now).as_u64());
@@ -495,15 +531,15 @@ impl Dtu {
                 sender_ep: EpId::new(0),
                 reply: None,
             },
-            payload: payload.to_vec(),
+            payload: payload.into(),
         };
         let wire = (MSG_HEADER_SIZE + payload.len()) as u64;
         let now = self.sys.sim.now();
         let t = self.sys.noc.schedule(now, self.pe, rinfo.pe, wire);
-        self.sys.stats.incr("dtu.replies_sent");
+        self.sys.stats.incr_handle(self.sys.hot.replies_sent);
         self.sys
             .stats
-            .add("dtu.msg_cycles", (t.completes_at - now).as_u64());
+            .add_handle(self.sys.hot.msg_cycles, (t.completes_at - now).as_u64());
         self.sys
             .metrics
             .add(self.pe, keys::DTU_BUSY, (t.completes_at - now).as_u64());
@@ -620,6 +656,20 @@ impl Dtu {
     /// - [`Code::NoPerm`] if the endpoint lacks read permission.
     /// - [`Code::InvArgs`] if the access exceeds the region.
     pub async fn read_mem(&self, ep: EpId, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.read_mem_into(ep, offset, &mut buf).await?;
+        Ok(buf)
+    }
+
+    /// Like [`Dtu::read_mem`], but places the data in `buf` instead of
+    /// allocating — the form chunked readers (filesystem, pipes) use so a
+    /// multi-megabyte transfer reuses one buffer across chunks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtu::read_mem`].
+    pub async fn read_mem_into(&self, ep: EpId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let len = buf.len();
         let (pe, base) = self.check_mem_access(ep, offset, len, Perm::R)?;
         self.sys.sim.sleep(timing::CMD_ISSUE).await;
         let now = self.sys.sim.now();
@@ -631,10 +681,13 @@ impl Dtu {
             .noc
             .schedule(req.completes_at + lat, pe, self.pe, len as u64);
         self.sys.sim.sleep_until(data_xfer.completes_at).await;
-        self.sys.stats.add("dtu.mem_read_bytes", len as u64);
         self.sys
             .stats
-            .add("dtu.xfer_cycles", (data_xfer.completes_at - now).as_u64());
+            .add_handle(self.sys.hot.mem_read_bytes, len as u64);
+        self.sys.stats.add_handle(
+            self.sys.hot.xfer_cycles,
+            (data_xfer.completes_at - now).as_u64(),
+        );
         self.sys.metrics.add(
             self.pe,
             keys::DTU_BUSY,
@@ -657,7 +710,8 @@ impl Dtu {
             .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no memory at {pe}")))?;
         let data = mem.data.borrow();
         let start = (base + offset) as usize;
-        Ok(data[start..start + len].to_vec())
+        buf.copy_from_slice(&data[start..start + len]);
+        Ok(())
     }
 
     /// Writes `data` at `offset` within the region of memory endpoint `ep`
@@ -675,10 +729,13 @@ impl Dtu {
         let xfer = self.sys.noc.schedule(now, self.pe, pe, data.len() as u64);
         let lat = self.sys.mem_latency(pe);
         self.sys.sim.sleep_until(xfer.completes_at + lat).await;
-        self.sys.stats.add("dtu.mem_write_bytes", data.len() as u64);
         self.sys
             .stats
-            .add("dtu.xfer_cycles", (xfer.completes_at + lat - now).as_u64());
+            .add_handle(self.sys.hot.mem_write_bytes, data.len() as u64);
+        self.sys.stats.add_handle(
+            self.sys.hot.xfer_cycles,
+            (xfer.completes_at + lat - now).as_u64(),
+        );
         self.sys.metrics.add(
             self.pe,
             keys::DTU_BUSY,

@@ -32,5 +32,5 @@ pub mod timing;
 
 pub use dtu::{Dtu, DtuSystem, KernelToken, MemKind};
 pub use endpoint::EpConfig;
-pub use message::{Header, Message, ReplyInfo};
+pub use message::{Header, Message, Payload, ReplyInfo};
 pub use ringbuf::RingBuf;

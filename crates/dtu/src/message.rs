@@ -1,5 +1,9 @@
 //! Messages and the header the DTU prepends to every payload.
 
+use std::fmt;
+use std::ops::Deref;
+use std::rc::Rc;
+
 use m3_base::ids::Label;
 use m3_base::{EpId, PeId};
 
@@ -36,13 +40,114 @@ pub struct Header {
     pub reply: Option<ReplyInfo>,
 }
 
+/// Shared, immutable payload bytes.
+///
+/// Backed by an `Rc<[u8]>` so the send→ring-buffer→receive path shares one
+/// allocation: depositing, fetching, and cloning a message copies a pointer,
+/// not the bytes. Derefs to `[u8]`, so anything taking `&[u8]` works
+/// unchanged, and it compares against byte slices/arrays/vectors directly.
+#[derive(Clone, Eq)]
+pub struct Payload(Rc<[u8]>);
+
+impl Payload {
+    /// An empty payload (no allocation of note).
+    pub fn empty() -> Payload {
+        Payload(Rc::from(&[][..]))
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload(Rc::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Payload {
+        Payload(Rc::from(v))
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Payload {
+        Payload(Rc::from(&v[..]))
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        *self.0 == **other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self[..] == *other.0
+    }
+}
+
 /// A received message: header plus payload bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Message {
     /// The DTU-generated header.
     pub header: Header,
-    /// The payload as sent.
-    pub payload: Vec<u8>,
+    /// The payload as sent (shared, not copied, between hops).
+    pub payload: Payload,
 }
 
 impl Message {
@@ -71,7 +176,7 @@ mod tests {
                 sender_ep: EpId::new(2),
                 reply: None,
             },
-            payload: vec![0; payload],
+            payload: vec![0; payload].into(),
         }
     }
 
@@ -84,5 +189,27 @@ mod tests {
     #[test]
     fn label_shorthand() {
         assert_eq!(msg(1).label(), 7);
+    }
+
+    #[test]
+    fn payload_shares_one_allocation_across_clones() {
+        let p: Payload = vec![1u8, 2, 3].into();
+        let q = p.clone();
+        assert!(std::ptr::eq(p.as_slice(), q.as_slice()));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn payload_compares_like_bytes() {
+        let p: Payload = (b"ping").into();
+        assert_eq!(p, b"ping");
+        assert_eq!(p, *b"ping");
+        assert_eq!(p, b"ping"[..]);
+        assert_eq!(p, &b"ping"[..]);
+        assert_eq!(p, b"ping".to_vec());
+        assert_eq!(b"ping".to_vec(), p);
+        assert_ne!(p, b"pong");
+        assert_eq!(Payload::empty().len(), 0);
+        assert_eq!(&p[1..3], b"in");
     }
 }

@@ -29,7 +29,7 @@ use crate::message::Message;
 ///         label: 1, len: 0,
 ///         sender_pe: PeId::new(0), sender_ep: EpId::new(0), reply: None,
 ///     },
-///     payload: vec![],
+///     payload: m3_dtu::Payload::empty(),
 /// };
 /// assert!(rb.deposit(msg.clone()));
 /// assert!(rb.deposit(msg.clone()));
@@ -149,7 +149,7 @@ mod tests {
                 sender_ep: EpId::new(0),
                 reply: None,
             },
-            payload: vec![0xaa; payload],
+            payload: vec![0xaa; payload].into(),
         }
     }
 

@@ -243,8 +243,9 @@ impl RegularFile {
         let n = (buf.len() as u64)
             .min(ext_end - self.pos)
             .min(self.size - self.pos);
-        let data = c.mem.read(self.pos - c.file_off, n as usize).await?;
-        buf[..n as usize].copy_from_slice(&data);
+        c.mem
+            .read_into(self.pos - c.file_off, &mut buf[..n as usize])
+            .await?;
         self.pos += n;
         Ok(n as usize)
     }

@@ -334,6 +334,17 @@ impl MemGate {
         self.env.dtu().read_mem(ep, offset, len).await
     }
 
+    /// Reads `buf.len()` bytes at `offset` into `buf`, without allocating —
+    /// the form chunked readers use to reuse one buffer across chunks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates permission and bounds errors from the DTU.
+    pub async fn read_into(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let ep = self.ensure_ep().await?;
+        self.env.dtu().read_mem_into(ep, offset, buf).await
+    }
+
     /// Writes `data` at `offset`.
     ///
     /// # Errors

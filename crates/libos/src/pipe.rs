@@ -298,8 +298,9 @@ impl PipeReader {
         }
         let (msg, pos, len, consumed) = self.cur.take().expect("chunk state");
         let n = (buf.len() as u64).min(len - consumed);
-        let data = self.mem.read(pos + consumed, n as usize).await?;
-        buf[..n as usize].copy_from_slice(&data);
+        self.mem
+            .read_into(pos + consumed, &mut buf[..n as usize])
+            .await?;
         let at = self.env.sim().now();
         self.env.sim().tracer().record_with(|| Event {
             at,

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use m3_base::cycles::{transfer_time, Cycles};
 use m3_base::PeId;
-use m3_sim::{keys, Component, Event, EventKind, Metrics, Recorder, Stats};
+use m3_sim::{keys, Component, Event, EventKind, Metrics, Recorder, StatHandle, Stats};
 
 use crate::routing::{route, Link};
 use crate::topology::Topology;
@@ -59,6 +59,11 @@ struct NocInner {
     /// Per-directed-link time until which the link is reserved.
     busy_until: BTreeMap<Link, Cycles>,
     stats: Stats,
+    /// Handles for the three counters bumped on every transfer, resolved
+    /// once so `schedule` skips the string-keyed map lookups.
+    stat_transfers: StatHandle,
+    stat_bytes: StatHandle,
+    stat_wait: StatHandle,
     /// Event sink; a detached (disabled) recorder until [`Noc::attach`].
     tracer: Recorder,
     /// Per-PE metrics; a detached bag until [`Noc::attach`].
@@ -98,12 +103,16 @@ impl fmt::Debug for Noc {
 impl Noc {
     /// Creates a NoC over `topo` with the given configuration.
     pub fn new(topo: Topology, cfg: NocConfig) -> Noc {
+        let stats = Stats::new();
         Noc {
             inner: Rc::new(RefCell::new(NocInner {
                 topo,
                 cfg,
                 busy_until: BTreeMap::new(),
-                stats: Stats::new(),
+                stat_transfers: stats.handle("noc.transfers"),
+                stat_bytes: stats.handle("noc.bytes"),
+                stat_wait: stats.handle("noc.wait_cycles"),
+                stats,
                 tracer: Recorder::new(),
                 metrics: Metrics::new(),
             })),
@@ -183,9 +192,9 @@ impl Noc {
         }
         let completes_at = arrival + duration;
 
-        inner.stats.incr("noc.transfers");
-        inner.stats.add("noc.bytes", bytes);
-        inner.stats.add("noc.wait_cycles", waited.as_u64());
+        inner.stats.incr_handle(inner.stat_transfers);
+        inner.stats.add_handle(inner.stat_bytes, bytes);
+        inner.stats.add_handle(inner.stat_wait, waited.as_u64());
         // Each of the hops+1 links (injection port included) is reserved
         // for the wire duration; attribute that to the sourcing node.
         inner.metrics.add(

@@ -2,7 +2,7 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -14,9 +14,22 @@ use std::task::{Context, Poll, Wake, Waker};
 use m3_base::cycles::Cycles;
 use m3_trace::{Component, Event, EventKind, Metrics, Recorder};
 
+use crate::gauges;
 use crate::stats::Stats;
 
-type TaskId = u64;
+/// A slot-plus-generation task handle.
+///
+/// Task storage is a slab ([`Inner::slots`]); slots are recycled through a
+/// free list, so a bare index could alias a dead task with a later one. The
+/// generation disambiguates: a waker holding a stale `TaskId` finds the
+/// slot's generation advanced and is ignored, exactly like the old
+/// map-lookup miss.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct TaskId {
+    slot: u32,
+    gen: u32,
+}
+
 type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 
 /// The shared ready-queue the wakers push into.
@@ -30,7 +43,7 @@ struct ReadyQueue {
 
 impl ReadyQueue {
     /// Locks the queue. The executor is single-threaded, so the lock is
-    /// never contended; a poisoned lock (a panic while pushing a `u64`)
+    /// never contended; a poisoned lock (a panic while pushing a `TaskId`)
     /// leaves the queue intact, so recovering the guard is sound.
     fn lock(&self) -> MutexGuard<'_, VecDeque<TaskId>> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
@@ -57,10 +70,19 @@ impl Wake for TaskWaker {
 }
 
 struct Task {
-    name: String,
+    /// Interned once at spawn; trace events and stall reports clone the
+    /// `Rc`, not the characters.
+    name: Rc<str>,
     future: BoxFuture,
     waker_state: Arc<TaskWaker>,
     daemon: bool,
+}
+
+/// One slab slot: the current generation plus the task occupying it (if
+/// any). The generation advances when the occupant is removed.
+struct Slot {
+    gen: u32,
+    task: Option<Task>,
 }
 
 /// Where a run stopped.
@@ -77,17 +99,66 @@ pub enum SimState {
 
 struct Inner {
     now: Cycles,
-    next_task: TaskId,
     next_seq: u64,
     /// Live tasks that are not daemons; the run loop finishes when this
     /// reaches zero.
     live_regular: usize,
-    tasks: BTreeMap<TaskId, Task>,
+    /// Task slab, indexed by `TaskId::slot`. Vacant slots are listed in
+    /// `free` and reused in LIFO order.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
     /// Timer wheel: (deadline, sequence) -> waker. `Reverse` makes the
     /// `BinaryHeap` a min-heap; the sequence number keeps same-cycle events in
     /// scheduling order, which is what makes runs deterministic.
     timers: BinaryHeap<Reverse<(Cycles, u64, TimerEntry)>>,
     stats: Stats,
+    /// Host-side gauges, merged into [`gauges`] after every run/settle call
+    /// and on drop. `reported` remembers what was already contributed so
+    /// repeated flushes only add the delta.
+    spawned: u64,
+    polls: u64,
+    timers_scheduled: u64,
+    peak_tasks: u64,
+    peak_timers: u64,
+    reported: gauges::Gauges,
+}
+
+impl Inner {
+    /// Pushes a timer entry, tagging it with the next scheduling sequence
+    /// number. Both the initial registration and the re-queue paths (limit
+    /// reached in `run_inner`, slack exceeded in `settle`) go through here,
+    /// so the (deadline, sequence) ordering semantics cannot drift apart.
+    fn push_timer(&mut self, deadline: Cycles, entry: TimerEntry) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.timers.push(Reverse((deadline, seq, entry)));
+        self.peak_timers = self.peak_timers.max(self.timers.len() as u64);
+    }
+
+    fn live_tasks(&self) -> u64 {
+        (self.slots.len() - self.free.len()) as u64
+    }
+
+    /// Contributes everything not yet reported to the process-wide gauges.
+    /// Runs after every run/settle call (a `Sim` kept alive by daemon-task
+    /// reference cycles would otherwise never report) and again on drop.
+    fn flush_gauges(&mut self) {
+        let totals = gauges::Gauges {
+            tasks_spawned: self.spawned,
+            task_polls: self.polls,
+            timers_scheduled: self.timers_scheduled,
+            peak_live_tasks: self.peak_tasks,
+            peak_pending_timers: self.peak_timers,
+        };
+        gauges::merge(totals.since(&self.reported));
+        self.reported = totals;
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.flush_gauges();
+    }
 }
 
 /// Wrapper so the heap can order entries without comparing wakers.
@@ -134,7 +205,7 @@ impl fmt::Debug for Sim {
         let inner = self.inner.borrow();
         f.debug_struct("Sim")
             .field("now", &inner.now)
-            .field("live_tasks", &inner.tasks.len())
+            .field("live_tasks", &inner.live_tasks())
             .field("pending_timers", &inner.timers.len())
             .finish()
     }
@@ -146,12 +217,18 @@ impl Sim {
         Sim {
             inner: Rc::new(RefCell::new(Inner {
                 now: Cycles::ZERO,
-                next_task: 0,
                 next_seq: 0,
                 live_regular: 0,
-                tasks: BTreeMap::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
                 timers: BinaryHeap::new(),
                 stats: Stats::new(),
+                spawned: 0,
+                polls: 0,
+                timers_scheduled: 0,
+                peak_tasks: 0,
+                peak_timers: 0,
+                reported: gauges::Gauges::default(),
             })),
             ready: Arc::new(ReadyQueue::default()),
             recorder: Recorder::new(),
@@ -237,27 +314,37 @@ impl Sim {
             *slot.borrow_mut() = Some(out);
             done.notify_all();
         };
+        let name: Rc<str> = Rc::from(name.into());
 
         let mut inner = self.inner.borrow_mut();
-        let id = inner.next_task;
-        inner.next_task += 1;
+        let idx = match inner.free.pop() {
+            Some(idx) => idx,
+            None => {
+                inner.slots.push(Slot { gen: 0, task: None });
+                (inner.slots.len() - 1) as u32
+            }
+        };
+        let id = TaskId {
+            slot: idx,
+            gen: inner.slots[idx as usize].gen,
+        };
         let waker_state = Arc::new(TaskWaker {
             task: id,
             ready: self.ready.clone(),
             queued: AtomicBool::new(true), // starts queued
         });
-        inner.tasks.insert(
-            id,
-            Task {
-                name: name.into(),
-                future: Box::pin(wrapped),
-                waker_state,
-                daemon,
-            },
-        );
+        inner.slots[idx as usize].task = Some(Task {
+            name: name.clone(),
+            future: Box::pin(wrapped),
+            waker_state,
+            daemon,
+        });
         if !daemon {
             inner.live_regular += 1;
         }
+        inner.spawned += 1;
+        let live = inner.live_tasks();
+        inner.peak_tasks = inner.peak_tasks.max(live);
         let at = inner.now;
         self.recorder.record_with(|| Event {
             at,
@@ -265,7 +352,7 @@ impl Sim {
             pe: None,
             comp: Component::Sched,
             kind: EventKind::TaskSpawn {
-                name: inner.tasks[&id].name.clone(),
+                name: name.clone(),
                 daemon,
             },
         });
@@ -278,11 +365,8 @@ impl Sim {
     pub fn schedule_wake(&self, delay: Cycles, waker: Waker) {
         let mut inner = self.inner.borrow_mut();
         let deadline = inner.now + delay;
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        inner
-            .timers
-            .push(Reverse((deadline, seq, TimerEntry(waker))));
+        inner.timers_scheduled += 1;
+        inner.push_timer(deadline, TimerEntry(waker));
     }
 
     /// Suspends the calling task for `delay` simulated cycles.
@@ -293,7 +377,7 @@ impl Sim {
         Sleep {
             sim: self.clone(),
             delay,
-            registered: false,
+            deadline: None,
         }
     }
 
@@ -331,6 +415,11 @@ impl Sim {
     /// pass `now + slack`. Daemons blocked on notifications leave no timers,
     /// so this terminates.
     pub fn settle(&self, slack: Cycles) {
+        self.settle_inner(slack);
+        self.inner.borrow_mut().flush_gauges();
+    }
+
+    fn settle_inner(&self, slack: Cycles) {
         let limit = self.now() + slack;
         loop {
             loop {
@@ -343,9 +432,7 @@ impl Sim {
                 return;
             };
             if deadline > limit {
-                let seq = inner.next_seq;
-                inner.next_seq += 1;
-                inner.timers.push(Reverse((deadline, seq, entry)));
+                inner.push_timer(deadline, entry);
                 return;
             }
             inner.now = deadline;
@@ -357,29 +444,41 @@ impl Sim {
     fn poll_task(&self, id: TaskId) {
         let (mut future, waker) = {
             let mut inner = self.inner.borrow_mut();
-            let Some(task) = inner.tasks.get_mut(&id) else {
+            let Some(slot) = inner.slots.get_mut(id.slot as usize) else {
+                return;
+            };
+            // A stale wake-up for a recycled slot must not poll the new
+            // occupant: the generation check is the slab equivalent of the
+            // old "task no longer in the map" miss.
+            if slot.gen != id.gen {
+                return;
+            }
+            let Some(task) = slot.task.as_mut() else {
                 return;
             };
             task.waker_state.queued.store(false, Ordering::Relaxed);
             let fut = std::mem::replace(&mut task.future, Box::pin(async {}));
+            let name = task.name.clone();
+            let waker = Waker::from(task.waker_state.clone());
+            inner.polls += 1;
             let at = inner.now;
             self.recorder.record_with(|| Event {
                 at,
                 dur: Cycles::ZERO,
                 pe: None,
                 comp: Component::Sched,
-                kind: EventKind::TaskPoll {
-                    name: inner.tasks[&id].name.clone(),
-                },
+                kind: EventKind::TaskPoll { name },
             });
-            let task = inner.tasks.get_mut(&id).expect("task still present");
-            (fut, Waker::from(task.waker_state.clone()))
+            (fut, waker)
         };
         let mut cx = Context::from_waker(&waker);
         match future.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 let mut inner = self.inner.borrow_mut();
-                if let Some(task) = inner.tasks.remove(&id) {
+                let slot = &mut inner.slots[id.slot as usize];
+                if let Some(task) = slot.task.take() {
+                    slot.gen = slot.gen.wrapping_add(1);
+                    inner.free.push(id.slot);
                     if !task.daemon {
                         inner.live_regular -= 1;
                     }
@@ -395,14 +494,24 @@ impl Sim {
             }
             Poll::Pending => {
                 let mut inner = self.inner.borrow_mut();
-                if let Some(task) = inner.tasks.get_mut(&id) {
-                    task.future = future;
+                if let Some(slot) = inner.slots.get_mut(id.slot as usize) {
+                    if slot.gen == id.gen {
+                        if let Some(task) = slot.task.as_mut() {
+                            task.future = future;
+                        }
+                    }
                 }
             }
         }
     }
 
     fn run_inner(&self, limit: Option<Cycles>) -> SimState {
+        let state = self.run_loop(limit);
+        self.inner.borrow_mut().flush_gauges();
+        state
+    }
+
+    fn run_loop(&self, limit: Option<Cycles>) -> SimState {
         loop {
             // Drain the ready queue first: all work at the current instant.
             loop {
@@ -418,10 +527,11 @@ impl Sim {
             }
             let Some(Reverse((deadline, _, entry))) = inner.timers.pop() else {
                 let stalled = inner
-                    .tasks
-                    .values()
+                    .slots
+                    .iter()
+                    .filter_map(|s| s.task.as_ref())
                     .filter(|t| !t.daemon)
-                    .map(|t| t.name.clone())
+                    .map(|t| t.name.to_string())
                     .collect();
                 return SimState::Stalled(stalled);
             };
@@ -433,9 +543,7 @@ impl Sim {
                         inner.now = limit;
                     }
                     // Put the timer back for a future run call.
-                    let seq = inner.next_seq;
-                    inner.next_seq += 1;
-                    inner.timers.push(Reverse((deadline, seq, entry)));
+                    inner.push_timer(deadline, entry);
                     return SimState::TimeLimit;
                 }
             }
@@ -458,24 +566,40 @@ impl Sim {
 }
 
 /// Future returned by [`Sim::sleep`].
+///
+/// Readiness is gated on the recorded deadline, not on "was I polled
+/// again": a spurious wake-up (e.g. through a cloned waker) before the
+/// deadline leaves the sleep pending, and the originally registered timer
+/// still completes it at the right cycle.
 #[derive(Debug)]
 pub struct Sleep {
     sim: Sim,
     delay: Cycles,
-    registered: bool,
+    /// Set on first poll, when the timer is registered.
+    deadline: Option<Cycles>,
 }
 
 impl Future for Sleep {
     type Output = ();
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if self.registered {
-            Poll::Ready(())
-        } else {
-            self.registered = true;
-            let delay = self.delay;
-            self.sim.schedule_wake(delay, cx.waker().clone());
-            Poll::Pending
+        match self.deadline {
+            Some(deadline) => {
+                if self.sim.now() >= deadline {
+                    Poll::Ready(())
+                } else {
+                    // Woken early: the registered timer is still pending and
+                    // will wake this task at the deadline; do not re-arm.
+                    Poll::Pending
+                }
+            }
+            None => {
+                let delay = self.delay;
+                let deadline = self.sim.now() + delay;
+                self.deadline = Some(deadline);
+                self.sim.schedule_wake(delay, cx.waker().clone());
+                Poll::Pending
+            }
         }
     }
 }
@@ -804,4 +928,81 @@ mod tests {
         sim.run();
         assert_eq!(h.try_take().unwrap(), 7);
     }
+
+    /// A wrapper that injects a spurious wake-up `spurious_at` cycles after
+    /// its first poll, then defers to the inner sleep.
+    struct SpuriousWake {
+        sleep: Sleep,
+        sim: Sim,
+        spurious_at: Cycles,
+        injected: bool,
+    }
+
+    impl Future for SpuriousWake {
+        type Output = ();
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let this = self.get_mut();
+            if !this.injected {
+                this.injected = true;
+                this.sim.schedule_wake(this.spurious_at, cx.waker().clone());
+            }
+            Pin::new(&mut this.sleep).poll(cx)
+        }
+    }
+
+    #[test]
+    fn spurious_wake_does_not_complete_sleep_early() {
+        // Regression: `Sleep` used to return `Ready` on *any* second poll,
+        // so a wake-up from a cloned waker completed it before its deadline.
+        let sim = Sim::new();
+        let h = sim.spawn("sleeper", {
+            let sim = sim.clone();
+            async move {
+                SpuriousWake {
+                    sleep: sim.sleep(Cycles::new(100)),
+                    sim: sim.clone(),
+                    spurious_at: Cycles::new(10),
+                    injected: false,
+                }
+                .await;
+                sim.now()
+            }
+        });
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(
+            h.try_take().unwrap(),
+            Cycles::new(100),
+            "sleep must not complete at the spurious wake (cycle 10)"
+        );
+    }
+
+    #[test]
+    fn slab_recycles_slots_without_aliasing() {
+        // Thousands of short-lived tasks must reuse a handful of slots, and
+        // stale wake-ups for dead tasks must never poll their successors.
+        let sim = Sim::new();
+        let done = Rc::new(Cell::new(0u32));
+        for wave in 0..100u64 {
+            for i in 0..10u64 {
+                let sim2 = sim.clone();
+                let done = done.clone();
+                sim.spawn(format!("w{wave}-{i}"), async move {
+                    sim2.sleep(Cycles::new(wave * 10 + i)).await;
+                    done.set(done.get() + 1);
+                });
+            }
+        }
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(done.get(), 1000);
+        // The slab never grew beyond the 1000 concurrently-live tasks, and
+        // the free list got them all back.
+        let inner = sim.inner.borrow();
+        assert_eq!(inner.slots.len(), 1000);
+        assert_eq!(inner.free.len(), 1000);
+        assert_eq!(inner.peak_tasks, 1000);
+        assert!(inner.peak_timers > 0);
+    }
+
+    use std::cell::Cell;
 }

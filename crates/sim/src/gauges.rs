@@ -1,0 +1,100 @@
+//! Process-global executor gauges for host-performance tracking.
+//!
+//! Each [`crate::Sim`] keeps plain per-run counters on its hot paths (no
+//! atomics per poll) and merges the unreported delta here after every
+//! run/settle call and when the simulation is dropped (daemon tasks keep
+//! many `Sim`s alive through reference cycles, so drop alone would miss
+//! them). The perf harness snapshots the globals before and after a figure
+//! to attribute executor work to it; the atomics make that safe even when
+//! scenarios run on worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TASKS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+static TASK_POLLS: AtomicU64 = AtomicU64::new(0);
+static TIMERS_SCHEDULED: AtomicU64 = AtomicU64::new(0);
+static PEAK_LIVE_TASKS: AtomicU64 = AtomicU64::new(0);
+static PEAK_PENDING_TIMERS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of (or contribution to) the executor gauges.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Gauges {
+    /// Total tasks ever spawned.
+    pub tasks_spawned: u64,
+    /// Total future polls.
+    pub task_polls: u64,
+    /// Total timers registered.
+    pub timers_scheduled: u64,
+    /// Highest number of concurrently live tasks in any single `Sim`.
+    pub peak_live_tasks: u64,
+    /// Highest number of pending timers in any single `Sim`.
+    pub peak_pending_timers: u64,
+}
+
+impl Gauges {
+    /// Component-wise difference against an earlier snapshot. Totals
+    /// subtract; peaks are already per-`Sim` maxima, so the later value is
+    /// kept as-is.
+    #[must_use]
+    pub fn since(&self, earlier: &Gauges) -> Gauges {
+        Gauges {
+            tasks_spawned: self.tasks_spawned.wrapping_sub(earlier.tasks_spawned),
+            task_polls: self.task_polls.wrapping_sub(earlier.task_polls),
+            timers_scheduled: self.timers_scheduled.wrapping_sub(earlier.timers_scheduled),
+            peak_live_tasks: self.peak_live_tasks,
+            peak_pending_timers: self.peak_pending_timers,
+        }
+    }
+}
+
+/// Merges one finished simulation's counters into the process totals.
+pub(crate) fn merge(g: Gauges) {
+    TASKS_SPAWNED.fetch_add(g.tasks_spawned, Ordering::Relaxed);
+    TASK_POLLS.fetch_add(g.task_polls, Ordering::Relaxed);
+    TIMERS_SCHEDULED.fetch_add(g.timers_scheduled, Ordering::Relaxed);
+    PEAK_LIVE_TASKS.fetch_max(g.peak_live_tasks, Ordering::Relaxed);
+    PEAK_PENDING_TIMERS.fetch_max(g.peak_pending_timers, Ordering::Relaxed);
+}
+
+/// Reads the current process-wide gauge values.
+///
+/// Includes every simulation that has finished a run/settle call or been
+/// dropped; work done since a `Sim`'s last run call appears once it runs
+/// again or goes away.
+pub fn snapshot() -> Gauges {
+    Gauges {
+        tasks_spawned: TASKS_SPAWNED.load(Ordering::Relaxed),
+        task_polls: TASK_POLLS.load(Ordering::Relaxed),
+        timers_scheduled: TIMERS_SCHEDULED.load(Ordering::Relaxed),
+        peak_live_tasks: PEAK_LIVE_TASKS.load(Ordering::Relaxed),
+        peak_pending_timers: PEAK_PENDING_TIMERS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+    use m3_base::cycles::Cycles;
+
+    #[test]
+    fn dropped_sim_contributes_to_globals() {
+        let before = snapshot();
+        {
+            let sim = Sim::new();
+            for i in 0..5u64 {
+                let sim2 = sim.clone();
+                sim.spawn(format!("g{i}"), async move {
+                    sim2.sleep(Cycles::new(i)).await;
+                });
+            }
+            sim.run();
+        } // drop merges
+        let delta = snapshot().since(&before);
+        assert_eq!(delta.tasks_spawned, 5);
+        assert!(delta.task_polls >= 10, "each task polls at least twice");
+        assert_eq!(delta.timers_scheduled, 5);
+        assert!(snapshot().peak_live_tasks >= 5);
+        assert!(snapshot().peak_pending_timers >= 1);
+    }
+}

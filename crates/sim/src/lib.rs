@@ -28,6 +28,7 @@
 
 mod channel;
 mod executor;
+pub mod gauges;
 mod notify;
 mod stats;
 
@@ -35,4 +36,4 @@ pub use channel::{channel, Receiver, Sender};
 pub use executor::{JoinHandle, Sim, SimState};
 pub use m3_trace::{keys, Component, Event, EventKind, Histogram, Metrics, Recorder};
 pub use notify::Notify;
-pub use stats::Stats;
+pub use stats::{StatHandle, Stats};

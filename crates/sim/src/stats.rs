@@ -5,11 +5,39 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
+/// An index-based handle to one counter, resolved once via
+/// [`Stats::handle`]. Incrementing through a handle is a vector index, not a
+/// string-keyed map lookup — use it on hot paths (the DTU bumps several
+/// counters per message).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StatHandle(usize);
+
+#[derive(Default)]
+struct Inner {
+    /// Counter name → index into `values`. Only consulted by the string API
+    /// and when resolving handles; the dump order stays name-sorted.
+    index: BTreeMap<String, usize>,
+    values: Vec<u64>,
+}
+
+impl Inner {
+    fn slot(&mut self, key: &str) -> usize {
+        if let Some(&i) = self.index.get(key) {
+            return i;
+        }
+        let i = self.values.len();
+        self.values.push(0);
+        self.index.insert(key.to_string(), i);
+        i
+    }
+}
+
 /// A bag of named counters shared across a simulation.
 ///
 /// Components increment counters (messages sent, bytes transferred, cache
-/// misses, …); benchmarks and tests read them afterwards. A `BTreeMap` keeps
-/// the dump order stable.
+/// misses, …); benchmarks and tests read them afterwards. Values live in a
+/// flat vector; a name index keeps the dump order stable and lets hot paths
+/// pre-resolve a [`StatHandle`] so per-increment cost is an array index.
 ///
 /// # Examples
 ///
@@ -22,10 +50,15 @@ use std::rc::Rc;
 /// assert_eq!(stats.get("noc.bytes"), 4096);
 /// assert_eq!(stats.get("noc.packets"), 1);
 /// assert_eq!(stats.get("unknown"), 0);
+///
+/// // Hot paths resolve the name once:
+/// let h = stats.handle("noc.bytes");
+/// stats.add_handle(h, 4096);
+/// assert_eq!(stats.get("noc.bytes"), 8192);
 /// ```
 #[derive(Clone, Default)]
 pub struct Stats {
-    counters: Rc<RefCell<BTreeMap<String, u64>>>,
+    inner: Rc<RefCell<Inner>>,
 }
 
 impl Stats {
@@ -34,12 +67,33 @@ impl Stats {
         Stats::default()
     }
 
+    /// Registers (or finds) the counter `key` and returns its handle.
+    ///
+    /// Handles stay valid for the lifetime of the `Stats` bag and all its
+    /// clones; [`Stats::clear`] invalidates them.
+    pub fn handle(&self, key: &str) -> StatHandle {
+        StatHandle(self.inner.borrow_mut().slot(key))
+    }
+
+    /// Adds `n` to the counter behind `h`. Saturates at `u64::MAX`.
+    pub fn add_handle(&self, h: StatHandle, n: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let slot = &mut inner.values[h.0];
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Increments the counter behind `h` by one.
+    pub fn incr_handle(&self, h: StatHandle) {
+        self.add_handle(h, 1);
+    }
+
     /// Adds `n` to the counter `key`, creating it at zero if absent.
     /// Saturates at `u64::MAX` instead of wrapping (or panicking in debug
     /// builds) on overflow.
     pub fn add(&self, key: &str, n: u64) {
-        let mut counters = self.counters.borrow_mut();
-        let slot = counters.entry(key.to_string()).or_insert(0);
+        let mut inner = self.inner.borrow_mut();
+        let i = inner.slot(key);
+        let slot = &mut inner.values[i];
         *slot = slot.saturating_add(n);
     }
 
@@ -50,28 +104,34 @@ impl Stats {
 
     /// Reads a counter; absent counters read as zero.
     pub fn get(&self, key: &str) -> u64 {
-        self.counters.borrow().get(key).copied().unwrap_or(0)
+        let inner = self.inner.borrow();
+        inner.index.get(key).map(|&i| inner.values[i]).unwrap_or(0)
     }
 
-    /// Resets all counters.
+    /// Resets all counters and forgets their names. Previously issued
+    /// [`StatHandle`]s are invalidated.
     pub fn clear(&self) {
-        self.counters.borrow_mut().clear();
+        let mut inner = self.inner.borrow_mut();
+        inner.index.clear();
+        inner.values.clear();
     }
 
     /// Returns a snapshot of all counters, sorted by name.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
-        self.counters
-            .borrow()
+        let inner = self.inner.borrow();
+        inner
+            .index
             .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .map(|(k, &i)| (k.clone(), inner.values[i]))
             .collect()
     }
 }
 
 impl fmt::Debug for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
         f.debug_map()
-            .entries(self.counters.borrow().iter())
+            .entries(inner.index.iter().map(|(k, &i)| (k, inner.values[i])))
             .finish()
     }
 }
@@ -125,5 +185,30 @@ mod tests {
         stats.clear();
         assert_eq!(stats.get("x"), 0);
         assert!(stats.snapshot().is_empty());
+    }
+
+    #[test]
+    fn handles_alias_the_named_counter() {
+        let stats = Stats::new();
+        stats.add("dtu.bytes", 10);
+        let h = stats.handle("dtu.bytes");
+        stats.add_handle(h, 5);
+        stats.incr_handle(h);
+        assert_eq!(stats.get("dtu.bytes"), 16);
+        // Handles resolve before first use too.
+        let h2 = stats.handle("fresh");
+        stats.incr_handle(h2);
+        assert_eq!(stats.get("fresh"), 1);
+        // Same name, same slot.
+        assert_eq!(stats.handle("dtu.bytes"), h);
+    }
+
+    #[test]
+    fn handle_add_saturates() {
+        let stats = Stats::new();
+        let h = stats.handle("h");
+        stats.add_handle(h, u64::MAX - 1);
+        stats.add_handle(h, 7);
+        assert_eq!(stats.get("h"), u64::MAX);
     }
 }

@@ -144,7 +144,7 @@ mod tests {
                 pe: None,
                 comp: Component::Sched,
                 kind: EventKind::TaskPoll {
-                    name: "a \"quoted\" name".to_string(),
+                    name: "a \"quoted\" name".into(),
                 },
             },
         ]

@@ -180,14 +180,14 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Event, String> {
     let f = &cols[5..];
     let kind = match field(&cols, 4, line_no)? {
         "task_spawn" => EventKind::TaskSpawn {
-            name: unescape(field(f, 0, line_no)?),
+            name: unescape(field(f, 0, line_no)?).into(),
             daemon: field(f, 1, line_no)? == "1",
         },
         "task_poll" => EventKind::TaskPoll {
-            name: unescape(field(f, 0, line_no)?),
+            name: unescape(field(f, 0, line_no)?).into(),
         },
         "task_complete" => EventKind::TaskComplete {
-            name: unescape(field(f, 0, line_no)?),
+            name: unescape(field(f, 0, line_no)?).into(),
         },
         "clock_advance" => EventKind::ClockAdvance {
             from: Cycles::new(num(f, 0, line_no)?),
@@ -273,7 +273,7 @@ mod tests {
                 pe: None,
                 comp: Component::Sched,
                 kind: EventKind::TaskSpawn {
-                    name: "tab\tand\\slash".to_string(),
+                    name: "tab\tand\\slash".into(),
                     daemon: true,
                 },
             },

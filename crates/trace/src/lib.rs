@@ -102,20 +102,21 @@ impl Component {
 pub enum EventKind {
     /// A task was spawned.
     TaskSpawn {
-        /// Task name.
-        name: String,
+        /// Task name, interned so per-poll events clone a pointer, not the
+        /// characters.
+        name: Rc<str>,
         /// Whether it is a daemon (does not keep the simulation alive).
         daemon: bool,
     },
     /// A task was polled by the executor.
     TaskPoll {
-        /// Task name.
-        name: String,
+        /// Task name (interned).
+        name: Rc<str>,
     },
     /// A task ran to completion.
     TaskComplete {
-        /// Task name.
-        name: String,
+        /// Task name (interned).
+        name: Rc<str>,
     },
     /// The clock advanced to fire a timer.
     ClockAdvance {

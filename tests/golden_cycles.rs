@@ -1,0 +1,58 @@
+//! Golden cycle-count snapshots: one representative scenario from each of
+//! fig3–fig7, asserted against *exact* simulated totals.
+//!
+//! The figure shape tests check ratios and trends; this suite pins the raw
+//! numbers, so any change to simulated semantics — however plausible its
+//! relative results — shows up as a diff. Host-side optimisation work
+//! (threading, allocation, data-structure swaps) must keep every one of
+//! these bit-identical.
+
+use m3_bench::fig5::BenchKind;
+
+#[test]
+fn fig3_syscall_and_file_read_totals() {
+    let fig = m3_bench::fig3::run();
+    assert_eq!(fig.bar("syscall", "M3").total, 199);
+    assert_eq!(fig.bar("read", "M3").total, 366_158);
+    assert_eq!(fig.bar("read", "Lx").total, 3_437_580);
+    assert_eq!(fig.bar("read", "Lx-$").total, 1_730_316);
+}
+
+#[test]
+fn fig4_fragmentation_sweep_endpoints() {
+    let s = m3_bench::fig4::run();
+    assert_eq!(s.value(16, "read (cycles)"), 562_246.0);
+    assert_eq!(s.value(256, "read (cycles)"), 376_966.0);
+    assert_eq!(s.value(16, "write (cycles)"), 1_072_200.0);
+    assert_eq!(s.value(256, "write (cycles)"), 406_920.0);
+}
+
+#[test]
+fn fig5_cat_tr_totals() {
+    let fig = m3_bench::fig5::run();
+    assert_eq!(fig.bar("cat+tr", "M3").total, 174_682);
+    assert_eq!(fig.bar("cat+tr", "Lx").total, 576_280);
+    assert_eq!(fig.bar("cat+tr", "Lx-$").total, 406_552);
+}
+
+#[test]
+fn fig6_find_scaling_average() {
+    // Raw (un-normalized) per-instance averages, so display rounding can't
+    // mask a semantic change.
+    assert_eq!(
+        m3_bench::fig6::avg_instance_time(BenchKind::Find, 1),
+        52_619.0
+    );
+    assert_eq!(
+        m3_bench::fig6::avg_instance_time(BenchKind::Find, 4),
+        53_497.5
+    );
+}
+
+#[test]
+fn fig7_fft_pipeline_totals() {
+    let fig = m3_bench::fig7::run();
+    assert_eq!(fig.bar("fft-pipeline", "Linux").total, 1_532_358);
+    assert_eq!(fig.bar("fft-pipeline", "M3").total, 1_298_537);
+    assert_eq!(fig.bar("fft-pipeline", "M3+accel").total, 110_895);
+}

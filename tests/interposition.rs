@@ -87,7 +87,7 @@ fn a_proxy_can_monitor_a_channel_transparently() {
         let mut answers = Vec::new();
         for text in ["hello", "noc", "isolation"] {
             let reply = client_gate.call(text.as_bytes()).await.unwrap();
-            answers.push(String::from_utf8(reply.payload).unwrap());
+            answers.push(String::from_utf8(reply.payload.to_vec()).unwrap());
         }
         proxy.join().await;
         server.wait().await.unwrap();

@@ -183,11 +183,11 @@ fn trace_records_spawn_complete_and_time_advances() {
     let trace = sim.trace();
     assert!(trace.iter().any(|e| matches!(
         &e.kind,
-        EventKind::TaskSpawn { name, daemon: false } if name == "worker"
+        EventKind::TaskSpawn { name, daemon: false } if &**name == "worker"
     )));
     assert!(trace.iter().any(|e| matches!(
         &e.kind,
-        EventKind::TaskComplete { name } if name == "worker"
+        EventKind::TaskComplete { name } if &**name == "worker"
     )));
     let advance = trace
         .iter()
