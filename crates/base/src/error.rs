@@ -60,6 +60,9 @@ pub enum Code {
     BadMessage,
     /// The operation timed out (used by failure-injection tests).
     Timeout,
+    /// The peer PE or service is unreachable: it crashed, was revoked after
+    /// a dead-PE detection, or repeated retries exhausted their budget.
+    Unreachable,
     /// Generic internal inconsistency.
     Internal,
 }
@@ -94,6 +97,7 @@ impl Code {
             21 => Code::NotSup,
             22 => Code::BadMessage,
             23 => Code::Timeout,
+            24 => Code::Unreachable,
             _ => Code::Internal,
         }
     }
@@ -174,6 +178,7 @@ impl fmt::Display for Error {
             Code::NotSup => "not supported",
             Code::BadMessage => "bad message",
             Code::Timeout => "timed out",
+            Code::Unreachable => "peer unreachable",
             Code::Internal => "internal error",
         };
         match &self.msg {
@@ -200,7 +205,7 @@ mod tests {
 
     #[test]
     fn code_roundtrips_through_wire_format() {
-        for raw in 1..=24 {
+        for raw in 1..=25 {
             let code = Code::from_raw(raw);
             assert_eq!(Code::from_raw(code.as_raw()), code);
         }

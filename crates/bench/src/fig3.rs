@@ -78,18 +78,67 @@ fn lx_syscall(cfg: LxConfig, label: &str) -> Bar {
 }
 
 fn m3_file(read: bool) -> Bar {
-    m3_file_run(read, false).0
+    m3_file_run(read, false, None).0
 }
 
 /// Runs the M3 file benchmark with tracing enabled and returns the recorded
 /// events plus a rendered per-PE metrics snapshot (for export and the
 /// determinism tests).
 pub fn traced_file_read() -> (Vec<Event>, String) {
-    let (_, events, metrics) = m3_file_run(true, true);
+    let (_, events, metrics) = m3_file_run(true, true, None);
     (events, metrics)
 }
 
-fn m3_file_run(read: bool, trace: bool) -> (Bar, Vec<Event>, String) {
+/// Runs the Figure 3 file-read scenario under the fault schedule `plan`,
+/// with tracing enabled and the standard recovery policy installed.
+/// Returns the measured cycle total and the recorded trace events.
+///
+/// The chaos and determinism suites pin this entry point: the same plan
+/// must reproduce the same total and byte-identical events. The caller
+/// picks a plan the workload survives (delays, partitions that heal,
+/// bounded drops); the installed policy retries through message loss.
+pub fn faulted_file_read(plan: m3_fault::FaultPlan) -> (u64, Vec<Event>) {
+    let (bar, events, _) = m3_file_run(true, true, Some(plan));
+    (bar.total, events)
+}
+
+/// The fixed fault schedule pinned by the golden-cycle and determinism
+/// suites: a degraded (but lossless) fs link, a short partition, and a
+/// brief stall of the benchmark PE. The workload must survive it without
+/// retries, so the perturbed total is an exact, reproducible constant.
+pub fn golden_fault_plan() -> m3_fault::FaultPlan {
+    use m3_base::{Cycles, PeId};
+    use m3_fault::CycleWindow;
+    // In the 4-PE fig3 scenario: PE0 kernel, PE1 m3fs, PE2 benchmark,
+    // DRAM on the last NoC node (PE4). The measured read loop moves its
+    // data over the app↔DRAM route (file extents are delegated, so the fs
+    // link is idle during the loop) and runs from roughly cycle 270k to
+    // 640k — the stall and partition windows sit inside that span.
+    let app = PeId::new(2);
+    let dram = PeId::new(4);
+    m3_fault::FaultPlan::new()
+        .delay_link(
+            dram,
+            app,
+            CycleWindow::new(Cycles::ZERO, Cycles::new(10_000_000)),
+            Cycles::new(64),
+        )
+        .stall_pe(
+            app,
+            CycleWindow::new(Cycles::new(400_000), Cycles::new(405_000)),
+        )
+        .partition(
+            app,
+            dram,
+            CycleWindow::new(Cycles::new(450_000), Cycles::new(460_000)),
+        )
+}
+
+fn m3_file_run(
+    read: bool,
+    trace: bool,
+    fault: Option<m3_fault::FaultPlan>,
+) -> (Bar, Vec<Event>, String) {
     let setup = if read {
         vec![SetupNode::file(
             "/data",
@@ -98,10 +147,12 @@ fn m3_file_run(read: bool, trace: bool) -> (Bar, Vec<Event>, String) {
     } else {
         Vec::new()
     };
+    let faulted = fault.is_some();
     let sys = System::boot(SystemConfig {
         pes: 4,
         fs_blocks: 16 * 1024,
         fs_setup: setup,
+        fault_plan: fault,
         ..SystemConfig::default()
     });
     if trace {
@@ -110,6 +161,9 @@ fn m3_file_run(read: bool, trace: bool) -> (Bar, Vec<Event>, String) {
     let out = Rc::new(Cell::new((0u64, 0u64)));
     let out2 = out.clone();
     sys.run_program("file-bench", move |env| async move {
+        if faulted {
+            env.set_recovery(Some(m3_fault::RecoveryPolicy::standard(0x4d31_f1f3)));
+        }
         mount_m3fs(&env).await.unwrap();
         let stats = env.sim().stats();
         let mut buf = vec![0u8; BENCH_BUF_SIZE];

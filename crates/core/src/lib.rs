@@ -30,7 +30,10 @@
 
 use std::future::Future;
 
+use std::rc::Rc;
+
 use m3_base::{Cycles, PeId};
+use m3_fault::{FaultPlan, FaultPlane};
 use m3_fs::{run_m3fs, SetupNode};
 use m3_kernel::Kernel;
 use m3_libos::{start_program, Env, ProgramRegistry};
@@ -40,6 +43,7 @@ use m3_sim::{JoinHandle, Sim, SimState, Stats};
 
 pub use m3_base as base;
 pub use m3_dtu as dtu;
+pub use m3_fault as fault;
 pub use m3_fs as fs;
 pub use m3_kernel as kernel;
 pub use m3_libos as libos;
@@ -63,6 +67,11 @@ pub struct SystemConfig {
     /// NoC parameters (disable `contention` to model a perfectly scaling
     /// interconnect, as the §5.7 scalability experiment assumes).
     pub noc: NocConfig,
+    /// Deterministic fault schedule injected at boot. `None` (the default)
+    /// falls back to the process-ambient plan slot
+    /// ([`m3_fault::ambient`]); if that is also empty, the system runs the
+    /// exact fault-free code path.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SystemConfig {
@@ -74,6 +83,7 @@ impl Default for SystemConfig {
             fs_blocks: 8192,
             fs_setup: Vec::new(),
             noc: NocConfig::default(),
+            fault_plan: None,
         }
     }
 }
@@ -114,6 +124,16 @@ impl System {
         let platform = Platform::new(pcfg);
         let kernel = Kernel::start(&platform, PeId::new(0));
         let registry = ProgramRegistry::new();
+
+        // Arm the fault plane: an explicit plan wins, otherwise the ambient
+        // slot (set by chaos harnesses around unmodified entry points).
+        // Empty plans still arm the plane so recovery paths use bounded
+        // waits, which chaos runs rely on to never hang.
+        if let Some(plan) = cfg.fault_plan.clone().or_else(m3_fault::ambient::get) {
+            let plane = Rc::new(FaultPlane::new(plan));
+            platform.dtu_system().set_faults(plane.clone());
+            kernel.attach_faults(&plane);
+        }
 
         let info = kernel.create_root("m3fs", None).expect("PE for m3fs");
         let fs_env = Env::new(&kernel, &info, registry.clone());

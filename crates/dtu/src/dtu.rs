@@ -9,6 +9,7 @@ use m3_base::cfg::{EP_COUNT, MSG_HEADER_SIZE};
 use m3_base::error::{Code, Error, Result};
 use m3_base::ids::Label;
 use m3_base::{Cycles, EpId, PeId, Perm};
+use m3_fault::{FaultPlane, MsgVerdict};
 use m3_noc::Noc;
 use m3_sim::{
     keys, Component, Event, EventKind, Metrics, Notify, Recorder, Sim, StatHandle, Stats,
@@ -59,6 +60,9 @@ struct SystemInner {
     pes: RefCell<Vec<PeState>>,
     mems: RefCell<BTreeMap<PeId, Memory>>,
     next_deposit: std::cell::Cell<u64>,
+    /// Fault-injection plane; `None` (the default) keeps every hot path on
+    /// the exact pre-fault code, so a disabled plane costs zero cycles.
+    faults: RefCell<Option<Rc<FaultPlane>>>,
 }
 
 /// Pre-resolved handles for the counters the DTU bumps on every message or
@@ -134,6 +138,7 @@ impl DtuSystem {
                 pes: RefCell::new((0..count).map(|_| PeState::new()).collect()),
                 mems: RefCell::new(BTreeMap::new()),
                 next_deposit: std::cell::Cell::new(0),
+                faults: RefCell::new(None),
             }),
         }
     }
@@ -146,6 +151,34 @@ impl DtuSystem {
     /// The NoC transfers are scheduled on.
     pub fn noc(&self) -> &Noc {
         &self.noc
+    }
+
+    /// Arms the fault-injection plane on this fabric *and* its NoC. Message
+    /// sends, deliveries, and memory transfers consult the plane from now
+    /// on; without this call the fault machinery is entirely inert.
+    pub fn set_faults(&self, plane: Rc<FaultPlane>) {
+        self.noc.set_faults(plane.clone());
+        *self.inner.faults.borrow_mut() = Some(plane);
+    }
+
+    /// The armed fault plane, if any (used by the kernel's dead-PE watchdog).
+    pub fn faults(&self) -> Option<Rc<FaultPlane>> {
+        self.inner.faults.borrow().clone()
+    }
+
+    /// Emits a fault-injection trace event at the current time.
+    fn trace_fault(&self, pe: PeId, fault: &str, dur: Cycles) {
+        let at = self.sim.now();
+        self.tracer.record_with(|| Event {
+            at,
+            dur,
+            pe: Some(pe),
+            comp: Component::Dtu,
+            kind: EventKind::FaultInject {
+                fault: fault.to_string(),
+                target: pe,
+            },
+        });
     }
 
     /// Returns the DTU handle of `pe`.
@@ -199,6 +232,19 @@ impl DtuSystem {
     /// the normal refill, §4.4.3) and the sender would otherwise be starved
     /// for good.
     fn deposit(&self, pe: PeId, ep: EpId, mut msg: Message, credit: Option<(PeId, EpId)>) {
+        // A crashed PE's DTU is dead silicon: messages towards it vanish.
+        // The sender's credit is refunded just like on a ring-buffer drop,
+        // because the reply path that would normally refill it is gone.
+        if let Some(faults) = self.inner.faults.borrow().as_ref() {
+            if faults.crashed_at(self.sim.now(), pe).is_some() {
+                self.stats.incr_handle(self.hot.msgs_dropped);
+                self.trace_fault(pe, "dst_crashed", Cycles::ZERO);
+                if let Some((sender_pe, sender_ep)) = credit {
+                    self.refill_credit(sender_pe, sender_ep);
+                }
+                return;
+            }
+        }
         let mut pes = self.inner.pes.borrow_mut();
         let state = &mut pes[pe.idx()];
         let allow_replies = match state.eps.get(ep.idx()) {
@@ -401,6 +447,40 @@ impl Dtu {
     // Unprivileged operations (the application-visible surface)
     // ------------------------------------------------------------------
 
+    /// Fault-plane gate at the head of every asynchronous DTU command: a
+    /// crashed PE's DTU rejects everything, a stalled PE's DTU holds the
+    /// command until the stall window closes. With no plane armed this is
+    /// a no-op that costs zero simulated cycles.
+    async fn fault_gate(&self) -> Result<()> {
+        let Some(faults) = self.sys.faults() else {
+            return Ok(());
+        };
+        let now = self.sys.sim.now();
+        if faults.crashed_at(now, self.pe).is_some() {
+            return Err(Error::new(Code::Unreachable).with_msg(format!("{} crashed", self.pe)));
+        }
+        if let Some(release) = faults.stall_release(now, self.pe) {
+            self.sys.trace_fault(self.pe, "pe_stall", release - now);
+            self.sys.sim.sleep_until(release).await;
+            if faults.crashed_at(self.sys.sim.now(), self.pe).is_some() {
+                return Err(Error::new(Code::Unreachable).with_msg(format!("{} crashed", self.pe)));
+            }
+        }
+        Ok(())
+    }
+
+    /// RDMA targets a passive remote DTU; a crashed one cannot serve the
+    /// request, which the initiator observes as an immediate NoC error
+    /// response rather than a hang.
+    fn check_target_alive(&self, target: PeId) -> Result<()> {
+        if let Some(faults) = self.sys.faults() {
+            if faults.crashed_at(self.sys.sim.now(), target).is_some() {
+                return Err(Error::new(Code::Unreachable).with_msg(format!("{target} crashed")));
+            }
+        }
+        Ok(())
+    }
+
     /// Sends `payload` through send endpoint `ep`.
     ///
     /// If `reply` is `Some((rep, label))`, the receiver may reply once; the
@@ -418,6 +498,7 @@ impl Dtu {
     /// - [`Code::InvArgs`] if the payload exceeds the channel's message size.
     pub async fn send(&self, ep: EpId, payload: &[u8], reply: Option<(EpId, Label)>) -> Result<()> {
         Self::check_ep(ep)?;
+        self.fault_gate().await?;
         self.sys.sim.sleep(timing::CMD_ISSUE).await;
 
         let (target_pe, target_ep, label, bounded) = {
@@ -498,13 +579,67 @@ impl Dtu {
             },
         });
         let credit = if bounded { Some((self.pe, ep)) } else { None };
-        self.sys.spawn_delivery(
-            t.completes_at + timing::DELIVER,
-            target_pe,
-            target_ep,
-            msg,
-            credit,
-        );
+        let verdict = match self.sys.faults() {
+            Some(faults) => faults.message_verdict(now, self.pe, target_pe),
+            None => MsgVerdict::Deliver,
+        };
+        match verdict {
+            MsgVerdict::Deliver => {
+                self.sys.spawn_delivery(
+                    t.completes_at + timing::DELIVER,
+                    target_pe,
+                    target_ep,
+                    msg,
+                    credit,
+                );
+            }
+            MsgVerdict::Drop => {
+                // The message vanishes in the NoC. The credit is refunded at
+                // the would-be delivery time, exactly like a ring-buffer
+                // drop: the reply path that normally refills it is gone.
+                self.sys.trace_fault(self.pe, "msg_drop", Cycles::ZERO);
+                if let Some((sender_pe, sender_ep)) = credit {
+                    self.sys.spawn_credit_refill(
+                        t.completes_at + timing::DELIVER,
+                        sender_pe,
+                        sender_ep,
+                    );
+                }
+            }
+            MsgVerdict::Duplicate => {
+                // Two copies arrive; only the first carries the credit
+                // pointer, so a drop of the duplicate cannot double-refund.
+                self.sys.trace_fault(self.pe, "msg_duplicate", Cycles::ZERO);
+                self.sys.spawn_delivery(
+                    t.completes_at + timing::DELIVER,
+                    target_pe,
+                    target_ep,
+                    msg.clone(),
+                    credit,
+                );
+                self.sys.spawn_delivery(
+                    t.completes_at + timing::DELIVER,
+                    target_pe,
+                    target_ep,
+                    msg,
+                    None,
+                );
+            }
+            MsgVerdict::Corrupt => {
+                self.sys.trace_fault(self.pe, "msg_corrupt", Cycles::ZERO);
+                let mut msg = msg;
+                let mut bytes = msg.payload.to_vec();
+                m3_fault::corrupt_payload(&mut bytes);
+                msg.payload = bytes.into();
+                self.sys.spawn_delivery(
+                    t.completes_at + timing::DELIVER,
+                    target_pe,
+                    target_ep,
+                    msg,
+                    credit,
+                );
+            }
+        }
         Ok(())
     }
 
@@ -521,6 +656,7 @@ impl Dtu {
         let Some(rinfo) = msg.header.reply else {
             return Err(Error::new(Code::NoPerm).with_msg("message permits no reply"));
         };
+        self.fault_gate().await?;
         self.sys.sim.sleep(timing::CMD_ISSUE).await;
 
         let reply_msg = Message {
@@ -554,13 +690,53 @@ impl Dtu {
             },
         });
         // Replies consume no credit, so a dropped reply refunds nothing.
-        self.sys.spawn_delivery(
-            t.completes_at + timing::DELIVER,
-            rinfo.pe,
-            rinfo.ep,
-            reply_msg,
-            None,
-        );
+        let verdict = match self.sys.faults() {
+            Some(faults) => faults.message_verdict(now, self.pe, rinfo.pe),
+            None => MsgVerdict::Deliver,
+        };
+        match verdict {
+            MsgVerdict::Deliver => {
+                self.sys.spawn_delivery(
+                    t.completes_at + timing::DELIVER,
+                    rinfo.pe,
+                    rinfo.ep,
+                    reply_msg,
+                    None,
+                );
+            }
+            MsgVerdict::Drop => {
+                self.sys.trace_fault(self.pe, "msg_drop", Cycles::ZERO);
+            }
+            MsgVerdict::Duplicate => {
+                self.sys.trace_fault(self.pe, "msg_duplicate", Cycles::ZERO);
+                for _ in 0..2 {
+                    self.sys.spawn_delivery(
+                        t.completes_at + timing::DELIVER,
+                        rinfo.pe,
+                        rinfo.ep,
+                        reply_msg.clone(),
+                        None,
+                    );
+                }
+            }
+            MsgVerdict::Corrupt => {
+                self.sys.trace_fault(self.pe, "msg_corrupt", Cycles::ZERO);
+                let mut reply_msg = reply_msg;
+                let mut bytes = reply_msg.payload.to_vec();
+                m3_fault::corrupt_payload(&mut bytes);
+                reply_msg.payload = bytes.into();
+                self.sys.spawn_delivery(
+                    t.completes_at + timing::DELIVER,
+                    rinfo.pe,
+                    rinfo.ep,
+                    reply_msg,
+                    None,
+                );
+            }
+        }
+        // The credit refill models the DTU-level flow-control ack (§4.4.3),
+        // which travels independently of the reply message: even a faulted
+        // reply returns the sender's credit, so retries are never starved.
         self.sys
             .spawn_credit_refill(t.completes_at, rinfo.pe, rinfo.credit_ep);
         Ok(())
@@ -593,12 +769,27 @@ impl Dtu {
     /// [`Code::InvEp`] if `ep` is not a receive endpoint.
     pub async fn recv(&self, ep: EpId) -> Result<Message> {
         loop {
+            self.fault_gate().await?;
             self.sys.sim.sleep(timing::FETCH_POLL).await;
             if let Some(msg) = self.fetch(ep)? {
                 return Ok(msg);
             }
             let arrival = self.sys.inner.pes.borrow()[self.pe.idx()].arrival.clone();
             arrival.wait().await;
+        }
+    }
+
+    /// Like [`Dtu::recv`], but gives up once the simulated clock reaches
+    /// `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::Timeout`] if no message arrived by the deadline; otherwise
+    /// as [`Dtu::recv`].
+    pub async fn recv_timeout(&self, ep: EpId, deadline: Cycles) -> Result<Message> {
+        match m3_sim::with_deadline(&self.sys.sim, deadline, self.recv(ep)).await {
+            Some(result) => result,
+            None => Err(Error::new(Code::Timeout).with_msg(format!("recv on {ep}"))),
         }
     }
 
@@ -671,6 +862,8 @@ impl Dtu {
     pub async fn read_mem_into(&self, ep: EpId, offset: u64, buf: &mut [u8]) -> Result<()> {
         let len = buf.len();
         let (pe, base) = self.check_mem_access(ep, offset, len, Perm::R)?;
+        self.fault_gate().await?;
+        self.check_target_alive(pe)?;
         self.sys.sim.sleep(timing::CMD_ISSUE).await;
         let now = self.sys.sim.now();
         // Request packet to the memory, then the data travels back.
@@ -724,6 +917,8 @@ impl Dtu {
     /// - [`Code::InvArgs`] if the access exceeds the region.
     pub async fn write_mem(&self, ep: EpId, offset: u64, data: &[u8]) -> Result<()> {
         let (pe, base) = self.check_mem_access(ep, offset, data.len(), Perm::W)?;
+        self.fault_gate().await?;
+        self.check_target_alive(pe)?;
         self.sys.sim.sleep(timing::CMD_ISSUE).await;
         let now = self.sys.sim.now();
         let xfer = self.sys.noc.schedule(now, self.pe, pe, data.len() as u64);
@@ -1470,5 +1665,242 @@ mod tests {
         });
         sim.run();
         assert_eq!(h.try_take().unwrap(), vec![1, 2]);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-plane behavior
+    // ------------------------------------------------------------------
+
+    use m3_fault::{CycleWindow, FaultPlan, FaultPlane};
+
+    fn arm(sys: &DtuSystem, plan: FaultPlan) -> Rc<FaultPlane> {
+        let plane = Rc::new(FaultPlane::new(plan));
+        sys.set_faults(plane.clone());
+        plane
+    }
+
+    #[test]
+    fn injected_drop_refunds_credit_and_suppresses_delivery() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, Some(2)))
+            .unwrap();
+        arm(
+            &sys,
+            FaultPlan::new().drop_msgs(
+                PeId::new(1),
+                PeId::new(2),
+                CycleWindow::new(Cycles::ZERO, Cycles::new(1_000_000)),
+                1,
+            ),
+        );
+        let sender = sys.dtu(PeId::new(1));
+        let receiver = sys.dtu(PeId::new(2));
+        let stats = sim.stats();
+        let sim2 = sim.clone();
+        let h = sim.spawn("sender", async move {
+            sender.send(EpId::new(0), b"a", None).await.unwrap(); // dropped in the NoC
+            sender.send(EpId::new(0), b"b", None).await.unwrap(); // budget spent: delivered
+            sim2.sleep(Cycles::new(10_000)).await;
+            sender.credits(EpId::new(0))
+        });
+        sim.run();
+        // One message arrived, one vanished; the vanished one's credit came
+        // back, the delivered one's stays consumed (no reply ever refills it).
+        assert_eq!(stats.get("dtu.msgs_delivered"), 1);
+        assert_eq!(h.try_take().unwrap(), Some(1));
+        assert!(receiver.has_message(EpId::new(0)));
+    }
+
+    #[test]
+    fn duplicated_message_drops_do_not_double_refund() {
+        // Regression (PR 2 audit): under an injected duplicate, only the
+        // first copy carries the credit pointer. If both copies are dropped
+        // at a crashed destination, exactly one refund must fire.
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, Some(3)))
+            .unwrap();
+        arm(
+            &sys,
+            FaultPlan::new()
+                .duplicate_msgs(
+                    PeId::new(1),
+                    PeId::new(2),
+                    CycleWindow::new(Cycles::new(2_000), Cycles::new(1_000_000)),
+                    1,
+                )
+                .crash_pe(PeId::new(2), Cycles::new(1_000)),
+        );
+        let sender = sys.dtu(PeId::new(1));
+        let sim2 = sim.clone();
+        let h = sim.spawn("sender", async move {
+            // Clean send before the crash: consumes one credit for good.
+            sender.send(EpId::new(0), b"a", None).await.unwrap();
+            sim2.sleep(Cycles::new(2_000)).await;
+            // Duplicated towards the now-crashed PE: both copies vanish.
+            sender.send(EpId::new(0), b"b", None).await.unwrap();
+            sim2.sleep(Cycles::new(10_000)).await;
+            sender.credits(EpId::new(0))
+        });
+        sim.run();
+        // 3 - 1 (clean, delivered) - 1 (duplicated, dropped) + 1 refund = 2.
+        // A double refund would read 3 here.
+        assert_eq!(h.try_take().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn duplicated_message_arrives_twice() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, None))
+            .unwrap();
+        arm(
+            &sys,
+            FaultPlan::new().duplicate_msgs(
+                PeId::new(1),
+                PeId::new(2),
+                CycleWindow::new(Cycles::ZERO, Cycles::new(1_000_000)),
+                1,
+            ),
+        );
+        let sender = sys.dtu(PeId::new(1));
+        let stats = sim.stats();
+        sim.spawn("sender", async move {
+            sender.send(EpId::new(0), b"dup", None).await.unwrap();
+        });
+        sim.run();
+        assert_eq!(stats.get("dtu.msgs_delivered"), 2);
+    }
+
+    #[test]
+    fn corrupted_payload_arrives_bit_flipped() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, None))
+            .unwrap();
+        arm(
+            &sys,
+            FaultPlan::new().corrupt_msgs(
+                PeId::new(1),
+                PeId::new(2),
+                CycleWindow::new(Cycles::ZERO, Cycles::new(1_000_000)),
+                1,
+            ),
+        );
+        let sender = sys.dtu(PeId::new(1));
+        let receiver = sys.dtu(PeId::new(2));
+        sim.spawn("sender", async move {
+            sender
+                .send(EpId::new(0), &[0x00, 0xff, 0x5a], None)
+                .await
+                .unwrap();
+        });
+        let h = sim.spawn("recv", async move {
+            let m = receiver.recv(EpId::new(0)).await.unwrap();
+            m.payload.to_vec()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![0xff, 0x00, 0xa5]);
+    }
+
+    #[test]
+    fn stalled_pe_defers_send_until_window_closes() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, None))
+            .unwrap();
+        arm(
+            &sys,
+            FaultPlan::new().stall_pe(
+                PeId::new(1),
+                CycleWindow::new(Cycles::ZERO, Cycles::new(5_000)),
+            ),
+        );
+        let sender = sys.dtu(PeId::new(1));
+        let sim2 = sim.clone();
+        let h = sim.spawn("sender", async move {
+            sender.send(EpId::new(0), b"late", None).await.unwrap();
+            sim2.now()
+        });
+        sim.run();
+        assert!(h.try_take().unwrap() >= Cycles::new(5_000));
+    }
+
+    #[test]
+    fn crashed_pe_fails_all_commands_with_unreachable() {
+        let (sim, sys) = setup(3);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(2), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(2, 0, 0, None))
+            .unwrap();
+        arm(
+            &sys,
+            FaultPlan::new().crash_pe(PeId::new(1), Cycles::new(100)),
+        );
+        let sender = sys.dtu(PeId::new(1));
+        let sim2 = sim.clone();
+        let h = sim.spawn("sender", async move {
+            sim2.sleep(Cycles::new(200)).await;
+            let send_err = sender
+                .send(EpId::new(0), b"x", None)
+                .await
+                .unwrap_err()
+                .code();
+            let recv_err = sender
+                .recv_timeout(EpId::new(0), Cycles::new(1_000))
+                .await
+                .unwrap_err()
+                .code();
+            (send_err, recv_err)
+        });
+        sim.run();
+        assert_eq!(
+            h.try_take().unwrap(),
+            (Code::Unreachable, Code::Unreachable)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_times_out_without_traffic() {
+        let (sim, sys) = setup(2);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        let receiver = sys.dtu(PeId::new(1));
+        let h = sim.spawn("recv", async move {
+            receiver
+                .recv_timeout(EpId::new(0), Cycles::new(500))
+                .await
+                .unwrap_err()
+                .code()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Code::Timeout);
+        assert_eq!(sim.now(), Cycles::new(500));
     }
 }

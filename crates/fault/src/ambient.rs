@@ -1,0 +1,45 @@
+//! Process-wide ambient fault plan.
+//!
+//! Bench figures run bars on OS worker threads, each of which boots its own
+//! `System`; a thread-local plan would not reach them. The ambient plan is a
+//! process-global that `System::boot` consults when its own config carries no
+//! plan, letting a harness chaos-test an *unmodified* figure entry point.
+//! The simulation itself never reads the ambient store mid-run (only at
+//! boot), so the lock is pure configuration plumbing, not a source of
+//! scheduling nondeterminism.
+
+use std::sync::Mutex;
+
+use crate::plan::FaultPlan;
+
+static AMBIENT: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Installs (or with `None`, clears) the ambient plan for subsequent boots.
+pub fn set(plan: Option<FaultPlan>) {
+    *AMBIENT.lock().expect("ambient fault plan lock poisoned") = plan;
+}
+
+/// The currently installed ambient plan, if any.
+pub fn get() -> Option<FaultPlan> {
+    AMBIENT
+        .lock()
+        .expect("ambient fault plan lock poisoned")
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        // Single test so no other test races the global.
+        assert_eq!(get(), None);
+        let plan =
+            FaultPlan::new().crash_pe(m3_base::ids::PeId::new(2), m3_base::cycles::Cycles::new(9));
+        set(Some(plan.clone()));
+        assert_eq!(get(), Some(plan));
+        set(None);
+        assert_eq!(get(), None);
+    }
+}

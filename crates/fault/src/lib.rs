@@ -1,0 +1,61 @@
+//! Deterministic fault injection for the M³ simulation.
+//!
+//! The paper's isolation story (§4.4) claims failure *containment* is a
+//! hardware property: a misbehaving PE can disturb nothing it holds no
+//! capability to. This crate makes that claim testable by perturbing the
+//! simulated hardware itself — dropping, delaying, duplicating, and
+//! corrupting NoC/DTU traffic, partitioning links, and stalling or crashing
+//! whole PEs — under a seeded, replayable schedule.
+//!
+//! Layering:
+//!
+//! * [`FaultPlan`] — pure data: *what* goes wrong, *where*, and in which
+//!   simulated-cycle window. Built explicitly or generated from a seed.
+//! * [`FaultPlane`] — the runtime side, consulted by the NoC scheduler and
+//!   every DTU; owns the count budgets for message-level faults.
+//! * [`Backoff`] / [`RecoveryPolicy`] — the client-side answer: deadline,
+//!   retry budget, and a deterministic exponential-backoff schedule.
+//! * [`ambient`] — a process-wide plan slot so harnesses can fault-inject
+//!   into unmodified figure entry points.
+//!
+//! Everything here is a pure function of the plan (and its seed): the same
+//! seed yields the same faults at the same cycles, so a perturbed run is as
+//! reproducible as a clean one.
+
+pub mod ambient;
+mod backoff;
+mod plan;
+mod plane;
+
+pub use backoff::Backoff;
+pub use plan::{CycleWindow, FaultPlan, FaultSpec, GenSpace};
+pub use plane::{corrupt_payload, FaultPlane, MsgVerdict};
+
+use m3_base::cycles::Cycles;
+
+/// How a client endpoint reacts to an unresponsive peer: per-attempt
+/// deadline, bounded retries, exponential backoff between attempts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// How long one attempt may wait for a reply before timing out.
+    pub timeout: Cycles,
+    /// How many *re*-sends follow the first attempt before the peer is
+    /// declared unreachable.
+    pub max_retries: u32,
+    /// Delay schedule between attempts.
+    pub backoff: Backoff,
+}
+
+impl RecoveryPolicy {
+    /// A policy sized for the figure scenarios: the timeout comfortably
+    /// exceeds the slowest clean-path RPC (fs reads run ~100k cycles), so it
+    /// only fires on genuine loss, and four retries ride out any generated
+    /// fault window.
+    pub fn standard(seed: u64) -> Self {
+        RecoveryPolicy {
+            timeout: Cycles::new(200_000),
+            max_retries: 4,
+            backoff: Backoff::new(Cycles::new(256), Cycles::new(16_384), seed),
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Fault schedules: what goes wrong, where, and when.
+//!
+//! A [`FaultPlan`] is pure data — an ordered list of [`FaultSpec`]s, each
+//! scoped to a [`CycleWindow`] in *simulated* time. Plans are built either
+//! explicitly (builder methods) or pseudo-randomly from a seed via
+//! [`FaultPlan::generate`]; both paths are fully deterministic, so the same
+//! plan always perturbs a run in exactly the same way.
+
+use m3_base::cycles::Cycles;
+use m3_base::ids::PeId;
+use m3_base::rand::Rng;
+
+/// A half-open window `[start, end)` in simulated cycles.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CycleWindow {
+    start: Cycles,
+    end: Cycles,
+}
+
+impl CycleWindow {
+    /// Creates the window `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: Cycles, end: Cycles) -> Self {
+        assert!(start <= end, "window start after end");
+        CycleWindow { start, end }
+    }
+
+    /// The inclusive lower bound.
+    pub fn start(&self) -> Cycles {
+        self.start
+    }
+
+    /// The exclusive upper bound.
+    pub fn end(&self) -> Cycles {
+        self.end
+    }
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: Cycles) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// One scheduled fault.
+///
+/// Message-level faults (`MsgDrop`/`MsgDuplicate`/`MsgCorrupt`) carry a
+/// `count` budget: each affects at most `count` messages, consumed in the
+/// deterministic order the DTU consults the plane. Link- and PE-level faults
+/// are stateless window effects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Silently discard up to `count` messages from `src` to `dst`.
+    MsgDrop {
+        src: PeId,
+        dst: PeId,
+        window: CycleWindow,
+        count: u32,
+    },
+    /// Deliver up to `count` messages from `src` to `dst` twice.
+    MsgDuplicate {
+        src: PeId,
+        dst: PeId,
+        window: CycleWindow,
+        count: u32,
+    },
+    /// Flip every payload bit of up to `count` messages from `src` to `dst`.
+    MsgCorrupt {
+        src: PeId,
+        dst: PeId,
+        window: CycleWindow,
+        count: u32,
+    },
+    /// Add `extra` cycles of latency to every transfer from `src` to `dst`
+    /// that starts inside the window.
+    LinkDelay {
+        src: PeId,
+        dst: PeId,
+        window: CycleWindow,
+        extra: Cycles,
+    },
+    /// Sever the link between `a` and `b` (both directions) for the window;
+    /// transfers issued meanwhile are held until the window closes.
+    Partition {
+        a: PeId,
+        b: PeId,
+        window: CycleWindow,
+    },
+    /// Freeze the PE's DTU for the window; operations issued meanwhile are
+    /// held until the window closes.
+    PeStall { pe: PeId, window: CycleWindow },
+    /// Permanently crash the PE at cycle `at`: every later DTU operation on
+    /// it fails and messages towards it vanish.
+    PeCrash { pe: PeId, at: Cycles },
+}
+
+impl FaultSpec {
+    /// The window in which this fault may fire (crashes are open-ended:
+    /// `[at, u64::MAX)`).
+    pub fn window(&self) -> CycleWindow {
+        match self {
+            FaultSpec::MsgDrop { window, .. }
+            | FaultSpec::MsgDuplicate { window, .. }
+            | FaultSpec::MsgCorrupt { window, .. }
+            | FaultSpec::LinkDelay { window, .. }
+            | FaultSpec::Partition { window, .. }
+            | FaultSpec::PeStall { window, .. } => *window,
+            FaultSpec::PeCrash { at, .. } => CycleWindow::new(*at, Cycles::new(u64::MAX)),
+        }
+    }
+}
+
+/// Bounds for pseudo-random plan generation ([`FaultPlan::generate`]).
+#[derive(Clone, Debug)]
+pub struct GenSpace {
+    /// PE ids `0..pes` participate in generated faults.
+    pub pes: u32,
+    /// Every generated window lies within `[0, horizon)`.
+    pub horizon: Cycles,
+    /// How many fault specs to generate.
+    pub faults: u32,
+    /// PEs exempt from stall/crash faults (e.g. the kernel PE, which is the
+    /// trusted recovery agent, and the DRAM module).
+    pub protect: Vec<PeId>,
+}
+
+/// An ordered, deterministic fault schedule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; behaviorally identical to no plan).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Appends an explicit fault spec.
+    pub fn push(&mut self, spec: FaultSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Builder: drop up to `count` messages from `src` to `dst` in `window`.
+    pub fn drop_msgs(mut self, src: PeId, dst: PeId, window: CycleWindow, count: u32) -> Self {
+        self.specs.push(FaultSpec::MsgDrop {
+            src,
+            dst,
+            window,
+            count,
+        });
+        self
+    }
+
+    /// Builder: duplicate up to `count` messages from `src` to `dst`.
+    pub fn duplicate_msgs(mut self, src: PeId, dst: PeId, window: CycleWindow, count: u32) -> Self {
+        self.specs.push(FaultSpec::MsgDuplicate {
+            src,
+            dst,
+            window,
+            count,
+        });
+        self
+    }
+
+    /// Builder: corrupt up to `count` messages from `src` to `dst`.
+    pub fn corrupt_msgs(mut self, src: PeId, dst: PeId, window: CycleWindow, count: u32) -> Self {
+        self.specs.push(FaultSpec::MsgCorrupt {
+            src,
+            dst,
+            window,
+            count,
+        });
+        self
+    }
+
+    /// Builder: add `extra` latency on the `src → dst` route during `window`.
+    pub fn delay_link(mut self, src: PeId, dst: PeId, window: CycleWindow, extra: Cycles) -> Self {
+        self.specs.push(FaultSpec::LinkDelay {
+            src,
+            dst,
+            window,
+            extra,
+        });
+        self
+    }
+
+    /// Builder: partition `a` from `b` (both directions) during `window`.
+    pub fn partition(mut self, a: PeId, b: PeId, window: CycleWindow) -> Self {
+        self.specs.push(FaultSpec::Partition { a, b, window });
+        self
+    }
+
+    /// Builder: stall `pe`'s DTU during `window`.
+    pub fn stall_pe(mut self, pe: PeId, window: CycleWindow) -> Self {
+        self.specs.push(FaultSpec::PeStall { pe, window });
+        self
+    }
+
+    /// Builder: crash `pe` at cycle `at`.
+    pub fn crash_pe(mut self, pe: PeId, at: Cycles) -> Self {
+        self.specs.push(FaultSpec::PeCrash { pe, at });
+        self
+    }
+
+    /// Generates a pseudo-random plan from `seed`. Same seed, same plan.
+    pub fn generate(seed: u64, space: &GenSpace) -> Self {
+        let mut rng = Rng::new(seed);
+        let mut plan = FaultPlan::new();
+        let horizon = space.horizon.as_u64().max(2);
+        for _ in 0..space.faults {
+            let start = rng.next_below(horizon - 1);
+            let end = rng.next_range(start + 1, horizon);
+            let window = CycleWindow::new(Cycles::new(start), Cycles::new(end));
+            let src = PeId::new(rng.next_below(u64::from(space.pes)) as u32);
+            let mut dst = PeId::new(rng.next_below(u64::from(space.pes)) as u32);
+            if dst == src {
+                dst = PeId::new((dst.raw() + 1) % space.pes);
+            }
+            let count = rng.next_range(1, 3) as u32;
+            let spec = match rng.next_below(7) {
+                0 => FaultSpec::MsgDrop {
+                    src,
+                    dst,
+                    window,
+                    count,
+                },
+                1 => FaultSpec::MsgDuplicate {
+                    src,
+                    dst,
+                    window,
+                    count,
+                },
+                2 => FaultSpec::MsgCorrupt {
+                    src,
+                    dst,
+                    window,
+                    count,
+                },
+                3 => FaultSpec::LinkDelay {
+                    src,
+                    dst,
+                    window,
+                    extra: Cycles::new(rng.next_range(8, 512)),
+                },
+                4 => FaultSpec::Partition {
+                    a: src,
+                    b: dst,
+                    window,
+                },
+                5 if !space.protect.contains(&src) => FaultSpec::PeStall { pe: src, window },
+                6 if !space.protect.contains(&src) => FaultSpec::PeCrash {
+                    pe: src,
+                    // Crash in the latter half of the horizon so the run gets
+                    // off the ground before the PE dies.
+                    at: Cycles::new(rng.next_range(horizon / 2, horizon - 1)),
+                },
+                // Stall/crash drawn against a protected PE degrades to a
+                // link delay: still a fault, still deterministic.
+                _ => FaultSpec::LinkDelay {
+                    src,
+                    dst,
+                    window,
+                    extra: Cycles::new(rng.next_range(8, 512)),
+                },
+            };
+            plan.specs.push(spec);
+        }
+        plan
+    }
+
+    /// The scheduled faults, in order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_contains_is_half_open() {
+        let w = CycleWindow::new(Cycles::new(10), Cycles::new(20));
+        assert!(!w.contains(Cycles::new(9)));
+        assert!(w.contains(Cycles::new(10)));
+        assert!(w.contains(Cycles::new(19)));
+        assert!(!w.contains(Cycles::new(20)));
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let space = GenSpace {
+            pes: 6,
+            horizon: Cycles::new(100_000),
+            faults: 12,
+            protect: vec![PeId::new(0)],
+        };
+        let a = FaultPlan::generate(0xfa11, &space);
+        let b = FaultPlan::generate(0xfa11, &space);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(0xfa12, &space);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generate_respects_horizon_and_protection() {
+        let protect = vec![PeId::new(0), PeId::new(5)];
+        let space = GenSpace {
+            pes: 6,
+            horizon: Cycles::new(50_000),
+            faults: 64,
+            protect: protect.clone(),
+        };
+        let plan = FaultPlan::generate(7, &space);
+        assert_eq!(plan.specs().len(), 64);
+        for spec in plan.specs() {
+            match spec {
+                FaultSpec::PeCrash { pe, at } => {
+                    assert!(!protect.contains(pe));
+                    assert!(at.as_u64() < 50_000);
+                }
+                FaultSpec::PeStall { pe, window } => {
+                    assert!(!protect.contains(pe));
+                    assert!(window.end().as_u64() <= 50_000);
+                }
+                other => {
+                    let w = other.window();
+                    assert!(w.start() < w.end());
+                    assert!(w.end().as_u64() <= 50_000);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The runtime side of a fault plan: stateful, consulted by the NoC and DTU.
+//!
+//! A [`FaultPlane`] wraps a [`FaultPlan`] plus the per-spec consumption state
+//! for count-budgeted message faults. All queries take the current simulated
+//! cycle; because the simulator is single-threaded and deterministic, the
+//! order in which the DTU consults the plane is itself deterministic, which
+//! makes count consumption — and therefore the whole perturbed run —
+//! reproducible per seed.
+
+use std::cell::RefCell;
+
+use m3_base::cycles::Cycles;
+use m3_base::ids::PeId;
+
+use crate::plan::{FaultPlan, FaultSpec};
+
+/// What the fault plane decided for one message send.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MsgVerdict {
+    /// No message fault applies: deliver normally.
+    Deliver,
+    /// Discard the message in flight.
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Deliver the message with every payload bit flipped.
+    Corrupt,
+}
+
+/// Stateful fault-injection plane, shared by the NoC and every DTU.
+#[derive(Debug)]
+pub struct FaultPlane {
+    specs: Vec<FaultSpec>,
+    /// How many times each count-budgeted spec has fired.
+    used: RefCell<Vec<u32>>,
+}
+
+impl FaultPlane {
+    /// Activates a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let specs = plan.specs().to_vec();
+        let used = RefCell::new(vec![0; specs.len()]);
+        FaultPlane { specs, used }
+    }
+
+    /// Whether the plane schedules nothing (queries are all no-ops).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Extra link latency for a transfer `src → dst` starting at `now`.
+    pub fn extra_delay(&self, now: Cycles, src: PeId, dst: PeId) -> Cycles {
+        let mut extra = Cycles::ZERO;
+        for spec in &self.specs {
+            if let FaultSpec::LinkDelay {
+                src: s,
+                dst: d,
+                window,
+                extra: e,
+            } = spec
+            {
+                if *s == src && *d == dst && window.contains(now) {
+                    extra += *e;
+                }
+            }
+        }
+        extra
+    }
+
+    /// If `src → dst` is partitioned at `now`, the cycle at which the
+    /// partition heals (transfers must be held until then).
+    pub fn partition_release(&self, now: Cycles, src: PeId, dst: PeId) -> Option<Cycles> {
+        let mut release = None;
+        for spec in &self.specs {
+            if let FaultSpec::Partition { a, b, window } = spec {
+                let on_link = (*a == src && *b == dst) || (*a == dst && *b == src);
+                if on_link && window.contains(now) {
+                    release = Some(release.map_or(window.end(), |r: Cycles| r.max(window.end())));
+                }
+            }
+        }
+        release
+    }
+
+    /// Decides the fate of one message `src → dst` sent at `now`, consuming
+    /// one unit of the first matching count budget. Drop beats duplicate
+    /// beats corrupt when several specs match.
+    pub fn message_verdict(&self, now: Cycles, src: PeId, dst: PeId) -> MsgVerdict {
+        let mut used = self.used.borrow_mut();
+        for pass in [MsgVerdict::Drop, MsgVerdict::Duplicate, MsgVerdict::Corrupt] {
+            for (i, spec) in self.specs.iter().enumerate() {
+                let (s, d, window, count) = match (pass, spec) {
+                    (
+                        MsgVerdict::Drop,
+                        FaultSpec::MsgDrop {
+                            src,
+                            dst,
+                            window,
+                            count,
+                        },
+                    )
+                    | (
+                        MsgVerdict::Duplicate,
+                        FaultSpec::MsgDuplicate {
+                            src,
+                            dst,
+                            window,
+                            count,
+                        },
+                    )
+                    | (
+                        MsgVerdict::Corrupt,
+                        FaultSpec::MsgCorrupt {
+                            src,
+                            dst,
+                            window,
+                            count,
+                        },
+                    ) => (*src, *dst, *window, *count),
+                    _ => continue,
+                };
+                if s == src && d == dst && window.contains(now) && used[i] < count {
+                    used[i] += 1;
+                    return pass;
+                }
+            }
+        }
+        MsgVerdict::Deliver
+    }
+
+    /// If `pe` has crashed by `now`, the cycle it went down.
+    pub fn crashed_at(&self, now: Cycles, pe: PeId) -> Option<Cycles> {
+        self.specs.iter().find_map(|spec| match spec {
+            FaultSpec::PeCrash { pe: p, at } if *p == pe && *at <= now => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// If `pe` is stalled at `now`, the cycle at which the stall ends.
+    pub fn stall_release(&self, now: Cycles, pe: PeId) -> Option<Cycles> {
+        let mut release = None;
+        for spec in &self.specs {
+            if let FaultSpec::PeStall { pe: p, window } = spec {
+                if *p == pe && window.contains(now) {
+                    release = Some(release.map_or(window.end(), |r: Cycles| r.max(window.end())));
+                }
+            }
+        }
+        release
+    }
+
+    /// Every crash fault in the plan, for the kernel's dead-PE watchdog.
+    pub fn crash_schedule(&self) -> Vec<(PeId, Cycles)> {
+        self.specs
+            .iter()
+            .filter_map(|spec| match spec {
+                FaultSpec::PeCrash { pe, at } => Some((*pe, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Deterministically corrupts a payload in place (flips every bit), so a
+/// corrupted message is unmistakably different yet reproducible.
+pub fn corrupt_payload(bytes: &mut [u8]) {
+    for b in bytes {
+        *b = !*b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CycleWindow;
+
+    fn w(a: u64, b: u64) -> CycleWindow {
+        CycleWindow::new(Cycles::new(a), Cycles::new(b))
+    }
+
+    #[test]
+    fn message_verdict_consumes_counts_in_order() {
+        let plan = FaultPlan::new().drop_msgs(PeId::new(1), PeId::new(2), w(0, 100), 2);
+        let plane = FaultPlane::new(plan);
+        let at = Cycles::new(10);
+        assert_eq!(
+            plane.message_verdict(at, PeId::new(1), PeId::new(2)),
+            MsgVerdict::Drop
+        );
+        assert_eq!(
+            plane.message_verdict(at, PeId::new(1), PeId::new(2)),
+            MsgVerdict::Drop
+        );
+        // Budget exhausted.
+        assert_eq!(
+            plane.message_verdict(at, PeId::new(1), PeId::new(2)),
+            MsgVerdict::Deliver
+        );
+    }
+
+    #[test]
+    fn no_fault_fires_outside_its_window() {
+        let plan = FaultPlan::new()
+            .drop_msgs(PeId::new(1), PeId::new(2), w(50, 60), 99)
+            .delay_link(PeId::new(1), PeId::new(2), w(50, 60), Cycles::new(7))
+            .partition(PeId::new(3), PeId::new(4), w(50, 60))
+            .stall_pe(PeId::new(5), w(50, 60));
+        let plane = FaultPlane::new(plan);
+        for t in [0u64, 49, 60, 1000] {
+            let now = Cycles::new(t);
+            assert_eq!(
+                plane.message_verdict(now, PeId::new(1), PeId::new(2)),
+                MsgVerdict::Deliver
+            );
+            assert!(plane.extra_delay(now, PeId::new(1), PeId::new(2)).is_zero());
+            assert!(plane
+                .partition_release(now, PeId::new(3), PeId::new(4))
+                .is_none());
+            assert!(plane.stall_release(now, PeId::new(5)).is_none());
+        }
+        let inside = Cycles::new(55);
+        assert!(!plane
+            .extra_delay(inside, PeId::new(1), PeId::new(2))
+            .is_zero());
+        assert_eq!(
+            plane.partition_release(inside, PeId::new(4), PeId::new(3)),
+            Some(Cycles::new(60))
+        );
+        assert_eq!(
+            plane.stall_release(inside, PeId::new(5)),
+            Some(Cycles::new(60))
+        );
+    }
+
+    #[test]
+    fn crash_is_permanent_and_directional_queries_mismatch() {
+        let plan = FaultPlan::new().crash_pe(PeId::new(3), Cycles::new(500));
+        let plane = FaultPlane::new(plan);
+        assert!(plane.crashed_at(Cycles::new(499), PeId::new(3)).is_none());
+        assert_eq!(
+            plane.crashed_at(Cycles::new(500), PeId::new(3)),
+            Some(Cycles::new(500))
+        );
+        assert_eq!(
+            plane.crashed_at(Cycles::new(1_000_000), PeId::new(3)),
+            Some(Cycles::new(500))
+        );
+        assert!(plane.crashed_at(Cycles::new(500), PeId::new(2)).is_none());
+    }
+
+    #[test]
+    fn corruption_is_involutive() {
+        let mut bytes = vec![0u8, 1, 2, 0xff, 0x80];
+        let orig = bytes.clone();
+        corrupt_payload(&mut bytes);
+        assert_ne!(bytes, orig);
+        corrupt_payload(&mut bytes);
+        assert_eq!(bytes, orig);
+    }
+}

@@ -47,6 +47,23 @@ pub const REVOKE_PER_CAP: Cycles = Cycles::new(25);
 /// writes EP registers via the NoC, §4.3.3).
 pub const EP_CONFIG_BYTES: u64 = 32;
 
+/// Latency between a PE dying and the kernel's watchdog noticing. The paper
+/// treats PEs as untrusted-but-monitorable from the kernel PE (§3, §4.3.2);
+/// the prototype has no measured detection path, so this models a periodic
+/// remote liveness probe at a few syscall-times' granularity.
+pub const DEAD_PE_DETECT: Cycles = Cycles::new(1_000);
+
+/// How long a kernel-forwarded service request (§4.3.2 obtain/delegate path)
+/// may wait for the service's reply before the kernel retries. Meta requests
+/// complete in hundreds of cycles (§5.3), so a 50k-cycle silence means loss,
+/// not load.
+pub const SERVICE_TIMEOUT: Cycles = Cycles::new(50_000);
+
+/// Kernel-side resend budget for a forwarded service request before the
+/// service is declared unreachable (bounded so a dead service PE, §4.3.2,
+/// converts to an error instead of an infinite retry loop).
+pub const SERVICE_RETRIES: u32 = 2;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -228,6 +228,51 @@ impl Kernel {
         &self.platform
     }
 
+    /// Arms the kernel's dead-PE watchdog against an injected fault plane:
+    /// for every scheduled PE crash, a daemon wakes one liveness-probe
+    /// period after the crash, destroys whichever VPE ran on the dead PE
+    /// (revoking all its capabilities and invalidating its endpoints, the
+    /// §4.3.1 revoke path), and emits a typed recovery event. Without a
+    /// plane there is nothing to watch and the kernel is unchanged.
+    pub fn attach_faults(&self, plane: &m3_fault::FaultPlane) {
+        for (pe, at) in plane.crash_schedule() {
+            if pe == self.pe {
+                // A dead kernel PE has no one left to recover it.
+                continue;
+            }
+            let k = self.clone();
+            self.sim
+                .spawn_daemon(format!("kernel-watchdog@{pe}"), async move {
+                    k.sim.sleep_until(at + costs::DEAD_PE_DETECT).await;
+                    k.sim.sleep(costs::DISPATCH).await;
+                    let victim = {
+                        let st = k.state.borrow();
+                        st.vpes
+                            .values()
+                            .find(|v| {
+                                let v = v.borrow();
+                                v.pe == pe && v.is_alive()
+                            })
+                            .cloned()
+                    };
+                    let now = k.sim.now();
+                    k.sim.tracer().record_with(|| Event {
+                        at: now,
+                        dur: m3_base::Cycles::ZERO,
+                        pe: Some(k.pe),
+                        comp: Component::Kernel,
+                        kind: EventKind::Recovery {
+                            action: format!("dead_pe:{pe}"),
+                            attempt: 0,
+                        },
+                    });
+                    if let Some(victim) = victim {
+                        k.destroy_vpe(&victim, -2);
+                    }
+                });
+        }
+    }
+
     /// Creates a root VPE at boot time (no parent): claims a PE (or a
     /// specific one), sets up the syscall channel, and marks it running.
     ///
@@ -724,40 +769,93 @@ impl Kernel {
         Ok(Vec::new())
     }
 
+    fn register_pending(&self) -> (u64, Notify, Rc<RefCell<Option<ServiceReply>>>) {
+        let mut st = self.state.borrow_mut();
+        let req_id = st.next_req;
+        st.next_req += 1;
+        let slot = Rc::new(RefCell::new(None));
+        let ready = Notify::new();
+        st.pending.insert(
+            req_id,
+            PendingReply {
+                slot: slot.clone(),
+                ready: ready.clone(),
+            },
+        );
+        (req_id, ready, slot)
+    }
+
     async fn forward_to_service(
         &self,
         serv: &Rc<ServObj>,
         req: ServiceRequest,
     ) -> Result<ServiceReply> {
         self.sim.sleep(costs::SERVICE_FORWARD).await;
-        let (req_id, ready, slot) = {
-            let mut st = self.state.borrow_mut();
-            let req_id = st.next_req;
-            st.next_req += 1;
-            let slot = Rc::new(RefCell::new(None));
-            let ready = Notify::new();
-            st.pending.insert(
-                req_id,
-                PendingReply {
-                    slot: slot.clone(),
-                    ready: ready.clone(),
-                },
-            );
-            (req_id, ready, slot)
-        };
-        self.dtu
-            .send(
-                serv.kernel_ep,
-                &req.to_bytes(),
-                Some((keps::SERV_REPLY, req_id)),
-            )
-            .await?;
-        loop {
-            if let Some(reply) = slot.borrow_mut().take() {
-                return Ok(reply);
+        // Clean path: with no fault plane armed the kernel trusts the
+        // service to answer eventually (it is on-chip and kernel-started),
+        // and this code is cycle-identical to the pre-fault kernel.
+        if self.dtu.system().faults().is_none() {
+            let (req_id, ready, slot) = self.register_pending();
+            self.dtu
+                .send(
+                    serv.kernel_ep,
+                    &req.to_bytes(),
+                    Some((keps::SERV_REPLY, req_id)),
+                )
+                .await?;
+            loop {
+                if let Some(reply) = slot.borrow_mut().take() {
+                    return Ok(reply);
+                }
+                ready.wait().await;
             }
-            ready.wait().await;
         }
+        // Faulted path: bound each attempt, retry a few times, then declare
+        // the service unreachable. Each attempt registers a fresh request id
+        // so a late reply to an abandoned attempt is simply ignored by the
+        // reply pump.
+        for attempt in 0..=costs::SERVICE_RETRIES {
+            let (req_id, ready, slot) = self.register_pending();
+            if let Err(e) = self
+                .dtu
+                .send(
+                    serv.kernel_ep,
+                    &req.to_bytes(),
+                    Some((keps::SERV_REPLY, req_id)),
+                )
+                .await
+            {
+                self.state.borrow_mut().pending.remove(&req_id);
+                return Err(e);
+            }
+            let deadline = self.sim.now() + costs::SERVICE_TIMEOUT;
+            let wait = async {
+                loop {
+                    if let Some(reply) = slot.borrow_mut().take() {
+                        return reply;
+                    }
+                    ready.wait().await;
+                }
+            };
+            match m3_sim::with_deadline(&self.sim, deadline, wait).await {
+                Some(reply) => return Ok(reply),
+                None => {
+                    self.state.borrow_mut().pending.remove(&req_id);
+                    let at = self.sim.now();
+                    self.sim.tracer().record_with(|| Event {
+                        at,
+                        dur: m3_base::Cycles::ZERO,
+                        pe: Some(self.pe),
+                        comp: Component::Kernel,
+                        kind: EventKind::Recovery {
+                            action: "service_retry".to_string(),
+                            attempt,
+                        },
+                    });
+                }
+            }
+        }
+        Err(Error::new(Code::Unreachable).with_msg("service did not reply"))
     }
 
     async fn handle_open_sess(
@@ -1636,5 +1734,91 @@ mod tests {
         let (label, payload) = h.try_take().unwrap();
         assert_eq!(label, 0x77);
         assert_eq!(payload, b"deferred");
+    }
+
+    #[test]
+    fn watchdog_destroys_vpe_on_crashed_pe() {
+        use m3_fault::{FaultPlan, FaultPlane};
+
+        let (platform, kernel, root) = boot();
+        let sim = platform.sim().clone();
+        let plane = Rc::new(FaultPlane::new(
+            FaultPlan::new().crash_pe(root.pe, m3_base::Cycles::new(10_000)),
+        ));
+        platform.dtu_system().set_faults(plane.clone());
+        kernel.attach_faults(&plane);
+
+        let vpe_obj = kernel.vpe_obj(root.vpe).unwrap();
+        assert!(vpe_obj.borrow().is_alive());
+        let sim2 = sim.clone();
+        let h = sim.spawn("observer", async move {
+            sim2.sleep_until(m3_base::Cycles::new(30_000)).await;
+        });
+        sim.run();
+        h.try_take().unwrap();
+        // One probe period after the crash, the watchdog tore the VPE down:
+        // dead state, capabilities revoked, syscall channel invalidated.
+        assert!(!vpe_obj.borrow().is_alive());
+        assert_eq!(kernel.free_pes(), 3); // 4 PEs - kernel; root's was freed
+    }
+
+    #[test]
+    fn unresponsive_service_yields_unreachable_under_faults() {
+        use m3_fault::{FaultPlan, FaultPlane};
+
+        let (platform, _kernel, root) = boot();
+        let sim = platform.sim().clone();
+        // An armed (even empty) plane switches the kernel to bounded waits.
+        platform
+            .dtu_system()
+            .set_faults(Rc::new(FaultPlane::new(FaultPlan::new())));
+        let dtu = platform.dtu(root.pe);
+        let h = sim.spawn("app", async move {
+            let r = syscall(
+                &dtu,
+                Syscall::CreateRGate {
+                    dst: SelId::new(1),
+                    slots: 4,
+                    slot_size: 256,
+                },
+            )
+            .await;
+            assert_eq!(r.error, None);
+            let r = syscall(
+                &dtu,
+                Syscall::Activate {
+                    vpe: SelId::new(0),
+                    ep: EpId::new(2),
+                    gate: SelId::new(1),
+                },
+            )
+            .await;
+            assert_eq!(r.error, None);
+            let r = syscall(
+                &dtu,
+                Syscall::CreateSrv {
+                    dst: SelId::new(2),
+                    rgate: SelId::new(1),
+                    name: "mute".to_string(),
+                },
+            )
+            .await;
+            assert_eq!(r.error, None);
+            // The service never serves its gate: the kernel must give up
+            // after its bounded retries instead of hanging the opener.
+            syscall(
+                &dtu,
+                Syscall::OpenSess {
+                    dst: SelId::new(3),
+                    name: "mute".to_string(),
+                    arg: 0,
+                },
+            )
+            .await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap().error, Some(Code::Unreachable));
+        // All retries were spent before the error came back.
+        assert!(sim.now().as_u64() >= 3 * costs::SERVICE_TIMEOUT.as_u64());
     }
 }

@@ -40,6 +40,10 @@ pub const CLONE_IMAGE_BYTES: usize = 24 * 1024;
 /// (§4.5.5 application loading).
 pub const VPE_SETUP: Cycles = Cycles::new(150);
 
+/// Re-marshal and re-issue an RPC after a timeout: the same software path
+/// as the initial send (§5.3 marshalling share), charged once per retry.
+pub const RETRY_PREP: Cycles = Cycles::new(45);
+
 #[cfg(test)]
 mod tests {
     use super::*;

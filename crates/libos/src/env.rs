@@ -9,6 +9,7 @@ use std::rc::Rc;
 use m3_base::error::{Code, Error, Result};
 use m3_base::{Cycles, PeId, SelId, VpeId};
 use m3_dtu::Dtu;
+use m3_fault::RecoveryPolicy;
 use m3_kernel::protocol::{std_eps, Syscall, SyscallReply};
 use m3_kernel::{Kernel, VpeBootInfo};
 use m3_sim::{JoinHandle, Sim};
@@ -85,6 +86,7 @@ struct EnvInner {
     vfs: RefCell<Vfs>,
     programs: ProgramRegistry,
     reply_gate: RefCell<Option<Rc<RecvGate>>>,
+    recovery: RefCell<Option<RecoveryPolicy>>,
 }
 
 /// The environment of one running VPE: its DTU, selector space, endpoint
@@ -118,6 +120,7 @@ impl Env {
                 vfs: RefCell::new(Vfs::new()),
                 programs,
                 reply_gate: RefCell::new(None),
+                recovery: RefCell::new(None),
             }),
         }
     }
@@ -160,6 +163,19 @@ impl Env {
     /// The VPE's mount table.
     pub fn vfs(&self) -> &RefCell<Vfs> {
         &self.inner.vfs
+    }
+
+    /// Installs (or clears) the VPE's [`RecoveryPolicy`]. With a policy set,
+    /// RPC calls and pipe waits bound their blocking and surface
+    /// [`Code::Unreachable`] instead of hanging on a dead peer; without one
+    /// (the default) every communication path is the unchanged clean path.
+    pub fn set_recovery(&self, policy: Option<RecoveryPolicy>) {
+        *self.inner.recovery.borrow_mut() = policy;
+    }
+
+    /// The currently installed recovery policy, if any.
+    pub fn recovery(&self) -> Option<RecoveryPolicy> {
+        self.inner.recovery.borrow().clone()
     }
 
     /// Allocates a fresh capability selector.
@@ -214,6 +230,14 @@ impl Env {
     /// Returns the kernel's error code, or a transport error.
     pub async fn syscall(&self, call: Syscall) -> Result<Vec<u8>> {
         self.compute(crate::costs::SYSC_PREP).await;
+        let policy = self.recovery();
+        if policy.is_some() {
+            // Discard stale replies of earlier timed-out syscalls so they
+            // are never mistaken for this call's answer.
+            while self.inner.dtu.fetch(std_eps::SYSC_REPLY)?.is_some() {
+                self.inner.dtu.ack(std_eps::SYSC_REPLY)?;
+            }
+        }
         self.inner
             .dtu
             .send(
@@ -222,7 +246,28 @@ impl Env {
                 Some((std_eps::SYSC_REPLY, 0)),
             )
             .await?;
-        let msg = self.inner.dtu.recv(std_eps::SYSC_REPLY).await?;
+        // Syscalls are not retried — many are not idempotent (CreateVpe,
+        // AllocMem) — so under a recovery policy a lost request or reply
+        // surfaces as a typed error after one bounded wait.
+        let msg = match &policy {
+            None => self.inner.dtu.recv(std_eps::SYSC_REPLY).await?,
+            Some(p) => {
+                let deadline = self.inner.sim.now() + p.timeout;
+                match self
+                    .inner
+                    .dtu
+                    .recv_timeout(std_eps::SYSC_REPLY, deadline)
+                    .await
+                {
+                    Err(e) if e.code() == Code::Timeout => {
+                        return Err(
+                            Error::new(Code::Unreachable).with_msg("syscall reply never arrived")
+                        );
+                    }
+                    other => other?,
+                }
+            }
+        };
         self.inner.dtu.ack(std_eps::SYSC_REPLY)?;
         self.compute(crate::costs::SYSC_POST).await;
         SyscallReply::from_bytes(&msg.payload)?.into_result()

@@ -95,6 +95,20 @@ impl RecvGate {
         Ok(msg)
     }
 
+    /// Waits for the next message, giving up at the absolute simulated-cycle
+    /// `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::Timeout`] when the deadline passes with no message,
+    /// and propagates DTU errors (including [`Code::Unreachable`] when this
+    /// PE has crashed under an injected fault plane).
+    pub async fn recv_timeout(&self, deadline: m3_base::Cycles) -> Result<Message> {
+        let msg = self.env.dtu().recv_timeout(self.ep, deadline).await?;
+        self.env.dtu().ack(self.ep)?;
+        Ok(msg)
+    }
+
     /// Fetches a message if one is waiting.
     ///
     /// # Errors
@@ -203,16 +217,80 @@ impl SendGate {
             .await
     }
 
+    /// Like [`SendGate::send`], but gives up at the absolute simulated-cycle
+    /// `deadline` — e.g. when the target PE is stalled under an injected
+    /// fault plane and the DTU command would otherwise block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::Timeout`] when the deadline passes before the send
+    /// completes, and propagates DTU errors.
+    pub async fn send_with_deadline(
+        &self,
+        payload: &[u8],
+        reply: Option<(&RecvGate, Label)>,
+        deadline: m3_base::Cycles,
+    ) -> Result<()> {
+        match m3_sim::with_deadline(self.env.sim(), deadline, self.send(payload, reply)).await {
+            Some(r) => r,
+            None => Err(Error::new(Code::Timeout).with_msg("send deadline passed")),
+        }
+    }
+
     /// Remote procedure call: send and wait for the reply on the
     /// environment's shared reply gate.
+    ///
+    /// With a [`RecoveryPolicy`](m3_fault::RecoveryPolicy) installed via
+    /// [`crate::env::Env::set_recovery`], each attempt is bounded by the
+    /// policy's timeout and re-sent (after a deterministic exponential
+    /// backoff) up to its retry budget; exhausting the budget yields
+    /// [`Code::Unreachable`]. Note the resulting at-least-once semantics: a
+    /// retried request may execute twice at the server if only its reply was
+    /// lost, and a late reply to an abandoned attempt can surface as the
+    /// next call's answer — callers in faulted runs should make requests
+    /// idempotent or sequence-tolerant.
     ///
     /// # Errors
     ///
     /// Propagates send errors and transport failures.
     pub async fn call(&self, payload: &[u8]) -> Result<Message> {
         let rgate = self.env.reply_gate().await?;
-        self.send(payload, Some((&rgate, 0))).await?;
-        rgate.recv().await
+        let Some(policy) = self.env.recovery() else {
+            self.send(payload, Some((&rgate, 0))).await?;
+            return rgate.recv().await;
+        };
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                self.env.compute(crate::costs::RETRY_PREP).await;
+                self.env
+                    .sim()
+                    .sleep(policy.backoff.delay(attempt - 1))
+                    .await;
+                let at = self.env.sim().now();
+                let pe = self.env.pe();
+                self.env.sim().tracer().record_with(|| m3_sim::Event {
+                    at,
+                    dur: m3_base::Cycles::ZERO,
+                    pe: Some(pe),
+                    comp: m3_sim::Component::App,
+                    kind: m3_sim::EventKind::Recovery {
+                        action: "rpc_retry".to_string(),
+                        attempt,
+                    },
+                });
+            }
+            // Discard replies of abandoned earlier attempts that arrived
+            // while we were backing off.
+            while rgate.fetch()?.is_some() {}
+            self.send(payload, Some((&rgate, 0))).await?;
+            let deadline = self.env.sim().now() + policy.timeout;
+            match rgate.recv_timeout(deadline).await {
+                Ok(msg) => return Ok(msg),
+                Err(e) if e.code() == Code::Timeout => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Error::new(Code::Unreachable).with_msg("rpc retries exhausted"))
     }
 }
 
@@ -497,6 +575,85 @@ mod tests {
                 });
                 let reply = sgate.call(b"ping").await.unwrap();
                 assert_eq!(reply.payload, b"ping");
+                0
+            },
+        );
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    fn policy_call_retries_through_a_dropped_request() {
+        use m3_fault::{CycleWindow, FaultPlan, FaultPlane, RecoveryPolicy};
+
+        let (platform, kernel) = boot(3);
+        // The echo server lives on the same VPE/PE as the caller, so both
+        // the request and its reply cross the pe→pe loop link. A one-message
+        // drop budget kills exactly the first request; the policy-driven
+        // resend must then succeed.
+        let app_pe = m3_base::PeId::new(1);
+        let window = CycleWindow::new(m3_base::Cycles::ZERO, m3_base::Cycles::new(u64::MAX));
+        platform.dtu_system().set_faults(Rc::new(FaultPlane::new(
+            FaultPlan::new().drop_msgs(app_pe, app_pe, window, 1),
+        )));
+        let h = start_program(
+            &kernel,
+            "rpc",
+            Some(app_pe),
+            ProgramRegistry::new(),
+            |env| async move {
+                env.set_recovery(Some(RecoveryPolicy::standard(0xC4A0)));
+                let rgate = Rc::new(RecvGate::new(&env, 4, 256).await.unwrap());
+                let sgate = SendGate::new(&env, &rgate, 7, 0).await.unwrap();
+                let server_gate = rgate.clone();
+                let env2 = env.clone();
+                env.sim().spawn_daemon("echo", async move {
+                    loop {
+                        let Ok(msg) = server_gate.recv().await else {
+                            return;
+                        };
+                        let _ = env2.dtu().reply(&msg, &msg.payload).await;
+                    }
+                });
+                let start = env.sim().now();
+                let reply = sgate.call(b"ping").await.unwrap();
+                assert_eq!(reply.payload, b"ping");
+                // One full timeout plus a backoff elapsed before the retry.
+                let waited = (env.sim().now() - start).as_u64();
+                assert!(waited >= 200_000, "no timed-out attempt: {waited}");
+                0
+            },
+        );
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    fn policy_call_reports_unreachable_when_every_attempt_is_lost() {
+        use m3_fault::{CycleWindow, FaultPlan, FaultPlane, RecoveryPolicy};
+
+        let (platform, kernel) = boot(3);
+        let app_pe = m3_base::PeId::new(1);
+        let window = CycleWindow::new(m3_base::Cycles::ZERO, m3_base::Cycles::new(u64::MAX));
+        platform
+            .dtu_system()
+            .set_faults(Rc::new(FaultPlane::new(FaultPlan::new().drop_msgs(
+                app_pe,
+                app_pe,
+                window,
+                u32::MAX,
+            ))));
+        let h = start_program(
+            &kernel,
+            "rpc",
+            Some(app_pe),
+            ProgramRegistry::new(),
+            |env| async move {
+                env.set_recovery(Some(RecoveryPolicy::standard(0xC4A1)));
+                let rgate = Rc::new(RecvGate::new(&env, 4, 256).await.unwrap());
+                let sgate = SendGate::new(&env, &rgate, 7, 0).await.unwrap();
+                let err = sgate.call(b"void").await.unwrap_err();
+                assert_eq!(err.code(), Code::Unreachable);
                 0
             },
         );

@@ -260,13 +260,34 @@ impl PipeReader {
     }
 
     async fn next_msg(&mut self) -> Result<Message> {
-        match &self.source {
-            ReaderSource::Own(rgate) => rgate.recv().await,
-            ReaderSource::Ep(ep) => {
-                let msg = self.env.dtu().recv(*ep).await?;
-                self.env.dtu().ack(*ep)?;
-                Ok(msg)
+        // With a recovery policy installed, a silent writer (crashed PE,
+        // partitioned link) becomes a typed error instead of a hang.
+        let deadline = self
+            .env
+            .recovery()
+            .map(|p| self.env.sim().now() + p.timeout);
+        let r = match (&self.source, deadline) {
+            (ReaderSource::Own(rgate), None) => rgate.recv().await,
+            (ReaderSource::Own(rgate), Some(d)) => rgate.recv_timeout(d).await,
+            (ReaderSource::Ep(ep), deadline) => {
+                let recvd = match deadline {
+                    None => self.env.dtu().recv(*ep).await,
+                    Some(d) => self.env.dtu().recv_timeout(*ep, d).await,
+                };
+                match recvd {
+                    Ok(msg) => {
+                        self.env.dtu().ack(*ep)?;
+                        Ok(msg)
+                    }
+                    Err(e) => Err(e),
+                }
             }
+        };
+        match r {
+            Err(e) if e.code() == Code::Timeout && deadline.is_some() => {
+                Err(Error::new(Code::Unreachable).with_msg("pipe writer went silent"))
+            }
+            other => other,
         }
     }
 
@@ -420,7 +441,23 @@ impl PipeWriter {
     }
 
     async fn wait_reply(&mut self) -> Result<()> {
-        let _ = self.reply_gate.recv().await?;
+        // Bounded under a recovery policy: a reader that died holding our
+        // buffer space surfaces as `Unreachable` instead of blocking the
+        // writer forever.
+        let _ = match self.env.recovery() {
+            None => self.reply_gate.recv().await?,
+            Some(p) => {
+                let deadline = self.env.sim().now() + p.timeout;
+                match self.reply_gate.recv_timeout(deadline).await {
+                    Err(e) if e.code() == Code::Timeout => {
+                        return Err(
+                            Error::new(Code::Unreachable).with_msg("pipe reader went silent")
+                        );
+                    }
+                    other => other?,
+                }
+            }
+        };
         let len = self
             .outstanding
             .pop_front()

@@ -46,7 +46,7 @@ pub const RULES: &[&str] = &["determinism", "cost-citation", "no-unwrap", "isola
 /// Crates whose code runs inside the simulation and must be deterministic.
 const SIM_CRATES: &[&str] = &[
     "sim", "noc", "dtu", "platform", "kernel", "libos", "fs", "lx", "apps", "bench", "core",
-    "trace",
+    "trace", "fault",
 ];
 
 /// Crates where `unwrap()`/`expect()` are banned outside test code.

@@ -7,6 +7,7 @@ use std::rc::Rc;
 
 use m3_base::cycles::{transfer_time, Cycles};
 use m3_base::PeId;
+use m3_fault::FaultPlane;
 use m3_sim::{keys, Component, Event, EventKind, Metrics, Recorder, StatHandle, Stats};
 
 use crate::routing::{route, Link};
@@ -68,6 +69,9 @@ struct NocInner {
     tracer: Recorder,
     /// Per-PE metrics; a detached bag until [`Noc::attach`].
     metrics: Metrics,
+    /// Fault-injection plane; `None` (the default) means the clean-path
+    /// code is byte-identical to a build without fault support.
+    faults: Option<Rc<FaultPlane>>,
 }
 
 /// The network-on-chip: schedules transfers between mesh nodes.
@@ -115,6 +119,7 @@ impl Noc {
                 stats,
                 tracer: Recorder::new(),
                 metrics: Metrics::new(),
+                faults: None,
             })),
         }
     }
@@ -126,6 +131,12 @@ impl Noc {
         let mut inner = self.inner.borrow_mut();
         inner.tracer = tracer;
         inner.metrics = metrics;
+    }
+
+    /// Arms the fault-injection plane: subsequent transfers are subject to
+    /// the plan's link delays and partitions.
+    pub fn set_faults(&self, faults: Rc<FaultPlane>) {
+        self.inner.borrow_mut().faults = Some(faults);
     }
 
     /// The topology this NoC runs on.
@@ -175,8 +186,41 @@ impl Noc {
         links.extend(route(&inner.topo, src, dst));
         let hops = links.len() as u32 - 1;
 
-        let mut arrival = now;
-        let mut waited = Cycles::ZERO;
+        // Fault plane: a partition holds the transfer at the source until
+        // the link heals; a link-delay fault stretches the wire time.
+        let mut depart = now;
+        let mut fault_delay = Cycles::ZERO;
+        if let Some(faults) = &inner.faults {
+            if let Some(release) = faults.partition_release(now, src, dst) {
+                inner.tracer.record_with(|| Event {
+                    at: now,
+                    dur: release - now,
+                    pe: Some(src),
+                    comp: Component::Noc,
+                    kind: EventKind::FaultInject {
+                        fault: "partition".to_string(),
+                        target: src,
+                    },
+                });
+                depart = release;
+            }
+            fault_delay = faults.extra_delay(now, src, dst);
+            if !fault_delay.is_zero() {
+                inner.tracer.record_with(|| Event {
+                    at: now,
+                    dur: fault_delay,
+                    pe: Some(src),
+                    comp: Component::Noc,
+                    kind: EventKind::FaultInject {
+                        fault: "link_delay".to_string(),
+                        target: src,
+                    },
+                });
+            }
+        }
+
+        let mut arrival = depart;
+        let mut waited = depart - now;
         for link in links {
             let free_at = if contention {
                 inner.busy_until.get(&link).copied().unwrap_or(Cycles::ZERO)
@@ -190,7 +234,7 @@ impl Noc {
             }
             arrival = start + hop_latency;
         }
-        let completes_at = arrival + duration;
+        let completes_at = arrival + duration + fault_delay;
 
         inner.stats.incr_handle(inner.stat_transfers);
         inner.stats.add_handle(inner.stat_bytes, bytes);
@@ -357,6 +401,51 @@ mod tests {
         assert_eq!(events[0].kind.tag(), "noc_xfer");
         assert_eq!(events[0].dur, a.completes_at);
         assert_eq!(events[0].pe, Some(src));
+    }
+
+    #[test]
+    fn partition_holds_transfer_until_heal() {
+        use m3_fault::{CycleWindow, FaultPlan, FaultPlane};
+        let noc = noc4();
+        let plan = FaultPlan::new().partition(
+            PeId::new(0),
+            PeId::new(1),
+            CycleWindow::new(Cycles::ZERO, Cycles::new(1_000)),
+        );
+        noc.set_faults(Rc::new(FaultPlane::new(plan)));
+        let clean = noc4().schedule(Cycles::ZERO, PeId::new(0), PeId::new(1), 64);
+        let held = noc.schedule(Cycles::ZERO, PeId::new(0), PeId::new(1), 64);
+        assert_eq!(held.waited, Cycles::new(1_000));
+        assert_eq!(held.completes_at, Cycles::new(1_000) + clean.completes_at);
+        // Both directions are severed.
+        let back = noc.schedule(Cycles::new(10), PeId::new(1), PeId::new(0), 64);
+        assert!(back.waited >= Cycles::new(990));
+        // After the heal, traffic is clean again.
+        let after = noc.schedule(Cycles::new(2_000), PeId::new(0), PeId::new(1), 64);
+        assert_eq!(after.waited, Cycles::ZERO);
+    }
+
+    #[test]
+    fn link_delay_stretches_only_windowed_transfers() {
+        use m3_fault::{CycleWindow, FaultPlan, FaultPlane};
+        let noc = noc4();
+        let plan = FaultPlan::new().delay_link(
+            PeId::new(0),
+            PeId::new(1),
+            CycleWindow::new(Cycles::new(100), Cycles::new(200)),
+            Cycles::new(77),
+        );
+        noc.set_faults(Rc::new(FaultPlane::new(plan)));
+        let clean = noc.schedule(Cycles::ZERO, PeId::new(0), PeId::new(1), 64);
+        let slowed = noc.schedule(Cycles::new(150), PeId::new(0), PeId::new(1), 64);
+        let base = clean.completes_at;
+        assert_eq!(
+            slowed.completes_at,
+            Cycles::new(150) + base + Cycles::new(77)
+        );
+        // Reverse direction is unaffected (delays are directional).
+        let reverse = noc.schedule(Cycles::new(150), PeId::new(1), PeId::new(0), 64);
+        assert_eq!(reverse.completes_at, Cycles::new(150) + base);
     }
 
     #[test]

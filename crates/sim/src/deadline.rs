@@ -1,0 +1,103 @@
+//! Racing a future against a simulated-time deadline.
+//!
+//! This is the primitive beneath every timeout in the recovery layer:
+//! `recv` with a deadline, `call` with retries, etc. It is safe to race
+//! arbitrary sim futures because the executor's wait primitives
+//! ([`crate::Notify`]'s guard, [`Sleep`](crate::executor)) deregister
+//! themselves on drop — losing the race cannot leave a dangling waker that
+//! would later wake a completed task.
+
+use std::future::Future;
+use std::task::Poll;
+
+use m3_base::Cycles;
+
+use crate::Sim;
+
+/// Polls `fut` to completion unless the simulated clock reaches `deadline`
+/// first; returns `None` on timeout.
+///
+/// The future is polled before the timer on every wake, so a result that is
+/// ready exactly at the deadline still wins the race (deterministically).
+pub async fn with_deadline<F: Future>(sim: &Sim, deadline: Cycles, fut: F) -> Option<F::Output> {
+    let mut fut = Box::pin(fut);
+    let mut timer = Box::pin(sim.sleep_until(deadline));
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Some(v));
+        }
+        if timer.as_mut().poll(cx).is_ready() {
+            return Poll::Ready(None);
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Notify, SimState};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn completes_before_deadline() {
+        let sim = Sim::new();
+        let out = Rc::new(Cell::new(None));
+        {
+            let sim2 = sim.clone();
+            let out = out.clone();
+            sim.spawn("racer", async move {
+                let got = with_deadline(&sim2, Cycles::new(100), async {
+                    sim2.sleep(Cycles::new(10)).await;
+                    7u32
+                })
+                .await;
+                out.set(Some(got));
+            });
+        }
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(out.get(), Some(Some(7)));
+        assert_eq!(sim.now(), Cycles::new(10));
+    }
+
+    #[test]
+    fn times_out_and_clock_rests_at_deadline() {
+        let sim = Sim::new();
+        let notify = Rc::new(Notify::new());
+        let out = Rc::new(Cell::new(None));
+        {
+            let sim2 = sim.clone();
+            let notify = notify.clone();
+            let out = out.clone();
+            sim.spawn("racer", async move {
+                // Nobody ever notifies: the deadline must win.
+                let got = with_deadline(&sim2, Cycles::new(50), notify.wait()).await;
+                out.set(Some(got.is_none()));
+            });
+        }
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(out.get(), Some(true));
+        assert_eq!(sim.now(), Cycles::new(50));
+        // The loser deregistered itself: no leaked waiter.
+        assert_eq!(notify.waiter_count(), 0);
+    }
+
+    #[test]
+    fn past_deadline_still_gives_the_future_one_poll() {
+        let sim = Sim::new();
+        let out = Rc::new(Cell::new(None));
+        {
+            let sim2 = sim.clone();
+            let out = out.clone();
+            sim.spawn("racer", async move {
+                sim2.sleep(Cycles::new(20)).await;
+                let got = with_deadline(&sim2, Cycles::new(5), async { 1u32 }).await;
+                out.set(Some(got));
+            });
+        }
+        assert_eq!(sim.run(), SimState::Finished);
+        assert_eq!(out.get(), Some(Some(1)));
+    }
+}

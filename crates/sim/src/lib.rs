@@ -27,12 +27,14 @@
 //! ```
 
 mod channel;
+mod deadline;
 mod executor;
 pub mod gauges;
 mod notify;
 mod stats;
 
 pub use channel::{channel, Receiver, Sender};
+pub use deadline::with_deadline;
 pub use executor::{JoinHandle, Sim, SimState};
 pub use m3_trace::{keys, Component, Event, EventKind, Histogram, Metrics, Recorder};
 pub use notify::Notify;

@@ -101,6 +101,12 @@ fn kind_fields(kind: &EventKind) -> Vec<String> {
             ]
         }
         EventKind::AppMark { what } => vec![escape(what)],
+        EventKind::FaultInject { fault, target } => {
+            vec![escape(fault), target.raw().to_string()]
+        }
+        EventKind::Recovery { action, attempt } => {
+            vec![escape(action), attempt.to_string()]
+        }
     }
 }
 
@@ -232,6 +238,14 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Event, String> {
         "app_mark" => EventKind::AppMark {
             what: unescape(field(f, 0, line_no)?),
         },
+        "fault_inject" => EventKind::FaultInject {
+            fault: unescape(field(f, 0, line_no)?),
+            target: PeId::new(num32(f, 1, line_no)?),
+        },
+        "recovery" => EventKind::Recovery {
+            action: unescape(field(f, 0, line_no)?),
+            attempt: num32(f, 1, line_no)?,
+        },
         other => return Err(format!("line {line_no}: unknown event kind {other:?}")),
     };
     Ok(Event {
@@ -328,6 +342,26 @@ mod tests {
                 kind: EventKind::PipeXfer {
                     write: false,
                     bytes: 4096,
+                },
+            },
+            Event {
+                at: Cycles::new(50),
+                dur: Cycles::ZERO,
+                pe: Some(PeId::new(4)),
+                comp: Component::Noc,
+                kind: EventKind::FaultInject {
+                    fault: "msg\tdrop".to_string(),
+                    target: PeId::new(4),
+                },
+            },
+            Event {
+                at: Cycles::new(60),
+                dur: Cycles::new(512),
+                pe: Some(PeId::new(1)),
+                comp: Component::Kernel,
+                kind: EventKind::Recovery {
+                    action: "retry".to_string(),
+                    attempt: 2,
                 },
             },
         ]

@@ -193,6 +193,20 @@ pub enum EventKind {
         /// Free-form marker text.
         what: String,
     },
+    /// The fault plane injected a fault (drop, delay, partition, crash, …).
+    FaultInject {
+        /// Fault kind, e.g. `"msg_drop"`, `"partition"`, `"pe_crash"`.
+        fault: String,
+        /// The PE the fault acts on (the source PE for link faults).
+        target: PeId,
+    },
+    /// A recovery action fired (retry, backoff wait, dead-PE teardown).
+    Recovery {
+        /// Action name, e.g. `"retry"`, `"backoff"`, `"dead_pe"`.
+        action: String,
+        /// Which attempt this is (0-based; teardown actions use 0).
+        attempt: u32,
+    },
 }
 
 impl EventKind {
@@ -213,6 +227,8 @@ impl EventKind {
             EventKind::FsRequest { .. } => "fs_req",
             EventKind::PipeXfer { .. } => "pipe_xfer",
             EventKind::AppMark { .. } => "app_mark",
+            EventKind::FaultInject { .. } => "fault_inject",
+            EventKind::Recovery { .. } => "recovery",
         }
     }
 }
@@ -254,6 +270,8 @@ impl Event {
             EventKind::PipeXfer { write: true, .. } => "pipe-write".to_string(),
             EventKind::PipeXfer { write: false, .. } => "pipe-read".to_string(),
             EventKind::AppMark { what } => format!("mark:{what}"),
+            EventKind::FaultInject { fault, .. } => format!("fault:{fault}"),
+            EventKind::Recovery { action, .. } => format!("recovery:{action}"),
         }
     }
 }

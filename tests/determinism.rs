@@ -152,3 +152,31 @@ fn tracing_has_zero_simulated_time_overhead() {
         "tracing changed simulated time: the zero-overhead contract is broken"
     );
 }
+
+#[test]
+fn faulted_fig3_run_is_identical_across_runs() {
+    // Determinism must survive the fault plane: the same FaultPlan perturbs
+    // the run the same way every time — same measured total, same events at
+    // the same cycles, including the injected faults themselves.
+    let (total_a, events_a) =
+        m3_bench::fig3::faulted_file_read(m3_bench::fig3::golden_fault_plan());
+    let (total_b, events_b) =
+        m3_bench::fig3::faulted_file_read(m3_bench::fig3::golden_fault_plan());
+    assert_eq!(total_a, total_b, "faulted totals diverged");
+    assert_eq!(
+        trace_digest(&events_a),
+        trace_digest(&events_b),
+        "faulted event traces diverged"
+    );
+    // The perturbation really happened: fault injections are on record, and
+    // the total moved off the clean-path golden number.
+    let faults = events_a
+        .iter()
+        .filter(|e| matches!(e.kind, m3_trace::EventKind::FaultInject { .. }))
+        .count();
+    assert!(faults > 0, "the golden fault plan injected nothing");
+    assert_ne!(
+        total_a, 366_158,
+        "the golden fault plan did not perturb the run"
+    );
+}

@@ -56,3 +56,19 @@ fn fig7_fft_pipeline_totals() {
     assert_eq!(fig.bar("fft-pipeline", "M3").total, 1_298_537);
     assert_eq!(fig.bar("fft-pipeline", "M3+accel").total, 110_895);
 }
+
+#[test]
+fn fig3_read_under_the_golden_fault_plan() {
+    // The same scenario as `fig3_syscall_and_file_read_totals`, perturbed by
+    // the fixed, lossless fault schedule in `fig3::golden_fault_plan`: +64
+    // cycles on each of the 512 app↔DRAM data transfers, one PE stall, one
+    // healing partition. The faulted total is just as pinned as the clean
+    // one — fault injection is part of the deterministic surface.
+    let (total, events) = m3_bench::fig3::faulted_file_read(m3_bench::fig3::golden_fault_plan());
+    assert_eq!(total, 413_387);
+    let faults = events
+        .iter()
+        .filter(|e| matches!(e.kind, m3_trace::EventKind::FaultInject { .. }))
+        .count();
+    assert_eq!(faults, 514, "512 link delays + 1 stall + 1 partition");
+}
