@@ -42,6 +42,8 @@ fn main() {
     emit("fig6", fig6.render(), series_cycles(&fig6));
     let fig7 = m3_bench::fig7::run();
     emit("fig7", fig7.render(), figure_cycles(&fig7));
+    let fig8 = m3_bench::fig8::run();
+    emit("fig8", fig8.render(), series_cycles(&fig8));
     let arch = m3_bench::arch::run();
     emit("arch", arch.render(), series_cycles(&arch));
     let ablations = m3_bench::ablation::run_all();

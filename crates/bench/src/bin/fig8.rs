@@ -1,0 +1,87 @@
+//! Prints the fig8 overcommit-capacity table.
+//!
+//! With `--trace <path>` it additionally re-runs the 2x-overcommit scenario
+//! under tracing and writes a Chrome `trace_event` JSON file (the
+//! `CtxSwitch` events show the kernel multiplexing each PE);
+//! `--trace-tsv <path>` writes the same trace in the native text format the
+//! `m3-trace` CLI consumes; `--metrics <path>` writes the per-PE metrics
+//! snapshot of the same run (context-switch counts, slice lengths,
+//! run-queue depths).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut trace_path: Option<String> = None;
+    let mut tsv_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => return usage("--trace needs a path"),
+            },
+            "--trace-tsv" => match args.next() {
+                Some(p) => tsv_path = Some(p),
+                None => return usage("--trace-tsv needs a path"),
+            },
+            "--metrics" => match args.next() {
+                Some(p) => metrics_path = Some(p),
+                None => return usage("--metrics needs a path"),
+            },
+            "--serial" => m3_bench::exec::set_serial(true),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    m3_bench::fig8::run().print();
+
+    if trace_path.is_some() || tsv_path.is_some() || metrics_path.is_some() {
+        let (run, events, metrics) = m3_bench::fig8::traced_overcommit_run(2);
+        eprintln!(
+            "fig8: traced 2x run - {} context switches over {} cycles",
+            run.ctx_switches, run.total
+        );
+        if let Some(path) = trace_path {
+            if !write_file(&path, &m3_trace::chrome::export(&events)) {
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "fig8: wrote Chrome trace ({} events) to {path}",
+                events.len()
+            );
+        }
+        if let Some(path) = tsv_path {
+            if !write_file(&path, &m3_trace::fmt::write_events(&events)) {
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "fig8: wrote native trace ({} events) to {path}",
+                events.len()
+            );
+        }
+        if let Some(path) = metrics_path {
+            if !write_file(&path, &metrics) {
+                return ExitCode::FAILURE;
+            }
+            eprintln!("fig8: wrote metrics snapshot to {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_file(path: &str, content: &str) -> bool {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("fig8: cannot write {path}: {e}");
+        return false;
+    }
+    true
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fig8: {msg}");
+    eprintln!(
+        "usage: fig8 [--serial] [--trace <out.json>] [--trace-tsv <out.tsv>] [--metrics <out.txt>]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,4 +1,4 @@
-//! Host wall-clock perf harness for the fig3–fig7 suite.
+//! Host wall-clock perf harness for the fig3–fig8 suite.
 //!
 //! Runs every figure end-to-end, timing each one and each of its scenarios
 //! (one independent `Sim` per scenario), collects the executor gauges from
@@ -44,6 +44,7 @@ fn figure_suite() -> Vec<(&'static str, FigureFn)> {
         ("fig5", || m3_bench::fig5::run().render()),
         ("fig6", || m3_bench::fig6::run().render()),
         ("fig7", || m3_bench::fig7::run().render()),
+        ("fig8", || m3_bench::fig8::run().render()),
     ]
 }
 
@@ -150,7 +151,7 @@ fn main() -> ExitCode {
     let serial = forced_serial || exec::workers_for(usize::MAX) == 1;
     let (runs, total_ms) = run_suite();
 
-    println!("== perf: fig3-fig7 host wall clock ==");
+    println!("== perf: fig3-fig8 host wall clock ==");
     for run in &runs {
         println!(
             "{:>5}  {:>10.1} ms  {:>3} scenarios  {:>8} tasks  {:>9} polls  peak {} live / {} timers",

@@ -1,0 +1,236 @@
+//! Figure 8: overcommit capacity of kernel-driven VPE time-multiplexing.
+//!
+//! Not a figure of the paper — it measures the m3-sched subsystem this
+//! repository adds on top of §4.5.5's VPE model. A driver creates
+//! `factor x CLIENT_PES` client VPEs on `CLIENT_PES` application PEs; with
+//! overcommit enabled the kernel admits them all and time-multiplexes each
+//! PE between its residents, saving and restoring DTU state through the
+//! DTU itself. Every client mounts the single m3fs instance and reads the
+//! same file repeatedly; reported per overcommit factor: aggregate read
+//! throughput, per-read latency (mean/max over the merged per-PE
+//! histograms), and the number of context switches the kernel performed.
+//!
+//! The shape to expect: at 1x the scheduler is pure bookkeeping (the run
+//! is byte-identical to overcommit-off, pinned by a test below); past 1x
+//! throughput stays near-flat while per-client latency grows with the
+//! factor — the knee where added clients stop buying throughput is the
+//! capacity of the PE pool plus the m3fs service, not of the scheduler.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use m3::{System, SystemConfig};
+use m3_base::PeId;
+use m3_fs::{mount_m3fs, SetupNode};
+use m3_kernel::protocol::PeRequest;
+use m3_libos::vfs;
+use m3_libos::vpe::Vpe;
+use m3_sim::keys;
+
+use crate::exec::{self, Job};
+use crate::report::Series;
+
+/// Overcommit factors of the sweep (clients per application PE).
+pub const FACTORS: [u64; 4] = [1, 2, 4, 8];
+
+/// Application PEs shared by the clients (PE0 kernel, PE1 m3fs, PE2 driver).
+pub const CLIENT_PES: u64 = 4;
+
+/// Size of the file every client reads.
+const FILE_BYTES: usize = 2048;
+
+/// Reads each client performs.
+const READS: usize = 8;
+
+/// Per-read latency histogram, recorded on the client's PE.
+const READ_LATENCY: &str = "fig8.read_latency";
+
+/// One measured overcommit scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OvercommitRun {
+    /// Clients per application PE.
+    pub factor: u64,
+    /// Total client VPEs (`factor * CLIENT_PES`).
+    pub clients: u64,
+    /// Makespan in cycles: driver start to last client reaped.
+    pub total: u64,
+    /// Total reads completed (every client must finish all of them).
+    pub reads: u64,
+    /// Mean per-read latency in cycles.
+    pub lat_mean: f64,
+    /// Largest per-read latency in cycles.
+    pub lat_max: u64,
+    /// Context switches the kernel performed across the client PEs.
+    pub ctx_switches: u64,
+}
+
+/// Runs one overcommit scenario: `factor * CLIENT_PES` clients on
+/// `CLIENT_PES` PEs, all reading from one m3fs instance.
+///
+/// With `overcommit` off the factor must be 1 (more clients than PEs would
+/// make `CREATE_VPE` fail); that configuration exists so the 1x identity —
+/// scheduler admitted but never switching — can be pinned against the
+/// unmanaged code path.
+///
+/// # Panics
+///
+/// Panics if any client fails to finish all its reads.
+pub fn overcommit_run(factor: u64, overcommit: bool) -> OvercommitRun {
+    scenario(factor, overcommit, false).0
+}
+
+/// Runs the 2x-style overcommit scenario at `factor` with tracing enabled;
+/// returns the measurements, the recorded events (CtxSwitch among them),
+/// and a rendered per-PE metrics snapshot — the CI observability job
+/// exports all three as artifacts.
+pub fn traced_overcommit_run(factor: u64) -> (OvercommitRun, Vec<m3_sim::Event>, String) {
+    scenario(factor, true, true)
+}
+
+fn scenario(
+    factor: u64,
+    overcommit: bool,
+    trace: bool,
+) -> (OvercommitRun, Vec<m3_sim::Event>, String) {
+    assert!(overcommit || factor == 1, "plain runs fit the PEs");
+    let sys = System::boot(SystemConfig {
+        pes: 3 + CLIENT_PES as usize,
+        fs_blocks: 8 * 1024,
+        fs_setup: vec![SetupNode::file("/data", vec![0x5a; FILE_BYTES])],
+        overcommit,
+        ..SystemConfig::default()
+    });
+    if trace {
+        sys.sim().enable_trace();
+    }
+    let clients = factor * CLIENT_PES;
+    let span: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+    let span2 = span.clone();
+    sys.run_program("driver", move |env| async move {
+        let t0 = env.sim().now().as_u64();
+        let mut vpes = Vec::new();
+        for i in 0..clients {
+            let vpe = Vpe::new(&env, &format!("client{i}"), PeRequest::Any)
+                .await
+                .unwrap();
+            vpe.run(move |cenv| async move {
+                mount_m3fs(&cenv).await.unwrap();
+                for _ in 0..READS {
+                    let r0 = cenv.sim().now().as_u64();
+                    let data = vfs::read_to_vec(&cenv, "/data").await.unwrap();
+                    assert_eq!(data.len(), FILE_BYTES);
+                    let lat = cenv.sim().now().as_u64() - r0;
+                    cenv.sim().metrics().observe(cenv.pe(), READ_LATENCY, lat);
+                }
+                0
+            })
+            .await
+            .unwrap();
+            vpes.push(vpe);
+        }
+        for vpe in &vpes {
+            assert_eq!(vpe.wait().await.unwrap(), 0, "client must succeed");
+        }
+        *span2.borrow_mut() = Some(env.sim().now().as_u64() - t0);
+        0
+    });
+    sys.run();
+    let total = span.borrow().expect("driver must finish");
+
+    // Merge the per-PE latency histograms and count switches.
+    let metrics = sys.sim().metrics();
+    let (mut reads, mut sum, mut lat_max, mut ctx_switches) = (0u64, 0u64, 0u64, 0u64);
+    for pe in 3..3 + CLIENT_PES {
+        let pe = PeId::new(pe as u32);
+        if let Some(h) = metrics.histogram(pe, READ_LATENCY) {
+            reads += h.count();
+            sum += h.sum();
+            lat_max = lat_max.max(h.max());
+        }
+        ctx_switches += metrics.get(pe, keys::CTX_SWITCHES);
+    }
+    assert_eq!(reads, clients * READS as u64, "every read must complete");
+    let run = OvercommitRun {
+        factor,
+        clients,
+        total,
+        reads,
+        lat_mean: sum as f64 / reads as f64,
+        lat_max,
+        ctx_switches,
+    };
+    let rendered = metrics.render(sys.sim().now());
+    (run, sys.sim().trace(), rendered)
+}
+
+/// Runs the complete Figure 8 sweep: factors 1x-8x, all with overcommit
+/// enabled, as independent concurrent simulations.
+pub fn run() -> Series {
+    let jobs: Vec<Job<OvercommitRun>> = FACTORS
+        .iter()
+        .map(|&f| -> Job<OvercommitRun> { Box::new(move || overcommit_run(f, true)) })
+        .collect();
+    let runs = exec::run_jobs(jobs);
+    let rows = runs
+        .iter()
+        .map(|r| {
+            (
+                r.factor,
+                vec![
+                    r.clients as f64,
+                    // Aggregate throughput: reads per million cycles.
+                    r.reads as f64 * 1e6 / r.total as f64,
+                    r.lat_mean,
+                    r.lat_max as f64,
+                    r.ctx_switches as f64,
+                ],
+            )
+        })
+        .collect();
+    Series {
+        title: "Figure 8: overcommitted VPEs per PE - throughput, read latency, context switches"
+            .to_string(),
+        param: "overcommit".to_string(),
+        columns: vec![
+            "clients".to_string(),
+            "reads/Mcyc".to_string(),
+            "lat-mean".to_string(),
+            "lat-max".to_string(),
+            "ctxsw".to_string(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_x_is_byte_identical_to_unmanaged_scheduling() {
+        // At 1x every admitted VPE is alone on its PE: the scheduler does
+        // bookkeeping only and must not move a single cycle.
+        let managed = overcommit_run(1, true);
+        let plain = overcommit_run(1, false);
+        assert_eq!(managed.ctx_switches, 0, "1x must never switch");
+        assert_eq!(managed.total, plain.total, "cycle-identical at 1x");
+        assert_eq!(managed.lat_max, plain.lat_max);
+        assert_eq!(managed.lat_mean, plain.lat_mean);
+    }
+
+    #[test]
+    fn four_x_multiplexes_and_finishes_every_client() {
+        let run = overcommit_run(4, true);
+        assert_eq!(run.clients, 16);
+        assert_eq!(run.reads, 16 * READS as u64);
+        assert!(run.ctx_switches > 0, "4x on 4 PEs must context-switch");
+        // Sharing a PE stretches individual reads.
+        let base = overcommit_run(1, true);
+        assert!(
+            run.lat_mean > base.lat_mean,
+            "multiplexed reads are slower: {} vs {}",
+            run.lat_mean,
+            base.lat_mean
+        );
+    }
+}

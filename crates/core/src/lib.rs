@@ -72,6 +72,10 @@ pub struct SystemConfig {
     /// ([`m3_fault::ambient`]); if that is also empty, the system runs the
     /// exact fault-free code path.
     pub fault_plan: Option<FaultPlan>,
+    /// Allow the kernel to admit more VPEs than PEs by time-multiplexing
+    /// them (m3-sched). Off by default: without overcommit `CREATE_VPE`
+    /// fails with `NoFreePe` when every PE is occupied, exactly as before.
+    pub overcommit: bool,
 }
 
 impl Default for SystemConfig {
@@ -84,6 +88,7 @@ impl Default for SystemConfig {
             fs_setup: Vec::new(),
             noc: NocConfig::default(),
             fault_plan: None,
+            overcommit: false,
         }
     }
 }
@@ -123,6 +128,7 @@ impl System {
         }
         let platform = Platform::new(pcfg);
         let kernel = Kernel::start(&platform, PeId::new(0));
+        kernel.set_overcommit(cfg.overcommit);
         let registry = ProgramRegistry::new();
 
         // Arm the fault plane: an explicit plan wins, otherwise the ambient

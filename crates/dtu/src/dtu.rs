@@ -29,6 +29,11 @@ pub enum MemKind {
     Spm,
 }
 
+/// Context id a DTU carries while the kernel has its state saved out and no
+/// successor installed yet (mid context switch). No real context ever uses
+/// this id, so arriving traffic is routed into save areas during the window.
+pub const NO_CTX: u64 = u64::MAX;
+
 struct PeState {
     privileged: bool,
     eps: Vec<EpConfig>,
@@ -37,6 +42,10 @@ struct PeState {
     credits: BTreeMap<EpId, u32>,
     /// Woken whenever a message arrives at any EP of this DTU.
     arrival: Notify,
+    /// Which VPE context the live endpoint registers belong to. Stays at
+    /// the boot value `0` on PEs the kernel never time-multiplexes, so the
+    /// entire context machinery is inert unless a switch ever happens.
+    current_ctx: u64,
 }
 
 impl PeState {
@@ -47,7 +56,36 @@ impl PeState {
             ringbufs: BTreeMap::new(),
             credits: BTreeMap::new(),
             arrival: Notify::new(),
+            current_ctx: 0,
         }
+    }
+}
+
+/// The architectural DTU state of a switched-out VPE: endpoint registers,
+/// undelivered ring-buffer contents, and unspent credits, as the kernel
+/// parked them in the context's DRAM save area.
+#[derive(Debug)]
+struct SavedCtx {
+    eps: Vec<EpConfig>,
+    ringbufs: BTreeMap<EpId, RingBuf>,
+    credits: BTreeMap<EpId, u32>,
+}
+
+impl SavedCtx {
+    fn new() -> SavedCtx {
+        SavedCtx {
+            eps: vec![EpConfig::Invalid; EP_COUNT],
+            ringbufs: BTreeMap::new(),
+            credits: BTreeMap::new(),
+        }
+    }
+
+    /// Bytes a DTU transfer of this state moves: one register block per
+    /// endpoint (§4.3.3) plus the queued messages of every ring buffer.
+    fn state_bytes(&self) -> u64 {
+        let eps = EP_COUNT as u64 * timing::EP_SAVE_BYTES;
+        let rings: u64 = self.ringbufs.values().map(RingBuf::queued_wire_bytes).sum();
+        eps + rings
     }
 }
 
@@ -59,6 +97,10 @@ struct Memory {
 struct SystemInner {
     pes: RefCell<Vec<PeState>>,
     mems: RefCell<BTreeMap<PeId, Memory>>,
+    /// Save areas of switched-out contexts, keyed by (PE, context id).
+    /// Deposits and credit refills for a context that is not live on its PE
+    /// land here instead of the live endpoint registers.
+    saved: RefCell<BTreeMap<(PeId, u64), SavedCtx>>,
     next_deposit: std::cell::Cell<u64>,
     /// Fault-injection plane; `None` (the default) keeps every hot path on
     /// the exact pre-fault code, so a disabled plane costs zero cycles.
@@ -137,6 +179,7 @@ impl DtuSystem {
             inner: Rc::new(SystemInner {
                 pes: RefCell::new((0..count).map(|_| PeState::new()).collect()),
                 mems: RefCell::new(BTreeMap::new()),
+                saved: RefCell::new(BTreeMap::new()),
                 next_deposit: std::cell::Cell::new(0),
                 faults: RefCell::new(None),
             }),
@@ -226,12 +269,26 @@ impl DtuSystem {
 
     /// Delivers `msg` into the receive EP `(pe, ep)` at the current time.
     ///
-    /// `credit` names the bounded send endpoint that paid for this message,
-    /// if any: when the deposit fails, that credit is refunded on the spot,
-    /// because a dropped message can never be replied to (the reply path is
-    /// the normal refill, §4.4.3) and the sender would otherwise be starved
-    /// for good.
-    fn deposit(&self, pe: PeId, ep: EpId, mut msg: Message, credit: Option<(PeId, EpId)>) {
+    /// `ctx` names the destination context when the message follows one —
+    /// replies travel back to the context that sent the request (§4.4.4),
+    /// wherever the kernel has parked it by now. `None` (plain sends)
+    /// targets whatever context owns a receive EP at `ep`: the live one
+    /// wins, otherwise the message lands in the save area of the context
+    /// that has one configured there.
+    ///
+    /// `credit` names the bounded send endpoint (and its context) that paid
+    /// for this message, if any: when the deposit fails, that credit is
+    /// refunded on the spot, because a dropped message can never be replied
+    /// to (the reply path is the normal refill, §4.4.3) and the sender
+    /// would otherwise be starved for good.
+    fn deposit(
+        &self,
+        pe: PeId,
+        ep: EpId,
+        mut msg: Message,
+        ctx: Option<u64>,
+        credit: Option<(PeId, u64, EpId)>,
+    ) {
         // A crashed PE's DTU is dead silicon: messages towards it vanish.
         // The sender's credit is refunded just like on a ring-buffer drop,
         // because the reply path that would normally refill it is gone.
@@ -239,14 +296,43 @@ impl DtuSystem {
             if faults.crashed_at(self.sim.now(), pe).is_some() {
                 self.stats.incr_handle(self.hot.msgs_dropped);
                 self.trace_fault(pe, "dst_crashed", Cycles::ZERO);
-                if let Some((sender_pe, sender_ep)) = credit {
-                    self.refill_credit(sender_pe, sender_ep);
+                if let Some((sender_pe, sender_ctx, sender_ep)) = credit {
+                    self.refill_credit(sender_pe, sender_ctx, sender_ep);
                 }
                 return;
             }
         }
         let mut pes = self.inner.pes.borrow_mut();
         let state = &mut pes[pe.idx()];
+        // Route to the live registers or to a save area. On a PE the kernel
+        // never time-multiplexes, `current_ctx` is the boot value and every
+        // message matches the live path — zero overhead, identical code.
+        let saved_ctx: Option<u64> = match ctx {
+            Some(c) if c == state.current_ctx => None,
+            Some(c) => Some(c),
+            None => {
+                if matches!(state.eps.get(ep.idx()), Some(EpConfig::Receive { .. })) {
+                    None
+                } else {
+                    let saved = self.inner.saved.borrow();
+                    saved
+                        .iter()
+                        .find(|((spe, _), sc)| {
+                            *spe == pe
+                                && matches!(sc.eps.get(ep.idx()), Some(EpConfig::Receive { .. }))
+                        })
+                        .map(|((_, c), _)| *c)
+                }
+            }
+        };
+        if let Some(c) = saved_ctx {
+            // Arrival still pings the PE's notify: the kernel waits there
+            // for messages on behalf of switched-out contexts.
+            let arrival = state.arrival.clone();
+            drop(pes);
+            self.deposit_saved(pe, c, ep, msg, credit, &arrival);
+            return;
+        }
         let allow_replies = match state.eps.get(ep.idx()) {
             Some(EpConfig::Receive { allow_replies, .. }) => *allow_replies,
             _ => {
@@ -282,22 +368,94 @@ impl DtuSystem {
                 kind: EventKind::MsgDrop { ep },
             });
             drop(pes);
-            if let Some((sender_pe, sender_ep)) = credit {
-                self.refill_credit(sender_pe, sender_ep);
+            if let Some((sender_pe, sender_ctx, sender_ep)) = credit {
+                self.refill_credit(sender_pe, sender_ctx, sender_ep);
             }
         }
     }
 
-    fn refill_credit(&self, pe: PeId, ep: EpId) {
+    /// The save-area half of [`DtuSystem::deposit`]: same semantics as the
+    /// live path (reply stripping, drop accounting, credit refund), applied
+    /// to the parked ring buffer of context `(pe, ctx)`.
+    fn deposit_saved(
+        &self,
+        pe: PeId,
+        ctx: u64,
+        ep: EpId,
+        mut msg: Message,
+        credit: Option<(PeId, u64, EpId)>,
+        arrival: &Notify,
+    ) {
+        let mut saved = self.inner.saved.borrow_mut();
+        let Some(sc) = saved.get_mut(&(pe, ctx)) else {
+            self.stats.incr_handle(self.hot.deposit_no_recv_ep);
+            return;
+        };
+        let allow_replies = match sc.eps.get(ep.idx()) {
+            Some(EpConfig::Receive { allow_replies, .. }) => *allow_replies,
+            _ => {
+                self.stats.incr_handle(self.hot.deposit_no_recv_ep);
+                return;
+            }
+        };
+        if !allow_replies {
+            msg.header.reply = None;
+        }
+        let Some(rb) = sc.ringbufs.get_mut(&ep) else {
+            self.stats.incr_handle(self.hot.deposit_no_recv_ep);
+            return;
+        };
+        if rb.deposit(msg) {
+            self.stats.incr_handle(self.hot.msgs_delivered);
+            self.metrics
+                .observe(pe, keys::RING_OCCUPANCY, rb.occupied() as u64);
+            drop(saved);
+            arrival.notify_all();
+        } else {
+            self.stats.incr_handle(self.hot.msgs_dropped);
+            self.metrics.incr(pe, keys::DTU_DROPS);
+            let at = self.sim.now();
+            self.tracer.record_with(|| Event {
+                at,
+                dur: Cycles::ZERO,
+                pe: Some(pe),
+                comp: Component::Dtu,
+                kind: EventKind::MsgDrop { ep },
+            });
+            drop(saved);
+            if let Some((sender_pe, sender_ctx, sender_ep)) = credit {
+                self.refill_credit(sender_pe, sender_ctx, sender_ep);
+            }
+        }
+    }
+
+    fn refill_credit(&self, pe: PeId, ctx: u64, ep: EpId) {
         let mut pes = self.inner.pes.borrow_mut();
         let state = &mut pes[pe.idx()];
-        if let Some(EpConfig::Send {
-            credits: Some(max), ..
-        }) = state.eps.get(ep.idx())
-        {
-            let max = *max;
-            let cur = state.credits.entry(ep).or_insert(0);
-            *cur = (*cur + 1).min(max);
+        if state.current_ctx == ctx {
+            if let Some(EpConfig::Send {
+                credits: Some(max), ..
+            }) = state.eps.get(ep.idx())
+            {
+                let max = *max;
+                let cur = state.credits.entry(ep).or_insert(0);
+                *cur = (*cur + 1).min(max);
+            }
+            return;
+        }
+        // The context was switched out since it sent: the refill follows it
+        // into its save area so the credit is there when it resumes.
+        drop(pes);
+        let mut saved = self.inner.saved.borrow_mut();
+        if let Some(sc) = saved.get_mut(&(pe, ctx)) {
+            if let Some(EpConfig::Send {
+                credits: Some(max), ..
+            }) = sc.eps.get(ep.idx())
+            {
+                let max = *max;
+                let cur = sc.credits.entry(ep).or_insert(0);
+                *cur = (*cur + 1).min(max);
+            }
         }
     }
 
@@ -307,7 +465,8 @@ impl DtuSystem {
         target_pe: PeId,
         target_ep: EpId,
         msg: Message,
-        credit: Option<(PeId, EpId)>,
+        ctx: Option<u64>,
+        credit: Option<(PeId, u64, EpId)>,
     ) {
         let seq = self.inner.next_deposit.get();
         self.inner.next_deposit.set(seq + 1);
@@ -315,18 +474,18 @@ impl DtuSystem {
         let sim = self.sim.clone();
         self.sim.spawn(format!("dtu-deliver-{seq}"), async move {
             sim.sleep_until(at).await;
-            sys.deposit(target_pe, target_ep, msg, credit);
+            sys.deposit(target_pe, target_ep, msg, ctx, credit);
         });
     }
 
-    fn spawn_credit_refill(&self, at: Cycles, pe: PeId, ep: EpId) {
+    fn spawn_credit_refill(&self, at: Cycles, pe: PeId, ctx: u64, ep: EpId) {
         let seq = self.inner.next_deposit.get();
         self.inner.next_deposit.set(seq + 1);
         let sys = self.clone();
         let sim = self.sim.clone();
         self.sim.spawn(format!("dtu-credit-{seq}"), async move {
             sim.sleep_until(at).await;
-            sys.refill_credit(pe, ep);
+            sys.refill_credit(pe, ctx, ep);
         });
     }
 }
@@ -450,8 +609,14 @@ impl Dtu {
     /// Fault-plane gate at the head of every asynchronous DTU command: a
     /// crashed PE's DTU rejects everything, a stalled PE's DTU holds the
     /// command until the stall window closes. With no plane armed this is
-    /// a no-op that costs zero simulated cycles.
-    async fn fault_gate(&self) -> Result<()> {
+    /// a no-op that costs zero simulated cycles. Public so receive loops
+    /// built outside this crate (the kernel-multiplexed receive path in
+    /// `m3-libos`) observe faults exactly like [`Dtu::recv`].
+    ///
+    /// # Errors
+    ///
+    /// [`Code::Unreachable`] if this PE has crashed.
+    pub async fn fault_gate(&self) -> Result<()> {
         let Some(faults) = self.sys.faults() else {
             return Ok(());
         };
@@ -501,9 +666,10 @@ impl Dtu {
         self.fault_gate().await?;
         self.sys.sim.sleep(timing::CMD_ISSUE).await;
 
-        let (target_pe, target_ep, label, bounded) = {
+        let (target_pe, target_ep, label, bounded, my_ctx) = {
             let mut pes = self.sys.inner.pes.borrow_mut();
             let state = &mut pes[self.pe.idx()];
+            let my_ctx = state.current_ctx;
             let (pe, tep, label, bounded, max_payload) = match &state.eps[ep.idx()] {
                 EpConfig::Send {
                     pe,
@@ -537,7 +703,7 @@ impl Dtu {
                 }
                 *cur -= 1;
             }
-            (pe, tep, label, bounded)
+            (pe, tep, label, bounded, my_ctx)
         };
 
         let msg = Message {
@@ -551,6 +717,7 @@ impl Dtu {
                     ep: rep,
                     label: rlabel,
                     credit_ep: ep,
+                    ctx: my_ctx,
                 }),
             },
             payload: payload.into(),
@@ -578,7 +745,11 @@ impl Dtu {
                 bytes: wire,
             },
         });
-        let credit = if bounded { Some((self.pe, ep)) } else { None };
+        let credit = if bounded {
+            Some((self.pe, my_ctx, ep))
+        } else {
+            None
+        };
         let verdict = match self.sys.faults() {
             Some(faults) => faults.message_verdict(now, self.pe, target_pe),
             None => MsgVerdict::Deliver,
@@ -590,6 +761,7 @@ impl Dtu {
                     target_pe,
                     target_ep,
                     msg,
+                    None,
                     credit,
                 );
             }
@@ -598,10 +770,11 @@ impl Dtu {
                 // the would-be delivery time, exactly like a ring-buffer
                 // drop: the reply path that normally refills it is gone.
                 self.sys.trace_fault(self.pe, "msg_drop", Cycles::ZERO);
-                if let Some((sender_pe, sender_ep)) = credit {
+                if let Some((sender_pe, sender_ctx, sender_ep)) = credit {
                     self.sys.spawn_credit_refill(
                         t.completes_at + timing::DELIVER,
                         sender_pe,
+                        sender_ctx,
                         sender_ep,
                     );
                 }
@@ -615,6 +788,7 @@ impl Dtu {
                     target_pe,
                     target_ep,
                     msg.clone(),
+                    None,
                     credit,
                 );
                 self.sys.spawn_delivery(
@@ -622,6 +796,7 @@ impl Dtu {
                     target_pe,
                     target_ep,
                     msg,
+                    None,
                     None,
                 );
             }
@@ -636,6 +811,7 @@ impl Dtu {
                     target_pe,
                     target_ep,
                     msg,
+                    None,
                     credit,
                 );
             }
@@ -701,6 +877,7 @@ impl Dtu {
                     rinfo.pe,
                     rinfo.ep,
                     reply_msg,
+                    Some(rinfo.ctx),
                     None,
                 );
             }
@@ -715,6 +892,7 @@ impl Dtu {
                         rinfo.pe,
                         rinfo.ep,
                         reply_msg.clone(),
+                        Some(rinfo.ctx),
                         None,
                     );
                 }
@@ -730,6 +908,7 @@ impl Dtu {
                     rinfo.pe,
                     rinfo.ep,
                     reply_msg,
+                    Some(rinfo.ctx),
                     None,
                 );
             }
@@ -738,7 +917,7 @@ impl Dtu {
         // which travels independently of the reply message: even a faulted
         // reply returns the sender's credit, so retries are never starved.
         self.sys
-            .spawn_credit_refill(t.completes_at, rinfo.pe, rinfo.credit_ep);
+            .spawn_credit_refill(t.completes_at, rinfo.pe, rinfo.ctx, rinfo.credit_ep);
         Ok(())
     }
 
@@ -1109,6 +1288,243 @@ impl KernelToken {
             }
             _ => Err(Error::new(Code::InvEp).with_msg("not a bounded-credit send EP")),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Context switching (kernel-driven VPE time-multiplexing, m3-sched)
+    // ------------------------------------------------------------------
+
+    /// Suspends the live context of the DTU at `target`: its endpoint
+    /// registers, undelivered ring-buffer contents, and unspent credits move
+    /// to the context's save area, and the live registers reset to the boot
+    /// state. Until [`KernelToken::restore_state`] installs a successor the
+    /// DTU carries [`NO_CTX`], so in-flight traffic keeps routing into save
+    /// areas rather than the empty registers.
+    ///
+    /// Returns the number of bytes the save moved (the caller charges the
+    /// DTU transfer to DRAM at 8 B/cycle, §5.4).
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::NoPerm`] if this DTU has been downgraded.
+    /// - [`Code::InvArgs`] if `target` does not exist or is already saved
+    ///   out (carries [`NO_CTX`]).
+    pub fn save_state(&self, target: PeId) -> Result<u64> {
+        self.dtu.require_privileged()?;
+        let mut pes = self.dtu.sys.inner.pes.borrow_mut();
+        let state = pes
+            .get_mut(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        if state.current_ctx == NO_CTX {
+            return Err(Error::new(Code::InvArgs).with_msg(format!("{target} mid-switch already")));
+        }
+        let ctx = state.current_ctx;
+        let saved_ctx = SavedCtx {
+            eps: std::mem::replace(&mut state.eps, vec![EpConfig::Invalid; EP_COUNT]),
+            ringbufs: std::mem::take(&mut state.ringbufs),
+            credits: std::mem::take(&mut state.credits),
+        };
+        state.current_ctx = NO_CTX;
+        drop(pes);
+        let bytes = saved_ctx.state_bytes();
+        self.dtu
+            .sys
+            .inner
+            .saved
+            .borrow_mut()
+            .insert((target, ctx), saved_ctx);
+        Ok(bytes)
+    }
+
+    /// Resumes context `ctx` on the DTU at `target`: its save area becomes
+    /// the live endpoint registers, ring buffers, and credits. Returns the
+    /// bytes the restore moved (charged by the caller like a save).
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::NoPerm`] if this DTU has been downgraded.
+    /// - [`Code::InvArgs`] if `target` does not exist or `(target, ctx)` has
+    ///   no save area.
+    pub fn restore_state(&self, target: PeId, ctx: u64) -> Result<u64> {
+        self.dtu.require_privileged()?;
+        let saved_ctx = self
+            .dtu
+            .sys
+            .inner
+            .saved
+            .borrow_mut()
+            .remove(&(target, ctx))
+            .ok_or_else(|| {
+                Error::new(Code::InvArgs).with_msg(format!("no saved context {ctx} at {target}"))
+            })?;
+        let bytes = saved_ctx.state_bytes();
+        let mut pes = self.dtu.sys.inner.pes.borrow_mut();
+        let state = pes
+            .get_mut(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        state.eps = saved_ctx.eps;
+        state.ringbufs = saved_ctx.ringbufs;
+        state.credits = saved_ctx.credits;
+        state.current_ctx = ctx;
+        let arrival = state.arrival.clone();
+        drop(pes);
+        // Messages may have been parked in the restored ring buffers while
+        // the context was out; wake its receivers so they re-poll.
+        arrival.notify_all();
+        Ok(bytes)
+    }
+
+    /// Configures endpoint `ep` directly in the *save area* of context
+    /// `(target, ctx)`, creating the area if needed — how the kernel
+    /// prepares channels for an admitted-but-not-yet-resident VPE without
+    /// touching whoever holds the live registers. Same ring-buffer and
+    /// credit bookkeeping as [`KernelToken::configure`].
+    ///
+    /// # Errors
+    ///
+    /// - [`Code::NoPerm`] if this DTU has been downgraded.
+    /// - [`Code::InvEp`] if `ep` is out of range.
+    pub fn stash_config(&self, target: PeId, ctx: u64, ep: EpId, cfg: EpConfig) -> Result<()> {
+        self.dtu.require_privileged()?;
+        Dtu::check_ep(ep)?;
+        let mut saved = self.dtu.sys.inner.saved.borrow_mut();
+        let sc = saved.entry((target, ctx)).or_insert_with(SavedCtx::new);
+        match &cfg {
+            EpConfig::Receive {
+                slots, slot_size, ..
+            } => {
+                sc.ringbufs.insert(ep, RingBuf::new(*slots, *slot_size));
+                sc.credits.remove(&ep);
+            }
+            EpConfig::Send { credits, .. } => {
+                sc.ringbufs.remove(&ep);
+                if let Some(c) = credits {
+                    sc.credits.insert(ep, *c);
+                } else {
+                    sc.credits.remove(&ep);
+                }
+            }
+            EpConfig::Memory { .. } | EpConfig::Invalid => {
+                sc.ringbufs.remove(&ep);
+                sc.credits.remove(&ep);
+            }
+        }
+        sc.eps[ep.idx()] = cfg;
+        Ok(())
+    }
+
+    /// Labels the live registers of the DTU at `target` as belonging to
+    /// context `ctx` (set when a VPE is admitted resident, so later replies
+    /// can chase it through switches).
+    ///
+    /// # Errors
+    ///
+    /// [`Code::NoPerm`] if this DTU has been downgraded.
+    pub fn set_current_ctx(&self, target: PeId, ctx: u64) -> Result<()> {
+        self.dtu.require_privileged()?;
+        let mut pes = self.dtu.sys.inner.pes.borrow_mut();
+        let state = pes
+            .get_mut(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        state.current_ctx = ctx;
+        Ok(())
+    }
+
+    /// The context id the live registers of `target` belong to.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::NoPerm`] if this DTU has been downgraded.
+    pub fn current_ctx(&self, target: PeId) -> Result<u64> {
+        self.dtu.require_privileged()?;
+        let pes = self.dtu.sys.inner.pes.borrow();
+        let state = pes
+            .get(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        Ok(state.current_ctx)
+    }
+
+    /// Whether the save area of `(target, ctx)` holds an unfetched message
+    /// at endpoint `ep` — the kernel's wake-up check for parked VPEs.
+    pub fn saved_has_message(&self, target: PeId, ctx: u64, ep: EpId) -> bool {
+        self.dtu
+            .sys
+            .inner
+            .saved
+            .borrow()
+            .get(&(target, ctx))
+            .and_then(|sc| sc.ringbufs.get(&ep))
+            .is_some_and(RingBuf::has_message)
+    }
+
+    /// Whether the *live* registers of `target` hold an unfetched message at
+    /// `ep` (the kernel peeks on behalf of a resident VPE).
+    pub fn has_message(&self, target: PeId, ep: EpId) -> bool {
+        let pes = self.dtu.sys.inner.pes.borrow();
+        pes.get(target.idx())
+            .and_then(|s| s.ringbufs.get(&ep))
+            .is_some_and(RingBuf::has_message)
+    }
+
+    /// Discards the save area of `(target, ctx)` (the VPE died while
+    /// switched out). Returns whether one existed.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::NoPerm`] if this DTU has been downgraded.
+    pub fn drop_saved(&self, target: PeId, ctx: u64) -> Result<bool> {
+        self.dtu.require_privileged()?;
+        Ok(self
+            .dtu
+            .sys
+            .inner
+            .saved
+            .borrow_mut()
+            .remove(&(target, ctx))
+            .is_some())
+    }
+
+    /// The arrival notify of the DTU at `target` — woken on every message
+    /// deposit for that PE, live or saved. The kernel's scheduler shares it
+    /// as the per-PE wake signal.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::NoPerm`] if this DTU has been downgraded.
+    pub fn arrival_notify(&self, target: PeId) -> Result<Notify> {
+        self.dtu.require_privileged()?;
+        let pes = self.dtu.sys.inner.pes.borrow();
+        let state = pes
+            .get(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        Ok(state.arrival.clone())
+    }
+
+    /// A full copy of the live endpoint state of `target` — per endpoint:
+    /// its configuration, its ring buffer (receive EPs), and its remaining
+    /// credits (bounded send EPs). Test instrumentation for the
+    /// save→restore round-trip property; not a modeled DTU operation.
+    ///
+    /// # Errors
+    ///
+    /// [`Code::NoPerm`] if this DTU has been downgraded.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot(&self, target: PeId) -> Result<Vec<(EpConfig, Option<RingBuf>, Option<u32>)>> {
+        self.dtu.require_privileged()?;
+        let pes = self.dtu.sys.inner.pes.borrow();
+        let state = pes
+            .get(target.idx())
+            .ok_or_else(|| Error::new(Code::InvArgs).with_msg(format!("no node {target}")))?;
+        Ok((0..EP_COUNT)
+            .map(|i| {
+                let ep = EpId::new(i as u32);
+                (
+                    state.eps[i].clone(),
+                    state.ringbufs.get(&ep).cloned(),
+                    state.credits.get(&ep).copied(),
+                )
+            })
+            .collect())
     }
 }
 

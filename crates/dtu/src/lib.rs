@@ -30,7 +30,7 @@ mod message;
 mod ringbuf;
 pub mod timing;
 
-pub use dtu::{Dtu, DtuSystem, KernelToken, MemKind};
+pub use dtu::{Dtu, DtuSystem, KernelToken, MemKind, NO_CTX};
 pub use endpoint::EpConfig;
 pub use message::{Header, Message, Payload, ReplyInfo};
 pub use ringbuf::RingBuf;

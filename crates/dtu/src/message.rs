@@ -19,6 +19,12 @@ pub struct ReplyInfo {
     pub label: Label,
     /// Send endpoint at the sender whose credits the reply refills.
     pub credit_ep: EpId,
+    /// Context id the sender's DTU ran under when the message left. The
+    /// reply (and its credit refill) follows the *context*, not the PE: if
+    /// the kernel has switched the sender out in the meantime, the DTU
+    /// routes the reply into that context's save area instead of the live
+    /// endpoint registers of whoever occupies the PE now.
+    pub ctx: u64,
 }
 
 /// The header the DTU prepends to every message (paper §4.4.2).

@@ -39,7 +39,7 @@ use crate::message::Message;
 /// rb.ack();
 /// assert!(rb.deposit(msg));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RingBuf {
     slots: usize,
     slot_size: usize,
@@ -132,6 +132,12 @@ impl RingBuf {
     /// Messages dropped because the buffer was full or the message too big.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Total wire bytes of the queued (unfetched) messages — the amount a
+    /// context save must move to preserve the buffer's contents.
+    pub fn queued_wire_bytes(&self) -> u64 {
+        self.queue.iter().map(|m| m.wire_size() as u64).sum()
     }
 }
 

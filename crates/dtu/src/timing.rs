@@ -30,6 +30,13 @@ pub const SPM_LATENCY: Cycles = Cycles::new(2);
 /// §4.2.1 message reception).
 pub const FETCH_POLL: Cycles = Cycles::new(2);
 
+/// Bytes one endpoint's register state occupies in a context save area.
+/// The DTU exposes each endpoint as a small block of configuration
+/// registers the kernel reads and writes remotely (§4.3.3); saving or
+/// restoring a context moves this block per endpoint, charged at the DTU's
+/// 8 B/cycle transfer rate (§5.4) like any other data.
+pub const EP_SAVE_BYTES: u64 = 32;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,15 +1,16 @@
 //! Kernel boot, the syscall loop, and service forwarding.
 
-use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use m3_base::cfg::SPM_DATA_SIZE;
 use m3_base::error::{Code, Error, Result};
 use m3_base::marshal::OStream;
-use m3_base::{EpId, PeId, Perm, SelId, VpeId};
+use m3_base::{Cycles, EpId, PeId, Perm, SelId, VpeId};
 use m3_dtu::{Dtu, EpConfig, KernelToken, Message};
 use m3_platform::{PeType, Platform};
+use m3_sched::{Admission, Removal, Scheduler};
 use m3_sim::{Component, Event, EventKind, Notify, Sim};
 
 use crate::cap::{CapTable, Capability, DerivationTree, KObject, MGateObj, RGateObj, SGateObj};
@@ -91,6 +92,17 @@ pub struct Kernel {
     ktok: Rc<KernelToken>,
     pe: PeId,
     state: Rc<RefCell<KState>>,
+    /// Run queues of the time-multiplexed PEs (overcommit mode, m3-sched).
+    sched: Rc<RefCell<Scheduler>>,
+    /// Whether `CreateVpe` may admit more VPEs than PEs by
+    /// time-multiplexing application PEs.
+    overcommit: Rc<Cell<bool>>,
+    /// PEs that are never multiplexed: boot-time roots (services, drivers)
+    /// keep their PE exclusively even in overcommit mode.
+    pinned: Rc<RefCell<BTreeSet<PeId>>>,
+    /// Cycle at which the current resident of each multiplexed PE was
+    /// installed (start of its slice).
+    resumed_at: Rc<RefCell<BTreeMap<PeId, Cycles>>>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -204,6 +216,10 @@ impl Kernel {
                 pending: BTreeMap::new(),
                 next_serv_ep: keps::FIRST_SERV,
             })),
+            sched: Rc::new(RefCell::new(Scheduler::new())),
+            overcommit: Rc::new(Cell::new(false)),
+            pinned: Rc::new(RefCell::new(BTreeSet::new())),
+            resumed_at: Rc::new(RefCell::new(BTreeMap::new())),
         };
 
         let k = kernel.clone();
@@ -245,15 +261,20 @@ impl Kernel {
                 .spawn_daemon(format!("kernel-watchdog@{pe}"), async move {
                     k.sim.sleep_until(at + costs::DEAD_PE_DETECT).await;
                     k.sim.sleep(costs::DISPATCH).await;
-                    let victim = {
+                    // Every VPE bound to the dead PE dies with it — not just
+                    // the resident: queued and parked VPEs of an
+                    // overcommitted PE have no hardware left to run on
+                    // either, and their save areas must be reclaimed.
+                    let victims: Vec<_> = {
                         let st = k.state.borrow();
                         st.vpes
                             .values()
-                            .find(|v| {
+                            .filter(|v| {
                                 let v = v.borrow();
                                 v.pe == pe && v.is_alive()
                             })
                             .cloned()
+                            .collect()
                     };
                     let now = k.sim.now();
                     k.sim.tracer().record_with(|| Event {
@@ -266,7 +287,7 @@ impl Kernel {
                             attempt: 0,
                         },
                     });
-                    if let Some(victim) = victim {
+                    for victim in victims {
                         k.destroy_vpe(&victim, -2);
                     }
                 });
@@ -298,6 +319,9 @@ impl Kernel {
         st.tables.insert(id, table);
         st.tree.insert_root((id, SelId::new(0)));
         drop(st);
+        // Boot-time roots (services, benchmark drivers) are never
+        // multiplexed; their PE stays exclusive even in overcommit mode.
+        self.pinned.borrow_mut().insert(pe);
         self.setup_sysc_channel(id, pe)?;
         Ok(VpeBootInfo { vpe: id, pe })
     }
@@ -325,6 +349,66 @@ impl Kernel {
             },
         )?;
         Ok(())
+    }
+
+    /// Like [`Kernel::setup_sysc_channel`], but writes the configuration
+    /// into the *save area* of VPE `id` on `pe` — used for VPEs admitted to
+    /// an occupied PE, whose endpoints must not clobber the resident's.
+    fn stash_sysc_channel(&self, id: VpeId, pe: PeId) -> Result<()> {
+        let ctx = u64::from(id.raw());
+        self.ktok.stash_config(
+            pe,
+            ctx,
+            std_eps::SYSC_REPLY,
+            EpConfig::Receive {
+                slots: 2,
+                slot_size: SYSC_MSG_SIZE + m3_base::cfg::MSG_HEADER_SIZE,
+                allow_replies: false,
+            },
+        )?;
+        self.ktok.stash_config(
+            pe,
+            ctx,
+            std_eps::SYSC_SEND,
+            EpConfig::Send {
+                pe: self.pe,
+                ep: keps::SYSC,
+                label: id.raw() as u64,
+                credits: Some(1),
+                max_payload: SYSC_MSG_SIZE,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Picks the PE a new VPE is time-multiplexed onto when no PE is free:
+    /// the least-loaded multiplexed PE matching the request (ties go to the
+    /// lowest PE id, keeping placement deterministic). Pinned PEs and
+    /// accelerators never multiplex.
+    fn pick_overcommit_pe(&self, st: &KState, req: PeRequest, caller_ty: PeType) -> Result<PeId> {
+        let want = match req {
+            PeRequest::Any => None,
+            PeRequest::Type(ty) => Some(ty),
+            PeRequest::Same => Some(caller_ty),
+        };
+        let sched = self.sched.borrow();
+        let pinned = self.pinned.borrow();
+        let mut best: Option<(usize, PeId)> = None;
+        for (pe, load) in sched.loads() {
+            if pinned.contains(&pe) {
+                continue;
+            }
+            let desc = st.pemng.desc(pe);
+            let matches = match want {
+                None => !desc.is_fft_accel(),
+                Some(ty) => desc.ty == ty && !desc.is_fft_accel(),
+            };
+            if matches && best.is_none_or(|(l, _)| load < l) {
+                best = Some((load, pe));
+            }
+        }
+        best.map(|(_, pe)| pe)
+            .ok_or_else(|| Error::new(Code::NoFreePe).with_msg(format!("request {req:?}")))
     }
 
     // ------------------------------------------------------------------
@@ -626,7 +710,7 @@ impl Kernel {
         name: &str,
     ) -> Result<Vec<u8>> {
         self.sim.sleep(costs::CREATE_VPE).await;
-        let (id, pe) = {
+        let (id, pe, queued) = {
             let mut st = self.state.borrow_mut();
             let caller_pe = st
                 .vpes
@@ -635,7 +719,16 @@ impl Kernel {
                 .borrow()
                 .pe;
             let caller_ty = st.pemng.desc(caller_pe).ty;
-            let pe = st.pemng.alloc(req, caller_ty)?;
+            let pe = match st.pemng.alloc(req, caller_ty) {
+                Ok(pe) => pe,
+                // Overcommit: with every matching PE taken, time-multiplex
+                // the least-loaded one instead of failing (§4.1/§7 future
+                // work: the kernel suspends VPEs via DTU state save/restore).
+                Err(e) if e.code() == Code::NoFreePe && self.overcommit.get() => {
+                    self.pick_overcommit_pe(&st, req, caller_ty)?
+                }
+                Err(e) => return Err(e),
+            };
             let id = VpeId::new(st.next_vpe);
             st.next_vpe += 1;
             let vpe = Rc::new(RefCell::new(VpeObj::new(id, name, pe)));
@@ -661,9 +754,32 @@ impl Kernel {
             Self::table(&mut st, caller)?
                 .insert(mem_dst, Capability::new(KObject::MGate(mgate)))?;
             st.tree.insert_root((caller, mem_dst));
-            (id, pe)
+            // In overcommit mode every multiplexable child joins its PE's
+            // run queue (accelerators and pinned PEs stay exclusive). The
+            // PE's DTU arrival notify doubles as the scheduler wake signal.
+            let mut queued = false;
+            if self.overcommit.get()
+                && !st.pemng.desc(pe).is_fft_accel()
+                && !self.pinned.borrow().contains(&pe)
+            {
+                let wake = self.ktok.arrival_notify(pe)?;
+                if self.sched.borrow_mut().admit(id, pe, wake) == Admission::Queued {
+                    queued = true;
+                }
+            }
+            (id, pe, queued)
         };
-        self.setup_sysc_channel(id, pe)?;
+        if queued {
+            // The PE is occupied: the channel goes into the VPE's DTU save
+            // area and materializes at its first restore.
+            self.stash_sysc_channel(id, pe)?;
+        } else {
+            self.setup_sysc_channel(id, pe)?;
+            if self.sched.borrow().manages(id) {
+                self.ktok.set_current_ctx(pe, u64::from(id.raw()))?;
+                self.resumed_at.borrow_mut().insert(pe, self.sim.now());
+            }
+        }
         // Charge the remote EP configuration packets.
         self.charge_ep_config(pe).await;
         let mut os = OStream::new();
@@ -1252,10 +1368,23 @@ impl Kernel {
         for sel in sels {
             self.revoke_cap(id, sel);
         }
+        let removal = self.sched.borrow_mut().remove(id);
         {
             let mut st = self.state.borrow_mut();
             st.tables.remove(&id);
-            st.pemng.free(pe);
+            match removal {
+                // Exclusive owner: the PE is free again immediately.
+                Removal::NotManaged => {
+                    st.pemng.free(pe);
+                    self.pinned.borrow_mut().remove(&pe);
+                }
+                // Multiplexed: the PE stays busy until its last VPE is gone.
+                Removal::Removed { now_empty, .. } => {
+                    if now_empty {
+                        st.pemng.free(pe);
+                    }
+                }
+            }
             // Free the VPE's page-table frames (§7 prototype).
             if let Some(pt) = st.page_tables.remove(&id) {
                 let frames: Vec<u64> = pt.into_values().collect();
@@ -1264,12 +1393,33 @@ impl Kernel {
                 }
             }
         }
-        let _ = self
-            .ktok
-            .configure(pe, std_eps::SYSC_SEND, EpConfig::Invalid);
-        let _ = self
-            .ktok
-            .configure(pe, std_eps::SYSC_REPLY, EpConfig::Invalid);
+        match removal {
+            Removal::Removed {
+                was_resident: false,
+                ..
+            } => {
+                // Switched out: its endpoints live in the save area, not on
+                // the PE — discard the area instead of the live registers.
+                let _ = self.ktok.drop_saved(pe, u64::from(id.raw()));
+            }
+            _ => {
+                if let Removal::Removed { .. } = removal {
+                    if let Some(t0) = self.resumed_at.borrow_mut().remove(&pe) {
+                        self.sim.metrics().observe(
+                            pe,
+                            m3_sim::keys::SLICE_CYCLES,
+                            (self.sim.now() - t0).as_u64(),
+                        );
+                    }
+                }
+                let _ = self
+                    .ktok
+                    .configure(pe, std_eps::SYSC_SEND, EpConfig::Invalid);
+                let _ = self
+                    .ktok
+                    .configure(pe, std_eps::SYSC_REPLY, EpConfig::Invalid);
+            }
+        }
         vpe_obj.borrow().exited.notify_all();
         self.sim.stats().incr("kernel.vpe_exits");
     }
@@ -1282,6 +1432,250 @@ impl Kernel {
         if let Some(vpe_obj) = vpe_obj {
             self.destroy_vpe(&vpe_obj, code);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // VPE time-multiplexing (m3-sched)
+    // ------------------------------------------------------------------
+
+    /// Enables (or disables) PE overcommit: with it on, `CreateVpe` admits
+    /// more VPEs than PEs by time-multiplexing application PEs — round-robin
+    /// with blocked-on-receive parking; switches move the suspended VPE's
+    /// DTU state to a DRAM save area through the DTU itself (§4.1/§7
+    /// future work). Off (the default) preserves the paper's one-VPE-per-PE
+    /// model bit for bit.
+    pub fn set_overcommit(&self, on: bool) {
+        self.overcommit.set(on);
+    }
+
+    /// Whether `vpe` is under scheduler control (time-multiplexed).
+    pub fn sched_manages(&self, vpe: VpeId) -> bool {
+        self.sched.borrow().manages(vpe)
+    }
+
+    /// Number of context switches performed so far on `pe` (diagnostics).
+    pub fn ctx_switches(&self, pe: PeId) -> u64 {
+        self.sim.metrics().get(pe, m3_sim::keys::CTX_SWITCHES)
+    }
+
+    /// Parks `vpe` until a message can be fetched from its endpoint `ep`,
+    /// running another VPE of the PE in the meantime (the blocked-receive
+    /// funnel of the cooperative multiplexing model).
+    ///
+    /// Returns when `vpe` is resident with a message pending at `ep`, or —
+    /// mirroring one iteration of the [`Dtu::recv`] poll loop — after a
+    /// single arrival wake while it stays resident, so the caller re-polls
+    /// with exactly the cycle pattern of the unmanaged path. Unmanaged VPEs
+    /// return immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors from the save/restore transfers.
+    pub async fn sched_wait_msg(&self, vpe: VpeId, ep: EpId) -> Result<()> {
+        enum Act {
+            Return,
+            Switch(VpeId),
+            Restore,
+            WaitOnce,
+            Wait,
+        }
+        loop {
+            let (pe, act) = {
+                let mut sched = self.sched.borrow_mut();
+                let Some(pe) = sched.pe_of(vpe) else {
+                    return Ok(());
+                };
+                let act = if sched.is_resident(vpe) {
+                    if self.ktok.has_message(pe, ep) {
+                        sched.mark_active(vpe);
+                        Act::Return
+                    } else if let Some(next) = sched.park_resident(vpe) {
+                        Act::Switch(next)
+                    } else {
+                        // Nobody ready: blocked in place, zero switch cost.
+                        Act::WaitOnce
+                    }
+                } else if sched.resident_of(pe).is_none() && sched.claim_vacant(vpe) {
+                    Act::Restore
+                } else {
+                    // Switched out: a message in the save area makes this
+                    // VPE runnable again.
+                    if self.ktok.saved_has_message(pe, u64::from(vpe.raw()), ep) {
+                        sched.unpark(vpe);
+                    }
+                    Act::Wait
+                };
+                (pe, act)
+            };
+            match act {
+                Act::Return => return Ok(()),
+                Act::Switch(next) => self.spawn_switch(pe, Some(vpe), next),
+                Act::Restore => self.spawn_switch(pe, None, vpe),
+                Act::WaitOnce => {
+                    self.ktok.arrival_notify(pe)?.wait().await;
+                    return Ok(());
+                }
+                Act::Wait => self.ktok.arrival_notify(pe)?.wait().await,
+            }
+        }
+    }
+
+    /// Forces a parked `vpe` back onto the ready queue and waits for
+    /// residency — the recovery step after a timed-out receive abandoned its
+    /// wait mid-park, so the caller never touches the DTU while another
+    /// VPE's state is live.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors from the restore transfer.
+    pub async fn sched_interrupt(&self, vpe: VpeId) -> Result<()> {
+        self.sched.borrow_mut().unpark(vpe);
+        self.sched_acquire(vpe).await
+    }
+
+    /// Blocks until `vpe` holds its PE, restoring it if the PE is vacant
+    /// (used before a freshly started VPE runs, and after a yield).
+    /// Unmanaged VPEs return immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors from the restore transfer.
+    pub async fn sched_acquire(&self, vpe: VpeId) -> Result<()> {
+        enum Act {
+            Ready,
+            Restore,
+            Wait,
+        }
+        loop {
+            let (pe, act) = {
+                let mut sched = self.sched.borrow_mut();
+                let Some(pe) = sched.pe_of(vpe) else {
+                    return Ok(());
+                };
+                let act = if sched.is_resident(vpe) {
+                    sched.mark_active(vpe);
+                    Act::Ready
+                } else if sched.resident_of(pe).is_none() && sched.claim_vacant(vpe) {
+                    Act::Restore
+                } else {
+                    Act::Wait
+                };
+                (pe, act)
+            };
+            match act {
+                Act::Ready => return Ok(()),
+                Act::Restore => self.spawn_switch(pe, None, vpe),
+                Act::Wait => self.ktok.arrival_notify(pe)?.wait().await,
+            }
+        }
+    }
+
+    /// Voluntarily offers `vpe`'s slice (`Env::yield_now`): if another VPE
+    /// of the PE is ready, the caller moves to the tail of the ready queue
+    /// and this returns once it is resident again. A no-op when nobody
+    /// waits or the VPE is unmanaged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors from the save/restore transfers.
+    pub async fn sched_yield(&self, vpe: VpeId) -> Result<()> {
+        let (pe, next) = {
+            let mut sched = self.sched.borrow_mut();
+            let Some(pe) = sched.pe_of(vpe) else {
+                return Ok(());
+            };
+            match sched.yield_resident(vpe) {
+                Some(next) => (pe, next),
+                None => return Ok(()),
+            }
+        };
+        self.spawn_switch(pe, Some(vpe), next);
+        self.sched_acquire(vpe).await
+    }
+
+    /// Runs [`Kernel::perform_switch`] in a detached kernel task, so the
+    /// switch always completes even if the waiter that triggered it is
+    /// cancelled (e.g. a timed-out receive dropping its future mid-wait).
+    fn spawn_switch(&self, pe: PeId, from: Option<VpeId>, to: VpeId) {
+        let k = self.clone();
+        self.sim.spawn(format!("kernel-ctxsw@{pe}"), async move {
+            let _ = k.perform_switch(pe, from, to).await;
+        });
+    }
+
+    /// Performs one context switch on `pe`: saves `from` (when the PE is
+    /// not vacant) and restores `to`, moving each VPE's architectural state
+    /// — endpoint registers, ring-buffer contents, unspent credits, and the
+    /// SPM data image — between the PE and its DRAM save area *through the
+    /// DTU*, charged at 8 B/cycle (§5.4) plus the fixed per-direction costs
+    /// in `m3-sched::costs`.
+    async fn perform_switch(&self, pe: PeId, from: Option<VpeId>, to: VpeId) -> Result<()> {
+        let started = self.sim.now();
+        let dram = self.platform.dram_pe();
+        let spm = SPM_DATA_SIZE as u64;
+        let mut bytes = 0u64;
+        if from.is_some() {
+            let saved = self.ktok.save_state(pe)?;
+            let t = self
+                .dtu
+                .system()
+                .noc()
+                .schedule(self.sim.now(), pe, dram, saved + spm);
+            self.sim.sleep_until(t.completes_at).await;
+            self.sim.sleep(m3_dtu::timing::DRAM_LATENCY).await;
+            self.sim.sleep(m3_sched::costs::CTX_SAVE_FIXED).await;
+            bytes += saved + spm;
+            if let Some(t0) = self.resumed_at.borrow_mut().remove(&pe) {
+                self.sim.metrics().observe(
+                    pe,
+                    m3_sim::keys::SLICE_CYCLES,
+                    (self.sim.now() - t0).as_u64(),
+                );
+            }
+        }
+        match self.ktok.restore_state(pe, u64::from(to.raw())) {
+            Ok(restored) => {
+                let t = self
+                    .dtu
+                    .system()
+                    .noc()
+                    .schedule(self.sim.now(), dram, pe, restored + spm);
+                self.sim.sleep_until(t.completes_at).await;
+                self.sim.sleep(m3_sched::costs::CTX_RESTORE_FIXED).await;
+                bytes += restored + spm;
+            }
+            Err(_) => {
+                // The target died mid-switch (its save area is gone): the
+                // PE stays vacant for the next claimant.
+                self.sched.borrow_mut().abort_switch(pe, Some(to));
+                return Ok(());
+            }
+        }
+        if self.sched.borrow_mut().finish_switch(pe, to) {
+            self.resumed_at.borrow_mut().insert(pe, self.sim.now());
+        }
+        let now = self.sim.now();
+        self.sim.tracer().record_with(|| Event {
+            at: started,
+            dur: now - started,
+            pe: Some(pe),
+            comp: Component::Kernel,
+            kind: EventKind::CtxSwitch {
+                from: from.map_or(0, |v| v.raw()),
+                to: to.raw(),
+                bytes,
+            },
+        });
+        let metrics = self.sim.metrics();
+        metrics.incr(pe, m3_sim::keys::CTX_SWITCHES);
+        metrics.add(
+            pe,
+            m3_sim::keys::CTX_SWITCH_CYCLES,
+            (now - started).as_u64(),
+        );
+        let depth = self.sched.borrow().ready_depth(pe) as u64;
+        metrics.observe(pe, m3_sim::keys::RUN_QUEUE_DEPTH, depth);
+        Ok(())
     }
 
     /// Charges the NoC time of one remote endpoint-configuration packet.

@@ -273,6 +273,71 @@ impl Env {
         SyscallReply::from_bytes(&msg.payload)?.into_result()
     }
 
+    /// Waits for and fetches the next message from receive endpoint `ep`
+    /// (without acknowledging it) — [`Dtu::recv`] with kernel-multiplexing
+    /// awareness. For a VPE outside scheduler control this *is* `Dtu::recv`,
+    /// cycle for cycle. A time-multiplexed VPE parks in the kernel while no
+    /// message is pending, letting another VPE of its PE run; the kernel
+    /// only returns control while the VPE is resident, so the DTU polls
+    /// below never read another context's live registers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors (including [`Code::Unreachable`] when this PE
+    /// has crashed under an injected fault plane).
+    pub async fn recv_on(&self, ep: m3_base::EpId) -> Result<m3_dtu::Message> {
+        if !self.inner.kernel.sched_manages(self.vpe_id()) {
+            return self.inner.dtu.recv(ep).await;
+        }
+        loop {
+            self.inner.dtu.fault_gate().await?;
+            self.inner.sim.sleep(m3_dtu::timing::FETCH_POLL).await;
+            if let Some(msg) = self.inner.dtu.fetch(ep)? {
+                return Ok(msg);
+            }
+            self.inner.kernel.sched_wait_msg(self.vpe_id(), ep).await?;
+        }
+    }
+
+    /// Like [`Env::recv_on`], but gives up once the simulated clock reaches
+    /// `deadline`. A time-multiplexed VPE that times out is made resident
+    /// again before this returns, so the caller can safely keep using the
+    /// DTU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::Timeout`] when the deadline passes with no message,
+    /// and propagates DTU errors.
+    pub async fn recv_timeout_on(
+        &self,
+        ep: m3_base::EpId,
+        deadline: Cycles,
+    ) -> Result<m3_dtu::Message> {
+        if !self.inner.kernel.sched_manages(self.vpe_id()) {
+            return self.inner.dtu.recv_timeout(ep, deadline).await;
+        }
+        match m3_sim::with_deadline(&self.inner.sim, deadline, self.recv_on(ep)).await {
+            Some(result) => result,
+            None => {
+                // The wait was abandoned mid-park: regain residency before
+                // the caller touches the DTU again.
+                self.inner.kernel.sched_interrupt(self.vpe_id()).await?;
+                Err(Error::new(Code::Timeout).with_msg(format!("recv on {ep}")))
+            }
+        }
+    }
+
+    /// Voluntarily offers this VPE's time slice to the next ready VPE of
+    /// its PE (cooperative multiplexing). A no-op — costing zero cycles —
+    /// for VPEs that own their PE exclusively or when nobody is waiting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors from the context-switch transfers.
+    pub async fn yield_now(&self) -> Result<()> {
+        self.inner.kernel.sched_yield(self.vpe_id()).await
+    }
+
     /// The lazily created reply gate used for RPC calls ([`crate::gate::SendGate::call`]).
     ///
     /// # Errors

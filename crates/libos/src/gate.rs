@@ -90,7 +90,7 @@ impl RecvGate {
     ///
     /// Propagates DTU errors.
     pub async fn recv(&self) -> Result<Message> {
-        let msg = self.env.dtu().recv(self.ep).await?;
+        let msg = self.env.recv_on(self.ep).await?;
         self.env.dtu().ack(self.ep)?;
         Ok(msg)
     }
@@ -104,7 +104,7 @@ impl RecvGate {
     /// and propagates DTU errors (including [`Code::Unreachable`] when this
     /// PE has crashed under an injected fault plane).
     pub async fn recv_timeout(&self, deadline: m3_base::Cycles) -> Result<Message> {
-        let msg = self.env.dtu().recv_timeout(self.ep, deadline).await?;
+        let msg = self.env.recv_timeout_on(self.ep, deadline).await?;
         self.env.dtu().ack(self.ep)?;
         Ok(msg)
     }

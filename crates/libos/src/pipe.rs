@@ -271,8 +271,8 @@ impl PipeReader {
             (ReaderSource::Own(rgate), Some(d)) => rgate.recv_timeout(d).await,
             (ReaderSource::Ep(ep), deadline) => {
                 let recvd = match deadline {
-                    None => self.env.dtu().recv(*ep).await,
-                    Some(d) => self.env.dtu().recv_timeout(*ep, d).await,
+                    None => self.env.recv_on(*ep).await,
+                    Some(d) => self.env.recv_timeout_on(*ep, d).await,
                 };
                 match recvd {
                     Ok(msg) => {

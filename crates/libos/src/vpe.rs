@@ -229,6 +229,17 @@ impl Vpe {
         );
         let name = self.name.clone();
         self.env.sim().spawn(name, async move {
+            // A time-multiplexed child may start queued behind the PE's
+            // resident: wait for its first slice before running (a no-op
+            // for exclusively-owned PEs).
+            if child_env
+                .kernel()
+                .sched_acquire(child_env.vpe_id())
+                .await
+                .is_err()
+            {
+                return -1;
+            }
             let code = f(child_env.clone(), argv).await;
             child_env.exit(code).await;
             code

@@ -46,7 +46,7 @@ pub const RULES: &[&str] = &["determinism", "cost-citation", "no-unwrap", "isola
 /// Crates whose code runs inside the simulation and must be deterministic.
 const SIM_CRATES: &[&str] = &[
     "sim", "noc", "dtu", "platform", "kernel", "libos", "fs", "lx", "apps", "bench", "core",
-    "trace", "fault",
+    "trace", "fault", "sched",
 ];
 
 /// Crates where `unwrap()`/`expect()` are banned outside test code.
@@ -503,6 +503,21 @@ mod tests {
     fn cost_citation_ignores_non_numeric_consts() {
         let src = "pub const NAME: &str = \"m3\";\npub const ALIAS: u64 = OTHER;\n";
         assert!(check("crates/kernel/src/costs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sched_crate_is_in_simulation_scope() {
+        // The scheduler orders run queues: hashed iteration there would
+        // change which VPE a vacant PE claims, so determinism applies...
+        let f = check(
+            "crates/sched/src/lib.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert_eq!(rules_of(&f), vec!["determinism"]);
+        // ...and its switch costs are model constants needing citations.
+        let src = "pub const CTX_SAVE_FIXED: u64 = 80;\n";
+        let f = check("crates/sched/src/costs.rs", src);
+        assert_eq!(rules_of(&f), vec!["cost-citation"]);
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! `m3-sched`: kernel-owned time-multiplexing of VPEs onto PEs.
+//!
+//! The paper runs exactly one application per PE and names context switching
+//! via DTU state save/restore as future work (§4.1, §7). This crate supplies
+//! the kernel's scheduling *state machine*: a deterministic round-robin run
+//! queue per PE with blocked-on-receive parking. A VPE that waits for a
+//! message yields its slice (it is *parked*); message arrival at a parked
+//! VPE's endpoint marks it runnable again.
+//!
+//! The scheduler holds no DTU or timing state — the kernel drives the actual
+//! DTU save/restore transfers and charges their cycles. This split keeps the
+//! policy deterministic and unit-testable: all state lives in `BTreeMap`,
+//! `BTreeSet`, `Vec`, and `VecDeque`, so iteration order is fixed.
+//!
+//! Per-PE lifecycle of a VPE:
+//!
+//! ```text
+//!           admit (slot free)                park, next ready
+//!   new ───────────────────────► Resident ────────────────────► Parked
+//!    │  admit (slot busy)          ▲   │ yield / vacated            │
+//!    └───────────► Ready ──────────┘   └────────► Ready ◄───────────┘
+//!                   restore (head of queue)          message arrival
+//! ```
+
+pub mod costs;
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use m3_base::{PeId, VpeId};
+use m3_sim::Notify;
+
+/// Where an admitted VPE landed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The PE had no resident; the VPE runs immediately (no switch cost).
+    Resident,
+    /// The PE is occupied; the VPE joined the tail of the ready queue.
+    Queued,
+}
+
+/// What [`Scheduler::remove`] found.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Removal {
+    /// The VPE was never admitted; the caller owns the PE exclusively.
+    NotManaged,
+    /// The VPE was removed from its PE's schedule.
+    Removed {
+        /// The PE the VPE was scheduled on.
+        pe: PeId,
+        /// It was the resident at removal time (its live DTU state is the
+        /// one to invalidate; non-residents only have a save area).
+        was_resident: bool,
+        /// No VPE is left on the PE: the kernel may free it.
+        now_empty: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Slot {
+    resident: Option<VpeId>,
+    /// The resident declared itself blocked on a receive (it keeps the PE
+    /// only until someone becomes ready).
+    blocked: bool,
+    /// A save/restore is in flight; the slot is untouchable until
+    /// [`Scheduler::finish_switch`] or [`Scheduler::abort_switch`].
+    switching: bool,
+    ready: VecDeque<VpeId>,
+    parked: BTreeSet<VpeId>,
+    /// Woken on every scheduling transition (shared with the PE's DTU
+    /// arrival notify, so one wait covers both message and schedule events).
+    wake: Notify,
+}
+
+impl Slot {
+    fn new(wake: Notify) -> Slot {
+        Slot {
+            resident: None,
+            blocked: false,
+            switching: false,
+            ready: VecDeque::new(),
+            parked: BTreeSet::new(),
+            wake,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.resident.is_none()
+            && !self.switching
+            && self.ready.is_empty()
+            && self.parked.is_empty()
+    }
+}
+
+/// The kernel's run-queue state for every time-multiplexed PE.
+///
+/// Only VPEs explicitly admitted here are multiplexed; everything else
+/// (kernel, services, pinned roots) keeps its PE exclusively and never pays
+/// a switch. All mutating calls are synchronous — the async parts of a
+/// switch (charging the DTU transfer) happen in the kernel between
+/// [`Scheduler::park_resident`]/[`Scheduler::yield_resident`]/
+/// [`Scheduler::claim_vacant`] and [`Scheduler::finish_switch`].
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    slots: BTreeMap<PeId, Slot>,
+    /// Which PE each managed VPE is scheduled on (fixed at admission; the
+    /// paper binds each VPE to exactly one PE at any point in time, §4.3).
+    vpes: BTreeMap<VpeId, PeId>,
+}
+
+impl Scheduler {
+    /// An empty scheduler: no PE is multiplexed.
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// Whether `vpe` is under scheduler control.
+    pub fn manages(&self, vpe: VpeId) -> bool {
+        self.vpes.contains_key(&vpe)
+    }
+
+    /// The PE a managed VPE is scheduled on.
+    pub fn pe_of(&self, vpe: VpeId) -> Option<PeId> {
+        self.vpes.get(&vpe).copied()
+    }
+
+    /// The VPE currently resident on `pe` (none while vacant or mid-switch).
+    pub fn resident_of(&self, pe: PeId) -> Option<VpeId> {
+        self.slots.get(&pe).and_then(|s| s.resident)
+    }
+
+    /// Whether `vpe` is the resident of its PE.
+    pub fn is_resident(&self, vpe: VpeId) -> bool {
+        self.pe_of(vpe)
+            .is_some_and(|pe| self.resident_of(pe) == Some(vpe))
+    }
+
+    /// Number of VPEs scheduled on `pe` (resident + ready + parked +
+    /// mid-switch).
+    pub fn load(&self, pe: PeId) -> usize {
+        self.vpes.values().filter(|p| **p == pe).count()
+    }
+
+    /// Load of every multiplexed PE, in PE order.
+    pub fn loads(&self) -> Vec<(PeId, usize)> {
+        self.slots.keys().map(|pe| (*pe, self.load(*pe))).collect()
+    }
+
+    /// Depth of the ready queue on `pe` (excludes the resident and parked).
+    pub fn ready_depth(&self, pe: PeId) -> usize {
+        self.slots.get(&pe).map_or(0, |s| s.ready.len())
+    }
+
+    /// All VPEs scheduled on `pe`, in VPE-id order.
+    pub fn vpes_on(&self, pe: PeId) -> Vec<VpeId> {
+        self.vpes
+            .iter()
+            .filter(|(_, p)| **p == pe)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+
+    /// Admits `vpe` to `pe`. `wake` is the notify woken on every transition
+    /// of this PE's schedule (the kernel passes the PE's DTU arrival notify
+    /// so one wait covers message arrival and scheduling changes alike).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpe` is already managed.
+    pub fn admit(&mut self, vpe: VpeId, pe: PeId, wake: Notify) -> Admission {
+        assert!(self.vpes.insert(vpe, pe).is_none(), "{vpe} admitted twice");
+        let slot = self.slots.entry(pe).or_insert_with(|| Slot::new(wake));
+        if slot.resident.is_none() && !slot.switching && slot.ready.is_empty() {
+            slot.resident = Some(vpe);
+            slot.blocked = false;
+            // No notify: nothing can be waiting on a slot that was empty.
+            Admission::Resident
+        } else {
+            slot.ready.push_back(vpe);
+            slot.wake.notify_all();
+            Admission::Queued
+        }
+    }
+
+    /// The resident declares itself blocked on a receive. If another VPE is
+    /// ready, the resident is parked and the head of the ready queue is
+    /// returned — the caller must perform the DTU save/restore and then call
+    /// [`Scheduler::finish_switch`]. With nobody ready the resident keeps
+    /// the PE (blocked in place, zero cost) and `None` is returned.
+    ///
+    /// No-op returning `None` if `vpe` is not the resident.
+    pub fn park_resident(&mut self, vpe: VpeId) -> Option<VpeId> {
+        let pe = self.pe_of(vpe)?;
+        let slot = self.slots.get_mut(&pe)?;
+        if slot.resident != Some(vpe) || slot.switching {
+            return None;
+        }
+        slot.blocked = true;
+        let next = slot.ready.pop_front()?;
+        slot.resident = None;
+        slot.blocked = false;
+        slot.switching = true;
+        slot.parked.insert(vpe);
+        Some(next)
+    }
+
+    /// The resident voluntarily offers its slice. If another VPE is ready,
+    /// the resident moves to the *tail* of the ready queue (it stays
+    /// runnable — this is a yield, not a park) and the head is returned for
+    /// the caller to switch to. `None` if nobody is waiting.
+    pub fn yield_resident(&mut self, vpe: VpeId) -> Option<VpeId> {
+        let pe = self.pe_of(vpe)?;
+        let slot = self.slots.get_mut(&pe)?;
+        if slot.resident != Some(vpe) || slot.switching {
+            return None;
+        }
+        let next = slot.ready.pop_front()?;
+        slot.resident = None;
+        slot.blocked = false;
+        slot.switching = true;
+        slot.ready.push_back(vpe);
+        Some(next)
+    }
+
+    /// Marks a parked VPE runnable again (its message arrived). Returns
+    /// `true` if the VPE moved parked → ready. For a blocked *resident* the
+    /// blocked flag is cleared instead (it never left the PE).
+    pub fn unpark(&mut self, vpe: VpeId) -> bool {
+        let Some(pe) = self.pe_of(vpe) else {
+            return false;
+        };
+        let Some(slot) = self.slots.get_mut(&pe) else {
+            return false;
+        };
+        if slot.parked.remove(&vpe) {
+            slot.ready.push_back(vpe);
+            slot.wake.notify_all();
+            return true;
+        }
+        if slot.resident == Some(vpe) {
+            slot.blocked = false;
+        }
+        false
+    }
+
+    /// Clears the resident's blocked flag (its message arrived while it
+    /// still held the PE).
+    pub fn mark_active(&mut self, vpe: VpeId) {
+        if let Some(pe) = self.pe_of(vpe) {
+            if let Some(slot) = self.slots.get_mut(&pe) {
+                if slot.resident == Some(vpe) {
+                    slot.blocked = false;
+                }
+            }
+        }
+    }
+
+    /// A ready VPE claims a vacant PE (the previous resident exited rather
+    /// than switched out). Succeeds only for the *head* of the ready queue —
+    /// round-robin order survives vacancies. On success the slot is marked
+    /// switching and the caller must restore the VPE's state and call
+    /// [`Scheduler::finish_switch`].
+    pub fn claim_vacant(&mut self, vpe: VpeId) -> bool {
+        let Some(pe) = self.pe_of(vpe) else {
+            return false;
+        };
+        let Some(slot) = self.slots.get_mut(&pe) else {
+            return false;
+        };
+        if slot.resident.is_none() && !slot.switching && slot.ready.front() == Some(&vpe) {
+            slot.ready.pop_front();
+            slot.switching = true;
+            return true;
+        }
+        false
+    }
+
+    /// Completes a switch: `vpe` becomes the resident of `pe`. Returns
+    /// `false` (leaving the PE vacant) if the VPE was removed while its
+    /// restore was in flight. Wakes all waiters either way.
+    pub fn finish_switch(&mut self, pe: PeId, vpe: VpeId) -> bool {
+        let Some(slot) = self.slots.get_mut(&pe) else {
+            return false;
+        };
+        slot.switching = false;
+        let installed = self.vpes.get(&vpe) == Some(&pe);
+        if installed {
+            slot.resident = Some(vpe);
+            slot.blocked = false;
+        }
+        slot.wake.notify_all();
+        installed
+    }
+
+    /// Abandons an in-flight switch (the restore failed). The would-be
+    /// resident, if still managed, returns to the *head* of the ready queue
+    /// so no slice is lost. Wakes all waiters.
+    pub fn abort_switch(&mut self, pe: PeId, vpe: Option<VpeId>) {
+        let Some(slot) = self.slots.get_mut(&pe) else {
+            return;
+        };
+        slot.switching = false;
+        if let Some(v) = vpe {
+            if self.vpes.get(&v) == Some(&pe) {
+                slot.ready.push_front(v);
+            }
+        }
+        slot.wake.notify_all();
+    }
+
+    /// Removes a VPE from scheduling (it exited or was revoked). An empty
+    /// slot is dropped so the kernel can free the PE. Wakes all waiters so
+    /// the next ready VPE can claim the vacancy.
+    pub fn remove(&mut self, vpe: VpeId) -> Removal {
+        let Some(pe) = self.vpes.remove(&vpe) else {
+            return Removal::NotManaged;
+        };
+        let remaining = self.load(pe);
+        let Some(slot) = self.slots.get_mut(&pe) else {
+            return Removal::NotManaged;
+        };
+        let was_resident = slot.resident == Some(vpe);
+        if was_resident {
+            slot.resident = None;
+            slot.blocked = false;
+        }
+        slot.ready.retain(|v| *v != vpe);
+        slot.parked.remove(&vpe);
+        // A switch whose target just died will clean up via finish_switch;
+        // if every VPE of the PE is gone the slot is finished regardless.
+        if remaining == 0 {
+            slot.switching = false;
+        }
+        let now_empty = slot.is_empty();
+        slot.wake.notify_all();
+        if now_empty {
+            self.slots.remove(&pe);
+        }
+        Removal::Removed {
+            pe,
+            was_resident,
+            now_empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> VpeId {
+        VpeId::new(id)
+    }
+
+    fn p(id: u32) -> PeId {
+        PeId::new(id)
+    }
+
+    fn sched_with(pe: u32, vpes: &[u32]) -> Scheduler {
+        let mut s = Scheduler::new();
+        for id in vpes {
+            s.admit(v(*id), p(pe), Notify::new());
+        }
+        s
+    }
+
+    #[test]
+    fn first_admission_is_resident_rest_queue() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.admit(v(1), p(3), Notify::new()), Admission::Resident);
+        assert_eq!(s.admit(v(2), p(3), Notify::new()), Admission::Queued);
+        assert_eq!(s.admit(v(3), p(3), Notify::new()), Admission::Queued);
+        assert_eq!(s.resident_of(p(3)), Some(v(1)));
+        assert_eq!(s.ready_depth(p(3)), 2);
+        assert_eq!(s.load(p(3)), 3);
+        assert_eq!(s.vpes_on(p(3)), vec![v(1), v(2), v(3)]);
+    }
+
+    #[test]
+    fn park_hands_over_in_fifo_order() {
+        let mut s = sched_with(0, &[1, 2, 3]);
+        // 1 blocks; 2 (queue head) takes over.
+        assert_eq!(s.park_resident(v(1)), Some(v(2)));
+        assert_eq!(s.resident_of(p(0)), None, "mid-switch: vacant");
+        assert!(s.finish_switch(p(0), v(2)));
+        assert_eq!(s.resident_of(p(0)), Some(v(2)));
+        // 2 blocks; 3 takes over (1 is parked, not ready).
+        assert_eq!(s.park_resident(v(2)), Some(v(3)));
+        assert!(s.finish_switch(p(0), v(3)));
+        // 3 blocks; nobody ready — it keeps the PE.
+        assert_eq!(s.park_resident(v(3)), None);
+        assert!(s.is_resident(v(3)));
+        // 1's message arrives: parked → ready; 3 parks again and 1 returns.
+        assert!(s.unpark(v(1)));
+        assert_eq!(s.park_resident(v(3)), Some(v(1)));
+        assert!(s.finish_switch(p(0), v(1)));
+    }
+
+    #[test]
+    fn yield_rotates_round_robin() {
+        let mut s = sched_with(0, &[1, 2, 3]);
+        // 1 yields to 2, stays runnable at the tail: queue is [3, 1].
+        assert_eq!(s.yield_resident(v(1)), Some(v(2)));
+        assert!(s.finish_switch(p(0), v(2)));
+        assert_eq!(s.yield_resident(v(2)), Some(v(3)));
+        assert!(s.finish_switch(p(0), v(3)));
+        assert_eq!(s.yield_resident(v(3)), Some(v(1)));
+        assert!(s.finish_switch(p(0), v(1)));
+        // Full rotation: back to 1.
+        assert!(s.is_resident(v(1)));
+    }
+
+    #[test]
+    fn yield_without_waiters_is_a_no_op() {
+        let mut s = sched_with(0, &[1]);
+        assert_eq!(s.yield_resident(v(1)), None);
+        assert!(s.is_resident(v(1)));
+    }
+
+    #[test]
+    fn non_resident_cannot_park_or_yield() {
+        let mut s = sched_with(0, &[1, 2]);
+        assert_eq!(s.park_resident(v(2)), None);
+        assert_eq!(s.yield_resident(v(2)), None);
+        // And mid-switch the slot is locked against both.
+        assert_eq!(s.park_resident(v(1)), Some(v(2)));
+        assert_eq!(s.park_resident(v(1)), None);
+        assert_eq!(s.yield_resident(v(1)), None);
+    }
+
+    #[test]
+    fn unpark_of_blocked_resident_clears_flag_only() {
+        let mut s = sched_with(0, &[1]);
+        assert_eq!(s.park_resident(v(1)), None); // blocked in place
+        assert!(!s.unpark(v(1)), "resident never left the PE");
+        assert!(s.is_resident(v(1)));
+    }
+
+    #[test]
+    fn exit_vacates_and_head_claims() {
+        let mut s = sched_with(0, &[1, 2, 3]);
+        let r = s.remove(v(1));
+        assert_eq!(
+            r,
+            Removal::Removed {
+                pe: p(0),
+                was_resident: true,
+                now_empty: false
+            }
+        );
+        // Only the queue head may claim the vacancy.
+        assert!(!s.claim_vacant(v(3)));
+        assert!(s.claim_vacant(v(2)));
+        assert!(!s.claim_vacant(v(3)), "slot is mid-switch");
+        assert!(s.finish_switch(p(0), v(2)));
+        assert_eq!(s.resident_of(p(0)), Some(v(2)));
+    }
+
+    #[test]
+    fn removing_last_vpe_empties_the_slot() {
+        let mut s = sched_with(0, &[1, 2]);
+        assert_eq!(
+            s.remove(v(2)),
+            Removal::Removed {
+                pe: p(0),
+                was_resident: false,
+                now_empty: false
+            }
+        );
+        assert_eq!(
+            s.remove(v(1)),
+            Removal::Removed {
+                pe: p(0),
+                was_resident: true,
+                now_empty: true
+            }
+        );
+        assert!(!s.manages(v(1)));
+        assert_eq!(s.loads(), vec![]);
+        assert_eq!(s.remove(v(1)), Removal::NotManaged);
+    }
+
+    #[test]
+    fn removal_of_in_flight_target_cancels_switch() {
+        let mut s = sched_with(0, &[1, 2]);
+        assert_eq!(s.park_resident(v(1)), Some(v(2)));
+        // 2 dies while its restore is in flight.
+        let r = s.remove(v(2));
+        assert_eq!(
+            r,
+            Removal::Removed {
+                pe: p(0),
+                was_resident: false,
+                now_empty: false
+            }
+        );
+        assert!(!s.finish_switch(p(0), v(2)), "dead VPE is not installed");
+        assert_eq!(s.resident_of(p(0)), None);
+        // Parked 1 can come back once its message arrives.
+        assert!(s.unpark(v(1)));
+        assert!(s.claim_vacant(v(1)));
+        assert!(s.finish_switch(p(0), v(1)));
+    }
+
+    #[test]
+    fn abort_switch_requeues_target_at_head() {
+        let mut s = sched_with(0, &[1, 2, 3]);
+        assert_eq!(s.park_resident(v(1)), Some(v(2)));
+        s.abort_switch(p(0), Some(v(2)));
+        // 2 is back at the head, before 3.
+        assert!(s.claim_vacant(v(2)));
+        assert!(s.finish_switch(p(0), v(2)));
+    }
+
+    #[test]
+    fn loads_track_multiple_pes() {
+        let mut s = Scheduler::new();
+        s.admit(v(1), p(4), Notify::new());
+        s.admit(v(2), p(3), Notify::new());
+        s.admit(v(3), p(3), Notify::new());
+        assert_eq!(s.loads(), vec![(p(3), 2), (p(4), 1)]);
+        assert_eq!(s.pe_of(v(3)), Some(p(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "admitted twice")]
+    fn double_admission_panics() {
+        let mut s = sched_with(0, &[1]);
+        s.admit(v(1), p(1), Notify::new());
+    }
+
+    /// Seeded property: under random park/unpark/yield/exit traffic every
+    /// runnable VPE becomes resident within a bounded number of hand-overs —
+    /// round-robin cannot starve (deterministic FIFO order, no priorities).
+    #[test]
+    fn no_runnable_vpe_starves() {
+        let mut rng = m3_base::rand::Rng::new(0x4d31_5ced);
+        for round in 0..20 {
+            let n = 2 + rng.next_below(6) as u32;
+            let mut s = Scheduler::new();
+            for id in 1..=n {
+                s.admit(v(id), p(0), Notify::new());
+            }
+            let mut turns: BTreeMap<u32, u64> = (1..=n).map(|id| (id, 0)).collect();
+            for _ in 0..400 {
+                let Some(res) = s.resident_of(p(0)) else {
+                    // Vacant: the head claims.
+                    let head = s
+                        .vpes_on(p(0))
+                        .into_iter()
+                        .find(|cand| s.claim_vacant(*cand));
+                    if let Some(h) = head {
+                        s.finish_switch(p(0), h);
+                    }
+                    continue;
+                };
+                *turns.get_mut(&res.raw()).unwrap() += 1;
+                match rng.next_below(3) {
+                    0 => {
+                        // Block: park, switch if someone is ready, and
+                        // randomly unpark a parked VPE (message arrival).
+                        if let Some(next) = s.park_resident(res) {
+                            s.finish_switch(p(0), next);
+                        }
+                        let parked: Vec<VpeId> = s
+                            .vpes_on(p(0))
+                            .into_iter()
+                            .filter(|c| !s.is_resident(*c))
+                            .collect();
+                        if !parked.is_empty() {
+                            let pick = parked[rng.next_below(parked.len() as u64) as usize];
+                            s.unpark(pick);
+                        }
+                    }
+                    _ => {
+                        if let Some(next) = s.yield_resident(res) {
+                            s.finish_switch(p(0), next);
+                        }
+                    }
+                }
+            }
+            // Every VPE ran: with FIFO hand-over and 400 slices over at most
+            // 7 VPEs, starvation would show as a zero count.
+            for (id, count) in &turns {
+                assert!(*count > 0, "round {round}: VPE {id} starved ({turns:?})");
+            }
+        }
+    }
+}

@@ -107,6 +107,9 @@ fn kind_fields(kind: &EventKind) -> Vec<String> {
         EventKind::Recovery { action, attempt } => {
             vec![escape(action), attempt.to_string()]
         }
+        EventKind::CtxSwitch { from, to, bytes } => {
+            vec![from.to_string(), to.to_string(), bytes.to_string()]
+        }
     }
 }
 
@@ -246,6 +249,11 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Event, String> {
             action: unescape(field(f, 0, line_no)?),
             attempt: num32(f, 1, line_no)?,
         },
+        "ctx_switch" => EventKind::CtxSwitch {
+            from: num32(f, 0, line_no)?,
+            to: num32(f, 1, line_no)?,
+            bytes: num(f, 2, line_no)?,
+        },
         other => return Err(format!("line {line_no}: unknown event kind {other:?}")),
     };
     Ok(Event {
@@ -362,6 +370,17 @@ mod tests {
                 kind: EventKind::Recovery {
                     action: "retry".to_string(),
                     attempt: 2,
+                },
+            },
+            Event {
+                at: Cycles::new(70),
+                dur: Cycles::new(8192),
+                pe: Some(PeId::new(3)),
+                comp: Component::Kernel,
+                kind: EventKind::CtxSwitch {
+                    from: 4,
+                    to: 5,
+                    bytes: 65_536,
                 },
             },
         ]

@@ -207,6 +207,17 @@ pub enum EventKind {
         /// Which attempt this is (0-based; teardown actions use 0).
         attempt: u32,
     },
+    /// The kernel switched the resident VPE of a PE: the outgoing VPE's DTU
+    /// state went to its DRAM save area and the incoming VPE's came back,
+    /// both through the DTU. The span covers the whole switch.
+    CtxSwitch {
+        /// Raw id of the VPE switched out; `0` when the PE was idle.
+        from: u32,
+        /// Raw id of the VPE switched in; `0` when the PE goes idle.
+        to: u32,
+        /// Architectural-state bytes moved to/from the save area.
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -229,6 +240,7 @@ impl EventKind {
             EventKind::AppMark { .. } => "app_mark",
             EventKind::FaultInject { .. } => "fault_inject",
             EventKind::Recovery { .. } => "recovery",
+            EventKind::CtxSwitch { .. } => "ctx_switch",
         }
     }
 }
@@ -272,6 +284,7 @@ impl Event {
             EventKind::AppMark { what } => format!("mark:{what}"),
             EventKind::FaultInject { fault, .. } => format!("fault:{fault}"),
             EventKind::Recovery { action, .. } => format!("recovery:{action}"),
+            EventKind::CtxSwitch { from, to, .. } => format!("ctx:{from}->{to}"),
         }
     }
 }
@@ -415,6 +428,17 @@ pub mod keys {
     pub const NOC_LINK_BUSY: &str = "noc.link_busy_cycles";
     /// Cycles transfers sourced at this node waited for busy links.
     pub const NOC_WAIT: &str = "noc.wait_cycles";
+    /// Context switches the kernel performed on this PE.
+    pub const CTX_SWITCHES: &str = "sched.ctx_switches";
+    /// Cycles this PE spent switching VPE contexts (state transfers plus
+    /// the fixed save/restore costs).
+    pub const CTX_SWITCH_CYCLES: &str = "sched.ctx_switch_cycles";
+    /// Histogram of the PE's ready-queue depth, observed at every
+    /// scheduling decision on an overcommitted PE.
+    pub const RUN_QUEUE_DEPTH: &str = "sched.run_queue_depth";
+    /// Histogram of resident-slice lengths on an overcommitted PE (cycles
+    /// between a VPE's restore and its next save-out or exit).
+    pub const SLICE_CYCLES: &str = "sched.slice_cycles";
 }
 
 /// A power-of-two-bucket histogram with count/sum/min/max.
@@ -676,10 +700,11 @@ impl Metrics {
             None => "peak-util n/a".to_string(),
         };
         format!(
-            "{util} | drops {} | credit-stalls {} | noc-wait {}",
+            "{util} | drops {} | credit-stalls {} | noc-wait {} | ctx-switches {}",
             self.total(keys::DTU_DROPS),
             self.total(keys::CREDIT_STALLS),
             self.total(keys::NOC_WAIT),
+            self.total(keys::CTX_SWITCHES),
         )
     }
 }

@@ -259,6 +259,74 @@ fn crashed_pe_is_reaped_and_survivors_continue() {
 }
 
 #[test]
+fn crashed_pe_takes_its_whole_run_queue() {
+    // The overcommit variant of the watchdog contract: when a PE dies, the
+    // kernel must revoke not just the resident VPE but every queued and
+    // parked VPE time-multiplexed onto it — their state lives in save
+    // areas, but their execution site is gone. Three clients share the
+    // single application PE 3; the crash must end all three (none can
+    // return CLEAN), and the driver on the pinned PE 2 reaps them all.
+    use m3_kernel::protocol::PeRequest;
+    use m3_libos::vpe::Vpe;
+
+    let plan = FaultPlan::new().crash_pe(PeId::new(3), Cycles::new(60_000));
+    let sys = System::boot(SystemConfig {
+        pes: 4,
+        overcommit: true,
+        fault_plan: Some(plan),
+        ..SystemConfig::default()
+    });
+    let driver = sys.run_program("driver", |env| async move {
+        let mut vpes = Vec::new();
+        for i in 0..3u64 {
+            let vpe = Vpe::new(&env, &format!("doomed{i}"), PeRequest::Any)
+                .await
+                .unwrap();
+            assert_eq!(vpe.pe(), PeId::new(3), "all clients share PE 3");
+            vpe.run(move |cenv| async move {
+                cenv.set_recovery(Some(RecoveryPolicy::standard(0x4d31_0dd0 + i)));
+                // Loop forever; only the crash ends this.
+                loop {
+                    let r = async {
+                        let mem = MemGate::alloc(&cenv, 4096, Perm::RW).await?;
+                        mem.write(0, &[0xd0; 64]).await?;
+                        Result::Ok(())
+                    }
+                    .await;
+                    if let Err(e) = r {
+                        check_typed(&e);
+                        return TYPED_FAILURE;
+                    }
+                }
+            })
+            .await
+            .unwrap();
+            vpes.push(vpe);
+        }
+        for vpe in &vpes {
+            // Reaped clients report either their own typed failure or the
+            // watchdog's kill code; a revoked-capability error is equally
+            // conclusive. Only CLEAN would mean a client outlived its PE.
+            let code = vpe.wait().await.unwrap_or(TYPED_FAILURE);
+            assert_ne!(code, CLEAN, "no client may survive the crash");
+        }
+        CLEAN
+    });
+    let state = sys.sim().run_until(Cycles::new(RUN_BOUND));
+    assert_eq!(
+        state,
+        SimState::Finished,
+        "overcommit crash hung: {state:?}"
+    );
+    sys.sim().settle(Cycles::new(1_000_000));
+    assert_eq!(driver.try_take(), Some(CLEAN));
+    // The queued clients never became resident (the workload never parks),
+    // so the watchdog reaped VPEs that existed only as save areas — the
+    // exact case the revoke-the-whole-run-queue fix covers.
+    assert_eq!(sys.kernel().ctx_switches(PeId::new(3)), 0);
+}
+
+#[test]
 fn zero_fault_plan_reproduces_golden_figure_totals() {
     // An armed-but-empty plan must be behaviorally invisible: the same
     // golden totals as tests/golden_cycles.rs, byte for byte, for every

@@ -154,6 +154,84 @@ fn tracing_has_zero_simulated_time_overhead() {
 }
 
 #[test]
+fn fig8_two_x_overcommit_run_is_identical_across_runs() {
+    // The scheduler adds the most intricate machinery in the stack —
+    // detached switch tasks, DTU save areas, parked receives — and all of
+    // it must replay exactly: same makespan, same per-read latencies, same
+    // switch count, every time.
+    let a = m3_bench::fig8::overcommit_run(2, true);
+    let b = m3_bench::fig8::overcommit_run(2, true);
+    assert_eq!(a, b, "overcommit scenario diverged between runs");
+    assert!(a.ctx_switches > 0, "2x must multiplex");
+}
+
+#[test]
+fn overcommitted_event_trace_is_identical_across_runs() {
+    // Two clients share the single application PE; the trace must contain
+    // CtxSwitch events and digest identically across runs.
+    use m3_kernel::protocol::PeRequest;
+    use m3_libos::vpe::Vpe;
+
+    let run_once = || {
+        let sys = System::boot(SystemConfig {
+            pes: 4,
+            overcommit: true,
+            ..SystemConfig::default()
+        });
+        sys.sim().enable_trace();
+        let job = sys.run_program("driver", |env| async move {
+            let mut vpes = Vec::new();
+            for i in 0..2 {
+                let vpe = Vpe::new(&env, &format!("c{i}"), PeRequest::Any)
+                    .await
+                    .unwrap();
+                vpe.run(move |cenv| async move {
+                    mount_m3fs(&cenv).await.unwrap();
+                    let path = format!("/f{i}");
+                    m3_libos::vfs::write_all(&cenv, &path, b"multiplexed")
+                        .await
+                        .unwrap();
+                    let back = m3_libos::vfs::read_to_vec(&cenv, &path).await.unwrap();
+                    assert_eq!(back, b"multiplexed");
+                    0
+                })
+                .await
+                .unwrap();
+                vpes.push(vpe);
+            }
+            let mut sum = 0;
+            for vpe in &vpes {
+                sum += vpe.wait().await.unwrap();
+            }
+            sum
+        });
+        sys.run();
+        let trace = sys.sim().trace();
+        let switches = trace
+            .iter()
+            .filter(|e| matches!(e.kind, m3_trace::EventKind::CtxSwitch { .. }))
+            .count();
+        (
+            job.try_take(),
+            sys.now().as_u64(),
+            switches,
+            trace_digest(&trace),
+        )
+    };
+    let (exit_a, cycles_a, switches_a, digest_a) = run_once();
+    let (exit_b, cycles_b, switches_b, digest_b) = run_once();
+    assert_eq!(exit_a, Some(0), "both clients must succeed");
+    assert_eq!(exit_a, exit_b, "exit codes diverged");
+    assert_eq!(cycles_a, cycles_b, "final cycle counts diverged");
+    assert!(switches_a > 0, "sharing one PE must context-switch");
+    assert_eq!(switches_a, switches_b, "switch counts diverged");
+    assert_eq!(
+        digest_a, digest_b,
+        "overcommitted event traces diverged: context switching is nondeterministic"
+    );
+}
+
+#[test]
 fn faulted_fig3_run_is_identical_across_runs() {
     // Determinism must survive the fault plane: the same FaultPlan perturbs
     // the run the same way every time — same measured total, same events at

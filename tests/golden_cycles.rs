@@ -1,5 +1,5 @@
 //! Golden cycle-count snapshots: one representative scenario from each of
-//! fig3–fig7, asserted against *exact* simulated totals.
+//! fig3–fig8, asserted against *exact* simulated totals.
 //!
 //! The figure shape tests check ratios and trends; this suite pins the raw
 //! numbers, so any change to simulated semantics — however plausible its
@@ -55,6 +55,19 @@ fn fig7_fft_pipeline_totals() {
     assert_eq!(fig.bar("fft-pipeline", "Linux").total, 1_532_358);
     assert_eq!(fig.bar("fft-pipeline", "M3").total, 1_298_537);
     assert_eq!(fig.bar("fft-pipeline", "M3+accel").total, 110_895);
+}
+
+#[test]
+fn fig8_two_x_overcommit_totals() {
+    // 8 clients time-multiplexed on 4 PEs: the whole m3-sched machinery —
+    // overcommit admission, DTU state save/restore through the DTU, parked
+    // receives, run-queue rotation — behind one exact makespan. Any change
+    // to switch charging or scheduling order moves this number.
+    let run = m3_bench::fig8::overcommit_run(2, true);
+    assert_eq!(run.total, 1_104_081);
+    assert_eq!(run.ctx_switches, 114);
+    assert_eq!(run.lat_max, 159_632);
+    assert_eq!(run.reads, 64);
 }
 
 #[test]
