@@ -199,6 +199,7 @@ impl DtuSystem {
     /// Arms the fault-injection plane on this fabric *and* its NoC. Message
     /// sends, deliveries, and memory transfers consult the plane from now
     /// on; without this call the fault machinery is entirely inert.
+    // m3lint: allow(cycle-accounting): harness config-plane: arms the fault plane before the run; no architectural time is modelled for it
     pub fn set_faults(&self, plane: Rc<FaultPlane>) {
         self.noc.set_faults(plane.clone());
         *self.inner.faults.borrow_mut() = Some(plane);
@@ -243,6 +244,7 @@ impl DtuSystem {
     /// Exposes `size` bytes of memory at node `pe` (DRAM module or a PE's
     /// SPM), making it addressable by memory endpoints. Returns the backing
     /// store.
+    // m3lint: allow(cycle-accounting): platform construction: memories are attached before the simulation starts, not by a DTU command
     pub fn add_memory(&self, pe: PeId, kind: MemKind, size: usize) -> Rc<RefCell<Vec<u8>>> {
         let data = Rc::new(RefCell::new(vec![0u8; size]));
         self.inner.mems.borrow_mut().insert(
@@ -282,6 +284,18 @@ impl DtuSystem {
     /// to (the reply path is the normal refill, §4.4.3) and the sender
     /// would otherwise be starved for good.
     fn deposit(
+        &self,
+        pe: PeId,
+        ep: EpId,
+        msg: Message,
+        ctx: Option<u64>,
+        credit: Option<(PeId, u64, EpId)>,
+    ) {
+        self.deposit_inner(pe, ep, msg, ctx, credit);
+        self.sanitize_check();
+    }
+
+    fn deposit_inner(
         &self,
         pe: PeId,
         ep: EpId,
@@ -382,6 +396,19 @@ impl DtuSystem {
         pe: PeId,
         ctx: u64,
         ep: EpId,
+        msg: Message,
+        credit: Option<(PeId, u64, EpId)>,
+        arrival: &Notify,
+    ) {
+        self.deposit_saved_inner(pe, ctx, ep, msg, credit, arrival);
+        self.sanitize_check();
+    }
+
+    fn deposit_saved_inner(
+        &self,
+        pe: PeId,
+        ctx: u64,
+        ep: EpId,
         mut msg: Message,
         credit: Option<(PeId, u64, EpId)>,
         arrival: &Notify,
@@ -430,6 +457,11 @@ impl DtuSystem {
     }
 
     fn refill_credit(&self, pe: PeId, ctx: u64, ep: EpId) {
+        self.refill_credit_inner(pe, ctx, ep);
+        self.sanitize_check();
+    }
+
+    fn refill_credit_inner(&self, pe: PeId, ctx: u64, ep: EpId) {
         let mut pes = self.inner.pes.borrow_mut();
         let state = &mut pes[pe.idx()];
         if state.current_ctx == ctx {
@@ -488,6 +520,89 @@ impl DtuSystem {
             sys.refill_credit(pe, ctx, ep);
         });
     }
+
+    /// Sanitizer (`--features m3-dtu/sanitize`): asserts the DTU-wide
+    /// invariants over the live registers of every PE *and* every parked
+    /// save area, after each operation that can raise the checked
+    /// quantities (message deposits, credit refills, endpoint
+    /// (re)configuration, context restore — operations that only consume
+    /// or move state cannot violate them):
+    ///
+    /// - **credit conservation** — a bounded send EP never holds more
+    ///   credits than its configuration grants;
+    /// - **ring-buffer occupancy** — a receive EP never holds more
+    ///   messages than it has slots, and its buffer geometry matches its
+    ///   endpoint register.
+    ///
+    /// Purely a host-side assertion: no simulated cycles pass, so enabling
+    /// the feature cannot perturb any modelled timing. Must be called with
+    /// no outstanding borrow of `pes` or `saved`.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check(&self) {
+        {
+            let pes = self.inner.pes.borrow();
+            for (idx, state) in pes.iter().enumerate() {
+                Self::sanitize_ctx(
+                    idx,
+                    state.current_ctx,
+                    &state.eps,
+                    &state.ringbufs,
+                    &state.credits,
+                );
+            }
+        }
+        let saved = self.inner.saved.borrow();
+        for ((pe, ctx), sc) in saved.iter() {
+            Self::sanitize_ctx(pe.idx(), *ctx, &sc.eps, &sc.ringbufs, &sc.credits);
+        }
+    }
+
+    /// The per-context half of [`DtuSystem::sanitize_check`].
+    #[cfg(feature = "sanitize")]
+    fn sanitize_ctx(
+        pe: usize,
+        ctx: u64,
+        eps: &[EpConfig],
+        ringbufs: &BTreeMap<EpId, RingBuf>,
+        credits: &BTreeMap<EpId, u32>,
+    ) {
+        for (ep, remaining) in credits {
+            if let Some(EpConfig::Send {
+                credits: Some(max), ..
+            }) = eps.get(ep.idx())
+            {
+                assert!(
+                    remaining <= max,
+                    "sanitize: pe{pe} ctx{ctx} {ep}: {remaining} credits exceed the configured {max}"
+                );
+            }
+        }
+        for (ep, rb) in ringbufs {
+            assert!(
+                rb.occupied() <= rb.slots(),
+                "sanitize: pe{pe} ctx{ctx} {ep}: ring buffer holds {} of {} slots",
+                rb.occupied(),
+                rb.slots()
+            );
+            if let Some(EpConfig::Receive {
+                slots, slot_size, ..
+            }) = eps.get(ep.idx())
+            {
+                assert!(
+                    rb.slots() == *slots && rb.slot_size() == *slot_size,
+                    "sanitize: pe{pe} ctx{ctx} {ep}: ring buffer geometry {}x{} disagrees with \
+                     the endpoint register {slots}x{slot_size}",
+                    rb.slots(),
+                    rb.slot_size()
+                );
+            }
+        }
+    }
+
+    /// No-op without the `sanitize` feature; the optimizer erases it.
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    fn sanitize_check(&self) {}
 }
 
 /// One PE's data transfer unit.
@@ -928,6 +1043,7 @@ impl Dtu {
     /// # Errors
     ///
     /// [`Code::InvEp`] if `ep` is not a receive endpoint.
+    // m3lint: allow(cycle-accounting): a single message-register read; the polling software pays timing::FETCH_POLL per poll in recv()
     pub fn fetch(&self, ep: EpId) -> Result<Option<Message>> {
         Self::check_ep(ep)?;
         let mut pes = self.sys.inner.pes.borrow_mut();
@@ -982,6 +1098,7 @@ impl Dtu {
     /// # Panics
     ///
     /// Panics if no fetched message is outstanding.
+    // m3lint: allow(cycle-accounting): a single register write on the receive path; the caller's poll loop (timing::FETCH_POLL) carries the cost
     pub fn ack(&self, ep: EpId) -> Result<()> {
         Self::check_ep(ep)?;
         let mut pes = self.sys.inner.pes.borrow_mut();
@@ -1202,7 +1319,14 @@ impl KernelToken {
     ///
     /// - [`Code::NoPerm`] if this DTU has been downgraded.
     /// - [`Code::InvEp`] if `ep` is out of range.
+    // m3lint: allow(cycle-accounting): KernelToken config-plane: the kernel pays for the EP_CONFIG_BYTES config message it sends to reach this
     pub fn configure(&self, target: PeId, ep: EpId, cfg: EpConfig) -> Result<()> {
+        let res = self.configure_inner(target, ep, cfg);
+        self.dtu.sys.sanitize_check();
+        res
+    }
+
+    fn configure_inner(&self, target: PeId, ep: EpId, cfg: EpConfig) -> Result<()> {
         self.dtu.require_privileged()?;
         Dtu::check_ep(ep)?;
         let mut pes = self.dtu.sys.inner.pes.borrow_mut();
@@ -1254,6 +1378,7 @@ impl KernelToken {
     /// # Errors
     ///
     /// [`Code::NoPerm`] if this DTU has been downgraded itself.
+    // m3lint: allow(cycle-accounting): KernelToken config-plane: privilege flips happen at boot/teardown under the kernel's charged config path
     pub fn set_privileged(&self, target: PeId, privileged: bool) -> Result<()> {
         self.dtu.require_privileged()?;
         let mut pes = self.dtu.sys.inner.pes.borrow_mut();
@@ -1271,7 +1396,14 @@ impl KernelToken {
     ///
     /// - [`Code::NoPerm`] if this DTU has been downgraded.
     /// - [`Code::InvEp`] if the endpoint is not a bounded-credit send EP.
+    // m3lint: allow(cycle-accounting): credits are restored at the reply transfer's completion time, which the replying side already paid for
     pub fn refill_credits(&self, target: PeId, ep: EpId, credits: u32) -> Result<()> {
+        let res = self.refill_credits_inner(target, ep, credits);
+        self.dtu.sys.sanitize_check();
+        res
+    }
+
+    fn refill_credits_inner(&self, target: PeId, ep: EpId, credits: u32) -> Result<()> {
         self.dtu.require_privileged()?;
         Dtu::check_ep(ep)?;
         let mut pes = self.dtu.sys.inner.pes.borrow_mut();
@@ -1309,6 +1441,7 @@ impl KernelToken {
     /// - [`Code::NoPerm`] if this DTU has been downgraded.
     /// - [`Code::InvArgs`] if `target` does not exist or is already saved
     ///   out (carries [`NO_CTX`]).
+    // m3lint: allow(cycle-accounting): the kernel switch path charges CTX_SAVE_FIXED plus the modelled state transfer; the doc says the caller charges the bytes moved
     pub fn save_state(&self, target: PeId) -> Result<u64> {
         self.dtu.require_privileged()?;
         let mut pes = self.dtu.sys.inner.pes.borrow_mut();
@@ -1345,7 +1478,14 @@ impl KernelToken {
     /// - [`Code::NoPerm`] if this DTU has been downgraded.
     /// - [`Code::InvArgs`] if `target` does not exist or `(target, ctx)` has
     ///   no save area.
+    // m3lint: allow(cycle-accounting): the kernel switch path charges CTX_RESTORE_FIXED plus the modelled state transfer, as for save_state
     pub fn restore_state(&self, target: PeId, ctx: u64) -> Result<u64> {
+        let res = self.restore_state_inner(target, ctx);
+        self.dtu.sys.sanitize_check();
+        res
+    }
+
+    fn restore_state_inner(&self, target: PeId, ctx: u64) -> Result<u64> {
         self.dtu.require_privileged()?;
         let saved_ctx = self
             .dtu
@@ -1384,7 +1524,14 @@ impl KernelToken {
     ///
     /// - [`Code::NoPerm`] if this DTU has been downgraded.
     /// - [`Code::InvEp`] if `ep` is out of range.
+    // m3lint: allow(cycle-accounting): KernelToken config-plane: updates a parked context image; charged by the kernel's config message path
     pub fn stash_config(&self, target: PeId, ctx: u64, ep: EpId, cfg: EpConfig) -> Result<()> {
+        let res = self.stash_config_inner(target, ctx, ep, cfg);
+        self.dtu.sys.sanitize_check();
+        res
+    }
+
+    fn stash_config_inner(&self, target: PeId, ctx: u64, ep: EpId, cfg: EpConfig) -> Result<()> {
         self.dtu.require_privileged()?;
         Dtu::check_ep(ep)?;
         let mut saved = self.dtu.sys.inner.saved.borrow_mut();
@@ -1420,6 +1567,7 @@ impl KernelToken {
     /// # Errors
     ///
     /// [`Code::NoPerm`] if this DTU has been downgraded.
+    // m3lint: allow(cycle-accounting): KernelToken config-plane: pointer swap during a switch the kernel has already charged (CTX_* + transfer)
     pub fn set_current_ctx(&self, target: PeId, ctx: u64) -> Result<()> {
         self.dtu.require_privileged()?;
         let mut pes = self.dtu.sys.inner.pes.borrow_mut();
@@ -1472,6 +1620,7 @@ impl KernelToken {
     /// # Errors
     ///
     /// [`Code::NoPerm`] if this DTU has been downgraded.
+    // m3lint: allow(cycle-accounting): KernelToken config-plane: context teardown bookkeeping inside the kernel's charged exit path
     pub fn drop_saved(&self, target: PeId, ctx: u64) -> Result<bool> {
         self.dtu.require_privileged()?;
         Ok(self
@@ -1556,6 +1705,45 @@ mod tests {
             credits,
             max_payload: 128,
         }
+    }
+
+    /// The sanitizer must fire on a genuine invariant violation. The public
+    /// API upholds the invariants by construction, so the test corrupts the
+    /// internal credit ledger directly and then drives a checked operation.
+    #[cfg(feature = "sanitize")]
+    #[test]
+    #[should_panic(expected = "credits exceed the configured")]
+    fn sanitize_catches_credit_overflow() {
+        let (_sim, sys) = setup(2);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), send_cfg(0, 0, 0, Some(2)))
+            .unwrap();
+        sys.inner.pes.borrow_mut()[1]
+            .credits
+            .insert(EpId::new(0), 99);
+        // Any checked operation — even one touching a different endpoint —
+        // now trips the conservation assert.
+        kernel
+            .configure(PeId::new(1), EpId::new(1), recv_cfg(2, false))
+            .unwrap();
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    #[should_panic(expected = "ring buffer geometry")]
+    fn sanitize_catches_ring_geometry_mismatch() {
+        let (_sim, sys) = setup(2);
+        let kernel = sys.dtu(PeId::new(0)).claim_kernel_token().unwrap();
+        kernel
+            .configure(PeId::new(1), EpId::new(0), recv_cfg(4, false))
+            .unwrap();
+        sys.inner.pes.borrow_mut()[1]
+            .ringbufs
+            .insert(EpId::new(0), RingBuf::new(2, 64));
+        kernel
+            .refill_credits(PeId::new(1), EpId::new(0), 1)
+            .unwrap_err();
     }
 
     #[test]

@@ -1,0 +1,1039 @@
+//! The borrow-across-await rule.
+//!
+//! A `RefCell` borrow guard that is live across an `.await` point is the
+//! single-threaded analogue of a data race: the task suspends while holding
+//! the (dynamically checked) borrow, and any other task that touches the
+//! same cell on the interleaved schedule panics at runtime — but only on
+//! the schedule that hits it, which is exactly the class of latent bug that
+//! fault injection and future parallel-PDES work expose.
+//!
+//! The rule walks each function body's block tree and tracks three ways a
+//! guard can be live at an await:
+//!
+//! 1. **Named guards** — `let g = cell.borrow_mut();` keeps `g` live until
+//!    the end of its block, an explicit `drop(g)`, or a shadowing re-bind.
+//!    Aliases (`let r = &mut *g;`) extend the original guard's region.
+//! 2. **Same-statement temporaries** — `f(cell.borrow().x).await` holds the
+//!    temporary guard until the end of the full statement, i.e. across the
+//!    await.
+//! 3. **Scrutinee temporaries** — in edition 2021, the scrutinee temporary
+//!    of `match`, `if let`, `while let`, and the iterator expression of
+//!    `for` live through the *whole* construct body, so
+//!    `match cell.borrow().kind { ... .await ... }` holds the guard across
+//!    every await in every arm. (Plain `if`/`while` conditions drop their
+//!    temporaries before the block and are deliberately not flagged.)
+//!
+//! `async { ... }` blocks are separate futures: building one does not run
+//! it, so guards live at the *construction* site are not live across the
+//! awaits *inside* it — the walker re-enters async blocks with a fresh
+//! scope instead. Closure bodies get the same treatment: a closure runs at
+//! call time, and any guard its body takes drops when the body returns, so
+//! a borrow inside `proc.block_on(|| cell.borrow().ready, ..).await` is
+//! *not* live across that await.
+//!
+//! Statements are not scanned flat: a nested `match`/`if`/`loop`/`{}`
+//! inside a statement (e.g. the initializer of `let x = match .. { .. };`)
+//! is re-entered as its own statement list, so `let`-bound guards inside it
+//! are tracked and scoped correctly, and a borrow before the nested
+//! construct plus an await after it are not conflated into one flat span.
+//! Known approximation: the edition-2021 extension of *block tail*
+//! temporaries (`f({ c.borrow() }).await`) to the enclosing statement is
+//! not modelled — edition 2024 removes that extension.
+
+use crate::lexer::Kind;
+use crate::rules::FileClass;
+use crate::tree::Tree;
+
+/// One live borrow guard.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Binding name; empty for scrutinee temporaries.
+    name: String,
+    /// Line of the `.borrow()`/`.borrow_mut()` call that created it.
+    line: usize,
+    /// `borrow` or `borrow_mut`.
+    what: String,
+    /// How to describe the guard in a finding.
+    desc: &'static str,
+}
+
+/// Runs the rule over every function in the file.
+///
+/// Applies everywhere except the lint crate itself: a borrow held across an
+/// await panics at runtime no matter which crate it lives in.
+pub fn check(tree: &Tree, class: &FileClass, push: &mut impl FnMut(&'static str, usize, String)) {
+    if class.krate == "lint" {
+        return;
+    }
+    let mut w = Walker { tree, push };
+    for f in &tree.functions {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let mut guards = Vec::new();
+        w.walk(open + 1, close, &mut guards);
+    }
+}
+
+struct Walker<'a, 's, F> {
+    tree: &'a Tree<'s>,
+    push: &'a mut F,
+}
+
+impl<F: FnMut(&'static str, usize, String)> Walker<'_, '_, F> {
+    fn text(&self, i: usize) -> &str {
+        self.tree.text(i)
+    }
+
+    /// `.borrow()` / `.borrow_mut()` starting at token `i` (the dot).
+    fn borrow_call(&self, i: usize, end: usize) -> Option<(usize, &str)> {
+        if i + 3 < end
+            && self.tree.is_punct(i, '.')
+            && self.tree.code[i + 1].kind == Kind::Ident
+            && matches!(self.text(i + 1), "borrow" | "borrow_mut")
+            && self.tree.code[i + 2].kind == Kind::OpenParen
+            && self.tree.code[i + 3].kind == Kind::CloseParen
+        {
+            Some((self.tree.code[i + 1].line, self.text(i + 1)))
+        } else {
+            None
+        }
+    }
+
+    /// `.await` starting at token `i` (the dot).
+    fn await_at(&self, i: usize, end: usize) -> bool {
+        i + 1 < end && self.tree.is_punct(i, '.') && self.tree.is_ident(i + 1, "await")
+    }
+
+    /// `async [move] {` starting at token `i`; returns the `{` index.
+    fn async_block_at(&self, i: usize, end: usize) -> Option<usize> {
+        if !self.tree.is_ident(i, "async") {
+            return None;
+        }
+        let mut j = i + 1;
+        if j < end && self.tree.is_ident(j, "move") {
+            j += 1;
+        }
+        (j < end && self.tree.code[j].kind == Kind::OpenBrace).then_some(j)
+    }
+
+    /// Walks a statement list in `code[lo..hi]`. `guards` carries the live
+    /// guards from enclosing scopes; guards bound here are removed on exit.
+    /// `comma_splits` treats `,` as a statement separator (match arms).
+    fn walk(&mut self, lo: usize, hi: usize, guards: &mut Vec<Guard>) {
+        self.walk_inner(lo, hi, guards, false);
+    }
+
+    fn walk_inner(&mut self, lo: usize, hi: usize, guards: &mut Vec<Guard>, comma_splits: bool) {
+        let entry_len = guards.len();
+        let mut i = lo;
+        while i < hi {
+            let t = self.tree.code[i];
+            if let Some(open) = self.async_block_at(i, hi) {
+                let close = self.tree.matching(open, hi);
+                let mut fresh = Vec::new();
+                self.walk(open + 1, close, &mut fresh);
+                i = close + 1;
+                continue;
+            }
+            match t.kind {
+                Kind::Ident => match self.text(i) {
+                    "let" => i = self.stmt_let(i, hi, guards),
+                    "if" | "while" => i = self.construct_if_while(i, hi, guards),
+                    "match" => i = self.construct_match(i, hi, guards),
+                    "for" => i = self.construct_for(i, hi, guards),
+                    // Nested items end at their brace group, not at a `;`,
+                    // so a flat statement scan would swallow everything
+                    // after them. Skip declarations; walk nested fn bodies
+                    // with a fresh scope (outer guards cannot be live
+                    // inside a nested fn — it is not a closure).
+                    "enum" | "struct" | "union" | "trait" | "impl" | "mod" => {
+                        i = self.skip_item(i, hi)
+                    }
+                    "fn" => i = self.nested_fn(i, hi),
+                    "pub" => i += 1,
+                    "async" if i + 1 < hi && self.tree.is_ident(i + 1, "fn") => {
+                        i = self.nested_fn(i + 1, hi)
+                    }
+                    "loop" | "unsafe" => {
+                        // A trailing block with the same guard scope.
+                        let mut j = i + 1;
+                        while j < hi && self.tree.code[j].kind != Kind::OpenBrace {
+                            j += 1;
+                        }
+                        if j < hi {
+                            let close = self.tree.matching(j, hi);
+                            self.walk(j + 1, close, guards);
+                            i = close + 1;
+                        } else {
+                            i = hi;
+                        }
+                    }
+                    _ => i = self.stmt_plain(i, hi, guards, comma_splits),
+                },
+                Kind::OpenBrace => {
+                    let close = self.tree.matching(i, hi);
+                    self.walk(i + 1, close, guards);
+                    i = close + 1;
+                }
+                _ => i = self.stmt_plain(i, hi, guards, comma_splits),
+            }
+        }
+        guards.truncate(entry_len.min(guards.len()));
+    }
+
+    /// Skips a nested item declaration: past its brace group, or past its
+    /// `;` for unit/tuple forms.
+    fn skip_item(&self, i: usize, hi: usize) -> usize {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < hi {
+            match self.tree.code[j].kind {
+                Kind::OpenParen | Kind::OpenBracket => depth += 1,
+                Kind::CloseParen | Kind::CloseBracket => depth -= 1,
+                Kind::OpenBrace if depth == 0 => return self.tree.matching(j, hi) + 1,
+                Kind::Punct if depth == 0 && self.text(j) == ";" => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        hi
+    }
+
+    /// A nested `fn` item at `i`: walks its body with a fresh scope and
+    /// returns the index past it.
+    fn nested_fn(&mut self, i: usize, hi: usize) -> usize {
+        let mut j = i;
+        let mut depth = 0i64;
+        while j < hi {
+            match self.tree.code[j].kind {
+                Kind::OpenParen | Kind::OpenBracket => depth += 1,
+                Kind::CloseParen | Kind::CloseBracket => depth -= 1,
+                Kind::OpenBrace if depth == 0 => {
+                    let close = self.tree.matching(j, hi);
+                    let mut fresh = Vec::new();
+                    self.walk(j + 1, close, &mut fresh);
+                    return close + 1;
+                }
+                Kind::Punct if depth == 0 && self.text(j) == ";" => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        hi
+    }
+
+    /// Finds the end of the statement starting at `i`: the `;` (or `,`, in
+    /// match-arm mode) at nesting depth zero, or `hi`.
+    fn stmt_end(&self, i: usize, hi: usize, comma_splits: bool) -> usize {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < hi {
+            match self.tree.code[j].kind {
+                Kind::OpenParen | Kind::OpenBracket | Kind::OpenBrace => depth += 1,
+                Kind::CloseParen | Kind::CloseBracket | Kind::CloseBrace => depth -= 1,
+                Kind::Punct if depth == 0 => {
+                    let t = self.text(j);
+                    if t == ";" || (comma_splits && t == ",") {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        hi
+    }
+
+    /// A closure starting at token `i` (its opening `|`): returns
+    /// `(body_lo, body_hi, end)` where `body_lo..body_hi` is the body to
+    /// walk with a fresh scope and `end` is the last token of the closure.
+    ///
+    /// `|` is a closure intro only in prefix position — after an opening
+    /// delimiter, `,`, `=`, `:`, `;`, `move`, or `return`, or at the start
+    /// of the span — which keeps bit-or, lazy-or, and `A | B` match
+    /// patterns out. (Leading-pipe match arms, `| A => ..`, would confuse
+    /// this; rustfmt strips them and the repo has none.)
+    fn closure_at(&self, i: usize, lo: usize, hi: usize) -> Option<(usize, usize, usize)> {
+        if !self.tree.is_punct(i, '|') {
+            return None;
+        }
+        let prefix = i == lo
+            || match self.tree.code[i - 1].kind {
+                Kind::OpenParen | Kind::OpenBracket | Kind::OpenBrace => true,
+                Kind::Ident => matches!(self.text(i - 1), "move" | "return"),
+                Kind::Punct => matches!(self.text(i - 1), "," | "=" | ":" | ";"),
+                _ => false,
+            };
+        if !prefix {
+            return None;
+        }
+        // Parameter list ends at the next `|` at delimiter depth zero.
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        let params_end = loop {
+            if j >= hi {
+                return None;
+            }
+            match self.tree.code[j].kind {
+                Kind::OpenParen | Kind::OpenBracket | Kind::OpenBrace => depth += 1,
+                Kind::CloseParen | Kind::CloseBracket | Kind::CloseBrace => depth -= 1,
+                Kind::Punct if depth == 0 && self.text(j) == "|" => break j,
+                _ => {}
+            }
+            j += 1;
+        };
+        // Optional `-> Type` before a braced body.
+        let mut b = params_end + 1;
+        if b + 1 < hi && self.tree.is_punct(b, '-') && self.tree.is_punct(b + 1, '>') {
+            let mut k = b + 2;
+            while k < hi && self.tree.code[k].kind != Kind::OpenBrace {
+                k += 1;
+            }
+            b = k;
+        }
+        if b < hi && self.tree.code[b].kind == Kind::OpenBrace {
+            let close = self.tree.matching(b, hi);
+            return Some((b + 1, close, close));
+        }
+        // Expression body: runs to the first `,`/`;` at the closure's own
+        // depth, or to the close of the enclosing delimiter group.
+        let mut depth = 0i64;
+        let mut k = b;
+        while k < hi {
+            match self.tree.code[k].kind {
+                Kind::OpenParen | Kind::OpenBracket | Kind::OpenBrace => depth += 1,
+                Kind::CloseParen | Kind::CloseBracket | Kind::CloseBrace => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                Kind::Punct if depth == 0 && matches!(self.text(k), "," | ";") => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        Some((b, k, k.saturating_sub(1).max(i)))
+    }
+
+    /// Checks one statement span: live guards (and a borrow temporary
+    /// earlier in the statement) are flagged at the first await, `drop`
+    /// kills named guards, async-block and closure bodies are re-entered
+    /// with a fresh scope, and nested constructs/blocks are re-entered as
+    /// statement lists of their own (with the statement temporary, if any,
+    /// held live across them).
+    fn scan_stmt(&mut self, lo: usize, hi: usize, guards: &mut Vec<Guard>) {
+        let mut first_borrow: Option<(usize, String)> = None;
+        let mut awaited = false;
+        let mut j = lo;
+        while j < hi {
+            // Futures-not-yet-running: fresh scopes, skipped here.
+            if let Some(open) = self.async_block_at(j, hi) {
+                let close = self.tree.matching(open, hi);
+                let mut fresh = Vec::new();
+                self.walk(open + 1, close, &mut fresh);
+                j = close + 1;
+                continue;
+            }
+            if let Some((body_lo, body_hi, end)) = self.closure_at(j, lo, hi) {
+                let mut fresh = Vec::new();
+                if body_lo < body_hi {
+                    self.walk(body_lo, body_hi, &mut fresh);
+                }
+                j = end + 1;
+                continue;
+            }
+            // Nested constructs and blocks are statement lists of their
+            // own. A same-statement borrow temporary stays live across
+            // them (it drops at the end of the *whole* statement).
+            let t = self.tree.code[j];
+            let kw = if t.kind == Kind::Ident {
+                self.text(j)
+            } else {
+                ""
+            };
+            let is_construct = matches!(kw, "match" | "if" | "while" | "for")
+                && self.block_open(j + 1, hi).is_some();
+            if is_construct || matches!(kw, "loop" | "unsafe") || t.kind == Kind::OpenBrace {
+                let pre = guards.len();
+                if let Some((line, what)) = &first_borrow {
+                    guards.push(Guard {
+                        name: String::new(),
+                        line: *line,
+                        what: what.clone(),
+                        desc: "statement temporary guard",
+                    });
+                }
+                let next = match kw {
+                    "match" => self.construct_match(j, hi, guards),
+                    "if" | "while" => self.construct_if_while(j, hi, guards),
+                    "for" => self.construct_for(j, hi, guards),
+                    "loop" | "unsafe" => {
+                        let mut k = j + 1;
+                        while k < hi && self.tree.code[k].kind != Kind::OpenBrace {
+                            k += 1;
+                        }
+                        if k < hi {
+                            let close = self.tree.matching(k, hi);
+                            self.walk(k + 1, close, guards);
+                            close + 1
+                        } else {
+                            hi
+                        }
+                    }
+                    _ => {
+                        let close = self.tree.matching(j, hi);
+                        self.walk(j + 1, close, guards);
+                        close + 1
+                    }
+                };
+                guards.truncate(pre.min(guards.len()));
+                j = next;
+                continue;
+            }
+            if let Some((line, what)) = self.borrow_call(j, hi) {
+                if first_borrow.is_none() {
+                    first_borrow = Some((line, what.to_string()));
+                }
+                j += 4;
+                continue;
+            }
+            if self.await_at(j, hi) {
+                if !awaited {
+                    let await_line = self.tree.code[j + 1].line;
+                    for g in guards.iter() {
+                        (self.push)(
+                            "borrow-across-await",
+                            await_line,
+                            format!(
+                                "{} `{}` from `.{}()` at line {} is live across this `.await`: \
+                                 end the borrow (scoped block, clone-out, or drop) before awaiting",
+                                g.desc,
+                                if g.name.is_empty() { "_" } else { &g.name },
+                                g.what,
+                                g.line,
+                            ),
+                        );
+                    }
+                    if let Some((line, what)) = &first_borrow {
+                        (self.push)(
+                            "borrow-across-await",
+                            await_line,
+                            format!(
+                                "temporary `.{what}()` guard from line {line} lives until \
+                                 the end of this statement, across the `.await`: bind and \
+                                 drop it first, or split the statement",
+                            ),
+                        );
+                    }
+                    // One finding per guard per statement is enough.
+                    awaited = true;
+                }
+                j += 2;
+                continue;
+            }
+            // `drop(name)` kills a named guard.
+            if j + 3 < hi
+                && self.tree.is_ident(j, "drop")
+                && self.tree.code[j + 1].kind == Kind::OpenParen
+                && self.tree.code[j + 2].kind == Kind::Ident
+                && self.tree.code[j + 3].kind == Kind::CloseParen
+            {
+                let victim = self.text(j + 2).to_string();
+                guards.retain(|g| g.name != victim);
+                j += 4;
+                continue;
+            }
+            j += 1;
+        }
+    }
+
+    /// A `let` statement at `i`; may bind a guard or an alias of one.
+    fn stmt_let(&mut self, i: usize, hi: usize, guards: &mut Vec<Guard>) -> usize {
+        let end = self.stmt_end(i, hi, false);
+        self.scan_stmt(i, end, guards);
+
+        // Simple binding name: `let [mut] name [: Ty] = ...`.
+        let mut k = i + 1;
+        if k < end && self.tree.is_ident(k, "mut") {
+            k += 1;
+        }
+        let name =
+            (k < end && self.tree.code[k].kind == Kind::Ident).then(|| self.text(k).to_string());
+
+        // Find the `=` (skipping `==`, `=>`, etc. never appear at depth 0
+        // before the initializer of a let).
+        let mut eq = None;
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        while j < end {
+            match self.tree.code[j].kind {
+                Kind::OpenParen | Kind::OpenBracket | Kind::OpenBrace => depth += 1,
+                Kind::CloseParen | Kind::CloseBracket | Kind::CloseBrace => depth -= 1,
+                Kind::Punct if depth == 0 && self.text(j) == "=" => {
+                    let next_eq = j + 1 < end && self.tree.is_punct(j + 1, '=');
+                    let next_gt = j + 1 < end && self.tree.is_punct(j + 1, '>');
+                    let prev_op = j > i
+                        && self.tree.code[j - 1].kind == Kind::Punct
+                        && matches!(self.text(j - 1), "=" | "!" | "<" | ">" | "+" | "-" | "*");
+                    if !next_eq && !next_gt && !prev_op {
+                        eq = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+
+        if let (Some(name), Some(eq)) = (name, eq) {
+            // A re-bind shadows (and thereby drops) any previous guard.
+            guards.retain(|g| g.name != name);
+
+            // Guard binding: the initializer *ends* with `.borrow()` /
+            // `.borrow_mut()` (a trailing `?` is allowed).
+            let mut last = end;
+            while last > eq + 1 && self.tree.is_punct(last - 1, '?') {
+                last -= 1;
+            }
+            if last >= eq + 5 {
+                if let Some((line, what)) = self.borrow_call(last - 4, last) {
+                    guards.push(Guard {
+                        name,
+                        line,
+                        what: what.to_string(),
+                        desc: "RefCell guard",
+                    });
+                    return end + 1;
+                }
+            }
+            // Alias binding: `let r = &mut *g;` / `let r = &g;` / `let r = g;`
+            // where `g` is a live guard.
+            let init: Vec<usize> = (eq + 1..end).collect();
+            let only_ref_path = init.iter().all(|&p| {
+                matches!(self.tree.code[p].kind, Kind::Ident)
+                    || matches!(self.text(p), "&" | "*")
+                    || self.tree.code[p].kind == Kind::Punct && self.text(p) == "mut"
+            });
+            let idents: Vec<&str> = init
+                .iter()
+                .filter(|&&p| self.tree.code[p].kind == Kind::Ident)
+                .map(|&p| self.text(p))
+                .filter(|t| *t != "mut")
+                .collect();
+            if only_ref_path && idents.len() == 1 {
+                if let Some(g) = guards.iter().find(|g| g.name == idents[0]).cloned() {
+                    guards.push(Guard {
+                        name,
+                        line: g.line,
+                        what: g.what,
+                        desc: "reborrowed RefCell guard",
+                    });
+                }
+            }
+        }
+        end + 1
+    }
+
+    /// A plain statement (expression, call, `.await`, `drop`, …).
+    fn stmt_plain(
+        &mut self,
+        i: usize,
+        hi: usize,
+        guards: &mut Vec<Guard>,
+        comma_splits: bool,
+    ) -> usize {
+        let end = self.stmt_end(i, hi, comma_splits);
+        self.scan_stmt(i, end, guards);
+        end + 1
+    }
+
+    /// `if` / `while`, with `let`-scrutinee temporary extension and an
+    /// `else`/`else if` chain for `if`.
+    fn construct_if_while(&mut self, i: usize, hi: usize, guards: &mut Vec<Guard>) -> usize {
+        let is_if = self.tree.is_ident(i, "if");
+        let mut cursor = i;
+        let entry_len = guards.len();
+        loop {
+            let is_let = cursor + 1 < hi && self.tree.is_ident(cursor + 1, "let");
+            let open = self.block_open(cursor + 1, hi);
+            let Some(open) = open else {
+                return hi;
+            };
+            // The header is evaluated with the enclosing guards live.
+            self.scan_stmt(cursor + 1, open, guards);
+            if is_let {
+                if let Some((line, what)) = self.header_borrow(cursor + 1, open) {
+                    guards.push(Guard {
+                        name: String::new(),
+                        line,
+                        what,
+                        desc: "scrutinee temporary guard",
+                    });
+                }
+            }
+            let close = self.tree.matching(open, hi);
+            self.walk(open + 1, close, guards);
+            let mut next = close + 1;
+            if is_if && next < hi && self.tree.is_ident(next, "else") {
+                next += 1;
+                if next < hi && self.tree.is_ident(next, "if") {
+                    cursor = next;
+                    continue;
+                }
+                if next < hi && self.tree.code[next].kind == Kind::OpenBrace {
+                    let eclose = self.tree.matching(next, hi);
+                    self.walk(next + 1, eclose, guards);
+                    guards.truncate(entry_len.min(guards.len()));
+                    return eclose + 1;
+                }
+            }
+            guards.truncate(entry_len.min(guards.len()));
+            return next;
+        }
+    }
+
+    /// `match scrutinee { arms }` — the scrutinee temporary lives through
+    /// every arm; arms are comma-separated statements.
+    fn construct_match(&mut self, i: usize, hi: usize, guards: &mut Vec<Guard>) -> usize {
+        let Some(open) = self.block_open(i + 1, hi) else {
+            return hi;
+        };
+        let entry_len = guards.len();
+        self.scan_stmt(i + 1, open, guards);
+        if let Some((line, what)) = self.header_borrow(i + 1, open) {
+            guards.push(Guard {
+                name: String::new(),
+                line,
+                what,
+                desc: "scrutinee temporary guard",
+            });
+        }
+        let close = self.tree.matching(open, hi);
+        self.walk_inner(open + 1, close, guards, true);
+        guards.truncate(entry_len.min(guards.len()));
+        close + 1
+    }
+
+    /// `for pat in iter { body }` — the iterator expression's temporaries
+    /// live for the whole loop.
+    fn construct_for(&mut self, i: usize, hi: usize, guards: &mut Vec<Guard>) -> usize {
+        let Some(open) = self.block_open(i + 1, hi) else {
+            return hi;
+        };
+        let entry_len = guards.len();
+        self.scan_stmt(i + 1, open, guards);
+        if let Some((line, what)) = self.header_borrow(i + 1, open) {
+            guards.push(Guard {
+                name: String::new(),
+                line,
+                what,
+                desc: "loop iterator temporary guard",
+            });
+        }
+        let close = self.tree.matching(open, hi);
+        self.walk(open + 1, close, guards);
+        guards.truncate(entry_len.min(guards.len()));
+        close + 1
+    }
+
+    /// The first `{` at nesting depth zero after `i` — the construct body.
+    fn block_open(&self, i: usize, hi: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < hi {
+            match self.tree.code[j].kind {
+                Kind::OpenParen | Kind::OpenBracket => depth += 1,
+                Kind::CloseParen | Kind::CloseBracket => depth -= 1,
+                Kind::OpenBrace if depth == 0 => return Some(j),
+                Kind::OpenBrace => depth += 1,
+                Kind::CloseBrace => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// A borrow call in a construct header, skipping async-block and
+    /// closure bodies (their borrows are not scrutinee temporaries).
+    fn header_borrow(&self, lo: usize, hi: usize) -> Option<(usize, String)> {
+        let mut j = lo;
+        while j < hi {
+            if let Some(open) = self.async_block_at(j, hi) {
+                j = self.tree.matching(open, hi) + 1;
+                continue;
+            }
+            if let Some((_, _, end)) = self.closure_at(j, lo, hi) {
+                j = end + 1;
+                continue;
+            }
+            if let Some((line, what)) = self.borrow_call(j, hi) {
+                return Some((line, what.to_string()));
+            }
+            j += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{check_file, Finding};
+    use std::path::PathBuf;
+
+    fn check(src: &str) -> Vec<Finding> {
+        check_file(&PathBuf::from("crates/sim/src/x.rs"), src)
+    }
+
+    fn lines_of(f: &[Finding]) -> Vec<usize> {
+        f.iter()
+            .filter(|f| f.rule == "borrow-across-await")
+            .map(|f| f.line)
+            .collect()
+    }
+
+    #[test]
+    fn let_guard_across_await_is_flagged() {
+        let src = "async fn f(s: S) {\n\
+                   let st = s.state.borrow_mut();\n\
+                   st.x += 1;\n\
+                   other().await;\n\
+                   }\n";
+        let f = check(src);
+        assert_eq!(lines_of(&f), vec![4]);
+        assert!(f[0].message.contains("`st`"));
+        assert!(f[0].message.contains("line 2"));
+    }
+
+    #[test]
+    fn guard_dropped_before_await_is_fine() {
+        let src = "async fn f(s: S) {\n\
+                   let st = s.state.borrow_mut();\n\
+                   drop(st);\n\
+                   other().await;\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_is_fine() {
+        let src = "async fn f(s: S) {\n\
+                   let v = { let st = s.state.borrow_mut(); st.x };\n\
+                   other().await;\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn shadowed_guard_is_fine() {
+        let src = "async fn f(s: S) {\n\
+                   let st = s.state.borrow_mut();\n\
+                   let st = st.x;\n\
+                   other().await;\n\
+                   }\n";
+        // Rebinding `st` to a non-guard value drops the original guard.
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn same_statement_temporary_is_flagged() {
+        let src = "async fn f(s: S) {\n\
+                   g(s.state.borrow().x).await;\n\
+                   }\n";
+        let f = check(src);
+        assert_eq!(lines_of(&f), vec![2]);
+        assert!(f[0].message.contains("temporary"));
+    }
+
+    #[test]
+    fn borrow_after_await_in_same_statement_is_fine() {
+        let src = "async fn f(s: S) {\n\
+                   let v = g().await + s.state.borrow().x;\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn match_scrutinee_temporary_is_flagged() {
+        let src = "async fn f(s: S) {\n\
+                   match s.state.borrow().kind {\n\
+                   K::A => { g().await; }\n\
+                   K::B => {}\n\
+                   }\n\
+                   }\n";
+        let f = check(src);
+        assert_eq!(lines_of(&f), vec![3]);
+        assert!(f[0].message.contains("scrutinee"));
+    }
+
+    #[test]
+    fn if_let_scrutinee_temporary_is_flagged() {
+        let src = "async fn f(s: S) {\n\
+                   if let Some(v) = s.state.borrow_mut().take() {\n\
+                   g(v).await;\n\
+                   }\n\
+                   }\n";
+        assert_eq!(lines_of(&check(src)), vec![3]);
+    }
+
+    #[test]
+    fn while_let_scrutinee_temporary_is_flagged() {
+        let src = "async fn f(s: S) {\n\
+                   while let Some(v) = s.q.borrow_mut().pop() {\n\
+                   g(v).await;\n\
+                   }\n\
+                   }\n";
+        assert_eq!(lines_of(&check(src)), vec![3]);
+    }
+
+    #[test]
+    fn plain_if_condition_temp_is_not_flagged() {
+        // Plain `if`/`while` conditions drop their temporaries before the
+        // block (unlike `if let`): this must not be a false positive.
+        let src = "async fn f(s: S) {\n\
+                   if s.state.borrow().ready {\n\
+                   g().await;\n\
+                   }\n\
+                   while s.state.borrow().busy {\n\
+                   h().await;\n\
+                   }\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn for_iterator_temporary_is_flagged() {
+        let src = "async fn f(s: S) {\n\
+                   for v in s.list.borrow().iter() {\n\
+                   g(v).await;\n\
+                   }\n\
+                   }\n";
+        assert_eq!(lines_of(&check(src)), vec![3]);
+    }
+
+    #[test]
+    fn alias_extends_guard() {
+        let src = "async fn f(s: S) {\n\
+                   let st = s.state.borrow_mut();\n\
+                   let r = &mut *st;\n\
+                   drop(st);\n\
+                   g().await;\n\
+                   }\n";
+        // `st` was dropped but the reborrow `r` still pins the guard... in
+        // real Rust `drop(st)` would be a borrowck error with `r` live, but
+        // the lint tracks the alias conservatively and still flags it.
+        let f = check(src);
+        assert_eq!(lines_of(&f), vec![5]);
+        assert!(f[0].message.contains("reborrowed"));
+    }
+
+    #[test]
+    fn async_block_is_a_fresh_scope() {
+        // Constructing an async block while a guard is live does not run
+        // it; the guard is NOT live across the awaits inside.
+        let src = "fn f(s: S) {\n\
+                   let st = s.state.borrow_mut();\n\
+                   spawn(async move { g().await; });\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn guard_inside_async_block_is_still_checked() {
+        let src = "fn f(s: S) {\n\
+                   spawn(async move {\n\
+                   let st = s.state.borrow_mut();\n\
+                   g().await;\n\
+                   });\n\
+                   }\n";
+        assert_eq!(lines_of(&check(src)), vec![4]);
+    }
+
+    #[test]
+    fn guard_in_inner_block_dies_at_block_end() {
+        let src = "async fn f(s: S) {\n\
+                   {\n\
+                   let st = s.state.borrow_mut();\n\
+                   st.x += 1;\n\
+                   }\n\
+                   g().await;\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn outer_guard_live_in_inner_block_await() {
+        let src = "async fn f(s: S) {\n\
+                   let st = s.state.borrow_mut();\n\
+                   loop {\n\
+                   g().await;\n\
+                   }\n\
+                   }\n";
+        assert_eq!(lines_of(&check(src)), vec![4]);
+    }
+
+    #[test]
+    fn borrow_with_question_mark_is_a_guard() {
+        let src = "async fn f(s: S) -> Result<(), E> {\n\
+                   let st = s.state.try_borrow_mut();\n\
+                   let st2 = s.state.borrow_mut();\n\
+                   g().await;\n\
+                   Ok(())\n\
+                   }\n";
+        // Only the plain borrow_mut binds a tracked guard here.
+        assert_eq!(lines_of(&check(src)), vec![4]);
+    }
+
+    #[test]
+    fn suppression_applies_at_await_site() {
+        let src = "async fn f(s: S) {\n\
+                   let st = s.state.borrow_mut();\n\
+                   // m3lint: allow(borrow-across-await): guard is sole borrower, re-entrancy impossible here\n\
+                   other().await;\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn closure_body_borrow_is_not_live_at_the_call_site_await() {
+        // The kernel's pipe wait-loops pass a predicate closure to an async
+        // block_on: the borrow inside the closure drops every time the
+        // closure body returns, so it is NOT live across the await.
+        let src = "async fn f(s: S) {\n\
+                   proc.block_on(\n\
+                   || {\n\
+                   let g = s.state.borrow();\n\
+                   g.ready\n\
+                   },\n\
+                   &notify,\n\
+                   )\n\
+                   .await;\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn expression_closure_borrow_is_not_a_statement_temporary() {
+        let src = "async fn f(s: S) {\n\
+                   proc.block_on(|| s.state.borrow().ready, &n).await;\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn guard_inside_closure_body_across_inner_async_is_checked() {
+        // A closure body is still walked: an async block inside it with a
+        // guard across an await is a real finding.
+        let src = "fn f(s: S) {\n\
+                   spawn(move || async move {\n\
+                   let g = s.state.borrow_mut();\n\
+                   h().await;\n\
+                   });\n\
+                   }\n";
+        assert_eq!(lines_of(&check(src)), vec![4]);
+    }
+
+    #[test]
+    fn block_init_guard_dies_before_later_await() {
+        // `let (a, b) = { let g = cell.borrow(); .. };` — the guard is
+        // scoped to the init block, and the statement ends at the `;`
+        // before the await: neither is live there.
+        let src = "async fn f(s: S) {\n\
+                   loop {\n\
+                   let (act, on) = {\n\
+                   let g = s.state.borrow();\n\
+                   (g.act, g.on.clone())\n\
+                   };\n\
+                   if act {\n\
+                   break;\n\
+                   }\n\
+                   on.wait().await;\n\
+                   }\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn let_bound_guard_inside_init_block_across_await_is_flagged() {
+        // The nested statement list inside an initializer block is walked
+        // for real: a guard held across an await *inside* it is caught.
+        let src = "async fn f(s: S) {\n\
+                   let v = {\n\
+                   let g = s.state.borrow_mut();\n\
+                   h().await;\n\
+                   g.v\n\
+                   };\n\
+                   }\n";
+        assert_eq!(lines_of(&check(src)), vec![4]);
+    }
+
+    #[test]
+    fn statement_temporary_live_across_nested_match_await() {
+        // The borrow temporary before the nested match drops at the end of
+        // the whole statement, so it IS live across awaits in the arms.
+        let src = "async fn f(s: S) {\n\
+                   g(s.state.borrow().x, match s.k {\n\
+                   K::A => h().await,\n\
+                   K::B => 0,\n\
+                   });\n\
+                   }\n";
+        let f = check(src);
+        assert_eq!(lines_of(&f), vec![3]);
+        assert!(f[0].message.contains("statement temporary"));
+    }
+
+    #[test]
+    fn nested_item_does_not_swallow_following_statements() {
+        // `enum Act { .. }` has no trailing `;`: a flat statement scan
+        // would run to the end of the function and conflate the borrow in
+        // the init block with the await in the match below.
+        let src = "async fn f(s: S) {\n\
+                   enum Act {\n\
+                   Go,\n\
+                   Wait,\n\
+                   }\n\
+                   loop {\n\
+                   let act = {\n\
+                   let g = s.state.borrow_mut();\n\
+                   if g.ready { Act::Go } else { Act::Wait }\n\
+                   };\n\
+                   match act {\n\
+                   Act::Go => return,\n\
+                   Act::Wait => s.notify.wait().await,\n\
+                   }\n\
+                   }\n\
+                   }\n";
+        assert!(lines_of(&check(src)).is_empty());
+    }
+
+    #[test]
+    fn nested_fn_body_is_a_fresh_scope_and_still_checked() {
+        let src = "async fn f(s: S) {\n\
+                   let g = s.state.borrow_mut();\n\
+                   fn helper(t: &T) -> u32 {\n\
+                   t.v\n\
+                   }\n\
+                   async fn inner(t: S) {\n\
+                   let h = t.state.borrow();\n\
+                   w().await;\n\
+                   }\n\
+                   drop(g);\n\
+                   other().await;\n\
+                   }\n";
+        // The outer guard is dropped before the outer await; the nested
+        // async fn's own guard across its own await is the only finding.
+        assert_eq!(lines_of(&check(src)), vec![8]);
+    }
+
+    #[test]
+    fn multiple_guards_each_reported() {
+        let src = "async fn f(s: S) {\n\
+                   let a = s.x.borrow();\n\
+                   let b = s.y.borrow_mut();\n\
+                   g().await;\n\
+                   }\n";
+        assert_eq!(lines_of(&check(src)).len(), 2);
+    }
+}

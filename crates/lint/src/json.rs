@@ -1,0 +1,99 @@
+//! A minimal JSON emitter for `m3-lint --json` findings output.
+//!
+//! Hand-rolled (the workspace is zero-third-party-dependency): emits a
+//! stable, machine-readable findings document for the CI artifact. Keys are
+//! emitted in a fixed order and findings are pre-sorted by the caller, so
+//! the output is byte-stable across runs.
+
+use crate::rules::Finding;
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders the findings document:
+/// `{"version":1,"total":N,"findings":[{"file":...,"line":...,"rule":...,"message":...},...]}`.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(findings.len() * 128 + 64);
+    out.push_str("{\n  \"version\": 1,\n  \"total\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": \"");
+        escape(&f.file, &mut out);
+        out.push_str("\", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"rule\": \"");
+        escape(f.rule, &mut out);
+        out.push_str("\", \"message\": \"");
+        escape(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_findings() {
+        let doc = findings_to_json(&[]);
+        assert!(doc.contains("\"total\": 0"));
+        assert!(doc.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        let f = Finding {
+            file: "a\\b.rs".to_string(),
+            line: 3,
+            rule: "determinism",
+            message: "bad `\"x\"`\nnext".to_string(),
+        };
+        let doc = findings_to_json(&[f]);
+        assert!(doc.contains("a\\\\b.rs"));
+        assert!(doc.contains("\\\"x\\\""));
+        assert!(doc.contains("\\n"));
+    }
+
+    #[test]
+    fn emits_all_fields() {
+        let f = Finding {
+            file: "crates/x/src/y.rs".to_string(),
+            line: 12,
+            rule: "isolation",
+            message: "msg".to_string(),
+        };
+        let doc = findings_to_json(&[f]);
+        for needle in [
+            "\"file\": \"crates/x/src/y.rs\"",
+            "\"line\": 12",
+            "\"rule\": \"isolation\"",
+            "\"message\": \"msg\"",
+            "\"total\": 1",
+        ] {
+            assert!(doc.contains(needle), "{needle} missing in {doc}");
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! A spanned-token Rust lexer.
+//!
+//! This replaces the old line-oriented `scan.rs` string-state machine. It
+//! produces a flat stream of [`Token`]s with exact byte spans, which the
+//! block tree ([`crate::tree`]) and the rule passes consume. It is a *lexer*,
+//! not a parser: it understands exactly the lexical structure of Rust —
+//! nested block comments, raw strings with `#`-count matching, byte and raw
+//! byte strings, char literals vs. lifetimes, raw identifiers — and nothing
+//! more.
+//!
+//! Design points the rules depend on:
+//!
+//! - String/char literal *contents* never appear as identifier tokens, so
+//!   `"HashMap"` in a message cannot trip the determinism rule.
+//! - Comments are real tokens (not discarded), so suppressions and cost
+//!   citations can be read back out of the stream.
+//! - Every token records its 1-based line, so findings point at source.
+//! - The lexer is total: any input produces a token stream covering every
+//!   non-whitespace byte, and unterminated literals extend to end-of-file
+//!   rather than panicking.
+
+/// The kind of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (`foo`, `fn`, `await`).
+    Ident,
+    /// A raw identifier (`r#type`), span includes the `r#` prefix.
+    RawIdent,
+    /// A lifetime (`'a`, `'static`), span includes the tick.
+    Lifetime,
+    /// An integer or float literal, including prefix/suffix (`0xFFu64`).
+    Num,
+    /// A `"..."` or `b"..."` string literal.
+    Str,
+    /// A raw string literal: `r"..."`, `r#"..."#`, `br##"..."##`, ….
+    RawStr,
+    /// A char literal (`'x'`, `'\n'`, `'\u{1F600}'`).
+    Char,
+    /// A byte-char literal (`b'x'`, `b'\xff'`).
+    ByteChar,
+    /// A `//` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* ... */` comment, possibly nested, possibly spanning lines.
+    BlockComment,
+    /// `(`.
+    OpenParen,
+    /// `)`.
+    CloseParen,
+    /// `[`.
+    OpenBracket,
+    /// `]`.
+    CloseBracket,
+    /// `{`.
+    OpenBrace,
+    /// `}`.
+    CloseBrace,
+    /// Any other single ASCII punctuation character.
+    Punct,
+    /// A byte sequence the lexer has no category for (stray non-ASCII).
+    Unknown,
+}
+
+impl Kind {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(self) -> bool {
+        matches!(self, Kind::LineComment | Kind::BlockComment)
+    }
+
+    /// Whether this token is any kind of literal.
+    pub fn is_literal(self) -> bool {
+        matches!(
+            self,
+            Kind::Num | Kind::Str | Kind::RawStr | Kind::Char | Kind::ByteChar
+        )
+    }
+}
+
+/// One lexed token: a kind plus an exact byte span into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: Kind,
+    /// Byte offset of the token's first byte.
+    pub lo: usize,
+    /// Byte length of the token.
+    pub len: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.lo..self.lo + self.len]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes a whole source file into a token stream.
+///
+/// Newlines are counted as the stream advances so every token knows its
+/// line; unterminated literals and comments run to end-of-file.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    b: &'s [u8],
+    i: usize,
+    line: usize,
+    toks: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn at(&self, off: usize) -> u8 {
+        *self.b.get(self.i + off).unwrap_or(&0)
+    }
+
+    fn push(&mut self, kind: Kind, lo: usize, line: usize) {
+        self.toks.push(Token {
+            kind,
+            lo,
+            len: self.i - lo,
+            line,
+        });
+    }
+
+    /// Advances past `n` bytes, counting newlines.
+    fn bump_counting(&mut self, n: usize) {
+        let end = (self.i + n).min(self.b.len());
+        while self.i < end {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if c == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if c.is_ascii_whitespace() {
+                self.i += 1;
+                continue;
+            }
+            let lo = self.i;
+            let line = self.line;
+            match c {
+                b'/' if self.at(1) == b'/' => {
+                    while self.i < self.b.len() && self.b[self.i] != b'\n' {
+                        self.i += 1;
+                    }
+                    self.push(Kind::LineComment, lo, line);
+                }
+                b'/' if self.at(1) == b'*' => {
+                    self.block_comment(lo, line);
+                }
+                b'"' => {
+                    self.i += 1;
+                    self.string_body();
+                    self.push(Kind::Str, lo, line);
+                }
+                b'r' if self.raw_str_ahead(1) => {
+                    self.i += 1;
+                    self.raw_string_body();
+                    self.push(Kind::RawStr, lo, line);
+                }
+                b'r' if self.at(1) == b'#' && is_ident_start(self.at(2)) => {
+                    self.i += 2;
+                    while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+                        self.i += 1;
+                    }
+                    self.push(Kind::RawIdent, lo, line);
+                }
+                b'b' if self.at(1) == b'"' => {
+                    self.i += 2;
+                    self.string_body();
+                    self.push(Kind::Str, lo, line);
+                }
+                b'b' if self.at(1) == b'\'' => {
+                    self.i += 2;
+                    self.char_body();
+                    self.push(Kind::ByteChar, lo, line);
+                }
+                b'b' if self.at(1) == b'r' && self.raw_str_ahead(2) => {
+                    self.i += 2;
+                    self.raw_string_body();
+                    self.push(Kind::RawStr, lo, line);
+                }
+                b'\'' => {
+                    self.tick(lo, line);
+                }
+                _ if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(Kind::Num, lo, line);
+                }
+                _ if is_ident_start(c) => {
+                    while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+                        self.i += 1;
+                    }
+                    self.push(Kind::Ident, lo, line);
+                }
+                b'(' | b')' | b'[' | b']' | b'{' | b'}' => {
+                    self.i += 1;
+                    let kind = match c {
+                        b'(' => Kind::OpenParen,
+                        b')' => Kind::CloseParen,
+                        b'[' => Kind::OpenBracket,
+                        b']' => Kind::CloseBracket,
+                        b'{' => Kind::OpenBrace,
+                        _ => Kind::CloseBrace,
+                    };
+                    self.push(kind, lo, line);
+                }
+                _ if c.is_ascii_punctuation() => {
+                    self.i += 1;
+                    self.push(Kind::Punct, lo, line);
+                }
+                _ => {
+                    // A byte with no category: consume one whole UTF-8
+                    // character so spans stay on char boundaries.
+                    let len = match c {
+                        0xF0..=0xF7 => 4,
+                        0xE0..=0xEF => 3,
+                        0xC0..=0xDF => 2,
+                        _ => 1,
+                    };
+                    self.i = (self.i + len).min(self.b.len());
+                    self.push(Kind::Unknown, lo, line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    /// `/* ... */` with nesting; cursor is at the opening `/`.
+    fn block_comment(&mut self, lo: usize, line: usize) {
+        self.i += 2;
+        let mut depth = 1u32;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.at(1) == b'*' {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.at(1) == b'/' {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        self.push(Kind::BlockComment, lo, line);
+    }
+
+    /// The body of a `"` string; cursor is just past the opening quote.
+    fn string_body(&mut self) {
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.bump_counting(2),
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Whether `r` (at offset `off - 1`) starts a raw string: zero or more
+    /// `#`s followed by `"`.
+    fn raw_str_ahead(&self, off: usize) -> bool {
+        let mut j = off;
+        while self.at(j) == b'#' {
+            j += 1;
+        }
+        self.at(j) == b'"'
+    }
+
+    /// The body of a raw string; cursor is at the first `#` or the quote.
+    /// Closes only on `"` followed by *exactly* the opening `#` count — a
+    /// shorter run (`#`-count mismatch) stays inside the literal.
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.at(0) == b'#' {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // the opening quote
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.at(1 + k) == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.i += 1 + hashes;
+                    return;
+                }
+            }
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// The body of a char literal; cursor is just past the opening tick.
+    /// Scans to the next unescaped `'` (or end of line as a safety stop).
+    fn char_body(&mut self) {
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.bump_counting(2),
+                b'\'' => {
+                    self.i += 1;
+                    return;
+                }
+                b'\n' => return, // unterminated; don't swallow the file
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// A `'`: char literal or lifetime; cursor is at the tick.
+    fn tick(&mut self, lo: usize, line: usize) {
+        let next = self.at(1);
+        if next == b'\\' {
+            // Definitely a char literal: '\n', '\'', '\u{..}', …
+            self.i += 1;
+            self.char_body();
+            self.push(Kind::Char, lo, line);
+            return;
+        }
+        // 'x' — a single char (possibly multi-byte UTF-8) then a tick.
+        let char_len = match next {
+            0xF0..=0xF7 => 4,
+            0xE0..=0xEF => 3,
+            0xC0..=0xDF => 2,
+            _ => 1,
+        };
+        if next != b'\'' && next != 0 && self.at(1 + char_len) == b'\'' {
+            self.i += 2 + char_len;
+            self.push(Kind::Char, lo, line);
+            return;
+        }
+        if is_ident_start(next) {
+            // A lifetime: 'a, 'static, '_.
+            self.i += 2;
+            while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+                self.i += 1;
+            }
+            self.push(Kind::Lifetime, lo, line);
+            return;
+        }
+        // A stray tick ('' or ' at EOF).
+        self.i += 1;
+        self.push(Kind::Punct, lo, line);
+    }
+
+    /// A numeric literal: digits, `_`, prefixes and suffixes, and a
+    /// fractional part only when a digit actually follows the dot (so
+    /// `0..10` lexes as `0`, `.`, `.`, `10`).
+    fn number(&mut self) {
+        while self.i < self.b.len()
+            && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+        {
+            self.i += 1;
+        }
+        if self.at(0) == b'.' && self.at(1).is_ascii_digit() {
+            self.i += 1;
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+            {
+                self.i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// No identifier token may come from inside a literal.
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_identifiers() {
+        let src = r#"let x = "HashMap::new()"; foo();"#;
+        assert_eq!(idents(src), vec!["let", "x", "foo"]);
+    }
+
+    #[test]
+    fn raw_strings_close_on_matching_hashes_only() {
+        let src = r##"let x = r#"Instant "inner" still"#; bar();"##;
+        assert_eq!(idents(src), vec!["let", "x", "bar"]);
+        let s = lex(src)
+            .into_iter()
+            .find(|t| t.kind == Kind::RawStr)
+            .unwrap();
+        assert_eq!(s.text(src), r##"r#"Instant "inner" still"#"##);
+    }
+
+    #[test]
+    fn raw_string_hash_count_mismatch_stays_inside() {
+        // `"#` inside an `r##` string is *not* a terminator: the literal
+        // runs until `"##`. The old scanner family got this right only
+        // across lines; the token lexer must yield exactly one literal.
+        let src = r###"let x = r##"mid "# quote"##; baz();"###;
+        let toks = lex(src);
+        let raws: Vec<_> = toks.iter().filter(|t| t.kind == Kind::RawStr).collect();
+        assert_eq!(raws.len(), 1);
+        assert_eq!(raws[0].text(src), r###"r##"mid "# quote"##"###);
+        assert_eq!(idents(src), vec!["let", "x", "baz"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_raw_strings() {
+        let src = r#"let x = b"unwrap()"; let y = br"SystemTime\"; qux();"#;
+        assert_eq!(idents(src), vec!["let", "x", "let", "y", "qux"]);
+    }
+
+    #[test]
+    fn hashed_byte_raw_strings() {
+        let src = r##"let x = br#"thread_rng "quoted" inside"#; grault();"##;
+        assert_eq!(idents(src), vec!["let", "x", "grault"]);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_or_b_is_not_a_literal_prefix() {
+        let src = "let fair = br; for r in xs { y(b); }";
+        assert!(lex(src).iter().all(|t| !t.kind.is_literal()));
+        assert!(idents(src).contains(&"br".to_string()));
+        assert!(idents(src).contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn byte_char_literals() {
+        // `b'x'` — the old scanner treated the `b` as an identifier and the
+        // tick as a lifetime, desynchronizing on the closing quote.
+        let src = "if c == b'x' || c == b'\\n' { f(); }";
+        let toks = lex(src);
+        let bytes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::ByteChar).collect();
+        assert_eq!(bytes.len(), 2);
+        assert_eq!(bytes[0].text(src), "b'x'");
+        assert_eq!(bytes[1].text(src), "b'\\n'");
+        assert_eq!(idents(src), vec!["if", "c", "c", "f"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a(); /* outer /* inner */ still comment */ b();";
+        let toks = lex(src);
+        let comments: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::BlockComment)
+            .collect();
+        assert_eq!(comments.len(), 1);
+        assert_eq!(
+            comments[0].text(src),
+            "/* outer /* inner */ still comment */"
+        );
+        assert_eq!(idents(src), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_tokens() {
+        let src = "a();\n/* one\n two\n three */\nb();\nlet s = \"x\ny\";\nc();";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text(src) == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 5);
+        assert_eq!(find("c"), 8);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "let c = '\"'; fn f<'a>(x: &'a str) { g('y'); h('_'); }";
+        let toks = lex(src);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Char)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(chars, vec!["'\"'", "'y'", "'_'"]);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let a = '\''; let b = '\u{1F600}'; let c = '\\';";
+        let chars: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Char)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(chars, vec![r"'\''", r"'\u{1F600}'", r"'\\'"]);
+    }
+
+    #[test]
+    fn unicode_char_literal() {
+        let src = "let x = 'λ'; y();";
+        assert_eq!(idents(src), vec!["let", "x", "y"]);
+        assert!(lex(src).iter().any(|t| t.kind == Kind::Char));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#type = r#match; f();";
+        let raws: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::RawIdent)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(raws, vec!["r#type", "r#match"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "for i in 0..10 { let f = 1.5e3; let h = 0xFFu64; let t = x.0; }";
+        let nums: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Num)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e3", "0xFFu64", "0"]);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let src = r#"let s = "a\"HashMap\""; h();"#;
+        assert_eq!(idents(src), vec!["let", "s", "h"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comment_tokens() {
+        let src = "/// ```\n/// map.unwrap();\n/// ```\nfn f() {}";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::LineComment).count(),
+            3
+        );
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof_without_panicking() {
+        for src in ["let s = \"abc", "let s = r#\"abc\"", "/* open", "let c = '"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            let last = toks.last().unwrap();
+            assert!(last.lo + last.len <= src.len());
+        }
+    }
+
+    #[test]
+    fn spans_cover_every_non_whitespace_byte() {
+        let src = "fn f(x: &'a str) -> u32 { x.len() as u32 + 0b101 } // tail\n";
+        let toks = lex(src);
+        let mut covered = vec![false; src.len()];
+        for t in &toks {
+            for c in covered.iter_mut().skip(t.lo).take(t.len) {
+                assert!(!*c, "overlapping tokens");
+                *c = true;
+            }
+        }
+        for (i, b) in src.bytes().enumerate() {
+            if !b.is_ascii_whitespace() {
+                assert!(covered[i], "byte {i} ({:?}) uncovered", b as char);
+            }
+        }
+    }
+}

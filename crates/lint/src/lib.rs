@@ -1,8 +1,9 @@
 //! m3-lint: first-party static analysis for the M3 reproduction.
 //!
-//! A zero-third-party-dependency source scanner that enforces the repo's
-//! methodology invariants on every build (see DESIGN.md, "Static analysis &
-//! invariants"):
+//! A zero-third-party-dependency analyzer built on a spanned-token Rust
+//! lexer ([`lexer`]) and a brace-matched block tree ([`tree`]), enforcing
+//! the repo's methodology invariants on every build (see DESIGN.md,
+//! "Static analysis & invariants" and §5g):
 //!
 //! 1. **determinism** — no `HashMap`/`HashSet`, wall clocks, OS threads, or
 //!    entropy-seeded RNGs in simulation crates;
@@ -11,7 +12,13 @@
 //! 3. **no-unwrap** — no `unwrap()`/`expect()` outside test code in
 //!    `kernel`, `dtu`, and `fs`;
 //! 4. **isolation** — the `KernelToken`-gated DTU configuration surface is
-//!    only named by `crates/kernel` and sanctioned test code.
+//!    reachable only from `crates/kernel` and sanctioned test code
+//!    (use-graph check, including pub wrappers and in-dtu backdoors);
+//! 5. **borrow-across-await** — no `RefCell` borrow guard may be live
+//!    across an `.await` point (the single-threaded analogue of a data
+//!    race);
+//! 6. **cycle-accounting** — `pub` fns in dtu/noc/sched that write
+//!    architectural state must reach a cycle-charging call.
 //!
 //! Violations can be suppressed inline with a mandatory justification:
 //!
@@ -19,18 +26,27 @@
 //! let m = HashMap::new(); // m3lint: allow(determinism): oracle map, iteration order never observed
 //! ```
 //!
-//! Run it with `cargo run -p m3-lint`; it exits nonzero on any unsuppressed
-//! finding, so it can gate CI.
+//! Run it with `cargo run -p m3-lint` (add `--json` for the machine-readable
+//! findings document); it exits nonzero on any unsuppressed finding, so it
+//! can gate CI.
 
+pub mod borrow;
+pub mod cycles;
+pub mod isolation;
+pub mod json;
+pub mod lexer;
 pub mod rules;
-pub mod scan;
+pub mod tree;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use json::findings_to_json;
 pub use rules::{check_file, classify, Finding, RULES};
 
-/// Recursively collects the `.rs` files under `root`, skipping build output.
+/// Recursively collects the `.rs` files under `root`, skipping build
+/// output, dot-directories, and the lint corpus (whose files are
+/// deliberately full of violations and are checked by their own harness).
 ///
 /// Returned paths keep `root` as their prefix; entries are sorted so runs
 /// are reproducible.
@@ -46,7 +62,7 @@ pub fn collect_rust_files(root: &Path) -> Vec<PathBuf> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if name == "target" || name.starts_with('.') {
+                if name == "target" || name == "lint_corpus" || name.starts_with('.') {
                     continue;
                 }
                 stack.push(path);
@@ -82,16 +98,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn collect_is_sorted_and_skips_hidden() {
+    fn collect_is_sorted_and_skips_hidden_and_corpus() {
         let dir = std::env::temp_dir().join("m3lint-collect-test");
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(dir.join("b")).unwrap();
         fs::create_dir_all(dir.join(".git")).unwrap();
         fs::create_dir_all(dir.join("target")).unwrap();
+        fs::create_dir_all(dir.join("lint_corpus")).unwrap();
         fs::write(dir.join("b/z.rs"), "").unwrap();
         fs::write(dir.join("a.rs"), "").unwrap();
         fs::write(dir.join(".git/c.rs"), "").unwrap();
         fs::write(dir.join("target/d.rs"), "").unwrap();
+        fs::write(dir.join("lint_corpus/e.rs"), "").unwrap();
         let files = collect_rust_files(&dir);
         let names: Vec<String> = files
             .iter()

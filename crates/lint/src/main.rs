@@ -1,4 +1,7 @@
 //! `cargo run -p m3-lint` — lints the repo and exits nonzero on findings.
+//!
+//! With `--json`, prints the machine-readable findings document (also when
+//! clean) for the CI artifact instead of the human-readable lines.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -7,6 +10,8 @@ use std::process::ExitCode;
 const ROOTS: &[&str] = &["crates", "src", "tests"];
 
 fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
+
     // The binary lives at crates/lint; the workspace root is two levels up.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let repo_root = manifest
@@ -16,6 +21,14 @@ fn main() -> ExitCode {
         .unwrap_or_else(|| PathBuf::from("."));
 
     let findings = m3_lint::run(&repo_root, ROOTS);
+    if json {
+        print!("{}", m3_lint::findings_to_json(&findings));
+        return if findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if findings.is_empty() {
         println!(
             "m3-lint: clean ({} rules over {:?})",

@@ -1,6 +1,6 @@
 //! The repo-specific rule set and the per-file checking engine.
 //!
-//! Four rule families (DESIGN.md "Static analysis & invariants"):
+//! Seven rule families (DESIGN.md "Static analysis & invariants" and §5g):
 //!
 //! - **determinism** — simulation code must be bit-for-bit reproducible
 //!   (DESIGN.md §4.1), so nondeterministically ordered collections, wall
@@ -10,12 +10,26 @@
 //! - **no-unwrap** — kernel, DTU, and filesystem code has a real error type
 //!   (`m3_base::error::Error`); panicking on fallible paths is banned.
 //! - **isolation** — the kernel-only DTU configuration surface (the
-//!   `KernelToken`-gated setters) may only be named inside `crates/kernel`
-//!   (and test code), mirroring the paper's §4.4 isolation argument.
+//!   `KernelToken`-gated setters) may only be *reached* from `crates/kernel`
+//!   and test code, mirroring the paper's §4.4 isolation argument. Checked
+//!   as a use-graph: naming a gated setter, wrapping one in a `pub` fn, or
+//!   (inside `crates/dtu`) exposing a non-token path to one all count.
+//! - **borrow-across-await** — a `RefCell` borrow guard must not be live
+//!   across an `.await` point; see [`crate::borrow`].
+//! - **cycle-accounting** — `pub` fns in dtu/noc/sched that write
+//!   architectural state must reach a cycle-charging call; see
+//!   [`crate::cycles`].
+//! - **suppression** — pseudo-rule for malformed suppressions themselves.
+//!
+//! All checks run on the spanned token stream from [`crate::lexer`] and the
+//! block tree from [`crate::tree`], so string literals, comments, raw
+//! strings and char literals can never confuse an identifier match.
 
 use std::path::Path;
 
-use crate::scan::{identifiers, scan, Line};
+use crate::lexer::{lex, Kind, Token};
+use crate::tree::Tree;
+use crate::{borrow, cycles, isolation};
 
 /// A single rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,7 +55,14 @@ impl std::fmt::Display for Finding {
 }
 
 /// Rule identifiers, as accepted by `// m3lint: allow(<rule>): <why>`.
-pub const RULES: &[&str] = &["determinism", "cost-citation", "no-unwrap", "isolation"];
+pub const RULES: &[&str] = &[
+    "determinism",
+    "cost-citation",
+    "no-unwrap",
+    "isolation",
+    "borrow-across-await",
+    "cycle-accounting",
+];
 
 /// Crates whose code runs inside the simulation and must be deterministic.
 const SIM_CRATES: &[&str] = &[
@@ -73,14 +94,6 @@ const NONDETERMINISTIC_IDENTS: &[(&str, &str)] = &[
     ("thread_rng", "use the seeded m3_base::rand::Rng instead"),
 ];
 
-/// The kernel-only DTU configuration surface (isolation rule).
-const KERNEL_ONLY_IDENTS: &[&str] = &[
-    "KernelToken",
-    "claim_kernel_token",
-    "set_privileged",
-    "refill_credits",
-];
-
 /// How a path is classified for rule scoping.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileClass {
@@ -92,6 +105,14 @@ pub struct FileClass {
     pub in_benches_dir: bool,
     /// Under an `examples/` directory.
     pub in_examples_dir: bool,
+}
+
+impl FileClass {
+    /// Whether the file is any kind of sanctioned harness code (integration
+    /// tests, benches, examples) rather than simulation source.
+    pub fn is_harness(&self) -> bool {
+        self.in_tests_dir || self.in_benches_dir || self.in_examples_dir
+    }
 }
 
 /// Classifies a repo-relative path like `crates/dtu/src/dtu.rs`.
@@ -122,10 +143,24 @@ struct Suppression {
     trailing: bool,
 }
 
-fn parse_suppression(line: &Line) -> Option<Suppression> {
+/// The suppression-relevant text of a comment token: the text after `//`
+/// (doc comments keep their extra slash/bang, so they never suppress), or
+/// the interior of a block comment.
+fn comment_payload<'s>(tok: &Token, src: &'s str) -> &'s str {
+    let text = tok.text(src);
+    if let Some(rest) = text.strip_prefix("//") {
+        rest
+    } else {
+        text.strip_prefix("/*")
+            .map(|t| t.strip_suffix("*/").unwrap_or(t))
+            .unwrap_or(text)
+    }
+}
+
+fn parse_suppression(tree: &Tree, tok: &Token) -> Option<Suppression> {
     // Only a comment that *starts* with the marker is a suppression; prose
     // that merely mentions the syntax (like this crate's docs) is not.
-    let text = line.comment.trim();
+    let text = comment_payload(tok, tree.src).trim();
     let rest = text.strip_prefix("m3lint:")?.trim_start();
     let rest = rest.strip_prefix("allow")?.trim_start();
     let open = rest.strip_prefix('(')?;
@@ -140,11 +175,16 @@ fn parse_suppression(line: &Line) -> Option<Suppression> {
         Some(just) => !just.trim().is_empty(),
         None => false,
     };
+    let trailing = tree
+        .lines
+        .get(&tok.line)
+        .map(|l| l.has_code)
+        .unwrap_or(false);
     Some(Suppression {
         rules,
         justified,
-        line: line.number,
-        trailing: !line.code.trim().is_empty(),
+        line: tok.line,
+        trailing,
     })
 }
 
@@ -153,14 +193,15 @@ fn parse_suppression(line: &Line) -> Option<Suppression> {
 /// `path` must be repo-relative (used for rule scoping and reporting).
 pub fn check_file(path: &Path, source: &str) -> Vec<Finding> {
     let class = classify(path);
-    let lines = scan(source);
+    let toks = lex(source);
+    let tree = Tree::build(source, &toks);
     let file = path.display().to_string();
 
     // Collect suppressions first: map line number -> suppressed rules.
     let mut suppressions: Vec<Suppression> = Vec::new();
     let mut findings: Vec<Finding> = Vec::new();
-    for line in &lines {
-        if let Some(sup) = parse_suppression(line) {
+    for tok in &tree.comments {
+        if let Some(sup) = parse_suppression(&tree, tok) {
             if !sup.justified {
                 findings.push(Finding {
                     file: file.clone(),
@@ -211,150 +252,160 @@ pub fn check_file(path: &Path, source: &str) -> Vec<Finding> {
     // collections for oracles.
     let determinism_applies = sim_scope && !class.in_tests_dir && !class.in_examples_dir;
     // Robustness: kernel/dtu/fs src only; tests, benches, examples exempt.
-    let no_unwrap_applies = NO_UNWRAP_CRATES.contains(&class.krate.as_str())
-        && !class.in_tests_dir
-        && !class.in_benches_dir
-        && !class.in_examples_dir;
-    // Isolation: everything except the DTU (definition site), the kernel
-    // (the legitimate user), and test/bench/example code (sanctioned
-    // harnesses standing in for the kernel).
-    let isolation_applies = !matches!(class.krate.as_str(), "dtu" | "kernel" | "lint")
-        && !class.in_tests_dir
-        && !class.in_benches_dir
-        && !class.in_examples_dir;
+    let no_unwrap_applies = NO_UNWRAP_CRATES.contains(&class.krate.as_str()) && !class.is_harness();
     // Cost accounting: any cost/timing module in a simulation crate.
     let file_name = path.file_name().and_then(|f| f.to_str()).unwrap_or("");
     let costs_applies = sim_scope && matches!(file_name, "costs.rs" | "timing.rs");
 
-    for line in &lines {
-        if line.in_test {
+    for (i, tok) in tree.code.iter().enumerate() {
+        if tree.test_mask[i] || tok.kind != Kind::Ident {
             continue;
         }
-        let idents = identifiers(&line.code);
+        let text = tok.text(source);
 
         if determinism_applies {
             for (bad, fix) in NONDETERMINISTIC_IDENTS {
-                if idents.contains(bad) {
+                if text == *bad {
                     push(
                         "determinism",
-                        line.number,
+                        tok.line,
                         format!("`{bad}` is nondeterministic in simulation code: {fix}"),
                     );
                 }
             }
-            if line.code.contains("thread::spawn") || line.code.contains("std::thread") {
+            // `thread::spawn` / `std::thread`: a path of identifiers, so
+            // check the token sequence, not a substring.
+            let path_seq = |a: &str, b: &str| {
+                text == a
+                    && tree.code.len() > i + 3
+                    && tree.is_punct(i + 1, ':')
+                    && tree.is_punct(i + 2, ':')
+                    && tree.is_ident(i + 3, b)
+            };
+            if path_seq("thread", "spawn") || path_seq("std", "thread") {
                 push(
                     "determinism",
-                    line.number,
+                    tok.line,
                     "OS threads break deterministic scheduling: use Sim::spawn tasks instead"
                         .to_string(),
                 );
             }
         }
 
-        if no_unwrap_applies {
-            for bad in ["unwrap", "expect"] {
-                if idents.contains(&bad) && line.code.contains(&format!(".{bad}(")) {
-                    push(
-                        "no-unwrap",
-                        line.number,
-                        format!(
-                            "`.{bad}()` in {} code panics on fallible paths: \
-                             return m3_base::error::Error instead",
-                            class.krate
-                        ),
-                    );
-                }
-            }
-        }
-
-        if isolation_applies {
-            for bad in KERNEL_ONLY_IDENTS {
-                if idents.contains(bad) {
-                    push(
-                        "isolation",
-                        line.number,
-                        format!(
-                            "`{bad}` is part of the kernel-only DTU configuration surface \
-                             (paper §4.4): only crates/kernel and test code may name it"
-                        ),
-                    );
-                }
-            }
+        if no_unwrap_applies
+            && (text == "unwrap" || text == "expect")
+            && i > 0
+            && tree.is_punct(i - 1, '.')
+            && i + 1 < tree.code.len()
+            && tree.code[i + 1].kind == Kind::OpenParen
+        {
+            push(
+                "no-unwrap",
+                tok.line,
+                format!(
+                    "`.{text}()` in {} code panics on fallible paths: \
+                     return m3_base::error::Error instead",
+                    class.krate
+                ),
+            );
         }
     }
 
     if costs_applies {
-        check_cost_citations(&file, &lines, &mut findings, &suppressions);
+        check_cost_citations(&tree, &mut push);
     }
 
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    isolation::check(&tree, &class, &mut push);
+    borrow::check(&tree, &class, &mut push);
+    cycles::check(&tree, &class, &mut push);
+
+    findings.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.message == b.message);
     findings
 }
 
 /// Every `const` with a numeric initializer in a costs module must carry a
 /// `§`-citation in a comment on the same line or in the doc block above.
-fn check_cost_citations(
-    file: &str,
-    lines: &[Line],
-    findings: &mut Vec<Finding>,
-    suppressions: &[Suppression],
-) {
-    let allowed = |line_no: usize| -> bool {
-        suppressions.iter().any(|s| {
-            s.justified
-                && s.rules.iter().any(|r| r == "cost-citation")
-                && ((s.trailing && s.line == line_no) || (!s.trailing && s.line + 1 == line_no))
-        })
-    };
-    for (idx, line) in lines.iter().enumerate() {
-        if line.in_test {
+fn check_cost_citations(tree: &Tree, push: &mut impl FnMut(&'static str, usize, String)) {
+    for i in 0..tree.code.len() {
+        if tree.test_mask[i] || !tree.is_ident(i, "const") {
             continue;
         }
-        let code = line.code.trim_start();
-        let is_const = code.starts_with("pub const ") || code.starts_with("const ");
-        if !is_const || !line.code.contains('=') {
+        let line_no = tree.code[i].line;
+        // Only `const` at the start of its line (optionally behind `pub`)
+        // declares a cost constant; a `const` in an expression does not.
+        let leading = tree.code[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == line_no)
+            .all(|t| matches!(t.text(tree.src), "pub" | "(" | "crate" | ")"));
+        if !leading {
             continue;
         }
-        // Only constants with a numeric literal in the initializer need a
-        // citation (re-exports or derived constants inherit theirs).
-        let init = line.code.split('=').nth(1).unwrap_or("");
-        if !init.chars().any(|c| c.is_ascii_digit()) {
+        // `const fn` is a function, not a constant.
+        if i + 1 < tree.code.len() && tree.is_ident(i + 1, "fn") {
             continue;
         }
-        if line.comment.contains('§') {
-            continue;
-        }
-        // Walk the contiguous comment/attribute block above.
-        let mut cited = false;
-        let mut j = idx;
-        while j > 0 {
-            j -= 1;
-            let above = &lines[j];
-            let above_code = above.code.trim();
-            let is_comment_or_attr = above_code.is_empty() || above_code.starts_with("#[");
-            if !is_comment_or_attr {
+        // Scan the declaration: `const NAME: Ty = init;` — a citation is
+        // required only when the initializer contains a numeric literal
+        // (re-exports and derived constants inherit theirs).
+        let mut j = i + 1;
+        let mut saw_eq = false;
+        let mut numeric = false;
+        while j < tree.code.len() {
+            let t = &tree.code[j];
+            if t.kind == Kind::Punct && t.text(tree.src) == ";" {
                 break;
             }
-            if above.comment.contains('§') {
-                cited = true;
-                break;
+            if t.kind == Kind::Punct && t.text(tree.src) == "=" {
+                saw_eq = true;
+            } else if saw_eq && t.kind == Kind::Num {
+                numeric = true;
             }
-            if above_code.is_empty() && above.comment.is_empty() {
-                break; // blank line ends the doc block
-            }
+            j += 1;
         }
-        if !cited && !allowed(line.number) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: line.number,
-                rule: "cost-citation",
-                message: "numeric cost constant without a paper citation: add a \
-                          `§x.y` reference in its doc comment"
-                    .to_string(),
-            });
+        if !saw_eq || !numeric {
+            continue;
+        }
+        if cited(tree, line_no) {
+            continue;
+        }
+        push(
+            "cost-citation",
+            line_no,
+            "numeric cost constant without a paper citation: add a \
+             `§x.y` reference in its doc comment"
+                .to_string(),
+        );
+    }
+}
+
+/// Whether the constant on `line_no` carries a `§` citation: in a trailing
+/// comment on its own line, or in the contiguous comment/attribute block
+/// directly above it.
+fn cited(tree: &Tree, line_no: usize) -> bool {
+    if let Some(info) = tree.lines.get(&line_no) {
+        if info.comment.contains('§') {
+            return true;
         }
     }
+    let mut j = line_no;
+    while j > 1 {
+        j -= 1;
+        let Some(info) = tree.lines.get(&j) else {
+            return false; // fully blank line ends the doc block
+        };
+        if info.has_code && !info.starts_with_attr {
+            return false;
+        }
+        if info.comment.contains('§') {
+            return true;
+        }
+        if !info.has_code && info.comment.is_empty() {
+            return false;
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -407,6 +458,22 @@ mod tests {
             "crates/sim/src/lib.rs",
             "// HashMap would be wrong here\nlet s = \"HashMap\"; /* Instant */\n",
         );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn determinism_ignores_raw_strings_and_byte_chars() {
+        // Lexer edge cases: a raw string with a `#`-count mismatch inside,
+        // and byte-char literals, must not leak identifiers into the rules.
+        let src = "let a = r##\"HashMap \"# Instant\"##;\nlet b = b'H'; let c = b'\\n';\n";
+        let f = check("crates/sim/src/lib.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn determinism_ignores_nested_block_comments() {
+        let src = "/* outer /* HashMap inner */ SystemTime still comment */ fn f() {}\n";
+        let f = check("crates/sim/src/lib.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
 
@@ -502,6 +569,14 @@ mod tests {
     #[test]
     fn cost_citation_ignores_non_numeric_consts() {
         let src = "pub const NAME: &str = \"m3\";\npub const ALIAS: u64 = OTHER;\n";
+        assert!(check("crates/kernel/src/costs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cost_citation_ignores_digits_in_identifiers() {
+        // `X2` contains a digit but is an identifier, not a literal: the
+        // old line scanner flagged this; the token engine must not.
+        let src = "pub const ALIAS: u64 = OTHER_V2;\n";
         assert!(check("crates/kernel/src/costs.rs", src).is_empty());
     }
 
@@ -602,6 +677,28 @@ mod tests {
     fn suppression_covers_multiple_rules() {
         let src = "let m = HashMap::new(); let v = y.unwrap(); // m3lint: allow(determinism, no-unwrap): test harness shim\n";
         assert!(check("crates/kernel/src/kernel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_does_not_suppress() {
+        let src =
+            "/// m3lint: allow(determinism): prose, not a suppression\nlet m = HashMap::new();\n";
+        let f = check("crates/sim/src/executor.rs", src);
+        assert_eq!(rules_of(&f), vec!["determinism"]);
+    }
+
+    #[test]
+    fn block_comment_suppression_works() {
+        let src =
+            "let m = HashMap::new(); /* m3lint: allow(determinism): oracle, order unused */\n";
+        assert!(check("crates/sim/src/executor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn new_rules_are_suppressible_by_name() {
+        for rule in ["borrow-across-await", "cycle-accounting"] {
+            assert!(RULES.contains(&rule));
+        }
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Golden-findings corpus: runs every snippet under `tests/lint_corpus/`
+//! through the full rule engine and compares against the pinned
+//! `expected.txt`.
+//!
+//! Each snippet's first line is a `//@path crates/.../x.rs` directive
+//! giving the pretend repo-relative path it is checked under (which
+//! decides rule scoping). The directive is line 1 of the source, so
+//! pinned line numbers include it.
+//!
+//! `ok/` snippets must be finding-free (they pin false-positive fixes);
+//! `bad/` snippets must each trip at least one rule. Regenerate the pins
+//! after an intentional rule change with:
+//!
+//! ```text
+//! M3LINT_BLESS=1 cargo test -p m3-lint --test corpus
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use m3_lint::rules::check_file;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus")
+}
+
+/// All snippet files in `dir`, sorted by file name for a stable golden.
+fn snippets(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Checks one snippet under its `//@path` directive and renders findings
+/// as golden lines: `<group>/<file>: <line> [<rule>] <message>`.
+fn run_snippet(group: &str, path: &Path) -> Vec<String> {
+    let src = fs::read_to_string(path).expect("read snippet");
+    let name = path.file_name().unwrap().to_string_lossy();
+    let directive = src.lines().next().unwrap_or("");
+    let pretend = directive
+        .strip_prefix("//@path ")
+        .unwrap_or_else(|| panic!("{group}/{name}: first line must be `//@path crates/.../x.rs`"))
+        .trim();
+    check_file(Path::new(pretend), &src)
+        .into_iter()
+        .map(|f| format!("{group}/{name}: {} [{}] {}", f.line, f.rule, f.message))
+        .collect()
+}
+
+#[test]
+fn corpus_matches_golden() {
+    let dir = corpus_dir();
+    let mut all: Vec<String> = Vec::new();
+
+    for path in snippets(&dir.join("ok")) {
+        let findings = run_snippet("ok", &path);
+        assert!(
+            findings.is_empty(),
+            "known-good snippet {} produced findings (false positives):\n{}",
+            path.display(),
+            findings.join("\n")
+        );
+    }
+
+    for path in snippets(&dir.join("bad")) {
+        let findings = run_snippet("bad", &path);
+        assert!(
+            !findings.is_empty(),
+            "known-bad snippet {} produced no findings (missed detection)",
+            path.display()
+        );
+        all.extend(findings);
+    }
+
+    let golden_path = dir.join("expected.txt");
+    let rendered = all.join("\n") + "\n";
+    if std::env::var_os("M3LINT_BLESS").is_some() {
+        fs::write(&golden_path, &rendered).expect("write expected.txt");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}\nrun with M3LINT_BLESS=1 to create it",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "corpus findings drifted from expected.txt; if the change is \
+         intentional, re-bless with M3LINT_BLESS=1"
+    );
+}
+
+#[test]
+fn bad_corpus_covers_every_rule() {
+    // The corpus is only a regression net if each rule family has at least
+    // one pinned detection.
+    let dir = corpus_dir();
+    let mut seen: Vec<String> = Vec::new();
+    for path in snippets(&dir.join("bad")) {
+        for line in run_snippet("bad", &path) {
+            let rule = line
+                .split('[')
+                .nth(1)
+                .and_then(|r| r.split(']').next())
+                .unwrap_or("")
+                .to_string();
+            if !seen.contains(&rule) {
+                seen.push(rule);
+            }
+        }
+    }
+    for rule in m3_lint::rules::RULES {
+        assert!(
+            seen.iter().any(|s| s == rule),
+            "no bad-corpus snippet trips `{rule}` (saw: {seen:?})"
+        );
+    }
+    assert!(
+        seen.iter().any(|s| s == "suppression"),
+        "no bad-corpus snippet trips the suppression pseudo-rule"
+    );
+}

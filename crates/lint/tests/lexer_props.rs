@@ -1,0 +1,150 @@
+//! Seeded property tests for the lint lexer.
+//!
+//! The invariant every rule depends on: lexing produces tokens whose spans
+//! tile the source — sorted, non-overlapping, in bounds, with nothing but
+//! ASCII whitespace between them — and whose recorded text is exactly the
+//! source slice. The generator glues together a pool of deliberately nasty
+//! atoms (raw strings with varying `#` counts, nested block comments, byte
+//! chars, lifetimes-vs-chars, multi-byte UTF-8) with random whitespace;
+//! gluing can merge atoms into different tokens, which is fine — the
+//! tiling property must hold for *any* input, so the test also throws
+//! lossy-decoded random byte soup at the lexer.
+
+use m3_base::rand::Rng;
+use m3_lint::lexer::lex;
+
+/// Atoms chosen to stress every lexer state. Each is self-terminating, so
+/// concatenations stay finite (no unterminated-literal tails by design —
+/// though the byte-soup cases cover those too).
+const ATOMS: &[&str] = &[
+    "ident",
+    "r#type",
+    "x7",
+    "'static",
+    "'a",
+    "'x'",
+    "'\\''",
+    "'\\u{1F600}'",
+    "'\u{1F600}'",
+    "b'x'",
+    "b'\\xff'",
+    "\"str \\\" esc\"",
+    "b\"bytes\"",
+    "r\"raw\"",
+    "r#\"one # inside\"#",
+    "r##\"closes \"# not here\"##",
+    "// line comment",
+    "/* block */",
+    "/* outer /* nested */ still */",
+    "/** doc /* deep */ */",
+    "0x1f",
+    "1_000",
+    "1.5e3",
+    "0..10",
+    "..=",
+    "=>",
+    "::",
+    "->",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ";",
+    ",",
+    ".await",
+    ".borrow_mut()",
+    "#[cfg(test)]",
+    "let",
+    "async",
+    "move",
+];
+
+const WHITESPACE: &[&str] = &["", " ", "\n", "\t", "  ", "\n\n"];
+
+/// Asserts the tiling invariant for `src` and returns the token count.
+fn assert_tiles(src: &str) -> usize {
+    let tokens = lex(src);
+    let mut covered = vec![false; src.len()];
+    let mut prev_end = 0usize;
+    let mut prev_line = 1usize;
+    for t in &tokens {
+        assert!(t.len > 0, "empty token at {} in {src:?}", t.lo);
+        assert!(t.lo + t.len <= src.len(), "token out of bounds in {src:?}");
+        assert!(t.lo >= prev_end, "overlapping/unsorted tokens in {src:?}");
+        assert!(
+            src.is_char_boundary(t.lo) && src.is_char_boundary(t.lo + t.len),
+            "span splits a UTF-8 char in {src:?}"
+        );
+        assert_eq!(
+            t.text(src),
+            &src[t.lo..t.lo + t.len],
+            "text() disagrees with the span"
+        );
+        assert!(
+            t.line >= prev_line,
+            "line numbers went backwards in {src:?}"
+        );
+        let newlines = src[..t.lo].bytes().filter(|&b| b == b'\n').count();
+        assert_eq!(t.line, newlines + 1, "wrong line for token in {src:?}");
+        for c in covered.iter_mut().take(t.lo + t.len).skip(t.lo) {
+            *c = true;
+        }
+        prev_end = t.lo + t.len;
+        prev_line = t.line;
+    }
+    for (i, c) in covered.iter().enumerate() {
+        if !c {
+            let b = src.as_bytes()[i];
+            assert!(
+                b.is_ascii_whitespace(),
+                "non-whitespace byte {b:#x} at {i} uncovered in {src:?}"
+            );
+        }
+    }
+    // Determinism: a second lex is identical.
+    let again = lex(src);
+    assert_eq!(tokens.len(), again.len());
+    for (a, b) in tokens.iter().zip(&again) {
+        assert_eq!((a.kind, a.lo, a.len, a.line), (b.kind, b.lo, b.len, b.line));
+    }
+    tokens.len()
+}
+
+#[test]
+fn random_atom_soup_tiles_exactly() {
+    let mut rng = Rng::new(0x4d31_1e00_0001);
+    for _ in 0..300 {
+        let mut src = String::new();
+        let atoms = 1 + rng.next_below(40) as usize;
+        for _ in 0..atoms {
+            src.push_str(WHITESPACE[rng.next_below(WHITESPACE.len() as u64) as usize]);
+            src.push_str(ATOMS[rng.next_below(ATOMS.len() as u64) as usize]);
+        }
+        assert_tiles(&src);
+    }
+}
+
+#[test]
+fn random_byte_soup_never_panics_and_tiles() {
+    let mut rng = Rng::new(0x4d31_1e00_0002);
+    for _ in 0..300 {
+        let len = rng.next_below(120) as usize;
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiles(&src);
+    }
+}
+
+#[test]
+fn unterminated_tails_still_tile() {
+    // Chopping an atom soup at every char boundary exercises all the
+    // unterminated-literal EOF paths with realistic prefixes.
+    let src = "let s = r##\"raw \"# tail\"## + 'x' + b'\\xff' /* open /* deep */";
+    for (end, _) in src.char_indices() {
+        assert_tiles(&src[..end]);
+    }
+    assert_tiles(src);
+}

@@ -127,6 +127,7 @@ impl Noc {
     /// Connects this NoC to a simulation's event recorder and metrics bag
     /// (done by the DTU fabric on construction). Until attached, events go
     /// to a detached disabled recorder and metrics to a private bag.
+    // m3lint: allow(cycle-accounting): instrumentation attach before the run; tracing never changes modelled timing
     pub fn attach(&self, tracer: Recorder, metrics: Metrics) {
         let mut inner = self.inner.borrow_mut();
         inner.tracer = tracer;
@@ -135,6 +136,7 @@ impl Noc {
 
     /// Arms the fault-injection plane: subsequent transfers are subject to
     /// the plan's link delays and partitions.
+    // m3lint: allow(cycle-accounting): harness config-plane: arms the fault plane before cycles advance
     pub fn set_faults(&self, faults: Rc<FaultPlane>) {
         self.inner.borrow_mut().faults = Some(faults);
     }

@@ -166,6 +166,7 @@ impl Scheduler {
     /// # Panics
     ///
     /// Panics if `vpe` is already managed.
+    // m3lint: allow(cycle-accounting): scheduler table bookkeeping: the kernel charges the switch protocol (CTX_SAVE/RESTORE + state transfer) around this transition
     pub fn admit(&mut self, vpe: VpeId, pe: PeId, wake: Notify) -> Admission {
         assert!(self.vpes.insert(vpe, pe).is_none(), "{vpe} admitted twice");
         let slot = self.slots.entry(pe).or_insert_with(|| Slot::new(wake));
@@ -188,6 +189,7 @@ impl Scheduler {
     /// the PE (blocked in place, zero cost) and `None` is returned.
     ///
     /// No-op returning `None` if `vpe` is not the resident.
+    // m3lint: allow(cycle-accounting): scheduler table bookkeeping: the kernel charges the switch protocol (CTX_SAVE/RESTORE + state transfer) around this transition
     pub fn park_resident(&mut self, vpe: VpeId) -> Option<VpeId> {
         let pe = self.pe_of(vpe)?;
         let slot = self.slots.get_mut(&pe)?;
@@ -207,6 +209,7 @@ impl Scheduler {
     /// the resident moves to the *tail* of the ready queue (it stays
     /// runnable — this is a yield, not a park) and the head is returned for
     /// the caller to switch to. `None` if nobody is waiting.
+    // m3lint: allow(cycle-accounting): scheduler table bookkeeping: the kernel charges the switch protocol (CTX_SAVE/RESTORE + state transfer) around this transition
     pub fn yield_resident(&mut self, vpe: VpeId) -> Option<VpeId> {
         let pe = self.pe_of(vpe)?;
         let slot = self.slots.get_mut(&pe)?;
@@ -224,6 +227,7 @@ impl Scheduler {
     /// Marks a parked VPE runnable again (its message arrived). Returns
     /// `true` if the VPE moved parked → ready. For a blocked *resident* the
     /// blocked flag is cleared instead (it never left the PE).
+    // m3lint: allow(cycle-accounting): scheduler table bookkeeping: the kernel charges the switch protocol (CTX_SAVE/RESTORE + state transfer) around this transition
     pub fn unpark(&mut self, vpe: VpeId) -> bool {
         let Some(pe) = self.pe_of(vpe) else {
             return false;
@@ -244,6 +248,7 @@ impl Scheduler {
 
     /// Clears the resident's blocked flag (its message arrived while it
     /// still held the PE).
+    // m3lint: allow(cycle-accounting): scheduler table bookkeeping: the kernel charges the switch protocol (CTX_SAVE/RESTORE + state transfer) around this transition
     pub fn mark_active(&mut self, vpe: VpeId) {
         if let Some(pe) = self.pe_of(vpe) {
             if let Some(slot) = self.slots.get_mut(&pe) {
@@ -259,6 +264,7 @@ impl Scheduler {
     /// round-robin order survives vacancies. On success the slot is marked
     /// switching and the caller must restore the VPE's state and call
     /// [`Scheduler::finish_switch`].
+    // m3lint: allow(cycle-accounting): scheduler table bookkeeping: the kernel charges the switch protocol (CTX_SAVE/RESTORE + state transfer) around this transition
     pub fn claim_vacant(&mut self, vpe: VpeId) -> bool {
         let Some(pe) = self.pe_of(vpe) else {
             return false;
@@ -277,6 +283,7 @@ impl Scheduler {
     /// Completes a switch: `vpe` becomes the resident of `pe`. Returns
     /// `false` (leaving the PE vacant) if the VPE was removed while its
     /// restore was in flight. Wakes all waiters either way.
+    // m3lint: allow(cycle-accounting): scheduler table bookkeeping: the kernel charges the switch protocol (CTX_SAVE/RESTORE + state transfer) around this transition
     pub fn finish_switch(&mut self, pe: PeId, vpe: VpeId) -> bool {
         let Some(slot) = self.slots.get_mut(&pe) else {
             return false;
@@ -294,6 +301,7 @@ impl Scheduler {
     /// Abandons an in-flight switch (the restore failed). The would-be
     /// resident, if still managed, returns to the *head* of the ready queue
     /// so no slice is lost. Wakes all waiters.
+    // m3lint: allow(cycle-accounting): scheduler table bookkeeping: the kernel charges the switch protocol (CTX_SAVE/RESTORE + state transfer) around this transition
     pub fn abort_switch(&mut self, pe: PeId, vpe: Option<VpeId>) {
         let Some(slot) = self.slots.get_mut(&pe) else {
             return;
@@ -310,6 +318,7 @@ impl Scheduler {
     /// Removes a VPE from scheduling (it exited or was revoked). An empty
     /// slot is dropped so the kernel can free the PE. Wakes all waiters so
     /// the next ready VPE can claim the vacancy.
+    // m3lint: allow(cycle-accounting): scheduler table bookkeeping: the kernel charges the switch protocol (CTX_SAVE/RESTORE + state transfer) around this transition
     pub fn remove(&mut self, vpe: VpeId) -> Removal {
         let Some(pe) = self.vpes.remove(&vpe) else {
             return Removal::NotManaged;

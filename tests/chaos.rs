@@ -369,3 +369,82 @@ fn zero_fault_plan_reproduces_golden_figure_totals() {
         std::panic::resume_unwind(p);
     }
 }
+
+/// Regression for the borrow-across-await triage (m3-lint v2).
+///
+/// The lint's first workspace run flagged five candidate sites where a
+/// `RefCell` guard *looked* live across an `.await` — the kernel's
+/// service-retry reply slots, the `sched_acquire`/`sched_yield` scheduler
+/// scopes, and the lx pipe predicate closures. Triage verified each one
+/// scopes its guard before awaiting (and the walker was tightened to model
+/// those scopes exactly). A guard that *did* survive to an await would not
+/// fail deterministically: it panics with "already borrowed" only on an
+/// interleaving where another task touches the same cell during the
+/// suspension.
+///
+/// This test arranges the densest such interleaving the system produces:
+/// four VPEs overcommitted onto one PE, all hammering the kernel's shared
+/// scheduler table and pending-reply slots through syscalls, RDMA, and
+/// explicit yields, so every await in those paths runs with the other
+/// three clients mid-flight on the same cells. A reintroduced
+/// guard-across-await in those paths panics here instead of in the field.
+/// (The lx pipe closures are covered by `blocking_forces_context_switches`
+/// in `crates/lx`.)
+#[test]
+fn dense_overcommit_schedule_holds_no_refcell_across_await() {
+    use m3_kernel::protocol::PeRequest;
+    use m3_libos::vpe::Vpe;
+
+    let sys = System::boot(SystemConfig {
+        pes: 4,
+        overcommit: true,
+        ..SystemConfig::default()
+    });
+    let driver = sys.run_program("borrow-driver", move |env| async move {
+        let mut vpes = Vec::new();
+        for i in 0..4u64 {
+            let vpe = Vpe::new(&env, &format!("client{i}"), PeRequest::Any)
+                .await
+                .unwrap();
+            assert_eq!(vpe.pe(), PeId::new(3), "all clients share PE 3");
+            vpe.run(move |cenv| async move {
+                for round in 0..4u8 {
+                    // Syscall + service traffic: the kernel parks this
+                    // VPE on its reply slot and re-admits it on arrival
+                    // (the service-retry loop's slot/ready cells), while
+                    // the RDMA transfers suspend it mid-operation.
+                    let mem = MemGate::alloc(&cenv, 2048, Perm::RW).await.unwrap();
+                    let pat = [round ^ (i as u8); 64];
+                    mem.write(0, &pat).await.unwrap();
+                    assert_eq!(mem.read(0, pat.len()).await.unwrap(), pat);
+                    // Voluntary yields force park/claim/restore
+                    // transitions through `sched_acquire`'s scheduler
+                    // scope while the other clients are mid-syscall on
+                    // the same tables.
+                    cenv.yield_now().await.unwrap();
+                }
+                CLEAN
+            })
+            .await
+            .unwrap();
+            vpes.push(vpe);
+        }
+        for vpe in &vpes {
+            assert_eq!(vpe.wait().await, Ok(CLEAN));
+        }
+        CLEAN
+    });
+    let state = sys.sim().run_until(Cycles::new(RUN_BOUND));
+    assert_eq!(
+        state,
+        SimState::Finished,
+        "overcommit schedule hung: {state:?}"
+    );
+    assert_eq!(driver.try_take(), Some(CLEAN));
+    // The discipline only gets tested if the kernel really multiplexed
+    // the PE: every yield with three ready peers must have switched.
+    assert!(
+        sys.kernel().ctx_switches(PeId::new(3)) >= 8,
+        "workload failed to produce a dense switch schedule"
+    );
+}

@@ -1,0 +1,10 @@
+//@path crates/sim/src/lib.rs
+// Malformed suppressions: no justification (and therefore no effect), and
+// an unknown rule name.
+
+fn shim() {
+    let m = HashMap::new(); // m3lint: allow(determinism)
+    // m3lint: allow(nondeterminism): rule name does not exist
+    let t = Instant::now();
+    drop((m, t));
+}

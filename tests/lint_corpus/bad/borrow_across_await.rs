@@ -1,0 +1,30 @@
+//@path crates/kernel/src/sched_hazards.rs
+// The three borrow-across-await hazard shapes the rule exists for. On the
+// single-threaded executor each is a latent `already borrowed` panic on an
+// adverse schedule.
+
+impl Kernel {
+    pub async fn switch_naive(&self, pe: PeId) -> Result<(), Error> {
+        // Shape 1: a named guard held across the await.
+        let mut sched = self.sched.borrow_mut();
+        let victim = sched.evict(pe)?;
+        self.dtu.save_state(pe, victim).await?;
+        sched.mark_saved(victim);
+        Ok(())
+    }
+
+    pub async fn dispatch_naive(&self) -> Result<(), Error> {
+        // Shape 2: the match scrutinee temporary lives through every arm,
+        // including the one that awaits.
+        match self.sched.borrow_mut().runnable() {
+            Some(v) => self.activate(v).await,
+            None => Ok(()),
+        }
+    }
+
+    pub async fn tick_naive(&self) {
+        // Shape 3: a statement temporary — the guard from `.borrow()` lives
+        // until the end of the whole statement, across the await.
+        self.pending.borrow().front().copied().handle().await;
+    }
+}

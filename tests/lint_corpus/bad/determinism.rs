@@ -1,0 +1,13 @@
+//@path crates/sim/src/executor.rs
+// Every banned nondeterminism source in simulation code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn run() {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    std::thread::spawn(|| {});
+    let r = rand::thread_rng();
+    drop((t0, wall, r));
+}

@@ -1,0 +1,13 @@
+//@path crates/sched/src/lib.rs
+// A pub fn mutating scheduler state without charging cycles and without a
+// suppression naming who pays instead.
+
+impl RunQueue {
+    pub fn admit(&mut self, vpe: VpeId) {
+        self.ready.push_back(vpe);
+    }
+
+    pub fn steal(&self) -> Option<VpeId> {
+        self.inner.borrow_mut().ready.pop_front()
+    }
+}

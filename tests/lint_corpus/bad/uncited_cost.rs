@@ -1,0 +1,5 @@
+//@path crates/noc/src/timing.rs
+// A numeric cost constant with no paper citation anywhere near it.
+
+/// Cycles per hop on the mesh.
+pub const HOP: u64 = 1;

@@ -1,0 +1,8 @@
+//@path crates/kernel/src/syscall.rs
+// Panicking on fallible paths in kernel code.
+
+fn handle(&self, req: Request) -> Reply {
+    let cap = self.caps.get(req.sel).unwrap();
+    let obj = cap.upgrade().expect("stale capability");
+    Reply::from(obj)
+}

@@ -1,0 +1,26 @@
+//@path crates/dtu/src/dtu.rs
+// Cycle-accounting satisfied three ways: a direct charge, a transitive
+// charge through a same-file helper, and a justified suppression naming
+// where the cost is charged instead.
+
+impl Dtu {
+    pub async fn send(&self, ep: EpId, msg: &[u8]) -> Result<(), Error> {
+        self.state.borrow_mut().consume_credit(ep)?;
+        self.sim.sleep(timing::SEND_LAUNCH).await;
+        Ok(())
+    }
+
+    pub fn configure(&mut self, ep: EpId, cfg: EpConfig) {
+        self.write_reg(ep, cfg);
+    }
+
+    fn write_reg(&mut self, ep: EpId, cfg: EpConfig) {
+        self.eps[ep.index()] = cfg;
+        self.sim.advance(timing::EP_WRITE);
+    }
+
+    // m3lint: allow(cycle-accounting): passive container; the sender pays the transfer cost at deposit time
+    pub fn push_saved(&mut self, ctx: SavedCtx) {
+        self.saved.push(ctx);
+    }
+}

@@ -1,0 +1,14 @@
+//@path crates/dtu/src/timing.rs
+// Every numeric cost constant cites its paper source; derived and
+// non-numeric constants need no citation of their own.
+
+/// Cycles for the DTU to launch a send (paper §4.1, Table 1).
+pub const SEND_LAUNCH: u64 = 3;
+
+pub const FETCH_POLL: u64 = 2; // §4.1: polling a receive EP register
+
+/// Derived: a full round trip is launch + deliver + launch back.
+pub const ROUND_TRIP: u64 = SEND_LAUNCH + DELIVER + SEND_LAUNCH;
+
+/// Name of the model, not a cost.
+pub const MODEL: &str = "dtu-v2";

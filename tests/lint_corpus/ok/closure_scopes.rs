@@ -1,0 +1,28 @@
+//@path crates/lx/src/pipe.rs
+// Closures and async blocks are fresh scopes: a borrow written inside one
+// is not live at the construction site, so an await in the enclosing
+// function must not be blamed for it.
+
+impl Pipe {
+    pub async fn read(&self, buf: &mut [u8]) -> Result<usize, Error> {
+        // The closure *mentions* borrow_mut but only runs inside block_on,
+        // never across this function's awaits.
+        let n = block_on(&self.sim, || {
+            let mut st = self.state.borrow_mut();
+            st.take_ready(buf)
+        })
+        .await?;
+        self.env.yield_now().await?;
+        Ok(n)
+    }
+
+    pub async fn writer_task(&self) {
+        // An async block is constructed here, not run: its inner borrow
+        // belongs to the spawned task's scope.
+        let state = self.state.clone();
+        self.sim.spawn(async move {
+            state.borrow_mut().flush();
+        });
+        self.env.yield_now().await.ok();
+    }
+}

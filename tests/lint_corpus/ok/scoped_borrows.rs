@@ -1,0 +1,45 @@
+//@path crates/kernel/src/kernel.rs
+// The idiomatic fixes for borrow-across-await: every guard ends before the
+// await point. These are the exact shapes the workspace uses; none may be
+// flagged.
+
+impl Kernel {
+    pub async fn perform_switch(&self, pe: PeId) -> Result<(), Error> {
+        // Scoped block: the borrow dies at the `};` before the await.
+        let (victim, winner) = {
+            let mut sched = self.sched.borrow_mut();
+            sched.pick_switch(pe)?
+        };
+        self.dtu.save_state(pe, victim).await?;
+        self.dtu.restore_state(pe, winner).await?;
+        Ok(())
+    }
+
+    pub async fn dispatch(&self, req: Request) -> Result<Reply, Error> {
+        // Match on a *copied-out* decision, not on a live scrutinee guard.
+        enum Act {
+            Run(VpeId),
+            Idle,
+        }
+        let act = {
+            let sched = self.sched.borrow();
+            if let Some(v) = sched.runnable() {
+                Act::Run(v)
+            } else {
+                Act::Idle
+            }
+        };
+        match act {
+            Act::Run(v) => self.activate(v).await,
+            Act::Idle => self.sleep_until_message().await,
+        }
+    }
+
+    pub async fn drain(&self) {
+        // Explicit drop ends the guard before the await.
+        let queue = self.pending.borrow_mut();
+        let n = queue.len();
+        drop(queue);
+        self.tick(n).await;
+    }
+}
