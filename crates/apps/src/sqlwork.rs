@@ -37,6 +37,35 @@ const CREATE: u64 = 420_000;
 /// Full-table-scan SELECT over the 8 rows.
 const SELECT: u64 = 2_100_000;
 
+/// Encodes the schema page: a length-prefixed copy of the full DDL
+/// statement (page 0 of the database image).
+fn schema_page(stmt: &str) -> Vec<u8> {
+    let mut page = vec![0u8; PAGE_SIZE];
+    let bytes = stmt.as_bytes();
+    assert!(bytes.len() + 2 <= PAGE_SIZE, "DDL too long for a page");
+    page[0..2].copy_from_slice(&(bytes.len() as u16).to_le_bytes());
+    page[2..2 + bytes.len()].copy_from_slice(bytes);
+    page
+}
+
+/// Parses the DDL statement back out of a schema page.
+///
+/// # Errors
+///
+/// Returns a descriptive string for malformed pages.
+pub fn decode_schema(page: &[u8]) -> Result<String, String> {
+    if page.len() < PAGE_SIZE {
+        return Err(format!("bad schema page size {}", page.len()));
+    }
+    let len = u16::from_le_bytes(page[0..2].try_into().unwrap()) as usize;
+    if 2 + len > PAGE_SIZE {
+        return Err(format!("bad schema statement length {len}"));
+    }
+    std::str::from_utf8(&page[2..2 + len])
+        .map(str::to_string)
+        .map_err(|_| "schema statement is not UTF-8".to_string())
+}
+
 /// Encodes one row as a slotted-page image.
 fn row_page(id: u64, name: &str) -> Vec<u8> {
     let mut page = vec![0u8; PAGE_SIZE];
@@ -50,14 +79,11 @@ fn row_page(id: u64, name: &str) -> Vec<u8> {
 /// The paper's workload: CREATE TABLE, 8 INSERTs, SELECT.
 pub fn workload() -> Vec<SqlOp> {
     let mut ops = Vec::new();
+    let ddl = "CREATE TABLE t (id INTEGER, name TEXT)";
     ops.push(SqlOp {
-        stmt: "CREATE TABLE t (id INTEGER, name TEXT)".to_string(),
+        stmt: ddl.to_string(),
         compute: Cycles::new(PARSE + CREATE),
-        page: Some({
-            let mut schema = vec![0u8; PAGE_SIZE];
-            schema[..21].copy_from_slice(b"t:id INTEGER,name TEX");
-            schema
-        }),
+        page: Some(schema_page(ddl)),
         read_back: 0,
     });
     for i in 0..8u64 {
@@ -126,6 +152,17 @@ mod tests {
         let total = total_compute();
         assert!(total.as_u64() > 3_000_000, "{total:?}");
         assert!(total.as_u64() < 8_000_000, "{total:?}");
+    }
+
+    #[test]
+    fn schema_page_holds_the_full_ddl() {
+        let ops = workload();
+        let page = ops[0].page.as_ref().unwrap();
+        assert_eq!(page.len(), PAGE_SIZE);
+        // The full statement round-trips — the old image dropped the
+        // trailing "T)" of "name TEXT)".
+        assert_eq!(decode_schema(page).unwrap(), ops[0].stmt);
+        assert!(decode_schema(page).unwrap().ends_with("TEXT)"));
     }
 
     #[test]

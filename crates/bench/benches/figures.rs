@@ -44,6 +44,8 @@ fn main() {
     emit("fig7", fig7.render(), figure_cycles(&fig7));
     let fig8 = m3_bench::fig8::run();
     emit("fig8", fig8.render(), series_cycles(&fig8));
+    let fig9 = m3_bench::fig9::run();
+    emit("fig9", fig9.render(), series_cycles(&fig9.series));
     let arch = m3_bench::arch::run();
     emit("arch", arch.render(), series_cycles(&arch));
     let ablations = m3_bench::ablation::run_all();

@@ -1,0 +1,111 @@
+//! Prints the fig9 serving-capacity table.
+//!
+//! With `--trace <path>` it additionally re-runs one mid-sweep M3 point
+//! under tracing and writes a Chrome `trace_event` JSON file (the
+//! `ServeReq` spans show each request from scheduled arrival to
+//! completion); `--trace-tsv <path>` writes the same trace in the native
+//! text format the `m3-trace` CLI consumes; `--metrics <path>` writes the
+//! per-PE metrics snapshot; `--latency-tsv <path>` writes the per-PE and
+//! merged latency-histogram table (count, saturation, min/mean/quantiles).
+//! `--smoke` sweeps only the two smallest client counts (the CI smoke job).
+
+use std::process::ExitCode;
+
+/// The client count re-run under tracing for the artifact exports.
+const TRACED_CLIENTS: u64 = 256;
+
+fn main() -> ExitCode {
+    let mut trace_path: Option<String> = None;
+    let mut tsv_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut latency_path: Option<String> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => return usage("--trace needs a path"),
+            },
+            "--trace-tsv" => match args.next() {
+                Some(p) => tsv_path = Some(p),
+                None => return usage("--trace-tsv needs a path"),
+            },
+            "--metrics" => match args.next() {
+                Some(p) => metrics_path = Some(p),
+                None => return usage("--metrics needs a path"),
+            },
+            "--latency-tsv" => match args.next() {
+                Some(p) => latency_path = Some(p),
+                None => return usage("--latency-tsv needs a path"),
+            },
+            "--smoke" => smoke = true,
+            "--serial" => m3_bench::exec::set_serial(true),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    if smoke {
+        m3_bench::fig9::run_sweep(&m3_bench::fig9::CLIENTS[..2]).print();
+    } else {
+        m3_bench::fig9::run().print();
+    }
+
+    if trace_path.is_some()
+        || tsv_path.is_some()
+        || metrics_path.is_some()
+        || latency_path.is_some()
+    {
+        let out = m3_bench::fig9::traced_serve_run(TRACED_CLIENTS);
+        eprintln!(
+            "fig9: traced {TRACED_CLIENTS}-client run - {} requests, p99 {} cycles",
+            out.run.requests,
+            out.run.quantile(0.99)
+        );
+        if let Some(path) = trace_path {
+            let events = m3_trace::fmt::parse(&out.trace).expect("own trace parses");
+            if !write_file(&path, &m3_trace::chrome::export(&events)) {
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "fig9: wrote Chrome trace ({} events) to {path}",
+                events.len()
+            );
+        }
+        if let Some(path) = tsv_path {
+            if !write_file(&path, &out.trace) {
+                return ExitCode::FAILURE;
+            }
+            eprintln!("fig9: wrote native trace to {path}");
+        }
+        if let Some(path) = metrics_path {
+            if !write_file(&path, &out.metrics) {
+                return ExitCode::FAILURE;
+            }
+            eprintln!("fig9: wrote metrics snapshot to {path}");
+        }
+        if let Some(path) = latency_path {
+            if !write_file(&path, &out.latency_tsv) {
+                return ExitCode::FAILURE;
+            }
+            eprintln!("fig9: wrote latency table to {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_file(path: &str, content: &str) -> bool {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("fig9: cannot write {path}: {e}");
+        return false;
+    }
+    true
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fig9: {msg}");
+    eprintln!(
+        "usage: fig9 [--serial] [--smoke] [--trace <out.json>] [--trace-tsv <out.tsv>] [--metrics <out.txt>] [--latency-tsv <out.tsv>]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,4 +1,4 @@
-//! Host wall-clock perf harness for the fig3–fig8 suite.
+//! Host wall-clock perf harness for the fig3–fig9 suite.
 //!
 //! Runs every figure end-to-end, timing each one and each of its scenarios
 //! (one independent `Sim` per scenario), collects the executor gauges from
@@ -45,6 +45,7 @@ fn figure_suite() -> Vec<(&'static str, FigureFn)> {
         ("fig6", || m3_bench::fig6::run().render()),
         ("fig7", || m3_bench::fig7::run().render()),
         ("fig8", || m3_bench::fig8::run().render()),
+        ("fig9", || m3_bench::fig9::run().render()),
     ]
 }
 
@@ -151,7 +152,7 @@ fn main() -> ExitCode {
     let serial = forced_serial || exec::workers_for(usize::MAX) == 1;
     let (runs, total_ms) = run_suite();
 
-    println!("== perf: fig3-fig8 host wall clock ==");
+    println!("== perf: fig3-fig9 host wall clock ==");
     for run in &runs {
         println!(
             "{:>5}  {:>10.1} ms  {:>3} scenarios  {:>8} tasks  {:>9} polls  peak {} live / {} timers",

@@ -16,6 +16,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig9;
 pub mod report;
 
 pub use report::{Bar, Figure, Group, Series};

@@ -2017,7 +2017,7 @@ mod tests {
             .expect("receiver ring occupancy observed");
         // Deposit saw 1 slot occupied; the ack saw it drop back to 0.
         assert_eq!(occ.max(), 1);
-        assert_eq!(occ.min(), 0);
+        assert_eq!(occ.min(), Some(0));
         assert!(metrics.get(PeId::new(1), m3_sim::keys::DTU_BUSY) > 0);
 
         let tags: Vec<&str> = sim.trace().iter().map(|e| e.kind.tag()).collect();

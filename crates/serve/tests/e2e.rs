@@ -1,0 +1,55 @@
+//! End-to-end serving runs on both OS paths.
+
+use m3_serve::{run_lx, run_m3, run_m3_traced, ServePlan};
+
+fn small_plan() -> ServePlan {
+    ServePlan::closed(8, 3, 100_000, 42)
+}
+
+#[test]
+fn m3_run_completes_every_request() {
+    let run = run_m3(&small_plan());
+    assert_eq!(run.clients, 8);
+    assert_eq!(run.requests, 24);
+    assert_eq!(run.latency.count(), 24);
+    assert!(run.quantile(0.99) >= run.quantile(0.50));
+    assert!(run.quantile(0.50) > 0, "requests cannot be free");
+    assert!(run.throughput > 0.0);
+}
+
+#[test]
+fn lx_run_completes_every_request() {
+    let run = run_lx(&small_plan());
+    assert_eq!(run.requests, 24);
+    assert_eq!(run.latency.count(), 24);
+    assert!(run.quantile(0.50) > 0);
+}
+
+#[test]
+fn m3_runs_are_deterministic() {
+    let a = run_m3(&small_plan());
+    let b = run_m3(&small_plan());
+    assert_eq!(a.requests, b.requests);
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.latency.summary(), b.latency.summary());
+}
+
+#[test]
+fn traced_run_reports_serve_events_and_latency_rows() {
+    let out = run_m3_traced(&small_plan());
+    assert_eq!(out.run.requests, 24);
+    assert!(out.trace.contains("serve_req"), "trace must carry requests");
+    assert!(
+        out.latency_tsv.contains("serve.req_latency"),
+        "latency table must list the serve key:\n{}",
+        out.latency_tsv
+    );
+    assert!(out.metrics.contains("serve.req_latency"));
+    // The trace parses back and the ServeReq spans match the histogram.
+    let events = m3_trace::fmt::parse(&out.trace).unwrap();
+    let serve_spans = events
+        .iter()
+        .filter(|e| matches!(e.kind, m3_trace::EventKind::ServeReq { .. }))
+        .count();
+    assert_eq!(serve_spans, 24);
+}

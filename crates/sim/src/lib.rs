@@ -36,6 +36,8 @@ mod stats;
 pub use channel::{channel, Receiver, Sender};
 pub use deadline::with_deadline;
 pub use executor::{JoinHandle, Sim, SimState};
-pub use m3_trace::{keys, Component, Event, EventKind, Histogram, Metrics, Recorder};
+pub use m3_trace::{
+    keys, Component, Event, EventKind, Histogram, LatencyHistogram, Metrics, Recorder,
+};
 pub use notify::Notify;
 pub use stats::{StatHandle, Stats};

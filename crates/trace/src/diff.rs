@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::{fmt, Event};
+use crate::{fmt, Event, LatencyHistogram};
 
 /// The result of comparing two traces.
 #[derive(Debug, PartialEq, Eq)]
@@ -22,6 +22,29 @@ fn kind_counts(events: &[Event]) -> BTreeMap<&'static str, u64> {
         *counts.entry(event.kind.tag()).or_insert(0) += 1;
     }
     counts
+}
+
+fn kind_spans(events: &[Event]) -> BTreeMap<&'static str, LatencyHistogram> {
+    let mut spans: BTreeMap<&'static str, LatencyHistogram> = BTreeMap::new();
+    for event in events {
+        if event.dur.as_u64() > 0 {
+            spans
+                .entry(event.kind.tag())
+                .or_default()
+                .observe(event.dur.as_u64());
+        }
+    }
+    spans
+}
+
+fn span_stat(spans: &BTreeMap<&'static str, LatencyHistogram>, tag: &str) -> String {
+    match spans.get(tag) {
+        Some(h) if !h.is_empty() => {
+            let sat = if h.saturated() { " saturated" } else { "" };
+            format!("sum={} p99={}{sat}", h.sum(), h.quantile(0.99).unwrap_or(0))
+        }
+        _ => "sum=- p99=-".to_string(),
+    }
 }
 
 /// Compares two traces: reports the first diverging event (with one line of
@@ -64,16 +87,20 @@ pub fn diff(a: &[Event], b: &[Event]) -> DiffResult {
     let mut tags: Vec<&'static str> = ca.keys().chain(cb.keys()).copied().collect();
     tags.sort_unstable();
     tags.dedup();
+    let sa = kind_spans(a);
+    let sb = kind_spans(b);
     let mut wrote_header = false;
     for tag in tags {
         let na = ca.get(tag).copied().unwrap_or(0);
         let nb = cb.get(tag).copied().unwrap_or(0);
-        if na != nb {
+        let span_a = span_stat(&sa, tag);
+        let span_b = span_stat(&sb, tag);
+        if na != nb || span_a != span_b {
             if !wrote_header {
-                report.push_str("kind count deltas:\n");
+                report.push_str("kind deltas (count, span cycles):\n");
                 wrote_header = true;
             }
-            let _ = writeln!(report, "  {tag:<14} a={na} b={nb}");
+            let _ = writeln!(report, "  {tag:<14} a={na} [{span_a}]  b={nb} [{span_b}]");
         }
     }
     DiffResult {
@@ -147,6 +174,31 @@ mod tests {
         ];
         let result = diff(&a, &b);
         assert!(result.report.contains("credit_stall"), "{}", result.report);
-        assert!(result.report.contains("a=0 b=1"), "{}", result.report);
+        assert!(result.report.contains("a=0"), "{}", result.report);
+        assert!(result.report.contains("b=1"), "{}", result.report);
+    }
+
+    #[test]
+    fn span_deltas_and_saturation_are_surfaced() {
+        let span = |at: u64, dur: u64| Event {
+            at: Cycles::new(at),
+            dur: Cycles::new(dur),
+            pe: Some(PeId::new(0)),
+            comp: Component::Fs,
+            kind: EventKind::FsRequest {
+                op: "Open".to_string(),
+            },
+        };
+        // Same counts, different span cycles: must still be reported.
+        let a = vec![span(1, 100)];
+        let b = vec![span(1, 200)];
+        let result = diff(&a, &b);
+        assert!(!result.identical);
+        assert!(result.report.contains("sum=100"), "{}", result.report);
+        assert!(result.report.contains("sum=200"), "{}", result.report);
+        // A saturated span sum is marked, not silently under-reported.
+        let c = vec![span(1, u64::MAX - 1), span(2, u64::MAX - 1)];
+        let result = diff(&a, &c);
+        assert!(result.report.contains("saturated"), "{}", result.report);
     }
 }

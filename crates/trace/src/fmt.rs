@@ -107,6 +107,9 @@ fn kind_fields(kind: &EventKind) -> Vec<String> {
         EventKind::Recovery { action, attempt } => {
             vec![escape(action), attempt.to_string()]
         }
+        EventKind::ServeReq { client, op } => {
+            vec![client.to_string(), escape(op)]
+        }
         EventKind::CtxSwitch { from, to, bytes } => {
             vec![from.to_string(), to.to_string(), bytes.to_string()]
         }
@@ -249,6 +252,10 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Event, String> {
             action: unescape(field(f, 0, line_no)?),
             attempt: num32(f, 1, line_no)?,
         },
+        "serve_req" => EventKind::ServeReq {
+            client: num(f, 0, line_no)?,
+            op: unescape(field(f, 1, line_no)?),
+        },
         "ctx_switch" => EventKind::CtxSwitch {
             from: num32(f, 0, line_no)?,
             to: num32(f, 1, line_no)?,
@@ -381,6 +388,16 @@ mod tests {
                     from: 4,
                     to: 5,
                     bytes: 65_536,
+                },
+            },
+            Event {
+                at: Cycles::new(80),
+                dur: Cycles::new(23_000),
+                pe: Some(PeId::new(2)),
+                comp: Component::Serve,
+                kind: EventKind::ServeReq {
+                    client: 17,
+                    op: "Get".to_string(),
                 },
             },
         ]

@@ -1,0 +1,436 @@
+//! The latency recorder: an HDR-style sub-bucketed histogram with
+//! quantiles.
+//!
+//! The power-of-two [`crate::Histogram`] is fine for occupancy gauges, but
+//! its buckets span a 2× range: a p99 of 600k cycles and one of 1.1M land
+//! in the same bucket, which is useless for tail-latency SLOs. This module
+//! is the quantile machinery the serving tier (m3-serve, Figure 9) reports
+//! through:
+//!
+//! - **Exact below a threshold**: values below `2^exact_bits` get one
+//!   bucket per value — short latencies (syscall-scale) are recorded with
+//!   zero error.
+//! - **Sub-bucketed above it**: each power-of-two range `[2^e, 2^(e+1))` is
+//!   split into `2^sub_bits` equal sub-buckets, bounding the relative error
+//!   of any reported quantile by `2^-sub_bits` (configurable precision).
+//! - **Exact edges**: `min`, `max`, `count`, and `sum` are tracked exactly,
+//!   and `quantile(0.0)` / `quantile(1.0)` return them, so figure pins on
+//!   extremes stay bit-exact.
+//! - **Mergeable**: per-PE recordings merge into a system-wide
+//!   distribution without losing precision (same bucket geometry).
+//!
+//! Everything is deterministic: buckets live in a `BTreeMap` (sparse — a
+//! latency distribution touches a few dozen buckets out of ~10k possible),
+//! and no float ever decides which bucket a value lands in.
+
+use std::collections::BTreeMap;
+
+/// Default precision: sub-buckets per power-of-two range = `2^7`, bounding
+/// quantile relative error by `1/128` (&lt; 0.8%).
+pub const DEFAULT_SUB_BITS: u32 = 7;
+
+/// Default exactness threshold: values below `2^12 = 4096` are counted
+/// exactly. Must be at least [`DEFAULT_SUB_BITS`] so sub-bucket widths are
+/// whole numbers.
+pub const DEFAULT_EXACT_BITS: u32 = 12;
+
+/// An HDR-style latency histogram: exact low range, bounded-error tail,
+/// exact count/sum/min/max, quantiles, and lossless same-geometry merges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sub-buckets per power-of-two range, as a bit count.
+    sub_bits: u32,
+    /// Values below `1 << exact_bits` are bucketed exactly.
+    exact_bits: u32,
+    /// Sparse bucket index → observation count.
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+    /// `sum` overflowed and was clamped; `mean()` would under-report.
+    saturated: bool,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram with the default precision
+    /// ([`DEFAULT_SUB_BITS`] sub-bucket bits, exact below
+    /// `2^`[`DEFAULT_EXACT_BITS`]).
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::with_precision(DEFAULT_SUB_BITS, DEFAULT_EXACT_BITS)
+    }
+
+    /// Creates an empty histogram with `sub_bits` sub-bucket bits (relative
+    /// error bound `2^-sub_bits`) and exact recording below
+    /// `2^exact_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exact_bits < sub_bits` (sub-bucket widths must be whole)
+    /// or the parameters leave the 64-bit range.
+    pub fn with_precision(sub_bits: u32, exact_bits: u32) -> LatencyHistogram {
+        assert!(
+            sub_bits <= exact_bits,
+            "exact_bits ({exact_bits}) must be >= sub_bits ({sub_bits})"
+        );
+        assert!(exact_bits < 63, "exact_bits must leave room for the tail");
+        LatencyHistogram {
+            sub_bits,
+            exact_bits,
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0,
+            saturated: false,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The sub-bucket precision, as a bit count.
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
+    /// The exactness threshold, as a bit count.
+    pub fn exact_bits(&self) -> u32 {
+        self.exact_bits
+    }
+
+    /// The relative error bound of any quantile: `2^-sub_bits`.
+    pub fn error_bound(&self) -> f64 {
+        1.0 / (1u64 << self.sub_bits) as f64
+    }
+
+    /// Bucket index of `value`.
+    fn bucket_of(&self, value: u64) -> u32 {
+        let exact_limit = 1u64 << self.exact_bits;
+        if value < exact_limit {
+            return value as u32;
+        }
+        // Power-of-two range [2^e, 2^(e+1)), split into 2^sub_bits equal
+        // sub-buckets of width 2^(e - sub_bits).
+        let e = 63 - value.leading_zeros();
+        let sub = ((value - (1u64 << e)) >> (e - self.sub_bits)) as u32;
+        let range = e - self.exact_bits;
+        (exact_limit as u32) + (range << self.sub_bits) + sub
+    }
+
+    /// Largest value that lands in bucket `idx` — what [`Self::quantile`]
+    /// reports for observations in that bucket.
+    fn bucket_upper(&self, idx: u32) -> u64 {
+        let exact_limit = 1u64 << self.exact_bits;
+        if u64::from(idx) < exact_limit {
+            return u64::from(idx);
+        }
+        let off = idx - exact_limit as u32;
+        let e = self.exact_bits + (off >> self.sub_bits);
+        let sub = u128::from(off & ((1 << self.sub_bits) - 1));
+        // The last sub-bucket of the top range (e = 63) would overflow u64;
+        // compute in u128 and clamp.
+        let upper = (1u128 << e) + ((sub + 1) << (e - self.sub_bits)) - 1;
+        upper.min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        *self.buckets.entry(self.bucket_of(value)).or_insert(0) += 1;
+        self.count += 1;
+        let (sum, overflow) = self.sum.overflowing_add(value);
+        if overflow {
+            self.sum = u64::MAX;
+            self.saturated = true;
+        } else {
+            self.sum = sum;
+        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations; clamped to `u64::MAX` on overflow, in
+    /// which case [`Self::saturated`] reports it.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether the sum overflowed — [`Self::mean`] under-reports when set.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Smallest observation (exact); `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (exact); `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation; `None` when empty. A lower bound of the true mean
+    /// when [`Self::saturated`].
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): the smallest recorded bucket upper
+    /// bound `v` such that at least `ceil(q * count)` observations are
+    /// `<= v`. Exact for values below the exactness threshold and at the
+    /// extremes (`q = 0` returns the exact min, `q = 1` the exact max);
+    /// elsewhere the relative error is bounded by [`Self::error_bound`].
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil without going through floats for the common edges.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 && self.buckets.len() == 1 || q == 0.0 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Clamp to the exact extremes: the first/last bucket's
+                // upper bound may overshoot the true min/max.
+                return Some(self.bucket_upper(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges `other` into `self` without precision loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different bucket geometry — precision
+    /// is a recorder-level configuration choice, so mixed-precision merges
+    /// indicate a bug, not a runtime condition.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            (self.sub_bits, self.exact_bits),
+            (other.sub_bits, other.exact_bits),
+            "merging histograms of different precision"
+        );
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        self.count += other.count;
+        let (sum, overflow) = self.sum.overflowing_add(other.sum);
+        if overflow {
+            self.sum = u64::MAX;
+            self.saturated = true;
+        } else {
+            self.sum = sum;
+        }
+        self.saturated |= other.saturated;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(upper_bound_inclusive, count)` pairs, in
+    /// ascending value order (for exports and debugging).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .map(|(&idx, &n)| (self.bucket_upper(idx), n))
+            .collect()
+    }
+
+    /// One-line rendering used by metric dumps:
+    /// `n=… min=… mean=… p50=… p99=… p999=… max=…`, with `-` for every
+    /// statistic of an empty histogram and a trailing `(saturated)` marker
+    /// when the sum overflowed.
+    pub fn summary(&self) -> String {
+        if self.is_empty() {
+            return "n=0 min=- mean=- p50=- p99=- p999=- max=-".to_string();
+        }
+        let mut out = format!(
+            "n={} min={} mean={:.1} p50={} p99={} p999={} max={}",
+            self.count,
+            self.min,
+            self.mean().unwrap_or(0.0),
+            self.quantile(0.50).unwrap_or(0),
+            self.quantile(0.99).unwrap_or(0),
+            self.quantile(0.999).unwrap_or(0),
+            self.max,
+        );
+        if self.saturated {
+            out.push_str(" (saturated)");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_explicit() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert!(!h.saturated());
+        assert_eq!(h.summary(), "n=0 min=- mean=- p50=- p99=- p999=- max=-");
+    }
+
+    #[test]
+    fn single_observation_is_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.observe(123_456);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(123_456), "q={q}");
+        }
+        assert_eq!(h.min(), Some(123_456));
+        assert_eq!(h.max(), Some(123_456));
+        assert_eq!(h.mean(), Some(123_456.0));
+    }
+
+    #[test]
+    fn exact_below_threshold() {
+        let mut h = LatencyHistogram::new();
+        for v in [0, 1, 2, 3, 4, 5, 6, 7, 8, 9] {
+            h.observe(v);
+        }
+        // Below 2^12 every value has its own bucket: quantiles are exact.
+        assert_eq!(h.quantile(0.5), Some(4));
+        assert_eq!(h.quantile(0.1), Some(0));
+        assert_eq!(h.quantile(1.0), Some(9));
+        assert_eq!(h.nonzero_buckets().len(), 10);
+    }
+
+    #[test]
+    fn tail_quantiles_distinguish_within_a_power_of_two() {
+        // The motivating bug: 600k and 1.1M share a power-of-two bucket
+        // (2^19..2^20 and 2^20..2^21 are adjacent, but 600k vs 900k do
+        // share 2^19..2^20). The sub-bucketed histogram must tell them
+        // apart within < 1% relative error.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.observe(600_000);
+        }
+        h.observe(900_000);
+        let p50 = h.quantile(0.5).unwrap();
+        let err = (p50 as f64 - 600_000.0).abs() / 600_000.0;
+        assert!(err <= h.error_bound(), "p50={p50} err={err}");
+        assert_eq!(h.quantile(1.0), Some(900_000));
+        let p99 = h.quantile(0.99).unwrap();
+        let err = (p99 as f64 - 600_000.0).abs() / 600_000.0;
+        assert!(err <= h.error_bound(), "p99={p99} err={err}");
+    }
+
+    #[test]
+    fn saturation_is_flagged_not_silent() {
+        let mut h = LatencyHistogram::new();
+        h.observe(u64::MAX - 10);
+        assert!(!h.saturated());
+        h.observe(u64::MAX - 10);
+        assert!(h.saturated());
+        assert_eq!(h.sum(), u64::MAX);
+        assert!(h.summary().contains("(saturated)"), "{}", h.summary());
+    }
+
+    #[test]
+    fn merge_equals_observing_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [3u64, 700, 4_100, 88_000, 600_000] {
+            a.observe(v);
+            both.observe(v);
+        }
+        for v in [9u64, 4_100, 1_100_000] {
+            b.observe(v);
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.max(), Some(1_100_000));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyHistogram::new();
+        a.observe(42);
+        let before = a.clone();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a, before);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn mixed_precision_merge_panics() {
+        let mut a = LatencyHistogram::new();
+        let b = LatencyHistogram::with_precision(5, 12);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn bucket_upper_inverts_bucket_of() {
+        let h = LatencyHistogram::new();
+        for v in [
+            0,
+            1,
+            4_095,
+            4_096,
+            4_097,
+            65_535,
+            600_000,
+            1_100_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = h.bucket_of(v);
+            let upper = h.bucket_upper(idx);
+            assert!(upper >= v, "upper({idx})={upper} < v={v}");
+            if v >= 4096 {
+                // Bounded relative error.
+                let err = (upper - v) as f64 / v as f64;
+                assert!(err <= h.error_bound(), "v={v} upper={upper} err={err}");
+            } else {
+                assert_eq!(upper, v, "exact range must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_precision_still_bounds_error() {
+        let mut h = LatencyHistogram::with_precision(2, 4);
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p90 = h.quantile(0.9).unwrap();
+        let err = (p90 as f64 - 900.0).abs() / 900.0;
+        assert!(err <= h.error_bound(), "p90={p90} err={err}");
+    }
+}

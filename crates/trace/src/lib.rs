@@ -32,7 +32,10 @@ use m3_base::{Cycles, EpId, PeId};
 pub mod chrome;
 pub mod diff;
 pub mod fmt;
+pub mod latency;
 pub mod summary;
+
+pub use latency::LatencyHistogram;
 
 /// The component of the stack that emitted an event. One Chrome "thread"
 /// per component within a PE's "process".
@@ -52,6 +55,8 @@ pub enum Component {
     Pipe,
     /// Application-level phase markers.
     App,
+    /// The m3-serve tier: request service spans on the server PE.
+    Serve,
 }
 
 impl Component {
@@ -65,6 +70,7 @@ impl Component {
             Component::Fs => "fs",
             Component::Pipe => "pipe",
             Component::App => "app",
+            Component::Serve => "serve",
         }
     }
 
@@ -78,6 +84,7 @@ impl Component {
             "fs" => Component::Fs,
             "pipe" => Component::Pipe,
             "app" => Component::App,
+            "serve" => Component::Serve,
             _ => return None,
         })
     }
@@ -92,6 +99,7 @@ impl Component {
             Component::Fs,
             Component::Pipe,
             Component::App,
+            Component::Serve,
         ]
     }
 }
@@ -207,6 +215,15 @@ pub enum EventKind {
         /// Which attempt this is (0-based; teardown actions use 0).
         attempt: u32,
     },
+    /// The serving tier completed one client request; the span runs from the
+    /// request's *scheduled* arrival to its completion, so queueing delay is
+    /// part of the recorded latency (coordinated-omission correction).
+    ServeReq {
+        /// Client id within the load generator.
+        client: u64,
+        /// Operation name (e.g. `"Get"`, `"Put"`, `"Scan"`).
+        op: String,
+    },
     /// The kernel switched the resident VPE of a PE: the outgoing VPE's DTU
     /// state went to its DRAM save area and the incoming VPE's came back,
     /// both through the DTU. The span covers the whole switch.
@@ -240,6 +257,7 @@ impl EventKind {
             EventKind::AppMark { .. } => "app_mark",
             EventKind::FaultInject { .. } => "fault_inject",
             EventKind::Recovery { .. } => "recovery",
+            EventKind::ServeReq { .. } => "serve_req",
             EventKind::CtxSwitch { .. } => "ctx_switch",
         }
     }
@@ -284,6 +302,7 @@ impl Event {
             EventKind::AppMark { what } => format!("mark:{what}"),
             EventKind::FaultInject { fault, .. } => format!("fault:{fault}"),
             EventKind::Recovery { action, .. } => format!("recovery:{action}"),
+            EventKind::ServeReq { op, .. } => format!("serve:{op}"),
             EventKind::CtxSwitch { from, to, .. } => format!("ctx:{from}->{to}"),
         }
     }
@@ -439,6 +458,9 @@ pub mod keys {
     /// Histogram of resident-slice lengths on an overcommitted PE (cycles
     /// between a VPE's restore and its next save-out or exit).
     pub const SLICE_CYCLES: &str = "sched.slice_cycles";
+    /// Latency histogram of request latencies in the serving tier, measured
+    /// from the request's scheduled arrival to its completion.
+    pub const SERVE_LATENCY: &str = "serve.req_latency";
 }
 
 /// A power-of-two-bucket histogram with count/sum/min/max.
@@ -450,6 +472,7 @@ pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum: u64,
+    saturated: bool,
     min: u64,
     max: u64,
 }
@@ -467,6 +490,7 @@ impl Histogram {
             buckets: vec![0; 65],
             count: 0,
             sum: 0,
+            saturated: false,
             min: u64::MAX,
             max: 0,
         }
@@ -484,7 +508,13 @@ impl Histogram {
     pub fn observe(&mut self, value: u64) {
         self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
-        self.sum = self.sum.saturating_add(value);
+        let (sum, overflow) = self.sum.overflowing_add(value);
+        if overflow {
+            self.sum = u64::MAX;
+            self.saturated = true;
+        } else {
+            self.sum = sum;
+        }
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -494,18 +524,27 @@ impl Histogram {
         self.count
     }
 
-    /// Sum of all observations (saturating).
+    /// Whether nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations; clamped to `u64::MAX` on overflow, in which
+    /// case [`Histogram::saturated`] reports it instead of staying silent.
     pub fn sum(&self) -> u64 {
         self.sum
     }
 
-    /// Smallest observation; zero when empty.
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
+    /// Whether the sum overflowed — [`Histogram::mean`] under-reports when
+    /// this is set.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Smallest observation; `None` when empty (a fabricated `0` would be
+    /// indistinguishable from a genuine all-zero series).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
     }
 
     /// Largest observation.
@@ -513,13 +552,10 @@ impl Histogram {
         self.max
     }
 
-    /// Mean observation; zero when empty.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
+    /// Mean observation; `None` when empty. A lower bound of the true mean
+    /// when [`Histogram::saturated`].
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
     /// The non-empty buckets as `(upper_bound_inclusive, count)` pairs.
@@ -540,6 +576,7 @@ impl Histogram {
 struct MetricsInner {
     counters: BTreeMap<(u32, &'static str), u64>,
     hists: BTreeMap<(u32, &'static str), Histogram>,
+    lats: BTreeMap<(u32, &'static str), LatencyHistogram>,
 }
 
 /// Per-PE counters, gauges, and histograms shared across a simulation.
@@ -615,6 +652,62 @@ impl Metrics {
         self.inner.borrow().hists.get(&(pe.raw(), key)).cloned()
     }
 
+    /// Records `value` into the quantile-capable latency histogram `key` of
+    /// `pe` (HDR-style sub-bucketed — use for p50/p99/p999 reporting, where
+    /// the power-of-two [`Metrics::observe`] buckets are too coarse).
+    pub fn observe_latency(&self, pe: PeId, key: &'static str, value: u64) {
+        self.inner
+            .borrow_mut()
+            .lats
+            .entry((pe.raw(), key))
+            .or_default()
+            .observe(value);
+    }
+
+    /// A copy of latency histogram `key` of `pe`, if it has observations.
+    pub fn latency(&self, pe: PeId, key: &'static str) -> Option<LatencyHistogram> {
+        self.inner.borrow().lats.get(&(pe.raw(), key)).cloned()
+    }
+
+    /// Latency histogram `key` merged across all PEs — the system-wide
+    /// distribution figures report quantiles from. `None` if no PE recorded
+    /// under `key`.
+    pub fn merged_latency(&self, key: &'static str) -> Option<LatencyHistogram> {
+        let inner = self.inner.borrow();
+        let mut merged: Option<LatencyHistogram> = None;
+        for ((_, k), h) in inner.lats.iter() {
+            if *k == key {
+                merged.get_or_insert_with(LatencyHistogram::new).merge(h);
+            }
+        }
+        merged
+    }
+
+    /// Renders every latency histogram as a TSV table (one row per PE/key,
+    /// plus a `*` row per key with the cross-PE merge):
+    /// `pe  key  count  saturated  min  mean  p50  p99  p999  max`.
+    pub fn latency_tsv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("pe\tkey\tcount\tsaturated\tmin\tmean\tp50\tp99\tp999\tmax\n");
+        let mut keys: Vec<&'static str> = Vec::new();
+        {
+            let inner = self.inner.borrow();
+            for ((pe, key), h) in inner.lats.iter() {
+                let _ = writeln!(out, "{pe}\t{key}\t{}", latency_row(h));
+                if !keys.contains(key) {
+                    keys.push(key);
+                }
+            }
+        }
+        keys.sort_unstable();
+        for key in keys {
+            if let Some(h) = self.merged_latency(key) {
+                let _ = writeln!(out, "*\t{key}\t{}", latency_row(&h));
+            }
+        }
+        out
+    }
+
     /// The fraction of `total` cycles PE `pe` spent busy
     /// ([`keys::PE_BUSY`] + [`keys::DTU_BUSY`]), clamped to `[0, 1]`.
     pub fn utilization(&self, pe: PeId, total: Cycles) -> f64 {
@@ -634,6 +727,7 @@ impl Metrics {
             .counters
             .keys()
             .chain(inner.hists.keys())
+            .chain(inner.lats.keys())
             .map(|(pe, _)| *pe)
             .collect();
         pes.sort_unstable();
@@ -670,14 +764,22 @@ impl Metrics {
             let inner = self.inner.borrow();
             for ((row_pe, key), h) in inner.hists.iter() {
                 if *row_pe == pe.raw() {
+                    let (min, mean) = match (h.min(), h.mean()) {
+                        (Some(min), Some(mean)) => (min.to_string(), format!("{mean:.1}")),
+                        _ => ("-".to_string(), "-".to_string()),
+                    };
+                    let sat = if h.saturated() { " saturated" } else { "" };
                     let _ = write!(
                         out,
-                        "  {key}[n={} min={} mean={:.1} max={}]",
+                        "  {key}[n={} min={min} mean={mean} max={}{sat}]",
                         h.count(),
-                        h.min(),
-                        h.mean(),
                         h.max()
                     );
+                }
+            }
+            for ((row_pe, key), h) in inner.lats.iter() {
+                if *row_pe == pe.raw() {
+                    let _ = write!(out, "  {key}[{}]", h.summary());
                 }
             }
             let _ = writeln!(out);
@@ -706,6 +808,22 @@ impl Metrics {
             self.total(keys::NOC_WAIT),
             self.total(keys::CTX_SWITCHES),
         )
+    }
+}
+
+/// One TSV row tail for [`Metrics::latency_tsv`]:
+/// `count  saturated  min  mean  p50  p99  p999  max` (no trailing newline).
+fn latency_row(h: &LatencyHistogram) -> String {
+    match (h.min(), h.mean(), h.max()) {
+        (Some(min), Some(mean), Some(max)) => format!(
+            "{}\t{}\t{min}\t{mean:.1}\t{}\t{}\t{}\t{max}",
+            h.count(),
+            h.saturated() as u8,
+            h.quantile(0.50).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.quantile(0.999).unwrap_or(0),
+        ),
+        _ => "0\t0\t-\t-\t-\t-\t-\t-".to_string(),
     }
 }
 
@@ -770,12 +888,46 @@ mod tests {
             h.observe(v);
         }
         assert_eq!(h.count(), 6);
-        assert_eq!(h.min(), 0);
+        assert!(!h.is_empty());
+        assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), 1000);
         assert_eq!(h.sum(), 1010);
+        assert!(!h.saturated());
         let buckets = h.nonzero_buckets();
         // 0 -> bucket 0; 1 -> (1); 2,3 -> (2..3); 4 -> (4..7); 1000 -> (512..1023).
         assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn histogram_empty_is_explicit_and_saturation_flagged() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        let mut h = Histogram::new();
+        h.observe(u64::MAX - 1);
+        assert!(!h.saturated());
+        h.observe(2);
+        assert!(h.saturated(), "overflowed sum must set the flag");
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn metrics_latency_per_pe_and_merged() {
+        let m = Metrics::new();
+        m.observe_latency(PeId::new(1), keys::SERVE_LATENCY, 600_000);
+        m.observe_latency(PeId::new(1), keys::SERVE_LATENCY, 600_000);
+        m.observe_latency(PeId::new(3), keys::SERVE_LATENCY, 1_100_000);
+        let h1 = m.latency(PeId::new(1), keys::SERVE_LATENCY).unwrap();
+        assert_eq!(h1.count(), 2);
+        assert!(m.latency(PeId::new(2), keys::SERVE_LATENCY).is_none());
+        let merged = m.merged_latency(keys::SERVE_LATENCY).unwrap();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.max(), Some(1_100_000));
+        let tsv = m.latency_tsv();
+        assert!(tsv.starts_with("pe\tkey\tcount"), "{tsv}");
+        assert!(tsv.contains("*\tserve.req_latency\t3"), "{tsv}");
+        assert_eq!(tsv, m.latency_tsv(), "tsv must be deterministic");
     }
 
     #[test]

@@ -5,13 +5,16 @@ use std::fmt::Write as _;
 
 use m3_base::Cycles;
 
-use crate::Event;
+use crate::{Event, LatencyHistogram};
 
 #[derive(Default)]
 struct KindRow {
     count: u64,
     span: u64,
     bytes: u64,
+    /// Distribution of the per-event span lengths (events with `dur > 0`),
+    /// for the latency columns of the per-kind table.
+    spans: LatencyHistogram,
 }
 
 fn bytes_of(event: &Event) -> u64 {
@@ -55,6 +58,9 @@ pub fn summarize(events: &[Event]) -> String {
         row.count += 1;
         row.span = row.span.saturating_add(event.dur.as_u64());
         row.bytes = row.bytes.saturating_add(bytes_of(event));
+        if event.dur.as_u64() > 0 {
+            row.spans.observe(event.dur.as_u64());
+        }
         let pe = match event.pe {
             Some(pe) => pe.to_string(),
             None => "sim".to_string(),
@@ -65,14 +71,33 @@ pub fn summarize(events: &[Event]) -> String {
     out.push_str("\nby kind:\n");
     let _ = writeln!(
         out,
-        "  {:<14} {:>8} {:>12} {:>12}",
-        "kind", "count", "span-cycles", "bytes"
+        "  {:<14} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "kind", "count", "span-cycles", "bytes", "min", "p50", "p99", "p999", "max"
     );
     for (tag, row) in &kinds {
+        // Span latency columns come from the sub-bucketed histogram;
+        // kinds with no spans print `-`, never a fabricated 0.
+        let q = |q: f64| match row.spans.quantile(q) {
+            Some(v) => v.to_string(),
+            None => "-".to_string(),
+        };
+        let sat = if row.spans.saturated() {
+            " (span sum saturated)"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
-            "  {:<14} {:>8} {:>12} {:>12}",
-            tag, row.count, row.span, row.bytes
+            "  {:<14} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}{sat}",
+            tag,
+            row.count,
+            row.span,
+            row.bytes,
+            q(0.0),
+            q(0.50),
+            q(0.99),
+            q(0.999),
+            q(1.0),
         );
     }
 
@@ -149,6 +174,33 @@ mod tests {
         assert!(text.contains("2           40          128"), "{text}");
         assert!(text.contains("PE0"), "{text}");
         assert!(text.contains("sim"), "{text}");
+    }
+
+    #[test]
+    fn summarize_latency_columns() {
+        let text = summarize(&sample());
+        // Both msg_send spans are 20 cycles: every quantile is exactly 20.
+        let send_row = text
+            .lines()
+            .find(|l| l.contains("msg_send"))
+            .expect("msg_send row");
+        let cols: Vec<&str> = send_row.split_whitespace().collect();
+        assert_eq!(
+            cols,
+            vec!["msg_send", "2", "40", "128", "20", "20", "20", "20", "20"],
+            "{text}"
+        );
+        // clock_advance has no spans: dashes, not fabricated zeros.
+        let adv_row = text
+            .lines()
+            .find(|l| l.contains("clock_advance"))
+            .expect("clock_advance row");
+        let cols: Vec<&str> = adv_row.split_whitespace().collect();
+        assert_eq!(
+            cols,
+            vec!["clock_advance", "1", "0", "0", "-", "-", "-", "-", "-"],
+            "{text}"
+        );
     }
 
     #[test]

@@ -258,3 +258,58 @@ fn faulted_fig3_run_is_identical_across_runs() {
         "the golden fault plan did not perturb the run"
     );
 }
+
+#[test]
+fn fig9_traced_serving_run_is_identical_across_runs() {
+    // The serving tier stacks a seeded load generator, four concurrent
+    // driver PEs, a service session per driver, and the HDR latency
+    // histogram on top of the kernel/DTU/m3fs path. Two traced runs must
+    // agree on every artifact: the native-format trace, the rendered
+    // per-PE metrics, and the latency table (which includes every
+    // quantile the figure reports).
+    let run_once = || {
+        let out = m3_bench::fig9::traced_serve_run(32);
+        assert!(out.run.requests > 0, "the run served no requests");
+        let events = m3_trace::fmt::parse(&out.trace).expect("own trace parses");
+        (
+            out.run.total,
+            trace_digest(&events),
+            out.metrics,
+            out.latency_tsv,
+        )
+    };
+    let (total_a, digest_a, metrics_a, lat_a) = run_once();
+    let (total_b, digest_b, metrics_b, lat_b) = run_once();
+    assert_eq!(total_a, total_b, "serving makespans diverged");
+    assert_eq!(digest_a, digest_b, "serving traces diverged");
+    assert_eq!(metrics_a, metrics_b, "metrics renders diverged");
+    assert_eq!(lat_a, lat_b, "latency tables diverged");
+}
+
+#[test]
+fn fig9_sweep_is_byte_identical_serial_vs_parallel() {
+    // The harness parallelises only across independent Sims; the assembled
+    // figure — rows, quantiles, capacity verdicts — must not know or care.
+    // (The serial flag is process-global; run the parallel pass first.)
+    let parallel = m3_bench::fig9::run_sweep(&[8, 24]).render();
+    m3_bench::exec::set_serial(true);
+    let serial = m3_bench::fig9::run_sweep(&[8, 24]).render();
+    m3_bench::exec::set_serial(false);
+    assert_eq!(parallel, serial, "fig9 render depends on the harness mode");
+}
+
+#[test]
+fn fig9_seed_changes_the_schedule_but_not_the_contract() {
+    // Different seeds must produce different arrival schedules (the seed
+    // is real entropy for the workload) while the same seed replays
+    // exactly — both halves of the determinism story.
+    let base = m3_serve::run_m3(&m3_serve::ServePlan::closed(16, 2, 200_000, 7));
+    let replay = m3_serve::run_m3(&m3_serve::ServePlan::closed(16, 2, 200_000, 7));
+    let reseeded = m3_serve::run_m3(&m3_serve::ServePlan::closed(16, 2, 200_000, 8));
+    assert_eq!(base.total, replay.total, "same seed must replay exactly");
+    assert_eq!(base.latency.summary(), replay.latency.summary());
+    assert_ne!(
+        base.total, reseeded.total,
+        "a new seed must move the schedule"
+    );
+}

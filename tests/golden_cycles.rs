@@ -1,5 +1,5 @@
 //! Golden cycle-count snapshots: one representative scenario from each of
-//! fig3–fig8, asserted against *exact* simulated totals.
+//! fig3–fig9, asserted against *exact* simulated totals.
 //!
 //! The figure shape tests check ratios and trends; this suite pins the raw
 //! numbers, so any change to simulated semantics — however plausible its
@@ -68,6 +68,27 @@ fn fig8_two_x_overcommit_totals() {
     assert_eq!(run.ctx_switches, 114);
     assert_eq!(run.lat_max, 159_632);
     assert_eq!(run.reads, 64);
+}
+
+#[test]
+fn fig9_serving_point_totals() {
+    // One mid-sweep load point on each OS path: 64 closed-loop clients,
+    // 4 requests each, spread over 4 driver PEs on M3 and one time-shared
+    // CPU on Linux. Behind these numbers sit the whole serving stack —
+    // seeded per-client arrival schedules, session setup, DTU request
+    // messages (pipes on lx), m3fs page I/O (tmpfs on lx), and the
+    // HDR-histogram quantile walk. Any change to protocol costs, scheduling
+    // order, or histogram bucketing moves one of them.
+    let plan = m3_bench::fig9::plan(64);
+    let m3 = m3_serve::run_m3(&plan);
+    assert_eq!(m3.requests, 256);
+    assert_eq!(m3.total.as_u64(), 8_004_395);
+    assert_eq!(m3.quantile(0.50), 2_460);
+    assert_eq!(m3.quantile(0.99), 17_023);
+    let lx = m3_serve::run_lx(&plan);
+    assert_eq!(lx.requests, 256);
+    assert_eq!(lx.total.as_u64(), 8_040_809);
+    assert_eq!(lx.quantile(0.99), 58_623);
 }
 
 #[test]
