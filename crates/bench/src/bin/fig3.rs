@@ -28,6 +28,10 @@ fn main() -> ExitCode {
                 None => return usage("--metrics needs a path"),
             },
             "--serial" => m3_bench::exec::set_serial(true),
+            "--sim-workers" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => m3_bench::exec::set_sim_workers(Some(n)),
+                None => return usage("--sim-workers needs a positive count"),
+            },
             other => return usage(&format!("unknown argument {other}")),
         }
     }
@@ -75,7 +79,7 @@ fn write_file(path: &str, content: &str) -> bool {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("fig3: {msg}");
     eprintln!(
-        "usage: fig3 [--serial] [--trace <out.json>] [--trace-tsv <out.tsv>] [--metrics <out.txt>]"
+        "usage: fig3 [--serial] [--sim-workers N] [--trace <out.json>] [--trace-tsv <out.tsv>] [--metrics <out.txt>]"
     );
     ExitCode::FAILURE
 }

@@ -2,12 +2,20 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--serial" => m3_bench::exec::set_serial(true),
+            "--sim-workers" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => m3_bench::exec::set_sim_workers(Some(n)),
+                None => {
+                    eprintln!("fig5: --sim-workers needs a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("fig5: unknown argument {other}");
-                eprintln!("usage: fig5 [--serial]");
+                eprintln!("usage: fig5 [--serial] [--sim-workers N]");
                 return ExitCode::FAILURE;
             }
         }

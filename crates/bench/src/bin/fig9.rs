@@ -41,6 +41,10 @@ fn main() -> ExitCode {
             },
             "--smoke" => smoke = true,
             "--serial" => m3_bench::exec::set_serial(true),
+            "--sim-workers" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => m3_bench::exec::set_sim_workers(Some(n)),
+                None => return usage("--sim-workers needs a positive count"),
+            },
             other => return usage(&format!("unknown argument {other}")),
         }
     }
@@ -105,7 +109,7 @@ fn write_file(path: &str, content: &str) -> bool {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("fig9: {msg}");
     eprintln!(
-        "usage: fig9 [--serial] [--smoke] [--trace <out.json>] [--trace-tsv <out.tsv>] [--metrics <out.txt>] [--latency-tsv <out.tsv>]"
+        "usage: fig9 [--serial] [--sim-workers N] [--smoke] [--trace <out.json>] [--trace-tsv <out.tsv>] [--metrics <out.txt>] [--latency-tsv <out.tsv>]"
     );
     ExitCode::FAILURE
 }

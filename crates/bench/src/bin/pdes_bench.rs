@@ -1,0 +1,76 @@
+//! Runs the cross-island PDES ring benchmark and prints residency,
+//! digest, and (with `--compare-serial`) the parallel speedup.
+use std::process::ExitCode;
+
+use m3_bench::{exec, pdes_bench};
+
+fn main() -> ExitCode {
+    let mut islands: u32 = 4;
+    let mut compare_serial = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--islands" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 2) {
+                Some(n) => islands = n,
+                None => return usage("--islands needs a count >= 2"),
+            },
+            "--sim-workers" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => exec::set_sim_workers(Some(n)),
+                None => return usage("--sim-workers needs a positive count"),
+            },
+            "--compare-serial" => compare_serial = true,
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let workers = exec::sim_workers().unwrap_or_else(|| exec::workers_for(islands as usize));
+    let run = pdes_bench::run(islands, workers);
+    println!(
+        "== pdes_bench: {islands} islands, {workers} workers, lookahead {} cycles ==",
+        pdes_bench::lookahead(islands).as_u64()
+    );
+    println!(
+        "windows {}  events {}  abandoned {}  end {} cycles  wall {:.1} ms",
+        run.report.windows,
+        run.report.events,
+        run.report.abandoned,
+        run.report.end_time.as_u64(),
+        run.wall_ms
+    );
+    println!(
+        "  {:<7} {:>12} {:>13} {:>10} {:>10} {:>12}",
+        "island", "busy-cycles", "barrier-wait", "events-in", "events-out", "final-now"
+    );
+    for (i, st) in run.report.islands.iter().enumerate() {
+        println!(
+            "  {:<7} {:>12} {:>13} {:>10} {:>10} {:>12}",
+            i,
+            st.advanced.as_u64(),
+            st.barrier_wait.as_u64(),
+            st.events_in,
+            st.events_out,
+            st.final_now.as_u64()
+        );
+    }
+    println!("digest {}", run.digest);
+
+    if compare_serial && workers > 1 {
+        let serial = pdes_bench::run(islands, 1);
+        if serial.digest != run.digest {
+            eprintln!("pdes_bench: serial and parallel digests differ!");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "serial {:.1} ms -> parallel speedup {:.2}x (digests identical)",
+            serial.wall_ms,
+            serial.wall_ms / run.wall_ms
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("pdes_bench: {msg}");
+    eprintln!("usage: pdes_bench [--islands N] [--sim-workers N] [--compare-serial]");
+    ExitCode::FAILURE
+}

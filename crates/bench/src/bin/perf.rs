@@ -10,8 +10,13 @@
 //! Flags:
 //! - `--label <name>`: output file suffix (default `local`).
 //! - `--serial`: run scenarios on one thread (same results, no overlap).
-//! - `--compare-serial`: run the suite a second time serially and report
-//!   the parallel speedup.
+//! - `--sim-workers <N>`: pin the scenario worker count (also settable via
+//!   the `M3_SIM_WORKERS` environment variable).
+//! - `--compare-serial`: run the suite serially first, then in parallel,
+//!   and report per-figure and total speedups. The serial pass seeds the
+//!   per-scenario cost registry, so the parallel pass claims the longest
+//!   scenarios first. Both passes land in the JSON as serial + parallel
+//!   rows.
 //! - `--baseline <path>`: compare the suite total against an earlier
 //!   `BENCH_*.json` and fail if it regressed more than 1.5x.
 
@@ -71,18 +76,33 @@ fn run_suite() -> (Vec<FigureRun>, f64) {
     (runs, total_ms)
 }
 
-fn to_json(label: &str, serial: bool, runs: &[FigureRun], total_ms: f64) -> String {
+fn to_json(
+    label: &str,
+    serial: bool,
+    runs: &[FigureRun],
+    total_ms: f64,
+    serial_pass: Option<(&[FigureRun], f64)>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"label\": \"{label}\",");
     let _ = writeln!(out, "  \"serial\": {serial},");
     let _ = writeln!(out, "  \"workers\": {},", exec::workers_for(usize::MAX));
     let _ = writeln!(out, "  \"total_ms\": {total_ms:.3},");
+    if let Some((_, serial_ms)) = serial_pass {
+        let _ = writeln!(out, "  \"serial_total_ms\": {serial_ms:.3},");
+        let _ = writeln!(out, "  \"speedup\": {:.3},", serial_ms / total_ms);
+    }
     out.push_str("  \"figures\": [\n");
     for (i, run) in runs.iter().enumerate() {
         out.push_str("    {\n");
         let _ = writeln!(out, "      \"name\": \"{}\",", run.name);
         let _ = writeln!(out, "      \"wall_ms\": {:.3},", run.wall_ms);
+        if let Some((serial_runs, _)) = serial_pass {
+            let serial_ms = serial_runs[i].wall_ms;
+            let _ = writeln!(out, "      \"serial_wall_ms\": {serial_ms:.3},");
+            let _ = writeln!(out, "      \"speedup\": {:.3},", serial_ms / run.wall_ms);
+        }
         let scenarios: Vec<String> = run
             .scenario_ms
             .iter()
@@ -93,6 +113,7 @@ fn to_json(label: &str, serial: bool, runs: &[FigureRun], total_ms: f64) -> Stri
         let _ = writeln!(out, "      \"tasks_spawned\": {},", g.tasks_spawned);
         let _ = writeln!(out, "      \"task_polls\": {},", g.task_polls);
         let _ = writeln!(out, "      \"timers_scheduled\": {},", g.timers_scheduled);
+        let _ = writeln!(out, "      \"timers_deduped\": {},", g.timers_deduped);
         let _ = writeln!(out, "      \"peak_live_tasks\": {},", g.peak_live_tasks);
         let _ = writeln!(
             out,
@@ -144,16 +165,31 @@ fn main() -> ExitCode {
                 exec::set_serial(true);
                 forced_serial = true;
             }
+            "--sim-workers" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => exec::set_sim_workers(Some(n)),
+                None => return usage("--sim-workers needs a positive count"),
+            },
             "--compare-serial" => compare_serial = true,
             other => return usage(&format!("unknown argument {other}")),
         }
     }
 
+    // The serial pass runs first so its per-scenario costs seed the
+    // longest-first claim order of the parallel pass.
+    let serial_pass = if compare_serial && !forced_serial {
+        exec::set_serial(true);
+        let pass = run_suite();
+        exec::set_serial(false);
+        Some(pass)
+    } else {
+        None
+    };
+
     let serial = forced_serial || exec::workers_for(usize::MAX) == 1;
     let (runs, total_ms) = run_suite();
 
     println!("== perf: fig3-fig9 host wall clock ==");
-    for run in &runs {
+    for (i, run) in runs.iter().enumerate() {
         println!(
             "{:>5}  {:>10.1} ms  {:>3} scenarios  {:>8} tasks  {:>9} polls  peak {} live / {} timers",
             run.name,
@@ -164,21 +200,31 @@ fn main() -> ExitCode {
             run.gauges.peak_live_tasks,
             run.gauges.peak_pending_timers,
         );
+        if let Some((serial_runs, _)) = &serial_pass {
+            println!(
+                "       serial {:>7.1} ms -> speedup {:.2}x",
+                serial_runs[i].wall_ms,
+                serial_runs[i].wall_ms / run.wall_ms
+            );
+        }
     }
     println!("total  {total_ms:>10.1} ms");
-
-    if compare_serial {
-        exec::set_serial(true);
-        let (_, serial_ms) = run_suite();
-        exec::set_serial(forced_serial);
+    if let Some((_, serial_ms)) = &serial_pass {
         println!(
-            "serial {serial_ms:>10.1} ms -> parallel speedup {:.2}x",
-            serial_ms / total_ms
+            "serial {serial_ms:>10.1} ms -> parallel speedup {:.2}x ({} workers)",
+            serial_ms / total_ms,
+            exec::workers_for(usize::MAX)
         );
     }
 
     let path = repo_root().join(format!("BENCH_{label}.json"));
-    let json = to_json(&label, serial, &runs, total_ms);
+    let json = to_json(
+        &label,
+        serial,
+        &runs,
+        total_ms,
+        serial_pass.as_ref().map(|(r, ms)| (r.as_slice(), *ms)),
+    );
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("perf: cannot write {}: {e}", path.display());
         return ExitCode::FAILURE;
@@ -209,6 +255,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("perf: {msg}");
-    eprintln!("usage: perf [--label <name>] [--serial] [--compare-serial] [--baseline <json>]");
+    eprintln!("usage: perf [--label <name>] [--serial] [--sim-workers N] [--compare-serial] [--baseline <json>]");
     ExitCode::FAILURE
 }

@@ -170,7 +170,7 @@ pub fn run() -> Series {
         .iter()
         .map(|&f| -> Job<OvercommitRun> { Box::new(move || overcommit_run(f, true)) })
         .collect();
-    let runs = exec::run_jobs(jobs);
+    let runs = exec::run_labeled_jobs("fig8", jobs);
     let rows = runs
         .iter()
         .map(|r| {

@@ -17,6 +17,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod pdes_bench;
 pub mod report;
 
 pub use report::{Bar, Figure, Group, Series};

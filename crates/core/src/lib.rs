@@ -120,13 +120,26 @@ impl System {
     /// Panics if the configuration has fewer than three PEs (kernel, fs,
     /// and at least one application).
     pub fn boot(cfg: SystemConfig) -> System {
+        System::boot_in(Sim::new(), cfg)
+    }
+
+    /// Like [`System::boot`], but inside an existing simulation. The PDES
+    /// islands use this to place one full system per island: the island's
+    /// windowed executor then drives the kernel, DTUs, and services, while
+    /// cross-island traffic travels as timestamped port events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has fewer than three PEs (kernel, fs,
+    /// and at least one application).
+    pub fn boot_in(sim: Sim, cfg: SystemConfig) -> System {
         assert!(cfg.pes >= 3, "need kernel + fs + application PEs");
         let mut pcfg = PlatformConfig::xtensa(cfg.pes);
         pcfg.noc = cfg.noc.clone();
         for _ in 0..cfg.accel_pes {
             pcfg = pcfg.with_pe(PeType::FftAccel);
         }
-        let platform = Platform::new(pcfg);
+        let platform = Platform::new_in(sim, pcfg);
         let kernel = Kernel::start(&platform, PeId::new(0));
         kernel.set_overcommit(cfg.overcommit);
         let registry = ProgramRegistry::new();

@@ -29,6 +29,7 @@ mod endpoint;
 mod message;
 mod ringbuf;
 pub mod timing;
+pub mod wire;
 
 pub use dtu::{Dtu, DtuSystem, KernelToken, MemKind, NO_CTX};
 pub use endpoint::EpConfig;

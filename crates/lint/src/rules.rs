@@ -256,6 +256,11 @@ pub fn check_file(path: &Path, source: &str) -> Vec<Finding> {
     // Cost accounting: any cost/timing module in a simulation crate.
     let file_name = path.file_name().and_then(|f| f.to_str()).unwrap_or("");
     let costs_applies = sim_scope && matches!(file_name, "costs.rs" | "timing.rs");
+    // The PDES coordinator is the one sanctioned `std::thread` user in the
+    // simulation crates: it runs whole islands on worker threads while the
+    // conservative window protocol keeps simulated time deterministic
+    // (DESIGN.md §5i). Everywhere else in sim scope OS threads stay banned.
+    let pdes_coordinator = class.krate == "sim" && file_name == "pdes.rs";
 
     for (i, tok) in tree.code.iter().enumerate() {
         if tree.test_mask[i] || tok.kind != Kind::Ident {
@@ -282,11 +287,13 @@ pub fn check_file(path: &Path, source: &str) -> Vec<Finding> {
                     && tree.is_punct(i + 2, ':')
                     && tree.is_ident(i + 3, b)
             };
-            if path_seq("thread", "spawn") || path_seq("std", "thread") {
+            if (path_seq("thread", "spawn") || path_seq("std", "thread")) && !pdes_coordinator {
                 push(
                     "determinism",
                     tok.line,
-                    "OS threads break deterministic scheduling: use Sim::spawn tasks instead"
+                    "OS threads break deterministic scheduling: use Sim::spawn tasks \
+                     (std::thread is confined to the PDES coordinator, \
+                     crates/sim/src/pdes.rs)"
                         .to_string(),
                 );
             }
@@ -450,6 +457,23 @@ mod tests {
         );
         assert!(rules_of(&f).contains(&"determinism"));
         assert!(f.len() >= 2);
+    }
+
+    #[test]
+    fn thread_is_confined_to_the_pdes_coordinator() {
+        let src = "pub fn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+        // The coordinator module itself is sanctioned...
+        assert!(rules_of(&check("crates/sim/src/pdes.rs", src)).is_empty());
+        // ...but nowhere else in the sim crates, including the rest of
+        // crates/sim and a pdes.rs that lives in another crate.
+        assert_eq!(
+            rules_of(&check("crates/sim/src/executor.rs", src)),
+            vec!["determinism"]
+        );
+        assert_eq!(
+            rules_of(&check("crates/noc/src/pdes.rs", src)),
+            vec!["determinism"]
+        );
     }
 
     #[test]

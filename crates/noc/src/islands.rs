@@ -1,0 +1,243 @@
+//! Island partitioning for conservative-lookahead parallel simulation.
+//!
+//! A conservative PDES engine (parti-gem5, MGSim style) may run disjoint
+//! parts of the mesh concurrently as long as no event can cross between
+//! them in less time than the synchronization window. The NoC provides
+//! that guarantee structurally: every cross-island transfer pays at least
+//! the injection port plus one router hop plus one wire cycle, so the
+//! minimum cross-island delivery latency is a sound *lookahead*.
+//!
+//! Islands are contiguous column blocks of the mesh. With XY routing a
+//! message leaves its source column block exactly once, so column blocks
+//! also minimize the number of boundary links — and they keep each
+//! island's node set an interval of PE ids, which makes the partition easy
+//! to reason about in traces.
+
+use m3_base::cycles::Cycles;
+use m3_base::PeId;
+
+use crate::network::NocConfig;
+use crate::topology::Topology;
+
+/// A partition of the mesh into contiguous column-block islands.
+///
+/// # Examples
+///
+/// ```
+/// use m3_base::PeId;
+/// use m3_noc::{IslandMap, NocConfig, Topology};
+///
+/// let map = IslandMap::columns(Topology::new(4, 4, 16), 2);
+/// assert_eq!(map.count(), 2);
+/// assert_eq!(map.island_of(PeId::new(1)), 0); // column 1
+/// assert_eq!(map.island_of(PeId::new(2)), 1); // column 2
+/// // Adjacent columns: injection port + 1 hop @ 3 cycles + 1 wire cycle.
+/// assert_eq!(
+///     map.lookahead(&NocConfig::default()),
+///     m3_base::Cycles::new(7)
+/// );
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IslandMap {
+    topo: Topology,
+    /// `first_col[i]` is the leftmost column of island `i`; a final
+    /// sentinel entry holds the mesh width, so island `i` owns columns
+    /// `first_col[i] .. first_col[i + 1]`.
+    first_col: Vec<u32>,
+}
+
+impl IslandMap {
+    /// Splits `topo` into (up to) `islands` contiguous column blocks.
+    ///
+    /// Wide islands come first when the width does not divide evenly.
+    /// When `islands` exceeds the mesh width the count is clamped — one
+    /// column is the finest partition XY routing can isolate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `islands` is zero.
+    pub fn columns(topo: Topology, islands: u32) -> IslandMap {
+        assert!(islands > 0, "need at least one island");
+        let islands = islands.min(topo.width());
+        let base = topo.width() / islands;
+        let extra = topo.width() % islands;
+        let mut first_col = Vec::with_capacity(islands as usize + 1);
+        let mut col = 0;
+        for i in 0..islands {
+            first_col.push(col);
+            col += base + u32::from(i < extra);
+        }
+        first_col.push(topo.width());
+        IslandMap { topo, first_col }
+    }
+
+    /// Number of islands in the partition.
+    pub fn count(&self) -> u32 {
+        self.first_col.len() as u32 - 1
+    }
+
+    /// The topology being partitioned.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The island owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the mesh.
+    pub fn island_of(&self, node: PeId) -> u32 {
+        let x = self.topo.coord(node).x;
+        // partition_point: first island whose start column is past x.
+        self.first_col.partition_point(|&c| c <= x) as u32 - 1
+    }
+
+    /// The nodes of island `i`, in PE-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not an island of this map.
+    pub fn nodes_of(&self, i: u32) -> Vec<PeId> {
+        let (lo, hi) = (self.first_col[i as usize], self.first_col[i as usize + 1]);
+        (0..self.topo.node_count())
+            .map(PeId::new)
+            .filter(|&n| {
+                let x = self.topo.coord(n).x;
+                (lo..hi).contains(&x)
+            })
+            .collect()
+    }
+
+    /// The minimum XY hop count between any two nodes in different islands.
+    ///
+    /// `None` for a single-island map (nothing ever crosses).
+    pub fn min_cross_hops(&self) -> Option<u32> {
+        if self.count() < 2 {
+            return None;
+        }
+        // Column blocks: the closest cross-island pair sits on the two
+        // sides of a block boundary, one hop apart — unless a boundary
+        // column has no occupied neighbour row, so check exhaustively.
+        let mut min = None;
+        for a in 0..self.topo.node_count() {
+            for b in (a + 1)..self.topo.node_count() {
+                let (a, b) = (PeId::new(a), PeId::new(b));
+                if self.island_of(a) != self.island_of(b) {
+                    let h = self.topo.hops(a, b);
+                    min = Some(min.map_or(h, |m: u32| m.min(h)));
+                }
+            }
+        }
+        min
+    }
+
+    /// The sound lookahead for this partition under `cfg`: the minimum
+    /// time between a cross-island transfer being issued and its first
+    /// observable effect on the destination island.
+    ///
+    /// Derivation, following [`crate::Noc::schedule`]: the head flit pays
+    /// the injection port plus one router per hop (`(hops + 1) *
+    /// hop_latency`), and even a zero-byte message pays at least one wire
+    /// cycle for the packet overhead. Contention and fault delays only
+    /// *increase* latency, so they never invalidate the bound. An engine
+    /// synchronizing islands every `lookahead` cycles therefore never
+    /// delivers an event into a window that has already run.
+    ///
+    /// A single-island map has no cross traffic; the engine may pick any
+    /// window width, so this returns the uncontended single-hop latency
+    /// as a reasonable default.
+    pub fn lookahead(&self, cfg: &NocConfig) -> Cycles {
+        let hops = self.min_cross_hops().unwrap_or(1);
+        let head = cfg.hop_latency.as_u64() * u64::from(hops + 1);
+        let min_wire = cfg.packet_overhead.div_ceil(cfg.bytes_per_cycle).max(1);
+        Cycles::new(head + min_wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_all_nodes() {
+        let map = IslandMap::columns(Topology::new(4, 4, 16), 2);
+        assert_eq!(map.count(), 2);
+        let mut all: Vec<PeId> = map.nodes_of(0);
+        all.extend(map.nodes_of(1));
+        all.sort();
+        assert_eq!(all, (0..16).map(PeId::new).collect::<Vec<_>>());
+        for n in 0..16 {
+            let n = PeId::new(n);
+            let i = map.island_of(n);
+            assert!(map.nodes_of(i).contains(&n));
+        }
+    }
+
+    #[test]
+    fn uneven_split_gives_extra_columns_to_first_islands() {
+        let map = IslandMap::columns(Topology::new(5, 4, 20), 2);
+        // 5 columns -> 3 + 2.
+        assert_eq!(map.nodes_of(0).len(), 12);
+        assert_eq!(map.nodes_of(1).len(), 8);
+    }
+
+    #[test]
+    fn island_count_clamps_to_width() {
+        let map = IslandMap::columns(Topology::new(3, 3, 9), 8);
+        assert_eq!(map.count(), 3);
+        for i in 0..3 {
+            assert_eq!(map.nodes_of(i).len(), 3);
+        }
+    }
+
+    #[test]
+    fn single_island_has_no_cross_hops() {
+        let map = IslandMap::columns(Topology::new(4, 4, 16), 1);
+        assert_eq!(map.min_cross_hops(), None);
+        // Default lookahead still sound and non-zero.
+        assert!(map.lookahead(&NocConfig::default()) > Cycles::ZERO);
+    }
+
+    #[test]
+    fn adjacent_column_blocks_are_one_hop_apart() {
+        let map = IslandMap::columns(Topology::new(4, 4, 16), 4);
+        assert_eq!(map.min_cross_hops(), Some(1));
+    }
+
+    #[test]
+    fn lookahead_matches_schedule_minimum() {
+        use crate::network::Noc;
+        let topo = Topology::new(4, 4, 16);
+        let map = IslandMap::columns(topo.clone(), 2);
+        let cfg = NocConfig::default();
+        let la = map.lookahead(&cfg);
+        // No cross-island transfer may complete sooner than the lookahead.
+        let noc = Noc::new(topo, cfg);
+        for a in 0..16 {
+            for b in 0..16 {
+                let (a, b) = (PeId::new(a), PeId::new(b));
+                if map.island_of(a) != map.island_of(b) {
+                    let t = noc.schedule(Cycles::ZERO, a, b, 0);
+                    assert!(t.completes_at >= la, "{a}->{b}: {t:?} vs {la}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_scales_with_separation() {
+        let topo = Topology::new(8, 2, 16);
+        let near = IslandMap::columns(topo.clone(), 8);
+        let far = IslandMap::columns(topo, 2);
+        let cfg = NocConfig::default();
+        // Same minimum: both have adjacent boundary columns.
+        assert_eq!(near.lookahead(&cfg), far.lookahead(&cfg));
+        assert_eq!(near.lookahead(&cfg), Cycles::new(2 * 3 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one island")]
+    fn zero_islands_panics() {
+        IslandMap::columns(Topology::new(2, 2, 4), 0);
+    }
+}

@@ -17,10 +17,12 @@
 //! and serialization under load, exercised by the Figure 6 scalability
 //! experiment).
 
+mod islands;
 mod network;
 mod routing;
 mod topology;
 
+pub use islands::IslandMap;
 pub use network::{Noc, NocConfig, Transfer};
 pub use routing::{route, Link};
 pub use topology::{Coord, Topology};

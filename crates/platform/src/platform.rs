@@ -87,7 +87,14 @@ impl Platform {
     /// DTU per node, the DRAM backing store, and one remotely accessible
     /// data SPM per PE.
     pub fn new(cfg: PlatformConfig) -> Platform {
-        let sim = Sim::new();
+        Platform::new_in(Sim::new(), cfg)
+    }
+
+    /// Like [`Platform::new`], but builds the platform inside an existing
+    /// simulation. The PDES islands use this: each island's `Sim` is
+    /// created by the coordinator, and the platform must share it so the
+    /// windowed executor drives the platform's timers.
+    pub fn new_in(sim: Sim, cfg: PlatformConfig) -> Platform {
         let nodes = cfg.pes.len() as u32 + 1;
         let noc = Noc::new(Topology::with_nodes(nodes), cfg.noc.clone());
         let dtus = DtuSystem::new(sim.clone(), noc);

@@ -19,16 +19,26 @@ use crate::Sim;
 ///
 /// The future is polled before the timer on every wake, so a result that is
 /// ready exactly at the deadline still wins the race (deterministically).
+///
+/// The deadline is (re-)registered on every pending poll with the poll's
+/// *current* waker — a one-shot registration would go stale if the future
+/// is later polled through a different waker, and the timeout would wake
+/// the wrong task. The executor deduplicates re-registrations of an
+/// unchanged deadline by the same task (`timers_deduped`), so the hot
+/// path — a raced receive re-polled thousands of times per timeout window
+/// — arms exactly one timer instead of one per poll.
 pub async fn with_deadline<F: Future>(sim: &Sim, deadline: Cycles, fut: F) -> Option<F::Output> {
     let mut fut = Box::pin(fut);
-    let mut timer = Box::pin(sim.sleep_until(deadline));
+    let sim = sim.clone();
     std::future::poll_fn(move |cx| {
         if let Poll::Ready(v) = fut.as_mut().poll(cx) {
             return Poll::Ready(Some(v));
         }
-        if timer.as_mut().poll(cx).is_ready() {
+        let now = sim.now();
+        if now >= deadline {
             return Poll::Ready(None);
         }
+        sim.schedule_wake(deadline - now, cx.waker().clone());
         Poll::Pending
     })
     .await

@@ -2,7 +2,7 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -111,6 +111,13 @@ struct Inner {
     /// `BinaryHeap` a min-heap; the sequence number keeps same-cycle events in
     /// scheduling order, which is what makes runs deterministic.
     timers: BinaryHeap<Reverse<(Cycles, u64, TimerEntry)>>,
+    /// Mirror of the heap for deduplication: every armed deadline maps to
+    /// the wakers registered at it. A re-registration of an *unchanged*
+    /// deadline by the same task (`Waker::will_wake`) is dropped — the
+    /// armed entry will deliver the identical wake, so skipping the push is
+    /// behavior-preserving while keeping the heap (and `timers_scheduled`)
+    /// from ballooning under deadline-racing loops.
+    armed: BTreeMap<Cycles, Vec<Waker>>,
     stats: Stats,
     /// Host-side gauges, merged into [`gauges`] after every run/settle call
     /// and on drop. `reported` remembers what was already contributed so
@@ -118,6 +125,7 @@ struct Inner {
     spawned: u64,
     polls: u64,
     timers_scheduled: u64,
+    timers_deduped: u64,
     peak_tasks: u64,
     peak_timers: u64,
     reported: gauges::Gauges,
@@ -128,11 +136,50 @@ impl Inner {
     /// number. Both the initial registration and the re-queue paths (limit
     /// reached in `run_inner`, slack exceeded in `settle`) go through here,
     /// so the (deadline, sequence) ordering semantics cannot drift apart.
+    /// The dedupe mirror is kept in sync: `armed` only ever names wakers
+    /// that have a live heap entry.
     fn push_timer(&mut self, deadline: Cycles, entry: TimerEntry) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.armed
+            .entry(deadline)
+            .or_default()
+            .push(entry.0.clone());
         self.timers.push(Reverse((deadline, seq, entry)));
         self.peak_timers = self.peak_timers.max(self.timers.len() as u64);
+    }
+
+    /// Pops the earliest timer entry, removing it from the dedupe mirror.
+    fn pop_timer(&mut self) -> Option<(Cycles, u64, TimerEntry)> {
+        let Reverse((deadline, seq, entry)) = self.timers.pop()?;
+        if let Some(wakers) = self.armed.get_mut(&deadline) {
+            if let Some(pos) = wakers.iter().position(|w| w.will_wake(&entry.0)) {
+                wakers.swap_remove(pos);
+            }
+            if wakers.is_empty() {
+                self.armed.remove(&deadline);
+            }
+        }
+        Some((deadline, seq, entry))
+    }
+
+    /// Whether a timer for the same task is already armed at `deadline`.
+    /// Firing that entry wakes the task exactly like the new registration
+    /// would (wake-ups between polls are deduplicated anyway), so the
+    /// duplicate push can be skipped without changing any schedule.
+    fn already_armed(&self, deadline: Cycles, waker: &Waker) -> bool {
+        self.armed
+            .get(&deadline)
+            .is_some_and(|ws| ws.iter().any(|w| w.will_wake(waker)))
+    }
+
+    /// The earliest moment something can happen: `now` while tasks are
+    /// still queued ready, otherwise the next timer deadline.
+    fn next_event_time(&self, ready_empty: bool) -> Option<Cycles> {
+        if !ready_empty {
+            return Some(self.now);
+        }
+        self.timers.peek().map(|Reverse((d, _, _))| *d)
     }
 
     fn live_tasks(&self) -> u64 {
@@ -147,6 +194,7 @@ impl Inner {
             tasks_spawned: self.spawned,
             task_polls: self.polls,
             timers_scheduled: self.timers_scheduled,
+            timers_deduped: self.timers_deduped,
             peak_live_tasks: self.peak_tasks,
             peak_pending_timers: self.peak_timers,
         };
@@ -222,10 +270,12 @@ impl Sim {
                 slots: Vec::new(),
                 free: Vec::new(),
                 timers: BinaryHeap::new(),
+                armed: BTreeMap::new(),
                 stats: Stats::new(),
                 spawned: 0,
                 polls: 0,
                 timers_scheduled: 0,
+                timers_deduped: 0,
                 peak_tasks: 0,
                 peak_timers: 0,
                 reported: gauges::Gauges::default(),
@@ -362,9 +412,20 @@ impl Sim {
     }
 
     /// Registers `waker` to fire `delay` cycles from now.
+    ///
+    /// Re-registering an unchanged deadline for the same task is free: the
+    /// already-armed entry delivers the identical wake-up, so the duplicate
+    /// is counted in `timers_deduped` and dropped instead of growing the
+    /// heap (deadline-racing loops — `with_deadline` retries against a
+    /// fixed deadline, watchdogs re-arming their detection point — would
+    /// otherwise re-push the same timer every iteration).
     pub fn schedule_wake(&self, delay: Cycles, waker: Waker) {
         let mut inner = self.inner.borrow_mut();
         let deadline = inner.now + delay;
+        if inner.already_armed(deadline, &waker) {
+            inner.timers_deduped += 1;
+            return;
+        }
         inner.timers_scheduled += 1;
         inner.push_timer(deadline, TimerEntry(waker));
     }
@@ -409,6 +470,87 @@ impl Sim {
         self.run_inner(Some(limit))
     }
 
+    /// The earliest moment this simulation can make progress: `now` while
+    /// ready tasks are queued, otherwise the next pending timer deadline
+    /// (daemon timers included). `None` means nothing can happen without an
+    /// external wake-up — every task is blocked on a notification.
+    ///
+    /// This is the quantity a conservative PDES coordinator aggregates
+    /// across islands to place the next window barrier.
+    pub fn next_event_time(&self) -> Option<Cycles> {
+        let ready_empty = self.ready.lock().is_empty();
+        self.inner.borrow().next_event_time(ready_empty)
+    }
+
+    /// Number of live non-daemon tasks.
+    pub fn live_regular(&self) -> usize {
+        self.inner.borrow().live_regular
+    }
+
+    /// Names of the live non-daemon tasks (stall diagnostics across PDES
+    /// islands; the single-Sim run loop reports the same list through
+    /// [`SimState::Stalled`]).
+    pub fn regular_task_names(&self) -> Vec<String> {
+        self.inner
+            .borrow()
+            .slots
+            .iter()
+            .filter_map(|s| s.task.as_ref())
+            .filter(|t| !t.daemon)
+            .map(|t| t.name.to_string())
+            .collect()
+    }
+
+    /// Runs every ready task and every timer with deadline `<= end`, then
+    /// returns with the clock resting on the last processed event — it is
+    /// *not* advanced to `end` when nothing happens there, so the trace
+    /// (including `ClockAdvance` events) is exactly what an unwindowed run
+    /// of the same work would record, independent of where the window
+    /// barriers fall.
+    ///
+    /// Unlike [`Sim::run`] this keeps going when only daemons remain: in a
+    /// windowed multi-island run another island's tasks may still be live,
+    /// and the single-Sim run loop fires daemon timers in that situation
+    /// too. The PDES coordinator ([`crate::pdes`]) owns the
+    /// all-islands-finished decision.
+    pub fn run_window(&self, end: Cycles) {
+        loop {
+            loop {
+                let next = self.ready.lock().pop_front();
+                let Some(id) = next else { break };
+                self.poll_task(id);
+            }
+            let mut inner = self.inner.borrow_mut();
+            match inner.timers.peek() {
+                Some(Reverse((deadline, _, _))) if *deadline <= end => {}
+                _ => return,
+            }
+            let (deadline, _, entry) = inner.pop_timer().expect("timer peeked above");
+            debug_assert!(deadline >= inner.now, "time must be monotonic");
+            let from = inner.now;
+            inner.now = deadline;
+            if from != deadline {
+                self.recorder.record_with(|| Event {
+                    at: deadline,
+                    dur: Cycles::ZERO,
+                    pe: None,
+                    comp: Component::Sched,
+                    kind: EventKind::ClockAdvance { from },
+                });
+            }
+            drop(inner);
+            entry.0.wake();
+        }
+    }
+
+    /// Contributes this simulation's unreported gauge deltas to the
+    /// process-wide totals. Run/settle calls do this automatically; a
+    /// window-stepped island (which never goes through them) flushes here
+    /// when its run ends.
+    pub fn flush_gauges(&self) {
+        self.inner.borrow_mut().flush_gauges();
+    }
+
     /// Lets daemon tasks finish in-flight work after [`Sim::run`] returned:
     /// keeps processing ready tasks and timers — ignoring whether any
     /// regular task is alive — until no timer is pending or the clock would
@@ -428,7 +570,7 @@ impl Sim {
                 self.poll_task(id);
             }
             let mut inner = self.inner.borrow_mut();
-            let Some(Reverse((deadline, _, entry))) = inner.timers.pop() else {
+            let Some((deadline, _, entry)) = inner.pop_timer() else {
                 return;
             };
             if deadline > limit {
@@ -525,7 +667,7 @@ impl Sim {
             if inner.live_regular == 0 {
                 return SimState::Finished;
             }
-            let Some(Reverse((deadline, _, entry))) = inner.timers.pop() else {
+            let Some((deadline, _, entry)) = inner.pop_timer() else {
                 let stalled = inner
                     .slots
                     .iter()

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static TASKS_SPAWNED: AtomicU64 = AtomicU64::new(0);
 static TASK_POLLS: AtomicU64 = AtomicU64::new(0);
 static TIMERS_SCHEDULED: AtomicU64 = AtomicU64::new(0);
+static TIMERS_DEDUPED: AtomicU64 = AtomicU64::new(0);
 static PEAK_LIVE_TASKS: AtomicU64 = AtomicU64::new(0);
 static PEAK_PENDING_TIMERS: AtomicU64 = AtomicU64::new(0);
 
@@ -25,6 +26,10 @@ pub struct Gauges {
     pub task_polls: u64,
     /// Total timers registered.
     pub timers_scheduled: u64,
+    /// Timer registrations skipped because an identical (deadline, waker)
+    /// entry was already armed — churn the dedupe in
+    /// [`crate::Sim::schedule_wake`] absorbed.
+    pub timers_deduped: u64,
     /// Highest number of concurrently live tasks in any single `Sim`.
     pub peak_live_tasks: u64,
     /// Highest number of pending timers in any single `Sim`.
@@ -41,6 +46,7 @@ impl Gauges {
             tasks_spawned: self.tasks_spawned.wrapping_sub(earlier.tasks_spawned),
             task_polls: self.task_polls.wrapping_sub(earlier.task_polls),
             timers_scheduled: self.timers_scheduled.wrapping_sub(earlier.timers_scheduled),
+            timers_deduped: self.timers_deduped.wrapping_sub(earlier.timers_deduped),
             peak_live_tasks: self.peak_live_tasks,
             peak_pending_timers: self.peak_pending_timers,
         }
@@ -52,6 +58,7 @@ pub(crate) fn merge(g: Gauges) {
     TASKS_SPAWNED.fetch_add(g.tasks_spawned, Ordering::Relaxed);
     TASK_POLLS.fetch_add(g.task_polls, Ordering::Relaxed);
     TIMERS_SCHEDULED.fetch_add(g.timers_scheduled, Ordering::Relaxed);
+    TIMERS_DEDUPED.fetch_add(g.timers_deduped, Ordering::Relaxed);
     PEAK_LIVE_TASKS.fetch_max(g.peak_live_tasks, Ordering::Relaxed);
     PEAK_PENDING_TIMERS.fetch_max(g.peak_pending_timers, Ordering::Relaxed);
 }
@@ -66,6 +73,7 @@ pub fn snapshot() -> Gauges {
         tasks_spawned: TASKS_SPAWNED.load(Ordering::Relaxed),
         task_polls: TASK_POLLS.load(Ordering::Relaxed),
         timers_scheduled: TIMERS_SCHEDULED.load(Ordering::Relaxed),
+        timers_deduped: TIMERS_DEDUPED.load(Ordering::Relaxed),
         peak_live_tasks: PEAK_LIVE_TASKS.load(Ordering::Relaxed),
         peak_pending_timers: PEAK_PENDING_TIMERS.load(Ordering::Relaxed),
     }

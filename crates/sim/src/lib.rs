@@ -31,6 +31,7 @@ mod deadline;
 mod executor;
 pub mod gauges;
 mod notify;
+pub mod pdes;
 mod stats;
 
 pub use channel::{channel, Receiver, Sender};

@@ -113,6 +113,15 @@ fn kind_fields(kind: &EventKind) -> Vec<String> {
         EventKind::CtxSwitch { from, to, bytes } => {
             vec![from.to_string(), to.to_string(), bytes.to_string()]
         }
+        EventKind::IslandWindow {
+            island,
+            advanced,
+            waited,
+        } => vec![
+            island.to_string(),
+            advanced.as_u64().to_string(),
+            waited.as_u64().to_string(),
+        ],
     }
 }
 
@@ -260,6 +269,11 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Event, String> {
             from: num32(f, 0, line_no)?,
             to: num32(f, 1, line_no)?,
             bytes: num(f, 2, line_no)?,
+        },
+        "island_window" => EventKind::IslandWindow {
+            island: num32(f, 0, line_no)?,
+            advanced: Cycles::new(num(f, 1, line_no)?),
+            waited: Cycles::new(num(f, 2, line_no)?),
         },
         other => return Err(format!("line {line_no}: unknown event kind {other:?}")),
     };

@@ -235,6 +235,19 @@ pub enum EventKind {
         /// Architectural-state bytes moved to/from the save area.
         bytes: u64,
     },
+    /// One conservative-PDES synchronization window as executed by one
+    /// island: how far the island's local clock moved inside the window
+    /// (busy residency) and how long it idled between its last local event
+    /// and the window barrier. Both are simulated quantities, so the event
+    /// stream is identical for every worker count.
+    IslandWindow {
+        /// Island id within the partition.
+        island: u32,
+        /// Cycles the island's clock advanced inside the window.
+        advanced: Cycles,
+        /// Cycles between the island's final local time and the barrier.
+        waited: Cycles,
+    },
 }
 
 impl EventKind {
@@ -259,6 +272,7 @@ impl EventKind {
             EventKind::Recovery { .. } => "recovery",
             EventKind::ServeReq { .. } => "serve_req",
             EventKind::CtxSwitch { .. } => "ctx_switch",
+            EventKind::IslandWindow { .. } => "island_window",
         }
     }
 }
@@ -304,6 +318,7 @@ impl Event {
             EventKind::Recovery { action, .. } => format!("recovery:{action}"),
             EventKind::ServeReq { op, .. } => format!("serve:{op}"),
             EventKind::CtxSwitch { from, to, .. } => format!("ctx:{from}->{to}"),
+            EventKind::IslandWindow { island, .. } => format!("island:{island}"),
         }
     }
 }

@@ -105,6 +105,44 @@ pub fn summarize(events: &[Event]) -> String {
     for (pe, count) in &pes {
         let _ = writeln!(out, "  {pe:<6} {count:>8} events");
     }
+
+    // PDES runs record one island_window event per island per window;
+    // aggregate them into busy/idle residency so island imbalance is
+    // visible from the same pipeline. Serial traces have none — skip.
+    let mut islands: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+    for event in events {
+        if let crate::EventKind::IslandWindow {
+            island,
+            advanced,
+            waited,
+        } = &event.kind
+        {
+            let row = islands.entry(*island).or_default();
+            row.0 += 1;
+            row.1 = row.1.saturating_add(advanced.as_u64());
+            row.2 = row.2.saturating_add(waited.as_u64());
+        }
+    }
+    if !islands.is_empty() {
+        out.push_str("\nby island:\n");
+        let _ = writeln!(
+            out,
+            "  {:<7} {:>8} {:>12} {:>13} {:>6}",
+            "island", "windows", "busy-cycles", "barrier-wait", "busy%"
+        );
+        for (island, (windows, busy, wait)) in &islands {
+            let total = busy + wait;
+            let pct = if total > 0 {
+                *busy as f64 / total as f64 * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {island:<7} {windows:>8} {busy:>12} {wait:>13} {pct:>5.1}%"
+            );
+        }
+    }
     out
 }
 
@@ -201,6 +239,38 @@ mod tests {
             vec!["clock_advance", "1", "0", "0", "-", "-", "-", "-", "-"],
             "{text}"
         );
+    }
+
+    #[test]
+    fn summarize_reports_island_residency() {
+        let mut events = sample();
+        // Serial trace: no island section at all.
+        assert!(!summarize(&events).contains("by island"));
+        for (island, advanced, waited) in [(0u32, 90, 10), (0, 50, 50), (1, 20, 80)] {
+            events.push(Event {
+                at: Cycles::new(100),
+                dur: Cycles::ZERO,
+                pe: None,
+                comp: Component::Sched,
+                kind: EventKind::IslandWindow {
+                    island,
+                    advanced: Cycles::new(advanced),
+                    waited: Cycles::new(waited),
+                },
+            });
+        }
+        let text = summarize(&events);
+        assert!(text.contains("by island:"), "{text}");
+        // Island 0: 2 windows, 140 busy / 60 wait = 70% busy.
+        let row = |island: &str| {
+            text.lines()
+                .skip_while(|l| !l.contains("by island"))
+                .find(|l| l.trim_start().starts_with(island))
+                .map(|l| l.split_whitespace().collect::<Vec<_>>())
+                .expect("island row")
+        };
+        assert_eq!(row("0"), vec!["0", "2", "140", "60", "70.0%"], "{text}");
+        assert_eq!(row("1"), vec!["1", "1", "20", "80", "20.0%"], "{text}");
     }
 
     #[test]

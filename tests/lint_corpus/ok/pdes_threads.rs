@@ -1,0 +1,12 @@
+//@path crates/sim/src/pdes.rs
+// The PDES coordinator is the one sanctioned `std::thread` user in the
+// simulation crates: islands run on worker threads, the conservative
+// window protocol keeps simulated time deterministic.
+
+pub fn run_islands() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {});
+    });
+    let t = std::thread::spawn(|| {});
+    t.join().ok();
+}

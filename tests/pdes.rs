@@ -1,0 +1,100 @@
+//! PDES determinism: the parallel engine must be invisible in the results.
+//!
+//! Two layers are exercised. The scenario harness (`m3_bench::exec`) runs
+//! independent Sims on worker threads; every figure render must be
+//! byte-identical under any `M3_SIM_WORKERS` setting. The PDES engine
+//! (`m3_sim::pdes`) splits ONE simulation into islands; its digests must
+//! be identical for every worker count, and one cross-island-heavy
+//! scenario is pinned to golden values so silent drift in the window
+//! protocol (lookahead, merge order, termination) fails loudly.
+
+use m3_bench::{exec, pdes_bench};
+
+/// Renders one figure serially, then under 1, 2, and 4 sim workers, and
+/// requires all four renders to be byte-identical.
+fn assert_figure_invariant(name: &str, render: fn() -> String) {
+    exec::set_serial(true);
+    let serial = render();
+    exec::set_serial(false);
+    for workers in [1usize, 2, 4] {
+        exec::set_sim_workers(Some(workers));
+        let out = render();
+        exec::set_sim_workers(None);
+        assert_eq!(
+            out, serial,
+            "{name} render diverged under {workers} sim workers"
+        );
+    }
+}
+
+#[test]
+fn fig3_is_invariant_under_sim_workers() {
+    assert_figure_invariant("fig3", || m3_bench::fig3::run().render());
+}
+
+#[test]
+fn fig4_is_invariant_under_sim_workers() {
+    assert_figure_invariant("fig4", || m3_bench::fig4::run().render());
+}
+
+#[test]
+fn fig5_is_invariant_under_sim_workers() {
+    assert_figure_invariant("fig5", || m3_bench::fig5::run().render());
+}
+
+#[test]
+fn fig6_is_invariant_under_sim_workers() {
+    assert_figure_invariant("fig6", || m3_bench::fig6::run().render());
+}
+
+#[test]
+fn fig7_is_invariant_under_sim_workers() {
+    assert_figure_invariant("fig7", || m3_bench::fig7::run().render());
+}
+
+#[test]
+fn fig8_is_invariant_under_sim_workers() {
+    assert_figure_invariant("fig8", || m3_bench::fig8::run().render());
+}
+
+#[test]
+fn fig9_is_invariant_under_sim_workers() {
+    assert_figure_invariant("fig9", || m3_bench::fig9::run_sweep(&[8, 24]).render());
+}
+
+#[test]
+fn pdes_ring_digest_is_identical_for_every_worker_count() {
+    let serial = pdes_bench::run(4, 1);
+    for workers in [2usize, 4, 8] {
+        let run = pdes_bench::run(4, workers);
+        assert_eq!(
+            run.digest, serial.digest,
+            "PDES digest diverged at {workers} workers"
+        );
+        assert_eq!(run.report.windows, serial.report.windows);
+        assert_eq!(run.report.events, serial.report.events);
+        assert_eq!(run.report.end_time, serial.report.end_time);
+    }
+}
+
+#[test]
+fn pdes_ring_golden_pin() {
+    // Cross-island-heavy scenario pinned to golden values: 4 islands, 4
+    // concurrent file-I/O programs each, 24 ring messages per island.
+    // Any change to the window protocol, the lookahead derivation, the
+    // merge order, or the island workload moves these numbers.
+    let run = pdes_bench::run(4, 2);
+    assert_eq!(run.report.windows, 3675, "window count drifted");
+    assert_eq!(run.report.events, 96, "delivered event count drifted");
+    assert_eq!(run.report.abandoned, 0, "events were abandoned");
+    assert_eq!(run.report.end_time.as_u64(), 841_403, "end time drifted");
+    assert_eq!(
+        run.digest,
+        "i0:jobs=6291456:rx=24:rxsum=72276:end=841403;\
+         i1:jobs=6291456:rx=24:rxsum=276:end=841403;\
+         i2:jobs=6291456:rx=24:rxsum=24276:end=841403;\
+         i3:jobs=6291456:rx=24:rxsum=48276:end=841403\
+         |windows=3675|events=96|end=841403",
+        "PDES golden digest drifted"
+    );
+}
