@@ -1,0 +1,83 @@
+//! Runs the Figure 10 multikernel sharding sweep: aggregate kernel
+//! operations per kilocycle vs shard count, at 64/256/1024 PEs.
+use std::process::ExitCode;
+
+use m3_bench::{exec, fig10};
+
+fn main() -> ExitCode {
+    let mut pe_counts: Vec<u32> = fig10::PE_COUNTS.to_vec();
+    let mut compare_serial = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => pe_counts = vec![64],
+            "--pes" => match args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 16)
+            {
+                Some(n) => pe_counts = vec![n],
+                None => return usage("--pes needs a count >= 16"),
+            },
+            "--sim-workers" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => exec::set_sim_workers(Some(n)),
+                None => return usage("--sim-workers needs a positive count"),
+            },
+            "--serial" => exec::set_sim_workers(Some(1)),
+            "--compare-serial" => compare_serial = true,
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    for pes in pe_counts {
+        let shard_counts = fig10::shard_counts_for(pes);
+        if shard_counts.is_empty() {
+            eprintln!("fig10: {pes} PEs admits no shard count, skipping");
+            continue;
+        }
+        println!("== fig10: kernel throughput vs shards at {pes} PEs ==");
+        println!(
+            "  {:<7} {:>10} {:>12} {:>9} {:>8} {:>8} {:>12} {:>9}",
+            "shards",
+            "kernel-ops",
+            "ops/kcycle",
+            "scaling",
+            "serve",
+            "xplace",
+            "end-cycles",
+            "wall-ms"
+        );
+        let mut baseline = None;
+        for shards in shard_counts {
+            let workers = exec::sim_workers().unwrap_or_else(|| exec::workers_for(shards as usize));
+            let p = fig10::run_point(pes, shards, workers.min(shards as usize));
+            let base = *baseline.get_or_insert(p.ops_per_kcycle);
+            println!(
+                "  {:<7} {:>10} {:>12.2} {:>8.2}x {:>8} {:>8} {:>12} {:>9.1}",
+                p.shards,
+                p.ops,
+                p.ops_per_kcycle,
+                p.ops_per_kcycle / base,
+                p.serve,
+                p.xplace,
+                p.end.as_u64(),
+                p.wall_ms,
+            );
+            if compare_serial && shards > 1 {
+                let serial = fig10::run_point(pes, shards, 1);
+                if serial.digest != p.digest {
+                    eprintln!("fig10: serial and parallel digests differ at {shards} shards!");
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!("  digest[{shards}] {}", p.digest);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fig10: {msg}");
+    eprintln!("usage: fig10 [--smoke] [--pes N] [--sim-workers N] [--serial] [--compare-serial]");
+    ExitCode::FAILURE
+}

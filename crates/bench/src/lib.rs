@@ -10,6 +10,7 @@
 pub mod ablation;
 pub mod arch;
 pub mod exec;
+pub mod fig10;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -28,6 +28,8 @@
 //! assert_eq!(job.try_take().unwrap(), 8);
 //! ```
 
+pub mod shard;
+
 use std::future::Future;
 
 use std::rc::Rc;
@@ -50,6 +52,8 @@ pub use m3_libos as libos;
 pub use m3_noc as noc;
 pub use m3_platform as platform;
 pub use m3_sim as sim;
+
+pub use shard::{ShardPlan, ShardSlice, ShardedSystem, ShardedSystemConfig};
 
 /// Configuration of a full M3 system.
 #[derive(Clone, Debug)]

@@ -1,0 +1,372 @@
+//! Sharded multikernel boot (§7).
+//!
+//! The paper names "multiple kernel instances" as the scalability path for
+//! large manycores: one kernel PE saturates long before 1024 application
+//! PEs do, so the machine is carved into *shards*, each owning a contiguous
+//! slice of PEs and DRAM and running its own kernel plus its own m3fs
+//! instance. Shards stay as independent as the two-partition setup this
+//! module grew out of — separate capability spaces, PE pools, memory pools,
+//! and service registries — but their kernels are wired together by the
+//! kernel-to-kernel (ktk) protocol, so a shard whose admission runs out of
+//! PEs forwards the request to the least-loaded peer and delegates the
+//! resulting capabilities back.
+//!
+//! [`ShardPlan::carve`] is the pure partitioning function (unit- and
+//! property-testable without booting anything); [`ShardedSystem`] boots the
+//! whole machine inside one `Sim`. The PDES benchmark (`fig10`) instead
+//! boots one [`crate::System`] per island and carries ktk bytes across
+//! island boundaries — same protocol, different transport.
+
+use std::future::Future;
+use std::rc::Rc;
+
+use m3_base::{Cycles, PeId};
+use m3_fault::{FaultPlan, FaultPlane};
+use m3_fs::{run_m3fs, SetupNode};
+use m3_kernel::{Kernel, PAGE_SIZE};
+use m3_libos::{start_program, Env, ProgramRegistry};
+use m3_noc::NocConfig;
+use m3_platform::{Platform, PlatformConfig};
+use m3_sim::{JoinHandle, Sim, SimState};
+
+/// One shard's slice of the machine: a contiguous PE range plus a DRAM
+/// range, with the kernel on the slice's first PE.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSlice {
+    /// Shard id (position in the plan).
+    pub shard: u32,
+    /// First PE of the contiguous range.
+    pub first_pe: u32,
+    /// Number of PEs in the range.
+    pub pe_count: u32,
+    /// Start of the shard's DRAM range.
+    pub dram_base: u64,
+    /// Size of the shard's DRAM range.
+    pub dram_size: u64,
+}
+
+impl ShardSlice {
+    /// The shard's kernel PE (first PE of the slice).
+    pub fn kernel_pe(&self) -> PeId {
+        PeId::new(self.first_pe)
+    }
+
+    /// All PEs of the slice, ascending.
+    pub fn pes(&self) -> Vec<PeId> {
+        (self.first_pe..self.first_pe + self.pe_count)
+            .map(PeId::new)
+            .collect()
+    }
+
+    /// Whether `pe` belongs to this slice.
+    pub fn contains(&self, pe: PeId) -> bool {
+        (self.first_pe..self.first_pe + self.pe_count).contains(&pe.raw())
+    }
+}
+
+/// How a machine is carved into shards. Produced by [`ShardPlan::carve`];
+/// pure data, so partitioning invariants are testable without booting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// The slices, one per shard, in shard-id order.
+    pub slices: Vec<ShardSlice>,
+}
+
+impl ShardPlan {
+    /// Carves `pes` processing elements and `dram_size` bytes of DRAM into
+    /// `shards` contiguous slices.
+    ///
+    /// PEs split wide-first: with `pes = q·shards + r`, the first `r`
+    /// shards get `q + 1` PEs. DRAM splits evenly, rounded down to page
+    /// granularity; the last shard absorbs the remainder, so the ranges
+    /// tile `[0, dram_size)` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or there are fewer PEs than shards.
+    pub fn carve(pes: usize, shards: usize, dram_size: u64) -> ShardPlan {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(pes >= shards, "need at least one PE per shard");
+        let q = (pes / shards) as u32;
+        let r = (pes % shards) as u32;
+        let dram_each = dram_size / shards as u64 / PAGE_SIZE * PAGE_SIZE;
+        let mut slices = Vec::with_capacity(shards);
+        let mut first_pe = 0u32;
+        let mut dram_base = 0u64;
+        for shard in 0..shards as u32 {
+            let pe_count = if shard < r { q + 1 } else { q };
+            let last = shard == shards as u32 - 1;
+            let dram = if last {
+                dram_size - dram_base
+            } else {
+                dram_each
+            };
+            slices.push(ShardSlice {
+                shard,
+                first_pe,
+                pe_count,
+                dram_base,
+                dram_size: dram,
+            });
+            first_pe += pe_count;
+            dram_base += dram;
+        }
+        ShardPlan { slices }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The shard owning `pe`, if any.
+    pub fn shard_of(&self, pe: PeId) -> Option<u32> {
+        self.slices.iter().find(|s| s.contains(pe)).map(|s| s.shard)
+    }
+}
+
+/// Configuration of a sharded M3 system.
+#[derive(Clone, Debug)]
+pub struct ShardedSystemConfig {
+    /// Total number of (Xtensa) PEs across all shards.
+    pub pes: usize,
+    /// Number of kernel shards. Each shard needs at least three PEs
+    /// (kernel, m3fs, and one application PE).
+    pub shards: usize,
+    /// Size of each shard's m3fs data region in 1 KiB blocks.
+    pub fs_blocks: u64,
+    /// Initial content of every shard's filesystem.
+    pub fs_setup: Vec<SetupNode>,
+    /// NoC parameters.
+    pub noc: NocConfig,
+    /// Deterministic fault schedule injected at boot; `None` falls back to
+    /// the process-ambient plan slot exactly like [`crate::SystemConfig`].
+    pub fault_plan: Option<FaultPlan>,
+    /// Allow each shard's kernel to time-multiplex VPEs (m3-sched).
+    pub overcommit: bool,
+}
+
+impl Default for ShardedSystemConfig {
+    /// Two shards of four PEs each — the layout of the original
+    /// two-partition tests.
+    fn default() -> Self {
+        ShardedSystemConfig {
+            pes: 8,
+            shards: 2,
+            fs_blocks: 4096,
+            fs_setup: Vec::new(),
+            noc: NocConfig::default(),
+            fault_plan: None,
+            overcommit: false,
+        }
+    }
+}
+
+/// A booted sharded multikernel: one platform, N kernels wired by ktk,
+/// one m3fs per shard.
+#[derive(Clone)]
+pub struct ShardedSystem {
+    platform: Platform,
+    kernels: Vec<Kernel>,
+    plan: ShardPlan,
+    registry: ProgramRegistry,
+}
+
+impl std::fmt::Debug for ShardedSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSystem")
+            .field("pes", &self.platform.pe_count())
+            .field("shards", &self.kernels.len())
+            .finish()
+    }
+}
+
+impl ShardedSystem {
+    /// Boots the sharded system in a fresh simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard would get fewer than three PEs.
+    pub fn boot(cfg: ShardedSystemConfig) -> ShardedSystem {
+        ShardedSystem::boot_in(Sim::new(), cfg)
+    }
+
+    /// Like [`ShardedSystem::boot`], but inside an existing simulation.
+    ///
+    /// Boot order matters: the fault plane must be armed on the DTU fabric
+    /// before [`Kernel::connect_shards`] (the ktk wire captures the crash
+    /// schedule to drop messages of dead kernel PEs), and
+    /// [`Kernel::attach_faults`] must run after it (the shard watchdog
+    /// arms only if the kernel already has its shard context).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard would get fewer than three PEs.
+    pub fn boot_in(sim: Sim, cfg: ShardedSystemConfig) -> ShardedSystem {
+        let mut pcfg = PlatformConfig::xtensa(cfg.pes);
+        pcfg.noc = cfg.noc.clone();
+        let platform = Platform::new_in(sim, pcfg);
+        let plan = ShardPlan::carve(cfg.pes, cfg.shards, platform.dram_size() as u64);
+        for slice in &plan.slices {
+            assert!(
+                slice.pe_count >= 3,
+                "shard {} needs kernel + fs + application PEs, got {}",
+                slice.shard,
+                slice.pe_count
+            );
+        }
+
+        let plane = cfg
+            .fault_plan
+            .clone()
+            .or_else(m3_fault::ambient::get)
+            .map(|plan| Rc::new(FaultPlane::new(plan)));
+        if let Some(plane) = &plane {
+            platform.dtu_system().set_faults(plane.clone());
+        }
+
+        let kernels: Vec<Kernel> = plan
+            .slices
+            .iter()
+            .map(|slice| {
+                let k = Kernel::start_partition(
+                    &platform,
+                    slice.kernel_pe(),
+                    &slice.pes(),
+                    slice.dram_base,
+                    slice.dram_size,
+                );
+                k.set_overcommit(cfg.overcommit);
+                k
+            })
+            .collect();
+        Kernel::connect_shards(&kernels);
+        if let Some(plane) = &plane {
+            for k in &kernels {
+                k.attach_faults(plane);
+            }
+        }
+
+        let registry = ProgramRegistry::new();
+        for kernel in &kernels {
+            let info = kernel.create_root("m3fs", None).expect("PE for m3fs");
+            let env = Env::new(kernel, &info, registry.clone());
+            let blocks = cfg.fs_blocks;
+            let setup = cfg.fs_setup.clone();
+            platform
+                .sim()
+                .spawn_daemon(format!("m3fs@{}", kernel.pe()), async move {
+                    run_m3fs(env, blocks, setup).await.expect("m3fs failed");
+                });
+        }
+
+        ShardedSystem {
+            platform,
+            kernels,
+            plan,
+            registry,
+        }
+    }
+
+    /// The simulation clock and executor.
+    pub fn sim(&self) -> &Sim {
+        self.platform.sim()
+    }
+
+    /// The hardware platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The shard kernels, in shard-id order.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// One shard's kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn kernel(&self, shard: usize) -> &Kernel {
+        &self.kernels[shard]
+    }
+
+    /// How the machine was carved.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The shared program registry.
+    pub fn registry(&self) -> &ProgramRegistry {
+        &self.registry
+    }
+
+    /// Starts a program on shard `shard`; the returned handle yields its
+    /// exit code after [`ShardedSystem::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or has no free PE.
+    pub fn run_program_on<F, Fut>(&self, shard: usize, name: &str, f: F) -> JoinHandle<i64>
+    where
+        F: FnOnce(Env) -> Fut + 'static,
+        Fut: Future<Output = i64> + 'static,
+    {
+        start_program(&self.kernels[shard], name, None, self.registry.clone(), f)
+    }
+
+    /// Runs the simulation until every program finished, then lets the
+    /// kernels and services settle in-flight work.
+    pub fn run(&self) -> SimState {
+        let state = self.sim().run();
+        self.sim().settle(Cycles::new(1_000_000));
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carve_splits_pes_wide_first() {
+        let plan = ShardPlan::carve(10, 3, 1 << 20);
+        let counts: Vec<u32> = plan.slices.iter().map(|s| s.pe_count).collect();
+        assert_eq!(counts, vec![4, 3, 3]);
+        assert_eq!(plan.slices[0].first_pe, 0);
+        assert_eq!(plan.slices[1].first_pe, 4);
+        assert_eq!(plan.slices[2].first_pe, 7);
+    }
+
+    #[test]
+    fn carve_dram_tiles_exactly() {
+        // A DRAM size that does not divide evenly: last shard absorbs the
+        // remainder and the ranges tile [0, size).
+        let size = 3 * 4096 * 7 + 1234;
+        let plan = ShardPlan::carve(6, 3, size);
+        let mut expected_base = 0;
+        for s in &plan.slices {
+            assert_eq!(s.dram_base, expected_base);
+            assert_eq!(s.dram_base % PAGE_SIZE, 0);
+            expected_base += s.dram_size;
+        }
+        assert_eq!(expected_base, size);
+    }
+
+    #[test]
+    fn shard_of_maps_every_pe() {
+        let plan = ShardPlan::carve(11, 4, 1 << 20);
+        for pe in 0..11u32 {
+            let shard = plan.shard_of(PeId::new(pe)).unwrap();
+            assert!(plan.slices[shard as usize].contains(PeId::new(pe)));
+        }
+        assert_eq!(plan.shard_of(PeId::new(11)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE per shard")]
+    fn carve_rejects_more_shards_than_pes() {
+        ShardPlan::carve(3, 4, 1 << 20);
+    }
+}

@@ -81,6 +81,50 @@ pub struct MGateObj {
     pub owned: bool,
 }
 
+/// A proxy for a VPE placed on a peer kernel shard: the local kernel holds
+/// the shard/VPE coordinates and forwards lifecycle operations over the
+/// kernel-to-kernel gate (§7 multikernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteVpeObj {
+    /// The shard whose kernel manages the VPE.
+    pub shard: u32,
+    /// The VPE id *in that shard's* namespace.
+    pub vpe: u32,
+    /// The PE the VPE runs on (globally unique, so memory gates to its SPM
+    /// work from any shard).
+    pub pe: PeId,
+}
+
+/// A send gate installed from a cross-shard capability descriptor: the
+/// target receive gate lives with a peer shard and is already activated at
+/// `(pe, ep)`, so the local kernel can configure send endpoints directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XSGateObj {
+    /// PE of the activated receive gate.
+    pub pe: PeId,
+    /// Endpoint of the activated receive gate.
+    pub ep: EpId,
+    /// Label stamped into every message.
+    pub label: Label,
+    /// Credit budget (`None` = unlimited).
+    pub credits: Option<u32>,
+    /// Maximum payload bytes per message.
+    pub max_payload: usize,
+}
+
+/// A session opened with a service registered at a peer shard: exchanges
+/// are forwarded over the kernel-to-kernel gate; the owning shard keeps no
+/// per-session kernel state for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteSessObj {
+    /// The shard whose kernel hosts the service.
+    pub shard: u32,
+    /// Global service name (sessions are stateless on the origin side).
+    pub serv: String,
+    /// The service-chosen session identifier.
+    pub ident: u64,
+}
+
 /// The kernel object behind a capability.
 #[derive(Clone, Debug)]
 pub enum KObject {
@@ -96,6 +140,12 @@ pub enum KObject {
     Serv(Rc<ServObj>),
     /// A session with a service.
     Sess(Rc<SessObj>),
+    /// A VPE managed by a peer kernel shard.
+    RemoteVpe(Rc<RemoteVpeObj>),
+    /// A send gate whose receive side lives with a peer shard.
+    XSGate(Rc<XSGateObj>),
+    /// A session with a service registered at a peer shard.
+    RemoteSess(Rc<RemoteSessObj>),
 }
 
 impl KObject {
@@ -108,6 +158,9 @@ impl KObject {
             KObject::Vpe(_) => "vpe",
             KObject::Serv(_) => "serv",
             KObject::Sess(_) => "sess",
+            KObject::RemoteVpe(_) => "remote-vpe",
+            KObject::XSGate(_) => "xsgate",
+            KObject::RemoteSess(_) => "remote-sess",
         }
     }
 }

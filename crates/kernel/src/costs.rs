@@ -64,6 +64,24 @@ pub const SERVICE_TIMEOUT: Cycles = Cycles::new(50_000);
 /// converts to an error instead of an infinite retry loop).
 pub const SERVICE_RETRIES: u32 = 2;
 
+/// Extra work of forwarding a request to a peer kernel shard and matching
+/// its reply (marshalling the ktk message plus the request bookkeeping).
+/// The §7 multikernel has no measured path; modelled like the kernel's
+/// service forwarding (§4.5.3), which performs the same marshal/route/match
+/// steps.
+pub const KTK_FORWARD: Cycles = Cycles::new(60);
+
+/// Extra work on the receiving shard to unmarshal and dispatch a ktk
+/// request — the peer-kernel analogue of the §5.3 syscall dispatch share.
+pub const KTK_DISPATCH: Cycles = Cycles::new(40);
+
+/// How long a ktk request may wait for the peer kernel's reply once a fault
+/// plane is armed. Kernel PEs answer in syscall-scale time (§5.3), so like
+/// [`SERVICE_TIMEOUT`] a long silence means the peer is dead, not busy.
+/// Cross-shard requests are not idempotent (placement allocates), so there
+/// is no retry: a timeout converts to `Unreachable`.
+pub const KTK_TIMEOUT: Cycles = Cycles::new(50_000);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,8 +13,12 @@ use m3_platform::{PeType, Platform};
 use m3_sched::{Admission, Removal, Scheduler};
 use m3_sim::{Component, Event, EventKind, Notify, Sim};
 
-use crate::cap::{CapTable, Capability, DerivationTree, KObject, MGateObj, RGateObj, SGateObj};
+use crate::cap::{
+    CapTable, Capability, DerivationTree, KObject, MGateObj, RGateObj, RemoteSessObj, RemoteVpeObj,
+    SGateObj, XSGateObj,
+};
 use crate::costs;
+use crate::ktk::{self, CapDesc, KtkMsg, KtkReply};
 use crate::mem::MemAlloc;
 use crate::pemng::PeMng;
 use crate::protocol::{
@@ -48,6 +52,76 @@ pub struct VpeBootInfo {
 struct PendingReply {
     slot: Rc<RefCell<Option<ServiceReply>>>,
     ready: Notify,
+}
+
+struct KtkPending {
+    slot: Rc<RefCell<Option<KtkReply>>>,
+    ready: Notify,
+    /// The shard the request went to, so a shard death can fail it fast.
+    to: u32,
+}
+
+/// A kernel's view of the sharded multikernel it is part of (§7: "multiple
+/// kernel instances" as the scalability path). Each shard owns a disjoint
+/// PE/DRAM partition; the shards talk through the kernel-to-kernel (ktk)
+/// protocol of [`crate::ktk`] over a transport-agnostic send closure —
+/// NoC messages between kernel PEs inside one `Sim`, island-boundary ports
+/// across PDES islands. Absent (`None` on the kernel), every cross-shard
+/// path is compiled out of the schedule and the kernel is cycle-identical
+/// to the single-instance build.
+pub struct ShardCtx {
+    id: u32,
+    count: u32,
+    send: Box<dyn Fn(u32, Vec<u8>)>,
+    /// Kernel PE of every peer shard (used to map a PE crash to a shard
+    /// death).
+    peer_pes: BTreeMap<u32, PeId>,
+    /// Last advertised free-PE count of each live peer, refreshed
+    /// passively from the header of every incoming ktk message.
+    peer_free: RefCell<BTreeMap<u32, usize>>,
+    /// Peers declared dead by the shard watchdog.
+    dead: RefCell<BTreeSet<u32>>,
+    next_req: Cell<u64>,
+    pending: RefCell<BTreeMap<u64, KtkPending>>,
+    /// Cross-shard delegation edges: local capability -> the remote
+    /// `(shard, vpe, sel)` copies it spawned, cut on revoke (§4.5.3).
+    remote_children: RefCell<BTreeMap<(VpeId, SelId), Vec<RemoteCopy>>>,
+}
+
+/// A remote copy a delegated capability spawned: `(shard, vpe, sel)`.
+type RemoteCopy = (u32, u32, u32);
+
+impl ShardCtx {
+    /// This kernel's shard id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Total number of shards in the multikernel.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether `shard` has been declared dead by the watchdog.
+    pub fn is_dead(&self, shard: u32) -> bool {
+        self.dead.borrow().contains(&shard)
+    }
+
+    /// The last free-PE count `shard` advertised, if it is still alive.
+    pub fn peer_free(&self, shard: u32) -> Option<usize> {
+        self.peer_free.borrow().get(&shard).copied()
+    }
+
+    /// Peers not declared dead, in ascending shard-id order.
+    pub fn alive_peers(&self) -> Vec<u32> {
+        self.peer_free.borrow().keys().copied().collect()
+    }
+}
+
+impl std::fmt::Debug for ShardCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardCtx({}/{})", self.id, self.count)
+    }
 }
 
 /// Page size of the remotely-managed page tables (§7 prototype).
@@ -103,6 +177,9 @@ pub struct Kernel {
     /// Cycle at which the current resident of each multiplexed PE was
     /// installed (start of its slice).
     resumed_at: Rc<RefCell<BTreeMap<PeId, Cycles>>>,
+    /// Sharded-multikernel context (§7), set by [`Kernel::set_shard`];
+    /// `None` for a standalone kernel.
+    shard: Rc<RefCell<Option<Rc<ShardCtx>>>>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -220,6 +297,7 @@ impl Kernel {
             overcommit: Rc::new(Cell::new(false)),
             pinned: Rc::new(RefCell::new(BTreeSet::new())),
             resumed_at: Rc::new(RefCell::new(BTreeMap::new())),
+            shard: Rc::new(RefCell::new(None)),
         };
 
         let k = kernel.clone();
@@ -291,6 +369,27 @@ impl Kernel {
                         k.destroy_vpe(&victim, -2);
                     }
                 });
+            // A peer kernel dying severs its whole shard: mark it dead,
+            // fail the in-flight requests addressed to it, and reap every
+            // proxy capability pointing into it. Attach the shard context
+            // (`connect_shards`/`set_shard`) before arming the faults, or
+            // the multikernel legs of the watchdog stay disarmed.
+            if let Some(ctx) = self.shard_ctx() {
+                let peer = ctx
+                    .peer_pes
+                    .iter()
+                    .find(|(_, kpe)| **kpe == pe)
+                    .map(|(s, _)| *s);
+                if let Some(peer) = peer {
+                    let k = self.clone();
+                    self.sim
+                        .spawn_daemon(format!("shard-watchdog@{pe}"), async move {
+                            k.sim.sleep_until(at + costs::DEAD_PE_DETECT).await;
+                            k.sim.sleep(costs::DISPATCH).await;
+                            k.on_peer_shard_dead(peer);
+                        });
+                }
+            }
         }
     }
 
@@ -393,22 +492,20 @@ impl Kernel {
         };
         let sched = self.sched.borrow();
         let pinned = self.pinned.borrow();
-        let mut best: Option<(usize, PeId)> = None;
-        for (pe, load) in sched.loads() {
-            if pinned.contains(&pe) {
-                continue;
+        // `loads()` iterates PEs in ascending id order, so the shared
+        // least-loaded policy resolves ties to the lowest PE id — the same
+        // rule the multikernel uses to pick a peer shard.
+        m3_sched::least_loaded(sched.loads().into_iter().filter(|(pe, _)| {
+            if pinned.contains(pe) {
+                return false;
             }
-            let desc = st.pemng.desc(pe);
-            let matches = match want {
+            let desc = st.pemng.desc(*pe);
+            match want {
                 None => !desc.is_fft_accel(),
                 Some(ty) => desc.ty == ty && !desc.is_fft_accel(),
-            };
-            if matches && best.is_none_or(|(l, _)| load < l) {
-                best = Some((load, pe));
             }
-        }
-        best.map(|(_, pe)| pe)
-            .ok_or_else(|| Error::new(Code::NoFreePe).with_msg(format!("request {req:?}")))
+        }))
+        .ok_or_else(|| Error::new(Code::NoFreePe).with_msg(format!("request {req:?}")))
     }
 
     // ------------------------------------------------------------------
@@ -425,6 +522,10 @@ impl Kernel {
             let _ = self.dtu.ack(keps::SYSC);
             self.sim.sleep(costs::DISPATCH).await;
             self.sim.stats().incr("kernel.syscalls");
+            // Per-kernel-PE operation counter: local syscalls here, plus
+            // ktk requests served for peers in `ktk_deliver` — so a sharded
+            // multikernel's throughput sums per shard (fig10).
+            self.sim.metrics().incr(self.pe, m3_sim::keys::KERNEL_OPS);
 
             let caller = VpeId::new(msg.header.label as u32);
             let call = match Syscall::from_bytes(&msg.payload) {
@@ -565,7 +666,7 @@ impl Kernel {
                 pe,
                 name,
             } => self.sys_create_vpe(caller, dst, mem_dst, pe, &name).await,
-            Syscall::VpeStart { vpe } => self.sys_vpe_start(caller, vpe),
+            Syscall::VpeStart { vpe } => self.sys_vpe_start(caller, vpe).await,
             Syscall::CreateSrv { dst, rgate, name } => {
                 self.sys_create_srv(caller, dst, rgate, &name).await
             }
@@ -710,7 +811,10 @@ impl Kernel {
         name: &str,
     ) -> Result<Vec<u8>> {
         self.sim.sleep(costs::CREATE_VPE).await;
-        let (id, pe, queued) = {
+        // Placement and capability setup run under one state borrow; an
+        // out-of-PEs outcome breaks out of the block so the ktk spill-over
+        // round trip awaits with the borrow released.
+        let placed = 'placed: {
             let mut st = self.state.borrow_mut();
             let caller_pe = st
                 .vpes
@@ -720,14 +824,17 @@ impl Kernel {
                 .pe;
             let caller_ty = st.pemng.desc(caller_pe).ty;
             let pe = match st.pemng.alloc(req, caller_ty) {
-                Ok(pe) => pe,
                 // Overcommit: with every matching PE taken, time-multiplex
                 // the least-loaded one instead of failing (§4.1/§7 future
                 // work: the kernel suspends VPEs via DTU state save/restore).
                 Err(e) if e.code() == Code::NoFreePe && self.overcommit.get() => {
-                    self.pick_overcommit_pe(&st, req, caller_ty)?
+                    self.pick_overcommit_pe(&st, req, caller_ty)
                 }
-                Err(e) => return Err(e),
+                other => other,
+            };
+            let pe = match pe {
+                Ok(pe) => pe,
+                Err(e) => break 'placed Err((e, caller_ty)),
             };
             let id = VpeId::new(st.next_vpe);
             st.next_vpe += 1;
@@ -767,7 +874,24 @@ impl Kernel {
                     queued = true;
                 }
             }
-            (id, pe, queued)
+            Ok((id, pe, queued))
+        };
+        let (id, pe, queued) = match placed {
+            Ok(t) => t,
+            // Sharded multikernel (§7): out of PEs locally, forward the
+            // placement to the peer shard with the most free PEs; the
+            // returned capabilities are delegated back so the caller's
+            // session keeps working transparently.
+            Err((e, caller_ty)) => {
+                if e.code() == Code::NoFreePe {
+                    if let Some(ctx) = self.shard_ctx() {
+                        return self
+                            .create_vpe_remote(&ctx, caller, dst, mem_dst, req, caller_ty, name)
+                            .await;
+                    }
+                }
+                return Err(e);
+            }
         };
         if queued {
             // The PE is occupied: the channel goes into the VPE's DTU save
@@ -787,37 +911,78 @@ impl Kernel {
         Ok(os.into_bytes())
     }
 
-    fn sys_vpe_start(&self, caller: VpeId, vpe: SelId) -> Result<Vec<u8>> {
-        let mut st = self.state.borrow_mut();
-        let vpe_obj = match &Self::table(&mut st, caller)?.get(vpe)?.obj {
-            KObject::Vpe(v) => v.clone(),
-            other => {
-                return Err(Error::new(Code::InvCap)
-                    .with_msg(format!("expected vpe, found {}", other.kind())))
-            }
+    async fn sys_vpe_start(&self, caller: VpeId, vpe: SelId) -> Result<Vec<u8>> {
+        let target = {
+            let mut st = self.state.borrow_mut();
+            Self::table(&mut st, caller)?.get(vpe)?.obj.clone()
         };
-        let mut v = vpe_obj.borrow_mut();
-        match v.state {
-            VpeState::Init => {
-                v.state = VpeState::Running;
+        match target {
+            KObject::Vpe(vpe_obj) => {
+                let mut v = vpe_obj.borrow_mut();
+                match v.state {
+                    VpeState::Init => {
+                        v.state = VpeState::Running;
+                        Ok(Vec::new())
+                    }
+                    _ => Err(Error::new(Code::InvArgs).with_msg("VPE not in init state")),
+                }
+            }
+            // A remotely placed child is started by its own shard's kernel.
+            KObject::RemoteVpe(r) => {
+                let ctx = self.shard_ctx_or_err()?;
+                self.ktk_request(&ctx, r.shard, |req_id| KtkMsg::StartVpe {
+                    req_id,
+                    vpe: r.vpe,
+                })
+                .await?
+                .into_result()?;
                 Ok(Vec::new())
             }
-            _ => Err(Error::new(Code::InvArgs).with_msg("VPE not in init state")),
+            other => {
+                Err(Error::new(Code::InvCap)
+                    .with_msg(format!("expected vpe, found {}", other.kind())))
+            }
         }
     }
 
     async fn handle_vpe_wait(&self, caller: VpeId, vpe: SelId) -> SyscallReply {
-        let vpe_obj = {
+        let target = {
             let mut st = self.state.borrow_mut();
             let table = match Self::table(&mut st, caller) {
                 Ok(t) => t,
                 Err(e) => return SyscallReply::err(e.code()),
             };
             match table.get(vpe).map(|c| c.obj.clone()) {
-                Ok(KObject::Vpe(v)) => v,
-                Ok(_) => return SyscallReply::err(Code::InvCap),
+                Ok(obj) => obj,
                 Err(e) => return SyscallReply::err(e.code()),
             }
+        };
+        let vpe_obj = match target {
+            KObject::Vpe(v) => v,
+            // Wait on a remotely placed child: its shard's kernel holds
+            // the exit code and replies once the VPE is gone.
+            KObject::RemoteVpe(r) => {
+                let ctx = match self.shard_ctx_or_err() {
+                    Ok(c) => c,
+                    Err(e) => return SyscallReply::err(e.code()),
+                };
+                let reply = self
+                    .ktk_request(&ctx, r.shard, |req_id| KtkMsg::WaitVpe {
+                        req_id,
+                        vpe: r.vpe,
+                    })
+                    .await
+                    .and_then(KtkReply::into_result);
+                return match reply {
+                    Ok(r) => {
+                        let mut os = OStream::new();
+                        os.push_i64(r.a as i64);
+                        SyscallReply::ok_with(os.into_bytes())
+                    }
+                    Err(e) => SyscallReply::err(e.code()),
+                };
+            }
+            _ => return SyscallReply::err(Code::InvCap),
         };
         loop {
             let (code, exited) = {
@@ -981,9 +1146,22 @@ impl Kernel {
         name: &str,
         arg: u64,
     ) -> SyscallReply {
-        let serv = match self.state.borrow().services.find(name) {
+        // Bind before matching: the scrutinee temporary would otherwise
+        // keep the state borrowed across the remote-lookup await.
+        let found = self.state.borrow().services.find(name);
+        let serv = match found {
             Ok(s) => s,
-            Err(e) => return SyscallReply::err(e.code()),
+            Err(e) => {
+                // Remote mount (§7): a service another shard registered is
+                // reachable through that shard's kernel. Unknown locally,
+                // try the peers.
+                if let Some(ctx) = self.shard_ctx() {
+                    return self
+                        .open_sess_remote(&ctx, caller, dst, name, arg, &e)
+                        .await;
+                }
+                return SyscallReply::err(e.code());
+            }
         };
         let reply = match self
             .forward_to_service(&serv, ServiceRequest::Open { arg })
@@ -1019,17 +1197,27 @@ impl Kernel {
         caps: &[SelId],
         args: &[u8],
     ) -> SyscallReply {
-        let sess_obj = {
+        let target = {
             let mut st = self.state.borrow_mut();
             let table = match Self::table(&mut st, caller) {
                 Ok(t) => t,
                 Err(e) => return SyscallReply::err(e.code()),
             };
             match table.get(sess).map(|c| c.obj.clone()) {
-                Ok(KObject::Sess(s)) => s,
-                Ok(_) => return SyscallReply::err(Code::InvCap),
+                Ok(obj) => obj,
                 Err(e) => return SyscallReply::err(e.code()),
             }
+        };
+        let sess_obj = match target {
+            KObject::Sess(s) => s,
+            // A remotely opened session: the exchange runs through the
+            // kernel of the shard that hosts the service.
+            KObject::RemoteSess(r) => {
+                return self
+                    .exchange_sess_remote(caller, &r, obtain, caps, args)
+                    .await;
+            }
+            _ => return SyscallReply::err(Code::InvCap),
         };
         let reply = match self
             .forward_to_service(
@@ -1076,23 +1264,57 @@ impl Kernel {
         obtain: bool,
     ) -> Result<Vec<u8>> {
         self.sim.sleep(costs::CAP_OP).await;
-        let peer = {
+        let target = {
             let mut st = self.state.borrow_mut();
-            match &Self::table(&mut st, caller)?.get(vpe)?.obj {
-                KObject::Vpe(v) => v.borrow().id,
-                other => {
-                    return Err(Error::new(Code::InvCap)
-                        .with_msg(format!("expected vpe, found {}", other.kind())))
-                }
+            Self::table(&mut st, caller)?.get(vpe)?.obj.clone()
+        };
+        match target {
+            KObject::Vpe(v) => {
+                let peer = v.borrow().id;
+                let (src, dst) = if obtain {
+                    ((peer, other), (caller, own))
+                } else {
+                    ((caller, own), (peer, other))
+                };
+                self.copy_cap(src, dst)?;
+                Ok(Vec::new())
             }
-        };
-        let (src, dst) = if obtain {
-            ((peer, other), (caller, own))
-        } else {
-            ((caller, own), (peer, other))
-        };
-        self.copy_cap(src, dst)?;
-        Ok(Vec::new())
+            // Cross-shard delegation (§4.5.3): the capability is converted
+            // to a self-contained descriptor and installed by the child's
+            // shard. Only delegation is supported — obtaining would need
+            // the remote kernel to descriptor-ize an arbitrary capability
+            // the child might not even have yet.
+            KObject::RemoteVpe(r) => {
+                if obtain {
+                    return Err(Error::new(Code::NotSup)
+                        .with_msg("cannot obtain from a remotely placed VPE"));
+                }
+                let ctx = self.shard_ctx_or_err()?;
+                let desc = {
+                    let mut st = self.state.borrow_mut();
+                    let obj = Self::table(&mut st, caller)?.get(own)?.obj.clone();
+                    Self::desc_of_obj(&obj)?
+                };
+                self.ktk_request(&ctx, r.shard, |req_id| KtkMsg::DelegateCap {
+                    req_id,
+                    vpe: r.vpe,
+                    sel: other.raw(),
+                    desc,
+                })
+                .await?
+                .into_result()?;
+                // Remember the edge so revoking the local capability cuts
+                // the remote copy too.
+                ctx.remote_children
+                    .borrow_mut()
+                    .entry((caller, own))
+                    .or_default()
+                    .push((r.shard, r.vpe, other.raw()));
+                Ok(Vec::new())
+            }
+            other_obj => Err(Error::new(Code::InvCap)
+                .with_msg(format!("expected vpe, found {}", other_obj.kind()))),
+        }
     }
 
     /// Copies a capability between tables and records the delegation edge.
@@ -1138,6 +1360,10 @@ impl Kernel {
             // Resolve the target VPE through the caller's capability.
             let target_pe = match table.get(vpe).map(|c| c.obj.clone()) {
                 Ok(KObject::Vpe(v)) => v.borrow().pe,
+                // A remote child's endpoints belong to its own shard's
+                // kernel; the parent delegates capabilities instead and the
+                // child activates them itself.
+                Ok(KObject::RemoteVpe(_)) => return SyscallReply::err(Code::NotSup),
                 Ok(_) => return SyscallReply::err(Code::InvCap),
                 Err(e) => return SyscallReply::err(e.code()),
             };
@@ -1194,6 +1420,16 @@ impl Kernel {
                     allow_replies: true,
                 }
             }
+            // A cross-shard send gate is activated by construction: the
+            // descriptor only crossed the boundary because its receive gate
+            // was already pinned to `(pe, ep)`, so no deferral is needed.
+            KObject::XSGate(x) => EpConfig::Send {
+                pe: x.pe,
+                ep: x.ep,
+                label: x.label,
+                credits: x.credits,
+                max_payload: x.max_payload,
+            },
             KObject::MGate(mg) => EpConfig::Memory {
                 pe: mg.pe,
                 offset: mg.offset,
@@ -1300,6 +1536,7 @@ impl Kernel {
     /// Revokes `(vpe, sel)` recursively; returns the number of removed caps.
     fn revoke_cap(&self, vpe: VpeId, sel: SelId) -> usize {
         let removed = self.state.borrow_mut().tree.revoke((vpe, sel));
+        let shard = self.shard_ctx();
         let mut freed_regions = Vec::new();
         let mut dead_vpes = Vec::new();
         for (v, s) in &removed {
@@ -1308,6 +1545,26 @@ impl Kernel {
                 st.tables.get_mut(v).and_then(|t| t.remove(*s))
             };
             let Some(cap) = cap else { continue };
+            // Cross-shard legs of the recursive revoke (§4.5.3): copies
+            // this capability spawned in peer shards are cut with
+            // fire-and-forget revokes, and a remote-VPE proxy takes its
+            // VPE down with it (§4.5.5).
+            if let Some(ctx) = &shard {
+                let edges = ctx.remote_children.borrow_mut().remove(&(*v, *s));
+                for (peer, rvpe, rsel) in edges.into_iter().flatten() {
+                    self.ktk_send(
+                        ctx,
+                        peer,
+                        &KtkMsg::RevokeCap {
+                            vpe: rvpe,
+                            sel: rsel,
+                        },
+                    );
+                }
+                if let KObject::RemoteVpe(r) = &cap.obj {
+                    self.ktk_send(ctx, r.shard, &KtkMsg::RevokeVpe { vpe: r.vpe });
+                }
+            }
             // Invalidate all endpoints configured from this capability.
             for (pe, ep) in &cap.activations {
                 let _ = self.ktok.configure(*pe, *ep, EpConfig::Invalid);
@@ -1431,6 +1688,824 @@ impl Kernel {
         };
         if let Some(vpe_obj) = vpe_obj {
             self.destroy_vpe(&vpe_obj, code);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded multikernel (ktk, §7)
+    // ------------------------------------------------------------------
+
+    /// The shard context, if this kernel is part of a sharded multikernel.
+    pub fn shard_ctx(&self) -> Option<Rc<ShardCtx>> {
+        self.shard.borrow().clone()
+    }
+
+    fn shard_ctx_or_err(&self) -> Result<Rc<ShardCtx>> {
+        self.shard_ctx().ok_or_else(|| {
+            Error::new(Code::Internal).with_msg("remote capability without a shard context")
+        })
+    }
+
+    /// Joins this kernel to a sharded multikernel as shard `id` of `count`:
+    /// `peers` lists every other shard's kernel PE and `send` delivers raw
+    /// ktk bytes to a peer shard. [`Kernel::connect_shards`] wires the
+    /// kernels of one `Sim` together over the NoC; PDES-island deployments
+    /// pass a closure that writes to the island boundary port instead.
+    /// Call before [`Kernel::attach_faults`] so the shard watchdog arms.
+    pub fn set_shard(
+        &self,
+        id: u32,
+        count: u32,
+        peers: &[(u32, PeId)],
+        send: Box<dyn Fn(u32, Vec<u8>)>,
+    ) {
+        let peer_free = peers.iter().map(|(s, _)| (*s, 0usize)).collect();
+        *self.shard.borrow_mut() = Some(Rc::new(ShardCtx {
+            id,
+            count,
+            send,
+            peer_pes: peers.iter().copied().collect(),
+            peer_free: RefCell::new(peer_free),
+            dead: RefCell::new(BTreeSet::new()),
+            next_req: Cell::new(1),
+            pending: RefCell::new(BTreeMap::new()),
+            remote_children: RefCell::new(BTreeMap::new()),
+        }));
+    }
+
+    /// Wires `kernels` (one per shard, all inside one `Sim`) into a sharded
+    /// multikernel: shard ids follow slice order, and ktk messages ride the
+    /// NoC between the kernel PEs, charged like any other transfer. With a
+    /// fault plane armed, messages to or from a crashed kernel PE are
+    /// dropped on the floor — what a dead router port does — so the
+    /// timeout/watchdog recovery paths are exercised, not bypassed.
+    pub fn connect_shards(kernels: &[Kernel]) {
+        if kernels.len() < 2 {
+            // One kernel is not a multikernel: attach no shard context so
+            // the single-shard path stays cycle-identical to a standalone
+            // kernel.
+            return;
+        }
+        let n = kernels.len() as u32;
+        let all: Vec<(u32, PeId)> = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (i as u32, k.pe))
+            .collect();
+        for (i, k) in kernels.iter().enumerate() {
+            let id = i as u32;
+            let peers: Vec<(u32, PeId)> = all.iter().filter(|(s, _)| *s != id).copied().collect();
+            let by_shard: BTreeMap<u32, Kernel> = kernels
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(j, other)| (j as u32, other.clone()))
+                .collect();
+            let schedule = k
+                .dtu
+                .system()
+                .faults()
+                .map(|f| f.crash_schedule())
+                .unwrap_or_default();
+            let src_crash = schedule.iter().find(|(p, _)| *p == k.pe).map(|(_, at)| *at);
+            let crash_of: BTreeMap<u32, Cycles> = all
+                .iter()
+                .filter_map(|(s, pe)| {
+                    schedule
+                        .iter()
+                        .find(|(p, _)| p == pe)
+                        .map(|(_, at)| (*s, *at))
+                })
+                .collect();
+            let src = k.clone();
+            let send = Box::new(move |dst: u32, bytes: Vec<u8>| {
+                let Some(dst_k) = by_shard.get(&dst) else {
+                    return;
+                };
+                let sim = src.sim.clone();
+                // A crashed kernel PE neither sends nor receives.
+                if src_crash.is_some_and(|at| sim.now() >= at) {
+                    return;
+                }
+                let t = src.dtu.system().noc().schedule(
+                    sim.now(),
+                    src.pe,
+                    dst_k.pe,
+                    bytes.len() as u64,
+                );
+                let dst_crash = crash_of.get(&dst).copied();
+                let dst_k = dst_k.clone();
+                let sim2 = sim.clone();
+                sim.spawn(format!("ktk-wire-{}-{}", src.pe, dst_k.pe), async move {
+                    sim2.sleep_until(t.completes_at).await;
+                    if dst_crash.is_some_and(|at| sim2.now() >= at) {
+                        return;
+                    }
+                    dst_k.ktk_deliver(&bytes);
+                });
+            });
+            k.set_shard(id, n, &peers, send);
+        }
+        // Announce the initial loads so spill-over placement starts from
+        // real free-PE counts instead of zeros.
+        for k in kernels {
+            k.ktk_hello();
+        }
+    }
+
+    /// Announces this shard's current free-PE count to every live peer.
+    pub fn ktk_hello(&self) {
+        if let Some(ctx) = self.shard_ctx() {
+            for peer in ctx.alive_peers() {
+                self.ktk_send(&ctx, peer, &KtkMsg::Hello);
+            }
+        }
+    }
+
+    /// Sends one ktk message, stamping the shard header (id + free-PE
+    /// count) and emitting the sending-side `ShardOp` trace event.
+    /// Messages to shards the watchdog declared dead are dropped silently:
+    /// every ktk send is either fire-and-forget or tracked by a pending
+    /// request that the watchdog already failed.
+    fn ktk_send(&self, ctx: &ShardCtx, dst: u32, msg: &KtkMsg) {
+        if ctx.dead.borrow().contains(&dst) {
+            return;
+        }
+        let free = self.state.borrow().pemng.free_count() as u32;
+        let at = self.sim.now();
+        self.sim.tracer().record_with(|| Event {
+            at,
+            dur: m3_base::Cycles::ZERO,
+            pe: Some(self.pe),
+            comp: Component::Kernel,
+            kind: EventKind::ShardOp {
+                shard: ctx.id,
+                peer: dst,
+                op: msg.name().to_string(),
+            },
+        });
+        (ctx.send)(dst, msg.to_bytes(ctx.id, free));
+    }
+
+    /// Sends a request to shard `dst` and waits for its reply. Mirrors
+    /// [`Kernel::forward_to_service`]: with no fault plane armed the wait
+    /// is unbounded (the peer kernel is on-chip and answers eventually)
+    /// and the path is cycle-identical to a fault-free build; with faults
+    /// armed, one bounded attempt converts silence into `Unreachable` —
+    /// no retry, because cross-shard requests are not idempotent
+    /// (placement allocates).
+    async fn ktk_request(
+        &self,
+        ctx: &Rc<ShardCtx>,
+        dst: u32,
+        build: impl FnOnce(u64) -> KtkMsg,
+    ) -> Result<KtkReply> {
+        if ctx.dead.borrow().contains(&dst) {
+            return Err(Error::new(Code::Unreachable).with_msg(format!("shard {dst} is dead")));
+        }
+        self.sim.sleep(costs::KTK_FORWARD).await;
+        let req_id = ctx.next_req.get();
+        ctx.next_req.set(req_id + 1);
+        let slot = Rc::new(RefCell::new(None));
+        let ready = Notify::new();
+        ctx.pending.borrow_mut().insert(
+            req_id,
+            KtkPending {
+                slot: slot.clone(),
+                ready: ready.clone(),
+                to: dst,
+            },
+        );
+        self.ktk_send(ctx, dst, &build(req_id));
+        if self.dtu.system().faults().is_none() {
+            loop {
+                if let Some(reply) = slot.borrow_mut().take() {
+                    return Ok(reply);
+                }
+                ready.wait().await;
+            }
+        }
+        let deadline = self.sim.now() + costs::KTK_TIMEOUT;
+        let wait = async {
+            loop {
+                if let Some(reply) = slot.borrow_mut().take() {
+                    return reply;
+                }
+                ready.wait().await;
+            }
+        };
+        match m3_sim::with_deadline(&self.sim, deadline, wait).await {
+            Some(reply) => Ok(reply),
+            None => {
+                ctx.pending.borrow_mut().remove(&req_id);
+                Err(Error::new(Code::Unreachable).with_msg("peer kernel did not reply"))
+            }
+        }
+    }
+
+    /// Feeds one raw ktk message into this kernel. Transports call this on
+    /// the receiving side: requests are dispatched to detached handler
+    /// tasks — the serial syscall loop never blocks on a peer, so two
+    /// shards forwarding to each other cannot deadlock — and replies are
+    /// routed straight to the waiting request.
+    pub fn ktk_deliver(&self, bytes: &[u8]) {
+        let Some(ctx) = self.shard_ctx() else { return };
+        let Ok((src, free, msg)) = KtkMsg::from_bytes(bytes) else {
+            self.sim.stats().incr("kernel.ktk_bad_messages");
+            return;
+        };
+        // Piggybacked load feed: every message refreshes the sender's
+        // advertised free-PE count (unless the watchdog declared it dead).
+        if !ctx.dead.borrow().contains(&src) {
+            ctx.peer_free.borrow_mut().insert(src, free as usize);
+        }
+        match msg {
+            KtkMsg::Hello => {}
+            KtkMsg::Reply { req_id, reply } => {
+                let pending = ctx.pending.borrow_mut().remove(&req_id);
+                if let Some(p) = pending {
+                    *p.slot.borrow_mut() = Some(reply);
+                    p.ready.notify_all();
+                }
+            }
+            msg => {
+                let at = self.sim.now();
+                self.sim.tracer().record_with(|| Event {
+                    at,
+                    dur: m3_base::Cycles::ZERO,
+                    pe: Some(self.pe),
+                    comp: Component::Kernel,
+                    kind: EventKind::ShardOp {
+                        shard: ctx.id,
+                        peer: src,
+                        op: msg.name().to_string(),
+                    },
+                });
+                let k = self.clone();
+                let name = format!("ktk-{}@{}", msg.name(), self.pe);
+                self.sim.spawn(name, async move {
+                    k.ktk_handle(&ctx, src, msg).await;
+                });
+            }
+        }
+    }
+
+    /// Handles one peer request: counted as a kernel operation of this
+    /// shard, charged the dispatch share, and answered with a `Reply`
+    /// (unless fire-and-forget).
+    async fn ktk_handle(&self, ctx: &Rc<ShardCtx>, src: u32, msg: KtkMsg) {
+        self.sim.sleep(costs::KTK_DISPATCH).await;
+        self.sim.stats().incr("kernel.ktk_requests");
+        self.sim.metrics().incr(self.pe, m3_sim::keys::KERNEL_OPS);
+        let outcome = match msg {
+            KtkMsg::PlaceVpe { req_id, name, want } => {
+                Some((req_id, self.ktk_place_vpe(&name, want).await))
+            }
+            KtkMsg::StartVpe { req_id, vpe } => Some((req_id, self.ktk_start_vpe(vpe))),
+            KtkMsg::WaitVpe { req_id, vpe } => Some((req_id, self.ktk_wait_vpe(vpe).await)),
+            KtkMsg::RevokeVpe { vpe } => {
+                self.ktk_revoke_vpe(vpe);
+                None
+            }
+            KtkMsg::DelegateCap {
+                req_id,
+                vpe,
+                sel,
+                desc,
+            } => Some((req_id, self.ktk_delegate_cap(vpe, sel, &desc).await)),
+            KtkMsg::RevokeCap { vpe, sel } => {
+                self.ktk_revoke_cap(vpe, sel).await;
+                None
+            }
+            KtkMsg::OpenSess { req_id, name, arg } => {
+                Some((req_id, self.ktk_open_sess(&name, arg).await))
+            }
+            KtkMsg::ExchangeSess {
+                req_id,
+                serv,
+                ident,
+                obtain,
+                cap_count,
+                descs,
+                args,
+            } => Some((
+                req_id,
+                self.ktk_exchange_sess(&serv, ident, obtain, cap_count, &descs, &args)
+                    .await,
+            )),
+            // Routed in `ktk_deliver`, never dispatched here.
+            KtkMsg::Hello | KtkMsg::Reply { .. } => None,
+        };
+        if let Some((req_id, result)) = outcome {
+            let reply = result.unwrap_or_else(|e| KtkReply::err(e.code()));
+            self.ktk_send(ctx, src, &KtkMsg::Reply { req_id, reply });
+        }
+    }
+
+    /// Places a VPE for a peer shard (`PlaceVpe`): allocation, object
+    /// setup, and the syscall channel work exactly like a local
+    /// `CreateVpe`, but the parent lives in the requesting shard, so the
+    /// child's self capability is a local root — the parent edge is the
+    /// requester's `RemoteVpe` proxy, cut via `RevokeVpe`.
+    async fn ktk_place_vpe(&self, name: &str, want: PeRequest) -> Result<KtkReply> {
+        self.sim.sleep(costs::CREATE_VPE).await;
+        let (id, pe) = {
+            let mut st = self.state.borrow_mut();
+            // `Same` cannot cross shards (the sender resolves it first); a
+            // stray one falls back to the base compute type.
+            let pe = st.pemng.alloc(want, PeType::Xtensa)?;
+            let id = VpeId::new(st.next_vpe);
+            st.next_vpe += 1;
+            let vpe = Rc::new(RefCell::new(VpeObj::new(id, name, pe)));
+            st.vpes.insert(id, vpe.clone());
+            let mut table = CapTable::new();
+            table.insert(SelId::new(0), Capability::new(KObject::Vpe(vpe)))?;
+            st.tables.insert(id, table);
+            st.tree.insert_root((id, SelId::new(0)));
+            (id, pe)
+        };
+        self.setup_sysc_channel(id, pe)?;
+        self.charge_ep_config(pe).await;
+        Ok(KtkReply::ok(u64::from(id.raw()), u64::from(pe.raw())))
+    }
+
+    fn ktk_start_vpe(&self, vpe: u32) -> Result<KtkReply> {
+        let vpe_obj = self
+            .state
+            .borrow()
+            .vpes
+            .get(&VpeId::new(vpe))
+            .cloned()
+            .ok_or_else(|| Error::new(Code::VpeGone).with_msg("unknown remote VPE"))?;
+        let mut v = vpe_obj.borrow_mut();
+        match v.state {
+            VpeState::Init => {
+                v.state = VpeState::Running;
+                Ok(KtkReply::ok(0, 0))
+            }
+            _ => Err(Error::new(Code::InvArgs).with_msg("VPE not in init state")),
+        }
+    }
+
+    async fn ktk_wait_vpe(&self, vpe: u32) -> Result<KtkReply> {
+        let vpe_obj = self
+            .state
+            .borrow()
+            .vpes
+            .get(&VpeId::new(vpe))
+            .cloned()
+            .ok_or_else(|| Error::new(Code::VpeGone).with_msg("unknown remote VPE"))?;
+        loop {
+            let (code, exited) = {
+                let v = vpe_obj.borrow();
+                (v.exit_code(), v.exited.clone())
+            };
+            if let Some(code) = code {
+                // The exit code travels as its i64 bit pattern.
+                return Ok(KtkReply::ok(code as u64, 0));
+            }
+            exited.wait().await;
+        }
+    }
+
+    fn ktk_revoke_vpe(&self, vpe: u32) {
+        let vpe_obj = self.state.borrow().vpes.get(&VpeId::new(vpe)).cloned();
+        if let Some(v) = vpe_obj {
+            self.destroy_vpe(&v, -1);
+        }
+    }
+
+    async fn ktk_delegate_cap(&self, vpe: u32, sel: u32, desc: &CapDesc) -> Result<KtkReply> {
+        self.sim.sleep(costs::CAP_OP).await;
+        self.install_desc(VpeId::new(vpe), SelId::new(sel), desc)?;
+        Ok(KtkReply::ok(0, 0))
+    }
+
+    async fn ktk_revoke_cap(&self, vpe: u32, sel: u32) {
+        let count = self.revoke_cap(VpeId::new(vpe), SelId::new(sel));
+        self.sim
+            .sleep(costs::REVOKE_PER_CAP * (count as u64).max(1))
+            .await;
+    }
+
+    async fn ktk_open_sess(&self, name: &str, arg: u64) -> Result<KtkReply> {
+        let serv = self.state.borrow().services.find(name)?;
+        let reply = self
+            .forward_to_service(&serv, ServiceRequest::Open { arg })
+            .await?;
+        if let Some(code) = reply.error {
+            return Err(Error::new(code));
+        }
+        Ok(KtkReply::ok(reply.ident, 0))
+    }
+
+    /// A capability exchange forwarded by a peer shard: runs the local
+    /// service protocol and converts the capability legs to descriptors —
+    /// obtain hands the service's capabilities back as descriptors,
+    /// delegate installs the carried descriptors into the service owner's
+    /// table.
+    async fn ktk_exchange_sess(
+        &self,
+        serv_name: &str,
+        ident: u64,
+        obtain: bool,
+        cap_count: u32,
+        descs: &[CapDesc],
+        args: &[u8],
+    ) -> Result<KtkReply> {
+        let serv = self.state.borrow().services.find(serv_name)?;
+        let reply = self
+            .forward_to_service(
+                &serv,
+                ServiceRequest::Exchange {
+                    ident,
+                    obtain,
+                    cap_count,
+                    args: args.to_vec(),
+                },
+            )
+            .await?;
+        if let Some(code) = reply.error {
+            return Err(Error::new(code));
+        }
+        if reply.caps.len() as u32 > cap_count {
+            return Err(Error::new(Code::BadMessage));
+        }
+        let owner = serv.owner;
+        if obtain {
+            let mut out = Vec::new();
+            {
+                let mut st = self.state.borrow_mut();
+                for serv_sel in &reply.caps {
+                    let obj = Self::table(&mut st, owner)?
+                        .get(*serv_sel)
+                        .map(|c| c.obj.clone())?;
+                    out.push(Self::desc_of_obj(&obj)?);
+                }
+            }
+            Ok(KtkReply {
+                code: None,
+                a: 0,
+                b: 0,
+                caps: out,
+                args: reply.args,
+            })
+        } else {
+            if reply.caps.len() > descs.len() {
+                return Err(Error::new(Code::BadMessage));
+            }
+            for (i, serv_sel) in reply.caps.iter().enumerate() {
+                self.install_desc(owner, *serv_sel, &descs[i])?;
+            }
+            Ok(KtkReply {
+                code: None,
+                a: 0,
+                b: 0,
+                caps: Vec::new(),
+                args: reply.args,
+            })
+        }
+    }
+
+    /// Cross-shard `CreateVpe` spill-over (requesting side): tries peer
+    /// shards most-free-first until one admits the VPE, then installs a
+    /// `RemoteVpe` proxy plus the child-SPM memory gate — the same two
+    /// capabilities a local `CreateVpe` yields, so the caller's session
+    /// keeps working transparently.
+    #[allow(clippy::too_many_arguments)]
+    async fn create_vpe_remote(
+        &self,
+        ctx: &Rc<ShardCtx>,
+        caller: VpeId,
+        dst: SelId,
+        mem_dst: SelId,
+        req: PeRequest,
+        caller_ty: PeType,
+        name: &str,
+    ) -> Result<Vec<u8>> {
+        let want = match req {
+            PeRequest::Same => PeRequest::Type(caller_ty),
+            other => other,
+        };
+        let mut tried: BTreeSet<u32> = BTreeSet::new();
+        loop {
+            let peer = {
+                let free = ctx.peer_free.borrow();
+                ktk::choose_peer(
+                    free.iter()
+                        .filter(|(s, _)| !tried.contains(*s))
+                        .map(|(s, f)| (*s, *f)),
+                )
+            };
+            let Some(peer) = peer else {
+                return Err(Error::new(Code::NoFreePe)
+                    .with_msg(format!("no shard can place request {req:?}")));
+            };
+            tried.insert(peer);
+            let reply = self
+                .ktk_request(ctx, peer, |req_id| KtkMsg::PlaceVpe {
+                    req_id,
+                    name: name.to_string(),
+                    want,
+                })
+                .await?;
+            match reply.into_result() {
+                Ok(r) => {
+                    let vpe_raw = r.a as u32;
+                    let pe = PeId::new(r.b as u32);
+                    let install = {
+                        let mut st = self.state.borrow_mut();
+                        (|| -> Result<()> {
+                            let robj = Rc::new(RemoteVpeObj {
+                                shard: peer,
+                                vpe: vpe_raw,
+                                pe,
+                            });
+                            Self::table(&mut st, caller)?
+                                .insert(dst, Capability::new(KObject::RemoteVpe(robj)))?;
+                            st.tree.insert_root((caller, dst));
+                            let mgate = Rc::new(MGateObj {
+                                pe,
+                                offset: 0,
+                                size: SPM_DATA_SIZE as u64,
+                                perm: Perm::RW,
+                                owned: false,
+                            });
+                            if let Err(e) = Self::table(&mut st, caller)?
+                                .insert(mem_dst, Capability::new(KObject::MGate(mgate)))
+                            {
+                                // Roll the proxy back out so the caller's
+                                // table is unchanged on failure.
+                                st.tree.revoke((caller, dst));
+                                if let Some(t) = st.tables.get_mut(&caller) {
+                                    t.remove(dst);
+                                }
+                                return Err(e);
+                            }
+                            st.tree.insert_root((caller, mem_dst));
+                            Ok(())
+                        })()
+                    };
+                    if let Err(e) = install {
+                        // The placement would leak on the peer; take it back.
+                        self.ktk_send(ctx, peer, &KtkMsg::RevokeVpe { vpe: vpe_raw });
+                        return Err(e);
+                    }
+                    self.sim.stats().incr("kernel.remote_placements");
+                    let mut os = OStream::new();
+                    os.push_u32(vpe_raw).push_u32(pe.raw());
+                    return Ok(os.into_bytes());
+                }
+                // The peer's advertised load was stale; try the next one.
+                Err(e) if e.code() == Code::NoFreePe => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Remote-mount leg of `OpenSess` (requesting side): asks each live
+    /// peer shard, ascending, for the named service and installs a
+    /// `RemoteSess` proxy on the first hit.
+    async fn open_sess_remote(
+        &self,
+        ctx: &Rc<ShardCtx>,
+        caller: VpeId,
+        dst: SelId,
+        name: &str,
+        arg: u64,
+        local_err: &Error,
+    ) -> SyscallReply {
+        for peer in ctx.alive_peers() {
+            let reply = self
+                .ktk_request(ctx, peer, |req_id| KtkMsg::OpenSess {
+                    req_id,
+                    name: name.to_string(),
+                    arg,
+                })
+                .await
+                .and_then(KtkReply::into_result);
+            match reply {
+                Ok(r) => {
+                    let sess = Rc::new(RemoteSessObj {
+                        shard: peer,
+                        serv: name.to_string(),
+                        ident: r.a,
+                    });
+                    let mut st = self.state.borrow_mut();
+                    let table = match Self::table(&mut st, caller) {
+                        Ok(t) => t,
+                        Err(e) => return SyscallReply::err(e.code()),
+                    };
+                    if let Err(e) = table.insert(dst, Capability::new(KObject::RemoteSess(sess))) {
+                        return SyscallReply::err(e.code());
+                    }
+                    st.tree.insert_root((caller, dst));
+                    return SyscallReply::ok();
+                }
+                // This peer does not host it either; keep looking.
+                Err(e) if e.code() == Code::InvService => {}
+                Err(e) => return SyscallReply::err(e.code()),
+            }
+        }
+        SyscallReply::err(local_err.code())
+    }
+
+    /// Cross-shard `ExchangeSess` (requesting side): ships the exchange to
+    /// the shard hosting the service; obtained capabilities come back as
+    /// descriptors and are installed into the caller's chosen selectors,
+    /// delegated ones are descriptor-ized here and installed remotely.
+    async fn exchange_sess_remote(
+        &self,
+        caller: VpeId,
+        rs: &Rc<RemoteSessObj>,
+        obtain: bool,
+        caps: &[SelId],
+        args: &[u8],
+    ) -> SyscallReply {
+        let ctx = match self.shard_ctx_or_err() {
+            Ok(c) => c,
+            Err(e) => return SyscallReply::err(e.code()),
+        };
+        let mut descs = Vec::new();
+        if !obtain {
+            let mut st = self.state.borrow_mut();
+            for sel in caps {
+                let obj = match Self::table(&mut st, caller)
+                    .and_then(|t| t.get(*sel).map(|c| c.obj.clone()))
+                {
+                    Ok(o) => o,
+                    Err(e) => return SyscallReply::err(e.code()),
+                };
+                match Self::desc_of_obj(&obj) {
+                    Ok(d) => descs.push(d),
+                    Err(e) => return SyscallReply::err(e.code()),
+                }
+            }
+        }
+        let reply = self
+            .ktk_request(&ctx, rs.shard, |req_id| KtkMsg::ExchangeSess {
+                req_id,
+                serv: rs.serv.clone(),
+                ident: rs.ident,
+                obtain,
+                cap_count: caps.len() as u32,
+                descs,
+                args: args.to_vec(),
+            })
+            .await
+            .and_then(KtkReply::into_result);
+        let reply = match reply {
+            Ok(r) => r,
+            Err(e) => return SyscallReply::err(e.code()),
+        };
+        if reply.caps.len() > caps.len() {
+            return SyscallReply::err(Code::BadMessage);
+        }
+        // Obtain direction: install what the service handed back.
+        for (i, desc) in reply.caps.iter().enumerate() {
+            if let Err(e) = self.install_desc(caller, caps[i], desc) {
+                return SyscallReply::err(e.code());
+            }
+        }
+        SyscallReply::ok_with(reply.args)
+    }
+
+    /// Converts a local capability into a descriptor that can cross a
+    /// shard boundary. Only fully hardware-resolved objects qualify:
+    /// memory regions and activated send gates. Receive gates are refused
+    /// exactly like in VPE-to-VPE delegation (§4.5.4).
+    fn desc_of_obj(obj: &KObject) -> Result<CapDesc> {
+        match obj {
+            KObject::MGate(mg) => Ok(CapDesc::Mem {
+                pe: mg.pe.raw(),
+                offset: mg.offset,
+                size: mg.size,
+                perm: mg.perm,
+            }),
+            KObject::SGate(sg) => {
+                let Some((rpe, rep)) = *sg.rgate.activation.borrow() else {
+                    return Err(Error::new(Code::NotSup)
+                        .with_msg("only activated send gates can cross shards"));
+                };
+                Ok(CapDesc::SGate {
+                    pe: rpe.raw(),
+                    ep: rep.raw(),
+                    label: sg.label,
+                    credits: sg.credits.unwrap_or(0),
+                    max_payload: sg.rgate.max_payload() as u32,
+                })
+            }
+            KObject::XSGate(x) => Ok(CapDesc::SGate {
+                pe: x.pe.raw(),
+                ep: x.ep.raw(),
+                label: x.label,
+                credits: x.credits.unwrap_or(0),
+                max_payload: x.max_payload as u32,
+            }),
+            KObject::RGate(_) => {
+                Err(Error::new(Code::NotSup).with_msg("receive capabilities are not delegable"))
+            }
+            other => Err(Error::new(Code::NotSup)
+                .with_msg(format!("a {} capability cannot cross shards", other.kind()))),
+        }
+    }
+
+    /// Installs a descriptor received from a peer shard as a root
+    /// capability in `(vpe, sel)`.
+    fn install_desc(&self, vpe: VpeId, sel: SelId, desc: &CapDesc) -> Result<()> {
+        let obj = match desc {
+            CapDesc::Mem {
+                pe,
+                offset,
+                size,
+                perm,
+            } => KObject::MGate(Rc::new(MGateObj {
+                pe: PeId::new(*pe),
+                offset: *offset,
+                size: *size,
+                perm: *perm,
+                // The region's allocator lives with the origin shard.
+                owned: false,
+            })),
+            CapDesc::SGate {
+                pe,
+                ep,
+                label,
+                credits,
+                max_payload,
+            } => KObject::XSGate(Rc::new(XSGateObj {
+                pe: PeId::new(*pe),
+                ep: EpId::new(*ep),
+                label: *label,
+                credits: if *credits == 0 { None } else { Some(*credits) },
+                max_payload: *max_payload as usize,
+            })),
+        };
+        let mut st = self.state.borrow_mut();
+        Self::table(&mut st, vpe)?.insert(sel, Capability::new(obj))?;
+        st.tree.insert_root((vpe, sel));
+        Ok(())
+    }
+
+    /// Severs a dead peer shard: marks it dead, fails the in-flight
+    /// requests addressed to it with `Unreachable`, drops its delegation
+    /// edges, and revokes every proxy capability pointing into it (so
+    /// cross-shard access is actually cut, not just orphaned).
+    fn on_peer_shard_dead(&self, peer: u32) {
+        let Some(ctx) = self.shard_ctx() else { return };
+        if !ctx.dead.borrow_mut().insert(peer) {
+            return;
+        }
+        ctx.peer_free.borrow_mut().remove(&peer);
+        let stuck: Vec<KtkPending> = {
+            let mut pending = ctx.pending.borrow_mut();
+            let ids: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| p.to == peer)
+                .map(|(id, _)| *id)
+                .collect();
+            ids.into_iter()
+                .filter_map(|id| pending.remove(&id))
+                .collect()
+        };
+        for p in stuck {
+            *p.slot.borrow_mut() = Some(KtkReply::err(Code::Unreachable));
+            p.ready.notify_all();
+        }
+        ctx.remote_children
+            .borrow_mut()
+            .values_mut()
+            .for_each(|edges| edges.retain(|(s, _, _)| *s != peer));
+        let refs: Vec<(VpeId, SelId)> = {
+            let st = self.state.borrow();
+            let mut refs = Vec::new();
+            for (vid, table) in &st.tables {
+                for sel in table.selectors() {
+                    let hits = table.get(sel).is_ok_and(|cap| match &cap.obj {
+                        KObject::RemoteVpe(r) => r.shard == peer,
+                        KObject::RemoteSess(r) => r.shard == peer,
+                        _ => false,
+                    });
+                    if hits {
+                        refs.push((*vid, sel));
+                    }
+                }
+            }
+            refs
+        };
+        let at = self.sim.now();
+        self.sim.tracer().record_with(|| Event {
+            at,
+            dur: m3_base::Cycles::ZERO,
+            pe: Some(self.pe),
+            comp: Component::Kernel,
+            kind: EventKind::Recovery {
+                action: format!("dead_shard:{peer}"),
+                attempt: 0,
+            },
+        });
+        for (v, s) in refs {
+            self.revoke_cap(v, s);
         }
     }
 

@@ -1,0 +1,657 @@
+//! The kernel-to-kernel (ktk) protocol of the sharded multikernel.
+//!
+//! The paper names "multiple kernel instances" as M3's scalability path
+//! (§7). This module defines the wire format the shards speak to each
+//! other: a shard whose admission hits `NoFreePe` forwards the request to
+//! the least-loaded peer, and the peer's reply carries *capability
+//! descriptors* — self-contained descriptions of the hardware resource a
+//! capability names — that the requesting kernel installs into its own
+//! tables. Only capabilities whose hardware address is fully resolved can
+//! cross a shard boundary: memory regions and activated send gates.
+//! Receive gates stay with their shard, exactly like they cannot be
+//! delegated between VPEs (§4.5.4): messages may arrive at any time, so
+//! the backing ring buffer cannot move.
+//!
+//! Every message starts with a fixed header `(src_shard, free_pes)`: the
+//! sender piggybacks its current free-PE count on every message, so each
+//! kernel maintains a passively refreshed load view of its peers and
+//! placement needs no extra round trip.
+//!
+//! The transport is deliberately abstract (`ShardCtx` carries a send
+//! closure): inside one `Sim` the bytes ride the NoC between the kernel
+//! PEs; across PDES islands they ride the island boundary ports. Either
+//! way the messages are plain timestamped bytes, so determinism is
+//! preserved for any worker count.
+
+use m3_base::error::{Code, Error, Result};
+use m3_base::marshal::{IStream, OStream};
+use m3_base::Perm;
+
+use crate::protocol::{PeRequest, MAX_EXCHANGE_CAPS};
+
+/// A self-contained description of a capability that may cross a shard
+/// boundary. The receiving kernel re-wraps the descriptor into a kernel
+/// object of its own; the hardware address (PE, offset / endpoint) stays
+/// authoritative, so access goes straight over the NoC without involving
+/// the owning shard again.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CapDesc {
+    /// A memory region on some node (DRAM module or a PE's SPM). Never
+    /// marked owned on the receiving side: the region's allocator lives
+    /// with the origin shard.
+    Mem {
+        /// The node whose memory this names.
+        pe: u32,
+        /// Start offset within that node's memory.
+        offset: u64,
+        /// Region size in bytes.
+        size: u64,
+        /// Access permissions.
+        perm: Perm,
+    },
+    /// An *activated* send gate: the receive gate it targets is pinned to
+    /// `(pe, ep)`, so a foreign VPE can be given a send endpoint to it
+    /// without the origin shard mediating each message.
+    SGate {
+        /// PE of the activated receive gate.
+        pe: u32,
+        /// Endpoint of the activated receive gate.
+        ep: u32,
+        /// Label stamped into every message.
+        label: u64,
+        /// Credit budget; `0` encodes unlimited.
+        credits: u32,
+        /// Maximum payload bytes per message.
+        max_payload: u32,
+    },
+}
+
+impl CapDesc {
+    fn encode(&self, os: &mut OStream) {
+        match self {
+            CapDesc::Mem {
+                pe,
+                offset,
+                size,
+                perm,
+            } => {
+                os.push_u8(0);
+                os.push_u32(*pe)
+                    .push_u64(*offset)
+                    .push_u64(*size)
+                    .push_u8(perm.bits());
+            }
+            CapDesc::SGate {
+                pe,
+                ep,
+                label,
+                credits,
+                max_payload,
+            } => {
+                os.push_u8(1);
+                os.push_u32(*pe)
+                    .push_u32(*ep)
+                    .push_u64(*label)
+                    .push_u32(*credits)
+                    .push_u32(*max_payload);
+            }
+        }
+    }
+
+    fn decode(is: &mut IStream<'_>) -> Result<CapDesc> {
+        match is.pop_u8()? {
+            0 => Ok(CapDesc::Mem {
+                pe: is.pop_u32()?,
+                offset: is.pop_u64()?,
+                size: is.pop_u64()?,
+                perm: Perm::from_bits(is.pop_u8()?),
+            }),
+            1 => Ok(CapDesc::SGate {
+                pe: is.pop_u32()?,
+                ep: is.pop_u32()?,
+                label: is.pop_u64()?,
+                credits: is.pop_u32()?,
+                max_payload: is.pop_u32()?,
+            }),
+            _ => Err(Error::new(Code::BadMessage).with_msg("bad CapDesc tag")),
+        }
+    }
+}
+
+/// A peer's reply to a ktk request. `a`/`b` carry the two scalar results a
+/// request can produce (e.g. VPE id + PE id for `PlaceVpe`, the exit code
+/// for `WaitVpe`, the session ident for `OpenSess`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KtkReply {
+    /// `None` means the peer accepted the request.
+    pub code: Option<Code>,
+    /// First scalar result.
+    pub a: u64,
+    /// Second scalar result.
+    pub b: u64,
+    /// Capability descriptors handed back (obtain direction).
+    pub caps: Vec<CapDesc>,
+    /// Service-specific reply bytes (session exchanges).
+    pub args: Vec<u8>,
+}
+
+impl KtkReply {
+    /// A success reply with two scalar results.
+    pub fn ok(a: u64, b: u64) -> KtkReply {
+        KtkReply {
+            code: None,
+            a,
+            b,
+            caps: Vec::new(),
+            args: Vec::new(),
+        }
+    }
+
+    /// An error reply.
+    pub fn err(code: Code) -> KtkReply {
+        KtkReply {
+            code: Some(code),
+            a: 0,
+            b: 0,
+            caps: Vec::new(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Converts the reply into a `Result` over itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns the carried error code, if any.
+    pub fn into_result(self) -> Result<KtkReply> {
+        match self.code {
+            None => Ok(self),
+            Some(code) => Err(Error::new(code)),
+        }
+    }
+
+    fn encode(&self, os: &mut OStream) {
+        os.push_u32(self.code.map_or(0, |c| c.as_raw()));
+        os.push_u64(self.a).push_u64(self.b);
+        os.push_u32(self.caps.len() as u32);
+        for c in &self.caps {
+            c.encode(os);
+        }
+        os.push_bytes(&self.args);
+    }
+
+    fn decode(is: &mut IStream<'_>) -> Result<KtkReply> {
+        let raw = is.pop_u32()?;
+        let code = if raw == 0 {
+            None
+        } else {
+            Some(Code::from_raw(raw))
+        };
+        let a = is.pop_u64()?;
+        let b = is.pop_u64()?;
+        let caps = decode_descs(is)?;
+        let args = is.pop_bytes()?.to_vec();
+        Ok(KtkReply {
+            code,
+            a,
+            b,
+            caps,
+            args,
+        })
+    }
+}
+
+fn encode_descs(os: &mut OStream, descs: &[CapDesc]) {
+    os.push_u32(descs.len() as u32);
+    for d in descs {
+        d.encode(os);
+    }
+}
+
+fn decode_descs(is: &mut IStream<'_>) -> Result<Vec<CapDesc>> {
+    let n = is.pop_u32()? as usize;
+    if n > MAX_EXCHANGE_CAPS {
+        return Err(Error::new(Code::BadMessage).with_msg("too many cap descriptors"));
+    }
+    let mut descs = Vec::with_capacity(n);
+    for _ in 0..n {
+        descs.push(CapDesc::decode(is)?);
+    }
+    Ok(descs)
+}
+
+/// A kernel-to-kernel message. Requests carry a sender-chosen `req_id`;
+/// the peer answers with a [`KtkMsg::Reply`] echoing it. `RevokeVpe` and
+/// `RevokeCap` are fire-and-forget: revocation is idempotent and the
+/// sender holds no state that depends on the answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KtkMsg {
+    /// Load announcement; the header's free-PE count is the payload.
+    Hello,
+    /// Place a VPE on one of the receiver's PEs (cross-shard `CreateVpe`
+    /// spill-over). The sender resolves `Same` to a concrete type before
+    /// forwarding — the receiver cannot know the caller's PE.
+    PlaceVpe {
+        /// Request id echoed by the reply.
+        req_id: u64,
+        /// Human-readable VPE name.
+        name: String,
+        /// Requested PE type.
+        want: PeRequest,
+    },
+    /// Start a VPE previously placed via `PlaceVpe`.
+    StartVpe {
+        /// Request id echoed by the reply.
+        req_id: u64,
+        /// The receiver-side VPE id.
+        vpe: u32,
+    },
+    /// Wait for a remotely placed VPE to exit; the reply's `a` carries the
+    /// exit code as `i64` bits.
+    WaitVpe {
+        /// Request id echoed by the reply.
+        req_id: u64,
+        /// The receiver-side VPE id.
+        vpe: u32,
+    },
+    /// Destroy a remotely placed VPE (fire-and-forget; the cross-shard
+    /// mirror of revoking a VPE capability, §4.5.5).
+    RevokeVpe {
+        /// The receiver-side VPE id.
+        vpe: u32,
+    },
+    /// Install a capability descriptor into a remotely placed VPE's table
+    /// (cross-shard delegation, §4.5.3 first option).
+    DelegateCap {
+        /// Request id echoed by the reply.
+        req_id: u64,
+        /// The receiver-side VPE id.
+        vpe: u32,
+        /// Receiver-side selector to fill.
+        sel: u32,
+        /// What to install.
+        desc: CapDesc,
+    },
+    /// Remove a previously delegated capability (fire-and-forget leg of a
+    /// cross-shard recursive revoke, §4.5.3).
+    RevokeCap {
+        /// The receiver-side VPE id.
+        vpe: u32,
+        /// Receiver-side selector to revoke.
+        sel: u32,
+    },
+    /// Open a session with a service registered at the receiver (remote
+    /// mount path). The reply's `a` carries the session ident.
+    OpenSess {
+        /// Request id echoed by the reply.
+        req_id: u64,
+        /// Global service name (e.g. `"m3fs"`).
+        name: String,
+        /// Client-provided argument.
+        arg: u64,
+    },
+    /// A capability exchange over a remotely opened session: the receiver
+    /// forwards to its local service and descriptor-izes the result.
+    ExchangeSess {
+        /// Request id echoed by the reply.
+        req_id: u64,
+        /// Service name (sessions are stateless on the origin side).
+        serv: String,
+        /// The service-chosen session identifier.
+        ident: u64,
+        /// `true` = obtain (service -> caller), `false` = delegate.
+        obtain: bool,
+        /// Number of capabilities the client offers/requests.
+        cap_count: u32,
+        /// Descriptors of the caller's capabilities (delegate direction).
+        descs: Vec<CapDesc>,
+        /// Service-specific request bytes.
+        args: Vec<u8>,
+    },
+    /// The answer to a request, echoing its `req_id`.
+    Reply {
+        /// The request this answers.
+        req_id: u64,
+        /// The outcome.
+        reply: KtkReply,
+    },
+}
+
+mod op {
+    pub const HELLO: u32 = 0;
+    pub const PLACE_VPE: u32 = 1;
+    pub const START_VPE: u32 = 2;
+    pub const WAIT_VPE: u32 = 3;
+    pub const REVOKE_VPE: u32 = 4;
+    pub const DELEGATE_CAP: u32 = 5;
+    pub const REVOKE_CAP: u32 = 6;
+    pub const OPEN_SESS: u32 = 7;
+    pub const EXCHANGE_SESS: u32 = 8;
+    pub const REPLY: u32 = 9;
+}
+
+impl KtkMsg {
+    /// The operation name, for tracing and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KtkMsg::Hello => "hello",
+            KtkMsg::PlaceVpe { .. } => "place_vpe",
+            KtkMsg::StartVpe { .. } => "start_vpe",
+            KtkMsg::WaitVpe { .. } => "wait_vpe",
+            KtkMsg::RevokeVpe { .. } => "revoke_vpe",
+            KtkMsg::DelegateCap { .. } => "delegate_cap",
+            KtkMsg::RevokeCap { .. } => "revoke_cap",
+            KtkMsg::OpenSess { .. } => "open_sess",
+            KtkMsg::ExchangeSess { .. } => "exchange_sess",
+            KtkMsg::Reply { .. } => "reply",
+        }
+    }
+
+    /// Marshals the message with its shard header: the sending shard's id
+    /// and its current free-PE count (the passive load feed).
+    pub fn to_bytes(&self, src_shard: u32, free_pes: u32) -> Vec<u8> {
+        let mut os = OStream::with_capacity(64);
+        os.push_u32(src_shard).push_u32(free_pes);
+        match self {
+            KtkMsg::Hello => {
+                os.push_u32(op::HELLO);
+            }
+            KtkMsg::PlaceVpe { req_id, name, want } => {
+                os.push_u32(op::PLACE_VPE);
+                os.push_u64(*req_id);
+                want.encode(&mut os);
+                os.push_str(name);
+            }
+            KtkMsg::StartVpe { req_id, vpe } => {
+                os.push_u32(op::START_VPE);
+                os.push_u64(*req_id).push_u32(*vpe);
+            }
+            KtkMsg::WaitVpe { req_id, vpe } => {
+                os.push_u32(op::WAIT_VPE);
+                os.push_u64(*req_id).push_u32(*vpe);
+            }
+            KtkMsg::RevokeVpe { vpe } => {
+                os.push_u32(op::REVOKE_VPE);
+                os.push_u32(*vpe);
+            }
+            KtkMsg::DelegateCap {
+                req_id,
+                vpe,
+                sel,
+                desc,
+            } => {
+                os.push_u32(op::DELEGATE_CAP);
+                os.push_u64(*req_id).push_u32(*vpe).push_u32(*sel);
+                desc.encode(&mut os);
+            }
+            KtkMsg::RevokeCap { vpe, sel } => {
+                os.push_u32(op::REVOKE_CAP);
+                os.push_u32(*vpe).push_u32(*sel);
+            }
+            KtkMsg::OpenSess { req_id, name, arg } => {
+                os.push_u32(op::OPEN_SESS);
+                os.push_u64(*req_id).push_str(name).push_u64(*arg);
+            }
+            KtkMsg::ExchangeSess {
+                req_id,
+                serv,
+                ident,
+                obtain,
+                cap_count,
+                descs,
+                args,
+            } => {
+                os.push_u32(op::EXCHANGE_SESS);
+                os.push_u64(*req_id)
+                    .push_str(serv)
+                    .push_u64(*ident)
+                    .push_bool(*obtain)
+                    .push_u32(*cap_count);
+                encode_descs(&mut os, descs);
+                os.push_bytes(args);
+            }
+            KtkMsg::Reply { req_id, reply } => {
+                os.push_u32(op::REPLY);
+                os.push_u64(*req_id);
+                reply.encode(&mut os);
+            }
+        }
+        os.into_bytes()
+    }
+
+    /// Unmarshals a message, returning `(src_shard, free_pes, msg)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Code::BadMessage`] on truncated or malformed payloads.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(u32, u32, KtkMsg)> {
+        let mut is = IStream::new(bytes);
+        let src_shard = is.pop_u32()?;
+        let free_pes = is.pop_u32()?;
+        let msg = match is.pop_u32()? {
+            op::HELLO => KtkMsg::Hello,
+            op::PLACE_VPE => KtkMsg::PlaceVpe {
+                req_id: is.pop_u64()?,
+                want: PeRequest::decode(&mut is)?,
+                name: is.pop_str()?,
+            },
+            op::START_VPE => KtkMsg::StartVpe {
+                req_id: is.pop_u64()?,
+                vpe: is.pop_u32()?,
+            },
+            op::WAIT_VPE => KtkMsg::WaitVpe {
+                req_id: is.pop_u64()?,
+                vpe: is.pop_u32()?,
+            },
+            op::REVOKE_VPE => KtkMsg::RevokeVpe { vpe: is.pop_u32()? },
+            op::DELEGATE_CAP => KtkMsg::DelegateCap {
+                req_id: is.pop_u64()?,
+                vpe: is.pop_u32()?,
+                sel: is.pop_u32()?,
+                desc: CapDesc::decode(&mut is)?,
+            },
+            op::REVOKE_CAP => KtkMsg::RevokeCap {
+                vpe: is.pop_u32()?,
+                sel: is.pop_u32()?,
+            },
+            op::OPEN_SESS => KtkMsg::OpenSess {
+                req_id: is.pop_u64()?,
+                name: is.pop_str()?,
+                arg: is.pop_u64()?,
+            },
+            op::EXCHANGE_SESS => KtkMsg::ExchangeSess {
+                req_id: is.pop_u64()?,
+                serv: is.pop_str()?,
+                ident: is.pop_u64()?,
+                obtain: is.pop_bool()?,
+                cap_count: is.pop_u32()?,
+                descs: decode_descs(&mut is)?,
+                args: is.pop_bytes()?.to_vec(),
+            },
+            op::REPLY => KtkMsg::Reply {
+                req_id: is.pop_u64()?,
+                reply: KtkReply::decode(&mut is)?,
+            },
+            _ => return Err(Error::new(Code::BadMessage).with_msg("unknown ktk opcode")),
+        };
+        Ok((src_shard, free_pes, msg))
+    }
+}
+
+/// Picks the spill-over target among peer shards: the one with the most
+/// free PEs, ties going to the earliest candidate (callers pass ascending
+/// shard ids, so ties resolve to the lowest id). Implemented on the shared
+/// `m3-sched` least-loaded policy by treating occupancy as the complement
+/// of the advertised free count, so both levels of placement — VPEs onto
+/// PEs and requests onto shards — follow one rule.
+pub fn choose_peer(candidates: impl IntoIterator<Item = (u32, usize)>) -> Option<u32> {
+    m3_sched::least_loaded(
+        candidates
+            .into_iter()
+            .map(|(shard, free)| (shard, usize::MAX - free)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_platform::PeType;
+
+    fn roundtrip(msg: KtkMsg) {
+        let bytes = msg.to_bytes(3, 17);
+        let (src, free, parsed) = KtkMsg::from_bytes(&bytes).unwrap();
+        assert_eq!(src, 3);
+        assert_eq!(free, 17);
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(KtkMsg::Hello);
+        roundtrip(KtkMsg::PlaceVpe {
+            req_id: 7,
+            name: "worker".to_string(),
+            want: PeRequest::Any,
+        });
+        roundtrip(KtkMsg::PlaceVpe {
+            req_id: 8,
+            name: "fft".to_string(),
+            want: PeRequest::Type(PeType::FftAccel),
+        });
+        roundtrip(KtkMsg::StartVpe { req_id: 9, vpe: 4 });
+        roundtrip(KtkMsg::WaitVpe { req_id: 10, vpe: 4 });
+        roundtrip(KtkMsg::RevokeVpe { vpe: 4 });
+        roundtrip(KtkMsg::DelegateCap {
+            req_id: 11,
+            vpe: 4,
+            sel: 16,
+            desc: CapDesc::Mem {
+                pe: 9,
+                offset: 0x4000,
+                size: 8192,
+                perm: Perm::RW,
+            },
+        });
+        roundtrip(KtkMsg::DelegateCap {
+            req_id: 12,
+            vpe: 4,
+            sel: 17,
+            desc: CapDesc::SGate {
+                pe: 2,
+                ep: 3,
+                label: 0xfeed,
+                credits: 0,
+                max_payload: 488,
+            },
+        });
+        roundtrip(KtkMsg::RevokeCap { vpe: 4, sel: 16 });
+        roundtrip(KtkMsg::OpenSess {
+            req_id: 13,
+            name: "m3fs".to_string(),
+            arg: 1,
+        });
+        roundtrip(KtkMsg::ExchangeSess {
+            req_id: 14,
+            serv: "m3fs".to_string(),
+            ident: 42,
+            obtain: true,
+            cap_count: 1,
+            descs: vec![CapDesc::Mem {
+                pe: 1,
+                offset: 0,
+                size: 4096,
+                perm: Perm::R,
+            }],
+            args: vec![1, 2, 3],
+        });
+        roundtrip(KtkMsg::Reply {
+            req_id: 14,
+            reply: KtkReply {
+                code: None,
+                a: 5,
+                b: 6,
+                caps: vec![CapDesc::SGate {
+                    pe: 1,
+                    ep: 4,
+                    label: 1,
+                    credits: 8,
+                    max_payload: 232,
+                }],
+                args: vec![9],
+            },
+        });
+        roundtrip(KtkMsg::Reply {
+            req_id: 15,
+            reply: KtkReply::err(Code::NoFreePe),
+        });
+    }
+
+    #[test]
+    fn truncated_message_is_bad_message() {
+        let bytes = KtkMsg::OpenSess {
+            req_id: 1,
+            name: "m3fs".to_string(),
+            arg: 0,
+        }
+        .to_bytes(0, 0);
+        let err = KtkMsg::from_bytes(&bytes[..bytes.len() - 2]).unwrap_err();
+        assert_eq!(err.code(), Code::BadMessage);
+    }
+
+    #[test]
+    fn unknown_opcode_is_bad_message() {
+        let mut os = OStream::new();
+        os.push_u32(0).push_u32(0).push_u32(0xffff);
+        assert_eq!(
+            KtkMsg::from_bytes(os.as_bytes()).unwrap_err().code(),
+            Code::BadMessage
+        );
+    }
+
+    #[test]
+    fn too_many_descriptors_rejected() {
+        let msg = KtkMsg::ExchangeSess {
+            req_id: 1,
+            serv: "s".to_string(),
+            ident: 0,
+            obtain: false,
+            cap_count: 5,
+            descs: (0..5)
+                .map(|i| CapDesc::Mem {
+                    pe: i,
+                    offset: 0,
+                    size: 1,
+                    perm: Perm::R,
+                })
+                .collect(),
+            args: vec![],
+        };
+        assert_eq!(
+            KtkMsg::from_bytes(&msg.to_bytes(0, 0)).unwrap_err().code(),
+            Code::BadMessage
+        );
+    }
+
+    #[test]
+    fn reply_into_result() {
+        assert!(KtkMsg::Hello.name() == "hello");
+        assert_eq!(KtkReply::ok(1, 2).into_result().unwrap().a, 1);
+        assert_eq!(
+            KtkReply::err(Code::VpeGone)
+                .into_result()
+                .unwrap_err()
+                .code(),
+            Code::VpeGone
+        );
+    }
+
+    #[test]
+    fn choose_peer_prefers_most_free_then_lowest_id() {
+        assert_eq!(choose_peer(Vec::new()), None);
+        assert_eq!(choose_peer([(1u32, 0usize)]), Some(1));
+        assert_eq!(choose_peer([(1, 2), (2, 5), (3, 4)]), Some(2));
+        // Ties go to the earliest candidate (lowest shard id).
+        assert_eq!(choose_peer([(1, 3), (2, 3)]), Some(1));
+        assert_eq!(choose_peer([(4, 0), (9, 0)]), Some(4));
+    }
+}

@@ -17,15 +17,18 @@
 //! - [`mem`] — the kernel's DRAM allocator (§4.5.4: "the kernel is
 //!   responsible for managing the memories in the system"),
 //! - [`pemng`] — PE allocation by type (§4.5.5),
+//! - [`ktk`] — the kernel-to-kernel protocol of the sharded multikernel
+//!   (§7: multiple kernel instances as the scalability path),
 //! - [`Kernel`] — boot, the syscall dispatch loop, and service forwarding.
 
 pub mod cap;
 pub mod costs;
 mod kernel;
+pub mod ktk;
 pub mod mem;
 pub mod pemng;
 pub mod protocol;
 pub mod service;
 pub mod vpe;
 
-pub use kernel::{Kernel, VpeBootInfo, PAGE_SIZE, RINGBUF_SPM_BUDGET};
+pub use kernel::{Kernel, ShardCtx, VpeBootInfo, PAGE_SIZE, RINGBUF_SPM_BUDGET};

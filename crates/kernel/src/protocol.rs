@@ -48,7 +48,7 @@ pub enum PeRequest {
 }
 
 impl PeRequest {
-    fn encode(&self, os: &mut OStream) {
+    pub(crate) fn encode(&self, os: &mut OStream) {
         match self {
             PeRequest::Any => {
                 os.push_u8(0);
@@ -63,7 +63,7 @@ impl PeRequest {
         }
     }
 
-    fn decode(is: &mut IStream<'_>) -> Result<PeRequest> {
+    pub(crate) fn decode(is: &mut IStream<'_>) -> Result<PeRequest> {
         match is.pop_u8()? {
             0 => Ok(PeRequest::Any),
             1 => Ok(PeRequest::Type(pe_type_from_u8(is.pop_u8()?)?)),

@@ -53,6 +53,7 @@ struct PlatformInner {
     dtus: DtuSystem,
     descs: Vec<PeDesc>,
     dram: PeId,
+    dram_size: usize,
 }
 
 /// A booted hardware platform (no software yet).
@@ -109,6 +110,7 @@ impl Platform {
                 dtus,
                 descs: cfg.pes,
                 dram,
+                dram_size: cfg.dram_size,
             }),
         }
     }
@@ -136,6 +138,11 @@ impl Platform {
     /// The NoC node id of the DRAM module.
     pub fn dram_pe(&self) -> PeId {
         self.inner.dram
+    }
+
+    /// Size in bytes of the DRAM module (partitioning carves this up).
+    pub fn dram_size(&self) -> usize {
+        self.inner.dram_size
     }
 
     /// The descriptor of a PE.

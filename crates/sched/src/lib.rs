@@ -145,6 +145,12 @@ impl Scheduler {
         self.slots.keys().map(|pe| (*pe, self.load(*pe))).collect()
     }
 
+    /// The least-loaded multiplexed PE, ties going to the lowest PE id
+    /// (see [`least_loaded`]).
+    pub fn least_loaded_pe(&self) -> Option<PeId> {
+        least_loaded(self.loads())
+    }
+
     /// Depth of the ready queue on `pe` (excludes the resident and parked).
     pub fn ready_depth(&self, pe: PeId) -> usize {
         self.slots.get(&pe).map_or(0, |s| s.ready.len())
@@ -350,6 +356,22 @@ impl Scheduler {
             now_empty,
         }
     }
+}
+
+/// Picks the least-loaded entry: the id with the smallest load, ties going
+/// to the earliest entry in iteration order (callers pass ascending-id
+/// sequences, so ties resolve to the lowest id). Shared by the kernel's
+/// overcommit placement and the multikernel's peer-shard selection, so both
+/// levels of the hierarchy use one placement policy.
+pub fn least_loaded<I: Copy>(items: impl IntoIterator<Item = (I, usize)>) -> Option<I> {
+    let mut best: Option<(I, usize)> = None;
+    for (id, load) in items {
+        match best {
+            Some((_, b)) if load >= b => {}
+            _ => best = Some((id, load)),
+        }
+    }
+    best.map(|(id, _)| id)
 }
 
 #[cfg(test)]
@@ -593,5 +615,29 @@ mod tests {
                 assert!(*count > 0, "round {round}: VPE {id} starved ({turns:?})");
             }
         }
+    }
+
+    #[test]
+    fn least_loaded_prefers_smallest_then_earliest() {
+        assert_eq!(least_loaded(Vec::<(u32, usize)>::new()), None);
+        assert_eq!(least_loaded([(7u32, 3)]), Some(7));
+        // Strictly smaller wins regardless of position.
+        assert_eq!(least_loaded([(1u32, 5), (2, 2), (3, 4)]), Some(2));
+        // Ties keep the earliest entry.
+        assert_eq!(least_loaded([(1u32, 2), (2, 2), (3, 2)]), Some(1));
+        assert_eq!(least_loaded([(9u32, 0), (1, 0)]), Some(9));
+    }
+
+    #[test]
+    fn scheduler_least_loaded_pe_matches_loads() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.least_loaded_pe(), None);
+        s.admit(v(1), p(2), Notify::new());
+        s.admit(v(2), p(2), Notify::new());
+        s.admit(v(3), p(5), Notify::new());
+        assert_eq!(s.least_loaded_pe(), Some(p(5)));
+        s.admit(v(4), p(5), Notify::new());
+        // Tie between PE 2 and PE 5: lowest PE id wins.
+        assert_eq!(s.least_loaded_pe(), Some(p(2)));
     }
 }

@@ -122,6 +122,9 @@ fn kind_fields(kind: &EventKind) -> Vec<String> {
             advanced.as_u64().to_string(),
             waited.as_u64().to_string(),
         ],
+        EventKind::ShardOp { shard, peer, op } => {
+            vec![shard.to_string(), peer.to_string(), escape(op)]
+        }
     }
 }
 
@@ -275,6 +278,11 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Event, String> {
             advanced: Cycles::new(num(f, 1, line_no)?),
             waited: Cycles::new(num(f, 2, line_no)?),
         },
+        "shard_op" => EventKind::ShardOp {
+            shard: num32(f, 0, line_no)?,
+            peer: num32(f, 1, line_no)?,
+            op: unescape(field(f, 2, line_no)?),
+        },
         other => return Err(format!("line {line_no}: unknown event kind {other:?}")),
     };
     Ok(Event {
@@ -412,6 +420,17 @@ mod tests {
                 kind: EventKind::ServeReq {
                     client: 17,
                     op: "Get".to_string(),
+                },
+            },
+            Event {
+                at: Cycles::new(90),
+                dur: Cycles::ZERO,
+                pe: Some(PeId::new(0)),
+                comp: Component::Kernel,
+                kind: EventKind::ShardOp {
+                    shard: 0,
+                    peer: 2,
+                    op: "place\tvpe".to_string(),
                 },
             },
         ]

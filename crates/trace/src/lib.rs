@@ -248,6 +248,18 @@ pub enum EventKind {
         /// Cycles between the island's final local time and the barrier.
         waited: Cycles,
     },
+    /// One leg of a kernel-to-kernel operation in a sharded multikernel:
+    /// emitted by the sending shard when a request leaves and by the
+    /// receiving shard when it is handled (§7 multiple kernels).
+    ShardOp {
+        /// The shard attributing the event (sender on send, receiver on
+        /// delivery).
+        shard: u32,
+        /// The peer shard on the other end of the gate.
+        peer: u32,
+        /// Operation name (e.g. `"place_vpe"`, `"delegate_cap"`).
+        op: String,
+    },
 }
 
 impl EventKind {
@@ -273,6 +285,7 @@ impl EventKind {
             EventKind::ServeReq { .. } => "serve_req",
             EventKind::CtxSwitch { .. } => "ctx_switch",
             EventKind::IslandWindow { .. } => "island_window",
+            EventKind::ShardOp { .. } => "shard_op",
         }
     }
 }
@@ -319,6 +332,7 @@ impl Event {
             EventKind::ServeReq { op, .. } => format!("serve:{op}"),
             EventKind::CtxSwitch { from, to, .. } => format!("ctx:{from}->{to}"),
             EventKind::IslandWindow { island, .. } => format!("island:{island}"),
+            EventKind::ShardOp { shard, peer, op } => format!("shard:{shard}->{peer}:{op}"),
         }
     }
 }
@@ -476,6 +490,10 @@ pub mod keys {
     /// Latency histogram of request latencies in the serving tier, measured
     /// from the request's scheduled arrival to its completion.
     pub const SERVE_LATENCY: &str = "serve.req_latency";
+    /// Kernel operations handled by the kernel running on this PE: local
+    /// syscalls plus kernel-to-kernel requests served for peer shards. Keyed
+    /// per kernel PE so a sharded multikernel's throughput sums per shard.
+    pub const KERNEL_OPS: &str = "kernel.ops";
 }
 
 /// A power-of-two-bucket histogram with count/sum/min/max.

@@ -448,3 +448,96 @@ fn dense_overcommit_schedule_holds_no_refcell_across_await() {
         "workload failed to produce a dense switch schedule"
     );
 }
+
+#[test]
+fn shard_kernel_crash_mid_delegation() {
+    // Multikernel chaos (§7): shard 1's kernel PE dies while shard 0 is
+    // delegating capabilities to a child it placed over there. Contract:
+    // in-flight and later cross-shard requests fail with typed errors (no
+    // hang, no panic), the shard watchdog marks the peer dead and reaps
+    // its proxy capabilities, and shard 0 keeps serving local work.
+    let sys = m3::ShardedSystem::boot(m3::ShardedSystemConfig {
+        pes: 6,
+        shards: 2,
+        fault_plan: Some(FaultPlan::new().crash_pe(PeId::new(3), Cycles::new(150_000))),
+        ..m3::ShardedSystemConfig::default()
+    });
+    let job = sys.run_program_on(0, "delegator", |env| async move {
+        // Shard 0's only free PE is this program: the child lands on
+        // shard 1, behind the kernel that is about to die.
+        let vpe = m3_libos::Vpe::new(&env, "child", m3_kernel::protocol::PeRequest::Same)
+            .await
+            .unwrap();
+        let mem = MemGate::alloc(&env, 4096, Perm::RW).await.unwrap();
+        let mut delegated = 0u32;
+        let failure = loop {
+            match vpe.delegate(mem.sel()).await {
+                Ok(_) => delegated += 1,
+                Err(e) => break e,
+            }
+            env.compute(Cycles::new(20_000)).await;
+        };
+        // Some delegations landed before the crash; the one that straddled
+        // it came back as a typed error, not a hang.
+        assert!(delegated > 0, "crash fired before any delegation");
+        check_typed(&failure);
+        // Every further cross-shard leg fails typed too: the child is
+        // gone with its kernel, and no peer has PEs left to spill to.
+        let wait_err = vpe.wait().await.unwrap_err();
+        check_typed(&wait_err);
+        let spill_err = m3_libos::Vpe::new(&env, "v", m3_kernel::protocol::PeRequest::Same)
+            .await
+            .map(|_| ())
+            .unwrap_err();
+        check_typed(&spill_err);
+        // Shard 0 itself keeps serving: local allocation still works.
+        let local = MemGate::alloc(&env, 4096, Perm::RW).await.unwrap();
+        local.write(0, b"alive").await.unwrap();
+        assert_eq!(local.read(0, 5).await.unwrap(), b"alive");
+        TYPED_FAILURE
+    });
+    let state = sys.sim().run_until(Cycles::new(RUN_BOUND));
+    assert_eq!(state, SimState::Finished, "shard crash hung: {state:?}");
+    sys.sim().settle(Cycles::new(1_000_000));
+    assert_eq!(job.try_take(), Some(TYPED_FAILURE));
+    // The watchdog declared the peer dead and reaped the proxies.
+    let ctx = sys.kernel(0).shard_ctx().unwrap();
+    assert!(ctx.is_dead(1), "shard 0 never noticed the dead peer");
+}
+
+#[test]
+fn surviving_peers_still_take_spills_after_a_shard_dies() {
+    // Three shards; shard 1's kernel dies early. Spill-over placement from
+    // shard 0 must skip the dead shard and land on shard 2.
+    let sys = m3::ShardedSystem::boot(m3::ShardedSystemConfig {
+        pes: 9,
+        shards: 3,
+        fault_plan: Some(FaultPlan::new().crash_pe(PeId::new(3), Cycles::new(50_000))),
+        ..m3::ShardedSystemConfig::default()
+    });
+    let plan = sys.plan().clone();
+    let job = sys.run_program_on(0, "spiller", move |env| async move {
+        // Let the watchdog notice the dead kernel first.
+        env.compute(Cycles::new(100_000)).await;
+        let vpe = m3_libos::Vpe::new(&env, "child", m3_kernel::protocol::PeRequest::Same)
+            .await
+            .unwrap();
+        assert_eq!(
+            plan.shard_of(vpe.pe()),
+            Some(2),
+            "spill landed on {:?} instead of the surviving shard",
+            vpe.pe()
+        );
+        vpe.revoke().await.unwrap();
+        CLEAN
+    });
+    let state = sys.sim().run_until(Cycles::new(RUN_BOUND));
+    assert_eq!(
+        state,
+        SimState::Finished,
+        "failover scenario hung: {state:?}"
+    );
+    sys.sim().settle(Cycles::new(1_000_000));
+    assert_eq!(job.try_take(), Some(CLEAN));
+    assert_eq!(sys.sim().stats().get("kernel.remote_placements"), 1);
+}

@@ -106,3 +106,25 @@ fn fig3_read_under_the_golden_fault_plan() {
         .count();
     assert_eq!(faults, 514, "512 link delays + 1 stall + 1 partition");
 }
+
+#[test]
+fn fig10_two_shard_sweep_point_golden_pin() {
+    // The sharded-multikernel scenario pinned exactly: 64 PEs in 2 kernel
+    // shards, one PDES island each, 4 placers + 1 spiller per shard. The
+    // spiller on shard 0 has no local accelerator, so its 4 rounds cross
+    // the ktk gate (xplace=4). Any change to the ktk wire format, the
+    // placement policy, the kernel-op accounting, or the island lookahead
+    // moves these numbers.
+    let p = m3_bench::fig10::run_point(64, 2, 1);
+    assert_eq!(p.ops, 83 + 91, "kernel-op total drifted");
+    assert_eq!(p.serve, 72, "admission count drifted");
+    assert_eq!(p.xplace, 4, "cross-shard placement count drifted");
+    assert_eq!(p.end.as_u64(), 13_906, "end time drifted");
+    assert_eq!(
+        p.digest,
+        "i0:ops=83:serve=36:xplace=4:end=13906;\
+         i1:ops=91:serve=36:xplace=0:end=12347\
+         |windows=135|events=14|end=13906",
+        "fig10 golden digest drifted"
+    );
+}

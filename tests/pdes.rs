@@ -98,3 +98,19 @@ fn pdes_ring_golden_pin() {
         "PDES golden digest drifted"
     );
 }
+
+#[test]
+fn fig10_digest_is_identical_for_every_worker_count() {
+    // The sharded-multikernel sweep point: 4 kernel shards on 4 islands,
+    // ktk traffic crossing every island boundary. `run_point` pins its own
+    // worker count, so the invariance is asserted directly.
+    let serial = m3_bench::fig10::run_point(64, 4, 1);
+    for workers in [2usize, 4] {
+        let run = m3_bench::fig10::run_point(64, 4, workers);
+        assert_eq!(
+            run.digest, serial.digest,
+            "fig10 digest diverged at {workers} workers"
+        );
+    }
+    assert!(serial.xplace > 0, "expected cross-shard placements");
+}
