@@ -1,0 +1,49 @@
+//! Prints the fig11 demand-paging table.
+//!
+//! `--smoke` sweeps only the endpoint residencies (1/8 and 1.0 of the
+//! working set — the CI smoke job); `--out <path>` additionally writes the
+//! rendered table to a file for artifact upload.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => return usage("--out needs a path"),
+            },
+            "--smoke" => smoke = true,
+            "--serial" => m3_bench::exec::set_serial(true),
+            "--sim-workers" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => m3_bench::exec::set_sim_workers(Some(n)),
+                None => return usage("--sim-workers needs a positive count"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let series = if smoke {
+        m3_bench::fig11::run_sweep(&[1, 8])
+    } else {
+        m3_bench::fig11::run()
+    };
+    series.print();
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, series.render()) {
+            eprintln!("fig11: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fig11: wrote table to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fig11: {msg}");
+    eprintln!("usage: fig11 [--serial] [--sim-workers N] [--smoke] [--out <path>]");
+    ExitCode::FAILURE
+}

@@ -51,6 +51,7 @@ fn figure_suite() -> Vec<(&'static str, FigureFn)> {
         ("fig7", || m3_bench::fig7::run().render()),
         ("fig8", || m3_bench::fig8::run().render()),
         ("fig9", || m3_bench::fig9::run().render()),
+        ("fig11", || m3_bench::fig11::run().render()),
     ]
 }
 

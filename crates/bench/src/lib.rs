@@ -11,6 +11,7 @@ pub mod ablation;
 pub mod arch;
 pub mod exec;
 pub mod fig10;
+pub mod fig11;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -80,6 +80,14 @@ pub struct SystemConfig {
     /// them (m3-sched). Off by default: without overcommit `CREATE_VPE`
     /// fails with `NoFreePe` when every PE is occupied, exactly as before.
     pub overcommit: bool,
+    /// Save only dirty SPM pages on a context switch (m3-vm dirty bitmap)
+    /// instead of the full SPM image. Off by default: the legacy full-image
+    /// path stays cycle-identical to the pre-vm goldens.
+    pub dirty_switches: bool,
+    /// Cap on resident DRAM frames per demand-paged address space; beyond
+    /// it the kernel pager evicts (clean pages first). `None` (default)
+    /// means unlimited — no eviction, no swap traffic.
+    pub vm_resident_pages: Option<usize>,
 }
 
 impl Default for SystemConfig {
@@ -93,6 +101,8 @@ impl Default for SystemConfig {
             noc: NocConfig::default(),
             fault_plan: None,
             overcommit: false,
+            dirty_switches: false,
+            vm_resident_pages: None,
         }
     }
 }
@@ -146,6 +156,8 @@ impl System {
         let platform = Platform::new_in(sim, pcfg);
         let kernel = Kernel::start(&platform, PeId::new(0));
         kernel.set_overcommit(cfg.overcommit);
+        kernel.set_dirty_switches(cfg.dirty_switches);
+        kernel.set_vm_resident_pages(cfg.vm_resident_pages);
         let registry = ProgramRegistry::new();
 
         // Arm the fault plane: an explicit plan wins, otherwise the ambient

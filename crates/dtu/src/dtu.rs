@@ -46,6 +46,13 @@ struct PeState {
     /// the boot value `0` on PEs the kernel never time-multiplexes, so the
     /// entire context machinery is inert unless a switch ever happens.
     current_ctx: u64,
+    /// Dirty bits for the live context's data-SPM pages. The DTU is the
+    /// only component that moves data into the SPM from outside (§4.2), so
+    /// it marks the pages its deposits and RDMA reads land in. Maintained
+    /// unconditionally — pure host-side bookkeeping, zero simulated time —
+    /// and consulted by dirty-tracked context switches (m3-sched) to move
+    /// only dirty pages instead of the whole 64 KiB image.
+    spm_dirty: m3_vm::DirtyBitmap,
 }
 
 impl PeState {
@@ -57,6 +64,8 @@ impl PeState {
             credits: BTreeMap::new(),
             arrival: Notify::new(),
             current_ctx: 0,
+            // A fresh context's image has never been saved: fully dirty.
+            spm_dirty: m3_vm::DirtyBitmap::default(),
         }
     }
 }
@@ -69,6 +78,11 @@ struct SavedCtx {
     eps: Vec<EpConfig>,
     ringbufs: BTreeMap<EpId, RingBuf>,
     credits: BTreeMap<EpId, u32>,
+    /// SPM pages that were dirty when this context was saved out — the
+    /// pages the (dirty-tracked) save actually transferred, and therefore
+    /// the pages a later restore must bring back eagerly (clean pages
+    /// restore lazily from their DRAM backing).
+    dirty_pages: u32,
 }
 
 impl SavedCtx {
@@ -77,6 +91,10 @@ impl SavedCtx {
             eps: vec![EpConfig::Invalid; EP_COUNT],
             ringbufs: BTreeMap::new(),
             credits: BTreeMap::new(),
+            // A stashed-but-never-resident context has no SPM image yet;
+            // its first activation is a start, and on a later save the
+            // live bitmap decides. Conservative full image.
+            dirty_pages: m3_vm::SPM_PAGES,
         }
     }
 
@@ -359,14 +377,20 @@ impl DtuSystem {
             // so software cannot use it (paper §4.4.4).
             msg.header.reply = None;
         }
+        // Captured before the deposit consumes the message: a live-ring
+        // delivery lands these bytes in the running context's SPM, which
+        // dirties the pages under the DTU's streaming cursor. Parked
+        // deposits stay in DRAM and leave the SPM untouched.
+        let wire = msg.wire_size();
         let Some(rb) = state.ringbufs.get_mut(&ep) else {
             self.stats.incr_handle(self.hot.deposit_no_recv_ep);
             return;
         };
         if rb.deposit(msg) {
+            let occupied = rb.occupied() as u64;
+            state.spm_dirty.touch(wire as u64);
             self.stats.incr_handle(self.hot.msgs_delivered);
-            self.metrics
-                .observe(pe, keys::RING_OCCUPANCY, rb.occupied() as u64);
+            self.metrics.observe(pe, keys::RING_OCCUPANCY, occupied);
             let arrival = state.arrival.clone();
             drop(pes);
             arrival.notify_all();
@@ -1200,6 +1224,13 @@ impl Dtu {
         let data = mem.data.borrow();
         let start = (base + offset) as usize;
         buf.copy_from_slice(&data[start..start + len]);
+        drop(data);
+        drop(mems);
+        // The fetched bytes land in this PE's SPM: dirty the pages under the
+        // streaming cursor. RDMA writes read *out* of the SPM and stay clean.
+        self.sys.inner.pes.borrow_mut()[self.pe.idx()]
+            .spm_dirty
+            .touch(len as u64);
         Ok(())
     }
 
@@ -1433,8 +1464,13 @@ impl KernelToken {
     /// DTU carries [`NO_CTX`], so in-flight traffic keeps routing into save
     /// areas rather than the empty registers.
     ///
-    /// Returns the number of bytes the save moved (the caller charges the
-    /// DTU transfer to DRAM at 8 B/cycle, §5.4).
+    /// Returns `(state_bytes, dirty_pages)`: the DTU-state bytes the save
+    /// moved (the caller charges the DTU transfer to DRAM at 8 B/cycle,
+    /// §5.4) and how many SPM data pages were dirty since the context last
+    /// went out — the pages a dirty-tracked switch must write back instead
+    /// of the whole image. The live dirty bitmap then resets to fully dirty
+    /// for whichever context runs next, so an untracked successor is never
+    /// under-counted.
     ///
     /// # Errors
     ///
@@ -1442,7 +1478,7 @@ impl KernelToken {
     /// - [`Code::InvArgs`] if `target` does not exist or is already saved
     ///   out (carries [`NO_CTX`]).
     // m3lint: allow(cycle-accounting): the kernel switch path charges CTX_SAVE_FIXED plus the modelled state transfer; the doc says the caller charges the bytes moved
-    pub fn save_state(&self, target: PeId) -> Result<u64> {
+    pub fn save_state(&self, target: PeId) -> Result<(u64, u32)> {
         self.dtu.require_privileged()?;
         let mut pes = self.dtu.sys.inner.pes.borrow_mut();
         let state = pes
@@ -1452,12 +1488,15 @@ impl KernelToken {
             return Err(Error::new(Code::InvArgs).with_msg(format!("{target} mid-switch already")));
         }
         let ctx = state.current_ctx;
+        let dirty_pages = state.spm_dirty.count();
         let saved_ctx = SavedCtx {
             eps: std::mem::replace(&mut state.eps, vec![EpConfig::Invalid; EP_COUNT]),
             ringbufs: std::mem::take(&mut state.ringbufs),
             credits: std::mem::take(&mut state.credits),
+            dirty_pages,
         };
         state.current_ctx = NO_CTX;
+        state.spm_dirty.mark_all();
         drop(pes);
         let bytes = saved_ctx.state_bytes();
         self.dtu
@@ -1466,12 +1505,16 @@ impl KernelToken {
             .saved
             .borrow_mut()
             .insert((target, ctx), saved_ctx);
-        Ok(bytes)
+        Ok((bytes, dirty_pages))
     }
 
     /// Resumes context `ctx` on the DTU at `target`: its save area becomes
-    /// the live endpoint registers, ring buffers, and credits. Returns the
-    /// bytes the restore moved (charged by the caller like a save).
+    /// the live endpoint registers, ring buffers, and credits. Returns
+    /// `(state_bytes, dirty_pages)`: the DTU-state bytes the restore moved
+    /// (charged by the caller like a save) and the SPM pages the context's
+    /// save-out transferred, which an eager restore brings back. The live
+    /// bitmap starts clean: the image just restored matches its DRAM copy
+    /// until the DTU deposits into it again.
     ///
     /// # Errors
     ///
@@ -1479,13 +1522,13 @@ impl KernelToken {
     /// - [`Code::InvArgs`] if `target` does not exist or `(target, ctx)` has
     ///   no save area.
     // m3lint: allow(cycle-accounting): the kernel switch path charges CTX_RESTORE_FIXED plus the modelled state transfer, as for save_state
-    pub fn restore_state(&self, target: PeId, ctx: u64) -> Result<u64> {
+    pub fn restore_state(&self, target: PeId, ctx: u64) -> Result<(u64, u32)> {
         let res = self.restore_state_inner(target, ctx);
         self.dtu.sys.sanitize_check();
         res
     }
 
-    fn restore_state_inner(&self, target: PeId, ctx: u64) -> Result<u64> {
+    fn restore_state_inner(&self, target: PeId, ctx: u64) -> Result<(u64, u32)> {
         self.dtu.require_privileged()?;
         let saved_ctx = self
             .dtu
@@ -1498,6 +1541,7 @@ impl KernelToken {
                 Error::new(Code::InvArgs).with_msg(format!("no saved context {ctx} at {target}"))
             })?;
         let bytes = saved_ctx.state_bytes();
+        let dirty_pages = saved_ctx.dirty_pages;
         let mut pes = self.dtu.sys.inner.pes.borrow_mut();
         let state = pes
             .get_mut(target.idx())
@@ -1506,12 +1550,13 @@ impl KernelToken {
         state.ringbufs = saved_ctx.ringbufs;
         state.credits = saved_ctx.credits;
         state.current_ctx = ctx;
+        state.spm_dirty.clear();
         let arrival = state.arrival.clone();
         drop(pes);
         // Messages may have been parked in the restored ring buffers while
         // the context was out; wake its receivers so they re-poll.
         arrival.notify_all();
-        Ok(bytes)
+        Ok((bytes, dirty_pages))
     }
 
     /// Configures endpoint `ep` directly in the *save area* of context

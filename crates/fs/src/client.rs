@@ -12,7 +12,7 @@ use std::rc::Rc;
 use m3_base::error::{Code, Error, Result};
 use m3_base::marshal::IStream;
 use m3_base::Cycles;
-use m3_libos::vfs::{DirEntry, File, FileInfo, FileSystem, OpenFlags, SeekMode};
+use m3_libos::vfs::{DirEntry, File, FileInfo, FileSystem, MapExtent, OpenFlags, SeekMode};
 use m3_libos::{BoxFuture, ClientSession, Env, MemGate, SendGate};
 
 use crate::proto::{
@@ -291,6 +291,40 @@ impl RegularFile {
         Ok(self.pos)
     }
 
+    /// Walks the file's extents via repeated `locate` requests and obtains
+    /// one memory capability per extent — the mmap analogue of §4.5.8's
+    /// remote-memory read path. The current file position is preserved.
+    async fn map_inner(&mut self) -> Result<Vec<MapExtent>> {
+        self.env.compute(m3_libos::costs::FILE_OP_ENTRY).await;
+        if !self.readable {
+            return Err(Error::new(Code::NoAccess).with_msg("not open for reading"));
+        }
+        let saved_pos = self.pos;
+        let mut extents = Vec::new();
+        let mut off = 0u64;
+        while off < self.size {
+            self.env.compute(m3_libos::costs::FILE_LOCATE).await;
+            self.pos = off;
+            let res = self.locate(false).await;
+            self.pos = saved_pos;
+            res?;
+            let c = self
+                .cached
+                .take()
+                .ok_or_else(|| Error::new(Code::Internal).with_msg("no cached extent"))?;
+            if c.len == 0 {
+                break;
+            }
+            off = c.file_off + c.len;
+            extents.push(MapExtent {
+                file_off: c.file_off,
+                len: c.len.min(self.size.saturating_sub(c.file_off)),
+                mem: c.mem,
+            });
+        }
+        Ok(extents)
+    }
+
     async fn close_inner(&mut self) -> Result<()> {
         if self.closed.replace(true) {
             return Ok(());
@@ -326,6 +360,10 @@ impl File for RegularFile {
 
     fn close<'a>(&'a mut self) -> BoxFuture<'a, Result<()>> {
         Box::pin(self.close_inner())
+    }
+
+    fn map<'a>(&'a mut self) -> BoxFuture<'a, Result<Vec<MapExtent>>> {
+        Box::pin(self.map_inner())
     }
 }
 

@@ -36,9 +36,6 @@ pub const ALLOC_MEM: Cycles = Cycles::new(60);
 /// (kernel-mediated `Exchange`/obtain path, §4.3.2).
 pub const SERVICE_FORWARD: Cycles = Cycles::new(60);
 
-/// Page-table walk plus frame setup of a `Translate` (§7 prototype).
-pub const TRANSLATE: Cycles = Cycles::new(150);
-
 /// Extra work per revoked capability (tree walk, EP invalidation) in the
 /// recursive revoke of §4.3.1.
 pub const REVOKE_PER_CAP: Cycles = Cycles::new(25);

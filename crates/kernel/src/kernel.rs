@@ -12,6 +12,7 @@ use m3_dtu::{Dtu, EpConfig, KernelToken, Message};
 use m3_platform::{PeType, Platform};
 use m3_sched::{Admission, Removal, Scheduler};
 use m3_sim::{Component, Event, EventKind, Notify, Sim};
+use m3_vm::{AddrSpaceObj, FaultKind, SwapRegion};
 
 use crate::cap::{
     CapTable, Capability, DerivationTree, KObject, MGateObj, RGateObj, RemoteSessObj, RemoteVpeObj,
@@ -137,9 +138,10 @@ struct KState {
     tables: BTreeMap<VpeId, CapTable>,
     /// Ring-buffer bytes currently placed in each PE's SPM.
     ringbuf_bytes: BTreeMap<PeId, u64>,
-    /// Per-VPE page tables (virtual page -> DRAM frame offset), managed
-    /// remotely by the kernel like the endpoints (§7).
-    page_tables: BTreeMap<VpeId, BTreeMap<u64, u64>>,
+    /// Per-VPE address spaces (kernel-owned page tables, bounded resident
+    /// sets, swap regions), managed remotely by the kernel like the
+    /// endpoints (§7).
+    addr_spaces: BTreeMap<VpeId, AddrSpaceObj>,
     tree: DerivationTree,
     vpes: BTreeMap<VpeId, Rc<RefCell<VpeObj>>>,
     next_vpe: u32,
@@ -171,6 +173,14 @@ pub struct Kernel {
     /// Whether `CreateVpe` may admit more VPEs than PEs by
     /// time-multiplexing application PEs.
     overcommit: Rc<Cell<bool>>,
+    /// Whether context switches move only the SPM pages the DTU dirtied
+    /// since the last save (per the DTU's dirty bitmap) instead of the
+    /// whole data image. Off by default: the conservative full-image
+    /// transfer the golden pins were recorded with.
+    dirty_switches: Rc<Cell<bool>>,
+    /// Resident-set bound (in pages) applied to address spaces created by
+    /// later `PageFault` syscalls; `None` = unbounded (no eviction).
+    vm_resident: Rc<Cell<Option<usize>>>,
     /// PEs that are never multiplexed: boot-time roots (services, drivers)
     /// keep their PE exclusively even in overcommit mode.
     pinned: Rc<RefCell<BTreeSet<PeId>>>,
@@ -282,7 +292,7 @@ impl Kernel {
             state: Rc::new(RefCell::new(KState {
                 tables: BTreeMap::new(),
                 ringbuf_bytes: BTreeMap::new(),
-                page_tables: BTreeMap::new(),
+                addr_spaces: BTreeMap::new(),
                 tree: DerivationTree::new(),
                 vpes: BTreeMap::new(),
                 next_vpe: 1,
@@ -295,6 +305,8 @@ impl Kernel {
             })),
             sched: Rc::new(RefCell::new(Scheduler::new())),
             overcommit: Rc::new(Cell::new(false)),
+            dirty_switches: Rc::new(Cell::new(false)),
+            vm_resident: Rc::new(Cell::new(None)),
             pinned: Rc::new(RefCell::new(BTreeSet::new())),
             resumed_at: Rc::new(RefCell::new(BTreeMap::new())),
             shard: Rc::new(RefCell::new(None)),
@@ -677,8 +689,8 @@ impl Kernel {
                 obtain,
             } => self.sys_exchange(caller, vpe, own, other, obtain).await,
             Syscall::Revoke { sel } => self.sys_revoke(caller, sel).await,
-            Syscall::Translate { dst, virt, perm } => {
-                self.sys_translate(caller, dst, virt, perm).await
+            Syscall::PageFault { dst, virt, access } => {
+                self.sys_page_fault(caller, dst, virt, access).await
             }
             Syscall::Unmap { virt } => self.sys_unmap(caller, virt).await,
             _ => Err(Error::new(Code::Internal).with_msg("not a sync syscall")),
@@ -1463,30 +1475,169 @@ impl Kernel {
         Ok(Vec::new())
     }
 
-    /// Demand-paging translate (§7): looks the page up in the caller's
-    /// kernel-side page table, allocating a zeroed frame on first touch,
-    /// and hands back a frame capability.
-    async fn sys_translate(
+    /// Copies `len` bytes between two offsets of the DRAM store — the
+    /// page-move primitive of the pager (swap-in, write-back). Pure data
+    /// movement; the caller charges the time via
+    /// [`Kernel::charge_page_move`].
+    fn dram_copy(&self, src: u64, dst: u64, len: usize) {
+        if let Some(dram) = self.platform.dtu_system().memory(self.platform.dram_pe()) {
+            let mut store = dram.borrow_mut();
+            store.copy_within(src as usize..src as usize + len, dst as usize);
+        }
+    }
+
+    /// Charges one page-sized pager copy: command setup, the page at the
+    /// DTU's streaming rate, and one DRAM access.
+    async fn charge_page_move(&self) {
+        self.sim.sleep(m3_vm::costs::PAGE_COPY_SETUP).await;
+        self.sim.sleep(m3_vm::costs::PAGE_COPY_XFER).await;
+        self.sim.sleep(m3_dtu::timing::DRAM_LATENCY).await;
+    }
+
+    /// The PE `vpe` runs on, for per-PE paging metrics; falls back to the
+    /// kernel's own PE for callers it no longer tracks.
+    fn vpe_pe(&self, vpe: VpeId) -> PeId {
+        self.state
+            .borrow()
+            .vpes
+            .get(&vpe)
+            .map_or(self.pe, |v| v.borrow().pe)
+    }
+
+    /// Frees resident frames beyond the address space's bound, clean pages
+    /// first (they already match their swap copy or were never written);
+    /// a dirty victim is written back to the VPE's swap region before its
+    /// frame is reused. The victim's frame capability is revoked so the
+    /// faulting PE is cut off the frame at the NoC level before the frame
+    /// backs someone else's page.
+    async fn evict_if_needed(&self, caller: VpeId) -> Result<()> {
+        loop {
+            let plan = {
+                let st = self.state.borrow();
+                match st.addr_spaces.get(&caller) {
+                    Some(aspace) if aspace.needs_eviction() => aspace.plan_eviction(),
+                    _ => return Ok(()),
+                }
+            };
+            let Some(plan) = plan else { return Ok(()) };
+            let mut slot = None;
+            if plan.writeback {
+                let (sl, addr) = {
+                    let mut st = self.state.borrow_mut();
+                    let st = &mut *st;
+                    let aspace = st
+                        .addr_spaces
+                        .get_mut(&caller)
+                        .ok_or_else(|| Error::new(Code::InvArgs).with_msg("no address space"))?;
+                    if aspace.swap.is_none() {
+                        let bytes = SwapRegion::bytes_for(m3_vm::SWAP_PAGES_DEFAULT);
+                        let base = st.mem.alloc(bytes)?;
+                        aspace.swap = Some(SwapRegion::new(base, m3_vm::SWAP_PAGES_DEFAULT));
+                    }
+                    let existing = aspace.entry(plan.page).and_then(|e| e.swap_slot);
+                    let swap = aspace
+                        .swap
+                        .as_mut()
+                        .ok_or_else(|| Error::new(Code::Internal).with_msg("swap vanished"))?;
+                    let sl = match existing {
+                        Some(s) => s,
+                        None => swap.alloc_slot().ok_or_else(|| {
+                            Error::new(Code::NoSpace).with_msg("swap region full")
+                        })?,
+                    };
+                    (sl, swap.slot_addr(sl))
+                };
+                self.dram_copy(plan.frame, addr, PAGE_SIZE as usize);
+                self.charge_page_move().await;
+                let pe = self.vpe_pe(caller);
+                self.sim
+                    .metrics()
+                    .add(pe, m3_sim::keys::WRITEBACK_BYTES, PAGE_SIZE);
+                let now = self.sim.now();
+                self.sim.tracer().record_with(|| Event {
+                    at: now,
+                    dur: Cycles::ZERO,
+                    pe: Some(pe),
+                    comp: Component::Vm,
+                    kind: EventKind::WriteBack {
+                        virt: plan.page * PAGE_SIZE,
+                        bytes: PAGE_SIZE,
+                    },
+                });
+                {
+                    let mut st = self.state.borrow_mut();
+                    if let Some(aspace) = st.addr_spaces.get_mut(&caller) {
+                        aspace.writebacks += 1;
+                        aspace.writeback_bytes += PAGE_SIZE;
+                    }
+                }
+                slot = Some(sl);
+            }
+            let cap = {
+                let mut st = self.state.borrow_mut();
+                let st = &mut *st;
+                let Some(aspace) = st.addr_spaces.get_mut(&caller) else {
+                    return Ok(());
+                };
+                let cap = aspace.complete_eviction(plan.page, slot);
+                st.mem.free(plan.frame, PAGE_SIZE);
+                cap
+            };
+            if let Some(sel) = cap {
+                let count = self.revoke_cap(caller, sel);
+                self.sim
+                    .sleep(costs::REVOKE_PER_CAP * (count as u64).max(1))
+                    .await;
+            }
+        }
+    }
+
+    /// Fills a freshly allocated `frame` for a non-resident fault — copies
+    /// the swap slot back in (page-in) or hands it out zeroed — then maps
+    /// it and records the fault. Factored out of [`Kernel::sys_page_fault`]
+    /// so every error path can free the frame in one place.
+    #[allow(clippy::too_many_arguments)]
+    async fn fill_frame(
         &self,
         caller: VpeId,
+        kind: FaultKind,
+        frame: u64,
+        page: u64,
         dst: SelId,
-        virt: u64,
-        perm: Perm,
-    ) -> Result<Vec<u8>> {
-        self.sim.sleep(costs::TRANSLATE).await;
-        let page = virt / PAGE_SIZE;
-        let mut st = self.state.borrow_mut();
-        let st_ref = &mut *st;
-        let frame = match st_ref
-            .page_tables
-            .entry(caller)
-            .or_default()
-            .get(&page)
-            .copied()
-        {
-            Some(frame) => frame,
-            None => {
-                let frame = st_ref.mem.alloc(PAGE_SIZE)?;
+        write: bool,
+        pe: PeId,
+    ) -> Result<Perm> {
+        match kind {
+            FaultKind::SwapIn(slot) => {
+                let addr = {
+                    let st = self.state.borrow();
+                    let aspace = st
+                        .addr_spaces
+                        .get(&caller)
+                        .ok_or_else(|| Error::new(Code::Internal).with_msg("lost address space"))?;
+                    let swap = aspace.swap.as_ref().ok_or_else(|| {
+                        Error::new(Code::Internal).with_msg("swap-in without swap region")
+                    })?;
+                    swap.slot_addr(slot)
+                };
+                self.dram_copy(addr, frame, PAGE_SIZE as usize);
+                self.charge_page_move().await;
+                let now = self.sim.now();
+                self.sim.tracer().record_with(|| Event {
+                    at: now,
+                    dur: Cycles::ZERO,
+                    pe: Some(pe),
+                    comp: Component::Vm,
+                    kind: EventKind::PageIn {
+                        virt: page * PAGE_SIZE,
+                        bytes: PAGE_SIZE,
+                    },
+                });
+                if let Some(aspace) = self.state.borrow_mut().addr_spaces.get_mut(&caller) {
+                    aspace.page_ins += 1;
+                }
+            }
+            _ => {
                 // Fresh frames are handed out zeroed (the frame may have
                 // been used before; like m3fs, zeroing happens off the
                 // application's critical path, §5.4).
@@ -1495,22 +1646,120 @@ impl Kernel {
                     let start = frame as usize;
                     store[start..start + PAGE_SIZE as usize].fill(0);
                 }
-                st_ref
-                    .page_tables
-                    .entry(caller)
-                    .or_default()
-                    .insert(page, frame);
-                self.sim.stats().incr("kernel.page_faults");
-                frame
+            }
+        }
+        let mut st = self.state.borrow_mut();
+        let aspace = st
+            .addr_spaces
+            .get_mut(&caller)
+            .ok_or_else(|| Error::new(Code::Internal).with_msg("lost address space"))?;
+        aspace.faults += 1;
+        aspace.map(page, frame, Perm::RW, Some(dst));
+        aspace.touch(page, write);
+        let perm = aspace.entry(page).map_or(Perm::RW, |e| e.perm);
+        self.sim.stats().incr("kernel.page_faults");
+        self.sim.metrics().incr(pe, m3_sim::keys::PAGE_FAULTS);
+        let now = self.sim.now();
+        self.sim.tracer().record_with(|| Event {
+            at: now,
+            dur: Cycles::ZERO,
+            pe: Some(pe),
+            comp: Component::Vm,
+            kind: EventKind::PageFault {
+                virt: page * PAGE_SIZE,
+                write,
+            },
+        });
+        Ok(perm)
+    }
+
+    /// Serves a page fault (§7): walks the caller's kernel-owned page
+    /// table and replies with a frame capability at `dst` — the resident
+    /// frame, a zeroed frame on first touch, or a frame refilled from the
+    /// VPE's swap region when the page had been evicted. The handed-out
+    /// capability carries only the *faulted* access (intersected with the
+    /// page's permissions), so the first write to a read-faulted page
+    /// faults again and sets the kernel-side dirty bit.
+    async fn sys_page_fault(
+        &self,
+        caller: VpeId,
+        dst: SelId,
+        virt: u64,
+        access: Perm,
+    ) -> Result<Vec<u8>> {
+        self.sim.sleep(m3_vm::costs::FAULT_WALK).await;
+        let access = access & Perm::RW;
+        if access.is_empty() {
+            return Err(Error::new(Code::InvArgs).with_msg("empty fault access"));
+        }
+        let page = virt / PAGE_SIZE;
+        let write = access.contains(Perm::W);
+        let pe = self.vpe_pe(caller);
+
+        let kind = {
+            let mut st = self.state.borrow_mut();
+            // The table must exist before classification so a dead caller
+            // still errors on the table lookup below, not here.
+            Self::table(&mut st, caller)?;
+            let aspace = st
+                .addr_spaces
+                .entry(caller)
+                .or_insert_with(|| AddrSpaceObj::new(self.vm_resident.get()));
+            aspace.classify(page)
+        };
+
+        let (frame, perm, old_cap) = match kind {
+            FaultKind::Resident => {
+                let mut st = self.state.borrow_mut();
+                let aspace = st
+                    .addr_spaces
+                    .get_mut(&caller)
+                    .ok_or_else(|| Error::new(Code::Internal).with_msg("lost address space"))?;
+                aspace.touch(page, write);
+                let entry = aspace
+                    .entry_mut(page)
+                    .ok_or_else(|| Error::new(Code::Internal).with_msg("resident without entry"))?;
+                let frame = entry
+                    .frame
+                    .ok_or_else(|| Error::new(Code::Internal).with_msg("resident without frame"))?;
+                let perm = entry.perm;
+                // One live frame capability per page: the previous one is
+                // replaced (and revoked below) so eviction only ever has a
+                // single selector to cut.
+                let old = entry.cap.replace(dst);
+                (frame, perm, old.filter(|s| *s != dst))
+            }
+            FaultKind::SwapIn(_) | FaultKind::Zero => {
+                self.evict_if_needed(caller).await?;
+                let frame = self.state.borrow_mut().mem.alloc(PAGE_SIZE)?;
+                // Anything failing past this point (typically: the caller
+                // crashed during a page-move await and teardown removed its
+                // address space) must return the frame, or the crash path
+                // leaks DRAM.
+                match self
+                    .fill_frame(caller, kind, frame, page, dst, write, pe)
+                    .await
+                {
+                    Ok(perm) => (frame, perm, None),
+                    Err(e) => {
+                        self.state.borrow_mut().mem.free(frame, PAGE_SIZE);
+                        return Err(e);
+                    }
+                }
             }
         };
+
+        if let Some(old) = old_cap {
+            self.revoke_cap(caller, old);
+        }
         let mgate = Rc::new(MGateObj {
             pe: self.platform.dram_pe(),
             offset: frame,
             size: PAGE_SIZE,
-            perm: perm & Perm::RW,
+            perm: access & perm,
             owned: false, // the page table owns the frame
         });
+        let mut st = self.state.borrow_mut();
         Self::table(&mut st, caller)?.insert(dst, Capability::new(KObject::MGate(mgate)))?;
         st.tree.insert_root((caller, dst));
         let mut os = OStream::new();
@@ -1518,18 +1767,34 @@ impl Kernel {
         Ok(os.into_bytes())
     }
 
-    /// Removes a mapping and frees its frame.
+    /// Removes a mapping: frees its frame (if resident) and swap slot (if
+    /// any) and revokes the handed-out frame capability.
     async fn sys_unmap(&self, caller: VpeId, virt: u64) -> Result<Vec<u8>> {
-        self.sim.sleep(costs::TRANSLATE).await;
+        self.sim.sleep(m3_vm::costs::FAULT_WALK).await;
         let page = virt / PAGE_SIZE;
-        let mut st = self.state.borrow_mut();
-        let st = &mut *st;
-        let frame = st
-            .page_tables
-            .get_mut(&caller)
-            .and_then(|pt| pt.remove(&page))
-            .ok_or_else(|| Error::new(Code::InvArgs).with_msg("page not mapped"))?;
-        st.mem.free(frame, PAGE_SIZE);
+        let cap = {
+            let mut st = self.state.borrow_mut();
+            let st = &mut *st;
+            let aspace = st
+                .addr_spaces
+                .get_mut(&caller)
+                .ok_or_else(|| Error::new(Code::InvArgs).with_msg("page not mapped"))?;
+            let entry = aspace
+                .unmap(page)
+                .ok_or_else(|| Error::new(Code::InvArgs).with_msg("page not mapped"))?;
+            if let Some(frame) = entry.frame {
+                st.mem.free(frame, PAGE_SIZE);
+            }
+            if let Some(slot) = entry.swap_slot {
+                if let Some(swap) = aspace.swap.as_mut() {
+                    swap.free_slot(slot);
+                }
+            }
+            entry.cap
+        };
+        if let Some(sel) = cap {
+            self.revoke_cap(caller, sel);
+        }
         Ok(Vec::new())
     }
 
@@ -1642,11 +1907,18 @@ impl Kernel {
                     }
                 }
             }
-            // Free the VPE's page-table frames (§7 prototype).
-            if let Some(pt) = st.page_tables.remove(&id) {
-                let frames: Vec<u64> = pt.into_values().collect();
-                for frame in frames {
-                    st.mem.free(frame, PAGE_SIZE);
+            // Free the VPE's address space: resident frames and the swap
+            // region go back to the allocator (§7 prototype).
+            if let Some(mut aspace) = st.addr_spaces.remove(&id) {
+                for page in aspace.pages() {
+                    if let Some(entry) = aspace.unmap(page) {
+                        if let Some(frame) = entry.frame {
+                            st.mem.free(frame, PAGE_SIZE);
+                        }
+                    }
+                }
+                if let Some(swap) = aspace.swap.take() {
+                    st.mem.free(swap.base, swap.size_bytes());
                 }
             }
         }
@@ -2523,6 +2795,23 @@ impl Kernel {
         self.overcommit.set(on);
     }
 
+    /// Enables (or disables) dirty-tracked context switches: with it on,
+    /// the SPM data transfer of a switch covers only the pages the DTU
+    /// dirtied since the context's last save (its dirty bitmap) instead of
+    /// the full [`SPM_DATA_SIZE`] image. Off (the default) charges the
+    /// full image — the behaviour the golden pins were recorded with.
+    pub fn set_dirty_switches(&self, on: bool) {
+        self.dirty_switches.set(on);
+    }
+
+    /// Bounds the resident set of address spaces created by *later*
+    /// `PageFault` syscalls to `pages` frames, forcing the pager to evict
+    /// (clean-first) beyond that. `None` (the default) leaves address
+    /// spaces unbounded — first-touch allocation only, no eviction.
+    pub fn set_vm_resident_pages(&self, pages: Option<usize>) {
+        self.vm_resident.set(pages);
+    }
+
     /// Whether `vpe` is under scheduler control (time-multiplexed).
     pub fn sched_manages(&self, vpe: VpeId) -> bool {
         self.sched.borrow().manages(vpe)
@@ -2690,16 +2979,28 @@ impl Kernel {
         let spm = SPM_DATA_SIZE as u64;
         let mut bytes = 0u64;
         if from.is_some() {
-            let saved = self.ktok.save_state(pe)?;
+            let (saved, dirty) = self.ktok.save_state(pe)?;
+            // Dirty-tracked switches move only the SPM pages the DTU
+            // dirtied since the last save; the conservative default moves
+            // the whole data image (what the golden pins were recorded
+            // with — the two are identical when every page is dirty).
+            let data = if self.dirty_switches.get() {
+                self.sim
+                    .metrics()
+                    .add(pe, m3_sim::keys::DIRTY_PAGES_SAVED, u64::from(dirty));
+                u64::from(dirty) * m3_vm::PAGE_SIZE
+            } else {
+                spm
+            };
             let t = self
                 .dtu
                 .system()
                 .noc()
-                .schedule(self.sim.now(), pe, dram, saved + spm);
+                .schedule(self.sim.now(), pe, dram, saved + data);
             self.sim.sleep_until(t.completes_at).await;
             self.sim.sleep(m3_dtu::timing::DRAM_LATENCY).await;
             self.sim.sleep(m3_sched::costs::CTX_SAVE_FIXED).await;
-            bytes += saved + spm;
+            bytes += saved + data;
             if let Some(t0) = self.resumed_at.borrow_mut().remove(&pe) {
                 self.sim.metrics().observe(
                     pe,
@@ -2709,15 +3010,22 @@ impl Kernel {
             }
         }
         match self.ktok.restore_state(pe, u64::from(to.raw())) {
-            Ok(restored) => {
+            Ok((restored, dirty)) => {
+                // Restores mirror saves: only the pages the save-out
+                // actually transferred come back eagerly.
+                let data = if self.dirty_switches.get() {
+                    u64::from(dirty) * m3_vm::PAGE_SIZE
+                } else {
+                    spm
+                };
                 let t = self
                     .dtu
                     .system()
                     .noc()
-                    .schedule(self.sim.now(), dram, pe, restored + spm);
+                    .schedule(self.sim.now(), dram, pe, restored + data);
                 self.sim.sleep_until(t.completes_at).await;
                 self.sim.sleep(m3_sched::costs::CTX_RESTORE_FIXED).await;
-                bytes += restored + spm;
+                bytes += restored + data;
             }
             Err(_) => {
                 // The target died mid-switch (its save area is gone): the

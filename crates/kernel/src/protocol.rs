@@ -228,16 +228,23 @@ pub enum Syscall {
         /// Exit code reported to waiters.
         code: i64,
     },
-    /// Resolves a virtual address to a frame capability, allocating the
-    /// frame on first touch (demand paging). Page tables are managed by the
-    /// kernel, "similarly to managing the DTU endpoints remotely" (§7).
-    Translate {
+    /// Reports a page fault at `virt` to the kernel, which resolves it to
+    /// a frame capability: allocating a zeroed frame on first touch, or
+    /// paging the data back in from the VPE's swap region when the page
+    /// was evicted. Page tables live in the kernel and are managed
+    /// "similarly to managing the DTU endpoints remotely" (§7); the fault
+    /// travels as an ordinary typed message and the mapping comes back in
+    /// the reply.
+    PageFault {
         /// Selector the frame capability is placed at.
         dst: SelId,
-        /// The virtual address (any address within the page).
+        /// The faulting virtual address (any address within the page).
         virt: u64,
-        /// Required permissions.
-        perm: Perm,
+        /// The access that faulted. A write fault marks the page dirty in
+        /// the kernel's table; a read fault hands out a read-only view so
+        /// a later write must fault again (that second fault is what sets
+        /// the dirty bit).
+        access: Perm,
     },
     /// Removes a page mapping and frees its frame.
     Unmap {
@@ -262,7 +269,7 @@ mod op {
     pub const EXCHANGE: u32 = 12;
     pub const REVOKE: u32 = 13;
     pub const EXIT: u32 = 14;
-    pub const TRANSLATE: u32 = 15;
+    pub const PAGE_FAULT: u32 = 15;
     pub const UNMAP: u32 = 16;
 }
 
@@ -285,7 +292,7 @@ impl Syscall {
             Syscall::Exchange { .. } => "Exchange",
             Syscall::Revoke { .. } => "Revoke",
             Syscall::Exit { .. } => "Exit",
-            Syscall::Translate { .. } => "Translate",
+            Syscall::PageFault { .. } => "PageFault",
             Syscall::Unmap { .. } => "Unmap",
         }
     }
@@ -402,9 +409,11 @@ impl Syscall {
                 os.push_u32(op::EXIT);
                 os.push_i64(*code);
             }
-            Syscall::Translate { dst, virt, perm } => {
-                os.push_u32(op::TRANSLATE);
-                os.push_u32(dst.raw()).push_u64(*virt).push_u8(perm.bits());
+            Syscall::PageFault { dst, virt, access } => {
+                os.push_u32(op::PAGE_FAULT);
+                os.push_u32(dst.raw())
+                    .push_u64(*virt)
+                    .push_u8(access.bits());
             }
             Syscall::Unmap { virt } => {
                 os.push_u32(op::UNMAP);
@@ -505,10 +514,10 @@ impl Syscall {
             op::EXIT => Syscall::Exit {
                 code: is.pop_i64()?,
             },
-            op::TRANSLATE => Syscall::Translate {
+            op::PAGE_FAULT => Syscall::PageFault {
                 dst: SelId::new(is.pop_u32()?),
                 virt: is.pop_u64()?,
-                perm: Perm::from_bits(is.pop_u8()?),
+                access: Perm::from_bits(is.pop_u8()?),
             },
             op::UNMAP => Syscall::Unmap {
                 virt: is.pop_u64()?,
@@ -823,10 +832,15 @@ mod tests {
         });
         roundtrip(Syscall::Revoke { sel: SelId::new(4) });
         roundtrip(Syscall::Exit { code: -1 });
-        roundtrip(Syscall::Translate {
+        roundtrip(Syscall::PageFault {
             dst: SelId::new(20),
             virt: 0x1000_2034,
-            perm: Perm::RW,
+            access: Perm::RW,
+        });
+        roundtrip(Syscall::PageFault {
+            dst: SelId::new(21),
+            virt: 0x7fff_f000,
+            access: Perm::R,
         });
         roundtrip(Syscall::Unmap { virt: 0x1000_2000 });
     }

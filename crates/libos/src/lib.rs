@@ -20,11 +20,11 @@
 //!   by messages (§4.5.7).
 
 pub mod addrspace;
-pub mod cachemem;
 pub mod costs;
 mod env;
 pub mod epmux;
 pub mod gate;
+pub mod pagecache;
 pub mod pipe;
 pub mod serv;
 pub mod session;
@@ -33,6 +33,7 @@ pub mod vpe;
 
 pub use env::{start_program, Env, ProgramRegistry};
 pub use gate::{MemGate, RecvGate, SendGate};
+pub use pagecache::PageCache;
 pub use session::ClientSession;
 pub use vpe::Vpe;
 

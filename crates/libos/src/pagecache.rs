@@ -1,0 +1,397 @@
+//! A DTU-fed page cache over PE-external memory (paper §7, future work).
+//!
+//! "We plan to add caches to the PEs or replace the SPM with caches. The
+//! cache will use the DTU to load/store cache lines from/into DRAM. In this
+//! way, the DTU remains the only component with access to PE-external
+//! resources and it thus suffices to control the DTU."
+//!
+//! [`PageCache`] is that design at page granularity, grown out of the
+//! earlier line-sized `CachedMem` prototype: a write-back, write-allocate
+//! cache in front of a [`MemGate`], with per-page accessed/dirty bits and
+//! a bounded resident set evicted in deterministic LRU order. Hits stay in
+//! the local page store; misses fill whole pages through the DTU (paying
+//! the real transfer) and evictions write dirty pages back. Because every
+//! fill and write-back goes through the memory gate, revoking the
+//! capability still cuts off the PE — the isolation story is unchanged.
+//! The same full-page granularity feeds [`crate::vfs`]'s mmap-style read
+//! path and mirrors the kernel pager's unit, so a page is always moved or
+//! cached whole and never partially stale.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use m3_base::error::Result;
+
+use crate::gate::MemGate;
+
+/// Default page size of the cache: the kernel pager's page (§7 prototype).
+pub const PAGE_SIZE: usize = m3_kernel::PAGE_SIZE as usize;
+
+struct PageBuf {
+    data: Vec<u8>,
+    dirty: bool,
+    accessed: bool,
+}
+
+/// A write-back, page-granular cache over a region of PE-external memory.
+///
+/// Sequential or re-used access patterns hit locally; the DTU is only
+/// involved on misses and write-backs — turning many small accesses into
+/// few page-sized transfers, which is what makes caches attractive for
+/// feature-rich PEs (§7).
+pub struct PageCache {
+    mem: MemGate,
+    page_size: usize,
+    /// Resident bound in pages.
+    capacity: usize,
+    /// Region size, when known — the last page of a non-page-multiple
+    /// region fills and writes back short.
+    limit: Option<u64>,
+    pages: BTreeMap<u64, PageBuf>,
+    /// Pages in least-recently-used order (front = next victim).
+    lru: VecDeque<u64>,
+    fills: u64,
+    writebacks: u64,
+}
+
+impl std::fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("resident_pages", &self.pages.len())
+            .field("fills", &self.fills)
+            .field("writebacks", &self.writebacks)
+            .finish()
+    }
+}
+
+impl PageCache {
+    /// Wraps `mem` with a cache of `capacity` pages of [`PAGE_SIZE`] bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(mem: MemGate, capacity: usize) -> PageCache {
+        PageCache::with_page_size(mem, capacity, PAGE_SIZE)
+    }
+
+    /// Wraps `mem` with a cache of `capacity` pages of `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `page_size` is zero.
+    pub fn with_page_size(mem: MemGate, capacity: usize, page_size: usize) -> PageCache {
+        assert!(capacity > 0, "cache needs at least one page");
+        assert!(page_size > 0, "pages need at least one byte");
+        let limit = mem.size();
+        PageCache {
+            mem,
+            page_size,
+            capacity,
+            limit,
+            pages: BTreeMap::new(),
+            lru: VecDeque::new(),
+            fills: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Bounds the cached region to `limit` bytes — for gates whose size is
+    /// not locally known (e.g. session-obtained file extents), so the last
+    /// page of a non-page-multiple region fills and writes back short
+    /// instead of overrunning the capability.
+    pub fn bounded(mut self, limit: u64) -> PageCache {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Pages fetched from memory so far.
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Dirty pages written back so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Currently resident *dirty* pages (diverged from memory).
+    pub fn dirty(&self) -> usize {
+        self.pages.values().filter(|p| p.dirty).count()
+    }
+
+    /// Bytes a page starting at `base` actually covers (short at the
+    /// region end).
+    fn page_len(&self, base: u64) -> usize {
+        match self.limit {
+            Some(limit) => (limit.saturating_sub(base)).min(self.page_size as u64) as usize,
+            None => self.page_size,
+        }
+    }
+
+    async fn write_back(&mut self, page_no: u64, buf: &PageBuf) -> Result<()> {
+        let base = page_no * self.page_size as u64;
+        self.mem.write(base, &buf.data).await?;
+        self.writebacks += 1;
+        Ok(())
+    }
+
+    async fn ensure_page(&mut self, page_no: u64) -> Result<()> {
+        if self.pages.contains_key(&page_no) {
+            // Refresh LRU order.
+            self.lru.retain(|&p| p != page_no);
+            self.lru.push_back(page_no);
+            return Ok(());
+        }
+        // Make room first: the oldest page leaves, writing back if dirty.
+        while self.pages.len() >= self.capacity {
+            let Some(victim) = self.lru.pop_front() else {
+                break;
+            };
+            if let Some(buf) = self.pages.remove(&victim) {
+                if buf.dirty {
+                    self.write_back(victim, &buf).await?;
+                }
+            }
+        }
+        let base = page_no * self.page_size as u64;
+        let data = self.mem.read(base, self.page_len(base)).await?;
+        self.pages.insert(
+            page_no,
+            PageBuf {
+                data,
+                dirty: false,
+                accessed: false,
+            },
+        );
+        self.lru.push_back(page_no);
+        self.fills += 1;
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset` through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors (permissions, bounds, revoked capability).
+    pub async fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = offset + pos as u64;
+            let page_no = addr / self.page_size as u64;
+            let page_off = (addr % self.page_size as u64) as usize;
+            self.ensure_page(page_no).await?;
+            let page = self.pages.get_mut(&page_no).expect("just ensured");
+            page.accessed = true;
+            let n = (page.data.len() - page_off).min(buf.len() - pos);
+            buf[pos..pos + n].copy_from_slice(&page.data[page_off..page_off + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `offset` through the cache (write-back,
+    /// write-allocate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors.
+    pub async fn write(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = offset + pos as u64;
+            let page_no = addr / self.page_size as u64;
+            let page_off = (addr % self.page_size as u64) as usize;
+            self.ensure_page(page_no).await?;
+            let page = self.pages.get_mut(&page_no).expect("just ensured");
+            page.accessed = true;
+            page.dirty = true;
+            let n = (page.data.len() - page_off).min(data.len() - pos);
+            page.data[page_off..page_off + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty page back (like a cache flush before handing the
+    /// region to someone else).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors.
+    pub async fn flush(&mut self) -> Result<()> {
+        let dirty: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(&n, _)| n)
+            .collect();
+        for page_no in dirty {
+            let mut buf = self.pages.remove(&page_no).expect("listed above");
+            self.write_back(page_no, &buf).await?;
+            buf.dirty = false;
+            self.pages.insert(page_no, buf);
+        }
+        Ok(())
+    }
+
+    /// Gives the underlying gate back (flush first!).
+    pub fn into_inner(self) -> MemGate {
+        self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{start_program, ProgramRegistry};
+    use m3_base::{PeId, Perm};
+    use m3_kernel::Kernel;
+    use m3_platform::{Platform, PlatformConfig};
+
+    fn boot() -> (Platform, Kernel) {
+        let platform = Platform::new(PlatformConfig::xtensa(3));
+        let kernel = Kernel::start(&platform, PeId::new(0));
+        (platform, kernel)
+    }
+
+    #[test]
+    fn reads_and_writes_roundtrip_through_the_cache() {
+        let (platform, kernel) = boot();
+        let h = start_program(
+            &kernel,
+            "t",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW)
+                    .await
+                    .unwrap();
+                let mut cached = PageCache::new(mem, 2);
+                cached.write(100, b"cached hello").await.unwrap();
+                let mut buf = [0u8; 12];
+                cached.read(100, &mut buf).await.unwrap();
+                assert_eq!(&buf, b"cached hello");
+                // The data is only in the cache until flushed.
+                assert_eq!(cached.dirty(), 1);
+                cached.flush().await.unwrap();
+                assert_eq!(cached.dirty(), 0);
+                let mem = cached.into_inner();
+                assert_eq!(mem.read(100, 12).await.unwrap(), b"cached hello");
+                0
+            },
+        );
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    fn hits_avoid_the_dtu() {
+        let (platform, kernel) = boot();
+        let h = start_program(
+            &kernel,
+            "t",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW)
+                    .await
+                    .unwrap();
+                let mut cached = PageCache::new(mem, 2);
+                // 64 single-byte reads within one page: one fill.
+                let mut b = [0u8; 1];
+                for i in 0..64 {
+                    cached.read(i, &mut b).await.unwrap();
+                }
+                assert_eq!(cached.fills(), 1);
+                // Timing: the warm accesses must be far cheaper than cold ones.
+                let t0 = env.sim().now();
+                for i in 0..64 {
+                    cached.read(i, &mut b).await.unwrap();
+                }
+                let warm = (env.sim().now() - t0).as_u64();
+                let t1 = env.sim().now();
+                cached.read(4096, &mut b).await.unwrap(); // cold page
+                let cold = (env.sim().now() - t1).as_u64();
+                assert!(warm == 0, "warm hits must not touch the DTU: {warm}");
+                assert!(cold > 20, "a miss pays a real transfer: {cold}");
+                0
+            },
+        );
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_pages_back() {
+        let (platform, kernel) = boot();
+        let h = start_program(
+            &kernel,
+            "t",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mem = crate::gate::MemGate::alloc(&env, 1 << 17, Perm::RW)
+                    .await
+                    .unwrap();
+                // A tiny cache: 4 resident pages.
+                let mut cached = PageCache::new(mem, 4);
+                // Dirty many distinct pages so evictions must write back.
+                for i in 0..16u64 {
+                    cached
+                        .write(i * PAGE_SIZE as u64, &[i as u8])
+                        .await
+                        .unwrap();
+                }
+                assert!(cached.writebacks() > 0, "evictions must write back");
+                assert!(cached.resident() <= 4, "the resident set is bounded");
+                cached.flush().await.unwrap();
+                let mem = cached.into_inner();
+                for i in 0..16u64 {
+                    let v = mem.read(i * PAGE_SIZE as u64, 1).await.unwrap();
+                    assert_eq!(v[0], i as u8, "page {i} lost");
+                }
+                0
+            },
+        );
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    fn revoked_capability_cuts_off_the_cache_too() {
+        let (platform, kernel) = boot();
+        let h = start_program(
+            &kernel,
+            "t",
+            None,
+            ProgramRegistry::new(),
+            |env| async move {
+                let mem = crate::gate::MemGate::alloc(&env, 8192, Perm::RW)
+                    .await
+                    .unwrap();
+                let sel = mem.sel();
+                let mut cached = PageCache::new(mem, 2);
+                cached.write(0, b"x").await.unwrap();
+                env.syscall(m3_kernel::protocol::Syscall::Revoke { sel })
+                    .await
+                    .unwrap();
+                // The resident page still reads (it is local), but any miss or
+                // write-back fails: the DTU is the only path to memory.
+                let mut b = [0u8; 1];
+                cached.read(0, &mut b).await.unwrap();
+                let err = cached.read(4096, &mut b).await.unwrap_err();
+                assert!(matches!(
+                    err.code(),
+                    m3_base::error::Code::InvEp | m3_base::error::Code::InvCap
+                ));
+                0
+            },
+        );
+        platform.sim().run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+}

@@ -12,6 +12,8 @@ use std::rc::Rc;
 use m3_base::error::{Code, Error, Result};
 
 use crate::env::Env;
+use crate::gate::MemGate;
+use crate::pagecache::PageCache;
 use crate::BoxFuture;
 
 /// Open flags.
@@ -89,6 +91,21 @@ pub enum SeekMode {
     End,
 }
 
+/// A contiguous extent of a mapped file: `len` bytes of file content
+/// starting at file offset `file_off`, backed directly by a memory
+/// capability — the M3 way of mmap: instead of copying file data through
+/// `read`, the application obtains the extents' memory capabilities once
+/// and accesses the bytes through the DTU (§4.5.8).
+#[derive(Debug)]
+pub struct MapExtent {
+    /// File offset the extent starts at.
+    pub file_off: u64,
+    /// Extent length in bytes.
+    pub len: u64,
+    /// The extent's memory capability.
+    pub mem: MemGate,
+}
+
 /// An open file (or pipe end, through the pipe filesystem).
 pub trait File {
     /// Reads into `buf`; returns the number of bytes read (0 at EOF).
@@ -102,6 +119,95 @@ pub trait File {
 
     /// Flushes and closes the file.
     fn close<'a>(&'a mut self) -> BoxFuture<'a, Result<()>>;
+
+    /// Maps the whole file: returns its extents as memory capabilities for
+    /// direct DTU access (the mmap-style path; see [`MappedFile`]).
+    /// Supported by filesystems whose files live in capability-addressable
+    /// memory (m3fs regular files); pipes and friends return
+    /// [`Code::NotSup`].
+    fn map<'a>(&'a mut self) -> BoxFuture<'a, Result<Vec<MapExtent>>> {
+        Box::pin(async { Err(Error::new(Code::NotSup).with_msg("file is not mappable")) })
+    }
+}
+
+/// A file mapped for demand-paged reads: each extent's memory capability
+/// sits behind a [`PageCache`], so bytes are faulted in page-wise through
+/// the DTU on first access and re-reads stay local (§7: DTU-fed caches).
+pub struct MappedFile {
+    /// `(file_off, len, cache)` per extent, sorted by file offset.
+    extents: Vec<(u64, u64, PageCache)>,
+    size: u64,
+}
+
+impl fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MappedFile({} extents, {} bytes)",
+            self.extents.len(),
+            self.size
+        )
+    }
+}
+
+impl MappedFile {
+    /// Maps `file` with a page cache of `cache_pages` pages per extent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`File::map`] errors ([`Code::NotSup`] for unmappable
+    /// files).
+    pub async fn map(file: &mut dyn File, cache_pages: usize) -> Result<MappedFile> {
+        let mut extents: Vec<(u64, u64, PageCache)> = file
+            .map()
+            .await?
+            .into_iter()
+            .map(|e| {
+                let cache = PageCache::new(e.mem, cache_pages).bounded(e.len);
+                (e.file_off, e.len, cache)
+            })
+            .collect();
+        extents.sort_by_key(|&(off, _, _)| off);
+        let size = extents.last().map_or(0, |&(off, len, _)| off + len);
+        Ok(MappedFile { extents, size })
+    }
+
+    /// The mapped file's size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Pages faulted in so far, across all extents.
+    pub fn fills(&self) -> u64 {
+        self.extents.iter().map(|(_, _, c)| c.fills()).sum()
+    }
+
+    /// Reads up to `buf.len()` bytes at file offset `off` through the page
+    /// caches; returns the number of bytes read (0 at EOF). Position-based
+    /// like `pread` — a mapping has no cursor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTU errors (e.g. a revoked extent capability).
+    pub async fn read(&mut self, off: u64, buf: &mut [u8]) -> Result<usize> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = off + pos as u64;
+            let Some(ext) = self
+                .extents
+                .iter_mut()
+                .find(|&&mut (eoff, elen, _)| addr >= eoff && addr < eoff + elen)
+            else {
+                break; // EOF or hole
+            };
+            let (eoff, elen, cache) = ext;
+            let rel = addr - *eoff;
+            let n = ((*elen - rel) as usize).min(buf.len() - pos);
+            cache.read(rel, &mut buf[pos..pos + n]).await?;
+            pos += n;
+        }
+        Ok(pos)
+    }
 }
 
 /// A mounted filesystem implementation.

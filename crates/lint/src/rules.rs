@@ -67,7 +67,7 @@ pub const RULES: &[&str] = &[
 /// Crates whose code runs inside the simulation and must be deterministic.
 const SIM_CRATES: &[&str] = &[
     "sim", "noc", "dtu", "platform", "kernel", "libos", "fs", "lx", "apps", "bench", "core",
-    "trace", "fault", "sched", "serve",
+    "trace", "fault", "sched", "serve", "vm",
 ];
 
 /// Crates where `unwrap()`/`expect()` are banned outside test code.

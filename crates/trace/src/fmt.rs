@@ -122,6 +122,15 @@ fn kind_fields(kind: &EventKind) -> Vec<String> {
             advanced.as_u64().to_string(),
             waited.as_u64().to_string(),
         ],
+        EventKind::PageFault { virt, write } => {
+            vec![virt.to_string(), if *write { "w" } else { "r" }.to_string()]
+        }
+        EventKind::PageIn { virt, bytes } => {
+            vec![virt.to_string(), bytes.to_string()]
+        }
+        EventKind::WriteBack { virt, bytes } => {
+            vec![virt.to_string(), bytes.to_string()]
+        }
         EventKind::ShardOp { shard, peer, op } => {
             vec![shard.to_string(), peer.to_string(), escape(op)]
         }
@@ -278,6 +287,18 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Event, String> {
             advanced: Cycles::new(num(f, 1, line_no)?),
             waited: Cycles::new(num(f, 2, line_no)?),
         },
+        "page_fault" => EventKind::PageFault {
+            virt: num(f, 0, line_no)?,
+            write: rw(f, 1, line_no)?,
+        },
+        "page_in" => EventKind::PageIn {
+            virt: num(f, 0, line_no)?,
+            bytes: num(f, 1, line_no)?,
+        },
+        "write_back" => EventKind::WriteBack {
+            virt: num(f, 0, line_no)?,
+            bytes: num(f, 1, line_no)?,
+        },
         "shard_op" => EventKind::ShardOp {
             shard: num32(f, 0, line_no)?,
             peer: num32(f, 1, line_no)?,
@@ -431,6 +452,36 @@ mod tests {
                     shard: 0,
                     peer: 2,
                     op: "place\tvpe".to_string(),
+                },
+            },
+            Event {
+                at: Cycles::new(100),
+                dur: Cycles::new(150),
+                pe: Some(PeId::new(0)),
+                comp: Component::Vm,
+                kind: EventKind::PageFault {
+                    virt: 0x3011,
+                    write: true,
+                },
+            },
+            Event {
+                at: Cycles::new(110),
+                dur: Cycles::new(512),
+                pe: Some(PeId::new(0)),
+                comp: Component::Vm,
+                kind: EventKind::PageIn {
+                    virt: 0x3000,
+                    bytes: 4096,
+                },
+            },
+            Event {
+                at: Cycles::new(120),
+                dur: Cycles::new(512),
+                pe: Some(PeId::new(0)),
+                comp: Component::Vm,
+                kind: EventKind::WriteBack {
+                    virt: 0x5000,
+                    bytes: 4096,
                 },
             },
         ]

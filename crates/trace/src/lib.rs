@@ -57,6 +57,9 @@ pub enum Component {
     App,
     /// The m3-serve tier: request service spans on the server PE.
     Serve,
+    /// The paging subsystem: faults, page-ins, and write-backs (kernel
+    /// pager and libos page caches both attribute here).
+    Vm,
 }
 
 impl Component {
@@ -71,6 +74,7 @@ impl Component {
             Component::Pipe => "pipe",
             Component::App => "app",
             Component::Serve => "serve",
+            Component::Vm => "vm",
         }
     }
 
@@ -85,6 +89,7 @@ impl Component {
             "pipe" => Component::Pipe,
             "app" => Component::App,
             "serve" => Component::Serve,
+            "vm" => Component::Vm,
             _ => return None,
         })
     }
@@ -100,6 +105,8 @@ impl Component {
             Component::Pipe,
             Component::App,
             Component::Serve,
+            // Appended last so existing Chrome thread ids keep their order.
+            Component::Vm,
         ]
     }
 }
@@ -248,6 +255,31 @@ pub enum EventKind {
         /// Cycles between the island's final local time and the barrier.
         waited: Cycles,
     },
+    /// A page fault reached the kernel pager: the faulting PE's DTU sent a
+    /// typed fault message and the kernel walked the page table (§7 demand
+    /// paging as messages). The span covers the kernel-side handling.
+    PageFault {
+        /// Faulting virtual address.
+        virt: u64,
+        /// `true` for a write-access fault.
+        write: bool,
+    },
+    /// The pager copied a swap slot back into a DRAM frame to serve a
+    /// fault on an evicted page.
+    PageIn {
+        /// Virtual address of the page.
+        virt: u64,
+        /// Bytes copied (one page).
+        bytes: u64,
+    },
+    /// The pager wrote a dirty victim page back to the VPE's DRAM swap
+    /// region before reusing its frame.
+    WriteBack {
+        /// Virtual address of the evicted page.
+        virt: u64,
+        /// Bytes written back (one page).
+        bytes: u64,
+    },
     /// One leg of a kernel-to-kernel operation in a sharded multikernel:
     /// emitted by the sending shard when a request leaves and by the
     /// receiving shard when it is handled (§7 multiple kernels).
@@ -285,6 +317,9 @@ impl EventKind {
             EventKind::ServeReq { .. } => "serve_req",
             EventKind::CtxSwitch { .. } => "ctx_switch",
             EventKind::IslandWindow { .. } => "island_window",
+            EventKind::PageFault { .. } => "page_fault",
+            EventKind::PageIn { .. } => "page_in",
+            EventKind::WriteBack { .. } => "write_back",
             EventKind::ShardOp { .. } => "shard_op",
         }
     }
@@ -332,6 +367,11 @@ impl Event {
             EventKind::ServeReq { op, .. } => format!("serve:{op}"),
             EventKind::CtxSwitch { from, to, .. } => format!("ctx:{from}->{to}"),
             EventKind::IslandWindow { island, .. } => format!("island:{island}"),
+            EventKind::PageFault { virt, write } => {
+                format!("fault:{}{virt:#x}", if *write { "w:" } else { "r:" })
+            }
+            EventKind::PageIn { virt, .. } => format!("page-in:{virt:#x}"),
+            EventKind::WriteBack { virt, .. } => format!("write-back:{virt:#x}"),
             EventKind::ShardOp { shard, peer, op } => format!("shard:{shard}->{peer}:{op}"),
         }
     }
@@ -494,6 +534,16 @@ pub mod keys {
     /// syscalls plus kernel-to-kernel requests served for peer shards. Keyed
     /// per kernel PE so a sharded multikernel's throughput sums per shard.
     pub const KERNEL_OPS: &str = "kernel.ops";
+    /// Page faults the kernel pager served for VPEs on this PE
+    /// (first-touch zero-fills plus page-ins).
+    pub const PAGE_FAULTS: &str = "vm.page_faults";
+    /// Bytes the pager wrote back to swap regions for victims evicted on
+    /// behalf of VPEs on this PE.
+    pub const WRITEBACK_BYTES: &str = "vm.writeback_bytes";
+    /// Dirty SPM pages actually transferred by dirty-tracked context
+    /// switches on this PE (the pages a full-image switch would have moved
+    /// anyway are `SPM_DATA_SIZE / PAGE_SIZE` per switch).
+    pub const DIRTY_PAGES_SAVED: &str = "sched.dirty_pages_saved";
 }
 
 /// A power-of-two-bucket histogram with count/sum/min/max.

@@ -24,7 +24,9 @@ fn bytes_of(event: &Event) -> u64 {
         | MsgReply { bytes, .. }
         | MemXfer { bytes, .. }
         | NocXfer { bytes, .. }
-        | PipeXfer { bytes, .. } => *bytes,
+        | PipeXfer { bytes, .. }
+        | PageIn { bytes, .. }
+        | WriteBack { bytes, .. } => *bytes,
         _ => 0,
     }
 }

@@ -1,0 +1,190 @@
+//! The SPM dirty-page model.
+//!
+//! A PE's data SPM is 64 KiB (§2) — 16 pages of 4 KiB. The DTU is the only
+//! component that moves data into the SPM from outside (§4.2), so it is
+//! the natural place to maintain a dirty bitmap: every deposit of a
+//! message into a live ring buffer and every RDMA read that lands in the
+//! SPM marks the pages it touches. `m3-sched` then saves *only dirty
+//! pages* on a context switch — clean pages already match their DRAM save
+//! area and restore lazily from that backing.
+//!
+//! The simulation does not model SPM addresses of application buffers, so
+//! the bitmap uses a *streaming cursor*: incoming bytes are laid out
+//! consecutively, wrapping over the SPM, and dirty whatever pages they
+//! cover. This is deterministic (same traffic → same bitmap), errs toward
+//! marking at most one extra page per transfer, and costs zero simulated
+//! time — maintaining it is pure host-side bookkeeping.
+
+use crate::{PAGE_SIZE, SPM_PAGES};
+
+/// Dirty bits for the pages of one SPM-sized working set.
+///
+/// A fresh bitmap starts **fully dirty**: a newly created context's code
+/// and data have never been written to the DRAM save area, so the first
+/// save-out must transfer the whole image. After a save the bitmap is
+/// clear (SPM == save area), and after a restore it is clear again for the
+/// same reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirtyBitmap {
+    bits: u64,
+    pages: u32,
+    cursor: u64,
+}
+
+impl Default for DirtyBitmap {
+    fn default() -> DirtyBitmap {
+        DirtyBitmap::new(SPM_PAGES)
+    }
+}
+
+impl DirtyBitmap {
+    /// Creates a fully-dirty bitmap over `pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero or exceeds 64.
+    pub fn new(pages: u32) -> DirtyBitmap {
+        assert!(pages > 0 && pages <= 64, "bitmap holds 1..=64 pages");
+        let mut b = DirtyBitmap {
+            bits: 0,
+            pages,
+            cursor: 0,
+        };
+        b.mark_all();
+        b
+    }
+
+    fn mask(&self) -> u64 {
+        if self.pages == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.pages) - 1
+        }
+    }
+
+    /// Marks every page dirty (fresh context: the whole image must go out).
+    pub fn mark_all(&mut self) {
+        self.bits = self.mask();
+    }
+
+    /// Clears every bit and rewinds the cursor (SPM now matches the DRAM
+    /// save area — right after a save-out or a restore).
+    pub fn clear(&mut self) {
+        self.bits = 0;
+        self.cursor = 0;
+    }
+
+    /// Accounts `bytes` of inbound data at the streaming cursor: marks the
+    /// pages the bytes cover and advances the cursor (wrapping over the
+    /// SPM).
+    pub fn touch(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let spm = self.pages as u64 * PAGE_SIZE;
+        if bytes >= spm {
+            self.mark_all();
+            self.cursor = (self.cursor + bytes) % spm;
+            return;
+        }
+        let first = self.cursor / PAGE_SIZE;
+        let last = (self.cursor + bytes - 1) / PAGE_SIZE;
+        for page in first..=last {
+            self.bits |= 1 << (page % self.pages as u64);
+        }
+        self.cursor = (self.cursor + bytes) % spm;
+    }
+
+    /// Marks one page dirty by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn mark(&mut self, page: u32) {
+        assert!(page < self.pages, "page {page} out of range");
+        self.bits |= 1 << page;
+    }
+
+    /// Whether `page` is dirty.
+    pub fn is_dirty(&self, page: u32) -> bool {
+        page < self.pages && self.bits & (1 << page) != 0
+    }
+
+    /// Number of dirty pages.
+    pub fn count(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Number of pages tracked.
+    pub fn pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// The raw bits (bit *i* = page *i* dirty).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bitmap_is_fully_dirty() {
+        let b = DirtyBitmap::new(16);
+        assert_eq!(b.count(), 16);
+        assert!(b.is_dirty(0) && b.is_dirty(15));
+    }
+
+    #[test]
+    fn clear_then_touch_marks_covered_pages_only() {
+        let mut b = DirtyBitmap::new(16);
+        b.clear();
+        assert_eq!(b.count(), 0);
+        b.touch(100); // within page 0
+        assert_eq!(b.count(), 1);
+        assert!(b.is_dirty(0));
+        b.touch(PAGE_SIZE); // crosses into page 1
+        assert!(b.is_dirty(1));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn touch_wraps_over_the_spm() {
+        let mut b = DirtyBitmap::new(4);
+        b.clear();
+        // Walk the cursor to the last page, then cross the wrap boundary.
+        b.touch(3 * PAGE_SIZE);
+        b.clear_keep_cursor_for_test();
+        b.touch(2 * PAGE_SIZE);
+        assert!(b.is_dirty(3) && b.is_dirty(0), "wrap marks both ends");
+    }
+
+    impl DirtyBitmap {
+        fn clear_keep_cursor_for_test(&mut self) {
+            self.bits = 0;
+        }
+    }
+
+    #[test]
+    fn oversized_touch_marks_everything() {
+        let mut b = DirtyBitmap::new(8);
+        b.clear();
+        b.touch(9 * PAGE_SIZE);
+        assert_eq!(b.count(), 8);
+    }
+
+    #[test]
+    fn deterministic_across_identical_traffic() {
+        let mut a = DirtyBitmap::new(16);
+        let mut b = DirtyBitmap::new(16);
+        for bm in [&mut a, &mut b] {
+            bm.clear();
+            for n in [24u64, 512, 4096, 77, 8000] {
+                bm.touch(n);
+            }
+        }
+        assert_eq!(a, b);
+    }
+}

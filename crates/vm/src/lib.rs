@@ -1,0 +1,47 @@
+//! Demand-paged virtual memory for M3 (§7, future work, made first-class).
+//!
+//! "Moreover, we will add virtual memory support by using the DTU's
+//! translation of virtual to physical addresses" — the paper defers paging
+//! to future work; this crate supplies the machinery the kernel and libos
+//! share to make it real inside the simulation:
+//!
+//! - [`table`] — per-VPE page tables ([`AddrSpaceObj`]): page entries with
+//!   frame/swap backing, accessed/dirty bits, a bounded resident set, and a
+//!   deterministic clean-first victim policy,
+//! - [`dirty`] — [`DirtyBitmap`], the SPM dirty-page model the DTU keeps
+//!   per live context and `m3-sched` consults to transfer only dirty pages
+//!   on a context switch,
+//! - [`costs`] — §-cited cycle charges for fault handling, page-in, and
+//!   write-back.
+//!
+//! The protocol side (page-fault-as-message) rides the existing syscall
+//! channel: the faulting PE's DTU sends a typed `PageFault` message to the
+//! kernel PE, the kernel maps or pages-in the frame from DRAM via the DTU
+//! and replies with a memory capability for the frame — exactly the shape
+//! of the paper's interrupts-as-messages (§4.4.2) applied to translation
+//! misses. Everything here is pure bookkeeping: the kernel performs the
+//! DRAM copies and capability operations and charges the cycles; this
+//! crate only decides *what* must move.
+
+pub mod costs;
+pub mod dirty;
+pub mod table;
+
+pub use dirty::DirtyBitmap;
+pub use table::{AddrSpaceObj, FaultKind, PageEntry, SwapRegion, VictimPlan};
+
+/// Page size of the paging subsystem. 4 KiB, the sweet spot the paper's
+/// prototype platform assumes for SPM/DRAM transfers (§2: Xtensa cores
+/// with 64 KiB SPMs, i.e. 16 pages of 4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Pages in a 64 KiB data SPM (§2): the working set a context switch has
+/// to consider.
+pub const SPM_PAGES: u32 = (m3_base::cfg::SPM_DATA_SIZE as u64 / PAGE_SIZE) as u32;
+
+/// Default capacity, in pages, of a per-VPE DRAM swap region. Sized like
+/// four SPMs so a paged VPE can overcommit its resident budget several
+/// times over before the pager reports `OutOfMem` (§4.5.4: the kernel
+/// manages all memories in the system; the swap region is ordinary kernel
+/// DRAM).
+pub const SWAP_PAGES_DEFAULT: u64 = 64;

@@ -1,0 +1,346 @@
+//! Kernel-owned page tables and the pager's bookkeeping.
+//!
+//! One [`AddrSpaceObj`] per VPE, owned by the kernel (§3: the kernel makes
+//! the final decision of whether an operation is allowed; here, whether a
+//! virtual page is backed and by what). Entries record the DRAM frame of a
+//! resident page, the swap-region slot of a paged-out page, and
+//! accessed/dirty bits. The resident set is bounded (`resident_limit`
+//! models memory pressure); the victim policy is **clean-first FIFO**:
+//! evicting a clean page costs nothing but a capability revocation, while
+//! a dirty victim must be written back to the VPE's swap region first.
+//!
+//! This module is pure bookkeeping — the kernel performs the actual DRAM
+//! copies, capability insertions/revocations, and cycle charges. Keeping
+//! the state machine here makes it unit-testable without a simulation and
+//! shares the policy with the libos page cache, so both layers evict in
+//! the same deterministic order.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use m3_base::{Perm, SelId};
+
+use crate::PAGE_SIZE;
+
+/// One page-table entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageEntry {
+    /// Effective permissions of the page (the address space's permissions).
+    pub perm: Perm,
+    /// DRAM frame base while resident.
+    pub frame: Option<u64>,
+    /// Swap-region slot index while the page has a swap copy.
+    pub swap_slot: Option<u64>,
+    /// Whether the frame content diverged from the swap copy (set by
+    /// write-access faults; a dirty victim must be written back).
+    pub dirty: bool,
+    /// Whether the page was faulted on since mapping (clock/debug signal).
+    pub accessed: bool,
+    /// The client selector the frame capability was handed out at —
+    /// recorded so eviction can revoke it and cut the PE off the frame.
+    pub cap: Option<SelId>,
+}
+
+/// How a fault on a page must be served.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The page is resident: reply with (a capability for) its frame.
+    Resident,
+    /// The page was evicted to this swap slot: allocate a frame and copy
+    /// the slot's content in (page-in).
+    SwapIn(u64),
+    /// First touch: allocate a zero-filled frame.
+    Zero,
+}
+
+/// The pager's decision about which resident page to evict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct VictimPlan {
+    /// The chosen victim page number.
+    pub page: u64,
+    /// Its resident frame.
+    pub frame: u64,
+    /// Whether the frame must be written back to swap first (dirty victim
+    /// — clean pages already match their swap copy, or were never written
+    /// and re-fault as zero-filled).
+    pub writeback: bool,
+}
+
+/// A per-VPE DRAM swap region: a contiguous kernel allocation carved into
+/// page-sized slots (§4.5.4: the kernel manages the memories; the swap
+/// region is ordinary kernel DRAM dedicated to one VPE's paged-out data).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwapRegion {
+    /// DRAM base offset of the region.
+    pub base: u64,
+    capacity: u64,
+    next: u64,
+    free: Vec<u64>,
+}
+
+impl SwapRegion {
+    /// Wraps an allocated DRAM region of `capacity` page slots at `base`.
+    pub fn new(base: u64, capacity: u64) -> SwapRegion {
+        SwapRegion {
+            base,
+            capacity,
+            next: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Region size in bytes for `capacity` slots.
+    pub fn bytes_for(capacity: u64) -> u64 {
+        capacity * PAGE_SIZE
+    }
+
+    /// Region size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        SwapRegion::bytes_for(self.capacity)
+    }
+
+    /// Allocates a slot, preferring the lowest freed slot (deterministic);
+    /// `None` when the region is full.
+    pub fn alloc_slot(&mut self) -> Option<u64> {
+        if let Some(pos) = self.free.iter().enumerate().min_by_key(|(_, &s)| s) {
+            let idx = pos.0;
+            return Some(self.free.swap_remove(idx));
+        }
+        if self.next < self.capacity {
+            let slot = self.next;
+            self.next += 1;
+            return Some(slot);
+        }
+        None
+    }
+
+    /// Returns a slot to the free pool.
+    pub fn free_slot(&mut self, slot: u64) {
+        debug_assert!(slot < self.next, "freeing a never-allocated slot");
+        self.free.push(slot);
+    }
+
+    /// DRAM address of a slot.
+    pub fn slot_addr(&self, slot: u64) -> u64 {
+        self.base + slot * PAGE_SIZE
+    }
+}
+
+/// The kernel-side address space of one VPE: page table, bounded resident
+/// set, swap region, and paging statistics.
+#[derive(Clone, Debug, Default)]
+pub struct AddrSpaceObj {
+    entries: BTreeMap<u64, PageEntry>,
+    /// Pages in the order they became resident (FIFO clock).
+    resident: VecDeque<u64>,
+    /// Maximum resident pages; `None` = unbounded (no eviction — the
+    /// pre-paging behaviour, which the golden pins rely on).
+    pub resident_limit: Option<usize>,
+    /// Lazily created swap region.
+    pub swap: Option<SwapRegion>,
+    /// Faults served (first-touch + page-ins).
+    pub faults: u64,
+    /// Faults served by copying a swap slot back into a frame.
+    pub page_ins: u64,
+    /// Dirty evictions written back to swap.
+    pub writebacks: u64,
+    /// Bytes those write-backs moved.
+    pub writeback_bytes: u64,
+}
+
+impl AddrSpaceObj {
+    /// Creates an empty address space with the given resident bound.
+    pub fn new(resident_limit: Option<usize>) -> AddrSpaceObj {
+        AddrSpaceObj {
+            resident_limit,
+            ..AddrSpaceObj::default()
+        }
+    }
+
+    /// How a fault on `page` must be served.
+    pub fn classify(&self, page: u64) -> FaultKind {
+        match self.entries.get(&page) {
+            Some(e) if e.frame.is_some() => FaultKind::Resident,
+            Some(e) => match e.swap_slot {
+                Some(slot) => FaultKind::SwapIn(slot),
+                None => FaultKind::Zero,
+            },
+            None => FaultKind::Zero,
+        }
+    }
+
+    /// The entry for `page`, if any.
+    pub fn entry(&self, page: u64) -> Option<&PageEntry> {
+        self.entries.get(&page)
+    }
+
+    /// Mutable entry for `page`, if any.
+    pub fn entry_mut(&mut self, page: u64) -> Option<&mut PageEntry> {
+        self.entries.get_mut(&page)
+    }
+
+    /// Number of resident pages.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether mapping one more page first requires an eviction.
+    pub fn needs_eviction(&self) -> bool {
+        matches!(self.resident_limit, Some(limit) if self.resident.len() >= limit)
+    }
+
+    /// Chooses the eviction victim: the oldest *clean* resident page, or —
+    /// when every resident page is dirty — the oldest page outright.
+    /// Deterministic for a given fault history.
+    pub fn plan_eviction(&self) -> Option<VictimPlan> {
+        let victim = self
+            .resident
+            .iter()
+            .find(|p| self.entries.get(p).is_some_and(|e| !e.dirty))
+            .or_else(|| self.resident.front())
+            .copied()?;
+        let entry = self.entries.get(&victim)?;
+        Some(VictimPlan {
+            page: victim,
+            frame: entry.frame?,
+            writeback: entry.dirty,
+        })
+    }
+
+    /// Completes an eviction after the kernel moved the data: drops the
+    /// frame, records the swap slot (required for dirty victims), clears
+    /// the dirty bit, and returns the client capability selector to
+    /// revoke, if one was handed out.
+    pub fn complete_eviction(&mut self, page: u64, slot: Option<u64>) -> Option<SelId> {
+        self.resident.retain(|&p| p != page);
+        let entry = self.entries.get_mut(&page)?;
+        debug_assert!(
+            !entry.dirty || slot.is_some(),
+            "dirty eviction must record a swap slot"
+        );
+        entry.frame = None;
+        if slot.is_some() {
+            entry.swap_slot = slot;
+        }
+        entry.dirty = false;
+        entry.cap.take()
+    }
+
+    /// Maps `page` to `frame` (first touch or page-in) and records the
+    /// handed-out capability selector.
+    pub fn map(&mut self, page: u64, frame: u64, perm: Perm, cap: Option<SelId>) {
+        self.resident.push_back(page);
+        let entry = self.entries.entry(page).or_insert(PageEntry {
+            perm,
+            frame: None,
+            swap_slot: None,
+            dirty: false,
+            accessed: false,
+            cap: None,
+        });
+        entry.frame = Some(frame);
+        entry.accessed = true;
+        entry.cap = cap;
+    }
+
+    /// Marks an access on a resident page; write access sets the dirty bit.
+    pub fn touch(&mut self, page: u64, write: bool) {
+        if let Some(entry) = self.entries.get_mut(&page) {
+            entry.accessed = true;
+            if write {
+                entry.dirty = true;
+            }
+        }
+    }
+
+    /// Removes `page` entirely; the caller frees the frame/slot and
+    /// revokes the capability from the returned entry.
+    pub fn unmap(&mut self, page: u64) -> Option<PageEntry> {
+        self.resident.retain(|&p| p != page);
+        self.entries.remove(&page)
+    }
+
+    /// All mapped pages (for teardown).
+    pub fn pages(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapped(aspace: &mut AddrSpaceObj, page: u64, frame: u64) {
+        aspace.map(page, frame, Perm::RW, Some(SelId::new(page as u32 + 10)));
+    }
+
+    #[test]
+    fn classify_walks_the_page_lifecycle() {
+        let mut a = AddrSpaceObj::new(Some(2));
+        assert_eq!(a.classify(3), FaultKind::Zero);
+        mapped(&mut a, 3, 0x1000);
+        assert_eq!(a.classify(3), FaultKind::Resident);
+        a.touch(3, true);
+        let cap = a.complete_eviction(3, Some(7));
+        assert_eq!(cap, Some(SelId::new(13)));
+        assert_eq!(a.classify(3), FaultKind::SwapIn(7));
+    }
+
+    #[test]
+    fn clean_first_victim_selection() {
+        let mut a = AddrSpaceObj::new(Some(3));
+        mapped(&mut a, 0, 0x1000);
+        mapped(&mut a, 1, 0x2000);
+        mapped(&mut a, 2, 0x3000);
+        a.touch(0, true); // oldest is dirty
+        let plan = a.plan_eviction().unwrap();
+        assert_eq!(plan.page, 1, "oldest *clean* page wins");
+        assert!(!plan.writeback);
+    }
+
+    #[test]
+    fn all_dirty_falls_back_to_fifo_with_writeback() {
+        let mut a = AddrSpaceObj::new(Some(2));
+        mapped(&mut a, 4, 0x1000);
+        mapped(&mut a, 5, 0x2000);
+        a.touch(4, true);
+        a.touch(5, true);
+        let plan = a.plan_eviction().unwrap();
+        assert_eq!((plan.page, plan.writeback), (4, true));
+    }
+
+    #[test]
+    fn needs_eviction_respects_the_limit() {
+        let mut a = AddrSpaceObj::new(Some(1));
+        assert!(!a.needs_eviction());
+        mapped(&mut a, 0, 0x1000);
+        assert!(a.needs_eviction());
+        let mut unbounded = AddrSpaceObj::new(None);
+        for p in 0..100 {
+            mapped(&mut unbounded, p, p * 0x1000);
+        }
+        assert!(!unbounded.needs_eviction());
+    }
+
+    #[test]
+    fn swap_slots_reuse_the_lowest_freed_slot() {
+        let mut swap = SwapRegion::new(0x8000, 3);
+        assert_eq!(swap.alloc_slot(), Some(0));
+        assert_eq!(swap.alloc_slot(), Some(1));
+        assert_eq!(swap.alloc_slot(), Some(2));
+        assert_eq!(swap.alloc_slot(), None, "region is full");
+        swap.free_slot(2);
+        swap.free_slot(0);
+        assert_eq!(swap.alloc_slot(), Some(0), "lowest freed slot first");
+        assert_eq!(swap.slot_addr(1), 0x8000 + PAGE_SIZE);
+    }
+
+    #[test]
+    fn unmap_forgets_the_page() {
+        let mut a = AddrSpaceObj::new(None);
+        mapped(&mut a, 9, 0x9000);
+        let entry = a.unmap(9).unwrap();
+        assert_eq!(entry.frame, Some(0x9000));
+        assert!(a.unmap(9).is_none(), "double unmap yields nothing");
+        assert_eq!(a.resident_count(), 0);
+    }
+}

@@ -327,6 +327,59 @@ fn crashed_pe_takes_its_whole_run_queue() {
 }
 
 #[test]
+fn pe_crash_mid_writeback_leaves_the_pager_consistent() {
+    // A paging-heavy VPE — resident set squeezed to 2 frames, working set
+    // of 6 pages, all writes, so nearly every fault evicts a dirty victim
+    // through the swap region — has its PE crash mid-run. The pager
+    // contract under fire: no hang, a typed error (never silent data
+    // loss), and complete reclamation — resident frames, the in-flight
+    // fill frame, and the swap region all return to the allocator, so
+    // DRAM accounting lands exactly where a clean exit would put it.
+    use m3_libos::addrspace::AddrSpace;
+
+    let plan = FaultPlan::new().crash_pe(PeId::new(2), Cycles::new(30_000));
+    let sys = System::boot(SystemConfig {
+        pes: 4,
+        vm_resident_pages: Some(2),
+        fault_plan: Some(plan),
+        ..SystemConfig::default()
+    });
+    let free_before = sys.kernel().free_mem();
+    let doomed = sys.run_program("doomed", |env| async move {
+        env.set_recovery(Some(RecoveryPolicy::standard(0x4d31_9a9e)));
+        let mut aspace = AddrSpace::new(&env, Perm::RW);
+        let mut i = 0u64;
+        // Loop forever; only the crash ends this.
+        loop {
+            let page = i % 6;
+            if let Err(e) = aspace.write(page * 4096, &[i as u8]).await {
+                check_typed(&e);
+                return TYPED_FAILURE;
+            }
+            i += 1;
+        }
+    });
+    let state = sys.sim().run_until(Cycles::new(RUN_BOUND));
+    assert_eq!(state, SimState::Finished, "paging crash hung: {state:?}");
+    sys.sim().settle(Cycles::new(1_000_000));
+    assert_eq!(doomed.try_take(), Some(TYPED_FAILURE));
+    // Full reclamation: only the m3fs region (allocated at service start,
+    // after the baseline snapshot) may still be out.
+    let fs_region = SystemConfig::default().fs_blocks * 1024;
+    assert_eq!(
+        sys.kernel().free_mem(),
+        free_before - fs_region,
+        "crash leaked pager memory (frames or swap region)"
+    );
+    assert!(sys.kernel().free_pes() >= 1, "crashed PE not reaped");
+    // The scenario must actually have been mid-paging when the PE died.
+    assert!(
+        sys.sim().metrics().total(m3_sim::keys::WRITEBACK_BYTES) > 0,
+        "no writeback traffic — the crash missed the pager entirely"
+    );
+}
+
+#[test]
 fn zero_fault_plan_reproduces_golden_figure_totals() {
     // An armed-but-empty plan must be behaviorally invisible: the same
     // golden totals as tests/golden_cycles.rs, byte for byte, for every

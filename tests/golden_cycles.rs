@@ -71,6 +71,37 @@ fn fig8_two_x_overcommit_totals() {
 }
 
 #[test]
+fn fig8_four_x_dirty_tracked_totals() {
+    // The same 4x-overcommit scenario with dirty-tracked switches: every
+    // save consults the DTU dirty bitmap and moves only the SPM pages
+    // written since the last save. 259 switches transfer 198 dirty pages
+    // total (vs 16 per switch for the full image) — cutting the makespan
+    // to roughly a seventh of the full-image 4x run. Any change to the
+    // dirty plumbing (touch sites, save/restore clearing, per-page
+    // charging) moves these numbers.
+    let run = m3_bench::fig8::dirty_overcommit_run(4);
+    assert_eq!(run.total, 337_699);
+    assert_eq!(run.ctx_switches, 259);
+    assert_eq!(run.dirty_pages_saved, 198);
+    assert_eq!(run.lat_max, 146_833);
+    assert_eq!(run.reads, 128);
+}
+
+#[test]
+fn fig11_mid_pressure_paging_totals() {
+    // One fig11 sweep point pinned exactly: 512 seeded random accesses
+    // over a 32-page working set with only 8 resident frames. Behind the
+    // numbers sit the whole m3-vm stack — fault walks, clean-first
+    // eviction, swap-slot reuse, page-in copies, and the per-§ cost
+    // charges. 380 hard faults, 186 dirty write-backs (761_856 bytes).
+    let run = m3_bench::fig11::paging_run(2);
+    assert_eq!(run.resident_pages, 8);
+    assert_eq!(run.total, 618_762);
+    assert_eq!(run.faults, 380);
+    assert_eq!(run.writeback_bytes, 761_856);
+}
+
+#[test]
 fn fig9_serving_point_totals() {
     // One mid-sweep load point on each OS path: 64 closed-loop clients,
     // 4 requests each, spread over 4 driver PEs on M3 and one time-shared
